@@ -1,0 +1,79 @@
+// bench_ablation_beta — ablation A1: how sensitive is the competitive
+// ratio to the cone parameter?  For several (n, f) pairs we sweep beta
+// around the optimum beta* = (4f+4)/n - 1 and report both Lemma 5's
+// closed form and the exact simulator's measurement — the two must track
+// each other, the minimum must sit at beta*, and the curve shows how
+// much a mis-tuned expansion factor costs.
+#include <iostream>
+
+#include "analysis/grid.hpp"
+#include "analysis/optimize.hpp"
+#include "bench_common.hpp"
+#include "core/algorithm.hpp"
+#include "core/competitive.hpp"
+#include "eval/cr_eval.hpp"
+#include "util/csv.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace linesearch;
+
+void sweep(const int n, const int f, std::vector<Series>& all_series) {
+  const Real beta_star = optimal_beta(n, f);
+  std::cout << "S_beta(" << n << ") with f = " << f
+            << ": beta* = " << fixed(beta_star, 4)
+            << ", CR(beta*) = " << fixed(algorithm_cr(n, f), 4) << "\n\n";
+
+  TablePrinter table({"beta", "Lemma 5 closed form", "measured CR",
+                      "penalty vs beta*"});
+  Series closed{"closed_n" + std::to_string(n) + "_f" + std::to_string(f),
+                {},
+                {}};
+  Series meas{"measured_n" + std::to_string(n) + "_f" + std::to_string(f),
+              {},
+              {}};
+
+  for (const Real factor :
+       {0.25L, 0.5L, 0.75L, 0.9L, 1.0L, 1.1L, 1.25L, 1.5L, 2.0L, 3.0L}) {
+    const Real beta = 1 + (beta_star - 1) * factor;
+    const Real formula = schedule_cr(n, f, beta);
+    const ProportionalAlgorithm schedule(n, f, beta);
+    const Fleet fleet = schedule.build_fleet(800);
+    const Real measured = measure_cr(fleet, f, {.window_hi = 8}).cr;
+    table.add_row({fixed(beta, 4), fixed(formula, 5), fixed(measured, 5),
+                   "+" + fixed(formula - algorithm_cr(n, f), 4)});
+    closed.x.push_back(beta);
+    closed.y.push_back(formula);
+    meas.x.push_back(beta);
+    meas.y.push_back(measured);
+  }
+  table.print(std::cout);
+
+  // Numeric re-derivation of the optimum (Theorem 1's calculus step).
+  const MinimizeResult optimum = golden_section(
+      [n, f](const Real beta) { return schedule_cr(n, f, beta); },
+      1.000001L, 1 + (beta_star - 1) * 8);
+  std::cout << "golden-section argmin beta = " << fixed(optimum.x, 6)
+            << " (closed form " << fixed(beta_star, 6) << ")\n\n";
+
+  all_series.push_back(std::move(closed));
+  all_series.push_back(std::move(meas));
+}
+
+void body() {
+  std::vector<Series> all_series;
+  sweep(3, 1, all_series);
+  sweep(5, 3, all_series);
+  sweep(5, 2, all_series);
+  bench::csv_header("ablation_beta");
+  write_series_csv(std::cout, all_series);
+}
+
+}  // namespace
+
+int main() {
+  return linesearch::bench::run(
+      "Ablation A1", "competitive ratio vs cone parameter beta", body);
+}

@@ -1,0 +1,124 @@
+// bench_bounded — extension study E4: a known upper bound D on the
+// target distance (cf. Bose-De Carufel-Durocher, cited in the paper's
+// related work).  BoundedProportional clamps A(n,f)'s zig-zags at the
+// barriers ±D; the bench measures the competitive ratio over [1, ~D]
+// against the unbounded algorithm for shrinking arenas, and profiles
+// WHERE the gain concentrates (the last expansion step before D).
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/algorithm.hpp"
+#include "core/bounded.hpp"
+#include "core/competitive.hpp"
+#include "eval/cr_eval.hpp"
+#include "util/csv.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace linesearch;
+
+void body() {
+  const int n = 3, f = 1;
+  std::cout << "Bounded arena variant of A(" << n << "," << f
+            << ") — unbounded Theorem-1 CR = "
+            << fixed(algorithm_cr(n, f), 4) << "\n\n";
+
+  // Part 1: the COMPETITIVE RATIO does not improve — a genuine (and
+  // perhaps surprising) negative result.  The sup of K(x) is realized
+  // just past turning points arbitrarily close to the minimum distance,
+  // where the barrier plays no role; clamping only advances visits that
+  // happen AFTER a clamped turn.  Beating Theorem 1's value with a known
+  // bound D requires redesigning the schedule (as in the cited
+  // single-robot work), not merely truncating it.
+  TablePrinter table({"arena bound D", "bounded CR over [1, 0.999D]",
+                      "unbounded CR (same window)",
+                      "max pointwise gain", "at x"});
+  Series bounded_series{"bounded_cr", {}, {}},
+      unbounded_series{"unbounded_cr", {}, {}},
+      gain_max{"max_pointwise_gain", {}, {}};
+
+  for (const Real D : {6.0L, 12.0L, 24.0L, 48.0L, 96.0L}) {
+    const BoundedProportional bounded(n, f, D);
+    const Fleet bounded_fleet = bounded.build_fleet(D);
+    const Fleet unbounded_fleet =
+        ProportionalAlgorithm(n, f).build_fleet(D * 48);
+    CrEvalOptions window;
+    window.window_hi = D * 0.999L;
+    const Real bounded_cr = measure_cr(bounded_fleet, f, window).cr;
+    const Real unbounded_cr = measure_cr(unbounded_fleet, f, window).cr;
+
+    // Scan for the largest pointwise detection-time gain in the arena.
+    Real best_gain = 0, best_gain_x = 0;
+    for (int i = 0; i <= 400; ++i) {
+      const Real magnitude =
+          1 + (D * 0.999L - 1) * static_cast<Real>(i) / 400;
+      for (const int side : {+1, -1}) {
+        const Real x = static_cast<Real>(side) * magnitude;
+        const Real gain = unbounded_fleet.detection_time(x, f) -
+                          bounded_fleet.detection_time(x, f);
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_gain_x = x;
+        }
+      }
+    }
+    table.add_row({fixed(D, 0), fixed(bounded_cr, 4),
+                   fixed(unbounded_cr, 4), fixed(best_gain, 3),
+                   fixed(best_gain_x, 2)});
+    bounded_series.x.push_back(D);
+    bounded_series.y.push_back(bounded_cr);
+    unbounded_series.x.push_back(D);
+    unbounded_series.y.push_back(unbounded_cr);
+    gain_max.x.push_back(D);
+    gain_max.y.push_back(best_gain);
+  }
+  table.print(std::cout);
+
+  // Part 2: pointwise gain profile for an arena where clamping bites
+  // (D = 24 sits between the grid's negative turn at 25.4 and the
+  // positive turn at 40.3, so both get clamped).
+  const Real D = 24;
+  const BoundedProportional bounded(n, f, D);
+  const Fleet bounded_fleet = bounded.build_fleet(D);
+  const Fleet unbounded_fleet =
+      ProportionalAlgorithm(n, f).build_fleet(D * 48);
+  std::cout << "\nPointwise detection-time gain for D = " << fixed(D, 0)
+            << " (positive = bounded finds earlier):\n\n";
+  TablePrinter profile({"x", "T_bounded", "T_unbounded", "gain"});
+  Series gain_series{"gain_profile", {}, {}};
+  for (const Real x :
+       {1.0L, -2.0L, 4.0L, -8.0L, 12.0L, -16.0L, 18.0L, -20.0L, 22.0L,
+        23.5L, -23.5L}) {
+    const Real tb = bounded_fleet.detection_time(x, f);
+    const Real tu = unbounded_fleet.detection_time(x, f);
+    profile.add_row({fixed(x, 1), fixed(tb, 3), fixed(tu, 3),
+                     fixed(tu - tb, 3)});
+    gain_series.x.push_back(x);
+    gain_series.y.push_back(tu - tb);
+  }
+  profile.print(std::cout);
+  std::cout
+      << "\nReading: the competitive ratio is pinned to Theorem 1 "
+         "(clamping cannot touch the\n"
+      << "near-origin suprema), but individual targets in the last "
+         "expansion step before the\n"
+      << "barrier ARE found earlier — knowing D helps pointwise near D, "
+         "never in the sup.\n";
+
+  bench::csv_header("bounded");
+  write_series_csv(std::cout, {bounded_series, unbounded_series, gain_max,
+                               gain_series});
+}
+
+}  // namespace
+
+int main() {
+  return linesearch::bench::run(
+      "Extension E4", "known distance bound: bounded A(n,f) vs unbounded",
+      body);
+}

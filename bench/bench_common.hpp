@@ -1,0 +1,43 @@
+// bench_common.hpp — shared scaffolding for the reproduction binaries.
+//
+// Every bench prints (a) a banner naming the paper artifact it
+// regenerates, (b) a fixed-width table with the same rows/series the
+// paper reports, and (c) a machine-readable CSV block for plotting.
+#pragma once
+
+#include <exception>
+#include <iostream>
+#include <string>
+
+namespace linesearch::bench {
+
+/// Print the standard banner.
+inline void banner(const std::string& artifact, const std::string& what) {
+  std::cout << "==============================================================="
+               "=\n"
+            << artifact << " — " << what << "\n"
+            << "Search on a Line with Faulty Robots (PODC 2016) reproduction\n"
+            << "==============================================================="
+               "=\n\n";
+}
+
+/// Run a bench body with uniform error reporting; returns the exit code.
+template <typename Body>
+int run(const std::string& artifact, const std::string& what,
+        const Body& body) {
+  try {
+    banner(artifact, what);
+    body();
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "bench failed: " << e.what() << '\n';
+    return 1;
+  }
+}
+
+/// Delimits the CSV block in the output.
+inline void csv_header(const std::string& name) {
+  std::cout << "\n--- csv: " << name << " ---\n";
+}
+
+}  // namespace linesearch::bench

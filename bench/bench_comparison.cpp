@@ -1,0 +1,86 @@
+// bench_comparison — ablation A2: the proportional schedule A(n, f)
+// against the strategies a practitioner might try first:
+//   * group doubling (everyone together, classic cow-path): CR 9 for
+//     every f < n — robustness without any benefit from parallelism;
+//   * uniform-offset zig-zag (same cone, arithmetic instead of geometric
+//     interleaving): strictly worse than proportional;
+//   * two-group split where legal (n >= 2f+2): the CR-1 optimum.
+// "Who wins, by what factor" is the shape this table reproduces.
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/algorithm.hpp"
+#include "core/baselines.hpp"
+#include "core/competitive.hpp"
+#include "core/lower_bound.hpp"
+#include "eval/cr_eval.hpp"
+#include "util/csv.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace linesearch;
+
+Real measure(const SearchStrategy& strategy, const int f) {
+  const Fleet fleet = strategy.build_fleet(1500);
+  return measure_cr(fleet, f, {.window_hi = 12}).cr;
+}
+
+void body() {
+  TablePrinter table({"n", "f", "A(n,f)", "uniform-offset",
+                      "group doubling", "classic cow-path",
+                      "staggered doubling", "two-group split",
+                      "lower bound"});
+  table.set_caption("Measured competitive ratios (exact simulation)");
+
+  Series prop{"proportional", {}, {}}, uniform{"uniform_offset", {}, {}},
+      doubling{"group_doubling", {}, {}};
+
+  int index = 0;
+  for (const auto& [n, f] : std::vector<std::pair<int, int>>{
+           {2, 1}, {3, 1}, {3, 2}, {4, 2}, {4, 3}, {5, 2}, {5, 3},
+           {5, 4}, {7, 3}, {9, 4}}) {
+    const Real a_cr = measure(ProportionalAlgorithm(n, f), f);
+    const Real u_cr = measure(UniformOffsetZigzag(n, f), f);
+    const Real d_cr = measure(GroupDoubling(n, f), f);
+    const Real c_cr = measure(ClassicCowPath(n, f), f);
+    const Real s_cr = measure(StaggeredDoubling(n, f), f);
+    const std::string split =
+        (n >= 2 * f + 2) ? fixed(measure(TwoGroupSplit(n, f), f), 3) : "-";
+    table.add_row({cell(static_cast<long long>(n)),
+                   cell(static_cast<long long>(f)), fixed(a_cr, 3),
+                   fixed(u_cr, 3), fixed(d_cr, 3), fixed(c_cr, 3),
+                   fixed(s_cr, 3), split,
+                   fixed(best_lower_bound(n, f), 3)});
+    ++index;
+    prop.x.push_back(index);
+    prop.y.push_back(a_cr);
+    uniform.x.push_back(index);
+    uniform.y.push_back(u_cr);
+    doubling.x.push_back(index);
+    doubling.y.push_back(d_cr);
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nExpected shape: A(n,f) strictly beats the uniform-offset "
+         "foil (breaking Definition 2's\n"
+      << "geometric interleaving always hurts), group doubling is "
+         "pinned at 9 for every f < n,\n"
+      << "and A(f+1,f) ties group doubling at 9 (both optimal there); the classic\n"
+      << "full-speed cow-path sits a hair under 9 (its sup is approached, not attained).\n";
+
+  bench::csv_header("comparison");
+  write_series_csv(std::cout, {prop, uniform, doubling});
+}
+
+}  // namespace
+
+int main() {
+  return linesearch::bench::run(
+      "Ablation A2", "A(n,f) vs baseline strategies, measured", body);
+}

@@ -1,0 +1,109 @@
+// bench_fig1_fig2_trajectories — regenerates Figures 1 and 2: the
+// space/time picture of a general zig-zag strategy (Fig. 1) and of the
+// zig-zag defined by a cone C_beta and a seed point (Fig. 2), whose
+// turning points follow Lemma 1: x_i = x_0 * kappa^i * (-1)^i.  Emits an
+// ASCII rendering plus the polyline data as CSV.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/cone.hpp"
+#include "sim/recorder.hpp"
+#include "sim/svg.hpp"
+#include "sim/zigzag.hpp"
+#include "util/csv.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace linesearch;
+
+Series polyline(const std::string& name, const Trajectory& t) {
+  Series s{name, {}, {}};
+  for (const Waypoint& w : t.waypoints()) {
+    s.x.push_back(w.position);
+    s.y.push_back(w.time);
+  }
+  return s;
+}
+
+void body() {
+  // ---- Figure 1: a general zig-zag strategy (hand-picked turning
+  // points, like the paper's illustration). ----
+  TrajectoryBuilder general;
+  general.start_at(0, 0);
+  general.move_to(1.5L).move_to(-1.0L).move_to(3.0L).move_to(-4.0L)
+      .move_to(6.0L);
+  const Trajectory fig1 = std::move(general).build();
+
+  std::cout << "Figure 1: a general zig-zag strategy (turning points "
+               "1.5, -1, 3, -4)\n\n";
+  RenderOptions r1;
+  r1.max_time = fig1.end_time();
+  r1.max_position = 7;
+  r1.rows = 24;
+  r1.columns = 57;
+  std::cout << render_space_time(Fleet({fig1}), r1) << '\n';
+
+  // ---- Figure 2: zig-zag defined by cone C_beta and seed point. ----
+  const Real beta = 2;
+  const Cone cone(beta);
+  const Trajectory fig2 =
+      make_cone_zigzag({.beta = beta, .first_turn = 0.4L,
+                        .min_coverage = 12});
+
+  std::cout << "Figure 2: zig-zag defined by " << cone.describe()
+            << " seeded at x0 = 0.4\n\n";
+  RenderOptions r2;
+  r2.max_time = 40;
+  r2.max_position = 14;
+  r2.rows = 26;
+  r2.columns = 57;
+  r2.cone_beta = beta;
+  std::cout << render_space_time(Fleet({fig2}), r2) << '\n';
+
+  // Lemma 1 check table: predicted vs materialized turning points.
+  TablePrinter table({"i", "Lemma 1: x0*kappa^i*(-1)^i", "materialized"});
+  table.set_caption("Lemma 1 turning points (beta = 2, kappa = 3)");
+  const std::vector<Real> predicted = lemma1_turning_points(beta, 0.4L, 5);
+  const std::vector<Waypoint> turns = fig2.turning_waypoints();
+  for (std::size_t i = 0; i + 1 < predicted.size() && i < turns.size();
+       ++i) {
+    // predicted[0] is the seed itself; turns start at the first reversal.
+    table.add_row({cell(static_cast<long long>(i + 1)),
+                   fixed(predicted[i + 1], 4),
+                   fixed(turns[i].position, 4)});
+  }
+  table.print(std::cout);
+
+  // SVG artifacts next to the terminal renderings.
+  {
+    SvgOptions svg1;
+    svg1.max_time = fig1.end_time();
+    svg1.max_position = 7;
+    svg1.title = "Figure 1: a general zig-zag strategy";
+    write_svg_file("figures/fig1_general_zigzag.svg",
+                   render_svg(Fleet({fig1}), svg1));
+    SvgOptions svg2;
+    svg2.max_time = 40;
+    svg2.max_position = 14;
+    svg2.cone_beta = beta;
+    svg2.title = "Figure 2: zig-zag defined by the cone C_beta (beta=2)";
+    write_svg_file("figures/fig2_cone_zigzag.svg",
+                   render_svg(Fleet({fig2}), svg2));
+    std::cout << "\nSVG artifacts: figures/fig1_general_zigzag.svg, "
+                 "figures/fig2_cone_zigzag.svg\n";
+  }
+
+  bench::csv_header("fig1_fig2_polylines");
+  write_series_csv(std::cout, {polyline("fig1_general", fig1),
+                               polyline("fig2_cone", fig2)});
+}
+
+}  // namespace
+
+int main() {
+  return linesearch::bench::run(
+      "Figures 1 & 2", "zig-zag strategies and the cone C_beta", body);
+}

@@ -1,0 +1,88 @@
+// bench_fig5_ratio_curves — regenerates Figure 5 of the paper.
+//
+// Left plot:  (2 + 2/n)^(1 + 1/n) (2/n)^(-1/n) + 1  for n = 3..20
+//             — the CR of A(2f+1, f) as a function of n = 2f+1.
+// Right plot: (4/a)^(2/a) (4/a - 2)^(1 - 2/a) + 1  for a in (1, 2)
+//             — the asymptotic CR when n = a*f robots.
+// Each series is printed as a table, an ASCII sparkline and a CSV block;
+// the odd-n points of the left curve are cross-checked against Theorem 1.
+#include <cmath>
+#include <iostream>
+
+#include "analysis/grid.hpp"
+#include "bench_common.hpp"
+#include "core/competitive.hpp"
+#include "util/csv.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace linesearch;
+
+void sparkline(const std::vector<Real>& ys, const Real lo, const Real hi) {
+  const int height = 12;
+  std::vector<std::string> rows(static_cast<std::size_t>(height),
+                                std::string(ys.size(), ' '));
+  for (std::size_t i = 0; i < ys.size(); ++i) {
+    Real fraction = (ys[i] - lo) / (hi - lo);
+    fraction = std::max(Real{0}, std::min(Real{1}, fraction));
+    const int row =
+        height - 1 - static_cast<int>(std::lround(
+                         fraction * static_cast<Real>(height - 1)));
+    rows[static_cast<std::size_t>(row)][i] = '*';
+  }
+  for (const std::string& row : rows) std::cout << row << '\n';
+}
+
+void body() {
+  // ---- Left: n = 3..20. ----
+  std::cout << "Figure 5 (left): CR of the proportional schedule for "
+               "n = 2f+1 robots, n = 3..20\n\n";
+  TablePrinter left({"n", "(2+2/n)^(1+1/n) (2/n)^(-1/n) + 1",
+                     "Theorem 1 (odd n)"});
+  Series left_series{"fig5_left", {}, {}};
+  for (const int n : int_range(3, 20)) {
+    const Real nn = static_cast<Real>(n);
+    const Real value =
+        std::pow(2 + 2 / nn, 1 + 1 / nn) * std::pow(2 / nn, -1 / nn) + 1;
+    std::string vs_theorem = "-";
+    if (n % 2 == 1) {
+      vs_theorem = fixed(algorithm_cr(n, (n - 1) / 2), 4);
+    }
+    left.add_row({cell(static_cast<long long>(n)), fixed(value, 4),
+                  vs_theorem});
+    left_series.x.push_back(nn);
+    left_series.y.push_back(value);
+  }
+  left.print(std::cout);
+  std::cout << "\nshape check (paper: decreasing from ~5.23 toward 3):\n";
+  sparkline(left_series.y, 3, 5.3L);
+
+  // ---- Right: a in (1, 2). ----
+  std::cout << "\nFigure 5 (right): asymptotic CR for n = a*f robots, "
+               "1 < a < 2\n\n";
+  TablePrinter right({"a", "(4/a)^(2/a) (4/a-2)^(1-2/a) + 1"});
+  Series right_series{"fig5_right", {}, {}};
+  for (const Real a : open_linspace(1, 2, 19)) {
+    const Real value = asymptotic_cr(a);
+    right.add_row({fixed(a, 2), fixed(value, 4)});
+    right_series.x.push_back(a);
+    right_series.y.push_back(value);
+  }
+  right.print(std::cout);
+  std::cout << "\nshape check (paper: decreasing from 9 at a->1 to 3 at "
+               "a->2):\n";
+  sparkline(right_series.y, 3, 9);
+
+  bench::csv_header("fig5_curves");
+  write_series_csv(std::cout, {left_series, right_series});
+}
+
+}  // namespace
+
+int main() {
+  return linesearch::bench::run("Figure 5",
+                                "competitive-ratio curves (both panels)",
+                                body);
+}

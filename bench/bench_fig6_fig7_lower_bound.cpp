@@ -1,0 +1,144 @@
+// bench_fig6_fig7_lower_bound — regenerates the lower-bound machinery of
+// Section 4: positive/negative trajectories (Figure 6, Lemmas 6-7), the
+// adversarial placement chain x_0 > x_1 > ... > x_{n-1} > 1 (Figure 7),
+// and experiment E2: the Theorem-2 adversary forcing ratio >= alpha
+// against A(n, f) and against the baselines.
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "adversary/classify.hpp"
+#include "adversary/game.hpp"
+#include "adversary/placements.hpp"
+#include "bench_common.hpp"
+#include "core/algorithm.hpp"
+#include "core/baselines.hpp"
+#include "core/lower_bound.hpp"
+#include "sim/recorder.hpp"
+#include "sim/zigzag.hpp"
+#include "util/csv.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace linesearch;
+
+void figure6() {
+  std::cout << "Figure 6: positive vs negative trajectory for x = 3\n\n";
+  TrajectoryBuilder pos_b;
+  pos_b.start_at(0, 0);
+  pos_b.move_to(3).move_to(-3.5L);
+  const Trajectory positive = std::move(pos_b).build();
+  TrajectoryBuilder neg_b;
+  neg_b.start_at(0, 0);
+  neg_b.move_to(-3).move_to(3.5L);
+  const Trajectory negative = std::move(neg_b).build();
+
+  RenderOptions options;
+  options.max_time = 10;
+  options.max_position = 4;
+  options.rows = 20;
+  options.columns = 41;
+  std::cout << "robot 0 = positive trajectory, robot 1 = negative:\n";
+  std::cout << render_space_time(Fleet({positive, negative}), options)
+            << '\n';
+
+  TablePrinter table({"trajectory", "visit order of {-x,-1,1,x}", "class"});
+  for (const auto& [name, t] :
+       std::vector<std::pair<std::string, const Trajectory*>>{
+           {"solid (positive)", &positive}, {"dotted (negative)", &negative}}) {
+    const std::array<Real, 4> times = checkpoint_times(*t, 3);
+    // Render the order by sorting checkpoint labels by time.
+    struct Entry { Real time; std::string label; };
+    std::vector<Entry> entries{{times[0], "-x"}, {times[1], "-1"},
+                               {times[2], "1"}, {times[3], "x"}};
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry& a, const Entry& b) { return a.time < b.time; });
+    std::vector<std::string> labels;
+    for (const Entry& e : entries) labels.push_back(e.label);
+    table.add_row({name, join(labels, ", "),
+                   to_string(classify_trajectory(*t, 3))});
+  }
+  table.print(std::cout);
+}
+
+void figure7(const int n, const Real alpha) {
+  std::cout << "\nFigure 7: adversary placements for n = " << n
+            << ", alpha = " << fixed(alpha, 4) << "\n\n";
+  TablePrinter table({"i", "x_i = 2^(i+1)/((a-1)^i (a-3))",
+                      "x_i / x_{i+1}"});
+  const std::vector<Real> p = adversary_placements(n, alpha);
+  // p = {1, x_{n-1}, ..., x_0}; print in paper order x_0 first.
+  for (int i = 0; i < n; ++i) {
+    const Real xi = theorem2_placement(n, alpha, i);
+    const std::string ratio =
+        (i + 1 < n)
+            ? fixed(xi / theorem2_placement(n, alpha, i + 1), 4)
+            : "-";
+    table.add_row({cell(static_cast<long long>(i)), fixed(xi, 4), ratio});
+  }
+  table.print(std::cout);
+  std::cout << "Eq. 16 predicts a constant ratio (alpha-1)/2 = "
+            << fixed((alpha - 1) / 2, 4) << "; smallest placement "
+            << fixed(p[1], 4) << " > 1 (Eq. 20).\n";
+}
+
+void experiment_e2() {
+  std::cout << "\nExperiment E2: the Theorem-2 adversary vs strategies "
+               "(forced ratio must reach alpha)\n\n";
+  TablePrinter table({"strategy", "n", "f", "alpha", "forced ratio",
+                      "target chosen", "verdict"});
+  table.set_alignment(0, Align::kLeft);
+
+  Series series{"forced_ratio", {}, {}};
+  int row_index = 0;
+  const auto attack = [&](const SearchStrategy& strategy, const int n,
+                          const int f) {
+    const Real alpha = comfortable_alpha(n, 0.8L);
+    const Fleet fleet =
+        strategy.build_fleet(largest_placement(alpha) * 4);
+    const GameResult game = play_theorem2_game(fleet, f, alpha);
+    const bool forced = game.forced_ratio >= alpha - 1e-9L;
+    table.add_row({strategy.name(), cell(static_cast<long long>(n)),
+                   cell(static_cast<long long>(f)), fixed(alpha, 4),
+                   fixed(game.forced_ratio, 4),
+                   fixed(game.best.target, 3),
+                   forced ? "forced >= alpha" : "ESCAPED (n >= 2f+2)"});
+    series.x.push_back(++row_index);
+    series.y.push_back(game.forced_ratio);
+  };
+
+  for (const auto& [n, f] :
+       std::vector<std::pair<int, int>>{{3, 1}, {3, 2}, {5, 2}, {5, 3},
+                                        {7, 3}}) {
+    const ProportionalAlgorithm algo(n, f);
+    attack(algo, n, f);
+  }
+  attack(GroupDoubling(3, 1), 3, 1);
+  attack(UniformOffsetZigzag(3, 1), 3, 1);
+  // Control: with n >= 2f+2 the bound does not apply and the split wins.
+  attack(TwoGroupSplit(4, 1), 4, 1);
+  table.print(std::cout);
+
+  bench::csv_header("fig6_fig7_forced_ratios");
+  write_series_csv(std::cout, {series});
+}
+
+void body() {
+  figure6();
+  figure7(5, comfortable_alpha(5, 0.9L));
+  experiment_e2();
+}
+
+}  // namespace
+
+int main() {
+  return linesearch::bench::run(
+      "Figures 6 & 7 + Theorem 2",
+      "lower-bound trajectories, placements and the adversarial game",
+      body);
+}

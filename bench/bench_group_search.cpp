@@ -1,0 +1,79 @@
+// bench_group_search — extension study E5: last-arrival ("group search")
+// semantics, after Chrobak-Gasieniec-Gorry-Martin (cited in the paper's
+// §1.2): the search ends when the LAST robot reaches the target.
+//
+// Reproduced shape: moving as a pack (group doubling) achieves exactly
+// the single-robot bound 9 — extra searchers don't help group search —
+// while the paper's A(n, f), which deliberately spreads robots out to
+// optimize first-RELIABLE-arrival, pays heavily under last-arrival.
+// The two objectives pull schedules in opposite directions.
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/algorithm.hpp"
+#include "core/baselines.hpp"
+#include "core/competitive.hpp"
+#include "eval/group_search.hpp"
+#include "util/csv.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace linesearch;
+
+void body() {
+  TablePrinter table({"n", "f", "A(n,f): first-reliable CR",
+                      "A(n,f): group CR", "pack: group CR"});
+  table.set_caption(
+      "First-reliable-arrival vs last-arrival (group) competitive "
+      "ratios, measured");
+
+  Series individual{"first_reliable", {}, {}}, group{"group", {}, {}};
+  int index = 0;
+  for (const auto& [n, f] : std::vector<std::pair<int, int>>{
+           {2, 1}, {3, 1}, {3, 2}, {5, 2}, {5, 3}, {7, 3}}) {
+    const ProportionalAlgorithm algo(n, f);
+    const Fleet fleet = algo.build_fleet(4000);
+    const Real cr_first = measure_cr(fleet, f, {.window_hi = 24}).cr;
+    const Real cr_group = measure_group_cr(fleet, {.window_hi = 24}).cr;
+
+    const GroupDoubling pack(n, f);
+    const Fleet pack_fleet = pack.build_fleet(4000);
+    const Real cr_pack = measure_group_cr(pack_fleet, {.window_hi = 24}).cr;
+
+    table.add_row({cell(static_cast<long long>(n)),
+                   cell(static_cast<long long>(f)), fixed(cr_first, 3),
+                   fixed(cr_group, 3), fixed(cr_pack, 3)});
+    ++index;
+    individual.x.push_back(index);
+    individual.y.push_back(cr_first);
+    group.x.push_back(index);
+    group.y.push_back(cr_group);
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nReading: the pack's group CR is pinned at the cow-path 9 "
+         "(extra searchers never help\n"
+      << "group search, reproducing the cited result), while A(n,f)'s "
+         "group CR exceeds 9 — the\n"
+      << "spread that makes it fault-tolerant for first-reliable-arrival "
+         "is a liability when\n"
+      << "everyone must assemble.  The two-group split is the extreme "
+         "case: its halves never\n"
+      << "meet, so its group CR is infinite.\n";
+
+  bench::csv_header("group_search");
+  write_series_csv(std::cout, {individual, group});
+}
+
+}  // namespace
+
+int main() {
+  return linesearch::bench::run(
+      "Extension E5", "last-arrival (group search) semantics", body);
+}

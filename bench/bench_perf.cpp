@@ -1,0 +1,148 @@
+// bench_perf — google-benchmark microbenchmarks of the library's hot
+// kernels (experiment P1): trajectory construction, first-visit queries,
+// fault-aware detection, empirical CR evaluation, root solving and the
+// adversarial game.  These quantify the cost of the exact-math substrate
+// (no discretization) that all reproductions run on.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "adversary/game.hpp"
+#include "adversary/placements.hpp"
+#include "core/algorithm.hpp"
+#include "core/competitive.hpp"
+#include "core/lower_bound.hpp"
+#include "eval/cr_eval.hpp"
+#include "eval/exact.hpp"
+#include "runtime/world.hpp"
+#include "sim/serialize.hpp"
+#include "sim/zigzag.hpp"
+#include "star/search.hpp"
+
+namespace {
+
+using namespace linesearch;
+
+void BM_ZigzagConstruction(benchmark::State& state) {
+  const Real coverage = static_cast<Real>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(make_origin_zigzag(
+        {.beta = 3, .first_turn = 1, .min_coverage = coverage}));
+  }
+}
+BENCHMARK(BM_ZigzagConstruction)->Arg(100)->Arg(10000)->Arg(1000000);
+
+void BM_FleetConstruction(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const ProportionalAlgorithm algo(n, n - 1);  // beta = 3 family
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algo.build_fleet(1000));
+  }
+}
+BENCHMARK(BM_FleetConstruction)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_FirstVisitQuery(benchmark::State& state) {
+  const Trajectory t = make_origin_zigzag(
+      {.beta = 3, .first_turn = 1, .min_coverage = 1e6L});
+  Real x = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.first_visit_time(x));
+    x = (x < 9e5L) ? x * 1.37L : 1;
+  }
+}
+BENCHMARK(BM_FirstVisitQuery);
+
+void BM_DetectionTime(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int f = n - 1;
+  const ProportionalAlgorithm algo(n, f);
+  const Fleet fleet = algo.build_fleet(10000);
+  Real x = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fleet.detection_time(x, f));
+    x = (x < 9e3L) ? x * 1.37L : 1;
+  }
+}
+BENCHMARK(BM_DetectionTime)->Arg(3)->Arg(11)->Arg(41);
+
+void BM_MeasureCr(benchmark::State& state) {
+  const ProportionalAlgorithm algo(5, 3);
+  const Fleet fleet = algo.build_fleet(2000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(measure_cr(fleet, 3, {.window_hi = 32}));
+  }
+}
+BENCHMARK(BM_MeasureCr);
+
+void BM_Theorem2Root(benchmark::State& state) {
+  int n = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(theorem2_alpha(n));
+    n = (n < 4096) ? n * 2 : 2;
+  }
+}
+BENCHMARK(BM_Theorem2Root);
+
+void BM_ClosedFormCr(benchmark::State& state) {
+  int f = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algorithm_cr(2 * f + 1, f));
+    f = (f < 1000) ? f + 1 : 1;
+  }
+}
+BENCHMARK(BM_ClosedFormCr);
+
+void BM_CertifiedCr(benchmark::State& state) {
+  const ProportionalAlgorithm algo(5, 3);
+  const Fleet fleet = algo.build_fleet(2000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(certified_cr(fleet, 3, {.window_hi = 32}));
+  }
+}
+BENCHMARK(BM_CertifiedCr);
+
+void BM_SerializeRoundTrip(benchmark::State& state) {
+  const ProportionalAlgorithm algo(5, 3);
+  const Fleet fleet = algo.build_fleet(10000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fleet_from_csv(fleet_to_csv(fleet)));
+  }
+}
+BENCHMARK(BM_SerializeRoundTrip);
+
+void BM_OnlineExecution(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        run_proportional_controllers(n, n - 1, 1000));
+  }
+}
+BENCHMARK(BM_OnlineExecution)->Arg(3)->Arg(11);
+
+void BM_AdversarialGame(benchmark::State& state) {
+  const int n = 3, f = 1;
+  const Real alpha = comfortable_alpha(n, 0.8L);
+  const ProportionalAlgorithm algo(n, f);
+  const Fleet fleet = algo.build_fleet(largest_placement(alpha) * 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(play_theorem2_game(fleet, f, alpha));
+  }
+}
+BENCHMARK(BM_AdversarialGame);
+
+void BM_StarDetection(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const StarFleet fleet = star_proportional(m, m + 1, 1.3L, 5000);
+  Real d = 1;
+  int ray = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fleet.detection_time({ray, d}, 1));
+    d = (d < 4e3L) ? d * 1.37L : 1;
+    ray = (ray + 1) % m;
+  }
+}
+BENCHMARK(BM_StarDetection)->Arg(3)->Arg(5);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// bench_random_faults — extension experiment A3: the "price of
+// adversity".  The paper's competitive ratio is worst case over fault
+// sets; this bench samples the fault set uniformly at random (and the
+// target log-uniformly) and reports the resulting ratio distribution
+// next to the exact adversarial value, per (n, f).
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/algorithm.hpp"
+#include "eval/montecarlo.hpp"
+#include "util/csv.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace linesearch;
+
+void body() {
+  TablePrinter table({"n", "f", "mean", "median", "p95", "worst sample",
+                      "adversarial CR", "adversity premium"});
+  table.set_caption(
+      "Detection ratio under RANDOM faults (1000 trials each) vs the "
+      "adversarial worst case");
+
+  Series means{"random_mean", {}, {}}, worst{"adversarial", {}, {}};
+  int index = 0;
+  for (const auto& [n, f] : std::vector<std::pair<int, int>>{
+           {2, 1}, {3, 1}, {3, 2}, {5, 2}, {5, 3}, {7, 3}, {9, 4}}) {
+    const ProportionalAlgorithm algo(n, f);
+    const Fleet fleet = algo.build_fleet(1200);
+    MonteCarloOptions options;
+    options.trials = 1000;
+    options.target_hi = 24;
+    const MonteCarloResult result = random_fault_study(fleet, f, options);
+    table.add_row(
+        {cell(static_cast<long long>(n)), cell(static_cast<long long>(f)),
+         fixed(result.ratio.mean, 3), fixed(result.median, 3),
+         fixed(result.p95, 3), fixed(result.worst_sample, 3),
+         fixed(result.adversarial_cr, 3),
+         fixed(result.adversarial_cr / result.ratio.mean, 2) + "x"});
+    ++index;
+    means.x.push_back(index);
+    means.y.push_back(result.ratio.mean);
+    worst.x.push_back(index);
+    worst.y.push_back(result.adversarial_cr);
+  }
+  table.print(std::cout);
+
+  std::cout << "\nReading: random faults cost far less than adversarial "
+               "ones — the mean ratio sits\n"
+            << "well below the competitive ratio, quantifying how much "
+               "of the bound is adversarial\n"
+            << "pessimism (the paper's model) rather than typical-case "
+               "behaviour.\n";
+
+  bench::csv_header("random_faults");
+  write_series_csv(std::cout, {means, worst});
+}
+
+}  // namespace
+
+int main() {
+  return linesearch::bench::run(
+      "Extension A3", "random-fault Monte-Carlo vs adversarial CR", body);
+}

@@ -1,0 +1,110 @@
+// bench_randomized — extension study A6: what randomization buys.
+//
+// A randomly-scaled doubling schedule has expected competitive ratio
+// 1 + (kappa+1)/ln(kappa), minimized at the Kao-Reif-Tate point
+// kappa ~ 3.5911 with value ~4.5911 — far below the deterministic 9.
+// The bench sweeps kappa to exhibit the curve and its optimum, then
+// applies the same scale randomization to the paper's A(n, f): the
+// worst-case EXPECTATION drops well below Theorem 1's deterministic
+// competitive ratio — quantifying how much a randomized variant of the
+// paper's algorithm could gain (an open direction the paper does not
+// pursue).
+#include <cmath>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/optimize.hpp"
+#include "bench_common.hpp"
+#include "core/competitive.hpp"
+#include "eval/randomized.hpp"
+#include "util/csv.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace linesearch;
+
+void body() {
+  // ---- Single robot: the classic randomized cow-path. ----
+  std::cout << "Single robot, randomly scaled (scale kappa^(2U), "
+               "mirrored by coin flip):\n\n";
+  TablePrinter single({"kappa", "E[CR] measured",
+                       "1 + (kappa+1)/ln kappa", "deterministic CR"});
+  RandomizedOptions options;
+  options.offset_samples = 256;
+  options.phase_samples = 16;
+  Series measured{"expected_cr", {}, {}}, closed{"closed_form", {}, {}};
+  for (const Real kappa :
+       {2.0L, 2.5L, 3.0L, 3.3L, 3.5911L, 3.9L, 4.5L, 5.5L, 7.0L}) {
+    const RandomizedResult result = randomized_single_cr(kappa, options);
+    const Real theory = 1 + (kappa + 1) / std::log(kappa);
+    const Real det = 1 + 2 * kappa * kappa / (kappa - 1);
+    single.add_row({fixed(kappa, 4), fixed(result.mean_expected_cr, 4),
+                    fixed(theory, 4), fixed(det, 4)});
+    measured.x.push_back(kappa);
+    measured.y.push_back(result.mean_expected_cr);
+    closed.x.push_back(kappa);
+    closed.y.push_back(theory);
+  }
+  single.print(std::cout);
+
+  RandomizedOptions fine = options;
+  fine.offset_samples = 512;
+  const MinimizeResult optimum = golden_section(
+      [&](const Real kappa) {
+        return randomized_single_cr(kappa, fine).mean_expected_cr;
+      },
+      2.0L, 6.0L, {.tolerance = 1e-6L, .max_iterations = 60});
+  std::cout << "\nmeasured optimum: kappa = " << fixed(optimum.x, 4)
+            << ", E[CR] = " << fixed(optimum.fx, 4)
+            << "   (Kao-Reif-Tate: kappa = 3.5911, E[CR] = 4.5911; "
+               "deterministic best is 9)\n";
+
+  // ---- The paper's algorithm, randomized. ----
+  std::cout << "\nA(n, f) scaled by r^U (faults adversarial per "
+               "realization):\n\n";
+  TablePrinter prop({"n", "f", "Theorem 1 (deterministic)",
+                     "E[CR] randomized", "gain"});
+  Series prop_series{"randomized_anf", {}, {}};
+  int index = 0;
+  for (const auto& [n, f] : std::vector<std::pair<int, int>>{
+           {2, 1}, {3, 1}, {3, 2}, {5, 2}, {5, 3}, {7, 3}}) {
+    RandomizedOptions prop_options;
+    prop_options.offset_samples = 128;
+    prop_options.phase_samples = 16;
+    const RandomizedResult result =
+        randomized_proportional_cr(n, f, prop_options);
+    const Real det = algorithm_cr(n, f);
+    prop.add_row({cell(static_cast<long long>(n)),
+                  cell(static_cast<long long>(f)), fixed(det, 4),
+                  fixed(result.mean_expected_cr, 4),
+                  fixed(det / result.mean_expected_cr, 2) + "x"});
+    ++index;
+    prop_series.x.push_back(index);
+    prop_series.y.push_back(result.mean_expected_cr);
+  }
+  prop.print(std::cout);
+
+  std::cout
+      << "\nReading: randomizing the schedule scale cuts the worst-case "
+         "EXPECTED ratio well below\n"
+      << "the deterministic competitive ratio for every (n, f) — the "
+         "same lever that takes the\n"
+      << "single robot from 9 to 4.59 also helps the faulty-robot "
+         "schedules.  Randomized faulty\n"
+      << "search is an open direction the paper leaves untouched.\n";
+
+  bench::csv_header("randomized");
+  write_series_csv(std::cout, {measured, closed, prop_series});
+}
+
+}  // namespace
+
+int main() {
+  return linesearch::bench::run(
+      "Extension A6", "randomized schedules vs deterministic bounds",
+      body);
+}

@@ -1,0 +1,111 @@
+// bench_star — extension study E6: search on m rays ("star search"),
+// the classic generalization of the line (m = 2), with and without
+// faulty robots.
+//
+// Single robot: the geometric round-robin sweep has worst ratio
+// 1 + 2 kappa^m/(kappa-1), minimized at kappa* = m/(m-1) with the
+// textbook value 1 + 2 m^m/(m-1)^(m-1) — reproduced by measurement.
+//
+// Faulty robots on a star is the paper's model transplanted to m rays —
+// territory the paper leaves open.  The global-geometric-grid schedule
+// (excursion g: depth rho^g, ray g mod m, robot g mod n) is swept over
+// rho; the table reports the best measured competitive ratio per
+// (m, n, f) next to the single-robot optimum for scale.
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "star/search.hpp"
+#include "util/csv.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace linesearch;
+
+void single_robot() {
+  std::cout << "Single robot on m rays (geometric round-robin sweep):\n\n";
+  TablePrinter table({"m", "kappa* = m/(m-1)",
+                      "closed form 1+2m^m/(m-1)^(m-1)", "measured CR"});
+  Series closed{"closed", {}, {}}, measured{"measured", {}, {}};
+  for (int m = 2; m <= 6; ++m) {
+    const Real kappa = star_optimal_kappa(m);
+    const StarFleet fleet({star_sweep(m, kappa, 1, 20000)});
+    const Real cr = star_cr(fleet, m, 0, 16, 160).cr;
+    table.add_row({cell(static_cast<long long>(m)), fixed(kappa, 4),
+                   fixed(star_optimal_cr(m), 4), fixed(cr, 4)});
+    closed.x.push_back(m);
+    closed.y.push_back(star_optimal_cr(m));
+    measured.x.push_back(m);
+    measured.y.push_back(cr);
+  }
+  table.print(std::cout);
+  std::cout << "(measured approaches the closed form from below — the "
+               "sup is a limit, as on the line)\n\n";
+
+  bench::csv_header("star_single");
+  write_series_csv(std::cout, {closed, measured});
+}
+
+void faulty_robots() {
+  std::cout << "\nFaulty robots on m rays (global geometric grid, rho "
+               "swept; faults adversarial):\n\n";
+  TablePrinter table({"m", "n", "f", "best rho", "best measured CR",
+                      "single-robot optimum (f=0)"});
+  Series best_cr{"faulty_star_cr", {}, {}};
+  int index = 0;
+  for (const auto& [m, n, f] : std::vector<std::tuple<int, int, int>>{
+           {2, 3, 1}, {2, 5, 2}, {3, 4, 1}, {3, 5, 1}, {3, 7, 2},
+           {4, 5, 1}, {4, 7, 1}, {5, 6, 1}}) {
+    Real best = kInfinity, best_rho = 0;
+    for (const Real rho :
+         {1.15L, 1.25L, 1.35L, 1.5L, 1.7L, 2.0L, 2.4L, 3.0L}) {
+      const StarFleet fleet = star_proportional(m, n, rho, 8000);
+      const Real cr = star_cr(fleet, m, f, 8, 64).cr;
+      if (cr < best) {
+        best = cr;
+        best_rho = rho;
+      }
+    }
+    table.add_row({cell(static_cast<long long>(m)),
+                   cell(static_cast<long long>(n)),
+                   cell(static_cast<long long>(f)), fixed(best_rho, 2),
+                   fixed(best, 3), fixed(star_optimal_cr(m), 3)});
+    ++index;
+    best_cr.x.push_back(index);
+    best_cr.y.push_back(best);
+  }
+  table.print(std::cout);
+  std::cout
+      << "\nReading: as on the line, parallelism buys fault tolerance "
+         "far below the single-robot\n"
+      << "bound whenever enough robots serve each ray (n/gcd(n,m) >= "
+         "f+1) — and the m = 2 rows\n"
+      << "land on the paper's own Theorem-1 values (5.23 for (3,1), "
+         "4.43 for (5,2)), a strong\n"
+      << "cross-check.  The best per-excursion growth rho SHRINKS as m "
+         "grows (each ray is served\n"
+      << "less often, so the global grid must stay denser).  Optimal "
+         "schedules and tight bounds\n"
+      << "for faulty star search are open; these are baseline "
+         "measurements for that question.\n";
+
+  bench::csv_header("star_faulty");
+  write_series_csv(std::cout, {best_cr});
+}
+
+void body() {
+  single_robot();
+  faulty_robots();
+}
+
+}  // namespace
+
+int main() {
+  return linesearch::bench::run(
+      "Extension E6", "m-ray star search, classic and faulty", body);
+}

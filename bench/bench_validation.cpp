@@ -1,0 +1,73 @@
+// bench_validation — experiment E1: theory vs exact simulation for every
+// (n, f) pair with f < n <= 9, plus the trivial regime.  For each pair
+// the paper's best strategy is materialized, its competitive ratio is
+// measured by the exact evaluator, and the relative gap to the closed
+// form (Theorem 1 / the trivial 1) is reported.  Gaps are expected at
+// the 1e-9 level (the supremum is probed as a right-limit).
+#include <algorithm>
+#include <iostream>
+#include <utility>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "eval/validation.hpp"
+#include "util/csv.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace linesearch;
+
+void body() {
+  TablePrinter table({"n", "f", "strategy", "theory CR", "measured CR",
+                      "probe gap", "certified CR", "exact gap",
+                      "lower bound"});
+  table.set_alignment(2, Align::kLeft);
+
+  std::vector<std::pair<int, int>> pairs;
+  for (int n = 2; n <= 9; ++n) {
+    for (int f = 1; f < n; ++f) pairs.emplace_back(n, f);
+  }
+
+  Series theory{"theory", {}, {}}, measured{"measured", {}, {}};
+  Real worst_gap = 0;
+  Real worst_exact_gap = 0;
+  int index = 0;
+  for (const ValidationRow& row :
+       validate_grid(pairs, {.window_hi = 16, .extent_factor = 32})) {
+    table.add_row({cell(static_cast<long long>(row.n)),
+                   cell(static_cast<long long>(row.f)), row.strategy,
+                   fixed(row.theory_cr, 6), fixed(row.measured_cr, 6),
+                   scientific(row.relative_gap, 2),
+                   fixed(row.certified_cr, 9),
+                   scientific(row.certified_gap, 2),
+                   fixed(row.lower_bound, 4)});
+    worst_gap = std::max(worst_gap, row.relative_gap);
+    worst_exact_gap = std::max(worst_exact_gap, row.certified_gap);
+    theory.x.push_back(++index);
+    theory.y.push_back(row.theory_cr);
+    measured.x.push_back(index);
+    measured.y.push_back(row.measured_cr);
+  }
+  table.print(std::cout);
+  std::cout << "\nworst probe-method gap over " << index
+            << " configurations: " << scientific(worst_gap, 3)
+            << (worst_gap < 1e-6L ? "  (PASS: < 1e-6)"
+                                  : "  (FAIL: >= 1e-6)")
+            << "\nworst certified-method gap: "
+            << scientific(worst_exact_gap, 3)
+            << (worst_exact_gap < 1e-12L ? "  (PASS: < 1e-12)"
+                                         : "  (FAIL: >= 1e-12)")
+            << '\n';
+
+  bench::csv_header("validation");
+  write_series_csv(std::cout, {theory, measured});
+}
+
+}  // namespace
+
+int main() {
+  return linesearch::bench::run(
+      "Experiment E1", "Theorem 1 closed forms vs exact simulation", body);
+}

@@ -1,0 +1,58 @@
+// fleet_report — a capacity-planning view: for a fleet of n robots, how
+// does the guaranteed search performance degrade as the fault budget f
+// grows?  Prints, for each f < n, the regime, the strategy the paper
+// prescribes, its proven competitive ratio, the measured value from the
+// exact simulator, and the best lower bound.
+//
+//   usage: fleet_report [n]      (default: 8)
+#include <cstdlib>
+#include <iostream>
+
+#include "core/competitive.hpp"
+#include "core/lower_bound.hpp"
+#include "eval/validation.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+using namespace linesearch;
+
+int main(int argc, char** argv) {
+  const int n = (argc == 2) ? std::atoi(argv[1]) : 8;
+  try {
+    std::cout << "Fault-tolerance report for a fleet of " << n
+              << " unit-speed robots searching a line\n\n";
+
+    TablePrinter table({"f", "regime", "strategy", "proven CR",
+                        "measured CR", "lower bound", "optimal?"});
+    table.set_alignment(1, Align::kLeft);
+    table.set_alignment(2, Align::kLeft);
+
+    for (int f = 0; f < n; ++f) {
+      const bool trivial = n >= 2 * f + 2;
+      const ValidationRow row =
+          validate_pair(n, f, {.window_hi = 12, .extent_factor = 32});
+      const bool tight =
+          approx_equal(row.theory_cr, row.lower_bound, 1e-6L);
+      table.add_row({cell(static_cast<long long>(f)),
+                     trivial ? "n >= 2f+2 (split)" : "f < n < 2f+2",
+                     row.strategy, fixed(row.theory_cr, 4),
+                     fixed(row.measured_cr, 4), fixed(row.lower_bound, 4),
+                     tight ? "yes (tight)" : "gap remains"});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nHow to read this:\n"
+              << "  * up to f = " << (n - 2) / 2
+              << " faults cost nothing (CR 1, two groups of f+1);\n"
+              << "  * beyond that the proportional schedule takes over, "
+                 "degrading smoothly to the\n"
+              << "    cow-path bound 9 at f = n-1 (where it is provably "
+                 "optimal);\n"
+              << "  * 'gap remains' rows are pinched between Theorem 1 "
+                 "and Theorem 2.\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

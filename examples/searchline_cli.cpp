@@ -1,0 +1,152 @@
+// searchline_cli — a multi-tool command line for the library.
+//
+//   searchline_cli bounds <n> <f>
+//       closed-form upper/lower bounds and schedule parameters
+//   searchline_cli simulate <n> <f> <target>
+//       worst-case (adversarial-fault) search, narrated event log
+//   searchline_cli table <n_max>
+//       Table-1-style grid for all f < n <= n_max
+//   searchline_cli export <n> <f> <extent>
+//       fleet waypoints as CSV on stdout (read back with `evaluate`)
+//   searchline_cli evaluate <f> < fleet.csv
+//       measure the competitive ratio of ANY fleet from waypoint CSV
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/competitive.hpp"
+#include "core/lower_bound.hpp"
+#include "core/strategy.hpp"
+#include "eval/cr_eval.hpp"
+#include "sim/engine.hpp"
+#include "sim/faults.hpp"
+#include "sim/recorder.hpp"
+#include "sim/serialize.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace linesearch;
+
+int usage() {
+  std::cerr
+      << "usage:\n"
+      << "  searchline_cli bounds <n> <f>\n"
+      << "  searchline_cli simulate <n> <f> <target>\n"
+      << "  searchline_cli table <n_max>\n"
+      << "  searchline_cli export <n> <f> <extent>\n"
+      << "  searchline_cli evaluate <f>    (fleet CSV on stdin)\n";
+  return 2;
+}
+
+int cmd_bounds(const int n, const int f) {
+  std::cout << "n = " << n << ", f = " << f << "\n"
+            << "upper bound (best known): " << fixed(best_known_cr(n, f), 6)
+            << "\n"
+            << "lower bound (best proved): "
+            << fixed(best_lower_bound(n, f), 6) << "\n";
+  if (in_proportional_regime(n, f)) {
+    std::cout << "A(n,f): beta* = " << fixed(optimal_beta(n, f), 6)
+              << ", expansion factor "
+              << fixed(optimal_expansion_factor(n, f), 6) << "\n";
+  } else {
+    std::cout << "regime: n >= 2f+2 — two-group split is optimal (CR 1)\n";
+  }
+  return 0;
+}
+
+int cmd_simulate(const int n, const int f, const Real target) {
+  const StrategyPtr strategy = make_optimal_strategy(n, f);
+  const Fleet fleet =
+      strategy->build_fleet(std::max(Real{64}, 32 * std::fabs(target)));
+  AdversarialFaults adversary;
+  const std::vector<bool> faults = adversary.choose_faults(fleet, target, f);
+  EventLog log;
+  const Engine engine(fleet);
+  const SimulationOutcome outcome = engine.run(target, faults, &log);
+  std::cout << "strategy " << strategy->name() << ", target "
+            << fixed(target, 4) << ", adversarial faults\n\n"
+            << log.to_text() << "\n";
+  if (!outcome.detected) {
+    std::cout << "not detected (extent too small)\n";
+    return 1;
+  }
+  std::cout << "ratio " << fixed(outcome.detection_time / std::fabs(target), 4)
+            << " vs proven "
+            << fixed(strategy->theoretical_cr().value_or(kNaN), 4) << "\n";
+  return 0;
+}
+
+int cmd_table(const int n_max) {
+  TablePrinter table({"n", "f", "upper", "lower", "expansion"});
+  for (int n = 2; n <= n_max; ++n) {
+    for (int f = 1; f < n; ++f) {
+      table.add_row({cell(static_cast<long long>(n)),
+                     cell(static_cast<long long>(f)),
+                     fixed(best_known_cr(n, f), 4),
+                     fixed(best_lower_bound(n, f), 4),
+                     in_proportional_regime(n, f)
+                         ? fixed(optimal_expansion_factor(n, f), 3)
+                         : "-"});
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_export(const int n, const int f, const Real extent) {
+  const StrategyPtr strategy = make_optimal_strategy(n, f);
+  write_fleet_csv(std::cout, strategy->build_fleet(extent));
+  return 0;
+}
+
+int cmd_evaluate(const int f) {
+  const Fleet fleet = read_fleet_csv(std::cin);
+  // Probe up to a quarter of the fleet's reach so the (f+1)-st visit of
+  // every probe still falls inside the trajectories.
+  Real reach = fleet.robot(0).max_abs_position();
+  for (RobotId id = 1; id < fleet.size(); ++id) {
+    reach = std::min(reach, fleet.robot(id).max_abs_position());
+  }
+  CrEvalOptions options;
+  options.window_hi = std::max(Real{2}, reach / 32);
+  options.require_finite = false;
+  const CrEvalResult result = measure_cr(fleet, f, options);
+  std::cout << "fleet: " << fleet.size() << " robots, horizon "
+            << fixed(fleet.horizon(), 2) << "\n"
+            << "measured CR over |x| in [1, " << fixed(options.window_hi, 2)
+            << "] with f = " << f << ": " << fixed(result.cr, 6)
+            << " (argmax x = " << fixed(result.argmax, 4) << ")\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "bounds" && argc == 4) {
+      return cmd_bounds(std::atoi(argv[2]), std::atoi(argv[3]));
+    }
+    if (command == "simulate" && argc == 5) {
+      return cmd_simulate(std::atoi(argv[2]), std::atoi(argv[3]),
+                          static_cast<Real>(std::atof(argv[4])));
+    }
+    if (command == "table" && argc == 3) {
+      return cmd_table(std::atoi(argv[2]));
+    }
+    if (command == "export" && argc == 5) {
+      return cmd_export(std::atoi(argv[2]), std::atoi(argv[3]),
+                        static_cast<Real>(std::atof(argv[4])));
+    }
+    if (command == "evaluate" && argc == 3) {
+      return cmd_evaluate(std::atoi(argv[2]));
+    }
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,66 @@
+#include "adversary/classify.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace linesearch {
+
+std::string to_string(const TrajectoryClass c) {
+  switch (c) {
+    case TrajectoryClass::kPositive:
+      return "positive";
+    case TrajectoryClass::kNegative:
+      return "negative";
+    case TrajectoryClass::kNeither:
+      return "neither";
+    case TrajectoryClass::kIncomplete:
+      return "incomplete";
+  }
+  return "unknown";
+}
+
+std::array<Real, 4> checkpoint_times(const Trajectory& robot, const Real x) {
+  expects(x > 1, "checkpoint_times: x must exceed 1");
+  std::array<Real, 4> times{};
+  const std::array<Real, 4> points{-x, -1, 1, x};
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const std::optional<Real> visit = robot.first_visit_time(points[i]);
+    times[i] = visit ? *visit : kInfinity;
+  }
+  return times;
+}
+
+TrajectoryClass classify_trajectory(const Trajectory& robot, const Real x) {
+  const std::array<Real, 4> t = checkpoint_times(robot, x);
+  const Real t_neg_x = t[0], t_neg_1 = t[1], t_pos_1 = t[2], t_pos_x = t[3];
+  for (const Real time : t) {
+    if (std::isinf(time)) return TrajectoryClass::kIncomplete;
+  }
+  if (t_pos_1 < t_pos_x && t_pos_x < t_neg_1 && t_neg_1 < t_neg_x) {
+    return TrajectoryClass::kPositive;
+  }
+  if (t_neg_1 < t_neg_x && t_neg_x < t_pos_1 && t_pos_1 < t_pos_x) {
+    return TrajectoryClass::kNegative;
+  }
+  return TrajectoryClass::kNeither;
+}
+
+bool visits_both_early(const Trajectory& robot, const Real x) {
+  expects(x > 1, "visits_both_early: x must exceed 1");
+  const std::optional<Real> pos = robot.first_visit_time(x);
+  const std::optional<Real> neg = robot.first_visit_time(-x);
+  if (!pos || !neg) return false;
+  const Real deadline = 3 * x + 2;
+  return *pos < deadline && *neg < deadline;
+}
+
+Real both_visited_time(const Trajectory& robot, const Real y) {
+  const std::optional<Real> pos = robot.first_visit_time(y);
+  const std::optional<Real> neg = robot.first_visit_time(-y);
+  if (!pos || !neg) return kInfinity;
+  return std::max(*pos, *neg);
+}
+
+}  // namespace linesearch

@@ -1,0 +1,46 @@
+// adversary/classify.hpp — positive/negative trajectory classification
+// (Section 4, Figure 6, Lemmas 6-7).
+//
+// For x > 1, a robot has a *positive trajectory for x* if its first
+// visits to {-x, -1, 1, x} occur in the order 1, x, -1, -x, and a
+// *negative trajectory for x* if they occur in the order -1, -x, 1, x.
+// Lemma 6: a robot visiting both ±x strictly before time 3x+2 must follow
+// one of the two.  Lemma 7: a robot following either one for x cannot
+// reach both ±y before time 2x+y (y >= 1).
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+
+#include "sim/trajectory.hpp"
+#include "util/real.hpp"
+
+namespace linesearch {
+
+/// Classification result.
+enum class TrajectoryClass {
+  kPositive,   ///< first visits ordered 1, x, -1, -x
+  kNegative,   ///< first visits ordered -1, -x, 1, x
+  kNeither,    ///< visits all four points in some other order
+  kIncomplete, ///< misses at least one of {-x, -1, 1, x}
+};
+
+[[nodiscard]] std::string to_string(TrajectoryClass c);
+
+/// First-visit times to the four checkpoints of the definition, in the
+/// fixed order [-x, -1, 1, x]; kInfinity where the robot never arrives.
+[[nodiscard]] std::array<Real, 4> checkpoint_times(const Trajectory& robot,
+                                                   Real x);
+
+/// Classify `robot` with respect to x > 1.
+[[nodiscard]] TrajectoryClass classify_trajectory(const Trajectory& robot,
+                                                  Real x);
+
+/// Lemma 6 premise: does the robot visit both ±x strictly before 3x+2?
+[[nodiscard]] bool visits_both_early(const Trajectory& robot, Real x);
+
+/// Time by which the robot has visited BOTH of ±y (kInfinity if never).
+[[nodiscard]] Real both_visited_time(const Trajectory& robot, Real y);
+
+}  // namespace linesearch

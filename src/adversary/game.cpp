@@ -1,0 +1,63 @@
+#include "adversary/game.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "adversary/placements.hpp"
+#include "core/lower_bound.hpp"
+#include "sim/faults.hpp"
+#include "util/error.hpp"
+
+namespace linesearch {
+
+GameResult play_theorem2_game(const Fleet& fleet, const int f,
+                              const Real alpha, const GameOptions& options) {
+  expects(f >= 0, "game: f must be >= 0");
+  const int n = static_cast<int>(fleet.size());
+  const std::vector<Real> magnitudes = adversary_placements(n, alpha);
+
+  std::vector<Real> targets;
+  for (const Real m : magnitudes) {
+    targets.push_back(m);
+    targets.push_back(-m);
+  }
+  if (options.attack_turning_points) {
+    const Real x0 = largest_placement(alpha);
+    for (const int side : {+1, -1}) {
+      for (const Real magnitude : fleet.turning_positions(side)) {
+        const Real probe = magnitude * (1 + tol::kLimitProbe);
+        if (probe >= 1 && probe <= x0) {
+          targets.push_back(static_cast<Real>(side) * probe);
+        }
+      }
+    }
+  }
+
+  AdversarialFaults adversary;
+  GameResult result;
+  result.forced_ratio = 0;
+  bool first = true;
+  for (const Real target : targets) {
+    PlacementOutcome outcome;
+    outcome.target = target;
+    outcome.faults = adversary.choose_faults(fleet, target, f);
+    outcome.detection_time =
+        fleet.detection_time_with_faults(target, outcome.faults);
+    outcome.ratio = outcome.detection_time / std::fabs(target);
+    if (first || outcome.ratio > result.forced_ratio) {
+      result.forced_ratio = outcome.ratio;
+      result.best = outcome;
+      first = false;
+    }
+    if (options.keep_outcomes) result.outcomes.push_back(std::move(outcome));
+  }
+  return result;
+}
+
+Real comfortable_alpha(const int n, const Real shrink) {
+  expects(shrink > 0 && shrink <= 1, "comfortable_alpha: shrink in (0,1]");
+  const Real alpha_star = theorem2_alpha(n);
+  return 3 + shrink * (alpha_star - 3);
+}
+
+}  // namespace linesearch

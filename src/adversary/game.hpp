@@ -1,0 +1,64 @@
+// adversary/game.hpp — play the Theorem-2 adversary against an arbitrary
+// fleet.
+//
+// The adversary inspects the fleet's trajectories, considers every signed
+// placement ±1, ±x_{n-1}, ..., ±x_0 (plus, optionally, the fleet's own
+// turning-point discontinuities), and for each placement makes faulty the
+// f robots that would otherwise detect earliest.  The result is the best
+// ratio the adversary can force.  Theorem 2 guarantees
+// forced ratio >= alpha against EVERY algorithm with n < 2f+2 robots; the
+// game demonstrates the bound constructively against A(n,f), the
+// baselines, and anything a user plugs in.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/fleet.hpp"
+#include "util/real.hpp"
+
+namespace linesearch {
+
+/// One inspected placement.
+struct PlacementOutcome {
+  Real target = 0;            ///< signed target position
+  Real detection_time = 0;    ///< worst-case (adversarial-fault) detection
+  Real ratio = 0;             ///< detection_time / |target|
+  std::vector<bool> faults;   ///< the fault set the adversary chose
+};
+
+/// Result of a full adversarial game.
+struct GameResult {
+  Real forced_ratio = 0;                   ///< max ratio over placements
+  PlacementOutcome best;                   ///< the winning placement
+  std::vector<PlacementOutcome> outcomes;  ///< all placements, in order
+};
+
+/// Game options.
+struct GameOptions {
+  /// Also attack just past the fleet's own turning points (the K(x)
+  /// discontinuities), not only the Theorem-2 placements.  This usually
+  /// forces a strictly larger ratio (up to the strategy's true CR).
+  bool attack_turning_points = false;
+
+  /// Keep per-placement outcomes (can be large with
+  /// attack_turning_points).
+  bool keep_outcomes = true;
+};
+
+/// Run the adversary at threat level alpha against `fleet` with fault
+/// budget f.  Requires the Theorem-2 feasibility condition for
+/// (n = fleet.size(), alpha) and that the fleet was built to extent >=
+/// largest_placement(alpha) (detection times at un-covered placements
+/// would be infinite, which the game reports as an immediate win with
+/// ratio kInfinity).
+[[nodiscard]] GameResult play_theorem2_game(const Fleet& fleet, int f,
+                                            Real alpha,
+                                            const GameOptions& options = {});
+
+/// Threat level used by demos/tests: a fraction `shrink` of the way from
+/// 3 to theorem2_alpha(n) (shrink in (0,1]; smaller values keep
+/// largest_placement — and hence the required fleet extent — moderate).
+[[nodiscard]] Real comfortable_alpha(int n, Real shrink = 0.9L);
+
+}  // namespace linesearch

@@ -1,0 +1,38 @@
+#include "adversary/placements.hpp"
+
+#include <algorithm>
+
+#include "core/lower_bound.hpp"
+#include "util/error.hpp"
+
+namespace linesearch {
+
+bool placements_feasible(const int n, const Real alpha) {
+  expects(n >= 1, "placements_feasible: n must be >= 1");
+  if (alpha <= 3) return false;
+  // Log-domain residual <= 0 means (alpha-1)^n (alpha-3) <= 2^(n+1).
+  return theorem2_residual(n, alpha) <= 0;
+}
+
+std::vector<Real> adversary_placements(const int n, const Real alpha) {
+  expects(n >= 1, "adversary_placements: n must be >= 1");
+  expects(alpha > 3, "adversary_placements: alpha must exceed 3");
+  expects(placements_feasible(n, alpha),
+          "adversary_placements: (alpha-1)^n (alpha-3) must be <= 2^(n+1)");
+  std::vector<Real> magnitudes;
+  magnitudes.reserve(static_cast<std::size_t>(n) + 1);
+  magnitudes.push_back(1);
+  for (int i = n - 1; i >= 0; --i) {
+    magnitudes.push_back(theorem2_placement(n, alpha, i));
+  }
+  ensures(std::is_sorted(magnitudes.begin(), magnitudes.end()),
+          "placements must be increasing (Eq. 20)");
+  return magnitudes;
+}
+
+Real largest_placement(const Real alpha) {
+  expects(alpha > 3, "largest_placement: alpha must exceed 3");
+  return 2 / (alpha - 3);
+}
+
+}  // namespace linesearch

@@ -1,0 +1,33 @@
+// adversary/placements.hpp — the adversarial target placements of
+// Theorem 2's proof (Figure 7).
+//
+// For a chosen alpha > 3 with (alpha-1)^n (alpha-3) <= 2^(n+1), the
+// adversary threatens to place the target at one of
+//   {±1, ±x_{n-1}, ..., ±x_0},   x_i = 2^(i+1) / ((alpha-1)^i (alpha-3)),
+// which satisfy x_i = (alpha-1)/2 * x_{i+1} (Eq. 16) and
+// x_0 > x_1 > ... > x_{n-1} > 1 (Eqns 19-20).  Any algorithm that fails
+// to give f+1 distinct visits to some ±x_i (or ±1) by time alpha*x_i is
+// immediately lost; Theorem 2 shows no algorithm with n < 2f+2 robots can
+// defend all placements.
+#pragma once
+
+#include <vector>
+
+#include "util/real.hpp"
+
+namespace linesearch {
+
+/// The full placement set for n robots at threat level alpha:
+/// candidate magnitudes {1, x_{n-1}, ..., x_0}, sorted increasing.
+/// Requires alpha > 3 and the Theorem-2 feasibility condition
+/// (alpha-1)^n (alpha-3) <= 2^(n+1); throws PreconditionError otherwise.
+[[nodiscard]] std::vector<Real> adversary_placements(int n, Real alpha);
+
+/// Check Theorem 2's feasibility condition for (n, alpha).
+[[nodiscard]] bool placements_feasible(int n, Real alpha);
+
+/// Largest placement magnitude x_0 = 2/(alpha-3); the fleet under attack
+/// must be built to at least this extent for the game to be meaningful.
+[[nodiscard]] Real largest_placement(Real alpha);
+
+}  // namespace linesearch

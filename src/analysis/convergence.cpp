@@ -1,0 +1,59 @@
+#include "analysis/convergence.hpp"
+
+#include <cmath>
+
+#include "analysis/series.hpp"
+#include "util/error.hpp"
+
+namespace linesearch {
+
+std::vector<Real> aitken_pass(const std::vector<Real>& sequence) {
+  expects(sequence.size() >= 3, "aitken_pass: need at least 3 terms");
+  std::vector<Real> out;
+  out.reserve(sequence.size() - 2);
+  for (std::size_t i = 0; i + 2 < sequence.size(); ++i) {
+    const Real d1 = sequence[i + 1] - sequence[i];
+    const Real d2 = sequence[i + 2] - 2 * sequence[i + 1] + sequence[i];
+    if (d2 == 0) {
+      out.push_back(sequence[i + 2]);
+    } else {
+      out.push_back(sequence[i] - d1 * d1 / d2);
+    }
+  }
+  return out;
+}
+
+Real aitken_limit(std::vector<Real> sequence, const int rounds) {
+  expects(sequence.size() >= 3, "aitken_limit: need at least 3 terms");
+  expects(rounds >= 1, "aitken_limit: rounds must be >= 1");
+  for (int round = 0; round < rounds && sequence.size() >= 3; ++round) {
+    sequence = aitken_pass(sequence);
+  }
+  return sequence.back();
+}
+
+Real richardson_step(const Real coarse, const Real fine, const Real order) {
+  expects(order > 0, "richardson_step: order must be positive");
+  const Real factor = std::pow(Real{2}, order);
+  return (factor * fine - coarse) / (factor - 1);
+}
+
+Real richardson_limit(const std::vector<Real>& ladder,
+                      const Real first_order) {
+  expects(ladder.size() >= 2, "richardson_limit: need at least 2 terms");
+  expects(first_order > 0, "richardson_limit: order must be positive");
+  std::vector<Real> column = ladder;
+  Real order = first_order;
+  while (column.size() > 1) {
+    std::vector<Real> next;
+    next.reserve(column.size() - 1);
+    for (std::size_t i = 0; i + 1 < column.size(); ++i) {
+      next.push_back(richardson_step(column[i], column[i + 1], order));
+    }
+    column = std::move(next);
+    order += 1;
+  }
+  return column.front();
+}
+
+}  // namespace linesearch

@@ -1,0 +1,38 @@
+// analysis/convergence.hpp — sequence-limit acceleration.
+//
+// The asymptotic experiments (E3, Figure 5 right) compare finite-n
+// values against their n -> infinity limits.  These helpers accelerate
+// the finite sequences so tests can pin the limits much more tightly
+// than the raw tail allows:
+//   * Aitken delta-squared, iterated — general-purpose;
+//   * Richardson extrapolation for sequences indexed by n, 2n, 4n, ...
+//     with a known leading error order p (s_n = L + c/n^p + o(1/n^p)).
+#pragma once
+
+#include <vector>
+
+#include "util/real.hpp"
+
+namespace linesearch {
+
+/// One Aitken delta-squared pass: maps s_0..s_{m-1} to m-2 accelerated
+/// terms.  Requires at least 3 terms; terms where the second difference
+/// vanishes are passed through unchanged.
+[[nodiscard]] std::vector<Real> aitken_pass(const std::vector<Real>& sequence);
+
+/// Iterated Aitken: apply passes (at most `rounds`) while at least 3
+/// terms remain; returns the last term of the final pass — the best
+/// available limit estimate.
+[[nodiscard]] Real aitken_limit(std::vector<Real> sequence, int rounds = 3);
+
+/// Richardson step for a doubling ladder: given s(n) and s(2n) with
+/// error ~ c/n^p, returns the estimate with the 1/n^p term eliminated:
+/// (2^p * s(2n) - s(n)) / (2^p - 1).
+[[nodiscard]] Real richardson_step(Real coarse, Real fine, Real order = 1);
+
+/// Full Richardson tableau on a doubling ladder s(n0), s(2 n0), ...;
+/// assumes error orders p, p+1, ... and returns the apex estimate.
+[[nodiscard]] Real richardson_limit(const std::vector<Real>& ladder,
+                                    Real first_order = 1);
+
+}  // namespace linesearch

@@ -1,0 +1,63 @@
+#include "analysis/grid.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace linesearch {
+
+std::vector<Real> linspace(const Real lo, const Real hi, const int count) {
+  expects(count >= 1, "linspace: count must be >= 1");
+  if (count == 1) {
+    expects(lo == hi, "linspace: count==1 requires lo==hi");
+    return {lo};
+  }
+  expects(lo < hi, "linspace: need lo < hi");
+  std::vector<Real> out;
+  out.reserve(static_cast<std::size_t>(count));
+  const Real step = (hi - lo) / static_cast<Real>(count - 1);
+  for (int i = 0; i < count; ++i) {
+    out.push_back(i == count - 1 ? hi : lo + step * static_cast<Real>(i));
+  }
+  return out;
+}
+
+std::vector<Real> geomspace(const Real lo, const Real hi, const int count) {
+  expects(lo > 0 && hi > 0, "geomspace: endpoints must be positive");
+  expects(count >= 2, "geomspace: count must be >= 2");
+  expects(lo < hi, "geomspace: need lo < hi");
+  std::vector<Real> out;
+  out.reserve(static_cast<std::size_t>(count));
+  const Real log_lo = std::log(lo);
+  const Real log_hi = std::log(hi);
+  const Real step = (log_hi - log_lo) / static_cast<Real>(count - 1);
+  for (int i = 0; i < count; ++i) {
+    out.push_back(i == count - 1
+                      ? hi
+                      : std::exp(log_lo + step * static_cast<Real>(i)));
+  }
+  return out;
+}
+
+std::vector<int> int_range(const int lo, const int hi) {
+  expects(lo <= hi, "int_range: need lo <= hi");
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(hi - lo + 1));
+  for (int i = lo; i <= hi; ++i) out.push_back(i);
+  return out;
+}
+
+std::vector<Real> open_linspace(const Real lo, const Real hi,
+                                const int count) {
+  expects(count >= 1, "open_linspace: count must be >= 1");
+  expects(lo < hi, "open_linspace: need lo < hi");
+  std::vector<Real> out;
+  out.reserve(static_cast<std::size_t>(count));
+  const Real step = (hi - lo) / static_cast<Real>(count + 1);
+  for (int i = 1; i <= count; ++i) {
+    out.push_back(lo + step * static_cast<Real>(i));
+  }
+  return out;
+}
+
+}  // namespace linesearch

@@ -1,0 +1,31 @@
+// analysis/grid.hpp — parameter sweep grids.
+//
+// Figure reproductions sweep n (Fig. 5 left), a = n/f (Fig. 5 right), beta
+// (ablation A1) and target positions (validation E1).  These helpers build
+// the 1-D grids; logspace/geomspace matter because turning points grow
+// geometrically, so uniform grids would under-sample near the origin.
+#pragma once
+
+#include <vector>
+
+#include "util/real.hpp"
+
+namespace linesearch {
+
+/// `count` evenly spaced points from lo to hi inclusive (count >= 2),
+/// or the single point lo when count == 1 and lo == hi.
+[[nodiscard]] std::vector<Real> linspace(Real lo, Real hi, int count);
+
+/// `count` points geometrically spaced from lo to hi inclusive
+/// (lo, hi > 0).
+[[nodiscard]] std::vector<Real> geomspace(Real lo, Real hi, int count);
+
+/// Integers lo..hi inclusive.
+[[nodiscard]] std::vector<int> int_range(int lo, int hi);
+
+/// `count` points evenly spaced strictly inside (lo, hi) — excludes both
+/// endpoints.  Used for open-interval sweeps like a ∈ (1, 2) in Fig. 5
+/// right, where the endpoints are singular.
+[[nodiscard]] std::vector<Real> open_linspace(Real lo, Real hi, int count);
+
+}  // namespace linesearch

@@ -1,0 +1,173 @@
+#include "analysis/optimize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace linesearch {
+namespace {
+
+constexpr Real kGoldenRatio = 0.6180339887498948482045868343656L;
+
+}  // namespace
+
+MinimizeResult golden_section(const std::function<Real(Real)>& f, Real lo,
+                              Real hi, const MinimizeOptions& options) {
+  expects(lo < hi, "golden_section: need lo < hi");
+  Real a = lo, b = hi;
+  Real x1 = b - kGoldenRatio * (b - a);
+  Real x2 = a + kGoldenRatio * (b - a);
+  Real f1 = f(x1);
+  Real f2 = f(x2);
+
+  MinimizeResult result;
+  for (int i = 0; i < options.max_iterations; ++i) {
+    ++result.iterations;
+    if (f1 < f2) {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - kGoldenRatio * (b - a);
+      f1 = f(x1);
+    } else {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + kGoldenRatio * (b - a);
+      f2 = f(x2);
+    }
+    if ((b - a) < options.tolerance * std::max(Real{1}, std::fabs(a) + std::fabs(b))) {
+      break;
+    }
+  }
+  result.x = (a + b) / 2;
+  result.fx = f(result.x);
+  return result;
+}
+
+MinimizeResult golden_section_max(const std::function<Real(Real)>& f,
+                                  const Real lo, const Real hi,
+                                  const MinimizeOptions& options) {
+  MinimizeResult r = golden_section([&](Real x) { return -f(x); }, lo, hi,
+                                    options);
+  r.fx = -r.fx;
+  return r;
+}
+
+MinimizeNdResult nelder_mead(
+    const std::function<Real(const std::vector<Real>&)>& f,
+    std::vector<Real> start, const NelderMeadOptions& options) {
+  expects(!start.empty(), "nelder_mead: empty start point");
+  const std::size_t d = start.size();
+
+  struct Vertex {
+    std::vector<Real> x;
+    Real fx;
+  };
+  MinimizeNdResult result;
+  const auto evaluate = [&](const std::vector<Real>& x) {
+    ++result.evaluations;
+    return f(x);
+  };
+
+  // Initial simplex: start plus one step along each axis.
+  std::vector<Vertex> simplex;
+  simplex.push_back({start, evaluate(start)});
+  for (std::size_t i = 0; i < d; ++i) {
+    std::vector<Real> x = start;
+    x[i] += options.initial_step;
+    simplex.push_back({x, evaluate(x)});
+  }
+
+  const auto by_value = [](const Vertex& a, const Vertex& b) {
+    return a.fx < b.fx;
+  };
+
+  for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
+    ++result.iterations;
+    std::sort(simplex.begin(), simplex.end(), by_value);
+    if (simplex.back().fx - simplex.front().fx <
+        options.tolerance * (1 + std::fabs(simplex.front().fx))) {
+      break;
+    }
+
+    // Centroid of all but the worst vertex.
+    std::vector<Real> centroid(d, 0);
+    for (std::size_t v = 0; v < simplex.size() - 1; ++v) {
+      for (std::size_t i = 0; i < d; ++i) centroid[i] += simplex[v].x[i];
+    }
+    for (Real& c : centroid) c /= static_cast<Real>(d);
+
+    const auto blend = [&](const Real factor) {
+      std::vector<Real> x(d);
+      for (std::size_t i = 0; i < d; ++i) {
+        x[i] = centroid[i] + factor * (simplex.back().x[i] - centroid[i]);
+      }
+      return x;
+    };
+
+    const std::vector<Real> reflected = blend(-1);
+    const Real f_reflected = evaluate(reflected);
+    if (f_reflected < simplex.front().fx) {
+      const std::vector<Real> expanded = blend(-2);
+      const Real f_expanded = evaluate(expanded);
+      simplex.back() = (f_expanded < f_reflected)
+                           ? Vertex{expanded, f_expanded}
+                           : Vertex{reflected, f_reflected};
+      continue;
+    }
+    if (f_reflected < simplex[simplex.size() - 2].fx) {
+      simplex.back() = {reflected, f_reflected};
+      continue;
+    }
+    const std::vector<Real> contracted = blend(0.5L);
+    const Real f_contracted = evaluate(contracted);
+    if (f_contracted < simplex.back().fx) {
+      simplex.back() = {contracted, f_contracted};
+      continue;
+    }
+    // Shrink toward the best vertex.
+    for (std::size_t v = 1; v < simplex.size(); ++v) {
+      for (std::size_t i = 0; i < d; ++i) {
+        simplex[v].x[i] =
+            simplex[0].x[i] + (simplex[v].x[i] - simplex[0].x[i]) / 2;
+      }
+      simplex[v].fx = evaluate(simplex[v].x);
+    }
+  }
+
+  std::sort(simplex.begin(), simplex.end(), by_value);
+  result.x = simplex.front().x;
+  result.fx = simplex.front().fx;
+  return result;
+}
+
+MinimizeResult grid_then_golden(const std::function<Real(Real)>& f,
+                                const Real lo, const Real hi,
+                                const int grid_points,
+                                const MinimizeOptions& options) {
+  expects(lo < hi, "grid_then_golden: need lo < hi");
+  expects(grid_points >= 3, "grid_then_golden: need >= 3 grid points");
+  const Real step = (hi - lo) / static_cast<Real>(grid_points - 1);
+  Real best_x = lo;
+  Real best_f = f(lo);
+  for (int i = 1; i < grid_points; ++i) {
+    const Real x = lo + step * static_cast<Real>(i);
+    const Real fx = f(x);
+    if (fx < best_f) {
+      best_f = fx;
+      best_x = x;
+    }
+  }
+  const Real a = std::max(lo, best_x - step);
+  const Real b = std::min(hi, best_x + step);
+  MinimizeResult refined = golden_section(f, a, b, options);
+  if (best_f < refined.fx) {
+    refined.x = best_x;
+    refined.fx = best_f;
+  }
+  return refined;
+}
+
+}  // namespace linesearch

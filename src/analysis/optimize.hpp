@@ -1,0 +1,67 @@
+// analysis/optimize.hpp — 1-D minimization.
+//
+// Used to (a) verify numerically that beta* = (4f+4)/n - 1 minimizes the
+// competitive-ratio function F(beta) of Lemma 5 (ablation A1), and (b)
+// locate suprema of K(x) within intervals in the empirical CR evaluator.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "util/real.hpp"
+
+namespace linesearch {
+
+/// Result of a scalar minimization.
+struct MinimizeResult {
+  Real x = kNaN;       ///< argmin
+  Real fx = kNaN;      ///< minimum value
+  int iterations = 0;  ///< iterations consumed
+};
+
+/// Options for the minimizers.
+struct MinimizeOptions {
+  Real tolerance = 1e-12L;
+  int max_iterations = 300;
+};
+
+/// Golden-section search for a minimum of a unimodal `f` on [lo, hi].
+[[nodiscard]] MinimizeResult golden_section(
+    const std::function<Real(Real)>& f, Real lo, Real hi,
+    const MinimizeOptions& options = {});
+
+/// Maximize by minimizing -f (convenience; returns the *maximum* in fx).
+[[nodiscard]] MinimizeResult golden_section_max(
+    const std::function<Real(Real)>& f, Real lo, Real hi,
+    const MinimizeOptions& options = {});
+
+/// Coarse grid scan followed by golden-section refinement around the best
+/// grid cell; tolerant of mild non-unimodality.
+[[nodiscard]] MinimizeResult grid_then_golden(
+    const std::function<Real(Real)>& f, Real lo, Real hi, int grid_points,
+    const MinimizeOptions& options = {});
+
+/// Result of a multi-dimensional minimization.
+struct MinimizeNdResult {
+  std::vector<Real> x;  ///< argmin
+  Real fx = kNaN;       ///< minimum value
+  int iterations = 0;
+  int evaluations = 0;
+};
+
+/// Options for nelder_mead.
+struct NelderMeadOptions {
+  Real initial_step = 0.5L;   ///< simplex edge length around the start
+  Real tolerance = 1e-12L;    ///< f-spread termination threshold
+  int max_iterations = 2000;
+};
+
+/// Derivative-free Nelder-Mead simplex minimization of f: R^d -> R from
+/// `start` (d = start.size() >= 1).  Standard reflection / expansion /
+/// contraction / shrink with adaptive termination on the simplex's
+/// f-spread.  Used by eval/discover to search schedule-offset space.
+[[nodiscard]] MinimizeNdResult nelder_mead(
+    const std::function<Real(const std::vector<Real>&)>& f,
+    std::vector<Real> start, const NelderMeadOptions& options = {});
+
+}  // namespace linesearch

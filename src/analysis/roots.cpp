@@ -1,0 +1,174 @@
+#include "analysis/roots.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace linesearch {
+namespace {
+
+void require_bracket(const Real lo, const Real hi, const Real flo,
+                     const Real fhi) {
+  expects(lo < hi, "root bracket must satisfy lo < hi");
+  if (sign_of(flo) * sign_of(fhi) > 0) {
+    throw NumericError("root not bracketed on [" + sig(lo, 6) + ", " +
+                       sig(hi, 6) + "]: f(lo)=" + sig(flo, 6) +
+                       ", f(hi)=" + sig(fhi, 6));
+  }
+}
+
+}  // namespace
+
+RootResult bisect(const RealFn& f, Real lo, Real hi,
+                  const RootOptions& options) {
+  Real flo = f(lo);
+  Real fhi = f(hi);
+  require_bracket(lo, hi, flo, fhi);
+  if (flo == 0) return {lo, 0, 0};
+  if (fhi == 0) return {hi, 0, 0};
+
+  RootResult result;
+  for (int i = 0; i < options.max_iterations; ++i) {
+    const Real mid = lo + (hi - lo) / 2;
+    const Real fmid = f(mid);
+    ++result.iterations;
+    if (fmid == 0 || (hi - lo) / 2 < options.tolerance * std::max(Real{1}, std::fabs(mid))) {
+      result.x = mid;
+      result.fx = fmid;
+      return result;
+    }
+    if (sign_of(fmid) == sign_of(flo)) {
+      lo = mid;
+      flo = fmid;
+    } else {
+      hi = mid;
+      fhi = fmid;
+    }
+  }
+  result.x = lo + (hi - lo) / 2;
+  result.fx = f(result.x);
+  return result;
+}
+
+RootResult brent(const RealFn& f, Real lo, Real hi,
+                 const RootOptions& options) {
+  Real a = lo, b = hi;
+  Real fa = f(a), fb = f(b);
+  require_bracket(lo, hi, fa, fb);
+  if (fa == 0) return {a, 0, 0};
+  if (fb == 0) return {b, 0, 0};
+
+  if (std::fabs(fa) < std::fabs(fb)) {
+    std::swap(a, b);
+    std::swap(fa, fb);
+  }
+  Real c = a, fc = fa;
+  bool used_bisection = true;
+  Real d = 0;  // previous-previous b (only read when !used_bisection)
+
+  RootResult result;
+  for (int i = 0; i < options.max_iterations; ++i) {
+    ++result.iterations;
+    Real s;
+    if (fa != fc && fb != fc) {
+      // inverse quadratic interpolation
+      s = a * fb * fc / ((fa - fb) * (fa - fc)) +
+          b * fa * fc / ((fb - fa) * (fb - fc)) +
+          c * fa * fb / ((fc - fa) * (fc - fb));
+    } else {
+      // secant
+      s = b - fb * (b - a) / (fb - fa);
+    }
+
+    const Real low = (3 * a + b) / 4;
+    const bool out_of_range = (s < std::min(low, b) || s > std::max(low, b));
+    const bool slow_progress =
+        used_bisection ? std::fabs(s - b) >= std::fabs(b - c) / 2
+                       : std::fabs(s - b) >= std::fabs(c - d) / 2;
+    if (out_of_range || slow_progress) {
+      s = (a + b) / 2;
+      used_bisection = true;
+    } else {
+      used_bisection = false;
+    }
+
+    const Real fs = f(s);
+    d = c;
+    c = b;
+    fc = fb;
+    if (sign_of(fa) * sign_of(fs) < 0) {
+      b = s;
+      fb = fs;
+    } else {
+      a = s;
+      fa = fs;
+    }
+    if (std::fabs(fa) < std::fabs(fb)) {
+      std::swap(a, b);
+      std::swap(fa, fb);
+    }
+    if (fb == 0 ||
+        std::fabs(b - a) < options.tolerance * std::max(Real{1}, std::fabs(b))) {
+      result.x = b;
+      result.fx = fb;
+      return result;
+    }
+  }
+  result.x = b;
+  result.fx = fb;
+  return result;
+}
+
+RootResult newton(const RealFn& f, const RealFn& df, const Real x0,
+                  const RootOptions& options) {
+  Real x = x0;
+  Real fx = f(x);
+  RootResult result;
+  for (int i = 0; i < options.max_iterations; ++i) {
+    ++result.iterations;
+    const Real slope = df(x);
+    if (slope == 0) throw NumericError("newton: zero derivative");
+    Real step = fx / slope;
+    // Damping: halve the step until the residual actually shrinks.
+    Real next = x - step;
+    Real fnext = f(next);
+    int halvings = 0;
+    while (std::fabs(fnext) > std::fabs(fx) && halvings < 60) {
+      step /= 2;
+      next = x - step;
+      fnext = f(next);
+      ++halvings;
+    }
+    if (halvings == 60) throw NumericError("newton: no descent direction");
+    const bool converged =
+        std::fabs(next - x) < options.tolerance * std::max(Real{1}, std::fabs(next));
+    x = next;
+    fx = fnext;
+    if (converged || fx == 0) {
+      result.x = x;
+      result.fx = fx;
+      return result;
+    }
+  }
+  throw NumericError("newton: no convergence after max iterations");
+}
+
+RootResult bracket_and_solve(const RealFn& f, const Real lo,
+                             const Real initial_width,
+                             const RootOptions& options) {
+  expects(initial_width > 0, "initial_width must be positive");
+  const Real flo = f(lo);
+  if (flo == 0) return {lo, 0, 0};
+  Real width = initial_width;
+  for (int i = 0; i < 200; ++i) {
+    const Real hi = lo + width;
+    const Real fhi = f(hi);
+    if (sign_of(fhi) != sign_of(flo)) return brent(f, lo, hi, options);
+    width *= 2;
+  }
+  throw NumericError("bracket_and_solve: no sign change found");
+}
+
+}  // namespace linesearch

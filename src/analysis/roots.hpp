@@ -1,0 +1,55 @@
+// analysis/roots.hpp — 1-D root finding.
+//
+// The paper needs two root solves:
+//   * Theorem 2's lower bound: the alpha > 3 with
+//     (alpha-1)^n (alpha-3) = 2^(n+1)  (strictly increasing on (3, inf)),
+//   * inverting CR formulas in tests/ablations.
+// We provide guaranteed-bracketing bisection, a Brent-style hybrid (the
+// default), and damped Newton for callers that have derivatives.
+#pragma once
+
+#include <functional>
+
+#include "util/real.hpp"
+
+namespace linesearch {
+
+/// A scalar function R -> R.
+using RealFn = std::function<Real(Real)>;
+
+/// Options shared by the root finders.
+struct RootOptions {
+  Real tolerance = tol::kSolver;  ///< |x step| termination threshold
+  int max_iterations = 200;       ///< hard iteration cap
+};
+
+/// Result of a root solve.
+struct RootResult {
+  Real x = kNaN;        ///< the root
+  Real fx = kNaN;       ///< residual f(x)
+  int iterations = 0;   ///< iterations consumed
+};
+
+/// Bisection on [lo, hi]; requires f(lo) and f(hi) to have opposite signs
+/// (throws NumericError otherwise).  Always converges.
+[[nodiscard]] RootResult bisect(const RealFn& f, Real lo, Real hi,
+                                const RootOptions& options = {});
+
+/// Brent's method (inverse quadratic / secant / bisection hybrid) on
+/// [lo, hi]; same bracketing requirement as bisect, converges much faster
+/// on smooth functions.
+[[nodiscard]] RootResult brent(const RealFn& f, Real lo, Real hi,
+                               const RootOptions& options = {});
+
+/// Damped Newton from `x0`; falls back to halving the step while the
+/// residual does not shrink.  Throws NumericError on divergence.
+[[nodiscard]] RootResult newton(const RealFn& f, const RealFn& df, Real x0,
+                                const RootOptions& options = {});
+
+/// Expand [lo, hi] geometrically to the right until f changes sign, then
+/// solve with brent.  Used when only a lower endpoint is known.
+[[nodiscard]] RootResult bracket_and_solve(const RealFn& f, Real lo,
+                                           Real initial_width,
+                                           const RootOptions& options = {});
+
+}  // namespace linesearch

@@ -1,0 +1,60 @@
+#include "analysis/series.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace linesearch {
+
+Real geometric_sum(const Real a, const Real r, const int k) {
+  expects(k >= 0, "geometric_sum: k must be non-negative");
+  if (k == 0) return 0;
+  if (r == 1) return a * static_cast<Real>(k);
+  return a * (ipow(r, k) - 1) / (r - 1);
+}
+
+Real geometric_term(const Real a, const Real r, const int k) {
+  return a * ipow(r, k);
+}
+
+std::vector<Real> geometric_sequence(const Real a, const Real r,
+                                     const int k) {
+  expects(k >= 0, "geometric_sequence: k must be non-negative");
+  std::vector<Real> out;
+  out.reserve(static_cast<std::size_t>(k));
+  Real term = a;
+  for (int i = 0; i < k; ++i) {
+    out.push_back(term);
+    term *= r;
+  }
+  return out;
+}
+
+int terms_until_at_least(const Real a, const Real r, const Real limit) {
+  expects(a > 0, "terms_until_at_least: a must be positive");
+  expects(r > 1, "terms_until_at_least: r must exceed 1");
+  if (a >= limit) return 0;
+  // k >= log(limit/a) / log(r); compute then fix up rounding exactly.
+  int k = static_cast<int>(std::ceil(std::log(limit / a) / std::log(r)));
+  k = std::max(k, 0);
+  while (geometric_term(a, r, k) < limit) ++k;
+  while (k > 0 && geometric_term(a, r, k - 1) >= limit) --k;
+  return k;
+}
+
+Real ipow(Real base, int exponent) {
+  if (exponent < 0) {
+    expects(base != 0, "ipow: zero base with negative exponent");
+    base = 1 / base;
+    exponent = -exponent;
+  }
+  Real result = 1;
+  while (exponent > 0) {
+    if (exponent & 1) result *= base;
+    base *= base;
+    exponent >>= 1;
+  }
+  return result;
+}
+
+}  // namespace linesearch

@@ -1,0 +1,31 @@
+// analysis/series.hpp — geometric sequences and sums.
+//
+// Proportional schedules are geometric through and through: turning points
+// tau_i = tau_0 * r^i, segment lengths d * r^i (Lemma 2, Eq. 3), adversary
+// placements x_i (Theorem 2).  These helpers keep the closed forms in one
+// audited place.
+#pragma once
+
+#include <vector>
+
+#include "util/real.hpp"
+
+namespace linesearch {
+
+/// Sum of the geometric series a + a*r + ... + a*r^(k-1)  (k terms).
+/// Exact closed form; handles r == 1.
+[[nodiscard]] Real geometric_sum(Real a, Real r, int k);
+
+/// The k-th term a * r^k (k may be negative).
+[[nodiscard]] Real geometric_term(Real a, Real r, int k);
+
+/// First k terms of the sequence a, a*r, a*r^2, ...
+[[nodiscard]] std::vector<Real> geometric_sequence(Real a, Real r, int k);
+
+/// Smallest integer k >= 0 with a * r^k >= limit (a > 0, r > 1).
+[[nodiscard]] int terms_until_at_least(Real a, Real r, Real limit);
+
+/// Integer power with exact repeated squaring (exponent may be negative).
+[[nodiscard]] Real ipow(Real base, int exponent);
+
+}  // namespace linesearch

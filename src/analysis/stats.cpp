@@ -1,0 +1,55 @@
+#include "analysis/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace linesearch {
+
+Summary summarize(const std::vector<Real>& values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+
+  Real sum = 0;
+  s.min = values.front();
+  s.max = values.front();
+  for (const Real v : values) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<Real>(values.size());
+
+  if (values.size() >= 2) {
+    Real ss = 0;
+    for (const Real v : values) ss += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(ss / static_cast<Real>(values.size() - 1));
+  } else {
+    s.stddev = 0;
+  }
+  return s;
+}
+
+Real quantile(std::vector<Real> values, const Real q) {
+  expects(!values.empty(), "quantile: empty sample");
+  expects(q >= 0 && q <= 1, "quantile: q must be in [0,1]");
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values.front();
+  const Real position = q * static_cast<Real>(values.size() - 1);
+  const auto lower = static_cast<std::size_t>(std::floor(position));
+  const auto upper = std::min(lower + 1, values.size() - 1);
+  const Real fraction = position - static_cast<Real>(lower);
+  return values[lower] + fraction * (values[upper] - values[lower]);
+}
+
+Real kth_smallest(std::vector<Real> values, const std::size_t k) {
+  expects(k < values.size(), "kth_smallest: k out of range");
+  std::nth_element(values.begin(),
+                   values.begin() + static_cast<std::ptrdiff_t>(k),
+                   values.end());
+  return values[k];
+}
+
+}  // namespace linesearch

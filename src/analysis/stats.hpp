@@ -1,0 +1,37 @@
+// analysis/stats.hpp — summary statistics.
+//
+// The Monte-Carlo fault study (bench A3) reports distributions of
+// detection ratios; Summary collects the usual aggregates in one pass
+// plus exact order statistics on demand.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/real.hpp"
+
+namespace linesearch {
+
+/// Aggregates of a sample of Reals.
+struct Summary {
+  std::size_t count = 0;
+  Real mean = kNaN;
+  Real stddev = kNaN;  ///< sample standard deviation (n-1 denominator)
+  Real min = kNaN;
+  Real max = kNaN;
+};
+
+/// Compute Summary over `values` (empty input yields count == 0, NaNs).
+[[nodiscard]] Summary summarize(const std::vector<Real>& values);
+
+/// Exact q-quantile (0 <= q <= 1) by linear interpolation between order
+/// statistics; throws on empty input.
+[[nodiscard]] Real quantile(std::vector<Real> values, Real q);
+
+/// k-th smallest element, 0-based; throws if k >= size.  This is exactly
+/// the worst-case detection time semantics: with f adversarial faults the
+/// target is found at the (f+1)-st smallest first-visit time, i.e.
+/// kth_smallest(times, f).
+[[nodiscard]] Real kth_smallest(std::vector<Real> values, std::size_t k);
+
+}  // namespace linesearch

@@ -1,0 +1,49 @@
+#include "core/algorithm.hpp"
+
+#include <sstream>
+
+#include "core/competitive.hpp"
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace linesearch {
+
+ProportionalAlgorithm::ProportionalAlgorithm(const int n, const int f)
+    : n_(n),
+      f_(f),
+      optimal_beta_(true),
+      schedule_(n, optimal_beta(n, f)) {}
+
+ProportionalAlgorithm::ProportionalAlgorithm(const int n, const int f,
+                                             const Real beta)
+    : n_(n), f_(f), optimal_beta_(false), schedule_(n, beta) {
+  expects(in_proportional_regime(n, f),
+          "S_beta(n) strategy requires f < n < 2f+2");
+}
+
+std::string ProportionalAlgorithm::name() const {
+  std::ostringstream out;
+  if (optimal_beta_) {
+    out << "A(" << n_ << "," << f_ << ")";
+  } else {
+    out << "S_beta(" << n_ << "), beta=" << fixed(beta(), 4) << ", f=" << f_;
+  }
+  return out.str();
+}
+
+Fleet ProportionalAlgorithm::build_fleet(const Real extent) const {
+  expects(extent > 1, "build_fleet: extent must exceed 1");
+  // Every robot's zig-zag covers both half-lines up to `extent`, so every
+  // target with |x| <= extent is visited by all n >= f+1 robots.
+  return schedule_.build_fleet(extent);
+}
+
+std::optional<Real> ProportionalAlgorithm::theoretical_cr() const {
+  return schedule_cr(n_, f_, beta());
+}
+
+Real ProportionalAlgorithm::beta() const noexcept {
+  return schedule_.cone().beta();
+}
+
+}  // namespace linesearch

@@ -1,0 +1,49 @@
+// core/algorithm.hpp — the proportional schedule algorithm A(n, f)
+// (Definition 4 + Theorem 1), packaged as a SearchStrategy.
+//
+// A(n, f) runs the proportional schedule S_beta(n) with the optimal cone
+// beta* = (4f+4)/n - 1 and tau_0 = 1 (targets are assumed at distance at
+// least 1, the paper's choice over an additive constant).  A custom-beta
+// variant exposes the whole S_beta(n) family for the beta ablation
+// (bench A1).
+#pragma once
+
+#include "core/proportional.hpp"
+#include "core/strategy.hpp"
+
+namespace linesearch {
+
+/// A(n, f), or with an explicit beta, the schedule strategy S_beta(n)
+/// used with fault budget f.
+class ProportionalAlgorithm final : public SearchStrategy {
+ public:
+  /// The paper's A(n, f): optimal beta.  Requires f < n < 2f+2.
+  ProportionalAlgorithm(int n, int f);
+
+  /// S_beta(n) with explicit cone parameter (ablations); requires
+  /// beta > 1 and f < n < 2f+2.
+  ProportionalAlgorithm(int n, int f, Real beta);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] int robot_count() const override { return n_; }
+  [[nodiscard]] int fault_budget() const override { return f_; }
+  [[nodiscard]] Fleet build_fleet(Real extent) const override;
+  [[nodiscard]] std::optional<Real> theoretical_cr() const override;
+
+  /// The underlying schedule generator.
+  [[nodiscard]] const ProportionalSchedule& schedule() const noexcept {
+    return schedule_;
+  }
+  [[nodiscard]] Real beta() const noexcept;
+  [[nodiscard]] bool uses_optimal_beta() const noexcept {
+    return optimal_beta_;
+  }
+
+ private:
+  int n_;
+  int f_;
+  bool optimal_beta_;
+  ProportionalSchedule schedule_;
+};
+
+}  // namespace linesearch

@@ -1,0 +1,133 @@
+// core/baselines.hpp — comparison strategies.
+//
+// * TwoGroupSplit — the trivial optimum for n >= 2f+2 (Section 1): two
+//   groups of >= f+1 robots march in opposite directions; CR = 1.
+// * GroupDoubling — all n robots move together following the classic
+//   cow-path doubling strategy (expansion factor 2, i.e. beta = 3).
+//   Identical trajectories mean the (f+1)-st distinct visit coincides
+//   with the first, so CR = 9 for every f < n — the paper's remark that
+//   doubling "in a pack" already achieves 9.
+// * UniformOffsetZigzag — ablation foil: same cone as A(n,f) but the
+//   robots' first turning points are spread arithmetically instead of
+//   geometrically, breaking Definition 2's proportionality.  Its measured
+//   CR exceeds Theorem 1's value (bench A2).
+#pragma once
+
+#include "core/strategy.hpp"
+
+namespace linesearch {
+
+/// CR-1 strategy for n >= 2f+2: robots 0..f sweep right, f+1..2f+1 sweep
+/// left, extras alternate.
+class TwoGroupSplit final : public SearchStrategy {
+ public:
+  /// Requires n >= 2f+2, f >= 0.
+  TwoGroupSplit(int n, int f);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] int robot_count() const override { return n_; }
+  [[nodiscard]] int fault_budget() const override { return f_; }
+  [[nodiscard]] Fleet build_fleet(Real extent) const override;
+  [[nodiscard]] std::optional<Real> theoretical_cr() const override {
+    return Real{1};
+  }
+
+ private:
+  int n_;
+  int f_;
+};
+
+/// All robots together on one doubling zig-zag (beta = 3, first turn +1).
+class GroupDoubling final : public SearchStrategy {
+ public:
+  /// Requires 0 <= f < n.
+  GroupDoubling(int n, int f);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] int robot_count() const override { return n_; }
+  [[nodiscard]] int fault_budget() const override { return f_; }
+  [[nodiscard]] Fleet build_fleet(Real extent) const override;
+  [[nodiscard]] std::optional<Real> theoretical_cr() const override {
+    return Real{9};
+  }
+
+ private:
+  int n_;
+  int f_;
+};
+
+/// The CLASSIC cow-path doubling trajectory (Beck/Bellman): full speed
+/// from the origin to +1, then turning points -2, 4, -8, ... — unlike
+/// the cone-based doubling (GroupDoubling), the first leg is not slowed
+/// to 1/beta, so the trajectory does NOT live in any cone; the turn at
+/// x_k happens at time 3|x_k| - 2.  Its competitive ratio is still 9
+/// (approached from below: the ratio just past x_k is 9 - 2/|x_k|).
+/// All n robots move together; with `mirrored`, half start leftward,
+/// halving the worst case on one side at the cost of the other group's
+/// size.  A non-cone stress test for every generic analysis path.
+class ClassicCowPath final : public SearchStrategy {
+ public:
+  /// Requires 0 <= f < n; mirrored additionally requires n >= 2.
+  ClassicCowPath(int n, int f, bool mirrored = false);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] int robot_count() const override { return n_; }
+  [[nodiscard]] int fault_budget() const override { return f_; }
+  [[nodiscard]] Fleet build_fleet(Real extent) const override;
+  [[nodiscard]] std::optional<Real> theoretical_cr() const override;
+
+  [[nodiscard]] bool mirrored() const noexcept { return mirrored_; }
+
+ private:
+  int n_;
+  int f_;
+  bool mirrored_;
+};
+
+/// The intro's naive "same expansion factor, start at different times"
+/// family: robot i waits i*delay_step time units at the origin, then
+/// runs the classic doubling trajectory.  Linear time stagger delays the
+/// (f+1)-st visit of EVERY point by f*delay_step, so its ratio blows up
+/// near the minimum distance — the measured contrast motivates the
+/// paper's geometric (proportional) stagger, where the shifts scale with
+/// the turning points themselves.
+class StaggeredDoubling final : public SearchStrategy {
+ public:
+  /// Requires 0 <= f < n and delay_step > 0.
+  StaggeredDoubling(int n, int f, Real delay_step = 2);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] int robot_count() const override { return n_; }
+  [[nodiscard]] int fault_budget() const override { return f_; }
+  [[nodiscard]] Fleet build_fleet(Real extent) const override;
+
+  [[nodiscard]] Real delay_step() const noexcept { return delay_; }
+
+ private:
+  int n_;
+  int f_;
+  Real delay_;
+};
+
+/// Same cone as A(n,f) but first turning points of magnitude
+/// 1 + i*(kappa^2-1)/n on alternating sides — arithmetic instead of
+/// geometric interleaving.  No proven CR; evaluated empirically.
+class UniformOffsetZigzag final : public SearchStrategy {
+ public:
+  /// Requires f < n < 2f+2 (same regime as A(n,f), for comparability).
+  UniformOffsetZigzag(int n, int f);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] int robot_count() const override { return n_; }
+  [[nodiscard]] int fault_budget() const override { return f_; }
+  [[nodiscard]] Fleet build_fleet(Real extent) const override;
+
+  [[nodiscard]] Real beta() const noexcept { return beta_; }
+
+ private:
+  int n_;
+  int f_;
+  Real beta_;
+};
+
+}  // namespace linesearch

@@ -1,0 +1,63 @@
+#include "core/bounded.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "core/competitive.hpp"
+#include "sim/zigzag.hpp"
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace linesearch {
+
+BoundedProportional::BoundedProportional(const int n, const int f,
+                                         const Real distance_bound)
+    : n_(n),
+      f_(f),
+      bound_(distance_bound),
+      schedule_(n, optimal_beta(n, f)) {
+  expects(distance_bound > 1,
+          "BoundedProportional: distance bound must exceed 1");
+}
+
+std::string BoundedProportional::name() const {
+  std::ostringstream out;
+  out << "bounded A(" << n_ << "," << f_ << "), D=" << fixed(bound_, 2);
+  return out.str();
+}
+
+std::optional<Real> BoundedProportional::theoretical_cr() const {
+  return algorithm_cr(n_, f_);
+}
+
+Fleet BoundedProportional::build_fleet(const Real extent) const {
+  expects(extent > 1, "build_fleet: extent must exceed 1");
+  expects(extent <= bound_ * (1 + tol::kRelative),
+          "build_fleet: extent beyond the arena bound D");
+
+  const Real kappa = schedule_.expansion_factor();
+  std::vector<Trajectory> robots;
+  robots.reserve(static_cast<std::size_t>(n_));
+  for (int i = 0; i < n_; ++i) {
+    TrajectoryBuilder builder;
+    builder.start_at(0, 0);
+    const Real first = schedule_.initial_turn(i);
+    builder.move_to_at(first, schedule_.cone().boundary_time(first));
+
+    // Zig-zag until the NEXT turning point would overshoot the barrier;
+    // then sweep barrier-to-barrier and stop (everything is now covered
+    // by this robot personally).
+    Real turn = first;
+    while (std::fabs(turn * kappa) < bound_) {
+      turn = -turn * kappa;
+      builder.move_to(turn);
+    }
+    const Real barrier = (turn > 0) ? -bound_ : bound_;
+    builder.move_to(barrier);
+    builder.move_to(-barrier);
+    robots.push_back(std::move(builder).build());
+  }
+  return Fleet(std::move(robots));
+}
+
+}  // namespace linesearch

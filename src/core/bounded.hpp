@@ -1,0 +1,52 @@
+// core/bounded.hpp — search with a known upper bound on the target
+// distance (extension study).
+//
+// The paper's related work cites Bose, De Carufel and Durocher
+// ("Revisiting the problem of searching on a line"): when the searcher
+// knows an upper bound D on the target distance, slightly better
+// competitive ratios are possible because no trajectory ever needs to
+// overshoot +-D.  BoundedProportional realizes the natural bounded
+// version of A(n, f): every robot follows its proportional zig-zag until
+// its next turning point would leave [-D, D]; it then turns at the
+// barrier +-D instead, crosses to the other barrier, and stops — at
+// which point it has personally swept the entire arena.
+//
+// The measured effect (bench_bounded): the competitive ratio over
+// [1, D] is at most the unbounded Theorem-1 value, with the gain
+// concentrated on targets in the last expansion step before D.
+#pragma once
+
+#include "core/proportional.hpp"
+#include "core/strategy.hpp"
+
+namespace linesearch {
+
+/// Bounded-arena variant of A(n, f).
+class BoundedProportional final : public SearchStrategy {
+ public:
+  /// Requires f < n < 2f+2 and distance_bound > 1.
+  BoundedProportional(int n, int f, Real distance_bound);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] int robot_count() const override { return n_; }
+  [[nodiscard]] int fault_budget() const override { return f_; }
+
+  /// The arena bound D the strategy was built for.
+  [[nodiscard]] Real distance_bound() const noexcept { return bound_; }
+
+  /// Materializes the bounded trajectories.  `extent` must be <= the
+  /// distance bound (there is nothing beyond the barrier).
+  [[nodiscard]] Fleet build_fleet(Real extent) const override;
+
+  /// The unbounded Theorem-1 value — an upper bound for the bounded
+  /// variant too (clamping only ever helps).
+  [[nodiscard]] std::optional<Real> theoretical_cr() const override;
+
+ private:
+  int n_;
+  int f_;
+  Real bound_;
+  ProportionalSchedule schedule_;
+};
+
+}  // namespace linesearch

@@ -1,0 +1,64 @@
+#include "core/competitive.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace linesearch {
+namespace {
+
+void require_regime(const int n, const int f) {
+  expects(in_proportional_regime(n, f),
+          "requires the proportional regime f < n < 2f+2 (with f >= 1)");
+}
+
+}  // namespace
+
+Real schedule_cr(const int n, const int f, const Real beta) {
+  require_regime(n, f);
+  expects(beta > 1, "schedule_cr: beta must exceed 1");
+  const Real exponent =
+      static_cast<Real>(2 * f + 2) / static_cast<Real>(n);
+  return std::pow(beta + 1, exponent) * std::pow(beta - 1, 1 - exponent) + 1;
+}
+
+Real optimal_beta(const int n, const int f) {
+  require_regime(n, f);
+  return static_cast<Real>(4 * f + 4) / static_cast<Real>(n) - 1;
+}
+
+Real algorithm_cr(const int n, const int f) {
+  return schedule_cr(n, f, optimal_beta(n, f));
+}
+
+Real optimal_expansion_factor(const int n, const int f) {
+  require_regime(n, f);
+  // kappa = (beta*+1)/(beta*-1) with beta* = (4f+4)/n - 1 simplifies to
+  // (2f+2)/(2f+2-n); the denominator is positive exactly in the regime.
+  return static_cast<Real>(2 * f + 2) / static_cast<Real>(2 * f + 2 - n);
+}
+
+Real best_known_cr(const int n, const int f) {
+  expects(f >= 0 && f < n, "best_known_cr: need 0 <= f < n");
+  if (n >= 2 * f + 2) return 1;  // two-group split, Section 1
+  return algorithm_cr(n, f);
+}
+
+Real cr_half_faulty(const int n) {
+  expects(n >= 3 && n % 2 == 1, "cr_half_faulty: n must be odd and >= 3");
+  const Real nn = static_cast<Real>(n);
+  return std::pow(2 + 2 / nn, 1 + 1 / nn) * std::pow(2 / nn, -1 / nn) + 1;
+}
+
+Real corollary1_bound(const int n) {
+  expects(n >= 2, "corollary1_bound: n must be >= 2");
+  const Real nn = static_cast<Real>(n);
+  return 3 + 4 * std::log(nn) / nn;
+}
+
+Real asymptotic_cr(const Real a) {
+  expects(a > 1 && a < 2, "asymptotic_cr: a must lie in (1, 2)");
+  return std::pow(4 / a, 2 / a) * std::pow(4 / a - 2, 1 - 2 / a) + 1;
+}
+
+}  // namespace linesearch

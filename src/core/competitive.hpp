@@ -1,0 +1,57 @@
+// core/competitive.hpp — closed-form competitive ratios (Section 3).
+//
+// Lemma 5:   CR of the schedule S_beta(n) with f faults is
+//            F(beta) = (beta+1)^((2f+2)/n) (beta-1)^(1-(2f+2)/n) + 1.
+// Optimum:   F'(beta*) = 0  at  beta* = (4f+4)/n - 1   (valid, i.e.
+//            beta* > 1, exactly when n < 2f+2).
+// Theorem 1: CR(A(n,f)) = F(beta*)
+//            = ((4f+4)/n)^((2f+2)/n) ((4f+4)/n - 2)^(1-(2f+2)/n) + 1.
+// Special cases: n = f+1 gives 9 (the classic cow-path doubling bound);
+// n = 2f+1 gives (2+2/n)^(1+1/n) (2/n)^(-1/n) + 1 -> 3 (Figure 5 left),
+// bounded by 3 + 4 ln n / n + O(1)/n (Corollary 1).  With a = n/f fixed,
+// CR -> (4/a)^(2/a) (4/a-2)^(1-2/a) + 1 (Figure 5 right).
+#pragma once
+
+#include "util/real.hpp"
+
+namespace linesearch {
+
+/// True when the pair is in the paper's interesting regime f < n < 2f+2.
+[[nodiscard]] constexpr bool in_proportional_regime(const int n,
+                                                    const int f) noexcept {
+  return f >= 1 && f < n && n < 2 * f + 2;
+}
+
+/// Lemma 5: competitive ratio of S_beta(n) with f faults, any beta > 1.
+/// Requires f < n < 2f+2.
+[[nodiscard]] Real schedule_cr(int n, int f, Real beta);
+
+/// The optimal cone parameter beta* = (4f+4)/n - 1; requires n < 2f+2 so
+/// that beta* > 1.
+[[nodiscard]] Real optimal_beta(int n, int f);
+
+/// Theorem 1: CR of the proportional schedule algorithm A(n,f).
+[[nodiscard]] Real algorithm_cr(int n, int f);
+
+/// Expansion factor of A(n,f): kappa(beta*) = (beta*+1)/(beta*-1)
+/// = (2f+2)/(2f+2-n).  Equals 2 when n = f+1 and n+1 when n = 2f+1
+/// (Table 1's last column).
+[[nodiscard]] Real optimal_expansion_factor(int n, int f);
+
+/// Best known upper bound for any (n, f) with f < n: 1 when n >= 2f+2
+/// (two-group split), Theorem 1 otherwise.
+[[nodiscard]] Real best_known_cr(int n, int f);
+
+/// Figure 5 left: CR of A(2f+1, f) as a function of n = 2f+1 (n odd,
+/// >= 3):  (2 + 2/n)^(1 + 1/n) (2/n)^(-1/n) + 1.
+[[nodiscard]] Real cr_half_faulty(int n);
+
+/// Corollary 1: the explicit upper bound 3 + 4 ln n / n (low-order terms
+/// dropped) for n = 2f+1.
+[[nodiscard]] Real corollary1_bound(int n);
+
+/// Figure 5 right: asymptotic CR for n = a*f robots, 1 < a < 2:
+/// (4/a)^(2/a) (4/a - 2)^(1 - 2/a) + 1.
+[[nodiscard]] Real asymptotic_cr(Real a);
+
+}  // namespace linesearch

@@ -1,0 +1,38 @@
+#include "core/cone.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "sim/zigzag.hpp"
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace linesearch {
+
+Cone::Cone(const Real beta)
+    : beta_(beta), kappa_(linesearch::expansion_factor(beta)) {
+  // The free function validates beta > 1.
+}
+
+Real Cone::boundary_time(const Real x) const noexcept {
+  return beta_ * std::fabs(x);
+}
+
+bool Cone::contains(const Real x, const Real t,
+                    const Real relative_slack) const noexcept {
+  const Real boundary = boundary_time(x);
+  return t >= boundary * (1 - relative_slack) - tol::kAbsolute;
+}
+
+Cone Cone::from_expansion_factor(const Real kappa) {
+  return Cone(beta_for_expansion(kappa));
+}
+
+std::string Cone::describe() const {
+  std::ostringstream out;
+  out << "C_beta(beta=" << fixed(beta_, 4) << ", kappa=" << fixed(kappa_, 4)
+      << ")";
+  return out.str();
+}
+
+}  // namespace linesearch

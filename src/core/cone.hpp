@@ -1,0 +1,49 @@
+// core/cone.hpp — the cone C_beta of Section 2.
+//
+// For a fixed beta > 1, C_beta is the region of the space/time half-plane
+// above both lines t = beta*x (x >= 0) and t = -beta*x (x < 0).  All of
+// the paper's proportional schedules confine every robot's zig-zag to a
+// shared cone; the cone fixes the expansion factor
+// kappa = (beta+1)/(beta-1) of every robot (Lemma 1).
+#pragma once
+
+#include <string>
+
+#include "util/real.hpp"
+
+namespace linesearch {
+
+/// Value type describing one cone C_beta.
+class Cone {
+ public:
+  /// Requires beta > 1 (beta == 1 would be the light-cone of the robots
+  /// themselves; no zig-zag fits inside).
+  explicit Cone(Real beta);
+
+  [[nodiscard]] Real beta() const noexcept { return beta_; }
+
+  /// Expansion factor kappa = (beta+1)/(beta-1) (Lemma 1).
+  [[nodiscard]] Real expansion_factor() const noexcept { return kappa_; }
+
+  /// Time at which the boundary passes position x: beta * |x|.
+  [[nodiscard]] Real boundary_time(Real x) const noexcept;
+
+  /// True if the space/time point (x, t) lies inside or on the cone.
+  [[nodiscard]] bool contains(Real x, Real t,
+                              Real relative_slack = tol::kRelative) const
+      noexcept;
+
+  /// The cone whose zig-zags have expansion factor kappa (inverse map).
+  [[nodiscard]] static Cone from_expansion_factor(Real kappa);
+
+  /// e.g. "C_beta(beta=1.667, kappa=4)".
+  [[nodiscard]] std::string describe() const;
+
+  friend bool operator==(const Cone&, const Cone&) = default;
+
+ private:
+  Real beta_;
+  Real kappa_;
+};
+
+}  // namespace linesearch

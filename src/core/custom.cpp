@@ -1,0 +1,47 @@
+#include "core/custom.hpp"
+
+#include <cmath>
+
+#include "sim/zigzag.hpp"
+#include "util/error.hpp"
+
+namespace linesearch {
+
+Trajectory make_offset_robot(const Real beta, const Real s,
+                             const Real extent) {
+  const Real kappa = expansion_factor(beta);
+  expects(s >= 1 && s < kappa * kappa,
+          "make_offset_robot: magnitude must lie in [1, kappa^2)");
+  expects(extent > kappa * kappa,
+          "make_offset_robot: extent must exceed kappa^2");
+
+  // Backward extension: predecessors of +s have magnitude s/kappa^m and
+  // sign (-1)^m; the first with magnitude < 1 is the start turn.  Since
+  // s < kappa^2, m is 1 or 2 (and exactly 1 when s < kappa).
+  Real first = s;
+  int m = 0;
+  while (std::fabs(first) >= 1) {
+    first = -first / kappa;
+    ++m;
+  }
+  ensures(m >= 1 && m <= 2, "backward extension out of expected range");
+
+  TrajectoryBuilder builder;
+  builder.start_at(0, 0);
+  builder.move_to_at(first, beta * std::fabs(first));
+  extend_zigzag(builder, beta, extent);
+  return std::move(builder).build();
+}
+
+Fleet build_cone_fleet(const Real beta, const std::vector<Real>& magnitudes,
+                       const Real extent) {
+  expects(!magnitudes.empty(), "build_cone_fleet: need at least one robot");
+  std::vector<Trajectory> robots;
+  robots.reserve(magnitudes.size());
+  for (const Real s : magnitudes) {
+    robots.push_back(make_offset_robot(beta, s, extent));
+  }
+  return Fleet(std::move(robots));
+}
+
+}  // namespace linesearch

@@ -1,0 +1,32 @@
+// core/custom.hpp — cone fleets with ARBITRARY first-turn offsets.
+//
+// A proportional schedule is one particular choice of the robots' first
+// positive turning magnitudes (the geometric s_i = r^i).  This module
+// builds Definition-4-style fleets for ANY magnitude vector in
+// [1, kappa^2): each robot is extended backward through the cone until
+// its turning magnitude drops below 1 and started from the origin at
+// speed 1/beta — exactly like A(n, f), minus the proportionality
+// assumption.  It is the search space in which eval/discover's optimizer
+// rediscovers the paper's schedule.
+#pragma once
+
+#include <vector>
+
+#include "sim/fleet.hpp"
+#include "util/real.hpp"
+
+namespace linesearch {
+
+/// Trajectory of one robot whose first positive turning point in
+/// [1, kappa^2) has magnitude `s`, in cone C_beta, covering both
+/// half-lines past `extent`.  The robot leaves the origin at t = 0.
+[[nodiscard]] Trajectory make_offset_robot(Real beta, Real s, Real extent);
+
+/// Whole fleet from a magnitude vector (ascending order not required;
+/// duplicates allowed but produce coinciding trajectories).  Requires
+/// beta > 1, every magnitude in [1, kappa^2), extent > kappa^2.
+[[nodiscard]] Fleet build_cone_fleet(Real beta,
+                                     const std::vector<Real>& magnitudes,
+                                     Real extent);
+
+}  // namespace linesearch

@@ -1,0 +1,49 @@
+#include "core/lower_bound.hpp"
+
+#include <cmath>
+
+#include "analysis/roots.hpp"
+#include "analysis/series.hpp"
+#include "util/error.hpp"
+
+namespace linesearch {
+
+Real theorem2_residual(const int n, const Real alpha) {
+  expects(n >= 1, "theorem2_residual: n must be >= 1");
+  expects(alpha > 3, "theorem2_residual: alpha must exceed 3");
+  const Real nn = static_cast<Real>(n);
+  return nn * std::log(alpha - 1) + std::log(alpha - 3) -
+         (nn + 1) * std::log(Real{2});
+}
+
+Real theorem2_alpha(const int n) {
+  expects(n >= 1, "theorem2_alpha: n must be >= 1");
+  // Residual at 9: (2n-1) ln 2 + ln 6 > 0; residual -> -inf as alpha->3+.
+  const RootResult root = brent(
+      [n](const Real alpha) { return theorem2_residual(n, alpha); },
+      Real{3} + Real{1e-15L}, Real{9});
+  ensures(root.x > 3 && root.x <= 9, "theorem2_alpha: root out of range");
+  return root.x;
+}
+
+Real corollary2_bound(const int n) {
+  expects(n >= 2, "corollary2_bound: n must be >= 2");
+  const Real nn = static_cast<Real>(n);
+  return 3 + 2 * std::log(nn) / nn - 2 * std::log(std::log(nn)) / nn;
+}
+
+Real best_lower_bound(const int n, const int f) {
+  expects(f >= 0 && f < n, "best_lower_bound: need 0 <= f < n");
+  if (n >= 2 * f + 2) return 1;
+  if (n == f + 1) return 9;
+  return theorem2_alpha(n);
+}
+
+Real theorem2_placement(const int n, const Real alpha, const int i) {
+  expects(n >= 1, "theorem2_placement: n must be >= 1");
+  expects(alpha > 3, "theorem2_placement: alpha must exceed 3");
+  expects(i >= 0 && i < n, "theorem2_placement: index out of range");
+  return ipow(Real{2}, i + 1) / (ipow(alpha - 1, i) * (alpha - 3));
+}
+
+}  // namespace linesearch

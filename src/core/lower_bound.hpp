@@ -1,0 +1,50 @@
+// core/lower_bound.hpp — lower bounds on the competitive ratio (Section 4).
+//
+// Theorem 2: any algorithm for n < 2f+2 robots (f faulty) has CR >= alpha
+// for every alpha > 3 with (alpha-1)^n (alpha-3) <= 2^(n+1).  The best
+// such bound is the root of the equality, which we solve in the log
+// domain (the residual n*ln(alpha-1) + ln(alpha-3) - (n+1)*ln 2 is
+// strictly increasing on (3, inf)).
+//
+// Corollary 2: asymptotically CR >= 3 + 2 ln n / n - 2 ln ln n / n.
+//
+// For n = f+1 the paper's stronger observation applies: any CR < 9 would
+// beat the optimal single-robot cow-path bound of 9 [Beck-Newman 1970],
+// since the single reliable robot may be the one whose trajectory you
+// follow.  best_lower_bound combines all three regimes.
+#pragma once
+
+#include "util/real.hpp"
+
+namespace linesearch {
+
+/// Log-domain residual of Theorem 2's equality at `alpha` (> 3):
+/// n*ln(alpha-1) + ln(alpha-3) - (n+1)*ln 2.  Negative below the root,
+/// positive above it.
+[[nodiscard]] Real theorem2_residual(int n, Real alpha);
+
+/// The root alpha(n) of (alpha-1)^n (alpha-3) = 2^(n+1) on (3, 9];
+/// i.e. the strongest Theorem-2 bound for n robots.  Requires n >= 1.
+[[nodiscard]] Real theorem2_alpha(int n);
+
+/// Corollary 2's closed-form asymptotic bound
+/// 3 + 2 ln n / n - 2 ln ln n / n  (requires n >= 2 so ln ln n exists;
+/// the expression is only meaningful for larger n).
+[[nodiscard]] Real corollary2_bound(int n);
+
+/// Best lower bound proved by the paper for (n, f) with 0 <= f < n:
+///  * 1 when n >= 2f+2 (trivially tight),
+///  * 9 when n == f+1 (single-robot argument),
+///  * theorem2_alpha(n) otherwise.
+[[nodiscard]] Real best_lower_bound(int n, int f);
+
+/// The adversarial target placements of Theorem 2's proof:
+/// x_i = 2^(i+1) / ((alpha-1)^i (alpha-3)) for i = 0..n-1, satisfying
+/// x_i = (alpha-1)/2 * x_{i+1} (Eq. 16) and
+/// x_0 > x_1 > ... > x_{n-1} > 1 (Eq. 20) whenever
+/// (alpha-1)^n (alpha-3) <= 2^(n+1) and alpha > 3.
+/// Declared here because it is pure formula; the game logic that uses it
+/// lives in adversary/.
+[[nodiscard]] Real theorem2_placement(int n, Real alpha, int i);
+
+}  // namespace linesearch

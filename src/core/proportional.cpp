@@ -1,0 +1,172 @@
+#include "core/proportional.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/series.hpp"
+#include "sim/zigzag.hpp"
+#include "util/error.hpp"
+
+namespace linesearch {
+
+Real proportionality_ratio(const int n, const Real beta) {
+  expects(n >= 1, "proportionality_ratio: n must be >= 1");
+  expects(beta > 1, "proportionality_ratio: beta must exceed 1");
+  return std::pow((beta + 1) / (beta - 1), Real{2} / static_cast<Real>(n));
+}
+
+ProportionalSchedule::ProportionalSchedule(const int n, const Real beta,
+                                           const Real tau0)
+    : n_(n),
+      cone_(beta),
+      tau0_(tau0),
+      r_(linesearch::proportionality_ratio(n, beta)) {
+  expects(tau0 > 0, "proportional schedule: tau0 must be positive");
+}
+
+Real ProportionalSchedule::turning_point(const int j) const {
+  return tau0_ * ipow(r_, j);
+}
+
+Real ProportionalSchedule::turning_time(const int j) const {
+  return cone_.beta() * turning_point(j);
+}
+
+RobotId ProportionalSchedule::robot_of(const int j) const noexcept {
+  const int m = ((j % n_) + n_) % n_;
+  return static_cast<RobotId>(m);
+}
+
+Real ProportionalSchedule::initial_turn(const int i) const {
+  expects(i >= 0 && i < n_, "initial_turn: robot index out of range");
+  if (i == 0) return tau0_;  // a_0 heads straight to tau_0 (Definition 4)
+  // Backward turning points of robot i have magnitude tau0 * r^(i - m*n/2)
+  // and sign (-1)^m.  Magnitude < tau0 iff 2i - m*n < 0, so the first such
+  // m is floor(2i/n) + 1 — exact in integers, no rounding hazard at the
+  // 2i == m*n boundary (where the magnitude equals tau0 exactly).
+  const int m = (2 * i) / n_ + 1;
+  // magnitude = tau0 * r^i / kappa^m, kappa = r^(n/2); computed via the
+  // half-exponent grid r^((2i - m*n)/2) to stay in one formula.
+  const Real magnitude =
+      tau0_ * std::pow(r_, static_cast<Real>(2 * i - m * n_) / 2);
+  ensures(magnitude < tau0_, "backward extension did not shrink below tau0");
+  return (m % 2 == 0) ? magnitude : -magnitude;
+}
+
+Real ProportionalSchedule::lemma4_detection_time(const int f) const {
+  expects(f >= 0, "lemma4_detection_time: f must be >= 0");
+  const Real beta = cone_.beta();
+  // T_{f+1} = tau0 * (r^(f+1) * (beta - 1) + 1); equivalent to the
+  // (beta+1)^((2f+2)/n) (beta-1)^(1-(2f+2)/n) + 1 form in the paper.
+  return tau0_ * (ipow(r_, f + 1) * (beta - 1) + 1);
+}
+
+Trajectory ProportionalSchedule::robot_trajectory(const int i,
+                                                  const Real extent) const {
+  expects(extent > tau0_, "robot_trajectory: extent must exceed tau0");
+  const Real first = initial_turn(i);
+  TrajectoryBuilder builder;
+  builder.start_at(0, 0);
+  builder.move_to_at(first, cone_.boundary_time(first));
+  extend_zigzag(builder, cone_.beta(), extent);
+  return std::move(builder).build();
+}
+
+Fleet ProportionalSchedule::build_fleet(const Real extent) const {
+  std::vector<Trajectory> robots;
+  robots.reserve(static_cast<std::size_t>(n_));
+  for (int i = 0; i < n_; ++i) {
+    robots.push_back(robot_trajectory(i, extent));
+  }
+  return Fleet(std::move(robots));
+}
+
+ScheduleCheck check_schedule(const Fleet& fleet, const int n,
+                             const Real beta, const Real ignore_below) {
+  expects(n >= 1, "check_schedule: n must be >= 1");
+  expects(beta > 1, "check_schedule: beta must exceed 1");
+  expects(ignore_below > 0, "check_schedule: ignore_below must be positive");
+
+  ScheduleCheck check;
+  const Real r = proportionality_ratio(n, beta);
+
+  // (1) Cone containment of every robot.
+  check.within_cone = true;
+  for (const Trajectory& t : fleet.robots()) {
+    if (!within_cone(t, beta)) check.within_cone = false;
+  }
+
+  // (2) Unit speed on every leg after each robot's first turning point.
+  check.unit_speed_legs = true;
+  for (const Trajectory& t : fleet.robots()) {
+    const auto& wps = t.waypoints();
+    for (std::size_t s = 1; s + 1 < wps.size(); ++s) {  // skip prefix leg 0
+      const Real speed = std::fabs(wps[s + 1].position - wps[s].position) /
+                         (wps[s + 1].time - wps[s].time);
+      if (!approx_equal(speed, 1)) check.unit_speed_legs = false;
+    }
+  }
+
+  // (3) Proportionality of the global positive turning sequence at or
+  // above ignore_below, re-derived from raw waypoints.  (4) Interleaving:
+  // every n consecutive turns belong to n distinct robots.
+  struct Turn {
+    Real position;
+    RobotId robot;
+  };
+  std::vector<Turn> turns;
+  for (RobotId id = 0; id < fleet.size(); ++id) {
+    for (const Waypoint& w : fleet.robot(id).turning_waypoints()) {
+      if (w.position >= ignore_below * (1 - tol::kRelative)) {
+        turns.push_back({w.position, id});
+      }
+    }
+  }
+  std::sort(turns.begin(), turns.end(),
+            [](const Turn& a, const Turn& b) { return a.position < b.position; });
+
+  // Trajectories stop at different magnitudes once they have covered the
+  // requested extent, so the global grid has holes in its tail.  Restrict
+  // both the proportionality and the interleaving checks to the window
+  // every robot's positive turning sequence reaches.
+  Real common_reach = kInfinity;
+  for (const Trajectory& t : fleet.robots()) {
+    Real reach = 0;
+    for (const Waypoint& w : t.turning_waypoints()) {
+      reach = std::max(reach, w.position);
+    }
+    common_reach = std::min(common_reach, reach);
+  }
+  std::vector<Turn> window;
+  for (const Turn& turn : turns) {
+    if (turn.position <= common_reach * (1 + tol::kRelative)) {
+      window.push_back(turn);
+    }
+  }
+
+  check.proportional = window.size() >= 2;
+  for (std::size_t i = 0; i + 1 < window.size(); ++i) {
+    const Real ratio = window[i + 1].position / window[i].position;
+    const Real error = std::fabs(ratio - r) / r;
+    check.max_ratio_error = std::max(check.max_ratio_error, error);
+    if (error > 1e-6L) check.proportional = false;
+  }
+
+  check.robots_interleaved = true;
+  const std::size_t span = static_cast<std::size_t>(n);
+  if (window.size() < span) {
+    check.robots_interleaved = false;
+  } else {
+    for (std::size_t i = 0; i + span <= window.size(); ++i) {
+      std::vector<bool> seen(fleet.size(), false);
+      for (std::size_t k = 0; k < span; ++k) {
+        const RobotId id = window[i + k].robot;
+        if (seen[id]) check.robots_interleaved = false;
+        seen[id] = true;
+      }
+    }
+  }
+  return check;
+}
+
+}  // namespace linesearch

@@ -1,0 +1,112 @@
+// core/proportional.hpp — proportional schedules S_beta(n) (Section 3).
+//
+// A proportional schedule assigns all n robots zig-zags in one cone C_beta
+// such that the global sequence of positive turning points
+// tau_0 < tau_1 < ... has constant ratio (Definition 2):
+//     tau_{i+1} / tau_i = r = ((beta+1)/(beta-1))^(2/n)      (Lemma 2)
+// with turning point tau_i belonging to robot (i mod n), visited at time
+// t_i = beta * tau_i, and per-robot expansion factor kappa = r^(n/2).
+//
+// This class generates the schedule exactly from these invariants (tests
+// independently re-derive all of them from the raw trajectories) and
+// implements Definition 4's conversion into the runnable algorithm
+// A(n, f): each robot is extended backward through turning points of
+// magnitude r^(i - m*n/2) until the magnitude drops below tau_0, then
+// started from the origin at speed 1/beta so that it reaches that first
+// turning point exactly on the cone boundary.
+#pragma once
+
+#include <vector>
+
+#include "core/cone.hpp"
+#include "sim/fleet.hpp"
+#include "util/real.hpp"
+
+namespace linesearch {
+
+/// Generator for the proportional schedule S_beta(n), anchored at
+/// tau_0 (robot 0's reference turning point, the paper uses tau_0 = 1).
+class ProportionalSchedule {
+ public:
+  /// Requires n >= 1, beta > 1, tau0 > 0.
+  ProportionalSchedule(int n, Real beta, Real tau0 = 1);
+
+  [[nodiscard]] int robot_count() const noexcept { return n_; }
+  [[nodiscard]] const Cone& cone() const noexcept { return cone_; }
+  [[nodiscard]] Real tau0() const noexcept { return tau0_; }
+
+  /// Proportionality ratio r = ((beta+1)/(beta-1))^(2/n)  (Lemma 2).
+  [[nodiscard]] Real proportionality_ratio() const noexcept { return r_; }
+
+  /// Per-robot expansion factor kappa = (beta+1)/(beta-1) = r^(n/2).
+  [[nodiscard]] Real expansion_factor() const noexcept {
+    return cone_.expansion_factor();
+  }
+
+  /// j-th positive turning point tau0 * r^j (j may be negative).
+  [[nodiscard]] Real turning_point(int j) const;
+
+  /// Visit time of the j-th positive turning point: beta * tau_j.
+  [[nodiscard]] Real turning_time(int j) const;
+
+  /// Robot owning the j-th positive turning point: (j mod n).
+  [[nodiscard]] RobotId robot_of(int j) const noexcept;
+
+  /// Definition 4: the signed first turning point tau'_i of robot i with
+  /// magnitude strictly below tau0 (for i == 0, tau0 itself: robot a_0
+  /// heads straight to its reference point).  The backward step count is
+  /// m = floor(2i/n) + 1, decided in exact integer arithmetic so the
+  /// i == n/2 boundary case (magnitude exactly tau0) is never
+  /// misclassified by rounding.
+  [[nodiscard]] Real initial_turn(int i) const;
+
+  /// Closed-form time at which the (f+1)-st distinct robot visits tau_0
+  /// (Lemma 4):  tau0 * ((beta+1)^((2f+2)/n) (beta-1)^(1-(2f+2)/n) + 1).
+  /// Requires 0 <= f < n... the derivation needs robots a_1..a_{f+1} to
+  /// exist modulo wrap-around, which holds for all f < n.
+  [[nodiscard]] Real lemma4_detection_time(int f) const;
+
+  /// The full trajectory of robot i per Definition 4 (origin prefix at
+  /// speed 1/beta, then unit-speed zig-zag) extended until both
+  /// half-lines are covered past `extent`.
+  [[nodiscard]] Trajectory robot_trajectory(int i, Real extent) const;
+
+  /// The whole algorithm-A(n,f) fleet covering |x| <= extent.
+  [[nodiscard]] Fleet build_fleet(Real extent) const;
+
+ private:
+  int n_;
+  Cone cone_;
+  Real tau0_;
+  Real r_;
+};
+
+/// Free-function form of Lemma 2's ratio, usable without a schedule
+/// object:  r(n, beta) = ((beta+1)/(beta-1))^(2/n).
+[[nodiscard]] Real proportionality_ratio(int n, Real beta);
+
+/// Verification report for a schedule materialized as trajectories; all
+/// properties are re-derived from raw waypoints, independent of the
+/// generator.  Used by tests and the `verify`-style example.
+struct ScheduleCheck {
+  bool within_cone = false;        ///< every waypoint inside C_beta
+  bool unit_speed_legs = false;    ///< all post-prefix legs at speed ~1
+  bool proportional = false;       ///< positive turn ratios all equal r
+  bool robots_interleaved = false; ///< consecutive turns belong to
+                                   ///< distinct robots, cycling mod n
+  Real max_ratio_error = 0;        ///< worst |ratio - r| / r observed
+
+  [[nodiscard]] bool all_ok() const noexcept {
+    return within_cone && unit_speed_legs && proportional &&
+           robots_interleaved;
+  }
+};
+
+/// Re-derive schedule properties from the materialized fleet.
+/// `ignore_below` excludes the origin prefixes (turns of magnitude below
+/// tau0 may not be part of the interleaving pattern... they are, but the
+/// very first prefix leg is not unit speed) from the speed check.
+[[nodiscard]] ScheduleCheck check_schedule(const Fleet& fleet, int n,
+                                           Real beta, Real ignore_below);
+
+}  // namespace linesearch

@@ -1,0 +1,15 @@
+#include "core/strategy.hpp"
+
+#include "core/algorithm.hpp"
+#include "core/baselines.hpp"
+#include "util/error.hpp"
+
+namespace linesearch {
+
+StrategyPtr make_optimal_strategy(const int n, const int f) {
+  expects(f >= 0 && f < n, "make_optimal_strategy: need 0 <= f < n");
+  if (n >= 2 * f + 2) return std::make_unique<TwoGroupSplit>(n, f);
+  return std::make_unique<ProportionalAlgorithm>(n, f);
+}
+
+}  // namespace linesearch

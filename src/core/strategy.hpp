@@ -1,0 +1,52 @@
+// core/strategy.hpp — the public strategy interface.
+//
+// A SearchStrategy is a *factory of fleets*: given a coverage extent it
+// materializes the trajectories of its robots so that every target with
+// 1 <= |x| <= extent is eventually visited by at least fault_budget()+1
+// distinct robots.  Everything downstream — the exact evaluator, the
+// event engine, the adversary, the benches — works on the produced Fleet,
+// so user-defined strategies plug in with no other integration.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "sim/fleet.hpp"
+#include "util/real.hpp"
+
+namespace linesearch {
+
+/// Abstract parallel search strategy for n robots, up to f faulty.
+class SearchStrategy {
+ public:
+  virtual ~SearchStrategy() = default;
+
+  /// Human-readable name ("A(5,2)", "two-group split", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Number of robots n.
+  [[nodiscard]] virtual int robot_count() const = 0;
+
+  /// Fault budget f the strategy is designed for (f < n).
+  [[nodiscard]] virtual int fault_budget() const = 0;
+
+  /// Materialize trajectories guaranteeing (f+1)-fold distinct coverage
+  /// of 1 <= |x| <= extent.  Requires extent > 1.
+  [[nodiscard]] virtual Fleet build_fleet(Real extent) const = 0;
+
+  /// Proven competitive ratio, if the strategy has one.
+  [[nodiscard]] virtual std::optional<Real> theoretical_cr() const {
+    return std::nullopt;
+  }
+};
+
+/// Owning handle used by factories.
+using StrategyPtr = std::unique_ptr<SearchStrategy>;
+
+/// The paper's best strategy for any (n, f) with 0 <= f < n:
+/// the two-group split when n >= 2f+2, otherwise the proportional
+/// schedule algorithm A(n, f).
+[[nodiscard]] StrategyPtr make_optimal_strategy(int n, int f);
+
+}  // namespace linesearch

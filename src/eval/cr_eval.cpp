@@ -1,0 +1,107 @@
+#include "eval/cr_eval.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace linesearch {
+namespace {
+
+// Collect the probe magnitudes for one half-line.
+std::vector<Real> probe_magnitudes(const Fleet& fleet, const int side,
+                                   const CrEvalOptions& options) {
+  std::vector<Real> turns;
+  for (const Real magnitude : fleet.turning_positions(side)) {
+    if (magnitude >= options.window_lo * (1 - tol::kRelative) &&
+        magnitude <= options.window_hi) {
+      turns.push_back(magnitude);
+    }
+  }
+  turns.push_back(options.window_lo);
+  turns.push_back(options.window_hi);
+  std::sort(turns.begin(), turns.end());
+  turns.erase(std::unique(turns.begin(), turns.end(),
+                          [](const Real a, const Real b) {
+                            return approx_equal(a, b);
+                          }),
+              turns.end());
+
+  std::vector<Real> probes;
+  for (std::size_t i = 0; i < turns.size(); ++i) {
+    // Right-limit just past the turning point (the jump of Lemma 3)...
+    const Real just_past = turns[i] * (1 + tol::kLimitProbe);
+    if (just_past <= options.window_hi) probes.push_back(just_past);
+    // ...the point itself...
+    probes.push_back(turns[i]);
+    // ...and interior samples up to the next turning point.
+    if (i + 1 < turns.size() && options.interior_samples > 0) {
+      const Real lo = turns[i];
+      const Real hi = turns[i + 1];
+      const int k = options.interior_samples;
+      for (int s = 1; s <= k; ++s) {
+        probes.push_back(lo + (hi - lo) * static_cast<Real>(s) /
+                                  static_cast<Real>(k + 1));
+      }
+    }
+  }
+  return probes;
+}
+
+}  // namespace
+
+CrEvalResult measure_cr(const Fleet& fleet, const int f,
+                        const CrEvalOptions& options) {
+  expects(f >= 0, "measure_cr: f must be >= 0");
+  expects(options.window_lo > 0, "measure_cr: window_lo must be positive");
+  expects(options.window_hi > options.window_lo,
+          "measure_cr: window_hi must exceed window_lo");
+
+  CrEvalResult result;
+  for (const int side : {+1, -1}) {
+    Real best = 0;
+    Real best_x = 0;
+    for (const Real magnitude : probe_magnitudes(fleet, side, options)) {
+      const Real x = static_cast<Real>(side) * magnitude;
+      const Real time = fleet.detection_time(x, f);
+      ++result.probes;
+      if (std::isinf(time)) {
+        if (options.require_finite) {
+          throw NumericError(
+              "measure_cr: undetected probe — fleet extent too small for "
+              "the measurement window");
+        }
+        continue;
+      }
+      const Real ratio = time / magnitude;
+      if (ratio > best) {
+        best = ratio;
+        best_x = x;
+      }
+    }
+    if (side > 0) {
+      result.cr_positive = best;
+    } else {
+      result.cr_negative = best;
+    }
+    if (best > result.cr) {
+      result.cr = best;
+      result.argmax = best_x;
+    }
+  }
+  return result;
+}
+
+std::vector<Real> k_profile(const Fleet& fleet, const int f,
+                            const std::vector<Real>& positions) {
+  expects(f >= 0, "k_profile: f must be >= 0");
+  std::vector<Real> profile;
+  profile.reserve(positions.size());
+  for (const Real x : positions) {
+    expects(x != 0, "k_profile: positions must be non-zero");
+    profile.push_back(fleet.detection_time(x, f) / std::fabs(x));
+  }
+  return profile;
+}
+
+}  // namespace linesearch

@@ -1,0 +1,126 @@
+#include "eval/discover.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/optimize.hpp"
+#include "core/competitive.hpp"
+#include "core/custom.hpp"
+#include "eval/exact.hpp"
+#include "sim/zigzag.hpp"
+#include "util/error.hpp"
+
+namespace linesearch {
+
+Real offsets_cr(const Real beta, const std::vector<Real>& magnitudes,
+                const int f) {
+  const Real kappa = expansion_factor(beta);
+  const Real period = kappa * kappa;
+  // One multiplicative period of the turning grid captures the sup; the
+  // extent leaves room for the (f+1)-st visitor of the farthest probe.
+  const Real window_hi = period * 1.05L;
+  const Fleet fleet =
+      build_cone_fleet(beta, magnitudes, window_hi * period * 2);
+  return certified_cr(fleet, f, {.window_hi = window_hi}).cr;
+}
+
+namespace {
+
+// The search space: n positive "gap shares".  Shares map to log-space
+// gaps g_i = log_period * w_i / sum(w), and the magnitudes are the
+// cumulative exponentials s_k = exp(g_0 + ... + g_{k-1}), s_0 = 1.  The
+// map is shift-invariant in z (one redundant dimension), unconstrained,
+// and the proportional schedule is exactly the all-equal-shares point.
+std::vector<Real> shares_to_magnitudes(const std::vector<Real>& z,
+                                       const Real log_period) {
+  std::vector<Real> weights;
+  weights.reserve(z.size());
+  Real total = 0;
+  for (const Real zi : z) {
+    const Real w = std::exp(zi);
+    weights.push_back(w);
+    total += w;
+  }
+  std::vector<Real> magnitudes;
+  magnitudes.reserve(z.size());
+  Real theta = 0;
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    magnitudes.push_back(std::exp(theta));
+    theta += log_period * weights[i] / total;
+  }
+  return magnitudes;
+}
+
+}  // namespace
+
+DiscoveryResult discover_schedule(const int n, const int f,
+                                  const DiscoveryOptions& options) {
+  expects(in_proportional_regime(n, f),
+          "discover_schedule requires f < n < 2f+2");
+  expects(options.max_sweeps >= 1, "discover: need at least one sweep");
+
+  const Real beta = optimal_beta(n, f);
+  const Real kappa = expansion_factor(beta);
+  const Real log_period = 2 * std::log(kappa);
+
+  DiscoveryResult result;
+  const auto objective = [&](const std::vector<Real>& z) {
+    ++result.evaluations;
+    return offsets_cr(beta, shares_to_magnitudes(z, log_period), f);
+  };
+
+  // Naive starting point: UNIFORM (arithmetic) magnitudes 1 + i*span/n,
+  // expressed as gap shares.
+  std::vector<Real> start(static_cast<std::size_t>(n), 0);
+  {
+    std::vector<Real> theta(static_cast<std::size_t>(n) + 1, 0);
+    for (int i = 1; i < n; ++i) {
+      theta[static_cast<std::size_t>(i)] =
+          std::log(1 + (kappa * kappa - 1) * static_cast<Real>(i) /
+                           static_cast<Real>(n));
+    }
+    theta[static_cast<std::size_t>(n)] = log_period;
+    for (int i = 0; i < n; ++i) {
+      const auto index = static_cast<std::size_t>(i);
+      start[index] = std::log(theta[index + 1] - theta[index]);
+    }
+  }
+  result.initial_cr =
+      offsets_cr(beta, shares_to_magnitudes(start, log_period), f);
+
+  // Nelder-Mead over gap shares (unconstrained, so no ordering coupling),
+  // restarted around its own optimum to escape the simplex collapsing on
+  // one of the sawtooth ridges.
+  NelderMeadOptions nm;
+  nm.tolerance = 1e-13L;
+  nm.max_iterations = 500 * n;
+  std::vector<Real> best_z = start;
+  Real best = result.initial_cr;
+  for (int restart = 0; restart < options.max_sweeps; ++restart) {
+    ++result.sweeps;
+    nm.initial_step = (restart == 0) ? 0.6L : 0.15L;
+    const MinimizeNdResult found = nelder_mead(objective, best_z, nm);
+    if (found.fx < best - options.tolerance) {
+      best = found.fx;
+      best_z = found.x;
+    } else {
+      if (found.fx < best) {
+        best = found.fx;
+        best_z = found.x;
+      }
+      break;
+    }
+  }
+
+  result.cr = best;
+  result.magnitudes = shares_to_magnitudes(best_z, log_period);
+  std::sort(result.magnitudes.begin(), result.magnitudes.end());
+  for (std::size_t i = 0; i + 1 < result.magnitudes.size(); ++i) {
+    result.ratios.push_back(result.magnitudes[i + 1] /
+                            result.magnitudes[i]);
+  }
+  result.ratios.push_back(kappa * kappa / result.magnitudes.back());
+  return result;
+}
+
+}  // namespace linesearch

@@ -1,0 +1,55 @@
+// eval/discover.hpp — rediscovering the proportional schedule by
+// numerical optimization.
+//
+// The paper DERIVES the geometric interleaving (Definition 2) and then
+// proves it optimal within its family.  This module attacks the question
+// from the other side: fix the optimal cone beta* and treat the robots'
+// first-turn magnitudes s_1 < ... < s_{n-1} in (1, kappa^2) as FREE
+// parameters (s_0 = 1 anchored); minimize the certified competitive
+// ratio with Nelder-Mead over log-gap shares (an unconstrained
+// parameterization of the ordered offsets).  Because the turning grid
+// {s_i * kappa^(2k)} repeats
+// multiplicatively with period kappa^2, the certified CR over one period
+// equals the true supremum — so the optimizer sees the exact objective.
+//
+// Result (bench_discovery, discover_test): the optimizer converges to
+// s_i = r^i with r = ((beta+1)/(beta-1))^(2/n) and CR = Theorem 1's
+// value, i.e. it *rediscovers* the paper's algorithm from scratch.
+#pragma once
+
+#include <vector>
+
+#include "util/real.hpp"
+
+namespace linesearch {
+
+/// Options for the schedule search.
+struct DiscoveryOptions {
+  int max_sweeps = 24;      ///< Nelder-Mead restarts around the optimum
+  Real tolerance = 1e-10L;  ///< stop when a restart improves less
+};
+
+/// Result of a schedule search.
+struct DiscoveryResult {
+  std::vector<Real> magnitudes;  ///< optimized s_0 = 1 <= ... < kappa^2
+  std::vector<Real> ratios;      ///< consecutive ratios s_{i+1}/s_i,
+                                 ///< plus the wrap s_0*kappa^2/s_{n-1}
+  Real cr = 0;                   ///< certified CR of the optimum
+  Real initial_cr = 0;           ///< certified CR of the starting point
+  int sweeps = 0;                ///< Nelder-Mead restarts performed
+  int evaluations = 0;           ///< objective evaluations
+};
+
+/// Search for the best first-turn offsets for n robots, f faults, in the
+/// optimal cone beta* = (4f+4)/n - 1.  The starting point is the
+/// UNIFORM (arithmetic) offset vector — the natural naive guess.
+/// Requires f < n < 2f+2.
+[[nodiscard]] DiscoveryResult discover_schedule(
+    int n, int f, const DiscoveryOptions& options = {});
+
+/// The certified CR of an arbitrary magnitude vector in the cone beta
+/// (helper shared with benches/tests); magnitudes in [1, kappa^2).
+[[nodiscard]] Real offsets_cr(Real beta, const std::vector<Real>& magnitudes,
+                              int f);
+
+}  // namespace linesearch

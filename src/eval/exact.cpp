@@ -1,0 +1,62 @@
+#include "eval/exact.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "eval/interval_lines.hpp"
+#include "util/error.hpp"
+
+namespace linesearch {
+
+ExactCrResult certified_cr(const Fleet& fleet, const int f,
+                           const ExactCrOptions& options) {
+  expects(f >= 0, "certified_cr: f must be >= 0");
+  expects(options.window_lo > 0 &&
+              options.window_hi > options.window_lo,
+          "certified_cr: bad window");
+  const auto k = static_cast<std::size_t>(f);
+  expects(k < fleet.size(), "certified_cr: fault budget >= fleet size");
+
+  ExactCrResult result;
+  for (const int side : {+1, -1}) {
+    const std::vector<Real> criticals = detail::critical_magnitudes(
+        fleet, side, options.window_lo, options.window_hi);
+
+    for (std::size_t i = 0; i + 1 < criticals.size(); ++i) {
+      const Real a = criticals[i];
+      const Real b = criticals[i + 1];
+      ++result.intervals;
+      const std::vector<detail::VisitLine> lines =
+          detail::visit_lines(fleet, side, a, b);
+
+      // Candidate extrema: interval endpoints (as one-sided limits) and
+      // every pairwise crossing of lines with distinct slopes.
+      std::vector<Real> candidates{a, b};
+      const std::vector<Real> crossings =
+          detail::line_crossings(lines, a, b);
+      result.breakpoints += static_cast<int>(crossings.size());
+      candidates.insert(candidates.end(), crossings.begin(),
+                        crossings.end());
+
+      for (const Real x : candidates) {
+        const Real time = detail::order_statistic_at(lines, x, k);
+        if (std::isinf(time)) {
+          if (options.require_finite) {
+            throw NumericError(
+                "certified_cr: window not (f+1)-covered — fleet extent "
+                "too small");
+          }
+          continue;
+        }
+        const Real ratio = time / x;
+        if (ratio > result.cr) {
+          result.cr = ratio;
+          result.argsup = static_cast<Real>(side) * x;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace linesearch

@@ -1,0 +1,53 @@
+// eval/exact.hpp — certified (probe-free) competitive-ratio evaluation.
+//
+// measure_cr approaches the supremum of K(x) = T_{f+1}(x)/|x| through
+// right-limit probes at tau*(1+1e-9).  This module computes the sup
+// EXACTLY by exploiting structure instead of sampling:
+//
+//   Between two adjacent "critical magnitudes" (turning points, initial
+//   and final waypoint positions, window endpoints) no robot's
+//   first-visit leg changes, so each robot's first-visit time is LINEAR
+//   in x (slope = 1/leg speed — exactly 1 for unit-speed legs, beta for
+//   the Definition-4 prefixes).  The (f+1)-st order statistic of linear
+//   functions is piecewise linear with breakpoints at pairwise line
+//   crossings, and K = T/x is monotone between breakpoints, so the
+//   supremum over the whole window is attained in the limit at interval
+//   endpoints or at breakpoints — a finite, exactly computable set.
+//
+// The result is the true sup over the half-open intervals (approached at
+// discontinuities, attained elsewhere), with NO epsilon anywhere: on
+// proportional schedules it matches Lemma 5's closed form to long-double
+// round-off (~1e-18 relative), three orders tighter than measure_cr.
+#pragma once
+
+#include <vector>
+
+#include "sim/fleet.hpp"
+#include "util/real.hpp"
+
+namespace linesearch {
+
+/// Result of a certified evaluation.
+struct ExactCrResult {
+  Real cr = 0;          ///< exact supremum of K over the window
+  Real argsup = 0;      ///< signed x whose (one-sided) limit attains it
+  int intervals = 0;    ///< critical intervals analyzed
+  int breakpoints = 0;  ///< order-statistic breakpoints examined
+};
+
+/// Options for certified_cr.
+struct ExactCrOptions {
+  Real window_lo = 1;
+  Real window_hi = 64;
+  /// Throw NumericError when some x in the window is never visited by
+  /// f+1 distinct robots (an under-built fleet); with false such
+  /// intervals are skipped.
+  bool require_finite = true;
+};
+
+/// Compute the exact supremum of detection_time(x, f)/|x| over
+/// window_lo <= |x| <= window_hi on both half-lines.
+[[nodiscard]] ExactCrResult certified_cr(const Fleet& fleet, int f,
+                                         const ExactCrOptions& options = {});
+
+}  // namespace linesearch

@@ -1,0 +1,27 @@
+#include "eval/group_search.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace linesearch {
+
+Real last_arrival_time(const Fleet& fleet, const Real x) {
+  Real latest = 0;
+  for (const Trajectory& robot : fleet.robots()) {
+    const std::optional<Real> visit = robot.first_visit_time(x);
+    if (!visit) return kInfinity;
+    latest = std::max(latest, *visit);
+  }
+  return latest;
+}
+
+CrEvalResult measure_group_cr(const Fleet& fleet,
+                              const CrEvalOptions& options) {
+  // Last arrival == detection with f = n-1 adversarial faults (the
+  // (n-1+1)-st = n-th distinct first visit), so reuse measure_cr.
+  return measure_cr(fleet, static_cast<int>(fleet.size()) - 1, options);
+}
+
+}  // namespace linesearch

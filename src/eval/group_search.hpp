@@ -1,0 +1,36 @@
+// eval/group_search.hpp — the LAST-arrival ("group search") variant.
+//
+// The paper's related work cites Chrobak, Gasieniec, Gorry and Martin
+// ("Group search on the line", SOFSEM 2015): the search ends only when
+// the LAST searcher reaches the target (think: the whole team must
+// assemble at the exit).  Their result — having many searchers does not
+// beat the single-robot bound 9 — is reproduced here empirically:
+//
+//   * group doubling (everyone together) achieves exactly 9 under
+//     last-arrival semantics, and
+//   * the paper's A(n, f), optimized for FIRST-reliable-arrival, is much
+//     worse under last-arrival (robots are spread out by design, so the
+//     farthest-committed robot pays a long detour), quantifying how the
+//     two objectives pull schedules in opposite directions.
+//
+// Faults are irrelevant to last-arrival semantics (every robot must
+// arrive anyway), so the API takes no fault budget.
+#pragma once
+
+#include "eval/cr_eval.hpp"
+#include "sim/fleet.hpp"
+#include "util/real.hpp"
+
+namespace linesearch {
+
+/// Time by which EVERY robot of the fleet has visited x at least once
+/// (kInfinity if any robot never does).
+[[nodiscard]] Real last_arrival_time(const Fleet& fleet, Real x);
+
+/// Empirical competitive ratio under last-arrival semantics:
+/// sup over the window of last_arrival_time(x)/|x|, probed like
+/// measure_cr (turning-point right-limits + interior samples).
+[[nodiscard]] CrEvalResult measure_group_cr(const Fleet& fleet,
+                                            const CrEvalOptions& options = {});
+
+}  // namespace linesearch

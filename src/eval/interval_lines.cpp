@@ -1,0 +1,98 @@
+#include "eval/interval_lines.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+
+#include "util/error.hpp"
+
+namespace linesearch::detail {
+
+std::vector<Real> critical_magnitudes(const Fleet& fleet, const int side,
+                                      const Real window_lo,
+                                      const Real window_hi) {
+  expects(side == 1 || side == -1, "critical_magnitudes: side must be +-1");
+  expects(window_lo > 0 && window_hi > window_lo,
+          "critical_magnitudes: bad window");
+  std::vector<Real> criticals{window_lo, window_hi};
+  for (const Trajectory& robot : fleet.robots()) {
+    for (const Waypoint& w : robot.waypoints()) {
+      if (sign_of(w.position) == side) {
+        const Real magnitude = std::fabs(w.position);
+        if (magnitude > window_lo && magnitude < window_hi) {
+          criticals.push_back(magnitude);
+        }
+      }
+    }
+  }
+  std::sort(criticals.begin(), criticals.end());
+  criticals.erase(std::unique(criticals.begin(), criticals.end()),
+                  criticals.end());
+  return criticals;
+}
+
+std::vector<VisitLine> visit_lines(const Fleet& fleet, const int side,
+                                   const Real a, const Real b) {
+  const Real x1 = a + (b - a) / 2;
+  const Real x2 = a + (b - a) / 4;
+  std::vector<VisitLine> lines;
+  lines.reserve(fleet.size());
+  for (const Trajectory& robot : fleet.robots()) {
+    const std::optional<Real> t1 =
+        robot.first_visit_time(static_cast<Real>(side) * x1);
+    const std::optional<Real> t2 =
+        robot.first_visit_time(static_cast<Real>(side) * x2);
+    VisitLine line;
+    if (t1 && t2) {
+      line.finite = true;
+      line.anchor = x1;
+      line.value = *t1;
+      line.slope = (*t1 - *t2) / (x1 - x2);
+    }
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+Real order_statistic_at(const std::vector<VisitLine>& lines, const Real x,
+                        const std::size_t k) {
+  std::vector<Real> values;
+  values.reserve(lines.size());
+  for (const VisitLine& line : lines) values.push_back(line.at(x));
+  std::nth_element(values.begin(),
+                   values.begin() + static_cast<std::ptrdiff_t>(k),
+                   values.end());
+  return values[static_cast<std::ptrdiff_t>(k)];
+}
+
+std::size_t order_statistic_line(const std::vector<VisitLine>& lines,
+                                 const Real x, const std::size_t k) {
+  const Real value = order_statistic_at(lines, x, k);
+  // Among lines attaining <= value, the k-th in sorted order is the one
+  // whose value equals the order statistic; pick the first such line.
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (lines[i].at(x) == value) return i;
+  }
+  ensures(false, "order statistic line not found");
+  return 0;
+}
+
+std::vector<Real> line_crossings(const std::vector<VisitLine>& lines,
+                                 const Real a, const Real b) {
+  std::vector<Real> crossings;
+  for (std::size_t p = 0; p < lines.size(); ++p) {
+    if (!lines[p].finite) continue;
+    for (std::size_t q = p + 1; q < lines.size(); ++q) {
+      if (!lines[q].finite) continue;
+      const Real slope_gap = lines[p].slope - lines[q].slope;
+      if (slope_gap == 0) continue;
+      const Real cross = lines[p].anchor +
+                         (lines[q].at(lines[p].anchor) - lines[p].value) /
+                             slope_gap;
+      if (cross > a && cross < b) crossings.push_back(cross);
+    }
+  }
+  return crossings;
+}
+
+}  // namespace linesearch::detail

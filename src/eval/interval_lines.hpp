@@ -1,0 +1,58 @@
+// eval/interval_lines.hpp — shared internals of the exact evaluators.
+//
+// Between adjacent "critical magnitudes" (waypoint positions of any
+// robot, plus window endpoints) every robot's first-visit time is linear
+// in |x|.  This header provides the critical-grid collection and the
+// per-interval line fitting used by eval/exact (certified suprema) and
+// eval/profile (exact piecewise profiles).  It is an implementation
+// detail shared between those translation units; external users should
+// prefer the two public facades.
+#pragma once
+
+#include <vector>
+
+#include "sim/fleet.hpp"
+#include "util/real.hpp"
+
+namespace linesearch::detail {
+
+/// A robot's first-visit time restricted to one critical interval:
+/// t(x) = value + slope * (x - anchor), or "never" (infinite).
+struct VisitLine {
+  bool finite = false;
+  Real anchor = 0;
+  Real value = 0;  ///< t(anchor)
+  Real slope = 0;
+
+  [[nodiscard]] Real at(const Real x) const {
+    if (!finite) return kInfinity;
+    return value + slope * (x - anchor);
+  }
+};
+
+/// Sorted, deduplicated critical magnitudes on `side` within
+/// [window_lo, window_hi] (inclusive of the window endpoints).
+[[nodiscard]] std::vector<Real> critical_magnitudes(const Fleet& fleet,
+                                                    int side, Real window_lo,
+                                                    Real window_hi);
+
+/// Fit each robot's visit line on the open interval (a, b), with x
+/// measured as magnitude on `side`.
+[[nodiscard]] std::vector<VisitLine> visit_lines(const Fleet& fleet,
+                                                 int side, Real a, Real b);
+
+/// The k-th smallest (0-based) of the line values at magnitude x.
+[[nodiscard]] Real order_statistic_at(const std::vector<VisitLine>& lines,
+                                      Real x, std::size_t k);
+
+/// Index of the line realizing the k-th smallest value at x (ties by
+/// smallest index).
+[[nodiscard]] std::size_t order_statistic_line(
+    const std::vector<VisitLine>& lines, Real x, std::size_t k);
+
+/// All pairwise crossings of distinct-slope finite lines strictly inside
+/// (a, b), unsorted.
+[[nodiscard]] std::vector<Real> line_crossings(
+    const std::vector<VisitLine>& lines, Real a, Real b);
+
+}  // namespace linesearch::detail

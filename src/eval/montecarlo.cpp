@@ -1,0 +1,52 @@
+#include "eval/montecarlo.hpp"
+
+#include <cmath>
+#include <random>
+
+#include "eval/cr_eval.hpp"
+#include "sim/faults.hpp"
+#include "util/error.hpp"
+
+namespace linesearch {
+
+MonteCarloResult random_fault_study(const Fleet& fleet, const int f,
+                                    const MonteCarloOptions& options) {
+  expects(f >= 0 && static_cast<std::size_t>(f) < fleet.size(),
+          "random_fault_study: need 0 <= f < n");
+  expects(options.trials >= 1, "random_fault_study: trials must be >= 1");
+  expects(options.target_lo > 0 && options.target_hi > options.target_lo,
+          "random_fault_study: bad target window");
+
+  std::mt19937_64 rng(options.seed);
+  RandomFaults faults(options.seed ^ 0x9e3779b97f4a7c15ULL);
+  std::uniform_real_distribution<double> log_position(
+      std::log(static_cast<double>(options.target_lo)),
+      std::log(static_cast<double>(options.target_hi)));
+  std::bernoulli_distribution coin(0.5);
+
+  std::vector<Real> ratios;
+  ratios.reserve(static_cast<std::size_t>(options.trials));
+  for (int trial = 0; trial < options.trials; ++trial) {
+    const Real magnitude = std::exp(static_cast<Real>(log_position(rng)));
+    const Real target = coin(rng) ? magnitude : -magnitude;
+    const std::vector<bool> faulty = faults.choose_faults(fleet, target, f);
+    const Real time = fleet.detection_time_with_faults(target, faulty);
+    ensures(!std::isinf(time),
+            "random_fault_study: undetected target — fleet extent too small");
+    ratios.push_back(time / magnitude);
+  }
+
+  MonteCarloResult result;
+  result.ratio = summarize(ratios);
+  result.worst_sample = result.ratio.max;
+  result.median = quantile(ratios, 0.5L);
+  result.p95 = quantile(ratios, 0.95L);
+
+  CrEvalOptions eval;
+  eval.window_lo = options.target_lo;
+  eval.window_hi = options.target_hi;
+  result.adversarial_cr = measure_cr(fleet, f, eval).cr;
+  return result;
+}
+
+}  // namespace linesearch

@@ -1,0 +1,43 @@
+// eval/montecarlo.hpp — random-fault studies (extension experiment A3).
+//
+// The paper's analysis is worst case: the adversary picks the f faulty
+// robots.  A natural follow-up question — how much of the competitive
+// ratio is adversarial pessimism? — is answered empirically by sampling
+// the fault set uniformly at random and recording the distribution of
+// detection ratios over random targets.  The worst-case value upper-
+// bounds every sample; the gap between the mean and the worst case is
+// the "price of adversity".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/stats.hpp"
+#include "sim/fleet.hpp"
+#include "util/real.hpp"
+
+namespace linesearch {
+
+/// Options for a Monte-Carlo run.
+struct MonteCarloOptions {
+  int trials = 1000;          ///< (fault-set, target) samples
+  Real target_lo = 1;         ///< targets drawn log-uniform in [lo, hi]
+  Real target_hi = 64;
+  std::uint64_t seed = 0x5eed'1e55'0123'4567ULL;
+};
+
+/// Result of a Monte-Carlo run.
+struct MonteCarloResult {
+  Summary ratio;            ///< detection_time/|target| over all samples
+  Real worst_sample = 0;    ///< max sampled ratio
+  Real median = 0;
+  Real p95 = 0;
+  Real adversarial_cr = 0;  ///< exact worst case on the same window
+};
+
+/// Sample detection ratios of `fleet` under uniformly random fault sets
+/// of size exactly f and log-uniform random signed targets.
+[[nodiscard]] MonteCarloResult random_fault_study(
+    const Fleet& fleet, int f, const MonteCarloOptions& options = {});
+
+}  // namespace linesearch

@@ -1,0 +1,116 @@
+#include "eval/profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "eval/interval_lines.hpp"
+#include "util/error.hpp"
+
+namespace linesearch {
+namespace {
+
+// Append a piece, coalescing with the previous one when it is the exact
+// linear continuation.
+void push_piece(std::vector<ProfilePiece>& pieces, const ProfilePiece& piece,
+                const bool coalesce) {
+  if (coalesce && !pieces.empty()) {
+    ProfilePiece& last = pieces.back();
+    if (last.slope == piece.slope && last.hi == piece.lo &&
+        approx_equal(last.value_at_hi(), piece.value_at_lo, 1e-15L)) {
+      last.hi = piece.hi;
+      return;
+    }
+  }
+  pieces.push_back(piece);
+}
+
+}  // namespace
+
+std::vector<ProfilePiece> detection_profile(const Fleet& fleet,
+                                            const int faults, const int side,
+                                            const ProfileOptions& options) {
+  expects(faults >= 0, "detection_profile: faults must be >= 0");
+  expects(side == 1 || side == -1, "detection_profile: side must be +-1");
+  const auto k = static_cast<std::size_t>(faults);
+  expects(k < fleet.size(),
+          "detection_profile: fault budget >= fleet size");
+
+  // Build pieces on the MAGNITUDE axis first.
+  std::vector<ProfilePiece> magnitude_pieces;
+  const std::vector<Real> criticals = detail::critical_magnitudes(
+      fleet, side, options.window_lo, options.window_hi);
+  for (std::size_t i = 0; i + 1 < criticals.size(); ++i) {
+    const Real a = criticals[i];
+    const Real b = criticals[i + 1];
+    // Sub-epsilon bands (e.g. when a turning point's floating value is
+    // one ulp away from the window edge) cannot be line-fitted — the two
+    // sample abscissae would coincide after rounding.  They have measure
+    // ~1e-17 and are skipped.
+    if (b - a < std::max(a, Real{1}) * 1e-15L) continue;
+    const std::vector<detail::VisitLine> lines =
+        detail::visit_lines(fleet, side, a, b);
+
+    // Sub-intervals delimited by order-statistic breakpoints.
+    std::vector<Real> cuts{a, b};
+    const std::vector<Real> crossings = detail::line_crossings(lines, a, b);
+    cuts.insert(cuts.end(), crossings.begin(), crossings.end());
+    std::sort(cuts.begin(), cuts.end());
+    cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+    for (std::size_t c = 0; c + 1 < cuts.size(); ++c) {
+      const Real lo = cuts[c];
+      const Real hi = cuts[c + 1];
+      const Real mid = lo + (hi - lo) / 2;
+      const Real t_mid = detail::order_statistic_at(lines, mid, k);
+      if (std::isinf(t_mid)) {
+        if (options.require_finite) {
+          throw NumericError(
+              "detection_profile: window not (faults+1)-covered");
+        }
+        continue;
+      }
+      const std::size_t line_index =
+          detail::order_statistic_line(lines, mid, k);
+      const detail::VisitLine& line = lines[line_index];
+      push_piece(magnitude_pieces,
+                 {lo, hi, line.at(lo), line.slope}, options.coalesce);
+    }
+  }
+  if (side == 1) return magnitude_pieces;
+
+  // Mirror onto the negative half-line, ordered by increasing signed x.
+  std::vector<ProfilePiece> mirrored;
+  mirrored.reserve(magnitude_pieces.size());
+  for (auto it = magnitude_pieces.rbegin(); it != magnitude_pieces.rend();
+       ++it) {
+    ProfilePiece piece;
+    piece.lo = -it->hi;
+    piece.hi = -it->lo;
+    piece.value_at_lo = it->value_at_hi();
+    piece.slope = -it->slope;
+    mirrored.push_back(piece);
+  }
+  return mirrored;
+}
+
+Real profile_max_error(const Fleet& fleet, const int faults,
+                       const std::vector<ProfilePiece>& pieces,
+                       const int samples_per_piece) {
+  expects(samples_per_piece >= 1, "profile_max_error: need >= 1 sample");
+  Real worst = 0;
+  for (const ProfilePiece& piece : pieces) {
+    for (int s = 0; s < samples_per_piece; ++s) {
+      const Real x = piece.lo + (piece.hi - piece.lo) *
+                                    (static_cast<Real>(s) + 0.5L) /
+                                    static_cast<Real>(samples_per_piece);
+      // Pieces describe open-interval behavior; a sample that rounds
+      // onto the boundary would compare against the other regime.
+      if (x <= piece.lo || x >= piece.hi) continue;
+      const Real expected = fleet.detection_time(x, faults);
+      worst = std::max(worst, std::fabs(piece.at(x) - expected));
+    }
+  }
+  return worst;
+}
+
+}  // namespace linesearch

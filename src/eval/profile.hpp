@@ -1,0 +1,62 @@
+// eval/profile.hpp — exact piecewise-linear detection-time profiles.
+//
+// T_k(x), the time by which k distinct robots have visited x, is
+// piecewise linear in x: within a critical interval (no waypoint
+// positions inside) every robot's first-visit time is linear, and the
+// k-th order statistic of linear functions is piecewise linear with
+// breakpoints at line crossings.  This module extracts that structure
+// EXACTLY — a list of linear pieces — instead of sampling it.  It is the
+// geometry of the paper's Figure-4 "tower" (the boundary of the region
+// seen by >= f+1 robots), and the same machinery behind eval/exact's
+// certified suprema, exposed as a reusable artifact for plots, SVG
+// export and downstream analysis.
+#pragma once
+
+#include <vector>
+
+#include "sim/fleet.hpp"
+#include "util/real.hpp"
+
+namespace linesearch {
+
+/// One maximal linear piece of a profile: t(x) = value_at_lo + slope *
+/// (x - lo) for lo <= x < hi.  `x` here is the SIGNED position.
+struct ProfilePiece {
+  Real lo = 0;
+  Real hi = 0;
+  Real value_at_lo = 0;
+  Real slope = 0;
+
+  [[nodiscard]] Real at(const Real x) const {
+    return value_at_lo + slope * (x - lo);
+  }
+  [[nodiscard]] Real value_at_hi() const { return at(hi); }
+};
+
+/// Options for profile extraction.
+struct ProfileOptions {
+  Real window_lo = 1;   ///< smallest |x|
+  Real window_hi = 16;  ///< largest |x|
+  /// Pieces whose detection never happens are dropped when false;
+  /// with true they trigger a NumericError.
+  bool require_finite = true;
+  /// Merge adjacent pieces that continue each other (same slope, value
+  /// continuous) into one.
+  bool coalesce = true;
+};
+
+/// Exact piecewise representation of T_{faults+1}(x) on one side of the
+/// line (side = +1: window_lo <= x <= window_hi; side = -1: mirrored,
+/// pieces reported with negative coordinates, lo > hi magnitudes kept
+/// ordered by increasing signed x).
+[[nodiscard]] std::vector<ProfilePiece> detection_profile(
+    const Fleet& fleet, int faults, int side,
+    const ProfileOptions& options = {});
+
+/// Verification helper: maximum |piece value - fleet.detection_time|
+/// over `samples` per piece (tests use it to certify the extraction).
+[[nodiscard]] Real profile_max_error(const Fleet& fleet, int faults,
+                                     const std::vector<ProfilePiece>& pieces,
+                                     int samples_per_piece = 4);
+
+}  // namespace linesearch

@@ -1,0 +1,137 @@
+#include "eval/randomized.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/competitive.hpp"
+#include "core/custom.hpp"
+#include "core/proportional.hpp"
+#include "sim/fleet.hpp"
+#include "sim/zigzag.hpp"
+#include "util/error.hpp"
+
+namespace linesearch {
+namespace {
+
+void check_options(const RandomizedOptions& options) {
+  expects(options.offset_samples >= 2, "randomized: need >= 2 offsets");
+  expects(options.phase_samples >= 2, "randomized: need >= 2 phases");
+  expects(options.base_distance > 1, "randomized: base distance > 1");
+}
+
+}  // namespace
+
+RandomizedResult randomized_single_cr(const Real kappa,
+                                      const RandomizedOptions& options) {
+  expects(kappa > 1, "randomized_single_cr: kappa must exceed 1");
+  check_options(options);
+  const Real beta = beta_for_expansion(kappa);
+
+  // The same-side turning lattice has multiplicative period kappa^2, so
+  // the scale is kappa^(2U), U ~ Uniform[0,1) — midpoint quadrature.
+  std::vector<Fleet> realizations;
+  realizations.reserve(static_cast<std::size_t>(options.offset_samples));
+  const Real extent = options.base_distance * kappa * kappa * kappa;
+  for (int j = 0; j < options.offset_samples; ++j) {
+    const Real u = (static_cast<Real>(j) + 0.5L) /
+                   static_cast<Real>(options.offset_samples);
+    const Real seed = std::pow(kappa, 2 * u);
+    realizations.emplace_back(std::vector<Trajectory>{make_cone_zigzag(
+        {.beta = beta, .first_turn = seed, .min_coverage = extent})});
+  }
+
+  // Deterministic contrast: the U = 0 schedule (seed 1, no mirror).
+  const Fleet deterministic(std::vector<Trajectory>{make_cone_zigzag(
+      {.beta = beta, .first_turn = 1, .min_coverage = extent})});
+
+  RandomizedResult result;
+  for (int p = 0; p < options.phase_samples; ++p) {
+    const Real phase = static_cast<Real>(p) /
+                       static_cast<Real>(options.phase_samples);
+    const Real x = options.base_distance * std::pow(kappa, 2 * phase);
+    Real mean = 0;
+    for (const Fleet& fleet : realizations) {
+      // Coin-flip mirror == averaging the two target signs.
+      const Real plus = fleet.detection_time(x, 0) / x;
+      const Real minus = fleet.detection_time(-x, 0) / x;
+      ensures(std::isfinite(plus) && std::isfinite(minus),
+              "randomized_single_cr: extent too small");
+      mean += (plus + minus) / 2;
+    }
+    mean /= static_cast<Real>(options.offset_samples);
+    result.mean_expected_cr += mean / static_cast<Real>(options.phase_samples);
+    if (mean > result.expected_cr) {
+      result.expected_cr = mean;
+      result.worst_phase = phase;
+    }
+    result.deterministic = std::max(
+        result.deterministic,
+        std::max(deterministic.detection_time(x, 0) / x,
+                 deterministic.detection_time(-x, 0) / x));
+  }
+  return result;
+}
+
+RandomizedResult randomized_proportional_cr(
+    const int n, const int f, const RandomizedOptions& options) {
+  expects(in_proportional_regime(n, f),
+          "randomized_proportional_cr requires f < n < 2f+2");
+  check_options(options);
+  const Real beta = optimal_beta(n, f);
+  const Real r = proportionality_ratio(n, beta);
+
+  // The global positive turning grid has multiplicative period r, so
+  // scaling every first turn by r^U uniformizes the phase.
+  const Real extent =
+      options.base_distance * std::pow(r, static_cast<Real>(f) + 3) * 2;
+  std::vector<Fleet> realizations;
+  realizations.reserve(static_cast<std::size_t>(options.offset_samples));
+  for (int j = 0; j < options.offset_samples; ++j) {
+    const Real u = (static_cast<Real>(j) + 0.5L) /
+                   static_cast<Real>(options.offset_samples);
+    std::vector<Real> magnitudes;
+    for (int i = 0; i < n; ++i) {
+      magnitudes.push_back(std::pow(r, u + static_cast<Real>(i)));
+    }
+    realizations.push_back(build_cone_fleet(beta, magnitudes, extent));
+  }
+  const Fleet deterministic = build_cone_fleet(
+      beta,
+      [&] {
+        std::vector<Real> magnitudes;
+        for (int i = 0; i < n; ++i) {
+          magnitudes.push_back(std::pow(r, static_cast<Real>(i)));
+        }
+        return magnitudes;
+      }(),
+      extent);
+
+  RandomizedResult result;
+  for (int p = 0; p < options.phase_samples; ++p) {
+    const Real phase = static_cast<Real>(p) /
+                       static_cast<Real>(options.phase_samples);
+    const Real x = options.base_distance * std::pow(r, phase);
+    Real mean = 0;
+    for (const Fleet& fleet : realizations) {
+      const Real plus = fleet.detection_time(x, f) / x;
+      const Real minus = fleet.detection_time(-x, f) / x;
+      ensures(std::isfinite(plus) && std::isfinite(minus),
+              "randomized_proportional_cr: extent too small");
+      mean += (plus + minus) / 2;
+    }
+    mean /= static_cast<Real>(options.offset_samples);
+    result.mean_expected_cr += mean / static_cast<Real>(options.phase_samples);
+    if (mean > result.expected_cr) {
+      result.expected_cr = mean;
+      result.worst_phase = phase;
+    }
+    result.deterministic = std::max(
+        result.deterministic,
+        std::max(deterministic.detection_time(x, f) / x,
+                 deterministic.detection_time(-x, f) / x));
+  }
+  return result;
+}
+
+}  // namespace linesearch

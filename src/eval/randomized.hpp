@@ -1,0 +1,54 @@
+// eval/randomized.hpp — randomized schedules (extension study A6).
+//
+// The deterministic cow-path bound is 9, but a randomized searcher that
+// scales its doubling schedule by kappa^U with U ~ Uniform[0, 1) (and
+// flips its initial direction with a fair coin) achieves a much better
+// EXPECTED competitive ratio: sup_x E[T(x)]/|x| ~ 4.5911 at the optimal
+// expansion factor kappa ~ 3.59 (Kao-Reif-Tate).  This module measures
+// expected ratios for randomly-scaled cone schedules — the single-robot
+// classic, and the same trick applied to the paper's A(n, f) — by exact
+// quadrature over the scale offset (no sampling noise: U is discretized
+// on a uniform grid, and each grid point is an exact fleet evaluation).
+//
+// The target phase: the schedule's behavior is log-periodic with period
+// kappa (single robot) or r (proportional schedules), so the supremum
+// over x reduces to a sweep over one period of the phase of |x|.
+#pragma once
+
+#include "util/real.hpp"
+
+namespace linesearch {
+
+/// Options for the expected-ratio measurements.
+struct RandomizedOptions {
+  int offset_samples = 64;  ///< quadrature points for U ~ Uniform[0,1)
+  int phase_samples = 64;   ///< target phases probed within one period
+  Real base_distance = 16;  ///< targets live near this magnitude
+};
+
+/// Result of an expected-ratio measurement.
+struct RandomizedResult {
+  Real expected_cr = 0;     ///< sup over phases of mean over offsets
+  Real mean_expected_cr = 0;///< mean over phases (the theoretical E is
+                            ///< phase-independent; this estimator has
+                            ///< far less offset-lattice bias)
+  Real worst_phase = 0;     ///< the phase attaining the sup (in [0, 1))
+  Real deterministic = 0;   ///< the U = 0 schedule's worst ratio on the
+                            ///< same probe set, for contrast
+};
+
+/// Expected competitive ratio of the randomly-scaled single-robot
+/// doubling-style schedule with expansion factor kappa (> 1): the robot
+/// runs the cone zig-zag seeded at kappa^U and a uniformly random
+/// initial direction.
+[[nodiscard]] RandomizedResult randomized_single_cr(
+    Real kappa, const RandomizedOptions& options = {});
+
+/// Same randomization applied to the paper's A(n, f): the whole
+/// proportional schedule is scaled by r^U (r = the proportionality
+/// ratio) and mirrored with probability 1/2.  Faults remain adversarial
+/// PER REALIZATION (the adversary sees the sampled schedule).
+[[nodiscard]] RandomizedResult randomized_proportional_cr(
+    int n, int f, const RandomizedOptions& options = {});
+
+}  // namespace linesearch

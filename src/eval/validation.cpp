@@ -1,0 +1,71 @@
+#include "eval/validation.hpp"
+
+#include <cmath>
+
+#include "core/competitive.hpp"
+#include "core/lower_bound.hpp"
+#include "eval/cr_eval.hpp"
+#include "eval/exact.hpp"
+#include "util/error.hpp"
+
+namespace linesearch {
+
+ValidationRow validate_pair(const int n, const int f,
+                            const ValidationOptions& options) {
+  expects(options.window_hi > 1, "validate: window_hi must exceed 1");
+  expects(options.extent_factor > 1, "validate: extent_factor must exceed 1");
+
+  const StrategyPtr strategy = make_optimal_strategy(n, f);
+  const Fleet fleet =
+      strategy->build_fleet(options.window_hi * options.extent_factor);
+
+  CrEvalOptions eval;
+  eval.window_hi = options.window_hi;
+  const CrEvalResult measured = measure_cr(fleet, f, eval);
+  const ExactCrResult exact =
+      certified_cr(fleet, f, {.window_hi = options.window_hi});
+
+  ValidationRow row;
+  row.n = n;
+  row.f = f;
+  row.strategy = strategy->name();
+  row.theory_cr = strategy->theoretical_cr().value_or(kNaN);
+  row.measured_cr = measured.cr;
+  row.certified_cr = exact.cr;
+  row.lower_bound = best_lower_bound(n, f);
+  row.argmax = measured.argmax;
+  if (std::isnan(row.theory_cr)) {
+    row.relative_gap = kNaN;
+    row.certified_gap = kNaN;
+  } else {
+    row.relative_gap =
+        std::fabs(row.measured_cr - row.theory_cr) / row.theory_cr;
+    row.certified_gap =
+        std::fabs(row.certified_cr - row.theory_cr) / row.theory_cr;
+  }
+  return row;
+}
+
+std::vector<ValidationRow> validate_grid(
+    const std::vector<std::pair<int, int>>& pairs,
+    const ValidationOptions& options) {
+  std::vector<ValidationRow> rows;
+  rows.reserve(pairs.size());
+  for (const auto& [n, f] : pairs) {
+    rows.push_back(validate_pair(n, f, options));
+  }
+  return rows;
+}
+
+std::vector<std::pair<int, int>> proportional_regime_pairs(const int n_max) {
+  expects(n_max >= 2, "proportional_regime_pairs: n_max must be >= 2");
+  std::vector<std::pair<int, int>> pairs;
+  for (int n = 2; n <= n_max; ++n) {
+    for (int f = 1; f < n; ++f) {
+      if (in_proportional_regime(n, f)) pairs.emplace_back(n, f);
+    }
+  }
+  return pairs;
+}
+
+}  // namespace linesearch

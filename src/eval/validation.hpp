@@ -1,0 +1,59 @@
+// eval/validation.hpp — theory-vs-measurement validation (experiment E1).
+//
+// For each (n, f) pair the validator builds the paper's best strategy,
+// measures its competitive ratio with the exact evaluator, and compares
+// against the closed form (Theorem 1, or 1 for the two-group split).
+// The measured value approaches the closed form from below — the supremum
+// is a right-limit, so measured = theory * (1 - O(eps)) — and the report
+// records the relative gap.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/strategy.hpp"
+#include "util/real.hpp"
+
+namespace linesearch {
+
+/// One validated configuration.
+struct ValidationRow {
+  int n = 0;
+  int f = 0;
+  std::string strategy;
+  Real theory_cr = 0;    ///< closed-form CR (Theorem 1 / trivial 1)
+  Real measured_cr = 0;  ///< empirical sup K from measure_cr (probed)
+  Real certified_cr = 0; ///< exact sup K from eval/exact (probe-free)
+  Real lower_bound = 0;  ///< best proved lower bound for (n, f)
+  Real relative_gap = 0; ///< |measured - theory| / theory
+  Real certified_gap = 0;///< |certified - theory| / theory
+  Real argmax = 0;       ///< placement attaining the measured sup
+};
+
+/// Options for the validation sweep.
+struct ValidationOptions {
+  Real window_hi = 64;      ///< measurement window upper end
+  /// Fleet extent = window_hi * factor.  Must exceed r^(f+1) (the probe
+  /// just past a turning point tau is detected by the robot turning at
+  /// tau * r^(f+1)), which is at most kappa^2 = 16 for the doubling
+  /// schedules; 32 leaves margin for every (n, f).
+  Real extent_factor = 32;
+  Real tolerance = 1e-6L;   ///< max acceptable relative gap
+};
+
+/// Validate a single (n, f) configuration with the paper's strategy.
+[[nodiscard]] ValidationRow validate_pair(int n, int f,
+                                          const ValidationOptions& options = {});
+
+/// Validate every pair in `pairs` (first = n, second = f).
+[[nodiscard]] std::vector<ValidationRow> validate_grid(
+    const std::vector<std::pair<int, int>>& pairs,
+    const ValidationOptions& options = {});
+
+/// All pairs with f < n < 2f+2 for n up to n_max (the proportional
+/// regime grid used by benches and property tests).
+[[nodiscard]] std::vector<std::pair<int, int>> proportional_regime_pairs(
+    int n_max);
+
+}  // namespace linesearch

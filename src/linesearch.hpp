@@ -1,0 +1,66 @@
+// linesearch.hpp — the umbrella header: one include for the whole
+// public API.  Fine-grained headers remain available for faster builds;
+// this exists for examples, quick experiments and downstream users who
+// prefer convenience over compile time.
+#pragma once
+
+// util — numerics, errors, formatting
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/format.hpp"
+#include "util/real.hpp"
+#include "util/table.hpp"
+
+// analysis — solvers, optimization, statistics
+#include "analysis/convergence.hpp"
+#include "analysis/grid.hpp"
+#include "analysis/optimize.hpp"
+#include "analysis/roots.hpp"
+#include "analysis/series.hpp"
+#include "analysis/stats.hpp"
+
+// sim — the exact trajectory substrate
+#include "sim/engine.hpp"
+#include "sim/events.hpp"
+#include "sim/faults.hpp"
+#include "sim/fleet.hpp"
+#include "sim/recorder.hpp"
+#include "sim/serialize.hpp"
+#include "sim/svg.hpp"
+#include "sim/trajectory.hpp"
+#include "sim/zigzag.hpp"
+
+// core — the paper's algorithms and bounds
+#include "core/algorithm.hpp"
+#include "core/baselines.hpp"
+#include "core/bounded.hpp"
+#include "core/competitive.hpp"
+#include "core/cone.hpp"
+#include "core/custom.hpp"
+#include "core/lower_bound.hpp"
+#include "core/proportional.hpp"
+#include "core/strategy.hpp"
+
+// adversary — Theorem 2 as an executable opponent
+#include "adversary/classify.hpp"
+#include "adversary/game.hpp"
+#include "adversary/placements.hpp"
+
+// runtime — robots as online programs
+#include "runtime/controller.hpp"
+#include "runtime/world.hpp"
+
+// eval — measurement, certification, experiments
+#include "eval/cr_eval.hpp"
+#include "eval/discover.hpp"
+#include "eval/exact.hpp"
+#include "eval/group_search.hpp"
+#include "eval/montecarlo.hpp"
+#include "eval/profile.hpp"
+#include "eval/randomized.hpp"
+#include "eval/turn_cost.hpp"
+#include "eval/validation.hpp"
+
+// star — the m-ray generalization
+#include "star/search.hpp"
+#include "star/trajectory.hpp"

@@ -1,0 +1,100 @@
+#include "runtime/controller.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "core/competitive.hpp"
+#include "sim/zigzag.hpp"
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace linesearch {
+
+ZigZagController::ZigZagController(const Real beta, const Real first_turn,
+                                   const Real extent)
+    : beta_(beta),
+      kappa_(expansion_factor(beta)),
+      first_turn_(first_turn),
+      extent_(extent) {
+  expects(first_turn != 0, "ZigZagController: first_turn must be non-zero");
+  expects(extent > std::fabs(first_turn),
+          "ZigZagController: extent must exceed the first turn");
+}
+
+std::string ZigZagController::name() const {
+  std::ostringstream out;
+  out << "zigzag(beta=" << fixed(beta_, 3) << ", s=" << fixed(first_turn_, 3)
+      << ")";
+  return out.str();
+}
+
+Directive ZigZagController::next(const Real time, const Real position) {
+  if (!launched_) {
+    launched_ = true;
+    // Meet the cone boundary at the first turn: the required speed from
+    // the origin is |s| / (beta*|s|) = 1/beta.
+    expects(position == 0 && time == 0,
+            "zigzag controller expects to start at the origin at t=0");
+    next_turn_ = -first_turn_ * kappa_;
+    return Directive::move_to(first_turn_, 1 / beta_);
+  }
+
+  // Track coverage from the leg that just completed.
+  if (position > 0) {
+    reach_positive_ = std::max(reach_positive_, position);
+  } else {
+    reach_negative_ = std::max(reach_negative_, -position);
+  }
+
+  if (final_leg_done_) return Directive::stop();
+  if (!coverage_met_ && reach_positive_ >= extent_ &&
+      reach_negative_ >= extent_) {
+    // Coverage achieved: one extra leg so the last in-coverage turn is
+    // interior (matching extend_zigzag's contract), then stop.
+    coverage_met_ = true;
+    final_leg_done_ = true;
+  }
+
+  const Real target = next_turn_;
+  next_turn_ = -target * kappa_;
+  return Directive::move_to(target);
+}
+
+ProportionalController::ProportionalController(const int n, const int f,
+                                               const int robot,
+                                               const Real extent)
+    : robot_(robot),
+      zigzag_(optimal_beta(n, f),
+              ProportionalSchedule(n, optimal_beta(n, f)).initial_turn(robot),
+              extent) {}
+
+std::string ProportionalController::name() const {
+  std::ostringstream out;
+  out << "A-robot-" << robot_ << "[" << zigzag_.name() << "]";
+  return out.str();
+}
+
+Directive ProportionalController::next(const Real time,
+                                       const Real position) {
+  return zigzag_.next(time, position);
+}
+
+
+ScriptedController::ScriptedController(Trajectory trajectory)
+    : trajectory_(std::move(trajectory)) {}
+
+Directive ScriptedController::next(const Real time, const Real position) {
+  if (next_waypoint_ >= trajectory_.waypoints().size()) {
+    return Directive::stop();
+  }
+  const Waypoint& target = trajectory_.waypoints()[next_waypoint_];
+  ++next_waypoint_;
+  if (target.position == position) {
+    return Directive::wait_until(target.time);
+  }
+  const Real speed =
+      std::fabs(target.position - position) / (target.time - time);
+  return Directive::move_to(target.position, speed);
+}
+
+}  // namespace linesearch

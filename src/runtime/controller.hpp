@@ -1,0 +1,107 @@
+// runtime/controller.hpp — robots as online programs.
+//
+// Everywhere else in the library an algorithm is a precomputed
+// trajectory.  Real robots run PROGRAMS: at each decision point the
+// controller sees its own clock and position and emits the next leg.
+// The runtime (runtime/world.hpp) drives controllers, enforces the
+// kinematic contract (speed <= 1, time advances), and materializes the
+// very same Trajectory objects the analytical pipeline consumes — tests
+// verify that the controller-driven A(n, f) reproduces the schedule
+// builder's fleet waypoint for waypoint.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/proportional.hpp"
+#include "sim/trajectory.hpp"
+#include "util/real.hpp"
+
+namespace linesearch {
+
+/// One leg requested by a controller.
+struct Directive {
+  enum class Kind {
+    kMoveTo,     ///< move to `value` at `speed`
+    kWaitUntil,  ///< stay put until absolute time `value`
+    kStop,       ///< done; the robot halts forever
+  };
+
+  Kind kind = Kind::kStop;
+  Real value = 0;
+  Real speed = 1;  ///< for kMoveTo; must be in (0, 1]
+
+  [[nodiscard]] static Directive move_to(Real position, Real speed = 1) {
+    return {Kind::kMoveTo, position, speed};
+  }
+  [[nodiscard]] static Directive wait_until(Real time) {
+    return {Kind::kWaitUntil, time, 0};
+  }
+  [[nodiscard]] static Directive stop() { return {Kind::kStop, 0, 0}; }
+};
+
+/// An online robot program.  `next` is called whenever the robot is idle
+/// (initially at (0, origin), afterwards at the end of each completed
+/// leg) and must return the next directive.
+class Controller {
+ public:
+  virtual ~Controller() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual Directive next(Real time, Real position) = 0;
+};
+
+using ControllerPtr = std::unique_ptr<Controller>;
+
+/// Cone zig-zag as a program: head to `first_turn` timed to meet the
+/// cone boundary, then reverse with expansion factor kappa until both
+/// half-lines are covered past `extent`, then stop.
+class ZigZagController final : public Controller {
+ public:
+  ZigZagController(Real beta, Real first_turn, Real extent);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] Directive next(Real time, Real position) override;
+
+ private:
+  Real beta_;
+  Real kappa_;
+  Real first_turn_;
+  Real extent_;
+  Real next_turn_ = 0;
+  Real reach_positive_ = 0;
+  Real reach_negative_ = 0;
+  bool launched_ = false;
+  bool coverage_met_ = false;
+  bool final_leg_done_ = false;
+};
+
+/// Robot i of the proportional schedule algorithm A(n, f), as a program
+/// (Definition 4's start leg at speed 1/beta, then the zig-zag).
+class ProportionalController final : public Controller {
+ public:
+  ProportionalController(int n, int f, int robot, Real extent);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] Directive next(Real time, Real position) override;
+
+ private:
+  int robot_;
+  ZigZagController zigzag_;
+};
+
+/// Replays a precomputed trajectory leg by leg (adapter for comparing
+/// offline plans with online execution under one runtime).
+class ScriptedController final : public Controller {
+ public:
+  explicit ScriptedController(Trajectory trajectory);
+
+  [[nodiscard]] std::string name() const override { return "scripted"; }
+  [[nodiscard]] Directive next(Real time, Real position) override;
+
+ private:
+  Trajectory trajectory_;
+  std::size_t next_waypoint_ = 1;
+};
+
+}  // namespace linesearch

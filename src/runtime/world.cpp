@@ -1,0 +1,99 @@
+#include "runtime/world.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace linesearch {
+
+World::World(WorldConfig config) : config_(config) {
+  expects(config.time_limit > 0, "world: time limit must be positive");
+  expects(config.max_directives > 0, "world: directive cap must be positive");
+}
+
+Trajectory World::execute(Controller& controller,
+                          ExecutionReport* report) const {
+  TrajectoryBuilder builder;
+  builder.start_at(0, 0);
+  ExecutionReport local;
+
+  while (true) {
+    if (local.directives >= config_.max_directives) {
+      throw NumericError("world: controller '" + controller.name() +
+                         "' exceeded the directive cap (runaway?)");
+    }
+    const Real now = builder.current_time();
+    const Real here = builder.current_position();
+    const Directive directive = controller.next(now, here);
+    ++local.directives;
+
+    if (directive.kind == Directive::Kind::kStop) {
+      local.stopped = true;
+      break;
+    }
+    if (directive.kind == Directive::Kind::kWaitUntil) {
+      expects(directive.value >= now,
+              "world: controller tried to wait into the past");
+      const Real until = std::min(directive.value, config_.time_limit);
+      builder.wait_until(until);
+      if (until == config_.time_limit) {
+        local.time_limited = true;
+        break;
+      }
+      continue;
+    }
+
+    // kMoveTo.
+    expects(directive.speed > 0 &&
+                directive.speed <= Trajectory::kMaxSpeed * (1 + 1e-12L),
+            "world: controller requested an illegal speed");
+    const Real distance = std::fabs(directive.value - here);
+    expects(distance > 0,
+            "world: zero-length move (use wait_until or stop)");
+    const Real arrival = now + distance / directive.speed;
+    if (arrival > config_.time_limit) {
+      // Truncate the leg at the time limit and halt the robot there.
+      const Real budget = config_.time_limit - now;
+      const Real direction = (directive.value > here) ? 1 : -1;
+      if (budget > 0) {
+        builder.move_to_at(here + direction * directive.speed * budget,
+                           config_.time_limit);
+      }
+      local.time_limited = true;
+      break;
+    }
+    builder.move_to_at(directive.value, arrival);
+  }
+
+  if (report != nullptr) *report = local;
+  return std::move(builder).build();
+}
+
+Fleet World::execute_team(const std::vector<ControllerPtr>& controllers,
+                          std::vector<ExecutionReport>* reports) const {
+  expects(!controllers.empty(), "world: empty team");
+  std::vector<Trajectory> robots;
+  robots.reserve(controllers.size());
+  if (reports != nullptr) reports->resize(controllers.size());
+  for (std::size_t i = 0; i < controllers.size(); ++i) {
+    expects(controllers[i] != nullptr, "world: null controller");
+    robots.push_back(execute(
+        *controllers[i],
+        reports != nullptr ? &(*reports)[i] : nullptr));
+  }
+  return Fleet(std::move(robots));
+}
+
+Fleet run_proportional_controllers(const int n, const int f,
+                                   const Real extent,
+                                   const WorldConfig& config) {
+  std::vector<ControllerPtr> team;
+  team.reserve(static_cast<std::size_t>(n));
+  for (int robot = 0; robot < n; ++robot) {
+    team.push_back(
+        std::make_unique<ProportionalController>(n, f, robot, extent));
+  }
+  return World(config).execute_team(team);
+}
+
+}  // namespace linesearch

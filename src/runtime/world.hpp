@@ -1,0 +1,60 @@
+// runtime/world.hpp — the execution environment for controllers.
+//
+// The world drives each controller from (t=0, x=0), enforcing the
+// kinematic contract:
+//   * kMoveTo legs must have speed in (0, 1] (the paper's robots are
+//     unit-speed; slower is allowed, e.g. Definition-4 prefixes),
+//   * kWaitUntil may not travel back in time,
+//   * a controller must stop (or exhaust the time limit) within a
+//     bounded number of directives (runaway protection).
+// The outcome is an ordinary Fleet, so everything downstream — exact
+// detection queries, the evaluators, the adversary, the renderer —
+// applies to online-executed programs unchanged.
+#pragma once
+
+#include <vector>
+
+#include "runtime/controller.hpp"
+#include "sim/fleet.hpp"
+#include "util/real.hpp"
+
+namespace linesearch {
+
+/// Execution limits.
+struct WorldConfig {
+  Real time_limit = 1e9L;     ///< truncate any leg that would pass this
+  int max_directives = 100000;  ///< per robot; exceeded => runaway error
+};
+
+/// Per-robot execution report.
+struct ExecutionReport {
+  int directives = 0;
+  bool stopped = false;        ///< controller emitted kStop
+  bool time_limited = false;   ///< truncated at the time limit
+};
+
+/// Drive every controller to completion and materialize the fleet.
+class World {
+ public:
+  explicit World(WorldConfig config = {});
+
+  /// Execute one controller; returns its trajectory.
+  [[nodiscard]] Trajectory execute(Controller& controller,
+                                   ExecutionReport* report = nullptr) const;
+
+  /// Execute a team of controllers into a Fleet (reports optional,
+  /// resized to match).
+  [[nodiscard]] Fleet execute_team(
+      const std::vector<ControllerPtr>& controllers,
+      std::vector<ExecutionReport>* reports = nullptr) const;
+
+ private:
+  WorldConfig config_;
+};
+
+/// Convenience: the controller-driven A(n, f) fleet (must equal the
+/// schedule builder's fleet exactly; tests assert it).
+[[nodiscard]] Fleet run_proportional_controllers(int n, int f, Real extent,
+                                                 const WorldConfig& config = {});
+
+}  // namespace linesearch

@@ -1,0 +1,125 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace linesearch {
+namespace {
+
+// Ordering for the merged event stream: by time, then a deterministic
+// kind priority (turns before visits at equal times so a visit exactly at
+// a turning point narrates sensibly), then robot id.
+int kind_priority(const EventKind kind) {
+  switch (kind) {
+    case EventKind::kDeparture:
+      return 0;
+    case EventKind::kTurn:
+      return 1;
+    case EventKind::kTargetVisit:
+      return 2;
+    case EventKind::kDetection:
+      return 3;
+    case EventKind::kHalt:
+      return 4;
+  }
+  return 5;
+}
+
+bool event_before(const Event& a, const Event& b) {
+  if (a.time != b.time) return a.time < b.time;
+  const int pa = kind_priority(a.kind);
+  const int pb = kind_priority(b.kind);
+  if (pa != pb) return pa < pb;
+  return a.robot < b.robot;
+}
+
+}  // namespace
+
+Engine::Engine(const Fleet& fleet, EngineConfig config)
+    : fleet_(&fleet), config_(config) {}
+
+SimulationOutcome Engine::run(const Real target,
+                              const std::vector<bool>& faulty,
+                              Observer* observer) const {
+  expects(faulty.size() == fleet_->size(),
+          "fault vector size must match fleet size");
+  const Real horizon = config_.horizon.value_or(fleet_->horizon());
+
+  // Gather all events up to the horizon.
+  std::vector<Event> events;
+  for (RobotId id = 0; id < fleet_->size(); ++id) {
+    const Trajectory& t = fleet_->robot(id);
+    const bool is_faulty = faulty[id];
+
+    // Departure: the first waypoint at which the robot starts moving.
+    if (t.segment_count() > 0 && t.start_time() <= horizon) {
+      events.push_back({t.start_time(), EventKind::kDeparture, id,
+                        t.start_position(), is_faulty});
+    }
+    for (const Waypoint& w : t.turning_waypoints()) {
+      if (w.time <= horizon) {
+        events.push_back({w.time, EventKind::kTurn, id, w.position,
+                          is_faulty});
+      }
+    }
+    for (const Real visit : t.visit_times(target)) {
+      if (visit > horizon) break;
+      if (is_faulty && !config_.emit_faulty_visits) continue;
+      events.push_back({visit,
+                        is_faulty ? EventKind::kTargetVisit
+                                  : EventKind::kDetection,
+                        id, target, is_faulty});
+    }
+  }
+  std::sort(events.begin(), events.end(), event_before);
+
+  // A reliable robot detects on its FIRST visit; later reliable visits
+  // (after detection) are irrelevant.  Find the earliest detection.
+  SimulationOutcome outcome;
+  for (const Event& e : events) {
+    if (e.kind == EventKind::kDetection) {
+      outcome.detected = true;
+      outcome.detection_time = e.time;
+      outcome.detector = e.robot;
+      break;
+    }
+  }
+
+  // Dispatch, honoring stop_at_detection.  Only the FIRST reliable visit
+  // is the detection; later reliable visits are demoted to plain visit
+  // events (the search is already over, but full replays narrate them).
+  bool detection_emitted = false;
+  for (Event e : events) {
+    if (detection_emitted && config_.stop_at_detection) break;
+    if (outcome.detected && config_.stop_at_detection &&
+        e.time > outcome.detection_time) {
+      break;
+    }
+    if (e.kind == EventKind::kDetection) {
+      if (detection_emitted) {
+        e.kind = EventKind::kTargetVisit;
+      } else {
+        detection_emitted = true;
+      }
+    }
+    if (e.kind == EventKind::kTargetVisit && !detection_emitted) {
+      ++outcome.visits_before_detection;
+    }
+    ++outcome.events_emitted;
+    if (observer != nullptr) observer->on_event(e);
+  }
+
+  if (!outcome.detected && observer != nullptr) {
+    observer->on_event({horizon, EventKind::kHalt, 0, 0, false});
+  }
+  return outcome;
+}
+
+SimulationOutcome Engine::run_fault_free(const Real target,
+                                         Observer* observer) const {
+  return run(target, std::vector<bool>(fleet_->size(), false), observer);
+}
+
+}  // namespace linesearch

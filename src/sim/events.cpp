@@ -1,0 +1,36 @@
+#include "sim/events.hpp"
+
+#include <sstream>
+
+#include "util/format.hpp"
+
+namespace linesearch {
+
+std::string to_string(const EventKind kind) {
+  switch (kind) {
+    case EventKind::kDeparture:
+      return "departure";
+    case EventKind::kTurn:
+      return "turn";
+    case EventKind::kTargetVisit:
+      return "visit";
+    case EventKind::kDetection:
+      return "detection";
+    case EventKind::kHalt:
+      return "halt";
+  }
+  return "unknown";
+}
+
+std::string to_string(const Event& event) {
+  std::ostringstream out;
+  out << "t=" << fixed(event.time, 4) << "  " << to_string(event.kind);
+  if (event.kind != EventKind::kHalt) {
+    out << "  robot " << event.robot
+        << (event.robot_faulty ? " (faulty)" : "") << " at x="
+        << fixed(event.position, 4);
+  }
+  return out.str();
+}
+
+}  // namespace linesearch

@@ -1,0 +1,50 @@
+// sim/events.hpp — event vocabulary of the discrete-event simulator.
+//
+// The engine replays a search scenario (fleet + target + fault set) as a
+// chronological stream of events.  The exact-math query path (Fleet) is
+// what the benches measure; the event stream exists so examples, the
+// recorder and the ASCII renderer can narrate what happened, and so tests
+// can cross-check the two paths against each other.
+#pragma once
+
+#include <string>
+
+#include "sim/fleet.hpp"
+#include "util/real.hpp"
+
+namespace linesearch {
+
+/// What happened.
+enum class EventKind {
+  kDeparture,    ///< robot leaves the origin (its first movement)
+  kTurn,         ///< robot reverses direction at a turning point
+  kTargetVisit,  ///< robot is at the target's position
+  kDetection,    ///< a RELIABLE robot visits the target: search over
+  kHalt,         ///< simulation reached its horizon without detection
+};
+
+/// One simulation event.
+struct Event {
+  Real time = 0;
+  EventKind kind = EventKind::kHalt;
+  RobotId robot = 0;       ///< undefined for kHalt
+  Real position = 0;       ///< robot/target position at the event
+  bool robot_faulty = false;
+
+  friend bool operator==(const Event&, const Event&) = default;
+};
+
+/// Readable name of an event kind ("turn", "detection", ...).
+[[nodiscard]] std::string to_string(EventKind kind);
+
+/// One-line rendering of an event for logs and examples.
+[[nodiscard]] std::string to_string(const Event& event);
+
+/// Interface for event consumers.
+class Observer {
+ public:
+  virtual ~Observer() = default;
+  virtual void on_event(const Event& event) = 0;
+};
+
+}  // namespace linesearch

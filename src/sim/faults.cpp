@@ -1,0 +1,66 @@
+#include "sim/faults.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace linesearch {
+
+std::vector<bool> AdversarialFaults::choose_faults(const Fleet& fleet,
+                                                   const Real target,
+                                                   const int max_faults) {
+  expects(max_faults >= 0, "max_faults must be >= 0");
+  std::vector<bool> faulty(fleet.size(), false);
+  const std::vector<VisitRecord> order = fleet.visit_order(target);
+  const std::size_t budget =
+      std::min<std::size_t>(static_cast<std::size_t>(max_faults),
+                            fleet.size());
+  for (std::size_t i = 0; i < budget; ++i) {
+    // Only robots that actually visit can usefully be made faulty, but
+    // marking a never-visiting robot costs the adversary nothing either.
+    faulty[order[i].robot] = true;
+  }
+  return faulty;
+}
+
+FixedFaults::FixedFaults(std::vector<bool> faulty)
+    : faulty_(std::move(faulty)) {}
+
+std::vector<bool> FixedFaults::choose_faults(const Fleet& fleet,
+                                             const Real /*target*/,
+                                             const int max_faults) {
+  expects(faulty_.size() == fleet.size(),
+          "fixed fault set size must match fleet size");
+  const auto count =
+      std::count(faulty_.begin(), faulty_.end(), true);
+  expects(count <= max_faults, "fixed fault set exceeds fault budget");
+  return faulty_;
+}
+
+RandomFaults::RandomFaults(const std::uint64_t seed) : rng_(seed) {}
+
+std::vector<bool> RandomFaults::choose_faults(const Fleet& fleet,
+                                              const Real /*target*/,
+                                              const int max_faults) {
+  expects(max_faults >= 0, "max_faults must be >= 0");
+  expects(static_cast<std::size_t>(max_faults) <= fleet.size(),
+          "fault budget exceeds fleet size");
+  std::vector<RobotId> ids(fleet.size());
+  std::iota(ids.begin(), ids.end(), RobotId{0});
+  std::shuffle(ids.begin(), ids.end(), rng_);
+  std::vector<bool> faulty(fleet.size(), false);
+  for (int i = 0; i < max_faults; ++i) {
+    faulty[ids[static_cast<std::size_t>(i)]] = true;
+  }
+  return faulty;
+}
+
+Real detection_time_under(FaultModel& model, const Fleet& fleet,
+                          const Real target, const int max_faults) {
+  const std::vector<bool> faulty =
+      model.choose_faults(fleet, target, max_faults);
+  return fleet.detection_time_with_faults(target, faulty);
+}
+
+}  // namespace linesearch

@@ -1,0 +1,79 @@
+// sim/faults.hpp — fault models.
+//
+// The paper's analysis is worst-case: the adversary decides which f robots
+// are faulty after seeing the algorithm (equivalently, faults can be
+// "assigned" retroactively because faulty robots behave identically to
+// reliable ones until the target is hit).  AdversarialFaults implements
+// exactly that.  FixedFaults and RandomFaults support the extension
+// experiments (explicit scenarios and Monte-Carlo studies of *average*
+// behaviour under random faults, bench A3).
+#pragma once
+
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "sim/fleet.hpp"
+#include "util/real.hpp"
+
+namespace linesearch {
+
+/// Strategy object deciding which robots are faulty for a given target.
+class FaultModel {
+ public:
+  virtual ~FaultModel() = default;
+
+  /// Choose the fault assignment (size == fleet.size(), at most
+  /// `max_faults` entries true) for a target at x.
+  [[nodiscard]] virtual std::vector<bool> choose_faults(const Fleet& fleet,
+                                                        Real target,
+                                                        int max_faults) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Worst case: make faulty the `max_faults` robots whose first visits to
+/// the target are earliest (delaying detection as much as possible).
+class AdversarialFaults final : public FaultModel {
+ public:
+  [[nodiscard]] std::vector<bool> choose_faults(const Fleet& fleet,
+                                                Real target,
+                                                int max_faults) override;
+  [[nodiscard]] std::string name() const override { return "adversarial"; }
+};
+
+/// A fixed, target-independent fault set.
+class FixedFaults final : public FaultModel {
+ public:
+  explicit FixedFaults(std::vector<bool> faulty);
+
+  [[nodiscard]] std::vector<bool> choose_faults(const Fleet& fleet,
+                                                Real target,
+                                                int max_faults) override;
+  [[nodiscard]] std::string name() const override { return "fixed"; }
+
+ private:
+  std::vector<bool> faulty_;
+};
+
+/// A uniformly random subset of exactly `max_faults` robots, drawn from a
+/// seeded engine (deterministic and reproducible).
+class RandomFaults final : public FaultModel {
+ public:
+  explicit RandomFaults(std::uint64_t seed);
+
+  [[nodiscard]] std::vector<bool> choose_faults(const Fleet& fleet,
+                                                Real target,
+                                                int max_faults) override;
+  [[nodiscard]] std::string name() const override { return "random"; }
+
+ private:
+  std::mt19937_64 rng_;
+};
+
+/// Convenience: detection time at x under `model` with up to f faults.
+[[nodiscard]] Real detection_time_under(FaultModel& model, const Fleet& fleet,
+                                        Real target, int max_faults);
+
+}  // namespace linesearch

@@ -1,0 +1,134 @@
+#include "sim/fleet.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/stats.hpp"
+#include "util/error.hpp"
+
+namespace linesearch {
+
+Fleet::Fleet(std::vector<Trajectory> robots) : robots_(std::move(robots)) {
+  expects(!robots_.empty(), "fleet needs at least one robot");
+  for (const Trajectory& t : robots_) {
+    horizon_ = std::max(horizon_, t.end_time());
+  }
+}
+
+const Trajectory& Fleet::robot(const RobotId id) const {
+  expects(id < robots_.size(), "robot id out of range");
+  return robots_[id];
+}
+
+std::vector<Real> Fleet::first_visit_times(const Real x) const {
+  std::vector<Real> times;
+  times.reserve(robots_.size());
+  for (const Trajectory& t : robots_) {
+    const std::optional<Real> visit = t.first_visit_time(x);
+    times.push_back(visit ? *visit : kInfinity);
+  }
+  return times;
+}
+
+std::vector<VisitRecord> Fleet::visit_order(const Real x) const {
+  const std::vector<Real> times = first_visit_times(x);
+  std::vector<VisitRecord> order;
+  order.reserve(times.size());
+  for (RobotId id = 0; id < times.size(); ++id) {
+    order.push_back({id, times[id]});
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [](const VisitRecord& a, const VisitRecord& b) {
+                     return a.time < b.time;
+                   });
+  return order;
+}
+
+Real Fleet::detection_time(const Real x, const int faults) const {
+  expects(faults >= 0, "detection_time: faults must be >= 0");
+  const auto k = static_cast<std::size_t>(faults);
+  if (k >= robots_.size()) return kInfinity;
+  return kth_smallest(first_visit_times(x), k);
+}
+
+std::optional<RobotId> Fleet::worst_case_detector(const Real x,
+                                                  const int faults) const {
+  expects(faults >= 0, "worst_case_detector: faults must be >= 0");
+  const auto k = static_cast<std::size_t>(faults);
+  if (k >= robots_.size()) return std::nullopt;
+  const std::vector<VisitRecord> order = visit_order(x);
+  if (std::isinf(order[k].time)) return std::nullopt;
+  return order[k].robot;
+}
+
+Real Fleet::detection_time_with_faults(
+    const Real x, const std::vector<bool>& faulty) const {
+  expects(faulty.size() == robots_.size(),
+          "fault vector size must match fleet size");
+  Real best = kInfinity;
+  for (RobotId id = 0; id < robots_.size(); ++id) {
+    if (faulty[id]) continue;
+    const std::optional<Real> visit = robots_[id].first_visit_time(x);
+    if (visit) best = std::min(best, *visit);
+  }
+  return best;
+}
+
+int Fleet::distinct_visitors_by(const Real x, const Real deadline) const {
+  int count = 0;
+  for (const Trajectory& t : robots_) {
+    const std::optional<Real> visit = t.first_visit_time(x);
+    if (visit && *visit <= deadline) ++count;
+  }
+  return count;
+}
+
+bool Fleet::covers(const Real min_x, const Real extent, const int required,
+                   const int probes_per_side) const {
+  expects(min_x > 0 && extent > min_x, "covers: need 0 < min_x < extent");
+  expects(required >= 1, "covers: required must be >= 1");
+  expects(probes_per_side >= 2, "covers: need at least 2 probes");
+
+  // Geometric probe grid on each side + right-limits past each turning
+  // point (the places where coverage can drop, cf. Lemma 3).
+  const Real ratio = std::pow(extent / min_x,
+                              Real{1} / static_cast<Real>(probes_per_side - 1));
+  std::vector<Real> probes;
+  Real p = min_x;
+  for (int i = 0; i < probes_per_side; ++i) {
+    probes.push_back(p);
+    p *= ratio;
+  }
+  for (const int side : {+1, -1}) {
+    for (const Real magnitude : turning_positions(side)) {
+      const Real just_past = magnitude * (1 + tol::kLimitProbe);
+      if (just_past >= min_x && just_past <= extent) {
+        probes.push_back(just_past);
+      }
+    }
+  }
+
+  for (const Real magnitude : probes) {
+    for (const int side : {+1, -1}) {
+      const Real x = static_cast<Real>(side) * magnitude;
+      if (distinct_visitors_by(x, horizon_) < required) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<Real> Fleet::turning_positions(const int side) const {
+  expects(side == 1 || side == -1, "turning_positions: side must be +-1");
+  std::vector<Real> magnitudes;
+  for (const Trajectory& t : robots_) {
+    for (const Waypoint& w : t.turning_waypoints()) {
+      if (sign_of(w.position) == side) {
+        magnitudes.push_back(std::fabs(w.position));
+      }
+    }
+  }
+  std::sort(magnitudes.begin(), magnitudes.end());
+  return magnitudes;
+}
+
+}  // namespace linesearch

@@ -1,0 +1,86 @@
+// sim/fleet.hpp — a collection of robot trajectories and the fault-aware
+// detection-time queries on top of it.
+//
+// The central fact (Section 1 of the paper): a faulty robot follows its
+// trajectory but never detects the target, so with up to f adversarial
+// faults the target at x is detected at the (f+1)-st smallest *first-visit*
+// time over DISTINCT robots.  (Revisits by a faulty robot never help; a
+// reliable robot already detects on its first visit.)
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "sim/trajectory.hpp"
+#include "util/real.hpp"
+
+namespace linesearch {
+
+/// Index of a robot inside a Fleet.
+using RobotId = std::size_t;
+
+/// One robot's first visit to a queried point.
+struct VisitRecord {
+  RobotId robot = 0;
+  Real time = kInfinity;  ///< kInfinity when the robot never visits
+};
+
+/// Immutable collection of trajectories for n robots starting a search.
+class Fleet {
+ public:
+  /// Requires at least one robot.
+  explicit Fleet(std::vector<Trajectory> robots);
+
+  [[nodiscard]] std::size_t size() const noexcept { return robots_.size(); }
+  [[nodiscard]] const Trajectory& robot(RobotId id) const;
+  [[nodiscard]] const std::vector<Trajectory>& robots() const noexcept {
+    return robots_;
+  }
+
+  /// First visit time of every robot to x (kInfinity if never), indexed
+  /// by robot id.
+  [[nodiscard]] std::vector<Real> first_visit_times(Real x) const;
+
+  /// First visits to x sorted by time (ties broken by robot id).
+  [[nodiscard]] std::vector<VisitRecord> visit_order(Real x) const;
+
+  /// Worst-case detection time of a target at x with up to `faults`
+  /// adversarial faults: the (faults+1)-st smallest first-visit time.
+  /// Returns kInfinity if fewer than faults+1 robots ever reach x.
+  [[nodiscard]] Real detection_time(Real x, int faults) const;
+
+  /// The robot that performs the detecting visit in the worst case, or
+  /// nullopt if detection never happens.
+  [[nodiscard]] std::optional<RobotId> worst_case_detector(Real x,
+                                                           int faults) const;
+
+  /// Detection time when the fault set is known explicitly: the earliest
+  /// first-visit among non-faulty robots.  `faulty` must have size() == n.
+  [[nodiscard]] Real detection_time_with_faults(
+      Real x, const std::vector<bool>& faulty) const;
+
+  /// Number of distinct robots that visit x no later than `deadline`.
+  [[nodiscard]] int distinct_visitors_by(Real x, Real deadline) const;
+
+  /// True if every point of [-extent, -min_x] and [min_x, extent] is
+  /// eventually visited by at least `required` distinct robots.  Checked
+  /// on a geometric probe grid plus just-past-turning-point probes; used
+  /// by tests and the verify paths.
+  [[nodiscard]] bool covers(Real min_x, Real extent, int required,
+                            int probes_per_side = 64) const;
+
+  /// Latest end_time over all robots (the simulation horizon).
+  [[nodiscard]] Real horizon() const noexcept { return horizon_; }
+
+  /// All positive (or all negative, by sign) turning-point positions of
+  /// all robots, sorted increasing by magnitude; used by the empirical CR
+  /// evaluator to enumerate the discontinuities of K(x) (Lemma 3).
+  [[nodiscard]] std::vector<Real> turning_positions(int side) const;
+
+ private:
+  std::vector<Trajectory> robots_;
+  Real horizon_ = 0;
+};
+
+}  // namespace linesearch

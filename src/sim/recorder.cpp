@@ -1,0 +1,91 @@
+#include "sim/recorder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace linesearch {
+
+std::vector<Event> EventLog::of_kind(const EventKind kind) const {
+  std::vector<Event> out;
+  for (const Event& e : events_) {
+    if (e.kind == kind) out.push_back(e);
+  }
+  return out;
+}
+
+std::string EventLog::to_text() const {
+  std::ostringstream out;
+  for (const Event& e : events_) out << to_string(e) << '\n';
+  return out.str();
+}
+
+std::string render_space_time(const Fleet& fleet,
+                              const RenderOptions& options) {
+  expects(options.rows >= 2 && options.columns >= 3,
+          "render: grid too small");
+  expects(options.max_time > 0 && options.max_position > 0,
+          "render: spans must be positive");
+
+  const int rows = options.rows;
+  const int cols = options.columns;
+  std::vector<std::string> grid(static_cast<std::size_t>(rows),
+                                std::string(static_cast<std::size_t>(cols), ' '));
+
+  const auto col_of = [&](const Real x) -> int {
+    const Real fraction = (x + options.max_position) / (2 * options.max_position);
+    return static_cast<int>(std::lround(fraction * static_cast<Real>(cols - 1)));
+  };
+  const auto in_grid = [&](const int r, const int c) {
+    return r >= 0 && r < rows && c >= 0 && c < cols;
+  };
+  const auto put = [&](const int r, const int c, const char ch,
+                       const bool overwrite) {
+    if (!in_grid(r, c)) return;
+    char& cell = grid[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)];
+    if (overwrite || cell == ' ' || cell == '|' || cell == '.') cell = ch;
+  };
+
+  // Origin axis and optional cone / target markers (background layer).
+  const int origin_col = col_of(0);
+  for (int r = 0; r < rows; ++r) {
+    const Real t = options.max_time * static_cast<Real>(r) /
+                   static_cast<Real>(rows - 1);
+    put(r, origin_col, '|', true);
+    if (options.cone_beta > 1) {
+      const Real reach = t / options.cone_beta;  // cone boundary |x| = t/beta
+      put(r, col_of(reach), '.', false);
+      put(r, col_of(-reach), '.', false);
+    }
+    if (std::isfinite(options.target)) {
+      put(r, col_of(options.target), ':', false);
+    }
+  }
+
+  // Robot curves (foreground layer): sample each row's time.
+  for (RobotId id = 0; id < fleet.size(); ++id) {
+    const Trajectory& t = fleet.robot(id);
+    const char mark =
+        static_cast<char>('0' + static_cast<int>(id % 10));
+    for (int r = 0; r < rows; ++r) {
+      const Real time = options.max_time * static_cast<Real>(r) /
+                        static_cast<Real>(rows - 1);
+      if (time < t.start_time() || time > t.end_time()) continue;
+      put(r, col_of(t.position_at(time)), mark, true);
+    }
+  }
+
+  if (std::isfinite(options.target)) {
+    put(0, col_of(options.target), 'T', true);
+  }
+
+  std::ostringstream out;
+  out << "time v | space ->  [" << -options.max_position << ", "
+      << options.max_position << "] x [0, " << options.max_time << "]\n";
+  for (const std::string& row : grid) out << row << '\n';
+  return out.str();
+}
+
+}  // namespace linesearch

@@ -1,0 +1,55 @@
+// sim/recorder.hpp — event capture and ASCII space-time rendering.
+//
+// EventLog is the standard Observer used by tests and examples.  The
+// renderer draws the space/time diagrams of the paper's Figures 1-4 as
+// text: time flows downward, the line is horizontal, robots appear as
+// their id digit, the origin as '|', the cone boundary as '.', and the
+// target as 'T'.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/events.hpp"
+#include "sim/fleet.hpp"
+#include "util/real.hpp"
+
+namespace linesearch {
+
+/// Observer that records every event it sees.
+class EventLog final : public Observer {
+ public:
+  void on_event(const Event& event) override { events_.push_back(event); }
+
+  [[nodiscard]] const std::vector<Event>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+
+  /// Events of one kind, in order.
+  [[nodiscard]] std::vector<Event> of_kind(EventKind kind) const;
+
+  /// Render the log as one line per event.
+  [[nodiscard]] std::string to_text() const;
+
+  void clear() { events_.clear(); }
+
+ private:
+  std::vector<Event> events_;
+};
+
+/// Options for the ASCII space-time diagram.
+struct RenderOptions {
+  Real max_time = 20;      ///< vertical span [0, max_time]
+  Real max_position = 10;  ///< horizontal span [-max_position, max_position]
+  int rows = 30;           ///< character rows
+  int columns = 61;        ///< character columns (odd keeps origin centered)
+  Real cone_beta = 0;      ///< if > 1, draw the cone boundary with '.'
+  Real target = kNaN;      ///< if finite, draw a 'T' column marker
+};
+
+/// Draw the fleet's trajectories as an ASCII space-time diagram.
+[[nodiscard]] std::string render_space_time(const Fleet& fleet,
+                                            const RenderOptions& options);
+
+}  // namespace linesearch

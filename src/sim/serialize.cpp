@@ -1,0 +1,102 @@
+#include "sim/serialize.hpp"
+
+#include <cstdlib>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace linesearch {
+namespace {
+
+constexpr const char* kHeader = "robot,time,position";
+
+Real parse_real(const std::string& field, const std::string& context) {
+  expects(!field.empty(), "serialize: empty numeric field in " + context);
+  char* end = nullptr;
+  const Real value = std::strtold(field.c_str(), &end);
+  expects(end != nullptr && *end == '\0',
+          "serialize: malformed number '" + field + "' in " + context);
+  return value;
+}
+
+}  // namespace
+
+void write_trajectory_csv(std::ostream& out, const Trajectory& trajectory,
+                          const RobotId robot) {
+  for (const Waypoint& w : trajectory.waypoints()) {
+    out << robot << ',' << sig(w.time, 21) << ',' << sig(w.position, 21)
+        << '\n';
+  }
+}
+
+void write_fleet_csv(std::ostream& out, const Fleet& fleet) {
+  out << kHeader << '\n';
+  for (RobotId id = 0; id < fleet.size(); ++id) {
+    write_trajectory_csv(out, fleet.robot(id), id);
+  }
+}
+
+Fleet read_fleet_csv(std::istream& in) {
+  std::string line;
+  expects(static_cast<bool>(std::getline(in, line)),
+          "serialize: empty input");
+  // Tolerate trailing \r from Windows-authored files.
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  expects(line == kHeader,
+          "serialize: expected header '" + std::string(kHeader) + "', got '" +
+              line + "'");
+
+  std::map<unsigned long, std::vector<Waypoint>> by_robot;
+  int line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    const std::string context = "line " + std::to_string(line_number);
+
+    std::istringstream fields(line);
+    std::string robot_field, time_field, position_field, extra;
+    expects(std::getline(fields, robot_field, ',') &&
+                std::getline(fields, time_field, ',') &&
+                std::getline(fields, position_field, ','),
+            "serialize: expected 3 fields at " + context);
+    expects(!std::getline(fields, extra, ','),
+            "serialize: too many fields at " + context);
+
+    char* end = nullptr;
+    const unsigned long robot = std::strtoul(robot_field.c_str(), &end, 10);
+    expects(end != nullptr && *end == '\0' && !robot_field.empty(),
+            "serialize: malformed robot id at " + context);
+    by_robot[robot].push_back({parse_real(time_field, context),
+                               parse_real(position_field, context)});
+  }
+  expects(!by_robot.empty(), "serialize: no waypoints");
+
+  // Robot ids must form 0..n-1 (std::map iterates in key order).
+  std::vector<Trajectory> robots;
+  unsigned long expected = 0;
+  for (auto& [id, waypoints] : by_robot) {
+    expects(id == expected, "serialize: robot ids must be contiguous from 0");
+    ++expected;
+    robots.emplace_back(std::move(waypoints));  // ctor re-validates speed
+  }
+  return Fleet(std::move(robots));
+}
+
+std::string fleet_to_csv(const Fleet& fleet) {
+  std::ostringstream out;
+  write_fleet_csv(out, fleet);
+  return out.str();
+}
+
+Fleet fleet_from_csv(const std::string& text) {
+  std::istringstream in(text);
+  return read_fleet_csv(in);
+}
+
+}  // namespace linesearch

@@ -1,0 +1,39 @@
+// sim/serialize.hpp — persistence for trajectories and fleets.
+//
+// The on-disk format is deliberately trivial: CSV with one row per
+// waypoint (`robot,time,position`, 21 significant digits — max_digits10 of 80-bit
+// long double, so values round-trip through text exactly).
+// This allows externally-generated strategies (a Python prototype, a
+// solver, a student's hand-crafted schedule) to be dropped into the
+// evaluator, the adversary and the renderer unchanged, and allows our
+// fleets to be exported to plotting tools.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/fleet.hpp"
+#include "sim/trajectory.hpp"
+
+namespace linesearch {
+
+/// Write one trajectory as waypoint CSV rows with the given robot id
+/// (no header).
+void write_trajectory_csv(std::ostream& out, const Trajectory& trajectory,
+                          RobotId robot = 0);
+
+/// Write a whole fleet: header `robot,time,position`, then one row per
+/// waypoint of every robot, grouped by robot id.
+void write_fleet_csv(std::ostream& out, const Fleet& fleet);
+
+/// Parse a fleet back from the format written by write_fleet_csv.
+/// Robots may appear in any order but each robot's waypoints must be in
+/// time order (as written).  Throws PreconditionError on malformed input
+/// (bad header, non-numeric fields, gaps in robot ids, speed violations).
+[[nodiscard]] Fleet read_fleet_csv(std::istream& in);
+
+/// Convenience: serialize to / parse from a string.
+[[nodiscard]] std::string fleet_to_csv(const Fleet& fleet);
+[[nodiscard]] Fleet fleet_from_csv(const std::string& text);
+
+}  // namespace linesearch

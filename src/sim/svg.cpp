@@ -1,0 +1,146 @@
+#include "sim/svg.hpp"
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace linesearch {
+namespace {
+
+// A readable categorical palette (up to 8 robots, then cycles).
+constexpr const char* kPalette[] = {"#1f77b4", "#d62728", "#2ca02c",
+                                    "#9467bd", "#ff7f0e", "#8c564b",
+                                    "#17becf", "#7f7f7f"};
+
+struct Mapper {
+  const SvgOptions* options;
+  Real margin = 36;
+
+  [[nodiscard]] Real px(const Real x) const {
+    const Real w = static_cast<Real>(options->width) - 2 * margin;
+    return margin +
+           (x + options->max_position) / (2 * options->max_position) * w;
+  }
+  [[nodiscard]] Real py(const Real t) const {
+    const Real h = static_cast<Real>(options->height) - 2 * margin;
+    return margin + t / options->max_time * h;
+  }
+};
+
+std::string line(const Mapper& m, const Real x1, const Real t1,
+                 const Real x2, const Real t2, const std::string& style) {
+  std::ostringstream out;
+  out << "  <line x1=\"" << fixed(m.px(x1), 1) << "\" y1=\""
+      << fixed(m.py(t1), 1) << "\" x2=\"" << fixed(m.px(x2), 1)
+      << "\" y2=\"" << fixed(m.py(t2), 1) << "\" " << style << "/>\n";
+  return out.str();
+}
+
+}  // namespace
+
+std::string render_svg(const Fleet& fleet, const SvgOptions& options) {
+  expects(options.max_time > 0 && options.max_position > 0,
+          "render_svg: spans must be positive");
+  expects(options.width >= 100 && options.height >= 100,
+          "render_svg: canvas too small");
+  const Mapper m{&options};
+
+  std::ostringstream svg;
+  svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\""
+      << options.width << "\" height=\"" << options.height
+      << "\" viewBox=\"0 0 " << options.width << ' ' << options.height
+      << "\">\n"
+      << "  <rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+
+  // Axes: the line L (t = 0) and the origin's world-line (x = 0).
+  svg << line(m, -options.max_position, 0, options.max_position, 0,
+              "stroke=\"#333\" stroke-width=\"1.5\"");
+  svg << line(m, 0, 0, 0, options.max_time,
+              "stroke=\"#bbb\" stroke-width=\"1\" stroke-dasharray=\"2,3\"");
+
+  // Cone rays t = +-beta x.
+  if (options.cone_beta > 1) {
+    const Real reach =
+        std::min(options.max_position, options.max_time / options.cone_beta);
+    const std::string style =
+        "stroke=\"#888\" stroke-width=\"1\" stroke-dasharray=\"6,4\"";
+    svg << line(m, 0, 0, reach, reach * options.cone_beta, style);
+    svg << line(m, 0, 0, -reach, reach * options.cone_beta, style);
+  }
+
+  // Target line.
+  if (std::isfinite(options.target)) {
+    svg << line(m, options.target, 0, options.target, options.max_time,
+                "stroke=\"#c22\" stroke-width=\"1\" "
+                "stroke-dasharray=\"4,3\"");
+  }
+
+  // Robot polylines, clipped by sampling to the view's time span.
+  for (RobotId id = 0; id < fleet.size(); ++id) {
+    const Trajectory& t = fleet.robot(id);
+    const char* color = kPalette[id % (sizeof kPalette / sizeof *kPalette)];
+    std::ostringstream points;
+    bool any = false;
+    const auto add_point = [&](const Real time, const Real x) {
+      points << fixed(m.px(x), 1) << ',' << fixed(m.py(time), 1) << ' ';
+      any = true;
+    };
+    for (const Waypoint& w : t.waypoints()) {
+      if (w.time > options.max_time) {
+        // Interpolate the exit point on the view's bottom edge.
+        if (w.time > t.start_time()) {
+          add_point(options.max_time, t.position_at(options.max_time));
+        }
+        break;
+      }
+      add_point(w.time, w.position);
+    }
+    if (!any) continue;
+    svg << "  <polyline fill=\"none\" stroke=\"" << color
+        << "\" stroke-width=\"1.8\" points=\"" << points.str() << "\"/>\n";
+    // Legend chip.
+    svg << "  <rect x=\"" << options.width - 28 << "\" y=\""
+        << 14 + 16 * static_cast<int>(id) << "\" width=\"10\" height=\"10\" fill=\""
+        << color << "\"/>\n"
+        << "  <text x=\"" << options.width - 14 << "\" y=\""
+        << 23 + 16 * static_cast<int>(id)
+        << "\" font-size=\"10\" font-family=\"sans-serif\">" << id
+        << "</text>\n";
+  }
+
+  // Overlay polylines (bold, dark).
+  for (const auto& overlay : options.overlays) {
+    std::ostringstream points;
+    for (const auto& [x, t] : overlay) {
+      points << fixed(m.px(x), 1) << ',' << fixed(m.py(t), 1) << ' ';
+    }
+    svg << "  <polyline fill=\"none\" stroke=\"#111\" "
+        << "stroke-width=\"2.6\" points=\"" << points.str() << "\"/>\n";
+  }
+
+  if (!options.title.empty()) {
+    svg << "  <text x=\"" << options.width / 2 << "\" y=\"16\" "
+        << "text-anchor=\"middle\" font-size=\"13\" "
+        << "font-family=\"sans-serif\">" << options.title << "</text>\n";
+  }
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+void write_svg_file(const std::string& path, const std::string& svg) {
+  const std::filesystem::path file(path);
+  if (file.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(file.parent_path(), ec);
+  }
+  std::ofstream out(file);
+  if (!out) throw NumericError("write_svg_file: cannot open " + path);
+  out << svg;
+  if (!out.good()) throw NumericError("write_svg_file: write failed");
+}
+
+}  // namespace linesearch

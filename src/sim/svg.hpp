@@ -1,0 +1,43 @@
+// sim/svg.hpp — publication-style SVG rendering of space/time diagrams.
+//
+// The ASCII renderer (sim/recorder.hpp) is for terminals; this one emits
+// standalone SVG matching the paper's figure conventions: space
+// horizontal, time flowing DOWNWARD, the cone C_beta as dashed rays from
+// the origin, robots as colored polylines, the target as a vertical
+// line.  The figure benches write these next to their stdout tables so a
+// reproduction run leaves real figure artifacts behind.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/fleet.hpp"
+#include "util/real.hpp"
+
+namespace linesearch {
+
+/// Options for render_svg.
+struct SvgOptions {
+  Real max_time = 20;      ///< vertical span [0, max_time]
+  Real max_position = 10;  ///< horizontal span [-max_position, +max_position]
+  int width = 640;         ///< pixel width
+  int height = 480;        ///< pixel height
+  Real cone_beta = 0;      ///< if > 1, draw the cone boundary rays
+  Real target = kNaN;      ///< if finite, draw a target line
+  std::string title;       ///< optional caption
+
+  /// Extra (x, t) polylines drawn in bold black over the robots — used
+  /// e.g. for the Figure-4 "tower" boundary T_{f+1}(x).
+  std::vector<std::vector<std::pair<Real, Real>>> overlays;
+};
+
+/// Render the fleet to a standalone SVG document.
+[[nodiscard]] std::string render_svg(const Fleet& fleet,
+                                     const SvgOptions& options);
+
+/// Write an SVG document to `path`, creating parent directories;
+/// throws NumericError when the file cannot be written.
+void write_svg_file(const std::string& path, const std::string& svg);
+
+}  // namespace linesearch

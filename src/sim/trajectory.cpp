@@ -1,0 +1,180 @@
+#include "sim/trajectory.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace linesearch {
+namespace {
+
+// Speed validation allows a hair of slack for accumulated rounding in the
+// turning-point recurrences; anything above this is a construction bug.
+constexpr Real kSpeedSlack = 1 + 1e-9L;
+
+}  // namespace
+
+Trajectory::Trajectory(std::vector<Waypoint> waypoints)
+    : waypoints_(std::move(waypoints)) {
+  expects(!waypoints_.empty(), "trajectory needs at least one waypoint");
+  max_abs_ = std::fabs(waypoints_.front().position);
+  for (std::size_t i = 1; i < waypoints_.size(); ++i) {
+    const Waypoint& a = waypoints_[i - 1];
+    const Waypoint& b = waypoints_[i];
+    expects(b.time > a.time,
+            "trajectory waypoints must have strictly increasing time");
+    const Real speed = std::fabs(b.position - a.position) / (b.time - a.time);
+    expects(speed <= kMaxSpeed * kSpeedSlack,
+            "trajectory segment exceeds maximum speed");
+    max_speed_ = std::max(max_speed_, speed);
+    max_abs_ = std::max(max_abs_, std::fabs(b.position));
+  }
+}
+
+Trajectory Trajectory::stationary(const Real position, const Real until) {
+  expects(until > 0, "stationary trajectory needs positive duration");
+  return Trajectory({{0, position}, {until, position}});
+}
+
+Real Trajectory::position_at(const Real t) const {
+  expects(t >= start_time() && t <= end_time(),
+          "position_at: time outside trajectory span");
+  // Binary search for the segment containing t.
+  const auto it = std::upper_bound(
+      waypoints_.begin(), waypoints_.end(), t,
+      [](const Real value, const Waypoint& w) { return value < w.time; });
+  if (it == waypoints_.begin()) return waypoints_.front().position;
+  if (it == waypoints_.end()) return waypoints_.back().position;
+  const Waypoint& a = *(it - 1);
+  const Waypoint& b = *it;
+  const Real fraction = (t - a.time) / (b.time - a.time);
+  return a.position + fraction * (b.position - a.position);
+}
+
+std::vector<Real> Trajectory::visit_times(const Real x,
+                                          const std::size_t max_count) const {
+  std::vector<Real> times;
+  if (max_count == 0) return times;
+
+  if (waypoints_.size() == 1) {
+    if (waypoints_.front().position == x) times.push_back(start_time());
+    return times;
+  }
+
+  for (std::size_t i = 0; i + 1 < waypoints_.size(); ++i) {
+    const Waypoint& a = waypoints_[i];
+    const Waypoint& b = waypoints_[i + 1];
+    const Real lo = std::min(a.position, b.position);
+    const Real hi = std::max(a.position, b.position);
+    if (x < lo || x > hi) continue;
+
+    // Continuous occupancy: if this segment STARTS at x, the previous
+    // segment ended at x and already reported the visit (segments share
+    // endpoints) — a turning point touch or a stationary dwell is one
+    // visit, and leaving a dwell is not a new one.
+    if (i > 0 && x == a.position) continue;
+
+    Real t;
+    if (a.position == b.position) {
+      t = a.time;  // stationary segment sitting on x
+    } else {
+      const Real fraction = (x - a.position) / (b.position - a.position);
+      t = a.time + fraction * (b.time - a.time);
+    }
+    // Safety net for near-endpoint rounding.
+    if (!times.empty() && approx_equal(times.back(), t)) continue;
+    times.push_back(t);
+    if (times.size() == max_count) break;
+  }
+  return times;
+}
+
+std::optional<Real> Trajectory::first_visit_time(const Real x) const {
+  const std::vector<Real> times = visit_times(x, 1);
+  if (times.empty()) return std::nullopt;
+  return times.front();
+}
+
+std::optional<Real> Trajectory::kth_visit_time(const Real x,
+                                               const std::size_t k) const {
+  const std::vector<Real> times = visit_times(x, k + 1);
+  if (times.size() <= k) return std::nullopt;
+  return times[k];
+}
+
+std::vector<Waypoint> Trajectory::turning_waypoints() const {
+  // A turn is a reversal of the direction of motion, with any pauses in
+  // between ignored: we track the last nonzero direction and record a
+  // turn at the waypoint where motion resumes the opposite way.
+  std::vector<Waypoint> turns;
+  int last_direction = 0;
+  for (std::size_t s = 0; s + 1 < waypoints_.size(); ++s) {
+    const int direction =
+        sign_of(waypoints_[s + 1].position - waypoints_[s].position);
+    if (direction == 0) continue;  // pause
+    if (last_direction != 0 && direction == -last_direction) {
+      turns.push_back(waypoints_[s]);
+    }
+    last_direction = direction;
+  }
+  return turns;
+}
+
+std::string Trajectory::describe() const {
+  std::ostringstream out;
+  out << segment_count() << " segments, t in [" << fixed(start_time(), 3)
+      << ", " << fixed(end_time(), 3) << "], reach " << fixed(max_abs_, 3)
+      << ", " << turning_waypoints().size() << " turns";
+  return out.str();
+}
+
+TrajectoryBuilder& TrajectoryBuilder::start_at(const Real t, const Real x) {
+  expects(!started_, "start_at may only be called once");
+  started_ = true;
+  waypoints_.push_back({t, x});
+  return *this;
+}
+
+Real TrajectoryBuilder::current_time() const {
+  expects(started_, "builder not started");
+  return waypoints_.back().time;
+}
+
+Real TrajectoryBuilder::current_position() const {
+  expects(started_, "builder not started");
+  return waypoints_.back().position;
+}
+
+TrajectoryBuilder& TrajectoryBuilder::move_to(const Real x) {
+  expects(started_, "builder not started");
+  const Waypoint& last = waypoints_.back();
+  const Real distance = std::fabs(x - last.position);
+  expects(distance > 0, "move_to: zero-length leg (use wait_until)");
+  waypoints_.push_back({last.time + distance, x});
+  return *this;
+}
+
+TrajectoryBuilder& TrajectoryBuilder::move_to_at(const Real x, const Real t) {
+  expects(started_, "builder not started");
+  const Waypoint& last = waypoints_.back();
+  expects(t > last.time, "move_to_at: time must advance");
+  waypoints_.push_back({t, x});  // speed validated by Trajectory ctor
+  return *this;
+}
+
+TrajectoryBuilder& TrajectoryBuilder::wait_until(const Real t) {
+  expects(started_, "builder not started");
+  const Waypoint& last = waypoints_.back();
+  expects(t >= last.time, "wait_until: cannot wait into the past");
+  if (t > last.time) waypoints_.push_back({t, last.position});
+  return *this;
+}
+
+Trajectory TrajectoryBuilder::build() && {
+  expects(started_, "builder not started");
+  return Trajectory(std::move(waypoints_));
+}
+
+}  // namespace linesearch

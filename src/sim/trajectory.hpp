@@ -1,0 +1,136 @@
+// sim/trajectory.hpp — exact piecewise-linear robot trajectories.
+//
+// A trajectory is the space/time curve of one robot on the line (Fig. 1 of
+// the paper): a sequence of waypoints (t_i, x_i) with non-decreasing time
+// and speed |dx/dt| <= 1 on every segment.  All queries (position, visit
+// times) are closed-form per segment — there is no time-stepping anywhere
+// in the library, so measured competitive ratios carry no discretization
+// error.
+//
+// Visit semantics: robot visits point x at time t iff its position at t is
+// exactly x.  A segment that *touches* x at a shared endpoint yields one
+// visit, not two; a stationary segment sitting on x yields a visit at the
+// segment start.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/real.hpp"
+
+namespace linesearch {
+
+/// One point of a robot's space/time curve.
+struct Waypoint {
+  Real time = 0;
+  Real position = 0;
+
+  friend bool operator==(const Waypoint&, const Waypoint&) = default;
+};
+
+/// Immutable piecewise-linear trajectory.  Construction validates the
+/// waypoint list; queries never mutate.
+class Trajectory {
+ public:
+  /// Maximum speed a robot may use; the paper's robots all have speed 1.
+  static constexpr Real kMaxSpeed = 1;
+
+  /// Build from waypoints.  Requires: >= 1 waypoint, strictly increasing
+  /// time between distinct waypoints, and segment speed <= kMaxSpeed (with
+  /// a small relative tolerance).  Throws PreconditionError otherwise.
+  explicit Trajectory(std::vector<Waypoint> waypoints);
+
+  /// A robot that never moves: sits at `position` from t=0 to `until`.
+  [[nodiscard]] static Trajectory stationary(Real position, Real until);
+
+  /// All waypoints, in time order.
+  [[nodiscard]] const std::vector<Waypoint>& waypoints() const noexcept {
+    return waypoints_;
+  }
+
+  /// Number of linear segments (waypoints - 1; zero for a single point).
+  [[nodiscard]] std::size_t segment_count() const noexcept {
+    return waypoints_.size() - 1;
+  }
+
+  [[nodiscard]] Real start_time() const noexcept {
+    return waypoints_.front().time;
+  }
+  [[nodiscard]] Real end_time() const noexcept {
+    return waypoints_.back().time;
+  }
+  [[nodiscard]] Real start_position() const noexcept {
+    return waypoints_.front().position;
+  }
+  [[nodiscard]] Real end_position() const noexcept {
+    return waypoints_.back().position;
+  }
+
+  /// Position at time t; requires start_time() <= t <= end_time().
+  [[nodiscard]] Real position_at(Real t) const;
+
+  /// Time of the first visit to x, or nullopt if the trajectory never
+  /// reaches x.
+  [[nodiscard]] std::optional<Real> first_visit_time(Real x) const;
+
+  /// All visit times to x in increasing order (touching turning points
+  /// deduplicated), capped at `max_count` entries.
+  [[nodiscard]] std::vector<Real> visit_times(
+      Real x, std::size_t max_count = SIZE_MAX) const;
+
+  /// Time of the k-th visit (0-based) to x, or nullopt.
+  [[nodiscard]] std::optional<Real> kth_visit_time(Real x,
+                                                   std::size_t k) const;
+
+  /// Largest |position| ever reached.
+  [[nodiscard]] Real max_abs_position() const noexcept { return max_abs_; }
+
+  /// Largest per-segment speed (<= kMaxSpeed by construction).
+  [[nodiscard]] Real max_speed() const noexcept { return max_speed_; }
+
+  /// Times at which the robot changes direction strictly inside the
+  /// trajectory (sign of velocity flips, or motion resumes after a stop).
+  /// These are the "turning points" of the paper's zig-zag strategies.
+  [[nodiscard]] std::vector<Waypoint> turning_waypoints() const;
+
+  /// Human-readable one-line summary ("5 segments, t in [0, 12.5], ...").
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  std::vector<Waypoint> waypoints_;
+  Real max_abs_ = 0;
+  Real max_speed_ = 0;
+};
+
+/// Fluent builder for trajectories.  All movement legs run at speed
+/// exactly 1 unless move_to_at/slow legs are requested.
+class TrajectoryBuilder {
+ public:
+  /// Start the curve at (t, x); must be called exactly once, first.
+  TrajectoryBuilder& start_at(Real t, Real x);
+
+  /// Unit-speed leg to position x (duration |x - current|).
+  TrajectoryBuilder& move_to(Real x);
+
+  /// Leg to position x arriving exactly at time t (speed <= 1 enforced
+  /// at build time).  Models Definition 4's sub-unit-speed start legs.
+  TrajectoryBuilder& move_to_at(Real x, Real t);
+
+  /// Stay in place until time t (t >= current time).
+  TrajectoryBuilder& wait_until(Real t);
+
+  /// Current time / position of the under-construction curve.
+  [[nodiscard]] Real current_time() const;
+  [[nodiscard]] Real current_position() const;
+
+  /// Finalize; throws if start_at was never called or a leg is invalid.
+  [[nodiscard]] Trajectory build() &&;
+
+ private:
+  bool started_ = false;
+  std::vector<Waypoint> waypoints_;
+};
+
+}  // namespace linesearch

@@ -1,0 +1,119 @@
+#include "sim/zigzag.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace linesearch {
+
+Real expansion_factor(const Real beta) {
+  expects(beta > 1, "expansion_factor: beta must exceed 1");
+  return (beta + 1) / (beta - 1);
+}
+
+Real beta_for_expansion(const Real kappa) {
+  expects(kappa > 1, "beta_for_expansion: kappa must exceed 1");
+  return (kappa + 1) / (kappa - 1);
+}
+
+Real cone_arrival_time(const Real beta, const Real x) {
+  expects(beta > 1, "cone_arrival_time: beta must exceed 1");
+  return beta * std::fabs(x);
+}
+
+Real previous_turning_point(const Real beta, const Real x) {
+  return -x / expansion_factor(beta);
+}
+
+Real next_turning_point(const Real beta, const Real x) {
+  return -x * expansion_factor(beta);
+}
+
+std::vector<Real> lemma1_turning_points(const Real beta, const Real x0,
+                                        const int count) {
+  expects(x0 != 0, "lemma1_turning_points: x0 must be non-zero");
+  expects(count >= 0, "lemma1_turning_points: count must be >= 0");
+  const Real kappa = expansion_factor(beta);
+  std::vector<Real> points;
+  points.reserve(static_cast<std::size_t>(count));
+  Real x = x0;
+  for (int i = 0; i < count; ++i) {
+    points.push_back(x);
+    x *= -kappa;
+  }
+  return points;
+}
+
+void extend_zigzag(TrajectoryBuilder& builder, const Real beta,
+                   const Real min_coverage) {
+  expects(min_coverage > 0, "extend_zigzag: min_coverage must be positive");
+  const Real kappa = expansion_factor(beta);
+  Real reach_positive = 0;
+  Real reach_negative = 0;
+  Real turn = builder.current_position();
+  if (turn > 0) {
+    reach_positive = turn;
+  } else {
+    reach_negative = -turn;
+  }
+  // Each iteration adds one full leg to the next turning point.  The loop
+  // is guaranteed to terminate because |turn| grows by kappa > 1 each leg.
+  while (reach_positive < min_coverage || reach_negative < min_coverage) {
+    turn = -turn * kappa;
+    builder.move_to(turn);
+    if (turn > 0) {
+      reach_positive = std::max(reach_positive, turn);
+    } else {
+      reach_negative = std::max(reach_negative, -turn);
+    }
+  }
+  // One extra leg so that every turning point with magnitude up to
+  // min_coverage is an INTERIOR waypoint (a trajectory's final waypoint
+  // has no following segment and therefore does not register as a turn,
+  // which would under-report the robot's turning reach to analyses).
+  builder.move_to(-turn * kappa);
+}
+
+namespace {
+
+void check_spec(const ZigZagSpec& spec) {
+  expects(spec.beta > 1, "zigzag: beta must exceed 1");
+  expects(spec.first_turn != 0, "zigzag: first_turn must be non-zero");
+  expects(spec.min_coverage > 0, "zigzag: min_coverage must be positive");
+}
+
+}  // namespace
+
+Trajectory make_cone_zigzag(const ZigZagSpec& spec) {
+  check_spec(spec);
+  TrajectoryBuilder builder;
+  builder.start_at(cone_arrival_time(spec.beta, spec.first_turn),
+                   spec.first_turn);
+  extend_zigzag(builder, spec.beta, spec.min_coverage);
+  return std::move(builder).build();
+}
+
+Trajectory make_origin_zigzag(const ZigZagSpec& spec) {
+  check_spec(spec);
+  TrajectoryBuilder builder;
+  builder.start_at(0, 0);
+  // Speed |first_turn| / (beta*|first_turn|) = 1/beta < 1: legal.
+  builder.move_to_at(spec.first_turn,
+                     cone_arrival_time(spec.beta, spec.first_turn));
+  extend_zigzag(builder, spec.beta, spec.min_coverage);
+  return std::move(builder).build();
+}
+
+bool within_cone(const Trajectory& trajectory, const Real beta,
+                 const Real relative_slack) {
+  expects(beta > 1, "within_cone: beta must exceed 1");
+  for (const Waypoint& w : trajectory.waypoints()) {
+    const Real boundary = beta * std::fabs(w.position);
+    if (w.time < boundary * (1 - relative_slack) - tol::kAbsolute) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace linesearch

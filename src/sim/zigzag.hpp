@@ -1,0 +1,70 @@
+// sim/zigzag.hpp — cone-defined zig-zag trajectories (Section 2, Lemma 1).
+//
+// For beta > 1 the cone C_beta is delimited by t = beta*x (x >= 0) and
+// t = -beta*x (x < 0).  A zig-zag movement starts at a point
+// (x_0, beta*|x_0|) on the cone boundary and reverses direction whenever
+// it returns to the boundary; Lemma 1 shows the turning points satisfy
+//   x_i = x_0 * kappa^i * (-1)^i,     kappa = (beta+1)/(beta-1),
+// and every leg runs at speed exactly 1.  kappa is the *expansion factor*
+// of the strategy (the doubling strategy is kappa = 2, i.e. beta = 3).
+#pragma once
+
+#include <vector>
+
+#include "sim/trajectory.hpp"
+#include "util/real.hpp"
+
+namespace linesearch {
+
+/// Expansion factor kappa = (beta+1)/(beta-1); requires beta > 1.
+[[nodiscard]] Real expansion_factor(Real beta);
+
+/// Inverse of expansion_factor: the beta with (beta+1)/(beta-1) == kappa;
+/// requires kappa > 1.
+[[nodiscard]] Real beta_for_expansion(Real kappa);
+
+/// Time at which the cone boundary passes position x: beta * |x|.
+[[nodiscard]] Real cone_arrival_time(Real beta, Real x);
+
+/// Turning point preceding x in a C_beta zig-zag: -x / kappa.
+[[nodiscard]] Real previous_turning_point(Real beta, Real x);
+
+/// Turning point following x: -x * kappa.
+[[nodiscard]] Real next_turning_point(Real beta, Real x);
+
+/// The first `count` turning points of the zig-zag seeded at x0
+/// (Lemma 1): x0, -kappa*x0, kappa^2*x0, ...
+[[nodiscard]] std::vector<Real> lemma1_turning_points(Real beta, Real x0,
+                                                      int count);
+
+/// Specification of one cone zig-zag trajectory.
+struct ZigZagSpec {
+  Real beta = 3;         ///< cone parameter, > 1
+  Real first_turn = 1;   ///< signed position of the first turning point
+  Real min_coverage = 8; ///< extend until BOTH half-lines have a turning
+                         ///< point of at least this magnitude
+};
+
+/// Zig-zag that starts ON the cone at (first_turn, beta*|first_turn|) and
+/// turns at the boundary until both sides are covered past min_coverage.
+[[nodiscard]] Trajectory make_cone_zigzag(const ZigZagSpec& spec);
+
+/// Same zig-zag but with the Definition-4 style prefix: the robot leaves
+/// the origin at t = 0 and travels at speed 1/beta so that it reaches
+/// first_turn exactly when the cone boundary does, then zig-zags at unit
+/// speed.
+[[nodiscard]] Trajectory make_origin_zigzag(const ZigZagSpec& spec);
+
+/// Append unit-speed C_beta zig-zag legs to a builder whose current
+/// position is a turning point on the cone (time == beta * |position|),
+/// until BOTH half-lines have a turning point of magnitude >=
+/// min_coverage.  Building block shared by make_cone_zigzag,
+/// make_origin_zigzag and the proportional-schedule fleet builder.
+void extend_zigzag(TrajectoryBuilder& builder, Real beta, Real min_coverage);
+
+/// True if every waypoint of `trajectory` lies inside (or on) the cone
+/// C_beta, i.e. t >= beta * |x| - slack for each waypoint at t > 0.
+[[nodiscard]] bool within_cone(const Trajectory& trajectory, Real beta,
+                               Real relative_slack = tol::kRelative);
+
+}  // namespace linesearch

@@ -1,0 +1,187 @@
+#include "star/search.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "analysis/series.hpp"
+#include "analysis/stats.hpp"
+#include "util/error.hpp"
+
+namespace linesearch {
+
+StarFleet::StarFleet(std::vector<StarTrajectory> robots)
+    : robots_(std::move(robots)) {
+  expects(!robots_.empty(), "star fleet needs at least one robot");
+}
+
+const StarTrajectory& StarFleet::robot(const std::size_t id) const {
+  expects(id < robots_.size(), "robot id out of range");
+  return robots_[id];
+}
+
+Real StarFleet::detection_time(const StarPoint point,
+                               const int faults) const {
+  expects(faults >= 0, "detection_time: faults must be >= 0");
+  const auto k = static_cast<std::size_t>(faults);
+  if (k >= robots_.size()) return kInfinity;
+  std::vector<Real> times;
+  times.reserve(robots_.size());
+  for (const StarTrajectory& robot : robots_) {
+    const std::optional<Real> visit = robot.first_visit_time(point);
+    times.push_back(visit ? *visit : kInfinity);
+  }
+  return kth_smallest(std::move(times), k);
+}
+
+std::vector<Real> StarFleet::turning_depths(const int ray) const {
+  std::vector<Real> depths;
+  for (const StarTrajectory& robot : robots_) {
+    const std::vector<Real> own = robot.turning_depths(ray);
+    depths.insert(depths.end(), own.begin(), own.end());
+  }
+  std::sort(depths.begin(), depths.end());
+  return depths;
+}
+
+StarTrajectory star_sweep(const int rays, const Real kappa,
+                          const Real depth0, const Real extent) {
+  expects(rays >= 2, "star_sweep: need >= 2 rays");
+  expects(kappa > 1, "star_sweep: kappa must exceed 1");
+  expects(depth0 > 0 && extent > depth0, "star_sweep: bad depths");
+
+  StarTrajectoryBuilder builder;
+  std::vector<Real> reach(static_cast<std::size_t>(rays), 0);
+  Real depth = depth0;
+  int g = 0;
+  while (*std::min_element(reach.begin(), reach.end()) < extent) {
+    const int ray = g % rays;
+    builder.excursion(ray, depth);
+    reach[static_cast<std::size_t>(ray)] =
+        std::max(reach[static_cast<std::size_t>(ray)], depth);
+    depth *= kappa;
+    ++g;
+  }
+  builder.excursion(g % rays, depth);  // interior-izing extra excursion
+  return std::move(builder).build();
+}
+
+StarFleet star_proportional(const int rays, const int n, const Real rho,
+                            const Real extent) {
+  expects(rays >= 2, "star_proportional: need >= 2 rays");
+  expects(n >= 1, "star_proportional: need >= 1 robot");
+  expects(rho > 1, "star_proportional: rho must exceed 1");
+  expects(extent > 1, "star_proportional: extent must exceed 1");
+
+  std::vector<StarTrajectoryBuilder> builders(
+      static_cast<std::size_t>(n));
+  // Global excursion grid: excursion g has depth rho^g on ray g mod m,
+  // performed by robot g mod n.  Continue until every (robot, ray it
+  // serves) pair reaches the extent, plus one extra grid round.
+  std::vector<Real> ray_reach(static_cast<std::size_t>(rays), kInfinity);
+  // Track the minimum over robots serving each ray of their reach there.
+  std::vector<std::vector<Real>> reach(
+      static_cast<std::size_t>(n),
+      std::vector<Real>(static_cast<std::size_t>(rays), 0));
+
+  const int gcd = std::gcd(n, rays);
+  const int robots_per_ray = n / gcd;
+  (void)robots_per_ray;
+
+  const auto min_served_reach = [&] {
+    // For each ray, the (f+1)-coverage depends on every robot serving
+    // it; conservatively require EVERY serving robot to reach extent.
+    Real worst = kInfinity;
+    for (int ray = 0; ray < rays; ++ray) {
+      for (int i = 0; i < n; ++i) {
+        // Robot i serves ray iff i ≡ ray (mod gcd).
+        if (i % gcd == ray % gcd) {
+          worst = std::min(worst,
+                           reach[static_cast<std::size_t>(i)]
+                                [static_cast<std::size_t>(ray)]);
+        }
+      }
+    }
+    return worst;
+  };
+
+  int g = 0;
+  Real depth = 1;
+  while (min_served_reach() < extent) {
+    const int robot = g % n;
+    const int ray = g % rays;
+    builders[static_cast<std::size_t>(robot)].excursion(ray, depth);
+    reach[static_cast<std::size_t>(robot)][static_cast<std::size_t>(ray)] =
+        std::max(reach[static_cast<std::size_t>(robot)]
+                      [static_cast<std::size_t>(ray)],
+                 depth);
+    depth *= rho;
+    ++g;
+    expects(g < 100000, "star_proportional: runaway generation");
+  }
+  // One extra full robot round so final excursions are interior.
+  for (int extra = 0; extra < n; ++extra) {
+    builders[static_cast<std::size_t>(g % n)].excursion(g % rays, depth);
+    depth *= rho;
+    ++g;
+  }
+
+  std::vector<StarTrajectory> robots;
+  robots.reserve(static_cast<std::size_t>(n));
+  for (StarTrajectoryBuilder& builder : builders) {
+    robots.push_back(std::move(builder).build());
+  }
+  return StarFleet(std::move(robots));
+}
+
+StarCrResult star_cr(const StarFleet& fleet, const int rays,
+                     const int faults, const Real window_lo,
+                     const Real window_hi) {
+  expects(rays >= 2, "star_cr: need >= 2 rays");
+  expects(window_lo > 0 && window_hi > window_lo, "star_cr: bad window");
+
+  StarCrResult result;
+  for (int ray = 0; ray < rays; ++ray) {
+    std::vector<Real> probes{window_lo, window_hi};
+    for (const Real depth : fleet.turning_depths(ray)) {
+      if (depth >= window_lo && depth <= window_hi) {
+        probes.push_back(depth);
+        const Real just_past = depth * (1 + tol::kLimitProbe);
+        if (just_past <= window_hi) probes.push_back(just_past);
+      }
+    }
+    for (const Real d : probes) {
+      const Real time = fleet.detection_time({ray, d}, faults);
+      ++result.probes;
+      if (std::isinf(time)) {
+        throw NumericError("star_cr: window not covered — extent too "
+                           "small or coverage requirement violated");
+      }
+      const Real ratio = time / d;
+      if (ratio > result.cr) {
+        result.cr = ratio;
+        result.argmax = {ray, d};
+      }
+    }
+  }
+  return result;
+}
+
+Real star_sweep_cr(const int rays, const Real kappa) {
+  expects(rays >= 2, "star_sweep_cr: need >= 2 rays");
+  expects(kappa > 1, "star_sweep_cr: kappa must exceed 1");
+  return 1 + 2 * ipow(kappa, rays) / (kappa - 1);
+}
+
+Real star_optimal_kappa(const int rays) {
+  expects(rays >= 2, "star_optimal_kappa: need >= 2 rays");
+  return static_cast<Real>(rays) / static_cast<Real>(rays - 1);
+}
+
+Real star_optimal_cr(const int rays) {
+  expects(rays >= 2, "star_optimal_cr: need >= 2 rays");
+  const Real m = static_cast<Real>(rays);
+  return 1 + 2 * std::pow(m, m) / std::pow(m - 1, m - 1);
+}
+
+}  // namespace linesearch

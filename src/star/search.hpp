@@ -1,0 +1,73 @@
+// star/search.hpp — fleets, strategies and evaluation on the m-ray star.
+//
+// * StarFleet — the fault-aware detection query, exactly as on the line:
+//   with up to f adversarial faults, the target at (ray, d) is found at
+//   the (f+1)-st smallest first-visit time over distinct robots.
+// * star_sweep — the classic single-robot strategy: geometric excursion
+//   depths kappa^k visiting rays round-robin.  Its worst ratio just past
+//   a depth is 1 + 2 kappa^m/(kappa-1) (approached from below),
+//   minimized at kappa* = m/(m-1) with the textbook value
+//   1 + 2 m^m/(m-1)^(m-1)  (m = 2: the cow-path 9).
+// * star_proportional — this library's faulty-robot generalization: a
+//   global geometric depth grid rho^g, excursion g performed by robot
+//   (g mod n) on ray (g mod m).  Robot i then serves rays in the residue
+//   class i mod gcd(n, m), so every ray is covered by n/gcd(n,m) robots;
+//   (f+1)-coverage requires n/gcd(n,m) >= f+1.
+// * star_cr — empirical competitive ratio: sup over probed targets of
+//   detection_time/(distance), probing just past every excursion depth
+//   on every ray (the star analogue of Lemma 3's right limits).
+#pragma once
+
+#include <vector>
+
+#include "star/trajectory.hpp"
+#include "util/real.hpp"
+
+namespace linesearch {
+
+/// A team of star searchers.
+class StarFleet {
+ public:
+  explicit StarFleet(std::vector<StarTrajectory> robots);
+
+  [[nodiscard]] std::size_t size() const noexcept { return robots_.size(); }
+  [[nodiscard]] const StarTrajectory& robot(std::size_t id) const;
+
+  /// Worst-case detection time with up to `faults` adversarial faults.
+  [[nodiscard]] Real detection_time(StarPoint point, int faults) const;
+
+  /// All outward turning depths on `ray`, across robots, ascending.
+  [[nodiscard]] std::vector<Real> turning_depths(int ray) const;
+
+ private:
+  std::vector<StarTrajectory> robots_;
+};
+
+/// Classic single-robot m-ray sweep: excursion g has depth
+/// depth0 * kappa^g on ray (g mod m), until every ray reaches `extent`
+/// (plus one interior-izing extra excursion per the line convention).
+[[nodiscard]] StarTrajectory star_sweep(int rays, Real kappa, Real depth0,
+                                        Real extent);
+
+/// The faulty-robot generalization (see header comment).  Requires
+/// rays >= 2, f < n, n/gcd(n, rays) >= f+1, rho > 1.
+[[nodiscard]] StarFleet star_proportional(int rays, int n, Real rho,
+                                          Real extent);
+
+/// Empirical competitive ratio over targets with distance in
+/// [window_lo, window_hi] on every ray.
+struct StarCrResult {
+  Real cr = 0;
+  StarPoint argmax;
+  int probes = 0;
+};
+[[nodiscard]] StarCrResult star_cr(const StarFleet& fleet, int rays,
+                                   int faults, Real window_lo,
+                                   Real window_hi);
+
+/// Closed forms for the classic single-robot sweep.
+[[nodiscard]] Real star_sweep_cr(int rays, Real kappa);  ///< 1+2k^m/(k-1)
+[[nodiscard]] Real star_optimal_kappa(int rays);         ///< m/(m-1)
+[[nodiscard]] Real star_optimal_cr(int rays);  ///< 1+2m^m/(m-1)^(m-1)
+
+}  // namespace linesearch

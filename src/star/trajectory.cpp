@@ -1,0 +1,110 @@
+#include "star/trajectory.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace linesearch {
+
+StarTrajectory::StarTrajectory(std::vector<StarWaypoint> waypoints)
+    : waypoints_(std::move(waypoints)) {
+  expects(!waypoints_.empty(), "star trajectory needs >= 1 waypoint");
+  for (const StarWaypoint& w : waypoints_) {
+    expects(w.distance >= 0, "star distances are non-negative");
+    expects(w.ray >= 0, "ray indices are non-negative");
+  }
+  for (std::size_t i = 1; i < waypoints_.size(); ++i) {
+    const StarWaypoint& a = waypoints_[i - 1];
+    const StarWaypoint& b = waypoints_[i];
+    expects(b.time > a.time, "star waypoints need increasing time");
+    if (a.ray != b.ray) {
+      // A ray change must happen at the origin.
+      expects(a.distance == 0,
+              "ray changes are only allowed at the origin");
+    }
+    const Real speed = std::fabs(b.distance - a.distance) / (b.time - a.time);
+    expects(speed <= 1 + 1e-9L, "star leg exceeds unit speed");
+  }
+}
+
+std::optional<Real> StarTrajectory::first_visit_time(
+    const StarPoint point) const {
+  expects(point.distance >= 0, "first_visit_time: negative distance");
+  for (std::size_t i = 0; i + 1 <= waypoints_.size(); ++i) {
+    const StarWaypoint& w = waypoints_[i];
+    // Exact waypoint hit (covers single-point trajectories and origin).
+    const bool ray_matches = (w.distance == 0 && point.distance == 0) ||
+                             (w.ray == point.ray);
+    if (ray_matches && w.distance == point.distance) return w.time;
+    if (i + 1 == waypoints_.size()) break;
+    const StarWaypoint& b = waypoints_[i + 1];
+    // Legs live on b.ray when leaving the origin, else on w.ray; both
+    // endpoints share the ray unless the leg starts at the origin.
+    const int leg_ray = (w.distance == 0) ? b.ray : w.ray;
+    if (leg_ray != point.ray && point.distance != 0) continue;
+    const Real lo = std::min(w.distance, b.distance);
+    const Real hi = std::max(w.distance, b.distance);
+    if (point.distance < lo || point.distance > hi) continue;
+    if (w.distance == b.distance) return w.time;  // dwell on the point
+    const Real fraction =
+        (point.distance - w.distance) / (b.distance - w.distance);
+    if (fraction < 0 || fraction > 1) continue;
+    const Real t = w.time + fraction * (b.time - w.time);
+    if (fraction == 0 && point.distance == w.distance) return w.time;
+    return t;
+  }
+  return std::nullopt;
+}
+
+Real StarTrajectory::reach(const int ray) const {
+  Real best = 0;
+  for (const StarWaypoint& w : waypoints_) {
+    if (w.ray == ray) best = std::max(best, w.distance);
+  }
+  return best;
+}
+
+std::vector<Real> StarTrajectory::turning_depths(const int ray) const {
+  std::vector<Real> depths;
+  for (std::size_t i = 1; i + 1 < waypoints_.size(); ++i) {
+    const StarWaypoint& w = waypoints_[i];
+    if (w.ray != ray || w.distance == 0) continue;
+    const Real before = w.distance - waypoints_[i - 1].distance;
+    const Real after = waypoints_[i + 1].distance - w.distance;
+    if (before > 0 && after < 0) depths.push_back(w.distance);
+  }
+  std::sort(depths.begin(), depths.end());
+  return depths;
+}
+
+StarTrajectoryBuilder::StarTrajectoryBuilder() {
+  waypoints_.push_back({0, 0, 0});
+}
+
+StarTrajectoryBuilder& StarTrajectoryBuilder::excursion(const int ray,
+                                                        const Real depth) {
+  expects(!finalized_, "builder already finalized");
+  expects(depth > 0, "excursion depth must be positive");
+  expects(ray >= 0, "ray index must be non-negative");
+  waypoints_.push_back({now_ + depth, ray, depth});
+  waypoints_.push_back({now_ + 2 * depth, ray, 0});
+  now_ += 2 * depth;
+  return *this;
+}
+
+StarTrajectoryBuilder& StarTrajectoryBuilder::final_out(const int ray,
+                                                        const Real depth) {
+  expects(!finalized_, "builder already finalized");
+  expects(depth > 0, "final leg depth must be positive");
+  waypoints_.push_back({now_ + depth, ray, depth});
+  now_ += depth;
+  finalized_ = true;
+  return *this;
+}
+
+StarTrajectory StarTrajectoryBuilder::build() && {
+  return StarTrajectory(std::move(waypoints_));
+}
+
+}  // namespace linesearch

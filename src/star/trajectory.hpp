@@ -1,0 +1,95 @@
+// star/trajectory.hpp — trajectories on a star of m rays.
+//
+// The classic generalization of linear search (m = 2 is the line):
+// m half-lines ("rays") share the origin; a searcher must pass through
+// the origin to change rays.  A point is (ray, distance).  This module
+// is the star analogue of sim/trajectory: exact piecewise-linear motion,
+// closed-form visit queries, no time-stepping.
+//
+// Representation: waypoints (time, ray, distance) with
+//   * strictly increasing time,
+//   * speed |d_distance| / d_time <= 1 within a leg,
+//   * ray changes only across a waypoint AT the origin (distance 0) —
+//     the physical constraint of the star.
+// The origin itself belongs to every ray: a visit query for distance 0
+// matches any ray.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "util/real.hpp"
+
+namespace linesearch {
+
+/// A point of the star: ray index in [0, m) and distance >= 0.
+struct StarPoint {
+  int ray = 0;
+  Real distance = 0;
+
+  friend bool operator==(const StarPoint&, const StarPoint&) = default;
+};
+
+/// One waypoint of a star trajectory.
+struct StarWaypoint {
+  Real time = 0;
+  int ray = 0;
+  Real distance = 0;
+};
+
+/// Immutable piecewise-linear star trajectory.
+class StarTrajectory {
+ public:
+  /// Validates the waypoint list (see header comment); throws
+  /// PreconditionError on violations.
+  explicit StarTrajectory(std::vector<StarWaypoint> waypoints);
+
+  [[nodiscard]] const std::vector<StarWaypoint>& waypoints() const noexcept {
+    return waypoints_;
+  }
+  [[nodiscard]] Real start_time() const noexcept {
+    return waypoints_.front().time;
+  }
+  [[nodiscard]] Real end_time() const noexcept {
+    return waypoints_.back().time;
+  }
+
+  /// First time the robot is at `point` (nullopt if never).  Distance-0
+  /// queries match regardless of the queried ray.
+  [[nodiscard]] std::optional<Real> first_visit_time(StarPoint point) const;
+
+  /// Deepest distance reached on `ray`.
+  [[nodiscard]] Real reach(int ray) const;
+
+  /// Outward turning depths on `ray` (local maxima of the distance),
+  /// ascending.
+  [[nodiscard]] std::vector<Real> turning_depths(int ray) const;
+
+ private:
+  std::vector<StarWaypoint> waypoints_;
+};
+
+/// Builder for excursion-style star trajectories (the shape of every
+/// classic m-ray strategy: out along a ray, back to the origin, repeat).
+class StarTrajectoryBuilder {
+ public:
+  /// Start at the origin at t = 0.
+  StarTrajectoryBuilder();
+
+  /// Unit-speed excursion: origin -> (ray, depth) -> origin.
+  StarTrajectoryBuilder& excursion(int ray, Real depth);
+
+  /// Unit-speed one-way leg out to (ray, depth) WITHOUT returning — used
+  /// for a final leg.  Requires the builder to sit at the origin.
+  StarTrajectoryBuilder& final_out(int ray, Real depth);
+
+  [[nodiscard]] StarTrajectory build() &&;
+
+ private:
+  bool finalized_ = false;
+  Real now_ = 0;
+  std::vector<StarWaypoint> waypoints_;
+};
+
+}  // namespace linesearch

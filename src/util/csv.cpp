@@ -1,0 +1,42 @@
+#include "util/csv.hpp"
+
+#include <ostream>
+
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace linesearch {
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quote =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (const char ch : field) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) *out_ << ',';
+    *out_ << escape(fields[i]);
+  }
+  *out_ << '\n';
+}
+
+void write_series_csv(std::ostream& out, const std::vector<Series>& series) {
+  CsvWriter csv(out);
+  csv.write_row({"series", "x", "y"});
+  for (const auto& s : series) {
+    expects(s.x.size() == s.y.size(), "series x/y length mismatch");
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      csv.write_row({s.name, sig(s.x[i], 12), sig(s.y[i], 12)});
+    }
+  }
+}
+
+}  // namespace linesearch

@@ -1,0 +1,43 @@
+// util/csv.hpp — minimal CSV emission.
+//
+// Bench binaries print a machine-readable CSV block after each
+// human-readable table so figure series can be piped straight into a
+// plotting tool.  Quoting follows RFC 4180 (quote iff the field contains
+// a comma, quote, or newline).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/real.hpp"
+
+namespace linesearch {
+
+/// Streaming CSV writer bound to an ostream.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  /// Write a row of raw string fields (quoted as needed).
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Escape one field per RFC 4180.
+  [[nodiscard]] static std::string escape(const std::string& field);
+
+ private:
+  std::ostream* out_;
+};
+
+/// One named series of (x, y) points — the unit of "figure" output.
+struct Series {
+  std::string name;
+  std::vector<Real> x;
+  std::vector<Real> y;
+};
+
+/// Emit series as long-format CSV: header `series,x,y` then one row per
+/// point, 12 significant digits.
+void write_series_csv(std::ostream& out, const std::vector<Series>& series);
+
+}  // namespace linesearch

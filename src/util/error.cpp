@@ -1,0 +1,32 @@
+#include "util/error.hpp"
+
+namespace linesearch {
+namespace {
+
+std::string describe(const std::string_view message,
+                     const std::source_location& where) {
+  std::string out;
+  out += message;
+  out += " [";
+  out += where.file_name();
+  out += ":";
+  out += std::to_string(where.line());
+  out += " in ";
+  out += where.function_name();
+  out += "]";
+  return out;
+}
+
+}  // namespace
+
+void expects(const bool condition, const std::string_view message,
+             const std::source_location where) {
+  if (!condition) throw PreconditionError(describe(message, where));
+}
+
+void ensures(const bool condition, const std::string_view message,
+             const std::source_location where) {
+  if (!condition) throw InvariantError(describe(message, where));
+}
+
+}  // namespace linesearch

@@ -1,0 +1,48 @@
+// util/error.hpp — error types and contract checks.
+//
+// Per the C++ Core Guidelines (I.5/I.6, E.2) we state preconditions
+// explicitly and throw on violation; `expects()` / `ensures()` are plain
+// functions (no macros) that capture the call site via
+// std::source_location.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace linesearch {
+
+/// Base class of all linesearch errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated a documented precondition.
+class PreconditionError : public Error {
+ public:
+  explicit PreconditionError(const std::string& what) : Error(what) {}
+};
+
+/// An internal invariant failed (library bug, not caller error).
+class InvariantError : public Error {
+ public:
+  explicit InvariantError(const std::string& what) : Error(what) {}
+};
+
+/// A numeric routine failed to converge / bracket.
+class NumericError : public Error {
+ public:
+  explicit NumericError(const std::string& what) : Error(what) {}
+};
+
+/// Throw PreconditionError with location info unless `condition` holds.
+void expects(bool condition, std::string_view message,
+             std::source_location where = std::source_location::current());
+
+/// Throw InvariantError with location info unless `condition` holds.
+void ensures(bool condition, std::string_view message,
+             std::source_location where = std::source_location::current());
+
+}  // namespace linesearch

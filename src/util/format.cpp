@@ -1,0 +1,67 @@
+#include "util/format.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace linesearch {
+namespace {
+
+std::string printf_real(const char* spec, const int precision,
+                        const Real value) {
+  char buffer[128];
+  const int written =
+      std::snprintf(buffer, sizeof buffer, spec, precision, value);
+  ensures(written > 0 && static_cast<std::size_t>(written) < sizeof buffer,
+          "number formatting overflow");
+  return std::string(buffer);
+}
+
+}  // namespace
+
+std::string fixed(const Real value, const int decimals) {
+  expects(decimals >= 0 && decimals <= 30, "decimals out of range");
+  if (std::isnan(value)) return "-";
+  return printf_real("%.*Lf", decimals, value);
+}
+
+std::string sig(const Real value, const int digits) {
+  expects(digits >= 1 && digits <= 30, "digits out of range");
+  if (std::isnan(value)) return "-";
+  return printf_real("%.*Lg", digits, value);
+}
+
+std::string scientific(const Real value, const int decimals) {
+  expects(decimals >= 0 && decimals <= 30, "decimals out of range");
+  if (std::isnan(value)) return "-";
+  return printf_real("%.*Le", decimals, value);
+}
+
+std::string pad_left(const std::string& s, const std::size_t width) {
+  if (s.size() >= width) return s;
+  return std::string(width - s.size(), ' ') + s;
+}
+
+std::string pad_right(const std::string& s, const std::size_t width) {
+  if (s.size() >= width) return s;
+  return s + std::string(width - s.size(), ' ');
+}
+
+std::string join(const std::vector<std::string>& pieces,
+                 const std::string& separator) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    if (i != 0) out << separator;
+    out << pieces[i];
+  }
+  return out.str();
+}
+
+std::string seconds(const Real value) {
+  if (std::isnan(value)) return "-";
+  return fixed(value, 3) + "s";
+}
+
+}  // namespace linesearch

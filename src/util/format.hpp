@@ -1,0 +1,34 @@
+// util/format.hpp — small formatting helpers shared by the table/CSV
+// emitters and the bench binaries.  Numbers are formatted from Real
+// (long double) without ever silently narrowing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/real.hpp"
+
+namespace linesearch {
+
+/// Format with a fixed number of digits after the decimal point
+/// (e.g. fixed(3.14159, 2) == "3.14").  NaN renders as "-".
+[[nodiscard]] std::string fixed(Real value, int decimals);
+
+/// Format with `digits` significant digits (general format).
+[[nodiscard]] std::string sig(Real value, int digits);
+
+/// Format in scientific notation with `decimals` mantissa digits.
+[[nodiscard]] std::string scientific(Real value, int decimals);
+
+/// Pad/align a string to `width` (left- or right-aligned).
+[[nodiscard]] std::string pad_left(const std::string& s, std::size_t width);
+[[nodiscard]] std::string pad_right(const std::string& s, std::size_t width);
+
+/// Join pieces with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& pieces,
+                               const std::string& separator);
+
+/// Render a duration in seconds as a compact human string ("1.24s").
+[[nodiscard]] std::string seconds(Real value);
+
+}  // namespace linesearch

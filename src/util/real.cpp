@@ -1,0 +1,33 @@
+#include "util/real.hpp"
+
+#include <algorithm>
+
+namespace linesearch {
+
+bool approx_equal(const Real a, const Real b, const Real rel,
+                  const Real abs) noexcept {
+  if (a == b) return true;  // covers exact matches and matching infinities
+  if (std::isnan(a) || std::isnan(b)) return false;
+  if (std::isinf(a) || std::isinf(b)) return false;
+  const Real diff = std::fabs(a - b);
+  if (diff <= abs) return true;
+  const Real scale = std::max(std::fabs(a), std::fabs(b));
+  return diff <= rel * scale;
+}
+
+bool approx_le(const Real a, const Real b, const Real rel,
+               const Real abs) noexcept {
+  return a <= b || approx_equal(a, b, rel, abs);
+}
+
+bool approx_ge(const Real a, const Real b, const Real rel,
+               const Real abs) noexcept {
+  return a >= b || approx_equal(a, b, rel, abs);
+}
+
+Real relative_difference(const Real a, const Real b) noexcept {
+  const Real scale = std::max({std::fabs(a), std::fabs(b), Real{1}});
+  return std::fabs(a - b) / scale;
+}
+
+}  // namespace linesearch

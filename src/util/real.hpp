@@ -1,0 +1,67 @@
+// util/real.hpp — numeric foundation for the linesearch library.
+//
+// All geometry in this library (trajectory waypoints, turning points,
+// competitive ratios) is computed in `Real` (long double).  Tolerances are
+// centralized here so every module agrees on what "equal" means; they are
+// *relative* tolerances except where a quantity is naturally anchored at
+// zero, in which case the absolute floor kicks in.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+namespace linesearch {
+
+/// Scalar type used throughout the library.
+using Real = long double;
+
+namespace tol {
+
+/// Default relative tolerance for comparing derived quantities
+/// (competitive ratios, visit times).  ~1e-9 leaves ample headroom above
+/// long-double epsilon while catching genuine formula errors.
+inline constexpr Real kRelative = 1e-9L;
+
+/// Absolute floor used when both operands are close to zero.
+inline constexpr Real kAbsolute = 1e-12L;
+
+/// Relative offset used to probe one-sided limits around the
+/// discontinuities of K(x) = T_{f+1}(x)/|x| at turning points (Lemma 3).
+inline constexpr Real kLimitProbe = 1e-9L;
+
+/// Tolerance for root finding / optimization termination.
+inline constexpr Real kSolver = 1e-13L;
+
+}  // namespace tol
+
+/// True if |a - b| is within `rel`-relative (or `abs`-absolute) distance.
+[[nodiscard]] bool approx_equal(Real a, Real b, Real rel = tol::kRelative,
+                                Real abs = tol::kAbsolute) noexcept;
+
+/// True if a <= b up to tolerance (a may exceed b by the allowed slack).
+[[nodiscard]] bool approx_le(Real a, Real b, Real rel = tol::kRelative,
+                             Real abs = tol::kAbsolute) noexcept;
+
+/// True if a >= b up to tolerance.
+[[nodiscard]] bool approx_ge(Real a, Real b, Real rel = tol::kRelative,
+                             Real abs = tol::kAbsolute) noexcept;
+
+/// Sign of x as -1, 0, +1.
+[[nodiscard]] constexpr int sign_of(Real x) noexcept {
+  if (x > 0) return 1;
+  if (x < 0) return -1;
+  return 0;
+}
+
+/// Relative difference |a-b| / max(|a|,|b|,1).
+[[nodiscard]] Real relative_difference(Real a, Real b) noexcept;
+
+/// Not-a-number constant (used as "no value" marker in dense tables only;
+/// APIs prefer std::optional).
+inline constexpr Real kNaN = std::numeric_limits<Real>::quiet_NaN();
+
+/// Positive infinity (time of a visit that never happens).
+inline constexpr Real kInfinity = std::numeric_limits<Real>::infinity();
+
+}  // namespace linesearch

@@ -1,0 +1,71 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace linesearch {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)),
+      alignments_(headers_.size(), Align::kRight) {
+  expects(!headers_.empty(), "table needs at least one column");
+}
+
+void TablePrinter::set_alignment(const std::size_t index,
+                                 const Align alignment) {
+  expects(index < alignments_.size(), "column index out of range");
+  alignments_[index] = alignment;
+}
+
+void TablePrinter::set_caption(std::string caption) {
+  caption_ = std::move(caption);
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  expects(cells.size() == headers_.size(),
+          "row width does not match header width");
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  const auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) out << "  ";
+      out << (alignments_[c] == Align::kLeft ? pad_right(row[c], widths[c])
+                                             : pad_left(row[c], widths[c]));
+    }
+    out << '\n';
+  };
+
+  if (!caption_.empty()) out << caption_ << '\n';
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (const auto w : widths) total += w;
+  total += 2 * (widths.size() - 1);
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+}
+
+std::string TablePrinter::to_string() const {
+  std::ostringstream out;
+  print(out);
+  return out.str();
+}
+
+std::string cell(const Real value, const int decimals) {
+  return fixed(value, decimals);
+}
+
+std::string cell(const long long value) { return std::to_string(value); }
+
+}  // namespace linesearch

@@ -1,0 +1,60 @@
+// util/table.hpp — fixed-width console tables.
+//
+// Every bench binary reproduces one of the paper's tables or figure series;
+// TablePrinter renders them with aligned columns, a header rule and an
+// optional caption, so the output visually matches the paper's Table 1
+// layout.  Cells are strings; numeric overloads format via util/format.
+#pragma once
+
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/real.hpp"
+
+namespace linesearch {
+
+/// Column alignment inside a TablePrinter.
+enum class Align { kLeft, kRight };
+
+/// Builder for a fixed-width text table.
+class TablePrinter {
+ public:
+  /// Create a table with the given column headers (all right-aligned by
+  /// default; see set_alignment).
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Override the alignment of column `index`.
+  void set_alignment(std::size_t index, Align alignment);
+
+  /// Optional caption printed above the table.
+  void set_caption(std::string caption);
+
+  /// Append a fully formatted row; must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Number of data rows added so far.
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Render the table to `out`.
+  void print(std::ostream& out) const;
+
+  /// Render to a string (convenience for tests).
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::string caption_;
+  std::vector<std::string> headers_;
+  std::vector<Align> alignments_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Helper: format a Real for a table cell with `decimals` digits, or "-"
+/// for NaN.
+[[nodiscard]] std::string cell(Real value, int decimals = 3);
+
+/// Helper: format an integer cell.
+[[nodiscard]] std::string cell(long long value);
+
+}  // namespace linesearch

@@ -1,0 +1,158 @@
+// Tests for adversary/classify.hpp — Figure 6 and Lemmas 6-7.
+#include "adversary/classify.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/zigzag.hpp"
+
+#include "util/error.hpp"
+
+namespace linesearch {
+namespace {
+
+// A canonical positive trajectory for x = 3: 0 -> 3 -> -3 (visits 1, 3,
+// -1, -3 in that order).
+Trajectory positive_for_3() {
+  TrajectoryBuilder b;
+  b.start_at(0, 0);
+  b.move_to(3).move_to(-3);
+  return std::move(b).build();
+}
+
+// Mirror image: negative trajectory for x = 3.
+Trajectory negative_for_3() {
+  TrajectoryBuilder b;
+  b.start_at(0, 0);
+  b.move_to(-3).move_to(3);
+  return std::move(b).build();
+}
+
+// Visits 1, -1, 3, -3: neither order.
+Trajectory scrambled_for_3() {
+  TrajectoryBuilder b;
+  b.start_at(0, 0);
+  b.move_to(1.5L).move_to(-1.5L).move_to(3).move_to(-3);
+  return std::move(b).build();
+}
+
+TEST(CheckpointTimes, OrderedAsDefined) {
+  const std::array<Real, 4> t = checkpoint_times(positive_for_3(), 3);
+  // Order of array: [-x, -1, 1, x] = [-3, -1, 1, 3].
+  EXPECT_EQ(t[2], 1.0L);   // +1 at t=1
+  EXPECT_EQ(t[3], 3.0L);   // +3 at t=3
+  EXPECT_EQ(t[1], 7.0L);   // -1 at t=3+4
+  EXPECT_EQ(t[0], 9.0L);   // -3 at t=3+6
+}
+
+TEST(CheckpointTimes, InfinityForMissedPoints) {
+  const Trajectory half({{0, 0}, {5, 5}});
+  const std::array<Real, 4> t = checkpoint_times(half, 2);
+  EXPECT_TRUE(std::isinf(t[0]));
+  EXPECT_TRUE(std::isinf(t[1]));
+  EXPECT_EQ(t[2], 1.0L);
+  EXPECT_EQ(t[3], 2.0L);
+}
+
+TEST(CheckpointTimes, RequiresXAboveOne) {
+  EXPECT_THROW((void)checkpoint_times(positive_for_3(), 1), PreconditionError);
+}
+
+TEST(Classify, PositiveNegativeNeitherIncomplete) {
+  EXPECT_EQ(classify_trajectory(positive_for_3(), 3),
+            TrajectoryClass::kPositive);
+  EXPECT_EQ(classify_trajectory(negative_for_3(), 3),
+            TrajectoryClass::kNegative);
+  EXPECT_EQ(classify_trajectory(scrambled_for_3(), 3),
+            TrajectoryClass::kNeither);
+  EXPECT_EQ(classify_trajectory(Trajectory({{0, 0}, {5, 5}}), 3),
+            TrajectoryClass::kIncomplete);
+}
+
+TEST(Classify, ToStringNames) {
+  EXPECT_EQ(to_string(TrajectoryClass::kPositive), "positive");
+  EXPECT_EQ(to_string(TrajectoryClass::kNegative), "negative");
+  EXPECT_EQ(to_string(TrajectoryClass::kNeither), "neither");
+  EXPECT_EQ(to_string(TrajectoryClass::kIncomplete), "incomplete");
+}
+
+TEST(Lemma6, EarlyBothVisitsForcePositiveOrNegative) {
+  // Any unit-speed trajectory visiting ±x strictly before 3x+2 must be
+  // positive or negative for x.  Exercise the premise with the two
+  // canonical shapes and confirm the classification.
+  const Real x = 3;
+  EXPECT_TRUE(visits_both_early(positive_for_3(), x));
+  EXPECT_EQ(classify_trajectory(positive_for_3(), x),
+            TrajectoryClass::kPositive);
+  EXPECT_TRUE(visits_both_early(negative_for_3(), x));
+  EXPECT_EQ(classify_trajectory(negative_for_3(), x),
+            TrajectoryClass::kNegative);
+}
+
+TEST(Lemma6, SlowTrajectryFailsThePremise) {
+  // The scrambled trajectory reaches -3 at t = 1.5+3+4.5+6 = 15 > 3*3+2.
+  EXPECT_FALSE(visits_both_early(scrambled_for_3(), 3));
+}
+
+TEST(Lemma6, ContrapositiveOnZigzags) {
+  // Sweep cone zig-zags; whenever visits_both_early(x) holds, the class
+  // must be positive or negative (Lemma 6 verbatim).
+  for (const Real beta : {1.5L, 2.0L, 3.0L}) {
+    const Trajectory t =
+        make_origin_zigzag({.beta = beta, .first_turn = 1,
+                            .min_coverage = 100});
+    for (const Real x : {1.5L, 2.0L, 4.0L, 7.5L, 20.0L}) {
+      if (visits_both_early(t, x)) {
+        const TrajectoryClass c = classify_trajectory(t, x);
+        EXPECT_TRUE(c == TrajectoryClass::kPositive ||
+                    c == TrajectoryClass::kNegative)
+            << "beta=" << static_cast<double>(beta)
+            << " x=" << static_cast<double>(x) << " got " << to_string(c);
+      }
+    }
+  }
+}
+
+TEST(Lemma7, PositiveTrajectoryCannotReachBothYEarly) {
+  // If a robot follows a positive/negative trajectory for x, it cannot
+  // visit both ±y before 2x + y.
+  const Real x = 3;
+  for (const Real y : {1.0L, 2.0L, 3.0L}) {
+    EXPECT_GE(both_visited_time(positive_for_3(), y), 2 * x + y - 1e-12L)
+        << static_cast<double>(y);
+    EXPECT_GE(both_visited_time(negative_for_3(), y), 2 * x + y - 1e-12L)
+        << static_cast<double>(y);
+  }
+}
+
+TEST(Lemma7, BothVisitedTimeIsMaxOfFirstVisits) {
+  const Trajectory t = positive_for_3();
+  // ±1: +1 at t=1, -1 at t=7 -> both by 7.
+  EXPECT_EQ(both_visited_time(t, 1), 7.0L);
+  // ±3: +3 at 3, -3 at 9.
+  EXPECT_EQ(both_visited_time(t, 3), 9.0L);
+}
+
+TEST(Lemma7, InfinityWhenOneSideMissed) {
+  EXPECT_TRUE(std::isinf(
+      both_visited_time(Trajectory({{0, 0}, {5, 5}}), 2)));
+}
+
+TEST(Classify, ZigzagStartingRightIsPositiveForReachableX) {
+  // A doubling zig-zag that goes right first: for x between 1 and its
+  // first turning point... take first_turn = 4 so x = 3 is visited going
+  // out: order 1, 3(=x), then -1, -x later: positive.
+  const Trajectory t =
+      make_origin_zigzag({.beta = 3, .first_turn = 4, .min_coverage = 40});
+  EXPECT_EQ(classify_trajectory(t, 3), TrajectoryClass::kPositive);
+}
+
+TEST(Classify, MirroredZigzagIsNegative) {
+  const Trajectory t =
+      make_origin_zigzag({.beta = 3, .first_turn = -4, .min_coverage = 40});
+  EXPECT_EQ(classify_trajectory(t, 3), TrajectoryClass::kNegative);
+}
+
+}  // namespace
+}  // namespace linesearch

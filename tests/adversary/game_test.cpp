@@ -1,0 +1,153 @@
+// Tests for adversary/game.hpp — the constructive Theorem-2 adversary.
+#include "adversary/game.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "adversary/placements.hpp"
+#include "core/algorithm.hpp"
+#include "core/baselines.hpp"
+#include "core/competitive.hpp"
+#include "core/lower_bound.hpp"
+#include "util/error.hpp"
+
+namespace linesearch {
+namespace {
+
+Fleet fleet_for_game(const SearchStrategy& strategy, const Real alpha) {
+  // Build comfortably past the largest placement so every attack point is
+  // covered.
+  return strategy.build_fleet(largest_placement(alpha) * 4);
+}
+
+TEST(ComfortableAlpha, BetweenThreeAndRoot) {
+  for (const int n : {3, 5, 11}) {
+    const Real alpha = comfortable_alpha(n);
+    EXPECT_GT(alpha, 3.0L);
+    EXPECT_LT(alpha, theorem2_alpha(n));
+    EXPECT_TRUE(placements_feasible(n, alpha));
+  }
+  EXPECT_THROW((void)comfortable_alpha(3, 0.0L), PreconditionError);
+  EXPECT_THROW((void)comfortable_alpha(3, 1.5L), PreconditionError);
+}
+
+TEST(Game, ForcesAtLeastAlphaAgainstTheOptimalAlgorithm) {
+  // Theorem 2: EVERY algorithm with n < 2f+2 loses ratio >= alpha to the
+  // placement adversary — including the paper's own A(n, f).
+  for (const auto& [n, f] : std::vector<std::pair<int, int>>{
+           {3, 1}, {3, 2}, {5, 2}, {5, 3}}) {
+    const Real alpha = comfortable_alpha(n, 0.8L);
+    const ProportionalAlgorithm algo(n, f);
+    const GameResult result =
+        play_theorem2_game(fleet_for_game(algo, alpha), f, alpha);
+    EXPECT_GE(result.forced_ratio, alpha - 1e-9L)
+        << "n=" << n << " f=" << f;
+    // ...and never more than the strategy's proven CR.
+    EXPECT_LE(result.forced_ratio, *algo.theoretical_cr() + 1e-9L);
+  }
+}
+
+TEST(Game, ForcesAtLeastAlphaAgainstBaselines) {
+  const int n = 3, f = 1;
+  const Real alpha = comfortable_alpha(n, 0.8L);
+  const GroupDoubling doubling(n, f);
+  const GameResult vs_doubling =
+      play_theorem2_game(fleet_for_game(doubling, alpha), f, alpha);
+  EXPECT_GE(vs_doubling.forced_ratio, alpha - 1e-9L);
+
+  const UniformOffsetZigzag uniform(n, f);
+  const GameResult vs_uniform =
+      play_theorem2_game(fleet_for_game(uniform, alpha), f, alpha);
+  EXPECT_GE(vs_uniform.forced_ratio, alpha - 1e-9L);
+}
+
+TEST(Game, TwoGroupSplitEscapesThePlacementAdversary) {
+  // With n >= 2f+2 Theorem 2 does not apply; the split detects at |x|
+  // always, so even the adversary's best placement only yields ratio 1.
+  const int n = 4, f = 1;
+  const Real alpha = comfortable_alpha(n, 0.8L);
+  const TwoGroupSplit split(n, f);
+  const GameResult result =
+      play_theorem2_game(fleet_for_game(split, alpha), f, alpha);
+  EXPECT_NEAR(static_cast<double>(result.forced_ratio), 1.0, 1e-9);
+}
+
+TEST(Game, BestOutcomeIsConsistent) {
+  const int n = 3, f = 1;
+  const Real alpha = comfortable_alpha(n, 0.7L);
+  const ProportionalAlgorithm algo(n, f);
+  const Fleet fleet = fleet_for_game(algo, alpha);
+  const GameResult result = play_theorem2_game(fleet, f, alpha);
+  // best is one of the outcomes and attains forced_ratio.
+  EXPECT_EQ(result.best.ratio, result.forced_ratio);
+  EXPECT_NEAR(static_cast<double>(result.best.detection_time /
+                                  std::fabs(result.best.target)),
+              static_cast<double>(result.forced_ratio), 1e-12);
+  // The chosen fault set has at most f members and reproduces the time.
+  int faults = 0;
+  for (const bool b : result.best.faults) faults += b ? 1 : 0;
+  EXPECT_LE(faults, f);
+  EXPECT_EQ(fleet.detection_time_with_faults(result.best.target,
+                                             result.best.faults),
+            result.best.detection_time);
+}
+
+TEST(Game, OutcomesCoverAllSignedPlacements) {
+  const int n = 3, f = 1;
+  const Real alpha = comfortable_alpha(n, 0.7L);
+  const ProportionalAlgorithm algo(n, f);
+  const GameResult result =
+      play_theorem2_game(fleet_for_game(algo, alpha), f, alpha);
+  // {±1, ±x_2, ±x_1, ±x_0} = 8 placements.
+  EXPECT_EQ(result.outcomes.size(), 2 * (static_cast<std::size_t>(n) + 1));
+}
+
+TEST(Game, KeepOutcomesFalseStillFindsBest) {
+  const int n = 3, f = 1;
+  const Real alpha = comfortable_alpha(n, 0.7L);
+  const ProportionalAlgorithm algo(n, f);
+  GameOptions options;
+  options.keep_outcomes = false;
+  const GameResult result =
+      play_theorem2_game(fleet_for_game(algo, alpha), f, alpha, options);
+  EXPECT_TRUE(result.outcomes.empty());
+  EXPECT_GE(result.forced_ratio, alpha - 1e-9L);
+  EXPECT_EQ(result.best.ratio, result.forced_ratio);
+}
+
+TEST(Game, AttackTurningPointsApproachesTrueCr) {
+  // Adding turning-point attacks pushes the forced ratio up towards the
+  // strategy's actual competitive ratio.
+  const int n = 3, f = 1;
+  const Real alpha = comfortable_alpha(n, 0.5L);
+  const ProportionalAlgorithm algo(n, f);
+  const Fleet fleet = fleet_for_game(algo, alpha);
+  const GameResult plain = play_theorem2_game(fleet, f, alpha);
+  GameOptions options;
+  options.attack_turning_points = true;
+  const GameResult sharp = play_theorem2_game(fleet, f, alpha, options);
+  EXPECT_GE(sharp.forced_ratio, plain.forced_ratio - 1e-12L);
+  EXPECT_LE(sharp.forced_ratio, *algo.theoretical_cr() + 1e-9L);
+  // For A(3,1) the turning-point attack should get quite close to 5.23.
+  EXPECT_GT(sharp.forced_ratio, *algo.theoretical_cr() - 0.2L);
+}
+
+TEST(Game, UndefendedPlacementReportsInfiniteRatio) {
+  // A fleet that never goes left loses instantly at the first negative
+  // placement.
+  const Fleet fleet({Trajectory({{0, 0}, {40, 40}}),
+                     Trajectory({{0, 0}, {40, 40}}),
+                     Trajectory({{0, 0}, {40, 40}})});
+  const Real alpha = comfortable_alpha(3, 0.8L);
+  const GameResult result = play_theorem2_game(fleet, 1, alpha);
+  EXPECT_TRUE(std::isinf(result.forced_ratio));
+}
+
+TEST(Game, InfeasibleAlphaThrows) {
+  const Fleet fleet({Trajectory({{0, 0}, {40, 40}})});
+  EXPECT_THROW((void)play_theorem2_game(fleet, 0, 9.5L), PreconditionError);
+}
+
+}  // namespace
+}  // namespace linesearch

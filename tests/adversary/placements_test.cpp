@@ -1,0 +1,81 @@
+// Tests for adversary/placements.hpp — Figure 7 / Eqns 16-20.
+#include "adversary/placements.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/lower_bound.hpp"
+#include "util/error.hpp"
+
+namespace linesearch {
+namespace {
+
+TEST(Feasibility, TrueBelowRootFalseAbove) {
+  for (const int n : {2, 3, 5, 11}) {
+    const Real root = theorem2_alpha(n);
+    EXPECT_TRUE(placements_feasible(n, root - 1e-6L)) << n;
+    EXPECT_FALSE(placements_feasible(n, root + 1e-6L)) << n;
+  }
+}
+
+TEST(Feasibility, AlphaAtOrBelowThreeIsInfeasible) {
+  EXPECT_FALSE(placements_feasible(3, 3.0L));
+  EXPECT_FALSE(placements_feasible(3, 2.0L));
+}
+
+TEST(Placements, SortedIncreasingWithOneFirst) {
+  const std::vector<Real> p = adversary_placements(5, 3.4L);
+  ASSERT_EQ(p.size(), 6u);  // {1, x_4, ..., x_0}
+  EXPECT_EQ(p.front(), 1.0L);
+  EXPECT_TRUE(std::is_sorted(p.begin(), p.end()));
+  // Eq. 20: strictly increasing, all beyond 1.
+  for (std::size_t i = 1; i < p.size(); ++i) {
+    EXPECT_GT(p[i], p[i - 1]);
+    EXPECT_GT(p[i], 1.0L);
+  }
+}
+
+TEST(Placements, LargestIsTwoOverAlphaMinus3) {
+  const Real alpha = 3.5L;
+  const std::vector<Real> p = adversary_placements(3, alpha);
+  EXPECT_NEAR(static_cast<double>(p.back()),
+              static_cast<double>(largest_placement(alpha)), 1e-12);
+  EXPECT_NEAR(static_cast<double>(largest_placement(alpha)), 4.0, 1e-12);
+}
+
+TEST(Placements, ConsecutiveRatioIsAlphaMinus1Over2) {
+  // Eq. 16: x_i = (alpha-1)/2 * x_{i+1}, so walking the sorted list
+  // upward (x_{n-1} -> x_0) multiplies by (alpha-1)/2 each step.
+  const Real alpha = 3.3L;
+  const std::vector<Real> p = adversary_placements(4, alpha);
+  for (std::size_t i = 2; i < p.size(); ++i) {  // skip the leading 1
+    EXPECT_NEAR(static_cast<double>(p[i] / p[i - 1]),
+                static_cast<double>((alpha - 1) / 2), 1e-10);
+  }
+}
+
+TEST(Placements, InfeasibleAlphaThrows) {
+  const Real too_big = theorem2_alpha(3) + 0.1L;
+  EXPECT_THROW((void)adversary_placements(3, too_big), PreconditionError);
+  EXPECT_THROW((void)adversary_placements(3, 3.0L), PreconditionError);
+}
+
+TEST(Placements, AtTheRootTheChainIsTight) {
+  // At alpha = theorem2_alpha(n), x_{n-1} == (alpha-1)/2 exactly (the
+  // feasibility inequality is an equality), making every link in the
+  // proof's induction tight.
+  const int n = 7;
+  const Real alpha = theorem2_alpha(n);
+  const std::vector<Real> p = adversary_placements(n, alpha);
+  EXPECT_NEAR(static_cast<double>(p[1]),  // x_{n-1}
+              static_cast<double>((alpha - 1) / 2), 1e-8);
+}
+
+TEST(LargestPlacement, GrowsAsAlphaApproachesThree) {
+  EXPECT_GT(largest_placement(3.01L), largest_placement(3.5L));
+  EXPECT_THROW((void)largest_placement(3.0L), PreconditionError);
+}
+
+}  // namespace
+}  // namespace linesearch

@@ -1,0 +1,71 @@
+// Tests for analysis/grid.hpp.
+#include "analysis/grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/real.hpp"
+
+namespace linesearch {
+namespace {
+
+TEST(Linspace, EndpointsExactAndEvenlySpaced) {
+  const std::vector<Real> g = linspace(0, 1, 5);
+  ASSERT_EQ(g.size(), 5u);
+  EXPECT_EQ(g.front(), 0.0L);
+  EXPECT_EQ(g.back(), 1.0L);
+  EXPECT_NEAR(static_cast<double>(g[2]), 0.5, 1e-15);
+}
+
+TEST(Linspace, SinglePointRequiresEqualEndpoints) {
+  EXPECT_EQ(linspace(2, 2, 1), std::vector<Real>{2.0L});
+  EXPECT_THROW((void)linspace(0, 1, 1), PreconditionError);
+}
+
+TEST(Linspace, RejectsReversedInterval) {
+  EXPECT_THROW((void)linspace(1, 0, 3), PreconditionError);
+}
+
+TEST(Geomspace, RatioIsConstant) {
+  const std::vector<Real> g = geomspace(1, 16, 5);
+  ASSERT_EQ(g.size(), 5u);
+  EXPECT_EQ(g.front(), 1.0L);
+  EXPECT_EQ(g.back(), 16.0L);
+  for (std::size_t i = 0; i + 1 < g.size(); ++i) {
+    EXPECT_NEAR(static_cast<double>(g[i + 1] / g[i]), 2.0, 1e-12);
+  }
+}
+
+TEST(Geomspace, RejectsNonPositiveEndpoints) {
+  EXPECT_THROW((void)geomspace(0, 1, 3), PreconditionError);
+  EXPECT_THROW((void)geomspace(-1, 1, 3), PreconditionError);
+}
+
+TEST(IntRange, InclusiveBothEnds) {
+  const std::vector<int> r = int_range(3, 6);
+  EXPECT_EQ(r, (std::vector<int>{3, 4, 5, 6}));
+  EXPECT_EQ(int_range(5, 5), std::vector<int>{5});
+}
+
+TEST(IntRange, RejectsReversed) {
+  EXPECT_THROW((void)int_range(2, 1), PreconditionError);
+}
+
+TEST(OpenLinspace, ExcludesEndpoints) {
+  const std::vector<Real> g = open_linspace(1, 2, 3);
+  ASSERT_EQ(g.size(), 3u);
+  EXPECT_NEAR(static_cast<double>(g[0]), 1.25, 1e-15);
+  EXPECT_NEAR(static_cast<double>(g[1]), 1.5, 1e-15);
+  EXPECT_NEAR(static_cast<double>(g[2]), 1.75, 1e-15);
+  EXPECT_GT(g.front(), 1.0L);
+  EXPECT_LT(g.back(), 2.0L);
+}
+
+TEST(OpenLinspace, SinglePointIsMidpoint) {
+  const std::vector<Real> g = open_linspace(0, 2, 1);
+  ASSERT_EQ(g.size(), 1u);
+  EXPECT_NEAR(static_cast<double>(g[0]), 1.0, 1e-15);
+}
+
+}  // namespace
+}  // namespace linesearch

@@ -1,0 +1,81 @@
+// Tests for analysis/optimize.hpp.
+#include "analysis/optimize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace linesearch {
+namespace {
+
+TEST(GoldenSection, ParabolaMinimum) {
+  const MinimizeResult r =
+      golden_section([](Real x) { return (x - 3) * (x - 3) + 2; }, 0, 10);
+  EXPECT_NEAR(static_cast<double>(r.x), 3.0, 1e-8);
+  EXPECT_NEAR(static_cast<double>(r.fx), 2.0, 1e-12);
+}
+
+TEST(GoldenSection, CoshMinimumAtZero) {
+  const MinimizeResult r =
+      golden_section([](Real x) { return std::cosh(x); }, -2, 5);
+  EXPECT_NEAR(static_cast<double>(r.x), 0.0, 1e-8);
+}
+
+TEST(GoldenSection, RequiresOrderedInterval) {
+  EXPECT_THROW((void)golden_section([](Real x) { return x; }, 1, 0),
+               PreconditionError);
+}
+
+TEST(GoldenSectionMax, FindsMaximumValue) {
+  const MinimizeResult r = golden_section_max(
+      [](Real x) { return -(x - 2) * (x - 2) + 7; }, 0, 5);
+  EXPECT_NEAR(static_cast<double>(r.x), 2.0, 1e-8);
+  EXPECT_NEAR(static_cast<double>(r.fx), 7.0, 1e-12);
+}
+
+TEST(GridThenGolden, SurvivesMildNonUnimodality) {
+  // Two local minima; global at x ~ 4.5 (value -1), local at 0.5.
+  const auto f = [](Real x) {
+    return std::min((x - 0.5L) * (x - 0.5L),
+                    (x - 4.5L) * (x - 4.5L) - 1);
+  };
+  const MinimizeResult r = grid_then_golden(f, 0, 6, 50);
+  EXPECT_NEAR(static_cast<double>(r.x), 4.5, 1e-6);
+  EXPECT_NEAR(static_cast<double>(r.fx), -1.0, 1e-10);
+}
+
+TEST(GridThenGolden, RequiresEnoughGridPoints) {
+  EXPECT_THROW((void)grid_then_golden([](Real x) { return x; }, 0, 1, 2),
+               PreconditionError);
+}
+
+TEST(GoldenSection, ToleranceControlsWidth) {
+  MinimizeOptions loose;
+  loose.tolerance = 1e-2L;
+  const MinimizeResult coarse = golden_section(
+      [](Real x) { return (x - 1) * (x - 1); }, 0, 10, loose);
+  const MinimizeResult fine =
+      golden_section([](Real x) { return (x - 1) * (x - 1); }, 0, 10);
+  EXPECT_LE(std::fabs(fine.x - 1), std::fabs(coarse.x - 1) + 1e-15L);
+  EXPECT_LT(coarse.iterations, fine.iterations);
+}
+
+// The paper's own optimization: F(beta) = (beta+1)^e (beta-1)^(1-e) + 1
+// with e = (2f+2)/n is minimized at beta* = (4f+4)/n - 1.  Golden section
+// must reproduce the closed form (this is the heart of Theorem 1).
+TEST(GoldenSection, ReproducesPaperOptimalBeta) {
+  const int n = 5, f = 3;
+  const Real e = static_cast<Real>(2 * f + 2) / n;
+  const auto F = [e](const Real beta) {
+    return std::pow(beta + 1, e) * std::pow(beta - 1, 1 - e) + 1;
+  };
+  const MinimizeResult r = golden_section(F, 1.0001L, 10);
+  const Real beta_star = static_cast<Real>(4 * f + 4) / n - 1;
+  EXPECT_NEAR(static_cast<double>(r.x), static_cast<double>(beta_star),
+              1e-7);
+}
+
+}  // namespace
+}  // namespace linesearch

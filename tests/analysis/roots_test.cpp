@@ -1,0 +1,112 @@
+// Tests for analysis/roots.hpp on functions with known roots, including
+// the paper's Theorem-2 residual shape.
+#include "analysis/roots.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace linesearch {
+namespace {
+
+Real quadratic(const Real x) { return x * x - 2; }
+
+TEST(Bisect, FindsSqrtTwo) {
+  const RootResult r = bisect(quadratic, 0, 2);
+  EXPECT_NEAR(static_cast<double>(r.x), std::sqrt(2.0), 1e-10);
+}
+
+TEST(Bisect, ThrowsWithoutSignChange) {
+  EXPECT_THROW((void)bisect(quadratic, 2, 3), NumericError);
+}
+
+TEST(Bisect, RequiresOrderedBracket) {
+  EXPECT_THROW((void)bisect(quadratic, 2, 0), PreconditionError);
+}
+
+TEST(Bisect, ExactRootAtEndpointReturnsImmediately) {
+  const RootResult r = bisect([](Real x) { return x - 1; }, 1, 5);
+  EXPECT_EQ(r.x, 1.0L);
+  EXPECT_EQ(r.iterations, 0);
+}
+
+TEST(Brent, FindsSqrtTwoFasterThanBisect) {
+  const RootResult fast = brent(quadratic, 0, 2);
+  const RootResult slow = bisect(quadratic, 0, 2);
+  EXPECT_NEAR(static_cast<double>(fast.x), std::sqrt(2.0), 1e-14);
+  EXPECT_LT(fast.iterations, slow.iterations);
+}
+
+TEST(Brent, HandlesSteepTranscendental) {
+  // n*ln(a-1) + ln(a-3) - (n+1)ln 2, n = 5 — the Theorem-2 residual shape
+  // with a logarithmic pole at 3.
+  const int n = 5;
+  const auto f = [n](const Real a) {
+    return static_cast<Real>(n) * std::log(a - 1) + std::log(a - 3) -
+           static_cast<Real>(n + 1) * std::log(Real{2});
+  };
+  const RootResult r = brent(f, 3 + 1e-15L, 9);
+  // Verify residual is tiny and the root matches (a-1)^5 (a-3) = 64.
+  const Real value = std::pow(r.x - 1, Real{5}) * (r.x - 3);
+  EXPECT_NEAR(static_cast<double>(value), 64.0, 1e-9);
+}
+
+TEST(Brent, ThrowsWithoutSignChange) {
+  EXPECT_THROW((void)brent(quadratic, 2, 3), NumericError);
+}
+
+TEST(Newton, ConvergesQuadratically) {
+  const RootResult r = newton(
+      quadratic, [](Real x) { return 2 * x; }, 1.0L);
+  EXPECT_NEAR(static_cast<double>(r.x), std::sqrt(2.0), 1e-15);
+  EXPECT_LE(r.iterations, 8);
+}
+
+TEST(Newton, DampingRescuesOvershoot) {
+  // f(x) = atan(x) from a far start diverges for undamped Newton.
+  const RootResult r = newton([](Real x) { return std::atan(x); },
+                              [](Real x) { return 1 / (1 + x * x); }, 3.0L);
+  EXPECT_NEAR(static_cast<double>(r.x), 0.0, 1e-10);
+}
+
+TEST(Newton, ZeroDerivativeThrows) {
+  EXPECT_THROW((void)newton([](Real) { return 1.0L; },
+                            [](Real) { return 0.0L; }, 0.0L),
+               NumericError);
+}
+
+TEST(BracketAndSolve, ExpandsToFindRoot) {
+  // Root at x = 100; start from 0 with width 1.
+  const RootResult r =
+      bracket_and_solve([](Real x) { return x - 100; }, 0, 1);
+  EXPECT_NEAR(static_cast<double>(r.x), 100.0, 1e-9);
+}
+
+TEST(BracketAndSolve, ImmediateRootAtLowerEndpoint) {
+  const RootResult r = bracket_and_solve([](Real x) { return x; }, 0, 1);
+  EXPECT_EQ(r.x, 0.0L);
+}
+
+TEST(BracketAndSolve, RequiresPositiveWidth) {
+  EXPECT_THROW((void)bracket_and_solve([](Real x) { return x; }, 0, 0),
+               PreconditionError);
+}
+
+TEST(BracketAndSolve, ThrowsWhenNoSignChangeExists) {
+  EXPECT_THROW(
+      (void)bracket_and_solve([](Real) { return 1.0L; }, 0, 1),
+      NumericError);
+}
+
+TEST(RootOptions, TighterToleranceImprovesResidual) {
+  RootOptions loose;
+  loose.tolerance = 1e-3L;
+  const RootResult coarse = bisect(quadratic, 0, 2, loose);
+  const RootResult fine = bisect(quadratic, 0, 2);
+  EXPECT_LE(std::fabs(fine.fx), std::fabs(coarse.fx));
+}
+
+}  // namespace
+}  // namespace linesearch

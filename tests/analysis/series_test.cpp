@@ -1,0 +1,84 @@
+// Tests for analysis/series.hpp.
+#include "analysis/series.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/real.hpp"
+
+namespace linesearch {
+namespace {
+
+TEST(GeometricSum, ClosedFormMatchesManualSum) {
+  // 3 + 6 + 12 + 24 = 45
+  EXPECT_NEAR(static_cast<double>(geometric_sum(3, 2, 4)), 45.0, 1e-12);
+}
+
+TEST(GeometricSum, RatioOneIsLinear) {
+  EXPECT_EQ(geometric_sum(5, 1, 7), 35.0L);
+}
+
+TEST(GeometricSum, ZeroTermsIsZero) {
+  EXPECT_EQ(geometric_sum(3, 2, 0), 0.0L);
+}
+
+TEST(GeometricSum, FractionalRatio) {
+  // 1 + 1/2 + 1/4 = 1.75
+  EXPECT_NEAR(static_cast<double>(geometric_sum(1, 0.5L, 3)), 1.75, 1e-15);
+}
+
+TEST(GeometricSum, NegativeCountThrows) {
+  EXPECT_THROW((void)geometric_sum(1, 2, -1), PreconditionError);
+}
+
+TEST(GeometricTerm, PositiveAndNegativeExponents) {
+  EXPECT_NEAR(static_cast<double>(geometric_term(2, 3, 4)), 162.0, 1e-9);
+  EXPECT_NEAR(static_cast<double>(geometric_term(8, 2, -3)), 1.0, 1e-15);
+}
+
+TEST(GeometricSequence, FirstTerms) {
+  const std::vector<Real> seq = geometric_sequence(1, 2, 5);
+  ASSERT_EQ(seq.size(), 5u);
+  EXPECT_EQ(seq[0], 1.0L);
+  EXPECT_EQ(seq[4], 16.0L);
+}
+
+TEST(TermsUntilAtLeast, ExactBoundary) {
+  // 1 * 2^k >= 8 first at k = 3.
+  EXPECT_EQ(terms_until_at_least(1, 2, 8), 3);
+}
+
+TEST(TermsUntilAtLeast, AlreadyBigEnough) {
+  EXPECT_EQ(terms_until_at_least(10, 2, 5), 0);
+}
+
+TEST(TermsUntilAtLeast, NonIntegerRatio) {
+  // 1 * 1.5^k >= 10: 1.5^5 = 7.59, 1.5^6 = 11.39 -> k = 6.
+  EXPECT_EQ(terms_until_at_least(1, 1.5L, 10), 6);
+}
+
+TEST(TermsUntilAtLeast, RejectsBadArguments) {
+  EXPECT_THROW((void)terms_until_at_least(-1, 2, 5), PreconditionError);
+  EXPECT_THROW((void)terms_until_at_least(1, 1, 5), PreconditionError);
+}
+
+TEST(Ipow, MatchesRepeatedMultiplication) {
+  EXPECT_EQ(ipow(2, 10), 1024.0L);
+  EXPECT_EQ(ipow(3, 0), 1.0L);
+  EXPECT_EQ(ipow(-2, 3), -8.0L);
+}
+
+TEST(Ipow, NegativeExponent) {
+  EXPECT_NEAR(static_cast<double>(ipow(2, -3)), 0.125, 1e-18);
+}
+
+TEST(Ipow, ZeroBaseNegativeExponentThrows) {
+  EXPECT_THROW((void)ipow(0, -1), PreconditionError);
+}
+
+TEST(Ipow, LargeExponentStaysExactForPowersOfTwo) {
+  EXPECT_EQ(ipow(2, 62), 4611686018427387904.0L);
+}
+
+}  // namespace
+}  // namespace linesearch

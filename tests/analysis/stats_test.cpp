@@ -1,0 +1,75 @@
+// Tests for analysis/stats.hpp — including the detection-order-statistic
+// semantics used by Fleet.
+#include "analysis/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace linesearch {
+namespace {
+
+TEST(Summarize, BasicAggregates) {
+  const Summary s = summarize({1.0L, 2.0L, 3.0L, 4.0L});
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_NEAR(static_cast<double>(s.mean), 2.5, 1e-15);
+  EXPECT_EQ(s.min, 1.0L);
+  EXPECT_EQ(s.max, 4.0L);
+  // Sample stddev of 1..4 is sqrt(5/3).
+  EXPECT_NEAR(static_cast<double>(s.stddev), 1.2909944487358056, 1e-12);
+}
+
+TEST(Summarize, EmptyInput) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+}
+
+TEST(Summarize, SingleValueHasZeroStddev) {
+  const Summary s = summarize({7.0L});
+  EXPECT_EQ(s.stddev, 0.0L);
+  EXPECT_EQ(s.mean, 7.0L);
+}
+
+TEST(Quantile, MedianAndExtremes) {
+  const std::vector<Real> v{5.0L, 1.0L, 3.0L, 2.0L, 4.0L};
+  EXPECT_EQ(quantile(v, 0.5L), 3.0L);
+  EXPECT_EQ(quantile(v, 0.0L), 1.0L);
+  EXPECT_EQ(quantile(v, 1.0L), 5.0L);
+}
+
+TEST(Quantile, InterpolatesBetweenOrderStatistics) {
+  EXPECT_NEAR(static_cast<double>(quantile({1.0L, 2.0L}, 0.25L)), 1.25,
+              1e-15);
+}
+
+TEST(Quantile, RejectsEmptyOrOutOfRange) {
+  EXPECT_THROW((void)quantile({}, 0.5L), PreconditionError);
+  EXPECT_THROW((void)quantile({1.0L}, 1.5L), PreconditionError);
+}
+
+TEST(KthSmallest, OrderStatistics) {
+  const std::vector<Real> v{9.0L, 1.0L, 7.0L, 3.0L};
+  EXPECT_EQ(kth_smallest(v, 0), 1.0L);
+  EXPECT_EQ(kth_smallest(v, 1), 3.0L);
+  EXPECT_EQ(kth_smallest(v, 3), 9.0L);
+}
+
+TEST(KthSmallest, DetectionSemanticsWithInfinity) {
+  // Two robots reach the target (t=2, t=5), one never does.  With f=1
+  // adversarial fault, detection is the 2nd smallest = 5; with f=2 the
+  // "detection" never happens (infinity), exactly the Fleet semantics.
+  const std::vector<Real> visits{5.0L, kInfinity, 2.0L};
+  EXPECT_EQ(kth_smallest(visits, 1), 5.0L);
+  EXPECT_EQ(kth_smallest(visits, 2), kInfinity);
+}
+
+TEST(KthSmallest, OutOfRangeThrows) {
+  EXPECT_THROW((void)kth_smallest({1.0L}, 1), PreconditionError);
+}
+
+TEST(KthSmallest, DuplicatesHandled) {
+  EXPECT_EQ(kth_smallest({2.0L, 2.0L, 1.0L}, 1), 2.0L);
+}
+
+}  // namespace
+}  // namespace linesearch

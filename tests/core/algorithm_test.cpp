@@ -1,0 +1,121 @@
+// Tests for core/algorithm.hpp — A(n, f) as a runnable strategy.
+#include "core/algorithm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/competitive.hpp"
+#include "core/strategy.hpp"
+#include "sim/zigzag.hpp"
+#include "util/error.hpp"
+
+namespace linesearch {
+namespace {
+
+TEST(Algorithm, NameAndParameters) {
+  const ProportionalAlgorithm a(5, 2);
+  EXPECT_EQ(a.name(), "A(5,2)");
+  EXPECT_EQ(a.robot_count(), 5);
+  EXPECT_EQ(a.fault_budget(), 2);
+  EXPECT_TRUE(a.uses_optimal_beta());
+  EXPECT_NEAR(static_cast<double>(a.beta()),
+              static_cast<double>(optimal_beta(5, 2)), 1e-15);
+}
+
+TEST(Algorithm, CustomBetaVariant) {
+  const ProportionalAlgorithm s(5, 2, 2.0L);
+  EXPECT_FALSE(s.uses_optimal_beta());
+  EXPECT_EQ(s.beta(), 2.0L);
+  EXPECT_NE(s.name().find("S_beta(5)"), std::string::npos);
+  EXPECT_NEAR(static_cast<double>(*s.theoretical_cr()),
+              static_cast<double>(schedule_cr(5, 2, 2.0L)), 1e-15);
+}
+
+TEST(Algorithm, TheoreticalCrIsTheorem1AtOptimalBeta) {
+  for (const auto& [n, f] : std::vector<std::pair<int, int>>{
+           {2, 1}, {3, 1}, {5, 2}, {5, 3}, {11, 5}}) {
+    const ProportionalAlgorithm a(n, f);
+    EXPECT_NEAR(static_cast<double>(*a.theoretical_cr()),
+                static_cast<double>(algorithm_cr(n, f)), 1e-12);
+  }
+}
+
+TEST(Algorithm, RejectsOutsideRegime) {
+  EXPECT_THROW(ProportionalAlgorithm(4, 1), PreconditionError);
+  EXPECT_THROW(ProportionalAlgorithm(3, 3), PreconditionError);
+  EXPECT_THROW(ProportionalAlgorithm(5, 2, 1.0L), PreconditionError);
+}
+
+TEST(Algorithm, FleetHasNRobotsAllInsideCone) {
+  const ProportionalAlgorithm a(5, 3);
+  const Fleet fleet = a.build_fleet(40);
+  EXPECT_EQ(fleet.size(), 5u);
+  for (RobotId id = 0; id < fleet.size(); ++id) {
+    EXPECT_TRUE(within_cone(fleet.robot(id), a.beta())) << id;
+  }
+}
+
+TEST(Algorithm, FleetCoversWindowWithFullMultiplicity) {
+  const ProportionalAlgorithm a(3, 2);
+  const Fleet fleet = a.build_fleet(30);
+  EXPECT_TRUE(fleet.covers(1, 30, 3));
+}
+
+TEST(Algorithm, AllRobotsLeaveTheOriginAtTimeZero) {
+  const ProportionalAlgorithm a(5, 2);
+  const Fleet fleet = a.build_fleet(20);
+  for (RobotId id = 0; id < fleet.size(); ++id) {
+    EXPECT_EQ(fleet.robot(id).start_time(), 0.0L);
+    EXPECT_EQ(fleet.robot(id).start_position(), 0.0L);
+  }
+}
+
+TEST(Algorithm, RobotZeroReachesOneAtTimeBeta) {
+  const ProportionalAlgorithm a(3, 1);
+  const Fleet fleet = a.build_fleet(20);
+  EXPECT_NEAR(static_cast<double>(fleet.robot(0).position_at(a.beta())), 1.0,
+              1e-12);
+}
+
+TEST(Algorithm, ExtentGuard) {
+  const ProportionalAlgorithm a(3, 1);
+  EXPECT_THROW((void)a.build_fleet(1), PreconditionError);
+}
+
+TEST(MakeOptimalStrategy, PicksSplitOrProportional) {
+  const StrategyPtr split = make_optimal_strategy(6, 2);
+  EXPECT_NE(split->name().find("two-group split"), std::string::npos);
+  EXPECT_EQ(*split->theoretical_cr(), 1.0L);
+
+  const StrategyPtr prop = make_optimal_strategy(5, 2);
+  EXPECT_EQ(prop->name(), "A(5,2)");
+  EXPECT_NEAR(static_cast<double>(*prop->theoretical_cr()),
+              static_cast<double>(algorithm_cr(5, 2)), 1e-12);
+}
+
+TEST(MakeOptimalStrategy, BoundaryAt2FPlus2) {
+  EXPECT_EQ(make_optimal_strategy(4, 1)->theoretical_cr(), Real{1});
+  EXPECT_NE(make_optimal_strategy(3, 1)->theoretical_cr(), Real{1});
+}
+
+TEST(MakeOptimalStrategy, GuardsArguments) {
+  EXPECT_THROW((void)make_optimal_strategy(3, 3), PreconditionError);
+  EXPECT_THROW((void)make_optimal_strategy(3, -1), PreconditionError);
+}
+
+TEST(Algorithm, DoublingSpecialCaseMatchesSingleRobotShape) {
+  // A(f+1, f) uses beta = 3 (kappa = 2): robot 0's turning points must be
+  // the doubling sequence 1, -2, 4, -8...
+  const ProportionalAlgorithm a(2, 1);
+  EXPECT_NEAR(static_cast<double>(a.beta()), 3.0, 1e-15);
+  const Fleet fleet = a.build_fleet(40);
+  const std::vector<Waypoint> turns = fleet.robot(0).turning_waypoints();
+  ASSERT_GE(turns.size(), 3u);
+  EXPECT_NEAR(static_cast<double>(turns[0].position), 1.0, 1e-12);
+  EXPECT_NEAR(static_cast<double>(turns[1].position), -2.0, 1e-12);
+  EXPECT_NEAR(static_cast<double>(turns[2].position), 4.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace linesearch

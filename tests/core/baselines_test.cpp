@@ -1,0 +1,278 @@
+// Tests for core/baselines.hpp.
+#include "core/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/series.hpp"
+#include "core/competitive.hpp"
+#include "eval/cr_eval.hpp"
+#include "sim/zigzag.hpp"
+#include "util/error.hpp"
+
+namespace linesearch {
+namespace {
+
+TEST(TwoGroupSplitTest, RequiresEnoughRobots) {
+  EXPECT_NO_THROW(TwoGroupSplit(4, 1));
+  EXPECT_NO_THROW(TwoGroupSplit(2, 0));
+  EXPECT_THROW(TwoGroupSplit(3, 1), PreconditionError);
+  EXPECT_THROW(TwoGroupSplit(4, -1), PreconditionError);
+}
+
+TEST(TwoGroupSplitTest, DetectionAtDistanceExactly) {
+  // CR = 1: worst-case detection time equals |x| on both sides.
+  const TwoGroupSplit split(4, 1);
+  const Fleet fleet = split.build_fleet(50);
+  for (const Real x : {1.0L, -3.5L, 20.0L, -49.0L}) {
+    EXPECT_NEAR(static_cast<double>(fleet.detection_time(x, 1)),
+                static_cast<double>(std::fabs(x)), 1e-12)
+        << static_cast<double>(x);
+  }
+}
+
+TEST(TwoGroupSplitTest, EachSideHasFPlus1Robots) {
+  const TwoGroupSplit split(6, 2);
+  const Fleet fleet = split.build_fleet(10);
+  int right = 0, left = 0;
+  for (RobotId id = 0; id < fleet.size(); ++id) {
+    (fleet.robot(id).end_position() > 0 ? right : left) += 1;
+  }
+  EXPECT_GE(right, 3);
+  EXPECT_GE(left, 3);
+}
+
+TEST(TwoGroupSplitTest, ExtraRobotsStillBalanced) {
+  const TwoGroupSplit split(9, 2);  // 2f+2 = 6, three extras
+  const Fleet fleet = split.build_fleet(10);
+  int right = 0, left = 0;
+  for (RobotId id = 0; id < fleet.size(); ++id) {
+    (fleet.robot(id).end_position() > 0 ? right : left) += 1;
+  }
+  EXPECT_GE(right, 3);
+  EXPECT_GE(left, 3);
+  EXPECT_EQ(right + left, 9);
+}
+
+TEST(GroupDoublingTest, AllRobotsShareOneTrajectory) {
+  const GroupDoubling pack(3, 2);
+  const Fleet fleet = pack.build_fleet(30);
+  for (const Real t : {1.0L, 4.0L, 9.0L}) {
+    const Real x0 = fleet.robot(0).position_at(t);
+    EXPECT_EQ(fleet.robot(1).position_at(t), x0);
+    EXPECT_EQ(fleet.robot(2).position_at(t), x0);
+  }
+}
+
+TEST(GroupDoublingTest, FaultsDoNotDelayDetection) {
+  // Identical trajectories: the (f+1)-st distinct visit time equals the
+  // first visit time, for every fault budget below n.
+  const GroupDoubling pack(4, 3);
+  const Fleet fleet = pack.build_fleet(30);
+  for (const Real x : {1.5L, -2.0L, 10.0L}) {
+    EXPECT_EQ(fleet.detection_time(x, 0), fleet.detection_time(x, 3));
+  }
+}
+
+TEST(GroupDoublingTest, TheoreticalCrIsNine) {
+  EXPECT_EQ(*GroupDoubling(5, 2).theoretical_cr(), 9.0L);
+}
+
+TEST(GroupDoublingTest, WorstCaseRatioApproachesNine) {
+  // Just past a positive turning point 4^k the detection of x = 4^k + eps
+  // happens on the return from -2*4^k: ratio -> 9 as eps -> 0.
+  const GroupDoubling pack(2, 1);
+  const Fleet fleet = pack.build_fleet(200);
+  const Real x = 4 * (1 + 1e-9L);
+  const Real ratio = fleet.detection_time(x, 1) / x;
+  EXPECT_NEAR(static_cast<double>(ratio), 9.0, 1e-6);
+}
+
+TEST(GroupDoublingTest, GuardsArguments) {
+  EXPECT_THROW(GroupDoubling(3, 3), PreconditionError);
+  EXPECT_THROW(GroupDoubling(0, 0), PreconditionError);
+}
+
+TEST(UniformOffsetTest, SameConeAsAlgorithm) {
+  const UniformOffsetZigzag uniform(5, 3);
+  EXPECT_NEAR(static_cast<double>(uniform.beta()),
+              static_cast<double>(optimal_beta(5, 3)), 1e-15);
+}
+
+TEST(UniformOffsetTest, FleetValidAndCovering) {
+  const UniformOffsetZigzag uniform(3, 2);
+  const Fleet fleet = uniform.build_fleet(40);
+  EXPECT_EQ(fleet.size(), 3u);
+  for (RobotId id = 0; id < fleet.size(); ++id) {
+    EXPECT_TRUE(within_cone(fleet.robot(id), uniform.beta()));
+  }
+  EXPECT_TRUE(fleet.covers(1, 40, 3));
+}
+
+TEST(UniformOffsetTest, FirstTurnMagnitudesAreArithmetic) {
+  const UniformOffsetZigzag uniform(4, 3);
+  const Fleet fleet = uniform.build_fleet(40);
+  std::vector<Real> magnitudes;
+  std::vector<int> sides;
+  for (RobotId id = 0; id < fleet.size(); ++id) {
+    const Real p = fleet.robot(id).turning_waypoints().front().position;
+    magnitudes.push_back(std::fabs(p));
+    sides.push_back(sign_of(p));
+  }
+  // Magnitude differences are equal (arithmetic), unlike the
+  // proportional schedule's geometric spacing; sides alternate.
+  const Real d0 = magnitudes[1] - magnitudes[0];
+  EXPECT_GT(d0, 0.0L);
+  for (std::size_t i = 1; i + 1 < magnitudes.size(); ++i) {
+    EXPECT_NEAR(static_cast<double>(magnitudes[i + 1] - magnitudes[i]),
+                static_cast<double>(d0), 1e-10);
+  }
+  for (std::size_t i = 0; i < sides.size(); ++i) {
+    EXPECT_EQ(sides[i], (i % 2 == 0) ? 1 : -1);
+  }
+}
+
+TEST(UniformOffsetTest, OutsideRegimeThrows) {
+  EXPECT_THROW(UniformOffsetZigzag(4, 1), PreconditionError);
+}
+
+TEST(ClassicCowPathTest, TurningPointsAreTheDoublingSequence) {
+  const ClassicCowPath classic(1, 0);
+  const Fleet fleet = classic.build_fleet(30);
+  const std::vector<Waypoint> turns = fleet.robot(0).turning_waypoints();
+  ASSERT_GE(turns.size(), 4u);
+  EXPECT_EQ(turns[0].position, 1.0L);
+  EXPECT_EQ(turns[1].position, -2.0L);
+  EXPECT_EQ(turns[2].position, 4.0L);
+  EXPECT_EQ(turns[3].position, -8.0L);
+}
+
+TEST(ClassicCowPathTest, FullSpeedFromTheStart) {
+  // Unlike the cone version (speed 1/beta prefix), the classic robot is
+  // at +1 at t = 1 and turns at x_k at time 3|x_k| - 2.
+  const ClassicCowPath classic(1, 0);
+  const Fleet fleet = classic.build_fleet(30);
+  const Trajectory& t = fleet.robot(0);
+  EXPECT_EQ(t.position_at(1), 1.0L);
+  for (const Waypoint& w : t.turning_waypoints()) {
+    EXPECT_NEAR(static_cast<double>(w.time),
+                static_cast<double>(3 * std::fabs(w.position) - 2), 1e-12);
+  }
+}
+
+TEST(ClassicCowPathTest, RatioJustPastTurnIsNineMinusCorrection) {
+  // Just past a turning point of magnitude m (positive turns 4^j,
+  // negative turns 2*4^j), the ratio is 9 - 2/m: the cow-path bound 9
+  // approached from below — the affine (not conic) start buys a
+  // vanishing 2/m advantage.
+  const ClassicCowPath classic(1, 0);
+  const Fleet fleet = classic.build_fleet(3000);
+  for (const Real m : {4.0L, 16.0L, 64.0L}) {  // positive turns
+    const Real x = m * (1 + 1e-9L);
+    EXPECT_NEAR(static_cast<double>(fleet.detection_time(x, 0) / x),
+                static_cast<double>(9 - 2 / m), 1e-6)
+        << static_cast<double>(m);
+  }
+  for (const Real m : {2.0L, 8.0L, 32.0L}) {  // negative turns
+    const Real x = -m * (1 + 1e-9L);
+    EXPECT_NEAR(static_cast<double>(fleet.detection_time(x, 0) / m),
+                static_cast<double>(9 - 2 / m), 1e-6)
+        << static_cast<double>(m);
+  }
+}
+
+TEST(ClassicCowPathTest, PackIsFaultObliviousLikeGroupDoubling) {
+  const ClassicCowPath classic(4, 3);
+  const Fleet fleet = classic.build_fleet(100);
+  for (const Real x : {1.5L, -3.0L, 20.0L}) {
+    EXPECT_EQ(fleet.detection_time(x, 0), fleet.detection_time(x, 3));
+  }
+}
+
+TEST(ClassicCowPathTest, MirroredSplitsTheDirections) {
+  const ClassicCowPath classic(4, 1, /*mirrored=*/true);
+  const Fleet fleet = classic.build_fleet(50);
+  int right_first = 0, left_first = 0;
+  for (RobotId id = 0; id < fleet.size(); ++id) {
+    const Real first = fleet.robot(id).turning_waypoints().front().position;
+    (first > 0 ? right_first : left_first) += 1;
+  }
+  EXPECT_EQ(right_first, 2);
+  EXPECT_EQ(left_first, 2);
+  EXPECT_FALSE(classic.theoretical_cr().has_value());
+}
+
+TEST(ClassicCowPathTest, MirroredPairBeatsThePackForOneFault) {
+  // With f = 1 and mirrored pairs, the adversary must silence one group
+  // entirely... it cannot (each direction has 2 robots), so the worst
+  // ratio improves over the single-pack 9 on the first-visited side.
+  const ClassicCowPath pack(4, 1, false);
+  const ClassicCowPath mirrored(4, 1, true);
+  const Real x = 4 * (1 + 1e-9L);
+  const Fleet pack_fleet = pack.build_fleet(500);
+  const Fleet mirrored_fleet = mirrored.build_fleet(500);
+  EXPECT_LT(mirrored_fleet.detection_time(x, 1),
+            pack_fleet.detection_time(x, 1));
+}
+
+TEST(ClassicCowPathTest, GuardsArguments) {
+  EXPECT_THROW(ClassicCowPath(0, 0), PreconditionError);
+  EXPECT_THROW(ClassicCowPath(3, 3), PreconditionError);
+  EXPECT_THROW(ClassicCowPath(1, 0, /*mirrored=*/true), PreconditionError);
+}
+
+TEST(StaggeredDoublingTest, DelaysShiftVisitTimesLinearly) {
+  const StaggeredDoubling staggered(3, 1, 2);
+  const Fleet fleet = staggered.build_fleet(60);
+  // Robot i's first visit of any point is the classic time + 2i.
+  for (const Real x : {1.0L, -2.0L, 5.0L}) {
+    const std::vector<Real> times = fleet.first_visit_times(x);
+    EXPECT_NEAR(static_cast<double>(times[1] - times[0]), 2.0, 1e-12);
+    EXPECT_NEAR(static_cast<double>(times[2] - times[1]), 2.0, 1e-12);
+  }
+}
+
+TEST(StaggeredDoublingTest, DetectionDelayedByExactlyFDeltas) {
+  const Real delta = 3;
+  const StaggeredDoubling staggered(4, 2, delta);
+  const Fleet fleet = staggered.build_fleet(60);
+  for (const Real x : {1.5L, -4.0L, 10.0L}) {
+    EXPECT_NEAR(static_cast<double>(fleet.detection_time(x, 2) -
+                                    fleet.detection_time(x, 0)),
+                static_cast<double>(2 * delta), 1e-12);
+  }
+}
+
+TEST(StaggeredDoublingTest, NeverBeatsGroupDoublingAndLosesToProportional) {
+  // Linear stagger adds f*delta to every detection, so the measured CR
+  // is at least the pack's ~9 and far above A(3,1)'s 5.233; a large
+  // delta is punished in full near the minimum distance.
+  const StaggeredDoubling mild(3, 1, 2);
+  const Fleet mild_fleet = mild.build_fleet(800);
+  const Real mild_cr = measure_cr(mild_fleet, 1, {.window_hi = 16}).cr;
+  EXPECT_GT(mild_cr, 8.9L);
+  EXPECT_GT(mild_cr, algorithm_cr(3, 1) + 3);
+
+  const StaggeredDoubling harsh(3, 1, 10);
+  const Fleet harsh_fleet = harsh.build_fleet(800);
+  const Real harsh_cr = measure_cr(harsh_fleet, 1, {.window_hi = 16}).cr;
+  // Detection at x just past 1 costs ~ 7 + 10 = 17.
+  EXPECT_GT(harsh_cr, 16.0L);
+}
+
+TEST(StaggeredDoublingTest, GuardsArguments) {
+  EXPECT_THROW(StaggeredDoubling(3, 3), PreconditionError);
+  EXPECT_THROW(StaggeredDoubling(3, 1, 0), PreconditionError);
+}
+
+TEST(Names, AreDescriptive) {
+  EXPECT_EQ(TwoGroupSplit(4, 1).name(), "two-group split(4,1)");
+  EXPECT_EQ(GroupDoubling(3, 1).name(), "group doubling(3,1)");
+  EXPECT_EQ(UniformOffsetZigzag(3, 1).name(), "uniform-offset(3,1)");
+  EXPECT_EQ(ClassicCowPath(2, 1).name(), "classic cow-path(2,1)");
+  EXPECT_EQ(ClassicCowPath(2, 1, true).name(), "mirrored classic cow-path(2,1)");
+}
+
+}  // namespace
+}  // namespace linesearch

@@ -1,0 +1,103 @@
+// Tests for core/bounded.hpp — the known-distance-bound variant.
+#include "core/bounded.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/algorithm.hpp"
+#include "core/competitive.hpp"
+#include "eval/cr_eval.hpp"
+#include "util/error.hpp"
+
+namespace linesearch {
+namespace {
+
+TEST(Bounded, NameAndAccessors) {
+  const BoundedProportional strategy(3, 1, 32);
+  EXPECT_EQ(strategy.robot_count(), 3);
+  EXPECT_EQ(strategy.fault_budget(), 1);
+  EXPECT_EQ(strategy.distance_bound(), 32.0L);
+  EXPECT_NE(strategy.name().find("bounded A(3,1)"), std::string::npos);
+}
+
+TEST(Bounded, GuardsConstruction) {
+  EXPECT_THROW(BoundedProportional(4, 1, 32), PreconditionError);  // regime
+  EXPECT_THROW(BoundedProportional(3, 1, 1), PreconditionError);   // D <= 1
+}
+
+TEST(Bounded, TrajectoriesNeverLeaveTheArena) {
+  const Real D = 20;
+  const BoundedProportional strategy(5, 3, D);
+  const Fleet fleet = strategy.build_fleet(D);
+  for (RobotId id = 0; id < fleet.size(); ++id) {
+    EXPECT_LE(fleet.robot(id).max_abs_position(), D * (1 + 1e-12L)) << id;
+  }
+}
+
+TEST(Bounded, EveryRobotSweepsTheWholeArena) {
+  const Real D = 16;
+  const BoundedProportional strategy(3, 2, D);
+  const Fleet fleet = strategy.build_fleet(D);
+  EXPECT_TRUE(fleet.covers(1, D, 3));
+}
+
+TEST(Bounded, ExtentBeyondBoundRejected) {
+  const BoundedProportional strategy(3, 1, 8);
+  EXPECT_THROW((void)strategy.build_fleet(9), PreconditionError);
+}
+
+TEST(Bounded, NeverWorseThanUnboundedAnywhere) {
+  // Clamping turns at the barrier only ever ADVANCES visits, so the
+  // bounded detection time is pointwise <= the unbounded one.
+  const int n = 3, f = 1;
+  const Real D = 24;
+  const Fleet bounded = BoundedProportional(n, f, D).build_fleet(D);
+  const Fleet unbounded = ProportionalAlgorithm(n, f).build_fleet(D * 40);
+  for (const Real x :
+       {1.0L, -1.5L, 3.3L, -7.0L, 12.0L, -20.0L, 23.9L, -23.9L}) {
+    EXPECT_LE(bounded.detection_time(x, f),
+              unbounded.detection_time(x, f) * (1 + 1e-12L))
+        << static_cast<double>(x);
+  }
+}
+
+TEST(Bounded, MeasuredCrAtMostTheorem1) {
+  const int n = 3, f = 1;
+  const Real D = 24;
+  const BoundedProportional strategy(n, f, D);
+  const Fleet fleet = strategy.build_fleet(D);
+  const CrEvalResult result =
+      measure_cr(fleet, f, {.window_hi = D * 0.999L});
+  EXPECT_LE(result.cr, algorithm_cr(n, f) * (1 + 1e-9L));
+  EXPECT_GT(result.cr, 1.0L);
+}
+
+TEST(Bounded, StrictGainNearTheBarrier) {
+  // Targets in the last expansion step before D are found strictly
+  // earlier than by the unbounded algorithm.
+  const int n = 3, f = 1;
+  const Real D = 24;
+  const Fleet bounded = BoundedProportional(n, f, D).build_fleet(D);
+  const Fleet unbounded = ProportionalAlgorithm(n, f).build_fleet(D * 40);
+  const Real x = D * 0.98L;
+  EXPECT_LT(bounded.detection_time(x, f),
+            unbounded.detection_time(x, f) * 0.999L);
+}
+
+TEST(Bounded, SmallArenaDegeneratesGracefully) {
+  // D barely above 1: robots basically shuttle between the barriers.
+  const BoundedProportional strategy(3, 2, 1.5L);
+  const Fleet fleet = strategy.build_fleet(1.4L);
+  EXPECT_TRUE(std::isfinite(fleet.detection_time(1.2L, 2)));
+  EXPECT_TRUE(std::isfinite(fleet.detection_time(-1.2L, 2)));
+}
+
+TEST(Bounded, TheoreticalCrReportsUnboundedEnvelope) {
+  const BoundedProportional strategy(5, 2, 10);
+  EXPECT_NEAR(static_cast<double>(*strategy.theoretical_cr()),
+              static_cast<double>(algorithm_cr(5, 2)), 1e-12);
+}
+
+}  // namespace
+}  // namespace linesearch

@@ -1,0 +1,223 @@
+// Tests for core/competitive.hpp — Lemma 5, Theorem 1, Corollary 1 and
+// the Figure-5 curves, pinned to the paper's published numbers (Table 1).
+#include "core/competitive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "analysis/optimize.hpp"
+#include "util/error.hpp"
+
+namespace linesearch {
+namespace {
+
+TEST(Regime, ProportionalRegimePredicate) {
+  EXPECT_TRUE(in_proportional_regime(2, 1));   // n = f+1
+  EXPECT_TRUE(in_proportional_regime(3, 1));   // n = 2f+1
+  EXPECT_TRUE(in_proportional_regime(5, 3));
+  EXPECT_FALSE(in_proportional_regime(4, 1));  // n >= 2f+2
+  EXPECT_FALSE(in_proportional_regime(3, 3));  // f == n
+  EXPECT_FALSE(in_proportional_regime(3, 0));  // f == 0 -> n >= 2f+2
+}
+
+TEST(OptimalBeta, ClosedForm) {
+  EXPECT_NEAR(static_cast<double>(optimal_beta(2, 1)), 3.0, 1e-15);
+  EXPECT_NEAR(static_cast<double>(optimal_beta(3, 1)), 5.0 / 3 - 0, 1e-12);
+  EXPECT_NEAR(static_cast<double>(optimal_beta(4, 2)), 2.0, 1e-15);
+  EXPECT_NEAR(static_cast<double>(optimal_beta(5, 3)), 11.0 / 5, 1e-12);
+}
+
+TEST(OptimalBeta, AlwaysAboveOneInRegime) {
+  for (int f = 1; f <= 30; ++f) {
+    for (int n = f + 1; n < 2 * f + 2; ++n) {
+      EXPECT_GT(optimal_beta(n, f), 1.0L) << n << "," << f;
+    }
+  }
+}
+
+TEST(OptimalBeta, OutsideRegimeThrows) {
+  EXPECT_THROW((void)optimal_beta(4, 1), PreconditionError);
+  EXPECT_THROW((void)optimal_beta(3, 3), PreconditionError);
+}
+
+// Table 1, "comp. ratio of A(n,f)" column.
+TEST(Theorem1, Table1CompetitiveRatios) {
+  EXPECT_NEAR(static_cast<double>(algorithm_cr(2, 1)), 9.0, 1e-12);
+  EXPECT_NEAR(static_cast<double>(algorithm_cr(3, 1)), 5.2333, 5e-4);
+  EXPECT_NEAR(static_cast<double>(algorithm_cr(3, 2)), 9.0, 1e-12);
+  EXPECT_NEAR(static_cast<double>(algorithm_cr(4, 2)), 6.196, 5e-3);
+  EXPECT_NEAR(static_cast<double>(algorithm_cr(4, 3)), 9.0, 1e-12);
+  EXPECT_NEAR(static_cast<double>(algorithm_cr(5, 2)), 4.43, 5e-3);
+  EXPECT_NEAR(static_cast<double>(algorithm_cr(5, 3)), 6.76, 5e-3);
+  EXPECT_NEAR(static_cast<double>(algorithm_cr(5, 4)), 9.0, 1e-12);
+  EXPECT_NEAR(static_cast<double>(algorithm_cr(11, 5)), 3.73, 5e-3);
+  EXPECT_NEAR(static_cast<double>(algorithm_cr(41, 20)), 3.24, 5e-3);
+}
+
+// Table 1, "expansion factor" column.
+TEST(ExpansionFactor, Table1Values) {
+  EXPECT_NEAR(static_cast<double>(optimal_expansion_factor(2, 1)), 2.0, 1e-12);
+  EXPECT_NEAR(static_cast<double>(optimal_expansion_factor(3, 1)), 4.0, 1e-12);
+  EXPECT_NEAR(static_cast<double>(optimal_expansion_factor(3, 2)), 2.0, 1e-12);
+  EXPECT_NEAR(static_cast<double>(optimal_expansion_factor(4, 2)), 3.0, 1e-12);
+  EXPECT_NEAR(static_cast<double>(optimal_expansion_factor(5, 2)), 6.0, 1e-12);
+  EXPECT_NEAR(static_cast<double>(optimal_expansion_factor(5, 3)), 8.0 / 3,
+              1e-12);
+  EXPECT_NEAR(static_cast<double>(optimal_expansion_factor(11, 5)), 12.0,
+              1e-12);
+  EXPECT_NEAR(static_cast<double>(optimal_expansion_factor(41, 20)), 42.0,
+              1e-12);
+}
+
+TEST(ExpansionFactor, NEqualsFPlus1IsDoubling) {
+  for (int f = 1; f <= 20; ++f) {
+    EXPECT_NEAR(static_cast<double>(optimal_expansion_factor(f + 1, f)), 2.0,
+                1e-12);
+  }
+}
+
+TEST(ExpansionFactor, NEquals2FPlus1IsNPlus1) {
+  for (int f = 1; f <= 20; ++f) {
+    const int n = 2 * f + 1;
+    EXPECT_NEAR(static_cast<double>(optimal_expansion_factor(n, f)),
+                static_cast<double>(n + 1), 1e-10);
+  }
+}
+
+TEST(Lemma5, BetaSweepsAgreeWithFormula) {
+  // Spot-check the generic-beta CR formula shape.
+  const Real cr = schedule_cr(3, 1, 5.0L / 3);
+  EXPECT_NEAR(static_cast<double>(cr), (8.0 / 3) * std::cbrt(4.0) + 1,
+              1e-10);
+}
+
+TEST(Lemma5, OptimalBetaMinimizesNumerically) {
+  // Golden-section over beta must land on the closed-form beta* for a
+  // spread of (n, f) pairs — Theorem 1's optimization step.
+  for (const auto& [n, f] : std::vector<std::pair<int, int>>{
+           {2, 1}, {3, 1}, {4, 2}, {5, 3}, {7, 4}, {11, 5}, {9, 8}}) {
+    const MinimizeResult r = golden_section(
+        [n = n, f = f](const Real beta) { return schedule_cr(n, f, beta); },
+        1.000001L, 12);
+    EXPECT_NEAR(static_cast<double>(r.x),
+                static_cast<double>(optimal_beta(n, f)), 1e-6)
+        << "n=" << n << " f=" << f;
+    EXPECT_NEAR(static_cast<double>(r.fx),
+                static_cast<double>(algorithm_cr(n, f)), 1e-9);
+  }
+}
+
+TEST(Lemma5, AnyOtherBetaIsWorse) {
+  for (const auto& [n, f] :
+       std::vector<std::pair<int, int>>{{3, 1}, {5, 3}, {11, 5}}) {
+    const Real best = algorithm_cr(n, f);
+    const Real beta_star = optimal_beta(n, f);
+    for (const Real factor : {0.5L, 0.8L, 1.2L, 2.0L}) {
+      const Real beta = 1 + (beta_star - 1) * factor;
+      EXPECT_GE(schedule_cr(n, f, beta), best - 1e-12L);
+    }
+  }
+}
+
+TEST(BestKnownCr, TrivialRegimeIsOne) {
+  EXPECT_EQ(best_known_cr(4, 1), 1.0L);
+  EXPECT_EQ(best_known_cr(10, 2), 1.0L);
+  EXPECT_EQ(best_known_cr(2, 0), 1.0L);
+}
+
+TEST(BestKnownCr, ProportionalRegimeMatchesTheorem1) {
+  EXPECT_NEAR(static_cast<double>(best_known_cr(5, 2)),
+              static_cast<double>(algorithm_cr(5, 2)), 1e-15);
+}
+
+TEST(BestKnownCr, GuardsArguments) {
+  EXPECT_THROW((void)best_known_cr(3, 3), PreconditionError);
+  EXPECT_THROW((void)best_known_cr(3, -1), PreconditionError);
+}
+
+TEST(HalfFaulty, MatchesTheorem1Specialization) {
+  for (int f = 1; f <= 15; ++f) {
+    const int n = 2 * f + 1;
+    EXPECT_NEAR(static_cast<double>(cr_half_faulty(n)),
+                static_cast<double>(algorithm_cr(n, f)), 1e-10)
+        << "n=" << n;
+  }
+}
+
+TEST(HalfFaulty, DecreasesTowardThree) {
+  Real previous = kInfinity;
+  for (int n = 3; n <= 101; n += 2) {
+    const Real cr = cr_half_faulty(n);
+    EXPECT_LT(cr, previous);
+    EXPECT_GT(cr, 3.0L);
+    previous = cr;
+  }
+  EXPECT_LT(cr_half_faulty(1001), 3.06L);
+}
+
+TEST(HalfFaulty, RejectsEvenOrTinyN) {
+  EXPECT_THROW((void)cr_half_faulty(4), PreconditionError);
+  EXPECT_THROW((void)cr_half_faulty(1), PreconditionError);
+}
+
+TEST(Corollary1, SharperCoefficientObservation) {
+  // The exact expansion is CR = 3 + (2 ln(n+1) + 2)/n + o(1/n): the
+  // normalized coefficient (CR - 3 - 2/n) * n / ln(n+1) converges to 2
+  // (matching the LOWER bound's ln-coefficient), which is sharper than
+  // Corollary 1's factor-4 envelope.  Checked along a doubling ladder.
+  Real previous_gap = kInfinity;
+  for (int n = 33; n <= 8193; n = 2 * n - 1) {
+    const Real nn = static_cast<Real>(n);
+    const Real coefficient =
+        (cr_half_faulty(n) - 3 - 2 / nn) * nn / std::log(nn + 1);
+    const Real gap = std::fabs(coefficient - 2);
+    EXPECT_LT(gap, previous_gap) << n;
+    previous_gap = gap;
+  }
+  EXPECT_LT(previous_gap, 2e-3L);
+}
+
+TEST(Corollary1, UpperBoundsHalfFaultyCurveForLargeN) {
+  // 3 + 4 ln n / n dominates the exact curve once low-order terms fade.
+  for (int n = 31; n <= 501; n += 10) {
+    if (n % 2 == 0) continue;
+    EXPECT_LE(cr_half_faulty(n), corollary1_bound(n) + 0.02L) << n;
+  }
+}
+
+TEST(AsymptoticCr, EndpointBehaviour) {
+  // a -> 1+: approaches 9 (n = f+1).  a -> 2-: approaches 3 (n = 2f+1).
+  EXPECT_NEAR(static_cast<double>(asymptotic_cr(1.0001L)), 9.0, 1e-2);
+  EXPECT_NEAR(static_cast<double>(asymptotic_cr(1.9999L)), 3.0, 1e-2);
+}
+
+TEST(AsymptoticCr, MonotoneDecreasingInA) {
+  Real previous = kInfinity;
+  for (Real a = 1.05L; a < 2; a += 0.05L) {
+    const Real cr = asymptotic_cr(a);
+    EXPECT_LT(cr, previous);
+    previous = cr;
+  }
+}
+
+TEST(AsymptoticCr, LimitOfFiniteFormula) {
+  // Fixing a = n/f and growing n, Theorem 1 tends to the asymptotic form.
+  const Real a = 1.5L;
+  const Real limit = asymptotic_cr(a);
+  const Real at_3000 = algorithm_cr(3000, 2000);
+  const Real at_30 = algorithm_cr(30, 20);
+  EXPECT_LT(std::fabs(at_3000 - limit), std::fabs(at_30 - limit));
+  EXPECT_NEAR(static_cast<double>(at_3000), static_cast<double>(limit),
+              0.01);
+}
+
+TEST(AsymptoticCr, DomainGuard) {
+  EXPECT_THROW((void)asymptotic_cr(1.0L), PreconditionError);
+  EXPECT_THROW((void)asymptotic_cr(2.0L), PreconditionError);
+}
+
+}  // namespace
+}  // namespace linesearch

@@ -1,0 +1,66 @@
+// Tests for core/cone.hpp.
+#include "core/cone.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace linesearch {
+namespace {
+
+TEST(Cone, ExpansionFactorMatchesLemma1) {
+  EXPECT_NEAR(static_cast<double>(Cone(3).expansion_factor()), 2.0, 1e-15);
+  EXPECT_NEAR(static_cast<double>(Cone(2).expansion_factor()), 3.0, 1e-15);
+  // Table 1's (3,1): beta = 5/3 -> kappa = 4.
+  EXPECT_NEAR(static_cast<double>(Cone(5.0L / 3).expansion_factor()), 4.0,
+              1e-12);
+}
+
+TEST(Cone, RejectsBetaAtOrBelowOne) {
+  EXPECT_THROW(Cone(1), PreconditionError);
+  EXPECT_THROW(Cone(0.99L), PreconditionError);
+}
+
+TEST(Cone, BoundaryTimeSymmetricInX) {
+  const Cone cone(2.5L);
+  EXPECT_EQ(cone.boundary_time(4), 10.0L);
+  EXPECT_EQ(cone.boundary_time(-4), 10.0L);
+  EXPECT_EQ(cone.boundary_time(0), 0.0L);
+}
+
+TEST(Cone, ContainsInteriorAndBoundary) {
+  const Cone cone(3);
+  EXPECT_TRUE(cone.contains(1, 3));     // on boundary
+  EXPECT_TRUE(cone.contains(1, 5));     // inside
+  EXPECT_TRUE(cone.contains(-2, 6.5L)); // inside on left
+  EXPECT_FALSE(cone.contains(1, 2));    // below boundary
+  EXPECT_FALSE(cone.contains(-2, 5));   // below boundary on left
+}
+
+TEST(Cone, ContainsOriginAxis) {
+  const Cone cone(5);
+  EXPECT_TRUE(cone.contains(0, 0));
+  EXPECT_TRUE(cone.contains(0, 100));
+}
+
+TEST(Cone, FromExpansionFactorRoundTrips) {
+  for (const Real kappa : {1.5L, 2.0L, 3.0L, 6.0L, 42.0L}) {
+    const Cone cone = Cone::from_expansion_factor(kappa);
+    EXPECT_NEAR(static_cast<double>(cone.expansion_factor()),
+                static_cast<double>(kappa), 1e-12);
+  }
+}
+
+TEST(Cone, DescribeMentionsBothParameters) {
+  const std::string d = Cone(3).describe();
+  EXPECT_NE(d.find("beta=3"), std::string::npos);
+  EXPECT_NE(d.find("kappa=2"), std::string::npos);
+}
+
+TEST(Cone, EqualityIsValueBased) {
+  EXPECT_EQ(Cone(3), Cone(3));
+  EXPECT_NE(Cone(3), Cone(2));
+}
+
+}  // namespace
+}  // namespace linesearch

@@ -1,0 +1,160 @@
+// Tests for core/lower_bound.hpp — Theorem 2, Corollary 2 and Table 1's
+// lower-bound column.
+#include "core/lower_bound.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/series.hpp"
+#include "core/competitive.hpp"
+#include "util/error.hpp"
+
+namespace linesearch {
+namespace {
+
+TEST(Residual, SignStructureAroundRoot) {
+  // Strictly increasing from -inf: negative near 3, positive at 9.
+  for (const int n : {1, 3, 5, 11, 41}) {
+    EXPECT_LT(theorem2_residual(n, 3.0001L), 0.0L) << n;
+    EXPECT_GT(theorem2_residual(n, 9.0L), 0.0L) << n;
+  }
+}
+
+TEST(Residual, GuardsDomain) {
+  EXPECT_THROW((void)theorem2_residual(0, 4), PreconditionError);
+  EXPECT_THROW((void)theorem2_residual(3, 3), PreconditionError);
+}
+
+TEST(Theorem2Alpha, SatisfiesDefiningEquation) {
+  for (const int n : {2, 3, 4, 5, 7, 11, 41, 100}) {
+    const Real alpha = theorem2_alpha(n);
+    // (alpha-1)^n (alpha-3) == 2^(n+1), checked in log space.
+    EXPECT_NEAR(static_cast<double>(theorem2_residual(n, alpha)), 0.0, 1e-9)
+        << n;
+  }
+}
+
+// Table 1, "lower bound on comp. ratio" column (non-trivial rows).  The
+// paper prints rounded values; our root of (alpha-1)^n (alpha-3) =
+// 2^(n+1) is exact, so it must sit AT OR ABOVE every printed value (any
+// feasible alpha is a valid bound) and close to it.
+TEST(Theorem2Alpha, Table1Values) {
+  EXPECT_NEAR(static_cast<double>(theorem2_alpha(3)), 3.76, 5e-3);
+  EXPECT_NEAR(static_cast<double>(theorem2_alpha(4)), 3.649, 1e-3);
+  EXPECT_NEAR(static_cast<double>(theorem2_alpha(5)), 3.57, 5e-3);
+  EXPECT_NEAR(static_cast<double>(theorem2_alpha(11)), 3.345, 2e-3);
+  // The paper prints 3.12 for n = 41; the exact root is 3.1357 (a
+  // slightly stronger bound — the printed value was rounded down).
+  EXPECT_NEAR(static_cast<double>(theorem2_alpha(41)), 3.1357, 5e-4);
+  EXPECT_GE(theorem2_alpha(41), 3.12L);
+}
+
+TEST(Theorem2Alpha, TextualClaimForThreeRobots) {
+  // "Theorem 2 gives a lower bound of ~3.76 ... for 3 robots."
+  EXPECT_NEAR(static_cast<double>(theorem2_alpha(3)), 3.7606, 1e-3);
+}
+
+TEST(Theorem2Alpha, StrictlyDecreasingInN) {
+  Real previous = kInfinity;
+  for (int n = 1; n <= 60; ++n) {
+    const Real alpha = theorem2_alpha(n);
+    EXPECT_LT(alpha, previous) << n;
+    EXPECT_GT(alpha, 3.0L) << n;
+    previous = alpha;
+  }
+}
+
+TEST(Theorem2Alpha, ApproachesThreeFromAbove) {
+  EXPECT_LT(theorem2_alpha(2000), 3.01L);
+  EXPECT_GT(theorem2_alpha(2000), 3.0L);
+}
+
+TEST(Corollary2, BoundBelowExactRootForLargeN) {
+  // The closed-form asymptotic 3 + 2 ln n/n - 2 ln ln n/n must lower-bound
+  // the exact root (it was derived by plugging a feasible alpha).
+  for (const int n : {10, 20, 50, 100, 500, 1000}) {
+    EXPECT_LE(corollary2_bound(n), theorem2_alpha(n) + 1e-12L) << n;
+  }
+}
+
+TEST(Corollary2, FeasibilityOfThePluggedAlpha) {
+  // The proof takes alpha = 3 + 2(ln n - ln ln n)/n and requires
+  // (alpha-1)^n (alpha-3) < 2^(n+1); verify the inequality numerically.
+  for (const int n : {10, 50, 100, 1000}) {
+    const Real alpha = corollary2_bound(n);
+    EXPECT_LT(theorem2_residual(n, alpha), 0.0L) << n;
+  }
+}
+
+TEST(BestLowerBound, AllThreeRegimes) {
+  EXPECT_EQ(best_lower_bound(4, 1), 1.0L);    // n >= 2f+2
+  EXPECT_EQ(best_lower_bound(10, 3), 1.0L);
+  EXPECT_EQ(best_lower_bound(2, 1), 9.0L);    // n = f+1
+  EXPECT_EQ(best_lower_bound(5, 4), 9.0L);
+  EXPECT_NEAR(static_cast<double>(best_lower_bound(5, 3)),
+              static_cast<double>(theorem2_alpha(5)), 1e-12);
+}
+
+TEST(BestLowerBound, Table1Rows) {
+  // (3,2), (4,3), (5,4) -> 9; (5,2) and (5,3) share the same 3.57 (the
+  // Theorem-2 root depends only on n).
+  EXPECT_EQ(best_lower_bound(3, 2), 9.0L);
+  EXPECT_EQ(best_lower_bound(4, 3), 9.0L);
+  EXPECT_EQ(best_lower_bound(5, 4), 9.0L);
+  EXPECT_EQ(best_lower_bound(5, 2), best_lower_bound(5, 3));
+}
+
+TEST(BestLowerBound, GuardsArguments) {
+  EXPECT_THROW((void)best_lower_bound(3, 3), PreconditionError);
+  EXPECT_THROW((void)best_lower_bound(0, 0), PreconditionError);
+}
+
+TEST(Placement, ClosedFormAndEq16) {
+  const int n = 5;
+  const Real alpha = 3.5L;
+  // x_i = 2^(i+1)/((alpha-1)^i (alpha-3)).
+  EXPECT_NEAR(static_cast<double>(theorem2_placement(n, alpha, 0)),
+              2.0 / 0.5, 1e-12);
+  // Eq. 16: x_i = (alpha-1)/2 * x_{i+1}.
+  for (int i = 0; i + 1 < n; ++i) {
+    EXPECT_NEAR(static_cast<double>(theorem2_placement(n, alpha, i)),
+                static_cast<double>((alpha - 1) / 2 *
+                                    theorem2_placement(n, alpha, i + 1)),
+                1e-9);
+  }
+}
+
+TEST(Placement, Eq19LastPlacementExceedsHalfAlphaMinus1) {
+  // x_{n-1} > (alpha-1)/2 under the feasibility condition (Eq. 19).
+  for (const int n : {3, 5, 11}) {
+    const Real alpha = theorem2_alpha(n);  // equality case
+    EXPECT_GE(theorem2_placement(n, alpha, n - 1), (alpha - 1) / 2 - 1e-9L);
+  }
+}
+
+TEST(Placement, IndexGuards) {
+  EXPECT_THROW((void)theorem2_placement(3, 3.5L, -1), PreconditionError);
+  EXPECT_THROW((void)theorem2_placement(3, 3.5L, 3), PreconditionError);
+  EXPECT_THROW((void)theorem2_placement(3, 2.9L, 0), PreconditionError);
+}
+
+TEST(UpperVsLower, Theorem1NeverDipsBelowTheLowerBound) {
+  // Consistency across the whole grid: the proved upper bound of A(n,f)
+  // stays at or above the proved lower bound, with equality exactly at
+  // n = f+1 (where A is optimal).
+  for (int f = 1; f <= 25; ++f) {
+    for (int n = f + 1; n < 2 * f + 2; ++n) {
+      const Real upper = algorithm_cr(n, f);
+      const Real lower = best_lower_bound(n, f);
+      EXPECT_GE(upper, lower - 1e-12L) << n << "," << f;
+      if (n == f + 1) {
+        EXPECT_NEAR(static_cast<double>(upper), static_cast<double>(lower),
+                    1e-9);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace linesearch

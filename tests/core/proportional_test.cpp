@@ -1,0 +1,252 @@
+// Tests for core/proportional.hpp — Lemma 2, Definition 4 and Lemma 4,
+// verified both against closed forms and against the materialized
+// trajectories (two independent code paths).
+#include "core/proportional.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "sim/zigzag.hpp"
+#include "util/error.hpp"
+
+namespace linesearch {
+namespace {
+
+TEST(ProportionalityRatio, Lemma2ClosedForm) {
+  // r = ((beta+1)/(beta-1))^(2/n).
+  EXPECT_NEAR(static_cast<double>(proportionality_ratio(1, 3)), 4.0, 1e-12);
+  EXPECT_NEAR(static_cast<double>(proportionality_ratio(2, 3)), 2.0, 1e-12);
+  // n = 2f+1 with optimal beta has kappa = n+1, so r = (n+1)^(2/n):
+  // for n = 3 (f=1): beta = 5/3, r = 4^(2/3).
+  EXPECT_NEAR(static_cast<double>(proportionality_ratio(3, 5.0L / 3)),
+              std::pow(4.0, 2.0 / 3.0), 1e-12);
+}
+
+TEST(ProportionalityRatio, GuardsArguments) {
+  EXPECT_THROW((void)proportionality_ratio(0, 3), PreconditionError);
+  EXPECT_THROW((void)proportionality_ratio(3, 1), PreconditionError);
+}
+
+TEST(Schedule, TurningPointsAreGeometric) {
+  const ProportionalSchedule s(3, 2, 1);
+  const Real r = s.proportionality_ratio();
+  for (int j = -3; j <= 5; ++j) {
+    EXPECT_NEAR(static_cast<double>(s.turning_point(j + 1) / s.turning_point(j)),
+                static_cast<double>(r), 1e-12);
+  }
+  EXPECT_EQ(s.turning_point(0), 1.0L);
+}
+
+TEST(Schedule, TurningTimesOnConeBoundary) {
+  const ProportionalSchedule s(4, 1.5L, 1);
+  for (int j = 0; j < 8; ++j) {
+    EXPECT_NEAR(static_cast<double>(s.turning_time(j)),
+                static_cast<double>(1.5L * s.turning_point(j)), 1e-12);
+  }
+}
+
+TEST(Schedule, RobotOwnershipCyclesModN) {
+  const ProportionalSchedule s(4, 2, 1);
+  EXPECT_EQ(s.robot_of(0), 0u);
+  EXPECT_EQ(s.robot_of(3), 3u);
+  EXPECT_EQ(s.robot_of(4), 0u);
+  EXPECT_EQ(s.robot_of(-1), 3u);
+  EXPECT_EQ(s.robot_of(-4), 0u);
+}
+
+TEST(Schedule, ExpansionFactorIsRToTheHalfN) {
+  for (const int n : {2, 3, 5, 8}) {
+    const ProportionalSchedule s(n, 1.8L, 1);
+    EXPECT_NEAR(static_cast<double>(
+                    std::pow(s.proportionality_ratio(),
+                             static_cast<Real>(n) / 2)),
+                static_cast<double>(s.expansion_factor()), 1e-10);
+  }
+}
+
+TEST(Schedule, RejectsNonPositiveTau0) {
+  EXPECT_THROW(ProportionalSchedule(3, 2, 0), PreconditionError);
+  EXPECT_THROW(ProportionalSchedule(3, 2, -1), PreconditionError);
+}
+
+TEST(InitialTurn, RobotZeroGoesStraightToTau0) {
+  const ProportionalSchedule s(5, 2, 1);
+  EXPECT_EQ(s.initial_turn(0), 1.0L);
+}
+
+TEST(InitialTurn, EarlyRobotsStartLeftLateRobotsStartRight) {
+  // n = 5: robots 1, 2 (i < n/2) extend back once -> negative start;
+  // robots 3, 4 (i > n/2) extend back twice -> positive start.
+  const ProportionalSchedule s(5, 2, 1);
+  EXPECT_LT(s.initial_turn(1), 0.0L);
+  EXPECT_LT(s.initial_turn(2), 0.0L);
+  EXPECT_GT(s.initial_turn(3), 0.0L);
+  EXPECT_GT(s.initial_turn(4), 0.0L);
+}
+
+TEST(InitialTurn, MagnitudesStrictlyBelowTau0) {
+  for (const int n : {2, 3, 4, 5, 7, 11}) {
+    const ProportionalSchedule s(n, 1.7L, 1);
+    for (int i = 1; i < n; ++i) {
+      EXPECT_LT(std::fabs(s.initial_turn(i)), 1.0L)
+          << "n=" << n << " i=" << i;
+      EXPECT_GT(std::fabs(s.initial_turn(i)), 0.0L);
+    }
+  }
+}
+
+TEST(InitialTurn, BoundaryCaseHalfN) {
+  // i == n/2 (even n): the one-step-back magnitude is exactly tau0, which
+  // is NOT < tau0, so the extension goes one more step and lands positive.
+  const ProportionalSchedule s(4, 2, 1);
+  const Real kappa = s.expansion_factor();
+  EXPECT_NEAR(static_cast<double>(s.initial_turn(2)),
+              static_cast<double>(1 / kappa), 1e-12);
+  EXPECT_GT(s.initial_turn(2), 0.0L);
+}
+
+TEST(InitialTurn, ExactValuesForN5Beta2) {
+  // n=5, beta=2: kappa=3, r=3^(2/5).  tau_i = r^i.
+  // i=1,2: -r^(i - 2.5); i=3,4: +r^(i-5).
+  const ProportionalSchedule s(5, 2, 1);
+  const Real r = s.proportionality_ratio();
+  EXPECT_NEAR(static_cast<double>(s.initial_turn(1)),
+              static_cast<double>(-std::pow(r, -1.5L)), 1e-12);
+  EXPECT_NEAR(static_cast<double>(s.initial_turn(4)),
+              static_cast<double>(std::pow(r, -1.0L)), 1e-12);
+}
+
+TEST(InitialTurn, OutOfRangeThrows) {
+  const ProportionalSchedule s(3, 2, 1);
+  EXPECT_THROW((void)s.initial_turn(-1), PreconditionError);
+  EXPECT_THROW((void)s.initial_turn(3), PreconditionError);
+}
+
+TEST(Lemma4, ClosedFormMatchesPaperExpression) {
+  // tau0 ((beta+1)^((2f+2)/n) (beta-1)^(1-(2f+2)/n) + 1).
+  for (const auto& [n, f, beta] :
+       std::vector<std::tuple<int, int, Real>>{
+           {3, 1, 5.0L / 3}, {5, 2, 1.4L}, {5, 3, 2.2L}, {2, 1, 3.0L}}) {
+    const ProportionalSchedule s(n, beta, 1);
+    const Real e = static_cast<Real>(2 * f + 2) / n;
+    const Real expected =
+        std::pow(beta + 1, e) * std::pow(beta - 1, 1 - e) + 1;
+    EXPECT_NEAR(static_cast<double>(s.lemma4_detection_time(f)),
+                static_cast<double>(expected), 1e-10)
+        << "n=" << n << " f=" << f;
+  }
+}
+
+TEST(Lemma4, ScalesLinearlyWithTau0) {
+  const ProportionalSchedule unit(3, 2, 1);
+  const ProportionalSchedule scaled(3, 2, 2.5L);
+  EXPECT_NEAR(static_cast<double>(scaled.lemma4_detection_time(1)),
+              static_cast<double>(2.5L * unit.lemma4_detection_time(1)),
+              1e-10);
+}
+
+// ---- Lemma 2 verified against the MATERIALIZED fleet ------------------
+
+TEST(ScheduleSimulation, Lemma2TimeRecurrence) {
+  // t_{i+1} = t_i + tau_i * beta * (r-1), verified on actual trajectories:
+  // the turning waypoints of the built fleet must appear at the predicted
+  // times.
+  const int n = 4;
+  const Real beta = 1.8L;
+  const ProportionalSchedule s(n, beta, 1);
+  const Fleet fleet = s.build_fleet(50);
+  const Real r = s.proportionality_ratio();
+  for (int j = 0; j < 8; ++j) {
+    const Real tau = s.turning_point(j);
+    const RobotId robot = s.robot_of(j);
+    // Find this turning point among the robot's turning waypoints.
+    bool found = false;
+    for (const Waypoint& w : fleet.robot(robot).turning_waypoints()) {
+      if (approx_equal(w.position, tau, 1e-9L)) {
+        EXPECT_NEAR(static_cast<double>(w.time),
+                    static_cast<double>(beta * tau), 1e-9);
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << "turning point " << j << " missing";
+    (void)r;
+  }
+}
+
+TEST(ScheduleSimulation, Lemma4MatchesSimulatedDetection) {
+  // The exact simulator's (f+1)-st distinct visit just past tau0 must
+  // approach Lemma 4's closed form.
+  for (const auto& [n, f] : std::vector<std::pair<int, int>>{
+           {2, 1}, {3, 1}, {3, 2}, {5, 2}, {5, 3}, {4, 2}}) {
+    const ProportionalSchedule s(n, 1 + static_cast<Real>(n) / 4, 1);
+    const Fleet fleet = s.build_fleet(200);
+    const Real probe = 1 + 1e-9L;  // right-limit past tau0 = 1
+    const Real simulated = fleet.detection_time(probe, f);
+    const Real closed_form = s.lemma4_detection_time(f);
+    EXPECT_NEAR(static_cast<double>(simulated / closed_form), 1.0, 1e-6)
+        << "n=" << n << " f=" << f;
+  }
+}
+
+TEST(CheckSchedule, BuiltFleetPassesAllInvariants) {
+  for (const auto& [n, beta] : std::vector<std::pair<int, Real>>{
+           {2, 3.0L}, {3, 5.0L / 3}, {5, 2.0L}, {7, 1.3L}}) {
+    const ProportionalSchedule s(n, beta, 1);
+    const Fleet fleet = s.build_fleet(100);
+    const ScheduleCheck check = check_schedule(fleet, n, beta, 1);
+    EXPECT_TRUE(check.within_cone) << "n=" << n;
+    EXPECT_TRUE(check.unit_speed_legs) << "n=" << n;
+    EXPECT_TRUE(check.proportional)
+        << "n=" << n << " err=" << static_cast<double>(check.max_ratio_error);
+    EXPECT_TRUE(check.robots_interleaved) << "n=" << n;
+    EXPECT_TRUE(check.all_ok());
+  }
+}
+
+TEST(CheckSchedule, DetectsBrokenProportionality) {
+  // A fleet of two UNALIGNED doubling zig-zags is not proportional for
+  // r(2, 3) = 2: the turn ratio alternates around 2.
+  std::vector<Trajectory> robots;
+  robots.push_back(make_origin_zigzag({.beta = 3, .first_turn = 1,
+                                       .min_coverage = 60}));
+  robots.push_back(make_origin_zigzag({.beta = 3, .first_turn = 1.2L,
+                                       .min_coverage = 60}));
+  const Fleet fleet{std::move(robots)};
+  const ScheduleCheck check = check_schedule(fleet, 2, 3, 1);
+  EXPECT_TRUE(check.within_cone);
+  EXPECT_FALSE(check.proportional);
+  EXPECT_FALSE(check.all_ok());
+}
+
+TEST(BuildFleet, AllRobotsCoverExtentBothSides) {
+  const ProportionalSchedule s(5, 2, 1);
+  const Fleet fleet = s.build_fleet(30);
+  EXPECT_EQ(fleet.size(), 5u);
+  EXPECT_TRUE(fleet.covers(1, 30, 5));
+}
+
+TEST(BuildFleet, PrefixLegIsSubUnitSpeed) {
+  const ProportionalSchedule s(4, 2, 1);
+  const Fleet fleet = s.build_fleet(20);
+  for (RobotId id = 0; id < fleet.size(); ++id) {
+    const auto& wps = fleet.robot(id).waypoints();
+    ASSERT_GE(wps.size(), 2u);
+    const Real prefix_speed =
+        std::fabs(wps[1].position - wps[0].position) /
+        (wps[1].time - wps[0].time);
+    EXPECT_NEAR(static_cast<double>(prefix_speed), 1.0 / 2.0, 1e-12)
+        << "prefix leg must run at speed 1/beta";
+  }
+}
+
+TEST(BuildFleet, RejectsExtentBelowTau0) {
+  const ProportionalSchedule s(3, 2, 1);
+  EXPECT_THROW((void)s.build_fleet(0.5L), PreconditionError);
+}
+
+}  // namespace
+}  // namespace linesearch

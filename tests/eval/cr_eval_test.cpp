@@ -1,0 +1,162 @@
+// Tests for eval/cr_eval.hpp — the empirical competitive-ratio evaluator.
+#include "eval/cr_eval.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/algorithm.hpp"
+#include "core/baselines.hpp"
+#include "core/competitive.hpp"
+#include "util/error.hpp"
+
+namespace linesearch {
+namespace {
+
+TEST(MeasureCr, TwoGroupSplitIsExactlyOne) {
+  const TwoGroupSplit split(4, 1);
+  const Fleet fleet = split.build_fleet(200);
+  const CrEvalResult result = measure_cr(fleet, 1, {.window_hi = 50});
+  EXPECT_NEAR(static_cast<double>(result.cr), 1.0, 1e-9);
+}
+
+TEST(MeasureCr, SingleRobotDoublingIsNine) {
+  // The classic cow-path result, recovered empirically.
+  const GroupDoubling single(1, 0);
+  const Fleet fleet = single.build_fleet(2000);
+  const CrEvalResult result = measure_cr(fleet, 0, {.window_hi = 100});
+  EXPECT_NEAR(static_cast<double>(result.cr), 9.0, 1e-6);
+}
+
+TEST(MeasureCr, GroupDoublingStaysNineForAnyF) {
+  const GroupDoubling pack(4, 2);
+  const Fleet fleet = pack.build_fleet(2000);
+  const CrEvalResult r0 = measure_cr(fleet, 0, {.window_hi = 100});
+  const CrEvalResult r2 = measure_cr(fleet, 2, {.window_hi = 100});
+  EXPECT_NEAR(static_cast<double>(r0.cr), 9.0, 1e-6);
+  EXPECT_NEAR(static_cast<double>(r2.cr), 9.0, 1e-6);
+}
+
+TEST(MeasureCr, MatchesTheorem1OnA31) {
+  const ProportionalAlgorithm algo(3, 1);
+  const Fleet fleet = algo.build_fleet(1000);
+  const CrEvalResult result = measure_cr(fleet, 1, {.window_hi = 60});
+  EXPECT_NEAR(static_cast<double>(result.cr),
+              static_cast<double>(algorithm_cr(3, 1)), 1e-6);
+}
+
+TEST(MeasureCr, BothHalfLinesAgreeForProportional) {
+  // Footnote 1 of the paper: the negative side attains the same supremum.
+  const ProportionalAlgorithm algo(5, 3);
+  const Fleet fleet = algo.build_fleet(1500);
+  const CrEvalResult result = measure_cr(fleet, 3, {.window_hi = 50});
+  EXPECT_NEAR(static_cast<double>(result.cr_positive),
+              static_cast<double>(result.cr_negative), 1e-4);
+}
+
+TEST(MeasureCr, ArgmaxSitsJustPastATurningPoint) {
+  const ProportionalAlgorithm algo(3, 1);
+  const Fleet fleet = algo.build_fleet(1000);
+  const CrEvalResult result = measure_cr(fleet, 1, {.window_hi = 60});
+  // The sup is approached at tau*(1+eps) for some turning magnitude tau.
+  const Real magnitude = std::fabs(result.argmax);
+  bool near_turn = false;
+  for (const int side : {+1, -1}) {
+    for (const Real tau : fleet.turning_positions(side)) {
+      if (std::fabs(magnitude / tau - 1) < 1e-6L) near_turn = true;
+    }
+  }
+  EXPECT_TRUE(near_turn) << static_cast<double>(result.argmax);
+}
+
+TEST(MeasureCr, UndetectedProbeThrowsWhenRequired) {
+  // Fleet far too small for the window: the (f+1)-st visit of far targets
+  // never happens inside the trajectories.
+  const ProportionalAlgorithm algo(3, 1);
+  const Fleet fleet = algo.build_fleet(4);
+  EXPECT_THROW((void)measure_cr(fleet, 1, {.window_hi = 4096}),
+               NumericError);
+}
+
+TEST(MeasureCr, UndetectedProbeSkippedWhenNotRequired) {
+  const ProportionalAlgorithm algo(3, 1);
+  const Fleet fleet = algo.build_fleet(4);
+  CrEvalOptions options;
+  options.window_hi = 64;
+  options.require_finite = false;
+  const CrEvalResult result = measure_cr(fleet, 1, options);
+  EXPECT_TRUE(std::isfinite(result.cr));
+  EXPECT_GT(result.cr, 1.0L);
+}
+
+TEST(MeasureCr, GuardsWindow) {
+  const TwoGroupSplit split(4, 1);
+  const Fleet fleet = split.build_fleet(100);
+  EXPECT_THROW((void)measure_cr(fleet, 1, {.window_lo = 0}),
+               PreconditionError);
+  EXPECT_THROW(
+      (void)measure_cr(fleet, 1, {.window_lo = 5, .window_hi = 2}),
+      PreconditionError);
+  EXPECT_THROW((void)measure_cr(fleet, -1), PreconditionError);
+}
+
+TEST(MeasureCr, ProbeCountGrowsWithInteriorSamples) {
+  const ProportionalAlgorithm algo(3, 1);
+  const Fleet fleet = algo.build_fleet(500);
+  CrEvalOptions sparse;
+  sparse.window_hi = 30;
+  sparse.interior_samples = 0;
+  CrEvalOptions dense = sparse;
+  dense.interior_samples = 10;
+  EXPECT_GT(measure_cr(fleet, 1, dense).probes,
+            measure_cr(fleet, 1, sparse).probes);
+}
+
+TEST(KProfile, MatchesDetectionTimes) {
+  const ProportionalAlgorithm algo(3, 1);
+  const Fleet fleet = algo.build_fleet(300);
+  const std::vector<Real> xs{1.5L, -2.0L, 10.0L};
+  const std::vector<Real> profile = k_profile(fleet, 1, xs);
+  ASSERT_EQ(profile.size(), 3u);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_NEAR(static_cast<double>(profile[i]),
+                static_cast<double>(fleet.detection_time(xs[i], 1) /
+                                    std::fabs(xs[i])),
+                1e-15);
+  }
+}
+
+TEST(KProfile, RejectsZeroPosition) {
+  const TwoGroupSplit split(4, 1);
+  const Fleet fleet = split.build_fleet(10);
+  EXPECT_THROW((void)k_profile(fleet, 1, {0.0L}), PreconditionError);
+}
+
+TEST(KProfile, Lemma3ShapeDecreasingBetweenTurns) {
+  // Between two consecutive turning magnitudes K is decreasing (Lemma 3).
+  const ProportionalAlgorithm algo(3, 1);
+  const Fleet fleet = algo.build_fleet(500);
+  const std::vector<Real> turns = fleet.turning_positions(+1);
+  ASSERT_GE(turns.size(), 2u);
+  // Pick the first two turning magnitudes above 1 and sample within.
+  Real lo = 0, hi = 0;
+  for (std::size_t i = 0; i + 1 < turns.size(); ++i) {
+    if (turns[i] >= 1) {
+      lo = turns[i];
+      hi = turns[i + 1];
+      break;
+    }
+  }
+  ASSERT_GT(lo, 0.0L);
+  std::vector<Real> xs;
+  for (int s = 1; s <= 8; ++s) {
+    xs.push_back(lo + (hi - lo) * static_cast<Real>(s) / 9);
+  }
+  const std::vector<Real> profile = k_profile(fleet, 1, xs);
+  for (std::size_t i = 1; i < profile.size(); ++i) {
+    EXPECT_LT(profile[i], profile[i - 1] + 1e-12L);
+  }
+}
+
+}  // namespace
+}  // namespace linesearch

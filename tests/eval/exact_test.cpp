@@ -1,0 +1,161 @@
+// Tests for eval/exact.hpp — the certified, probe-free CR evaluator.
+#include "eval/exact.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/algorithm.hpp"
+#include "core/baselines.hpp"
+#include "core/competitive.hpp"
+#include "eval/cr_eval.hpp"
+#include "util/error.hpp"
+
+namespace linesearch {
+namespace {
+
+TEST(CertifiedCr, MatchesTheorem1ToRoundOff) {
+  // The whole point: NO probe epsilon, so agreement with the closed form
+  // is limited only by long-double arithmetic — orders tighter than
+  // measure_cr's 1e-9.
+  for (const auto& [n, f] : std::vector<std::pair<int, int>>{
+           {2, 1}, {3, 1}, {3, 2}, {5, 2}, {5, 3}}) {
+    const ProportionalAlgorithm algo(n, f);
+    const Fleet fleet = algo.build_fleet(2000);
+    const ExactCrResult exact =
+        certified_cr(fleet, f, {.window_hi = 16});
+    const Real theory = algorithm_cr(n, f);
+    EXPECT_LT(std::fabs(exact.cr - theory) / theory, 1e-15L)
+        << "n=" << n << " f=" << f
+        << " got " << static_cast<double>(exact.cr);
+  }
+}
+
+TEST(CertifiedCr, TightensMeasureCr) {
+  const ProportionalAlgorithm algo(3, 1);
+  const Fleet fleet = algo.build_fleet(2000);
+  const Real probed = measure_cr(fleet, 1, {.window_hi = 16}).cr;
+  const Real exact = certified_cr(fleet, 1, {.window_hi = 16}).cr;
+  // Probing approaches the sup from below; certified nails it.
+  EXPECT_GE(exact, probed);
+  EXPECT_LT(exact - probed, 1e-7L);
+  EXPECT_LT(std::fabs(exact - algorithm_cr(3, 1)), 1e-15L);
+}
+
+TEST(CertifiedCr, ArgSupIsATurningMagnitude) {
+  const ProportionalAlgorithm algo(3, 1);
+  const Fleet fleet = algo.build_fleet(2000);
+  const ExactCrResult exact = certified_cr(fleet, 1, {.window_hi = 16});
+  bool found = false;
+  for (const int side : {+1, -1}) {
+    for (const Real tau : fleet.turning_positions(side)) {
+      if (approx_equal(std::fabs(exact.argsup), tau, 1e-12L)) found = true;
+    }
+  }
+  EXPECT_TRUE(found) << static_cast<double>(exact.argsup);
+}
+
+TEST(CertifiedCr, TwoGroupSplitIsExactlyOne) {
+  const TwoGroupSplit split(4, 1);
+  const Fleet fleet = split.build_fleet(300);
+  const ExactCrResult exact = certified_cr(fleet, 1, {.window_hi = 64});
+  EXPECT_EQ(exact.cr, 1.0L);  // exactly, not approximately
+}
+
+TEST(CertifiedCr, NonUnitSlopeLinesStillEvaluateExactly) {
+  // Uniform-offset robots sweep part of the window on their 1/beta-speed
+  // prefixes (first-visit lines of slope beta, not 1); the certified
+  // evaluator must still dominate the probed estimate and stay close.
+  const UniformOffsetZigzag uniform(3, 1);
+  const Fleet fleet = uniform.build_fleet(2000);
+  const ExactCrResult exact = certified_cr(fleet, 1, {.window_hi = 12});
+  const Real probed = measure_cr(fleet, 1,
+                                 {.window_hi = 12, .interior_samples = 32})
+                          .cr;
+  EXPECT_GE(exact.cr, probed - 1e-9L);
+  EXPECT_LT(exact.cr, probed + 0.05L);
+}
+
+TEST(CertifiedCr, OrderStatisticBreakpointsAreExamined) {
+  // Hand-built fleet where the (f+1)-st order statistic switches lines
+  // INSIDE a critical interval: robot A sweeps right at speed 1/2
+  // (line 2x), robot B waits 5 then sweeps at speed 1 (line 5+x); the
+  // max switches at x = 5.  Robots C, D mirror them leftward.
+  const auto slow = [](const int side) {
+    return Trajectory({{0, 0}, {20, static_cast<Real>(side) * 10}});
+  };
+  const auto late = [](const int side) {
+    TrajectoryBuilder b;
+    b.start_at(0, 0);
+    b.wait_until(5).move_to(static_cast<Real>(side) * 10);
+    return std::move(b).build();
+  };
+  const Fleet fleet({slow(+1), late(+1), slow(-1), late(-1)});
+
+  const ExactCrResult exact = certified_cr(fleet, 1, {.window_hi = 9});
+  EXPECT_GE(exact.breakpoints, 2);  // the x = 5 crossing on each side
+  // T_2(x) = max(2x, 5+x); K = max(2, 1 + 5/x); sup over [1,9] is 6 at 1.
+  EXPECT_LT(std::fabs(exact.cr - 6.0L), 1e-15L);
+  EXPECT_NEAR(static_cast<double>(std::fabs(exact.argsup)), 1.0, 1e-15);
+}
+
+TEST(CertifiedCr, ClassicCowPathSupremum) {
+  // Largest turning magnitude in [1, 12] is 8, so the exact sup there is
+  // 9 - 2/8 = 8.75 (classic affine-start correction).
+  const ClassicCowPath classic(1, 0);
+  const Fleet fleet = classic.build_fleet(3000);
+  const ExactCrResult exact = certified_cr(fleet, 0, {.window_hi = 12});
+  EXPECT_LT(std::fabs(exact.cr - 8.75L), 1e-15L);
+  EXPECT_NEAR(static_cast<double>(exact.argsup), -8.0, 1e-12);
+}
+
+TEST(CertifiedCr, UncoveredWindowThrowsOrSkips) {
+  const ProportionalAlgorithm algo(3, 1);
+  const Fleet fleet = algo.build_fleet(4);
+  EXPECT_THROW((void)certified_cr(fleet, 1, {.window_hi = 4096}),
+               NumericError);
+  ExactCrOptions lenient;
+  lenient.window_hi = 4096;
+  lenient.require_finite = false;
+  const ExactCrResult exact = certified_cr(fleet, 1, lenient);
+  EXPECT_TRUE(std::isfinite(exact.cr));
+  EXPECT_GT(exact.cr, 1.0L);
+}
+
+TEST(CertifiedCr, GuardsArguments) {
+  const ProportionalAlgorithm algo(3, 1);
+  const Fleet fleet = algo.build_fleet(50);
+  EXPECT_THROW((void)certified_cr(fleet, -1), PreconditionError);
+  EXPECT_THROW((void)certified_cr(fleet, 3), PreconditionError);
+  EXPECT_THROW((void)certified_cr(fleet, 1, {.window_lo = 0}),
+               PreconditionError);
+  EXPECT_THROW(
+      (void)certified_cr(fleet, 1, {.window_lo = 9, .window_hi = 3}),
+      PreconditionError);
+}
+
+TEST(CertifiedCr, IntervalAndBreakpointCountsReported) {
+  const ProportionalAlgorithm algo(5, 2);
+  const Fleet fleet = algo.build_fleet(500);
+  const ExactCrResult exact = certified_cr(fleet, 2, {.window_hi = 32});
+  EXPECT_GT(exact.intervals, 4);
+  // Pure unit-speed schedule inside the window: parallel lines, very few
+  // (possibly zero) crossings.
+  EXPECT_GE(exact.breakpoints, 0);
+}
+
+TEST(CertifiedCr, AgreesWithMeasureAcrossTheGrid) {
+  for (const auto& [n, f] : std::vector<std::pair<int, int>>{
+           {4, 2}, {4, 3}, {7, 4}, {8, 5}}) {
+    const ProportionalAlgorithm algo(n, f);
+    const Fleet fleet = algo.build_fleet(1000);
+    const Real exact = certified_cr(fleet, f, {.window_hi = 10}).cr;
+    const Real probed = measure_cr(fleet, f, {.window_hi = 10}).cr;
+    EXPECT_NEAR(static_cast<double>(exact), static_cast<double>(probed),
+                1e-7)
+        << n << "," << f;
+  }
+}
+
+}  // namespace
+}  // namespace linesearch

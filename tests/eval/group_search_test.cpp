@@ -1,0 +1,65 @@
+// Tests for eval/group_search.hpp — last-arrival semantics.
+#include "eval/group_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/algorithm.hpp"
+#include "core/baselines.hpp"
+#include "core/competitive.hpp"
+#include "util/error.hpp"
+
+namespace linesearch {
+namespace {
+
+TEST(LastArrival, MaxOfFirstVisits) {
+  const Fleet fleet({Trajectory({{0, 0}, {10, 10}}),
+                     Trajectory({{3, 0}, {13, 10}})});
+  EXPECT_EQ(last_arrival_time(fleet, 5), 8.0L);  // visits at 5 and 8
+  EXPECT_TRUE(std::isinf(last_arrival_time(fleet, -1)));
+}
+
+TEST(LastArrival, EqualsDetectionWithAllButOneFaulty) {
+  const ProportionalAlgorithm algo(3, 1);
+  const Fleet fleet = algo.build_fleet(300);
+  for (const Real x : {1.5L, -4.0L, 9.0L}) {
+    EXPECT_EQ(last_arrival_time(fleet, x), fleet.detection_time(x, 2));
+  }
+}
+
+TEST(GroupCr, GroupDoublingAchievesNine) {
+  // [Chrobak et al.]: many searchers moving together do exactly as well
+  // as one — the group CR of the pack is the cow-path 9.
+  const GroupDoubling pack(4, 1);
+  const Fleet fleet = pack.build_fleet(2000);
+  const CrEvalResult result = measure_group_cr(fleet, {.window_hi = 64});
+  EXPECT_NEAR(static_cast<double>(result.cr), 9.0, 1e-6);
+}
+
+TEST(GroupCr, SpreadOutScheduleIsWorseForGroupSearch) {
+  // A(3,1) optimizes first-RELIABLE-arrival by spreading robots out;
+  // under last-arrival semantics that spread is a liability and the
+  // group CR exceeds 9.
+  const ProportionalAlgorithm algo(3, 1);
+  const Fleet fleet = algo.build_fleet(2000);
+  const Real group = measure_group_cr(fleet, {.window_hi = 32}).cr;
+  const Real individual = measure_cr(fleet, 1, {.window_hi = 32}).cr;
+  EXPECT_GT(group, 9.0L);
+  EXPECT_GT(group, individual);
+}
+
+TEST(GroupCr, TwoGroupSplitNeverAssembles) {
+  // The split's two halves never meet: last-arrival time is infinite
+  // everywhere, demonstrating that first-arrival optimality can be
+  // maximally bad for group search.
+  const TwoGroupSplit split(4, 1);
+  const Fleet fleet = split.build_fleet(100);
+  EXPECT_TRUE(std::isinf(last_arrival_time(fleet, 5)));
+  CrEvalOptions options;
+  options.window_hi = 16;
+  EXPECT_THROW((void)measure_group_cr(fleet, options), NumericError);
+}
+
+}  // namespace
+}  // namespace linesearch

@@ -1,0 +1,100 @@
+// Tests for eval/montecarlo.hpp — the random-fault extension study.
+#include "eval/montecarlo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/algorithm.hpp"
+#include "core/baselines.hpp"
+#include "util/error.hpp"
+
+namespace linesearch {
+namespace {
+
+Fleet a31_fleet() { return ProportionalAlgorithm(3, 1).build_fleet(800); }
+
+TEST(MonteCarlo, SamplesBoundedByAdversarialCr) {
+  const Fleet fleet = a31_fleet();
+  MonteCarloOptions options;
+  options.trials = 400;
+  options.target_hi = 32;
+  const MonteCarloResult result = random_fault_study(fleet, 1, options);
+  EXPECT_EQ(result.ratio.count, 400u);
+  EXPECT_LE(result.worst_sample, result.adversarial_cr * (1 + 1e-9L));
+  EXPECT_GE(result.ratio.min, 1.0L);  // cannot beat distance/speed
+}
+
+TEST(MonteCarlo, MeanBelowWorstCase) {
+  const Fleet fleet = a31_fleet();
+  MonteCarloOptions options;
+  options.trials = 400;
+  options.target_hi = 32;
+  const MonteCarloResult result = random_fault_study(fleet, 1, options);
+  EXPECT_LT(result.ratio.mean, result.adversarial_cr);
+  EXPECT_LE(result.median, result.p95);
+  EXPECT_LE(result.p95, result.worst_sample + 1e-12L);
+}
+
+TEST(MonteCarlo, DeterministicForFixedSeed) {
+  const Fleet fleet = a31_fleet();
+  MonteCarloOptions options;
+  options.trials = 100;
+  options.target_hi = 16;
+  const MonteCarloResult a = random_fault_study(fleet, 1, options);
+  const MonteCarloResult b = random_fault_study(fleet, 1, options);
+  EXPECT_EQ(a.ratio.mean, b.ratio.mean);
+  EXPECT_EQ(a.worst_sample, b.worst_sample);
+}
+
+TEST(MonteCarlo, DifferentSeedsDiffer) {
+  const Fleet fleet = a31_fleet();
+  MonteCarloOptions a_options;
+  a_options.trials = 100;
+  a_options.target_hi = 16;
+  MonteCarloOptions b_options = a_options;
+  b_options.seed = 999;
+  const MonteCarloResult a = random_fault_study(fleet, 1, a_options);
+  const MonteCarloResult b = random_fault_study(fleet, 1, b_options);
+  EXPECT_NE(a.ratio.mean, b.ratio.mean);
+}
+
+TEST(MonteCarlo, ZeroFaultsMatchesFaultFreeSearch) {
+  // With f = 0 the "random" fault set is empty; every ratio equals the
+  // fault-free detection ratio, which for A(3,1) lies in [1, CR].
+  const Fleet fleet = a31_fleet();
+  MonteCarloOptions options;
+  options.trials = 50;
+  options.target_hi = 16;
+  const MonteCarloResult result = random_fault_study(fleet, 0, options);
+  EXPECT_GE(result.ratio.min, 1.0L);
+  EXPECT_LE(result.worst_sample, result.adversarial_cr * (1 + 1e-9L));
+}
+
+TEST(MonteCarlo, GroupDoublingIsFaultOblivious) {
+  // Identical trajectories: random faults never change the ratio, so the
+  // sample spread collapses to the fault-free profile.
+  const GroupDoubling pack(3, 2);
+  const Fleet fleet = pack.build_fleet(500);
+  MonteCarloOptions options;
+  options.trials = 200;
+  options.target_hi = 16;
+  const MonteCarloResult with_faults = random_fault_study(fleet, 2, options);
+  const MonteCarloResult without = random_fault_study(fleet, 0, options);
+  EXPECT_NEAR(static_cast<double>(with_faults.ratio.mean),
+              static_cast<double>(without.ratio.mean), 1e-12);
+}
+
+TEST(MonteCarlo, GuardsArguments) {
+  const Fleet fleet = a31_fleet();
+  MonteCarloOptions bad_trials;
+  bad_trials.trials = 0;
+  EXPECT_THROW((void)random_fault_study(fleet, 1, bad_trials),
+               PreconditionError);
+  MonteCarloOptions bad_window;
+  bad_window.target_hi = 0.5L;
+  EXPECT_THROW((void)random_fault_study(fleet, 1, bad_window),
+               PreconditionError);
+  EXPECT_THROW((void)random_fault_study(fleet, 3), PreconditionError);
+}
+
+}  // namespace
+}  // namespace linesearch

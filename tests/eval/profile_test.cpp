@@ -1,0 +1,156 @@
+// Tests for eval/profile.hpp — exact piecewise detection-time profiles.
+#include "eval/profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/algorithm.hpp"
+#include "core/baselines.hpp"
+#include "core/competitive.hpp"
+#include "util/error.hpp"
+
+namespace linesearch {
+namespace {
+
+Fleet a31() { return ProportionalAlgorithm(3, 1).build_fleet(1500); }
+
+TEST(Profile, PiecesTileTheWindowContiguously) {
+  const std::vector<ProfilePiece> pieces =
+      detection_profile(a31(), 1, +1, {.window_hi = 16});
+  ASSERT_FALSE(pieces.empty());
+  EXPECT_EQ(pieces.front().lo, 1.0L);
+  // The window edge may be one ulp away from a turning point (r^3 = 16
+  // exactly in reals but not in floats), so the tiling is exact up to
+  // sub-epsilon skipped bands.
+  EXPECT_NEAR(static_cast<double>(pieces.back().hi), 16.0, 1e-12);
+  for (std::size_t i = 0; i + 1 < pieces.size(); ++i) {
+    EXPECT_TRUE(approx_equal(pieces[i].hi, pieces[i + 1].lo, 1e-14L)) << i;
+    EXPECT_LT(pieces[i].lo, pieces[i].hi);
+  }
+}
+
+TEST(Profile, ExactAgainstDetectionQueries) {
+  const Fleet fleet = a31();
+  const std::vector<ProfilePiece> pieces =
+      detection_profile(fleet, 1, +1, {.window_hi = 16});
+  EXPECT_LT(profile_max_error(fleet, 1, pieces, 8), 1e-12L);
+}
+
+TEST(Profile, NegativeSideMirroredAndExact) {
+  const Fleet fleet = a31();
+  const std::vector<ProfilePiece> pieces =
+      detection_profile(fleet, 1, -1, {.window_hi = 16});
+  ASSERT_FALSE(pieces.empty());
+  EXPECT_NEAR(static_cast<double>(pieces.front().lo), -16.0, 1e-12);
+  EXPECT_EQ(pieces.back().hi, -1.0L);
+  for (std::size_t i = 0; i + 1 < pieces.size(); ++i) {
+    EXPECT_TRUE(approx_equal(pieces[i].hi, pieces[i + 1].lo, 1e-14L));
+  }
+  EXPECT_LT(profile_max_error(fleet, 1, pieces, 8), 1e-12L);
+}
+
+TEST(Profile, UnitSlopesForPureZigZagSchedules) {
+  // Inside the window the A(3,1) robots visit every point moving
+  // outward at unit speed, so every piece has slope +1 on the positive
+  // side (Lemma 3's "K decreasing between turning points" in exact
+  // form) and -1 mirrored.
+  const std::vector<ProfilePiece> positive =
+      detection_profile(a31(), 1, +1, {.window_hi = 16});
+  for (const ProfilePiece& piece : positive) {
+    EXPECT_NEAR(static_cast<double>(piece.slope), 1.0, 1e-12);
+  }
+  const std::vector<ProfilePiece> negative =
+      detection_profile(a31(), 1, -1, {.window_hi = 16});
+  for (const ProfilePiece& piece : negative) {
+    EXPECT_NEAR(static_cast<double>(piece.slope), -1.0, 1e-12);
+  }
+}
+
+TEST(Profile, JumpsUpAtPieceBoundaries) {
+  // Lemma 3 exactly: at each piece boundary the next piece starts ABOVE
+  // where the previous ended (an upward jump of T at turning points).
+  const std::vector<ProfilePiece> pieces =
+      detection_profile(a31(), 1, +1, {.window_hi = 16});
+  ASSERT_GE(pieces.size(), 3u);
+  for (std::size_t i = 0; i + 1 < pieces.size(); ++i) {
+    EXPECT_GT(pieces[i + 1].value_at_lo,
+              pieces[i].value_at_hi() - 1e-12L);
+  }
+}
+
+TEST(Profile, SupremumMatchesCertifiedCr) {
+  // max over pieces of value_at_lo / lo equals the certified CR (the sup
+  // is attained at piece left ends for slope-1 pieces).
+  const Fleet fleet = a31();
+  const std::vector<ProfilePiece> pieces =
+      detection_profile(fleet, 1, +1, {.window_hi = 16});
+  Real sup = 0;
+  for (const ProfilePiece& piece : pieces) {
+    sup = std::max(sup, piece.value_at_lo / piece.lo);
+  }
+  EXPECT_LT(std::fabs(sup - algorithm_cr(3, 1)), 1e-14L);
+}
+
+TEST(Profile, BreakpointsInsideCriticalIntervals) {
+  // The crossing fleet from the exact-evaluator tests: T_2 switches
+  // lines inside an interval; the profile must cut a piece there.
+  const Fleet fleet({Trajectory({{0, 0}, {20, 10}}),
+                     Trajectory({{0, 0}, {5, 0}, {15, 10}}),
+                     Trajectory({{0, 0}, {20, -10}}),
+                     Trajectory({{0, 0}, {5, 0}, {15, -10}})});
+  const std::vector<ProfilePiece> pieces = detection_profile(
+      fleet, 1, +1, {.window_lo = 1, .window_hi = 9});
+  // T_2(x) = max(2x, 5+x): the late robot (5+x) dominates up to x = 5,
+  // the slow robot (2x) beyond.
+  ASSERT_EQ(pieces.size(), 2u);
+  EXPECT_NEAR(static_cast<double>(pieces[0].slope), 1.0, 1e-12);
+  EXPECT_NEAR(static_cast<double>(pieces[0].hi), 5.0, 1e-12);
+  EXPECT_NEAR(static_cast<double>(pieces[1].slope), 2.0, 1e-12);
+  EXPECT_LT(profile_max_error(fleet, 1, pieces, 8), 1e-15L);
+}
+
+TEST(Profile, CoalesceMergesContinuations) {
+  const Fleet fleet({Trajectory({{0, 0}, {20, 10}}),
+                     Trajectory({{0, 0}, {20, -10}})});
+  // One half-speed sweeper per side: with f = 0, T_1(x) = 2x on the
+  // whole window — a single piece after coalescing.
+  const std::vector<ProfilePiece> merged = detection_profile(
+      fleet, 0, +1, {.window_lo = 1, .window_hi = 9});
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_NEAR(static_cast<double>(merged[0].slope), 2.0, 1e-12);
+  ProfileOptions no_merge;
+  no_merge.window_lo = 1;
+  no_merge.window_hi = 9;
+  no_merge.coalesce = false;
+  const std::vector<ProfilePiece> raw =
+      detection_profile(fleet, 0, +1, no_merge);
+  EXPECT_GE(raw.size(), merged.size());
+}
+
+TEST(Profile, UncoveredWindowThrowsOrSkips) {
+  const Fleet fleet({Trajectory({{0, 0}, {5, 5}})});
+  EXPECT_THROW((void)detection_profile(fleet, 0, +1,
+                                       {.window_lo = 1, .window_hi = 9}),
+               NumericError);
+  ProfileOptions lenient;
+  lenient.window_lo = 1;
+  lenient.window_hi = 9;
+  lenient.require_finite = false;
+  const std::vector<ProfilePiece> pieces =
+      detection_profile(fleet, 0, +1, lenient);
+  ASSERT_FALSE(pieces.empty());
+  EXPECT_LE(pieces.back().hi, 5.0L + 1e-12L);
+}
+
+TEST(Profile, GuardsArguments) {
+  const Fleet fleet = a31();
+  EXPECT_THROW((void)detection_profile(fleet, -1, +1), PreconditionError);
+  EXPECT_THROW((void)detection_profile(fleet, 3, +1), PreconditionError);
+  EXPECT_THROW((void)detection_profile(fleet, 1, 0), PreconditionError);
+  EXPECT_THROW((void)profile_max_error(fleet, 1, {}, 0),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace linesearch

@@ -1,0 +1,109 @@
+// Tests for eval/randomized.hpp — randomized schedules and the classic
+// Kao-Reif-Tate constant.
+#include "eval/randomized.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/optimize.hpp"
+#include "core/competitive.hpp"
+#include "util/error.hpp"
+
+namespace linesearch {
+namespace {
+
+TEST(RandomizedSingle, MatchesClosedFormExpectation) {
+  // For the randomly-scaled cone zig-zag with expansion factor kappa,
+  // E[T(x)]/x = 1 + (kappa+1)/ln(kappa) at every phase (the schedule
+  // phase is uniformized by the scaling).  Midpoint quadrature with m
+  // offsets has O(1/m^2) error.
+  for (const Real kappa : {2.0L, 3.0L, 3.6L, 5.0L}) {
+    RandomizedOptions options;
+    options.offset_samples = 256;
+    options.phase_samples = 16;
+    const RandomizedResult result = randomized_single_cr(kappa, options);
+    const Real expected = 1 + (kappa + 1) / std::log(kappa);
+    // The m-point offset lattice inherits a worst-phase bias of up to a
+    // factor kappa^(2/m) (the lattice average of kappa^(g mod 2) depends
+    // on the phase remainder); tolerate exactly that plus quadrature
+    // noise.
+    const Real tolerance =
+        expected * (std::pow(kappa, Real{2} / 256) - 1) + 3e-3L;
+    EXPECT_NEAR(static_cast<double>(result.expected_cr),
+                static_cast<double>(expected),
+                static_cast<double>(tolerance))
+        << "kappa=" << static_cast<double>(kappa);
+  }
+}
+
+TEST(RandomizedSingle, DeterministicContrastIsTheCowPathFormula) {
+  // The U = 0 schedule's worst probed ratio approaches the deterministic
+  // 1 + 2 kappa^2/(kappa - 1) (equal to 9 at kappa = 2).
+  RandomizedOptions options;
+  options.offset_samples = 8;
+  options.phase_samples = 128;
+  const RandomizedResult result = randomized_single_cr(2.0L, options);
+  EXPECT_NEAR(static_cast<double>(result.deterministic), 9.0, 0.1);
+}
+
+TEST(RandomizedSingle, KaoReifTateOptimum) {
+  // Minimizing the expected CR over kappa reproduces the classic
+  // randomized-search constant ~4.5911 at kappa ~ 3.5911.
+  RandomizedOptions options;
+  options.offset_samples = 512;
+  options.phase_samples = 16;
+  // The phase-averaged estimator: the theoretical expectation is
+  // phase-independent, and averaging suppresses the offset-lattice bias
+  // that tilts the sup-over-phase estimator.
+  const MinimizeResult best = golden_section(
+      [&](const Real kappa) {
+        return randomized_single_cr(kappa, options).mean_expected_cr;
+      },
+      2.0L, 6.0L, {.tolerance = 1e-6L, .max_iterations = 60});
+  EXPECT_NEAR(static_cast<double>(best.x), 3.5911, 0.12);
+  EXPECT_NEAR(static_cast<double>(best.fx), 4.5911, 0.02);
+}
+
+TEST(RandomizedSingle, RandomizationBeatsDeterminismForEveryKappa) {
+  for (const Real kappa : {2.0L, 3.0L, 4.0L}) {
+    RandomizedOptions options;
+    options.offset_samples = 64;
+    options.phase_samples = 32;
+    const RandomizedResult result = randomized_single_cr(kappa, options);
+    EXPECT_LT(result.expected_cr, result.deterministic)
+        << static_cast<double>(kappa);
+  }
+}
+
+TEST(RandomizedProportional, BeatsTheorem1InExpectation) {
+  // Scaling A(n, f) by r^U drops the worst-case expectation strictly
+  // below the deterministic competitive ratio.
+  for (const auto& [n, f] :
+       std::vector<std::pair<int, int>>{{3, 1}, {5, 3}}) {
+    RandomizedOptions options;
+    options.offset_samples = 64;
+    options.phase_samples = 24;
+    const RandomizedResult result =
+        randomized_proportional_cr(n, f, options);
+    EXPECT_LT(result.expected_cr, algorithm_cr(n, f) * 0.95L)
+        << n << "," << f;
+    EXPECT_GT(result.expected_cr, 1.0L);
+    // The deterministic realization's probed worst ratio approaches
+    // Theorem 1 from below (the sup is a right-limit the phase grid
+    // cannot sit on exactly).
+    EXPECT_GT(result.deterministic, algorithm_cr(n, f) * 0.97L);
+    EXPECT_LE(result.deterministic, algorithm_cr(n, f) * (1 + 1e-9L));
+  }
+}
+
+TEST(Randomized, Guards) {
+  EXPECT_THROW((void)randomized_single_cr(1.0L), PreconditionError);
+  RandomizedOptions bad;
+  bad.offset_samples = 1;
+  EXPECT_THROW((void)randomized_single_cr(2, bad), PreconditionError);
+  EXPECT_THROW((void)randomized_proportional_cr(4, 1), PreconditionError);
+}
+
+}  // namespace
+}  // namespace linesearch

@@ -1,0 +1,90 @@
+// Tests for eval/validation.hpp — experiment E1's machinery.
+#include "eval/validation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/competitive.hpp"
+#include "core/lower_bound.hpp"
+#include "util/error.hpp"
+
+namespace linesearch {
+namespace {
+
+TEST(ValidatePair, ProportionalRegimeAgreesWithTheorem1) {
+  const ValidationRow row = validate_pair(3, 1, {.window_hi = 40});
+  EXPECT_EQ(row.n, 3);
+  EXPECT_EQ(row.f, 1);
+  EXPECT_EQ(row.strategy, "A(3,1)");
+  EXPECT_NEAR(static_cast<double>(row.theory_cr),
+              static_cast<double>(algorithm_cr(3, 1)), 1e-12);
+  EXPECT_LT(row.relative_gap, 1e-6L);
+  EXPECT_NEAR(static_cast<double>(row.lower_bound),
+              static_cast<double>(theorem2_alpha(3)), 1e-9);
+}
+
+TEST(ValidatePair, CertifiedColumnsAreMachinePrecision) {
+  // The probe-free evaluator's gap must be orders below the probe
+  // method's, and the certified value must dominate the probed one.
+  const ValidationRow row = validate_pair(5, 2, {.window_hi = 24});
+  EXPECT_LT(row.certified_gap, 1e-14L);
+  EXPECT_LT(row.certified_gap, row.relative_gap);
+  EXPECT_GE(row.certified_cr, row.measured_cr);
+}
+
+TEST(ValidatePair, TrivialRegimeCertifiedIsExactlyOne) {
+  const ValidationRow row = validate_pair(6, 2, {.window_hi = 24});
+  EXPECT_EQ(row.certified_cr, 1.0L);
+  EXPECT_EQ(row.certified_gap, 0.0L);
+}
+
+TEST(ValidatePair, TrivialRegimeMeasuresOne) {
+  const ValidationRow row = validate_pair(4, 1, {.window_hi = 40});
+  EXPECT_EQ(row.theory_cr, 1.0L);
+  EXPECT_NEAR(static_cast<double>(row.measured_cr), 1.0, 1e-9);
+  EXPECT_EQ(row.lower_bound, 1.0L);
+}
+
+TEST(ValidatePair, MeasuredNeverExceedsTheory) {
+  // The measured sup is a right-limit approached from below.
+  for (const auto& [n, f] : std::vector<std::pair<int, int>>{
+           {2, 1}, {3, 2}, {5, 2}}) {
+    const ValidationRow row = validate_pair(n, f, {.window_hi = 30});
+    EXPECT_LE(row.measured_cr, row.theory_cr * (1 + 1e-9L))
+        << n << "," << f;
+    EXPECT_GE(row.measured_cr, row.lower_bound * (1 - 1e-9L));
+  }
+}
+
+TEST(ValidatePair, GuardsOptions) {
+  EXPECT_THROW((void)validate_pair(3, 1, {.window_hi = 0.5L}),
+               PreconditionError);
+  ValidationOptions bad;
+  bad.extent_factor = 1;
+  EXPECT_THROW((void)validate_pair(3, 1, bad), PreconditionError);
+}
+
+TEST(ValidateGrid, OneRowPerPair) {
+  const std::vector<ValidationRow> rows =
+      validate_grid({{2, 1}, {3, 1}, {4, 1}}, {.window_hi = 20});
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].n, 2);
+  EXPECT_EQ(rows[2].strategy, "two-group split(4,1)");
+}
+
+TEST(RegimePairs, EnumeratesExactlyTheRegime) {
+  const std::vector<std::pair<int, int>> pairs =
+      proportional_regime_pairs(5);
+  // n=2:f=1; n=3:f=1,2; n=4:f=2,3; n=5:f=2,3,4.
+  EXPECT_EQ(pairs.size(), 8u);
+  for (const auto& [n, f] : pairs) {
+    EXPECT_TRUE(in_proportional_regime(n, f)) << n << "," << f;
+    EXPECT_LE(n, 5);
+  }
+}
+
+TEST(RegimePairs, GuardsNMax) {
+  EXPECT_THROW((void)proportional_regime_pairs(1), PreconditionError);
+}
+
+}  // namespace
+}  // namespace linesearch

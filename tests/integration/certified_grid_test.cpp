@@ -1,0 +1,102 @@
+// Grid-wide property suites for the exact tooling: the certified
+// evaluator, the exact profiles, the runtime and serialization, each
+// swept across every (n, f) pair of the proportional regime.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "core/algorithm.hpp"
+#include "core/competitive.hpp"
+#include "eval/exact.hpp"
+#include "eval/profile.hpp"
+#include "eval/validation.hpp"
+#include "runtime/world.hpp"
+#include "sim/serialize.hpp"
+
+namespace linesearch {
+namespace {
+
+class ExactToolingGrid
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(ExactToolingGrid, CertifiedCrMatchesTheoremAtMachinePrecision) {
+  const auto [n, f] = GetParam();
+  const ProportionalAlgorithm algo(n, f);
+  const Fleet fleet = algo.build_fleet(500);
+  const Real exact = certified_cr(fleet, f, {.window_hi = 10}).cr;
+  const Real theory = algorithm_cr(n, f);
+  EXPECT_LT(std::fabs(exact - theory) / theory, 1e-14L)
+      << static_cast<double>(exact) << " vs "
+      << static_cast<double>(theory);
+}
+
+TEST_P(ExactToolingGrid, ProfilesAreExactOnBothSides) {
+  const auto [n, f] = GetParam();
+  const ProportionalAlgorithm algo(n, f);
+  const Fleet fleet = algo.build_fleet(500);
+  for (const int side : {+1, -1}) {
+    const std::vector<ProfilePiece> pieces =
+        detection_profile(fleet, f, side, {.window_hi = 10});
+    ASSERT_FALSE(pieces.empty()) << side;
+    EXPECT_LT(profile_max_error(fleet, f, pieces, 5), 1e-12L) << side;
+  }
+}
+
+TEST_P(ExactToolingGrid, ProfileSupEqualsCertifiedSup) {
+  const auto [n, f] = GetParam();
+  const ProportionalAlgorithm algo(n, f);
+  const Fleet fleet = algo.build_fleet(500);
+  Real sup = 0;
+  for (const int side : {+1, -1}) {
+    for (const ProfilePiece& piece :
+         detection_profile(fleet, f, side, {.window_hi = 10})) {
+      // K = T/|x| is monotone on each piece: check both piece ends.
+      sup = std::max(sup, piece.value_at_lo / std::fabs(piece.lo));
+      sup = std::max(sup, piece.value_at_hi() / std::fabs(piece.hi));
+    }
+  }
+  const Real certified = certified_cr(fleet, f, {.window_hi = 10}).cr;
+  EXPECT_LT(std::fabs(sup - certified) / certified, 1e-14L);
+}
+
+TEST_P(ExactToolingGrid, OnlineControllersReproduceTheSchedule) {
+  const auto [n, f] = GetParam();
+  const Fleet online = run_proportional_controllers(n, f, 80);
+  const Fleet offline = ProportionalAlgorithm(n, f).build_fleet(80);
+  ASSERT_EQ(online.size(), offline.size());
+  for (RobotId id = 0; id < online.size(); ++id) {
+    const auto& a = online.robot(id).waypoints();
+    const auto& b = offline.robot(id).waypoints();
+    ASSERT_EQ(a.size(), b.size()) << id;
+    for (std::size_t w = 0; w < a.size(); ++w) {
+      EXPECT_NEAR(static_cast<double>(a[w].time),
+                  static_cast<double>(b[w].time), 1e-12);
+      EXPECT_NEAR(static_cast<double>(a[w].position),
+                  static_cast<double>(b[w].position), 1e-12);
+    }
+  }
+}
+
+TEST_P(ExactToolingGrid, SerializationPreservesTheCertifiedCr) {
+  const auto [n, f] = GetParam();
+  const ProportionalAlgorithm algo(n, f);
+  const Fleet fleet = algo.build_fleet(500);
+  const Fleet parsed = fleet_from_csv(fleet_to_csv(fleet));
+  EXPECT_EQ(certified_cr(fleet, f, {.window_hi = 10}).cr,
+            certified_cr(parsed, f, {.window_hi = 10}).cr);
+}
+
+std::string grid_name(
+    const ::testing::TestParamInfo<std::pair<int, int>>& info) {
+  return "n" + std::to_string(info.param.first) + "_f" +
+         std::to_string(info.param.second);
+}
+
+INSTANTIATE_TEST_SUITE_P(Regime, ExactToolingGrid,
+                         ::testing::ValuesIn(proportional_regime_pairs(9)),
+                         grid_name);
+
+}  // namespace
+}  // namespace linesearch

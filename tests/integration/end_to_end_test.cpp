@@ -1,0 +1,132 @@
+// End-to-end integration: the full public-API flow a user follows —
+// pick a strategy, build the fleet, replay with the event engine, verify
+// the outcome against the closed forms.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "adversary/game.hpp"
+#include "adversary/placements.hpp"
+#include "core/algorithm.hpp"
+#include "core/competitive.hpp"
+#include "core/proportional.hpp"
+#include "core/strategy.hpp"
+#include "eval/cr_eval.hpp"
+#include "sim/engine.hpp"
+#include "sim/faults.hpp"
+#include "sim/recorder.hpp"
+
+namespace linesearch {
+namespace {
+
+TEST(EndToEnd, QuickstartFlow) {
+  // The README quickstart: 3 robots, 1 possibly faulty, target at 7.3.
+  const StrategyPtr strategy = make_optimal_strategy(3, 1);
+  const Fleet fleet = strategy->build_fleet(100);
+
+  AdversarialFaults adversary;
+  const Real target = 7.3L;
+  const std::vector<bool> faults = adversary.choose_faults(fleet, target, 1);
+
+  const Engine engine(fleet);
+  EventLog log;
+  const SimulationOutcome outcome = engine.run(target, faults, &log);
+
+  ASSERT_TRUE(outcome.detected);
+  EXPECT_EQ(outcome.detection_time, fleet.detection_time(target, 1));
+  EXPECT_LE(outcome.detection_time / target, *strategy->theoretical_cr());
+  EXPECT_GE(outcome.detection_time, target);  // cannot beat unit speed
+  EXPECT_FALSE(log.events().empty());
+}
+
+TEST(EndToEnd, EveryRegimePairProducesAConsistentPipeline) {
+  for (const auto& [n, f] : std::vector<std::pair<int, int>>{
+           {2, 1}, {3, 1}, {3, 2}, {4, 2}, {4, 3}, {5, 2}, {5, 3}, {5, 4},
+           {6, 3}, {7, 3}, {7, 4}, {7, 6}}) {
+    const StrategyPtr strategy = make_optimal_strategy(n, f);
+    const Fleet fleet = strategy->build_fleet(500);
+    ASSERT_EQ(fleet.size(), static_cast<std::size_t>(n));
+
+    // Coverage invariant: every target in [1, 500] on both sides is
+    // eventually seen by f+1 distinct robots.
+    EXPECT_TRUE(fleet.covers(1, 500, f + 1)) << n << "," << f;
+
+    // Worst-case detection at a few targets obeys the proven CR.
+    const Real cr = *strategy->theoretical_cr();
+    for (const Real x : {1.0L, -1.7L, 4.0L, -9.9L, 20.0L}) {
+      const Real ratio = fleet.detection_time(x, f) / std::fabs(x);
+      EXPECT_LE(ratio, cr * (1 + 1e-9L))
+          << n << "," << f << " at x=" << static_cast<double>(x);
+      EXPECT_GE(ratio, 1.0L - 1e-12L);
+    }
+  }
+}
+
+TEST(EndToEnd, EngineAgreesWithExactDetectionOnA52) {
+  const ProportionalAlgorithm algo(5, 2);
+  const Fleet fleet = algo.build_fleet(300);
+  const Engine engine(fleet);
+  AdversarialFaults adversary;
+  for (const Real target : {1.2L, -3.0L, 8.0L, -25.0L}) {
+    const std::vector<bool> faults =
+        adversary.choose_faults(fleet, target, 2);
+    const SimulationOutcome outcome = engine.run(target, faults);
+    EXPECT_EQ(outcome.detection_time, fleet.detection_time(target, 2))
+        << static_cast<double>(target);
+  }
+}
+
+TEST(EndToEnd, ScheduleInvariantsHoldForTheBuiltAlgorithm) {
+  const ProportionalAlgorithm algo(5, 3);
+  const Fleet fleet = algo.build_fleet(80);
+  const ScheduleCheck check = check_schedule(fleet, 5, algo.beta(), 1);
+  EXPECT_TRUE(check.all_ok());
+  EXPECT_LT(check.max_ratio_error, 1e-9L);
+}
+
+TEST(EndToEnd, AdversaryVsEvaluatorConsistency) {
+  // The Theorem-2 adversary can never force more than the evaluator's
+  // measured CR on the same window, and the evaluator can never measure
+  // below the adversary's forced ratio.
+  const int n = 3, f = 1;
+  const ProportionalAlgorithm algo(n, f);
+  const Real alpha = comfortable_alpha(n, 0.8L);
+  const Real x0 = largest_placement(alpha);
+  const Fleet fleet = algo.build_fleet(x0 * 40);
+
+  GameOptions options;
+  options.attack_turning_points = true;
+  const GameResult game = play_theorem2_game(fleet, f, alpha, options);
+
+  CrEvalOptions eval;
+  eval.window_hi = x0;
+  const CrEvalResult measured = measure_cr(fleet, f, eval);
+
+  EXPECT_LE(game.forced_ratio, measured.cr * (1 + 1e-9L));
+  EXPECT_GE(measured.cr, alpha - 1e-9L);
+}
+
+TEST(EndToEnd, RenderedDiagramShowsAllRobots) {
+  const ProportionalAlgorithm algo(3, 1);
+  const Fleet fleet = algo.build_fleet(30);
+  RenderOptions options;
+  options.max_time = 40;
+  options.max_position = 12;
+  options.cone_beta = algo.beta();
+  const std::string art = render_space_time(fleet, options);
+  EXPECT_NE(art.find('0'), std::string::npos);
+  EXPECT_NE(art.find('1'), std::string::npos);
+  EXPECT_NE(art.find('2'), std::string::npos);
+}
+
+TEST(EndToEnd, FaultToleranceIsSharp) {
+  // With f faults A(n,f) still finds the target; with n faults nothing
+  // can (nobody reliable remains).
+  const ProportionalAlgorithm algo(3, 2);
+  const Fleet fleet = algo.build_fleet(50);
+  EXPECT_TRUE(std::isfinite(fleet.detection_time(5, 2)));
+  EXPECT_TRUE(std::isinf(fleet.detection_time(5, 3)));
+}
+
+}  // namespace
+}  // namespace linesearch

@@ -1,0 +1,179 @@
+// Parameterized property suites sweeping the (n, f) grid and the beta
+// family — the "for all" claims of the paper checked over many instances.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include "core/algorithm.hpp"
+#include "core/competitive.hpp"
+#include "core/lower_bound.hpp"
+#include "core/proportional.hpp"
+#include "core/strategy.hpp"
+#include "eval/cr_eval.hpp"
+#include "eval/validation.hpp"
+#include "sim/zigzag.hpp"
+
+namespace linesearch {
+namespace {
+
+// ---------------------------------------------------------------- grid --
+
+class RegimePairProperty
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(RegimePairProperty, MeasuredCrMatchesTheorem1) {
+  const auto [n, f] = GetParam();
+  const ValidationRow row =
+      validate_pair(n, f, {.window_hi = 16, .extent_factor = 24});
+  EXPECT_LT(row.relative_gap, 1e-6L);
+}
+
+TEST_P(RegimePairProperty, MeasuredCrRespectsBothBounds) {
+  const auto [n, f] = GetParam();
+  const ValidationRow row =
+      validate_pair(n, f, {.window_hi = 16, .extent_factor = 24});
+  EXPECT_GE(row.measured_cr, row.lower_bound * (1 - 1e-9L));
+  EXPECT_LE(row.measured_cr, row.theory_cr * (1 + 1e-9L));
+}
+
+TEST_P(RegimePairProperty, ScheduleInvariantsHold) {
+  const auto [n, f] = GetParam();
+  const ProportionalAlgorithm algo(n, f);
+  const Fleet fleet = algo.build_fleet(60);
+  EXPECT_TRUE(check_schedule(fleet, n, algo.beta(), 1).all_ok());
+}
+
+TEST_P(RegimePairProperty, InitialTurnsAreDistinctAndSmall) {
+  const auto [n, f] = GetParam();
+  const ProportionalAlgorithm algo(n, f);
+  const ProportionalSchedule& s = algo.schedule();
+  std::vector<Real> turns;
+  for (int i = 0; i < n; ++i) turns.push_back(s.initial_turn(i));
+  for (std::size_t i = 0; i < turns.size(); ++i) {
+    EXPECT_LE(std::fabs(turns[i]), 1.0L);
+    for (std::size_t j = i + 1; j < turns.size(); ++j) {
+      EXPECT_FALSE(approx_equal(turns[i], turns[j]))
+          << i << " vs " << j << ": robots share a turning point";
+    }
+  }
+}
+
+std::string pair_name(
+    const ::testing::TestParamInfo<std::pair<int, int>>& info) {
+  return "n" + std::to_string(info.param.first) + "_f" +
+         std::to_string(info.param.second);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, RegimePairProperty,
+                         ::testing::ValuesIn(proportional_regime_pairs(8)),
+                         pair_name);
+
+// ---------------------------------------------------------- beta family --
+
+class BetaFamilyProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, double>> {};
+
+TEST_P(BetaFamilyProperty, Lemma5HoldsForEveryBeta) {
+  // For any beta (not only the optimal one) the measured CR of S_beta(n)
+  // equals Lemma 5's closed form.
+  const auto [n, f, beta_d] = GetParam();
+  const Real beta = static_cast<Real>(beta_d);
+  const ProportionalAlgorithm schedule(n, f, beta);
+  const Fleet fleet = schedule.build_fleet(600);
+  const CrEvalResult measured = measure_cr(fleet, f, {.window_hi = 10});
+  EXPECT_NEAR(static_cast<double>(measured.cr),
+              static_cast<double>(schedule_cr(n, f, beta)), 1e-5);
+}
+
+TEST_P(BetaFamilyProperty, OptimalBetaIsNoWorse) {
+  const auto [n, f, beta_d] = GetParam();
+  EXPECT_GE(schedule_cr(n, f, static_cast<Real>(beta_d)),
+            algorithm_cr(n, f) - 1e-12L);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BetaFamilyProperty,
+    ::testing::Values(std::make_tuple(3, 1, 1.3), std::make_tuple(3, 1, 2.0),
+                      std::make_tuple(3, 1, 3.0), std::make_tuple(3, 2, 2.0),
+                      std::make_tuple(3, 2, 4.0), std::make_tuple(5, 3, 1.8),
+                      std::make_tuple(5, 3, 3.0), std::make_tuple(4, 2, 1.5),
+                      std::make_tuple(4, 2, 2.5)));
+
+// ------------------------------------------------------------- doubling --
+
+class DoublingProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DoublingProperty, AFPlus1FIsAlwaysNine) {
+  const int f = GetParam();
+  EXPECT_NEAR(static_cast<double>(algorithm_cr(f + 1, f)), 9.0, 1e-10);
+  EXPECT_NEAR(static_cast<double>(optimal_beta(f + 1, f)), 3.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(FSweep, DoublingProperty,
+                         ::testing::Range(1, 12));
+
+// --------------------------------------------------------- lower bounds --
+
+class LowerBoundProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(LowerBoundProperty, RootSolvesEquationExactly) {
+  const int n = GetParam();
+  const Real alpha = theorem2_alpha(n);
+  EXPECT_NEAR(static_cast<double>(theorem2_residual(n, alpha)), 0.0, 1e-10);
+}
+
+TEST_P(LowerBoundProperty, SandwichedBetweenAsymptoteAndNine) {
+  const int n = GetParam();
+  const Real alpha = theorem2_alpha(n);
+  EXPECT_GT(alpha, 3.0L);
+  EXPECT_LE(alpha, 9.0L);
+  if (n >= 10) {
+    EXPECT_GE(alpha, corollary2_bound(n) - 1e-12L);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(NSweep, LowerBoundProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
+                                           89, 144));
+
+// ----------------------------------------------------- zig-zag geometry --
+
+class ZigZagProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZigZagProperty, TurningPointsObeyLemma1ForAnyBeta) {
+  const Real beta = static_cast<Real>(GetParam());
+  const Real kappa = expansion_factor(beta);
+  // Force at least ~5 legs even for very wide cones (large kappa).
+  const Real coverage = 2 * kappa * kappa * kappa * kappa;
+  const Trajectory t = make_cone_zigzag(
+      {.beta = beta, .first_turn = 1, .min_coverage = coverage});
+  const std::vector<Waypoint> turns = t.turning_waypoints();
+  ASSERT_GE(turns.size(), 3u);
+  for (std::size_t i = 0; i + 1 < turns.size(); ++i) {
+    // Consecutive turning points: ratio -kappa, times on the boundary.
+    EXPECT_NEAR(static_cast<double>(turns[i + 1].position /
+                                    turns[i].position),
+                static_cast<double>(-kappa), 1e-9);
+    EXPECT_NEAR(static_cast<double>(turns[i].time),
+                static_cast<double>(beta * std::fabs(turns[i].position)),
+                1e-9);
+  }
+}
+
+TEST_P(ZigZagProperty, StaysInsideItsConeAndAtUnitSpeed) {
+  const Real beta = static_cast<Real>(GetParam());
+  const Trajectory t =
+      make_origin_zigzag({.beta = beta, .first_turn = -1,
+                          .min_coverage = 100});
+  EXPECT_TRUE(within_cone(t, beta));
+  EXPECT_LE(t.max_speed(), 1.0L + 1e-12L);
+}
+
+INSTANTIATE_TEST_SUITE_P(BetaSweep, ZigZagProperty,
+                         ::testing::Values(1.1, 1.5, 5.0 / 3, 2.0, 2.5, 3.0,
+                                           5.0, 11.0));
+
+}  // namespace
+}  // namespace linesearch

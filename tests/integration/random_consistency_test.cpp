@@ -1,0 +1,175 @@
+// Randomized consistency properties: generate seeded random (but valid)
+// fleets and cross-check every independent code path against every
+// other — the engine vs the exact queries, serialization round-trips,
+// turn-cost-zero vs plain detection, and the certified evaluator vs the
+// probe evaluator.  Determinism: all randomness is seeded per test.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "eval/cr_eval.hpp"
+#include "eval/exact.hpp"
+#include "eval/turn_cost.hpp"
+#include "sim/engine.hpp"
+#include "sim/serialize.hpp"
+
+namespace linesearch {
+namespace {
+
+/// A random unit-speed-bounded trajectory: a sequence of legs with
+/// random directions, speeds in (0.2, 1], lengths in (0.5, 6], and
+/// occasional pauses.
+Trajectory random_trajectory(std::mt19937_64& rng) {
+  std::uniform_real_distribution<double> length(0.5, 6.0);
+  std::uniform_real_distribution<double> speed(0.2, 1.0);
+  std::bernoulli_distribution go_right(0.5);
+  std::bernoulli_distribution pause(0.15);
+  std::uniform_int_distribution<int> legs(4, 14);
+
+  TrajectoryBuilder builder;
+  builder.start_at(0, 0);
+  const int count = legs(rng);
+  for (int leg = 0; leg < count; ++leg) {
+    if (pause(rng)) {
+      builder.wait_until(builder.current_time() +
+                         static_cast<Real>(length(rng)));
+      continue;
+    }
+    const Real distance = static_cast<Real>(length(rng));
+    const Real v = static_cast<Real>(speed(rng));
+    const Real target = builder.current_position() +
+                        (go_right(rng) ? distance : -distance);
+    builder.move_to_at(target, builder.current_time() + distance / v);
+  }
+  return std::move(builder).build();
+}
+
+Fleet random_fleet(const std::uint64_t seed, const int robots) {
+  std::mt19937_64 rng(seed);
+  std::vector<Trajectory> fleet;
+  for (int i = 0; i < robots; ++i) fleet.push_back(random_trajectory(rng));
+  return Fleet(std::move(fleet));
+}
+
+class RandomFleetProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomFleetProperty, EngineMatchesExactDetection) {
+  const Fleet fleet = random_fleet(0xABCD0000u + GetParam(), 4);
+  const Engine engine(fleet);
+  std::mt19937_64 rng(0x1234u + GetParam());
+  std::uniform_real_distribution<double> position(-8.0, 8.0);
+  std::uniform_int_distribution<int> fault_count(0, 3);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Real target = static_cast<Real>(position(rng));
+    if (target == 0) continue;
+    std::vector<bool> faults(4, false);
+    const int budget = fault_count(rng);
+    for (int i = 0; i < budget; ++i) {
+      faults[static_cast<std::size_t>(i)] = true;
+    }
+    const SimulationOutcome outcome = engine.run(target, faults);
+    EXPECT_EQ(outcome.detection_time,
+              fleet.detection_time_with_faults(target, faults))
+        << "seed " << GetParam() << " target "
+        << static_cast<double>(target);
+  }
+}
+
+TEST_P(RandomFleetProperty, SerializationRoundTripsDetection) {
+  const Fleet fleet = random_fleet(0xBEEF0000u + GetParam(), 3);
+  const Fleet parsed = fleet_from_csv(fleet_to_csv(fleet));
+  std::mt19937_64 rng(0x5678u + GetParam());
+  std::uniform_real_distribution<double> position(-8.0, 8.0);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Real target = static_cast<Real>(position(rng));
+    for (int f = 0; f < 3; ++f) {
+      const Real a = fleet.detection_time(target, f);
+      const Real b = parsed.detection_time(target, f);
+      if (std::isinf(a)) {
+        EXPECT_TRUE(std::isinf(b));
+      } else {
+        // 21-digit serialization round-trips long double exactly.
+        EXPECT_EQ(a, b);
+      }
+    }
+  }
+}
+
+TEST_P(RandomFleetProperty, TurnCostZeroEqualsPlainDetection) {
+  const Fleet fleet = random_fleet(0xCAFE0000u + GetParam(), 4);
+  std::mt19937_64 rng(0x9abcU + GetParam());
+  std::uniform_real_distribution<double> position(-8.0, 8.0);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Real target = static_cast<Real>(position(rng));
+    if (target == 0) continue;
+    for (int f = 0; f < 4; ++f) {
+      const Real plain = fleet.detection_time(target, f);
+      const Real costed = turn_cost_detection(fleet, target, f, 0);
+      if (std::isinf(plain)) {
+        EXPECT_TRUE(std::isinf(costed));
+      } else {
+        EXPECT_EQ(plain, costed);
+      }
+    }
+  }
+}
+
+TEST_P(RandomFleetProperty, TurnCostIsMonotoneInC) {
+  const Fleet fleet = random_fleet(0xD00D0000u + GetParam(), 4);
+  std::mt19937_64 rng(0xdef0U + GetParam());
+  std::uniform_real_distribution<double> position(-6.0, 6.0);
+  for (int trial = 0; trial < 15; ++trial) {
+    const Real target = static_cast<Real>(position(rng));
+    if (target == 0) continue;
+    Real previous = 0;
+    for (const Real c : {0.0L, 0.5L, 1.5L, 4.0L}) {
+      const Real time = turn_cost_detection(fleet, target, 1, c);
+      if (std::isinf(time)) break;
+      EXPECT_GE(time, previous);
+      previous = time;
+    }
+  }
+}
+
+TEST_P(RandomFleetProperty, CertifiedDominatesProbedEvaluator) {
+  const Fleet fleet = random_fleet(0xFEED0000u + GetParam(), 5);
+  CrEvalOptions probe_options;
+  probe_options.window_lo = 0.5L;
+  probe_options.window_hi = 4;
+  probe_options.require_finite = false;
+  probe_options.interior_samples = 16;
+  ExactCrOptions exact_options;
+  exact_options.window_lo = 0.5L;
+  exact_options.window_hi = 4;
+  exact_options.require_finite = false;
+  for (int f = 0; f < 3; ++f) {
+    const Real probed = measure_cr(fleet, f, probe_options).cr;
+    const Real exact = certified_cr(fleet, f, exact_options).cr;
+    // The certified sup can never be below any sampled value.
+    EXPECT_GE(exact, probed * (1 - 1e-12L)) << "f=" << f;
+  }
+}
+
+TEST_P(RandomFleetProperty, DetectionMonotoneInFaultBudget) {
+  const Fleet fleet = random_fleet(0xFACE0000u + GetParam(), 5);
+  std::mt19937_64 rng(0x1111u + GetParam());
+  std::uniform_real_distribution<double> position(-8.0, 8.0);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Real target = static_cast<Real>(position(rng));
+    if (target == 0) continue;
+    Real previous = 0;
+    for (int f = 0; f < 5; ++f) {
+      const Real time = fleet.detection_time(target, f);
+      EXPECT_GE(time, previous) << "f=" << f;
+      if (std::isinf(time)) break;
+      previous = time;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomFleetProperty,
+                         ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace linesearch

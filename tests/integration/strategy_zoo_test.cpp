@@ -1,0 +1,128 @@
+// The strategy zoo: every SearchStrategy in the library run through one
+// uniform battery — construction, coverage, CR sanity against its own
+// theoretical claim, serialization round-trip, and renderability.
+// Catches regressions that module-local tests miss when a strategy
+// violates the SearchStrategy contract everything downstream assumes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/algorithm.hpp"
+#include "core/baselines.hpp"
+#include "core/bounded.hpp"
+#include "core/strategy.hpp"
+#include "eval/cr_eval.hpp"
+#include "sim/recorder.hpp"
+#include "sim/serialize.hpp"
+#include "sim/svg.hpp"
+
+namespace linesearch {
+namespace {
+
+struct ZooEntry {
+  std::string label;
+  std::function<StrategyPtr()> make;
+};
+
+std::vector<ZooEntry> zoo() {
+  return {
+      {"A_3_1", [] { return std::make_unique<ProportionalAlgorithm>(3, 1); }},
+      {"A_5_3", [] { return std::make_unique<ProportionalAlgorithm>(5, 3); }},
+      {"A_7_4", [] { return std::make_unique<ProportionalAlgorithm>(7, 4); }},
+      {"S_beta_3_1_b2",
+       [] { return std::make_unique<ProportionalAlgorithm>(3, 1, 2.0L); }},
+      {"split_4_1", [] { return std::make_unique<TwoGroupSplit>(4, 1); }},
+      {"split_9_3", [] { return std::make_unique<TwoGroupSplit>(9, 3); }},
+      {"pack_3_2", [] { return std::make_unique<GroupDoubling>(3, 2); }},
+      {"classic_2_1", [] { return std::make_unique<ClassicCowPath>(2, 1); }},
+      {"classic_mirrored_4_1",
+       [] { return std::make_unique<ClassicCowPath>(4, 1, true); }},
+      {"staggered_3_1",
+       [] { return std::make_unique<StaggeredDoubling>(3, 1); }},
+      {"uniform_5_3",
+       [] { return std::make_unique<UniformOffsetZigzag>(5, 3); }},
+      {"bounded_3_1",
+       [] { return std::make_unique<BoundedProportional>(3, 1, 4000); }},
+  };
+}
+
+class StrategyZoo : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  [[nodiscard]] static StrategyPtr strategy() {
+    return zoo()[GetParam()].make();
+  }
+};
+
+TEST_P(StrategyZoo, MetadataContract) {
+  const StrategyPtr s = strategy();
+  EXPECT_FALSE(s->name().empty());
+  EXPECT_GE(s->robot_count(), 1);
+  EXPECT_GE(s->fault_budget(), 0);
+  EXPECT_LT(s->fault_budget(), s->robot_count());
+}
+
+TEST_P(StrategyZoo, FleetShapeAndCoverage) {
+  const StrategyPtr s = strategy();
+  const Fleet fleet = s->build_fleet(300);
+  EXPECT_EQ(fleet.size(), static_cast<std::size_t>(s->robot_count()));
+  EXPECT_TRUE(fleet.covers(1, 300, s->fault_budget() + 1)) << s->name();
+  for (RobotId id = 0; id < fleet.size(); ++id) {
+    EXPECT_EQ(fleet.robot(id).start_position(), 0.0L);
+    EXPECT_LE(fleet.robot(id).max_speed(), 1.0L + 1e-9L);
+  }
+}
+
+TEST_P(StrategyZoo, MeasuredCrWithinItsOwnClaim) {
+  const StrategyPtr s = strategy();
+  const Fleet fleet = s->build_fleet(2000);
+  const Real measured =
+      measure_cr(fleet, s->fault_budget(), {.window_hi = 8}).cr;
+  EXPECT_GE(measured, 1.0L - 1e-12L);
+  if (const auto claimed = s->theoretical_cr()) {
+    EXPECT_LE(measured, *claimed * (1 + 1e-9L)) << s->name();
+  }
+}
+
+TEST_P(StrategyZoo, SerializationRoundTripsDetection) {
+  const StrategyPtr s = strategy();
+  const Fleet fleet = s->build_fleet(120);
+  const Fleet parsed = fleet_from_csv(fleet_to_csv(fleet));
+  for (const Real x : {1.0L, -2.5L, 17.0L, -90.0L}) {
+    const Real a = fleet.detection_time(x, s->fault_budget());
+    const Real b = parsed.detection_time(x, s->fault_budget());
+    if (std::isinf(a)) {
+      EXPECT_TRUE(std::isinf(b));
+    } else {
+      EXPECT_EQ(a, b) << s->name() << " at " << static_cast<double>(x);
+    }
+  }
+}
+
+TEST_P(StrategyZoo, RenderableInBothBackends) {
+  const StrategyPtr s = strategy();
+  const Fleet fleet = s->build_fleet(40);
+  RenderOptions ascii;
+  ascii.max_time = 30;
+  ascii.max_position = 15;
+  EXPECT_FALSE(render_space_time(fleet, ascii).empty());
+  SvgOptions svg;
+  svg.max_time = 30;
+  svg.max_position = 15;
+  const std::string document = render_svg(fleet, svg);
+  EXPECT_NE(document.find("<polyline"), std::string::npos) << s->name();
+}
+
+std::string zoo_name(const ::testing::TestParamInfo<std::size_t>& info) {
+  return zoo()[info.param].label;
+}
+
+INSTANTIATE_TEST_SUITE_P(All, StrategyZoo,
+                         ::testing::Range<std::size_t>(0, zoo().size()),
+                         zoo_name);
+
+}  // namespace
+}  // namespace linesearch

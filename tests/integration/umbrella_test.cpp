@@ -1,0 +1,35 @@
+// Compile-and-smoke test for the umbrella header: one include must
+// expose the whole public API, and a representative symbol from every
+// layer must be usable.
+#include "linesearch.hpp"
+
+#include <gtest/gtest.h>
+
+namespace linesearch {
+namespace {
+
+TEST(Umbrella, OneIncludeExposesEveryLayer) {
+  // util
+  EXPECT_TRUE(approx_equal(1.0L, 1.0L));
+  // analysis
+  EXPECT_NEAR(static_cast<double>(
+                  bisect([](Real x) { return x - 2; }, 0, 5).x),
+              2.0, 1e-9);
+  // sim
+  const Fleet fleet = ProportionalAlgorithm(3, 1).build_fleet(64);
+  EXPECT_EQ(fleet.size(), 3u);
+  // core
+  EXPECT_NEAR(static_cast<double>(algorithm_cr(3, 1)), 5.233, 1e-3);
+  // adversary
+  EXPECT_GT(theorem2_alpha(3), 3.0L);
+  // runtime
+  ProportionalController controller(3, 1, 0, 32);
+  EXPECT_EQ(controller.next(0, 0).value, 1.0L);
+  // eval
+  EXPECT_GT(certified_cr(fleet, 1, {.window_hi = 4}).cr, 1.0L);
+  // star
+  EXPECT_NEAR(static_cast<double>(star_optimal_cr(2)), 9.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace linesearch

@@ -1,0 +1,113 @@
+// Tests for runtime/controller.hpp — the online robot programs.
+#include "runtime/controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/competitive.hpp"
+#include "util/error.hpp"
+
+namespace linesearch {
+namespace {
+
+TEST(Directive, FactoriesSetFields) {
+  const Directive move = Directive::move_to(3.5L, 0.5L);
+  EXPECT_EQ(move.kind, Directive::Kind::kMoveTo);
+  EXPECT_EQ(move.value, 3.5L);
+  EXPECT_EQ(move.speed, 0.5L);
+  const Directive wait = Directive::wait_until(7);
+  EXPECT_EQ(wait.kind, Directive::Kind::kWaitUntil);
+  EXPECT_EQ(wait.value, 7.0L);
+  EXPECT_EQ(Directive::stop().kind, Directive::Kind::kStop);
+}
+
+TEST(ZigZagControllerTest, FirstDirectiveMeetsTheCone) {
+  ZigZagController controller(3, 1, 8);
+  const Directive first = controller.next(0, 0);
+  EXPECT_EQ(first.kind, Directive::Kind::kMoveTo);
+  EXPECT_EQ(first.value, 1.0L);
+  EXPECT_NEAR(static_cast<double>(first.speed), 1.0 / 3, 1e-15);
+}
+
+TEST(ZigZagControllerTest, AlternatesWithExpansionFactor) {
+  // beta = 3 => kappa = 2: legs to 1, -2, 4, -8, ...
+  ZigZagController controller(3, 1, 8);
+  (void)controller.next(0, 0);
+  const Directive second = controller.next(3, 1);
+  EXPECT_NEAR(static_cast<double>(second.value), -2.0, 1e-12);
+  EXPECT_EQ(second.speed, 1.0L);
+  const Directive third = controller.next(6, -2);
+  EXPECT_NEAR(static_cast<double>(third.value), 4.0, 1e-12);
+}
+
+TEST(ZigZagControllerTest, StopsOneLegAfterCoverage) {
+  ZigZagController controller(3, 1, 8);
+  Real position = 0, time = 0;
+  int legs = 0;
+  while (true) {
+    const Directive d = controller.next(time, position);
+    if (d.kind == Directive::Kind::kStop) break;
+    ASSERT_EQ(d.kind, Directive::Kind::kMoveTo);
+    time += std::fabs(d.value - position) / d.speed;
+    position = d.value;
+    ++legs;
+    ASSERT_LT(legs, 32) << "controller never stopped";
+  }
+  // 1, -2, 4, -8, 16 (coverage: +16/-8 both >= 8), extra -32 => 6 legs.
+  EXPECT_EQ(legs, 6);
+  EXPECT_NEAR(static_cast<double>(position), -32.0, 1e-9);
+}
+
+TEST(ZigZagControllerTest, RefusesWrongStart) {
+  ZigZagController controller(3, 1, 8);
+  EXPECT_THROW((void)controller.next(1, 0.5L), PreconditionError);
+}
+
+TEST(ZigZagControllerTest, GuardsConstruction) {
+  EXPECT_THROW(ZigZagController(3, 0, 8), PreconditionError);
+  EXPECT_THROW(ZigZagController(3, 2, 1), PreconditionError);
+  EXPECT_THROW(ZigZagController(1, 1, 8), PreconditionError);  // beta
+}
+
+TEST(ProportionalControllerTest, RobotZeroHeadsToOne) {
+  ProportionalController controller(3, 1, 0, 50);
+  const Directive first = controller.next(0, 0);
+  EXPECT_EQ(first.value, 1.0L);
+  EXPECT_NEAR(static_cast<double>(first.speed),
+              static_cast<double>(1 / optimal_beta(3, 1)), 1e-15);
+}
+
+TEST(ProportionalControllerTest, LaterRobotsStartBackwardExtended) {
+  // Robot 1 of A(3,1) starts at its backward-extended negative turn.
+  ProportionalController controller(3, 1, 1, 50);
+  const Directive first = controller.next(0, 0);
+  EXPECT_LT(first.value, 0.0L);
+  EXPECT_GT(first.value, -1.0L);
+}
+
+TEST(ScriptedControllerTest, ReplaysWaypointsIncludingWaits) {
+  const Trajectory original({{0, 0}, {2, 2}, {5, 2}, {9, -2}});
+  ScriptedController controller(original);
+  const Directive leg1 = controller.next(0, 0);
+  EXPECT_EQ(leg1.kind, Directive::Kind::kMoveTo);
+  EXPECT_EQ(leg1.value, 2.0L);
+  EXPECT_NEAR(static_cast<double>(leg1.speed), 1.0, 1e-15);
+  const Directive leg2 = controller.next(2, 2);
+  EXPECT_EQ(leg2.kind, Directive::Kind::kWaitUntil);
+  EXPECT_EQ(leg2.value, 5.0L);
+  const Directive leg3 = controller.next(5, 2);
+  EXPECT_EQ(leg3.kind, Directive::Kind::kMoveTo);
+  EXPECT_EQ(leg3.value, -2.0L);
+  EXPECT_EQ(controller.next(9, -2).kind, Directive::Kind::kStop);
+}
+
+TEST(Names, Informative) {
+  EXPECT_NE(ZigZagController(3, 1, 8).name().find("zigzag"),
+            std::string::npos);
+  EXPECT_NE(ProportionalController(3, 1, 2, 50).name().find("A-robot-2"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace linesearch

@@ -1,0 +1,156 @@
+// Tests for runtime/world.hpp — online execution vs the offline builder.
+#include "runtime/world.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/algorithm.hpp"
+#include "core/competitive.hpp"
+#include "eval/exact.hpp"
+#include "util/error.hpp"
+
+namespace linesearch {
+namespace {
+
+/// Controller that never stops (runaway detection test).
+class RunawayController final : public Controller {
+ public:
+  [[nodiscard]] std::string name() const override { return "runaway"; }
+  [[nodiscard]] Directive next(Real /*time*/, Real position) override {
+    return Directive::move_to(position + 1);
+  }
+};
+
+/// Controller that requests an illegal speed.
+class SpeedingController final : public Controller {
+ public:
+  [[nodiscard]] std::string name() const override { return "speeder"; }
+  [[nodiscard]] Directive next(Real /*time*/, Real /*position*/) override {
+    return Directive::move_to(5, 2.0L);
+  }
+};
+
+/// Controller that tries to wait into the past.
+class TimeTravelController final : public Controller {
+ public:
+  [[nodiscard]] std::string name() const override { return "timetravel"; }
+  [[nodiscard]] Directive next(Real time, Real /*position*/) override {
+    if (first_) {
+      first_ = false;
+      return Directive::move_to(2);
+    }
+    return Directive::wait_until(time - 1);
+  }
+
+ private:
+  bool first_ = true;
+};
+
+TEST(WorldTest, ControllerDrivenAEqualsScheduleBuilder) {
+  // THE headline property: executing the A(n, f) controllers online
+  // reproduces the offline schedule builder's fleet waypoint for
+  // waypoint.
+  for (const auto& [n, f] : std::vector<std::pair<int, int>>{
+           {2, 1}, {3, 1}, {5, 3}, {7, 4}}) {
+    const Fleet online = run_proportional_controllers(n, f, 60);
+    const Fleet offline = ProportionalAlgorithm(n, f).build_fleet(60);
+    ASSERT_EQ(online.size(), offline.size());
+    for (RobotId id = 0; id < online.size(); ++id) {
+      const auto& a = online.robot(id).waypoints();
+      const auto& b = offline.robot(id).waypoints();
+      ASSERT_EQ(a.size(), b.size()) << "robot " << id;
+      for (std::size_t w = 0; w < a.size(); ++w) {
+        EXPECT_NEAR(static_cast<double>(a[w].time),
+                    static_cast<double>(b[w].time), 1e-12);
+        EXPECT_NEAR(static_cast<double>(a[w].position),
+                    static_cast<double>(b[w].position), 1e-12);
+      }
+    }
+  }
+}
+
+TEST(WorldTest, OnlineFleetReproducesTheorem1) {
+  const Fleet online = run_proportional_controllers(3, 1, 2000);
+  const Real cr = certified_cr(online, 1, {.window_hi = 16}).cr;
+  EXPECT_LT(std::fabs(cr - algorithm_cr(3, 1)), 1e-14L);
+}
+
+TEST(WorldTest, ScriptedRoundTrip) {
+  // Offline trajectory -> scripted controller -> world -> identical
+  // trajectory.
+  const Trajectory original({{0, 0}, {2, 2}, {5, 2}, {9, -2}});
+  ScriptedController controller(original);
+  const World world;
+  const Trajectory replayed = world.execute(controller);
+  EXPECT_EQ(replayed.waypoints(), original.waypoints());
+}
+
+TEST(WorldTest, RunawayControllerIsCaught) {
+  RunawayController runaway;
+  WorldConfig config;
+  config.max_directives = 100;
+  const World world(config);
+  EXPECT_THROW((void)world.execute(runaway), NumericError);
+}
+
+TEST(WorldTest, IllegalSpeedRejected) {
+  SpeedingController speeder;
+  const World world;
+  EXPECT_THROW((void)world.execute(speeder), PreconditionError);
+}
+
+TEST(WorldTest, TimeTravelRejected) {
+  TimeTravelController traveler;
+  const World world;
+  EXPECT_THROW((void)world.execute(traveler), PreconditionError);
+}
+
+TEST(WorldTest, TimeLimitTruncatesMidLeg) {
+  // A runaway sweeper is truncated exactly at the limit.
+  RunawayController runaway;
+  WorldConfig config;
+  config.time_limit = 10.5L;
+  config.max_directives = 1000;
+  const World world(config);
+  ExecutionReport report;
+  const Trajectory t = world.execute(runaway, &report);
+  EXPECT_TRUE(report.time_limited);
+  EXPECT_FALSE(report.stopped);
+  EXPECT_EQ(t.end_time(), 10.5L);
+  EXPECT_NEAR(static_cast<double>(t.end_position()), 10.5, 1e-12);
+}
+
+TEST(WorldTest, ReportsCountDirectives) {
+  ScriptedController controller(Trajectory({{0, 0}, {3, 3}}));
+  const World world;
+  ExecutionReport report;
+  (void)world.execute(controller, &report);
+  EXPECT_TRUE(report.stopped);
+  EXPECT_EQ(report.directives, 2);  // one move + the stop
+}
+
+TEST(WorldTest, TeamExecutionCollectsReports) {
+  std::vector<ControllerPtr> team;
+  team.push_back(std::make_unique<ProportionalController>(3, 1, 0, 30));
+  team.push_back(std::make_unique<ProportionalController>(3, 1, 1, 30));
+  team.push_back(std::make_unique<ProportionalController>(3, 1, 2, 30));
+  std::vector<ExecutionReport> reports;
+  const Fleet fleet = World().execute_team(team, &reports);
+  EXPECT_EQ(fleet.size(), 3u);
+  ASSERT_EQ(reports.size(), 3u);
+  for (const ExecutionReport& report : reports) {
+    EXPECT_TRUE(report.stopped);
+    EXPECT_GT(report.directives, 3);
+  }
+}
+
+TEST(WorldTest, GuardsConfigAndTeam) {
+  EXPECT_THROW(World({.time_limit = 0}), PreconditionError);
+  EXPECT_THROW(World({.time_limit = 10, .max_directives = 0}),
+               PreconditionError);
+  EXPECT_THROW((void)World().execute_team({}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace linesearch

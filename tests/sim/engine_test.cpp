@@ -1,0 +1,163 @@
+// Tests for sim/engine.hpp — the discrete-event replay, cross-checked
+// against Fleet's exact queries.
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/recorder.hpp"
+#include "sim/zigzag.hpp"
+#include "util/error.hpp"
+
+namespace linesearch {
+namespace {
+
+Fleet staggered_sweepers() {
+  return Fleet({Trajectory({{0, 0}, {10, 10}}),
+                Trajectory({{2, 0}, {12, 10}}),
+                Trajectory({{4, 0}, {14, 10}})});
+}
+
+TEST(Engine, FaultFreeDetectionAtFirstVisit) {
+  const Fleet fleet = staggered_sweepers();
+  const Engine engine(fleet);
+  const SimulationOutcome outcome = engine.run_fault_free(4);
+  EXPECT_TRUE(outcome.detected);
+  EXPECT_EQ(outcome.detection_time, 4.0L);
+  EXPECT_EQ(*outcome.detector, 0u);
+  EXPECT_EQ(outcome.visits_before_detection, 0);
+}
+
+TEST(Engine, FaultyVisitsDelayDetection) {
+  const Fleet fleet = staggered_sweepers();
+  const Engine engine(fleet);
+  const SimulationOutcome outcome = engine.run(4, {true, true, false});
+  EXPECT_TRUE(outcome.detected);
+  EXPECT_EQ(outcome.detection_time, 8.0L);
+  EXPECT_EQ(*outcome.detector, 2u);
+  EXPECT_EQ(outcome.visits_before_detection, 2);
+}
+
+TEST(Engine, AllFaultyNeverDetects) {
+  const Fleet fleet = staggered_sweepers();
+  const Engine engine(fleet);
+  const SimulationOutcome outcome = engine.run(4, {true, true, true});
+  EXPECT_FALSE(outcome.detected);
+  EXPECT_TRUE(std::isinf(outcome.detection_time));
+  EXPECT_FALSE(outcome.detector.has_value());
+}
+
+TEST(Engine, MatchesFleetDetectionExactly) {
+  // Independent code paths must agree, including on zig-zag fleets.
+  std::vector<Trajectory> robots;
+  for (int i = 0; i < 3; ++i) {
+    robots.push_back(make_origin_zigzag(
+        {.beta = 2, .first_turn = 1 + 0.5L * static_cast<Real>(i),
+         .min_coverage = 30}));
+  }
+  const Fleet fleet{std::move(robots)};
+  const Engine engine(fleet);
+  for (const Real target : {1.5L, -2.0L, 7.0L, -10.0L}) {
+    for (const std::vector<bool>& faults :
+         {std::vector<bool>{false, false, false},
+          std::vector<bool>{true, false, false},
+          std::vector<bool>{true, true, false}}) {
+      const SimulationOutcome outcome = engine.run(target, faults);
+      EXPECT_EQ(outcome.detection_time,
+                fleet.detection_time_with_faults(target, faults))
+          << "target " << static_cast<double>(target);
+    }
+  }
+}
+
+TEST(Engine, FaultVectorSizeMismatchThrows) {
+  const Fleet fleet = staggered_sweepers();
+  const Engine engine(fleet);
+  EXPECT_THROW((void)engine.run(4, {true}), PreconditionError);
+}
+
+TEST(Engine, ObserverSeesChronologicalEvents) {
+  const Fleet fleet = staggered_sweepers();
+  const Engine engine(fleet);
+  EventLog log;
+  (void)engine.run(4, {true, false, false}, &log);
+  ASSERT_FALSE(log.events().empty());
+  for (std::size_t i = 1; i < log.events().size(); ++i) {
+    EXPECT_LE(log.events()[i - 1].time, log.events()[i].time);
+  }
+  // The last event is the detection (stop_at_detection default).
+  EXPECT_EQ(log.events().back().kind, EventKind::kDetection);
+  EXPECT_EQ(log.events().back().robot, 1u);
+}
+
+TEST(Engine, StopAtDetectionSuppressesLaterEvents) {
+  const Fleet fleet = staggered_sweepers();
+  EventLog stopped, full;
+  {
+    const Engine engine(fleet);  // default: stop at detection
+    (void)engine.run(4, {false, false, false}, &stopped);
+  }
+  {
+    EngineConfig config;
+    config.stop_at_detection = false;
+    const Engine engine(fleet, config);
+    (void)engine.run(4, {false, false, false}, &full);
+  }
+  EXPECT_LT(stopped.size(), full.size());
+}
+
+TEST(Engine, EmitFaultyVisitsToggle) {
+  const Fleet fleet = staggered_sweepers();
+  EngineConfig config;
+  config.emit_faulty_visits = false;
+  const Engine engine(fleet, config);
+  EventLog log;
+  (void)engine.run(4, {true, true, false}, &log);
+  EXPECT_TRUE(log.of_kind(EventKind::kTargetVisit).empty());
+  EXPECT_EQ(log.of_kind(EventKind::kDetection).size(), 1u);
+}
+
+TEST(Engine, HaltEventWhenHorizonReachedWithoutDetection) {
+  const Fleet fleet = staggered_sweepers();
+  const Engine engine(fleet);
+  EventLog log;
+  (void)engine.run(-5, {false, false, false}, &log);  // nobody goes left
+  ASSERT_FALSE(log.events().empty());
+  EXPECT_EQ(log.events().back().kind, EventKind::kHalt);
+}
+
+TEST(Engine, CustomHorizonTruncatesReplay) {
+  const Fleet fleet = staggered_sweepers();
+  EngineConfig config;
+  config.horizon = 3.0L;  // before anyone reaches x=4
+  const Engine engine(fleet, config);
+  const SimulationOutcome outcome = engine.run_fault_free(4);
+  EXPECT_FALSE(outcome.detected);
+}
+
+TEST(Engine, TurnEventsCarryFaultFlag) {
+  const Fleet fleet =
+      Fleet({make_origin_zigzag({.beta = 3, .first_turn = 1,
+                                 .min_coverage = 8})});
+  EngineConfig config;
+  config.stop_at_detection = false;
+  const Engine engine(fleet, config);
+  EventLog log;
+  (void)engine.run(100, {true}, &log);  // target out of reach
+  const std::vector<Event> turns = log.of_kind(EventKind::kTurn);
+  ASSERT_FALSE(turns.empty());
+  for (const Event& e : turns) EXPECT_TRUE(e.robot_faulty);
+}
+
+TEST(EventToString, ReadableRendering) {
+  const Event e{1.5L, EventKind::kDetection, 2, 4.0L, false};
+  const std::string s = to_string(e);
+  EXPECT_NE(s.find("detection"), std::string::npos);
+  EXPECT_NE(s.find("robot 2"), std::string::npos);
+  const Event faulty{2.0L, EventKind::kTargetVisit, 1, 4.0L, true};
+  EXPECT_NE(to_string(faulty).find("(faulty)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace linesearch

@@ -1,0 +1,132 @@
+// Tests for sim/faults.hpp — the three fault models.
+#include "sim/faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace linesearch {
+namespace {
+
+Fleet staggered_sweepers() {
+  return Fleet({Trajectory({{0, 0}, {10, 10}}),
+                Trajectory({{2, 0}, {12, 10}}),
+                Trajectory({{4, 0}, {14, 10}})});
+}
+
+int count_faults(const std::vector<bool>& v) {
+  return static_cast<int>(std::count(v.begin(), v.end(), true));
+}
+
+TEST(AdversarialFaults, PicksEarliestVisitors) {
+  AdversarialFaults model;
+  const Fleet fleet = staggered_sweepers();
+  const std::vector<bool> faults = model.choose_faults(fleet, 4, 2);
+  EXPECT_EQ(faults, (std::vector<bool>{true, true, false}));
+}
+
+TEST(AdversarialFaults, ZeroBudgetIsAllReliable) {
+  AdversarialFaults model;
+  const Fleet fleet = staggered_sweepers();
+  EXPECT_EQ(count_faults(model.choose_faults(fleet, 4, 0)), 0);
+}
+
+TEST(AdversarialFaults, MatchesOrderStatisticDetection) {
+  AdversarialFaults model;
+  const Fleet fleet = staggered_sweepers();
+  for (int f = 0; f < 3; ++f) {
+    EXPECT_EQ(detection_time_under(model, fleet, 4, f),
+              fleet.detection_time(4, f));
+  }
+}
+
+TEST(AdversarialFaults, BudgetCappedByFleetSize) {
+  AdversarialFaults model;
+  const Fleet fleet = staggered_sweepers();
+  EXPECT_EQ(count_faults(model.choose_faults(fleet, 4, 99)), 3);
+}
+
+TEST(AdversarialFaults, NegativeBudgetThrows) {
+  AdversarialFaults model;
+  const Fleet fleet = staggered_sweepers();
+  EXPECT_THROW((void)model.choose_faults(fleet, 4, -1), PreconditionError);
+}
+
+TEST(FixedFaults, ReturnsTheGivenSet) {
+  FixedFaults model({false, true, false});
+  const Fleet fleet = staggered_sweepers();
+  EXPECT_EQ(model.choose_faults(fleet, 4, 1),
+            (std::vector<bool>{false, true, false}));
+}
+
+TEST(FixedFaults, RejectsSizeMismatchAndOverBudget) {
+  const Fleet fleet = staggered_sweepers();
+  FixedFaults wrong_size({true});
+  EXPECT_THROW((void)wrong_size.choose_faults(fleet, 4, 1),
+               PreconditionError);
+  FixedFaults over_budget({true, true, false});
+  EXPECT_THROW((void)over_budget.choose_faults(fleet, 4, 1),
+               PreconditionError);
+}
+
+TEST(RandomFaults, ExactBudgetEveryDraw) {
+  RandomFaults model(42);
+  const Fleet fleet = staggered_sweepers();
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(count_faults(model.choose_faults(fleet, 4, 2)), 2);
+  }
+}
+
+TEST(RandomFaults, DeterministicForFixedSeed) {
+  const Fleet fleet = staggered_sweepers();
+  RandomFaults a(7), b(7);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.choose_faults(fleet, 4, 1), b.choose_faults(fleet, 4, 1));
+  }
+}
+
+TEST(RandomFaults, CoversAllSubsetsEventually) {
+  RandomFaults model(123);
+  const Fleet fleet = staggered_sweepers();
+  std::vector<bool> seen(3, false);
+  for (int i = 0; i < 100; ++i) {
+    const std::vector<bool> faults = model.choose_faults(fleet, 4, 1);
+    for (std::size_t r = 0; r < 3; ++r) {
+      if (faults[r]) seen[r] = true;
+    }
+  }
+  EXPECT_TRUE(seen[0] && seen[1] && seen[2]);
+}
+
+TEST(RandomFaults, BudgetBeyondFleetThrows) {
+  RandomFaults model(1);
+  const Fleet fleet = staggered_sweepers();
+  EXPECT_THROW((void)model.choose_faults(fleet, 4, 4), PreconditionError);
+}
+
+TEST(DetectionTimeUnder, RandomNeverBeatsReliableFirstVisit) {
+  // Any fault assignment yields detection no earlier than the fault-free
+  // first visit and no later than the all-but-one-faulty case.
+  RandomFaults model(99);
+  const Fleet fleet = staggered_sweepers();
+  for (int i = 0; i < 50; ++i) {
+    const Real t = detection_time_under(model, fleet, 4, 2);
+    EXPECT_GE(t, fleet.detection_time(4, 0));
+    EXPECT_LE(t, fleet.detection_time(4, 2));
+  }
+}
+
+TEST(ModelNames, AreStable) {
+  AdversarialFaults a;
+  FixedFaults fx({});
+  RandomFaults r(0);
+  EXPECT_EQ(a.name(), "adversarial");
+  EXPECT_EQ(fx.name(), "fixed");
+  EXPECT_EQ(r.name(), "random");
+}
+
+}  // namespace
+}  // namespace linesearch

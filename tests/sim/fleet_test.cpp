@@ -1,0 +1,169 @@
+// Tests for sim/fleet.hpp — fault-aware detection-time queries.
+#include "sim/fleet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/zigzag.hpp"
+#include "util/error.hpp"
+
+namespace linesearch {
+namespace {
+
+// Three staggered rightward sweepers reaching x=4 at t = 4, 6, 8.
+Fleet staggered_sweepers() {
+  return Fleet({Trajectory({{0, 0}, {10, 10}}),
+                Trajectory({{2, 0}, {12, 10}}),
+                Trajectory({{4, 0}, {14, 10}})});
+}
+
+TEST(FleetCtor, RejectsEmpty) { EXPECT_THROW(Fleet({}), PreconditionError); }
+
+TEST(FleetBasics, SizeHorizonAndAccess) {
+  const Fleet fleet = staggered_sweepers();
+  EXPECT_EQ(fleet.size(), 3u);
+  EXPECT_EQ(fleet.horizon(), 14.0L);
+  EXPECT_EQ(fleet.robot(1).start_time(), 2.0L);
+  EXPECT_THROW((void)fleet.robot(3), PreconditionError);
+}
+
+TEST(FirstVisitTimes, PerRobotWithInfinity) {
+  const Fleet fleet = staggered_sweepers();
+  const std::vector<Real> times = fleet.first_visit_times(4);
+  ASSERT_EQ(times.size(), 3u);
+  EXPECT_EQ(times[0], 4.0L);
+  EXPECT_EQ(times[1], 6.0L);
+  EXPECT_EQ(times[2], 8.0L);
+  // Nobody goes left.
+  for (const Real t : fleet.first_visit_times(-1)) {
+    EXPECT_TRUE(std::isinf(t));
+  }
+}
+
+TEST(VisitOrder, SortedByTimeTiesByRobot) {
+  const Fleet fleet = Fleet({Trajectory({{0, 0}, {10, 10}}),
+                             Trajectory({{0, 0}, {10, 10}}),
+                             Trajectory({{1, 0}, {11, 10}})});
+  const std::vector<VisitRecord> order = fleet.visit_order(5);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0].robot, 0u);  // tie with robot 1 broken by id
+  EXPECT_EQ(order[1].robot, 1u);
+  EXPECT_EQ(order[2].robot, 2u);
+}
+
+TEST(DetectionTime, OrderStatisticSemantics) {
+  const Fleet fleet = staggered_sweepers();
+  EXPECT_EQ(fleet.detection_time(4, 0), 4.0L);
+  EXPECT_EQ(fleet.detection_time(4, 1), 6.0L);
+  EXPECT_EQ(fleet.detection_time(4, 2), 8.0L);
+}
+
+TEST(DetectionTime, FaultBudgetAtLeastFleetSizeNeverDetects) {
+  const Fleet fleet = staggered_sweepers();
+  EXPECT_TRUE(std::isinf(fleet.detection_time(4, 3)));
+}
+
+TEST(DetectionTime, UnvisitedPointIsInfinity) {
+  const Fleet fleet = staggered_sweepers();
+  EXPECT_TRUE(std::isinf(fleet.detection_time(-2, 0)));
+}
+
+TEST(DetectionTime, NegativeFaultsThrows) {
+  const Fleet fleet = staggered_sweepers();
+  EXPECT_THROW((void)fleet.detection_time(4, -1), PreconditionError);
+}
+
+TEST(WorstCaseDetector, IdentifiesTheFPlusFirstRobot) {
+  const Fleet fleet = staggered_sweepers();
+  EXPECT_EQ(*fleet.worst_case_detector(4, 1), 1u);
+  EXPECT_EQ(*fleet.worst_case_detector(4, 2), 2u);
+  EXPECT_FALSE(fleet.worst_case_detector(-2, 0).has_value());
+}
+
+TEST(DetectionWithFaults, ExplicitFaultSet) {
+  const Fleet fleet = staggered_sweepers();
+  EXPECT_EQ(fleet.detection_time_with_faults(4, {true, false, false}), 6.0L);
+  EXPECT_EQ(fleet.detection_time_with_faults(4, {true, true, false}), 8.0L);
+  EXPECT_EQ(fleet.detection_time_with_faults(4, {false, true, true}), 4.0L);
+  EXPECT_TRUE(std::isinf(
+      fleet.detection_time_with_faults(4, {true, true, true})));
+}
+
+TEST(DetectionWithFaults, SizeMismatchThrows) {
+  const Fleet fleet = staggered_sweepers();
+  EXPECT_THROW((void)fleet.detection_time_with_faults(4, {true}),
+               PreconditionError);
+}
+
+TEST(DetectionConsistency, ExplicitWorstCaseMatchesOrderStatistic) {
+  // Making the first f visitors faulty must reproduce detection_time.
+  const Fleet fleet = staggered_sweepers();
+  for (int f = 0; f < 3; ++f) {
+    std::vector<bool> faulty(3, false);
+    const std::vector<VisitRecord> order = fleet.visit_order(4);
+    for (int i = 0; i < f; ++i) faulty[order[static_cast<std::size_t>(i)].robot] = true;
+    EXPECT_EQ(fleet.detection_time_with_faults(4, faulty),
+              fleet.detection_time(4, f));
+  }
+}
+
+TEST(DistinctVisitors, CountsByDeadline) {
+  const Fleet fleet = staggered_sweepers();
+  EXPECT_EQ(fleet.distinct_visitors_by(4, 3.9L), 0);
+  EXPECT_EQ(fleet.distinct_visitors_by(4, 4.0L), 1);
+  EXPECT_EQ(fleet.distinct_visitors_by(4, 7.0L), 2);
+  EXPECT_EQ(fleet.distinct_visitors_by(4, 100.0L), 3);
+}
+
+TEST(Covers, ZigzagFleetCoversItsExtent) {
+  std::vector<Trajectory> robots;
+  for (int i = 0; i < 3; ++i) {
+    robots.push_back(make_origin_zigzag(
+        {.beta = 2, .first_turn = 1 + 0.4L * static_cast<Real>(i),
+         .min_coverage = 40}));
+  }
+  const Fleet fleet{std::move(robots)};
+  EXPECT_TRUE(fleet.covers(1, 40, 3));
+  EXPECT_TRUE(fleet.covers(1, 40, 1));
+}
+
+TEST(Covers, OneSidedFleetFailsCoverage) {
+  const Fleet fleet = staggered_sweepers();  // never goes left
+  EXPECT_FALSE(fleet.covers(1, 8, 1));
+}
+
+TEST(Covers, RequiresMoreVisitorsThanExist) {
+  const Fleet fleet = staggered_sweepers();
+  EXPECT_FALSE(fleet.covers(1, 8, 4));
+}
+
+TEST(Covers, GuardsArguments) {
+  const Fleet fleet = staggered_sweepers();
+  EXPECT_THROW((void)fleet.covers(0, 8, 1), PreconditionError);
+  EXPECT_THROW((void)fleet.covers(2, 1, 1), PreconditionError);
+  EXPECT_THROW((void)fleet.covers(1, 8, 0), PreconditionError);
+}
+
+TEST(TurningPositions, SortedMagnitudesPerSide) {
+  const Fleet fleet =
+      Fleet({make_cone_zigzag({.beta = 3, .first_turn = 1, .min_coverage = 10})});
+  const std::vector<Real> pos = fleet.turning_positions(+1);
+  const std::vector<Real> neg = fleet.turning_positions(-1);
+  // Turns: 1 (start, not a turn waypoint), -2, 4, -8, 16 ... depends on
+  // coverage; positive turning magnitudes are {4, 16(?)}, negative {2, 8}.
+  ASSERT_FALSE(pos.empty());
+  ASSERT_FALSE(neg.empty());
+  EXPECT_TRUE(std::is_sorted(pos.begin(), pos.end()));
+  EXPECT_TRUE(std::is_sorted(neg.begin(), neg.end()));
+  EXPECT_NEAR(static_cast<double>(neg[0]), 2.0, 1e-12);
+  EXPECT_NEAR(static_cast<double>(pos[0]), 4.0, 1e-12);
+}
+
+TEST(TurningPositions, RejectsBadSide) {
+  const Fleet fleet = staggered_sweepers();
+  EXPECT_THROW((void)fleet.turning_positions(0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace linesearch

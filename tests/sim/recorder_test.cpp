@@ -1,0 +1,127 @@
+// Tests for sim/recorder.hpp — the event log and the ASCII renderer.
+#include "sim/recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sim/engine.hpp"
+#include "sim/zigzag.hpp"
+#include "util/error.hpp"
+
+namespace linesearch {
+namespace {
+
+TEST(EventLog, RecordsAndFilters) {
+  EventLog log;
+  log.on_event({1, EventKind::kTurn, 0, 2, false});
+  log.on_event({2, EventKind::kDetection, 1, 2, false});
+  log.on_event({3, EventKind::kTurn, 1, -4, true});
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.of_kind(EventKind::kTurn).size(), 2u);
+  EXPECT_EQ(log.of_kind(EventKind::kDetection).size(), 1u);
+  EXPECT_TRUE(log.of_kind(EventKind::kHalt).empty());
+}
+
+TEST(EventLog, ToTextOneLinePerEvent) {
+  EventLog log;
+  log.on_event({1, EventKind::kTurn, 0, 2, false});
+  log.on_event({2, EventKind::kHalt, 0, 0, false});
+  const std::string text = log.to_text();
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);
+}
+
+TEST(EventLog, ClearEmptiesTheLog) {
+  EventLog log;
+  log.on_event({1, EventKind::kTurn, 0, 2, false});
+  log.clear();
+  EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(Render, GridDimensionsRespected) {
+  const Fleet fleet =
+      Fleet({make_origin_zigzag({.beta = 3, .first_turn = 1,
+                                 .min_coverage = 8})});
+  RenderOptions options;
+  options.rows = 10;
+  options.columns = 21;
+  const std::string art = render_space_time(fleet, options);
+  // Header + 10 rows.
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 11);
+}
+
+TEST(Render, OriginAxisPresent) {
+  const Fleet fleet = Fleet({Trajectory::stationary(3, 10)});
+  RenderOptions options;
+  options.rows = 5;
+  options.columns = 11;
+  options.max_time = 10;
+  options.max_position = 5;
+  const std::string art = render_space_time(fleet, options);
+  EXPECT_NE(art.find('|'), std::string::npos);
+}
+
+TEST(Render, RobotDigitAppears) {
+  const Fleet fleet = Fleet({Trajectory::stationary(3, 10)});
+  RenderOptions options;
+  options.max_time = 10;
+  options.max_position = 5;
+  const std::string art = render_space_time(fleet, options);
+  EXPECT_NE(art.find('0'), std::string::npos);
+}
+
+TEST(Render, TargetMarkerOnTopRow) {
+  const Fleet fleet = Fleet({Trajectory::stationary(-3, 10)});
+  RenderOptions options;
+  options.max_time = 10;
+  options.max_position = 5;
+  options.target = 2;
+  const std::string art = render_space_time(fleet, options);
+  EXPECT_NE(art.find('T'), std::string::npos);
+}
+
+TEST(Render, ConeBoundaryDotsWhenRequested) {
+  const Fleet fleet = Fleet({Trajectory::stationary(4, 30)});
+  RenderOptions options;
+  options.max_time = 30;
+  options.max_position = 10;
+  options.cone_beta = 3;
+  const std::string art = render_space_time(fleet, options);
+  EXPECT_NE(art.find('.'), std::string::npos);
+}
+
+TEST(Render, RejectsDegenerateGrids) {
+  const Fleet fleet = Fleet({Trajectory::stationary(0, 10)});
+  RenderOptions bad;
+  bad.rows = 1;
+  EXPECT_THROW((void)render_space_time(fleet, bad), PreconditionError);
+  RenderOptions negative;
+  negative.max_time = -1;
+  EXPECT_THROW((void)render_space_time(fleet, negative), PreconditionError);
+}
+
+TEST(Render, EndToEndWithEngine) {
+  // Full pipeline: build A-like fleet, replay with observer, then render.
+  std::vector<Trajectory> robots;
+  for (int i = 0; i < 2; ++i) {
+    robots.push_back(make_origin_zigzag(
+        {.beta = 3, .first_turn = 1 + static_cast<Real>(i),
+         .min_coverage = 8}));
+  }
+  const Fleet fleet{std::move(robots)};
+  const Engine engine(fleet);
+  EventLog log;
+  (void)engine.run_fault_free(2, &log);
+  EXPECT_GT(log.size(), 0u);
+  RenderOptions options;
+  options.max_time = 24;
+  options.max_position = 8;
+  options.cone_beta = 3;
+  options.target = 2;
+  const std::string art = render_space_time(fleet, options);
+  EXPECT_NE(art.find('0'), std::string::npos);
+  EXPECT_NE(art.find('1'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace linesearch

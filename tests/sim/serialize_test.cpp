@@ -1,0 +1,106 @@
+// Tests for sim/serialize.hpp — CSV round-trip of trajectories/fleets.
+#include "sim/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/algorithm.hpp"
+#include "util/error.hpp"
+
+namespace linesearch {
+namespace {
+
+Fleet sample_fleet() {
+  return Fleet({Trajectory({{0, 0}, {1, 1}, {4, -2}}),
+                Trajectory({{0, 0}, {2, -2}, {6, 2}})});
+}
+
+TEST(Serialize, HeaderAndRowShape) {
+  const std::string csv = fleet_to_csv(sample_fleet());
+  EXPECT_EQ(csv.rfind("robot,time,position\n", 0), 0u);
+  // 3 + 3 waypoints + header = 7 lines.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 7);
+  EXPECT_NE(csv.find("0,0,0\n"), std::string::npos);
+  EXPECT_NE(csv.find("1,2,-2\n"), std::string::npos);
+}
+
+TEST(Serialize, RoundTripPreservesWaypoints) {
+  const Fleet original = sample_fleet();
+  const Fleet parsed = fleet_from_csv(fleet_to_csv(original));
+  ASSERT_EQ(parsed.size(), original.size());
+  for (RobotId id = 0; id < original.size(); ++id) {
+    EXPECT_EQ(parsed.robot(id).waypoints(), original.robot(id).waypoints());
+  }
+}
+
+TEST(Serialize, RoundTripPreservesLongDoublePrecision) {
+  // A real schedule fleet with irrational turning points must round-trip
+  // to detection-time equality at every probe.
+  const ProportionalAlgorithm algo(3, 1);
+  const Fleet original = algo.build_fleet(50);
+  const Fleet parsed = fleet_from_csv(fleet_to_csv(original));
+  for (const Real x : {1.0L, -2.5L, 7.77L, -20.0L}) {
+    EXPECT_NEAR(
+        static_cast<double>(parsed.detection_time(x, 1)),
+        static_cast<double>(original.detection_time(x, 1)), 1e-15);
+  }
+}
+
+TEST(Serialize, WriteSingleTrajectoryWithCustomId) {
+  std::ostringstream out;
+  write_trajectory_csv(out, Trajectory({{0, 0}, {3, 3}}), 7);
+  EXPECT_EQ(out.str(), "7,0,0\n7,3,3\n");
+}
+
+TEST(Serialize, ToleratesCrLfAndBlankLines) {
+  const Fleet parsed = fleet_from_csv(
+      "robot,time,position\r\n0,0,0\r\n\r\n0,2,2\r\n");
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed.robot(0).end_position(), 2.0L);
+}
+
+TEST(Serialize, RejectsMissingHeader) {
+  EXPECT_THROW((void)fleet_from_csv("0,0,0\n"), PreconditionError);
+  EXPECT_THROW((void)fleet_from_csv(""), PreconditionError);
+}
+
+TEST(Serialize, RejectsMalformedRows) {
+  EXPECT_THROW((void)fleet_from_csv("robot,time,position\n0,1\n"),
+               PreconditionError);
+  EXPECT_THROW((void)fleet_from_csv("robot,time,position\n0,1,2,3\n"),
+               PreconditionError);
+  EXPECT_THROW((void)fleet_from_csv("robot,time,position\n0,abc,2\n"),
+               PreconditionError);
+  EXPECT_THROW((void)fleet_from_csv("robot,time,position\nx,1,2\n"),
+               PreconditionError);
+}
+
+TEST(Serialize, RejectsNonContiguousRobotIds) {
+  EXPECT_THROW(
+      (void)fleet_from_csv("robot,time,position\n1,0,0\n1,1,1\n"),
+      PreconditionError);
+  EXPECT_THROW((void)fleet_from_csv(
+                   "robot,time,position\n0,0,0\n0,1,1\n2,0,0\n2,1,1\n"),
+               PreconditionError);
+}
+
+TEST(Serialize, ParsedTrajectoriesAreRevalidated) {
+  // Speed violation hidden in the file must be caught by the Trajectory
+  // constructor on parse.
+  EXPECT_THROW(
+      (void)fleet_from_csv("robot,time,position\n0,0,0\n0,1,5\n"),
+      PreconditionError);
+  // Non-increasing time as well.
+  EXPECT_THROW(
+      (void)fleet_from_csv("robot,time,position\n0,1,0\n0,1,0\n"),
+      PreconditionError);
+}
+
+TEST(Serialize, RejectsEmptyBody) {
+  EXPECT_THROW((void)fleet_from_csv("robot,time,position\n"),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace linesearch

@@ -1,0 +1,98 @@
+// Tests for sim/svg.hpp.
+#include "sim/svg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "core/algorithm.hpp"
+#include "util/error.hpp"
+
+namespace linesearch {
+namespace {
+
+Fleet small_fleet() {
+  return ProportionalAlgorithm(3, 1).build_fleet(30);
+}
+
+TEST(Svg, WellFormedDocument) {
+  SvgOptions options;
+  options.max_time = 30;
+  options.max_position = 12;
+  const std::string svg = render_svg(small_fleet(), options);
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("xmlns"), std::string::npos);
+}
+
+TEST(Svg, OnePolylinePerVisibleRobot) {
+  SvgOptions options;
+  options.max_time = 30;
+  options.max_position = 12;
+  const std::string svg = render_svg(small_fleet(), options);
+  std::size_t count = 0, at = 0;
+  while ((at = svg.find("<polyline", at)) != std::string::npos) {
+    ++count;
+    ++at;
+  }
+  EXPECT_EQ(count, 3u);
+}
+
+TEST(Svg, ConeTargetAndTitleRendered) {
+  SvgOptions options;
+  options.max_time = 30;
+  options.max_position = 12;
+  options.cone_beta = 5.0L / 3;
+  options.target = 4;
+  options.title = "A(3,1) space-time";
+  const std::string svg = render_svg(small_fleet(), options);
+  EXPECT_NE(svg.find("stroke-dasharray=\"6,4\""), std::string::npos);
+  EXPECT_NE(svg.find("#c22"), std::string::npos);
+  EXPECT_NE(svg.find("A(3,1) space-time"), std::string::npos);
+}
+
+TEST(Svg, RobotStartingBeyondViewIsSkippedGracefully) {
+  // A trajectory entirely below the visible time span must not crash.
+  const Fleet fleet({Trajectory({{100, 0}, {105, 5}})});
+  SvgOptions options;
+  options.max_time = 20;
+  options.max_position = 10;
+  const std::string svg = render_svg(fleet, options);
+  EXPECT_EQ(svg.find("<polyline"), std::string::npos);
+}
+
+TEST(Svg, LongTrajectoriesClippedAtViewBottom) {
+  SvgOptions options;
+  options.max_time = 10;  // much shorter than the fleet's horizon
+  options.max_position = 12;
+  const std::string svg = render_svg(small_fleet(), options);
+  EXPECT_NE(svg.find("<polyline"), std::string::npos);
+}
+
+TEST(Svg, GuardsOptions) {
+  SvgOptions bad;
+  bad.max_time = 0;
+  EXPECT_THROW((void)render_svg(small_fleet(), bad), PreconditionError);
+  SvgOptions tiny;
+  tiny.width = 10;
+  EXPECT_THROW((void)render_svg(small_fleet(), tiny), PreconditionError);
+}
+
+TEST(Svg, WriteFileCreatesDirectories) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "linesearch_svg_test";
+  std::filesystem::remove_all(dir);
+  const std::string path = (dir / "nested" / "fig.svg").string();
+  write_svg_file(path, "<svg></svg>\n");
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "<svg></svg>\n");
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace linesearch

@@ -1,0 +1,235 @@
+// Tests for sim/trajectory.hpp — the exact-visit substrate everything
+// else rests on.
+#include "sim/trajectory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace linesearch {
+namespace {
+
+Trajectory simple_zigzag() {
+  // 0 -> 1 -> -2 -> 4 (classic doubling shape at unit speed).
+  return Trajectory({{0, 0}, {1, 1}, {4, -2}, {10, 4}});
+}
+
+TEST(TrajectoryCtor, RejectsEmptyWaypointList) {
+  EXPECT_THROW(Trajectory({}), PreconditionError);
+}
+
+TEST(TrajectoryCtor, RejectsNonIncreasingTime) {
+  EXPECT_THROW(Trajectory({{0, 0}, {0, 1}}), PreconditionError);
+  EXPECT_THROW(Trajectory({{1, 0}, {0, 1}}), PreconditionError);
+}
+
+TEST(TrajectoryCtor, RejectsSuperUnitSpeed) {
+  EXPECT_THROW(Trajectory({{0, 0}, {1, 1.5L}}), PreconditionError);
+}
+
+TEST(TrajectoryCtor, AcceptsExactUnitSpeed) {
+  EXPECT_NO_THROW(Trajectory({{0, 0}, {5, 5}}));
+}
+
+TEST(TrajectoryCtor, AcceptsSubUnitSpeed) {
+  EXPECT_NO_THROW(Trajectory({{0, 0}, {10, 1}}));
+}
+
+TEST(TrajectoryCtor, SinglePointIsValid) {
+  const Trajectory t({{2, 3}});
+  EXPECT_EQ(t.segment_count(), 0u);
+  EXPECT_EQ(t.start_time(), 2.0L);
+  EXPECT_EQ(t.start_position(), 3.0L);
+}
+
+TEST(Stationary, SitsStill) {
+  const Trajectory t = Trajectory::stationary(5, 10);
+  EXPECT_EQ(t.position_at(0), 5.0L);
+  EXPECT_EQ(t.position_at(10), 5.0L);
+  EXPECT_EQ(t.max_speed(), 0.0L);
+}
+
+TEST(PositionAt, InterpolatesLinearly) {
+  const Trajectory t = simple_zigzag();
+  EXPECT_EQ(t.position_at(0), 0.0L);
+  EXPECT_EQ(t.position_at(1), 1.0L);
+  EXPECT_NEAR(static_cast<double>(t.position_at(2.5L)), -0.5, 1e-15);
+  EXPECT_EQ(t.position_at(4), -2.0L);
+  EXPECT_NEAR(static_cast<double>(t.position_at(7)), 1.0, 1e-15);
+  EXPECT_EQ(t.position_at(10), 4.0L);
+}
+
+TEST(PositionAt, OutsideSpanThrows) {
+  const Trajectory t = simple_zigzag();
+  EXPECT_THROW((void)t.position_at(-0.1L), PreconditionError);
+  EXPECT_THROW((void)t.position_at(10.1L), PreconditionError);
+}
+
+TEST(FirstVisit, OriginVisitedAtStart) {
+  const Trajectory t = simple_zigzag();
+  const auto visit = t.first_visit_time(0);
+  ASSERT_TRUE(visit.has_value());
+  EXPECT_EQ(*visit, 0.0L);
+}
+
+TEST(FirstVisit, PointOnFirstLeg) {
+  const Trajectory t = simple_zigzag();
+  EXPECT_EQ(*t.first_visit_time(0.5L), 0.5L);
+}
+
+TEST(FirstVisit, PointReachedOnlyOnThirdLeg) {
+  const Trajectory t = simple_zigzag();
+  // x = 3 is only reached on the last leg: t = 4 + (3 - (-2)) = 9.
+  EXPECT_EQ(*t.first_visit_time(3), 9.0L);
+}
+
+TEST(FirstVisit, NeverReached) {
+  const Trajectory t = simple_zigzag();
+  EXPECT_FALSE(t.first_visit_time(5).has_value());
+  EXPECT_FALSE(t.first_visit_time(-3).has_value());
+}
+
+TEST(VisitTimes, MultipleCrossingsInOrder) {
+  const Trajectory t = simple_zigzag();
+  // x = 0.5: crossed on leg1 (t=0.5), leg2 (t=1.5), leg3 (t=6.5).
+  const std::vector<Real> times = t.visit_times(0.5L);
+  ASSERT_EQ(times.size(), 3u);
+  EXPECT_EQ(times[0], 0.5L);
+  EXPECT_EQ(times[1], 1.5L);
+  EXPECT_EQ(times[2], 6.5L);
+}
+
+TEST(VisitTimes, TurningPointTouchedOnceNotTwice) {
+  const Trajectory t = simple_zigzag();
+  // x = 1 is the turning point between legs 1 and 2: one visit at t=1,
+  // then again on leg 3 at t = 4 + 3 = 7.
+  const std::vector<Real> times = t.visit_times(1);
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_EQ(times[0], 1.0L);
+  EXPECT_EQ(times[1], 7.0L);
+}
+
+TEST(VisitTimes, MaxCountCapsOutput) {
+  const Trajectory t = simple_zigzag();
+  EXPECT_EQ(t.visit_times(0.5L, 2).size(), 2u);
+  EXPECT_TRUE(t.visit_times(0.5L, 0).empty());
+}
+
+TEST(VisitTimes, StationarySegmentVisitsAtSegmentStart) {
+  const Trajectory t({{0, 0}, {2, 2}, {5, 2}, {6, 1}});
+  const std::vector<Real> times = t.visit_times(2);
+  // Arrives at 2 at t=2, waits until t=5 (single visit reported at 2).
+  ASSERT_EQ(times.size(), 1u);
+  EXPECT_EQ(times[0], 2.0L);
+}
+
+TEST(KthVisit, IndexedFromZero) {
+  const Trajectory t = simple_zigzag();
+  EXPECT_EQ(*t.kth_visit_time(0.5L, 0), 0.5L);
+  EXPECT_EQ(*t.kth_visit_time(0.5L, 2), 6.5L);
+  EXPECT_FALSE(t.kth_visit_time(0.5L, 3).has_value());
+}
+
+TEST(MaxAbsPosition, TracksExtremes) {
+  EXPECT_EQ(simple_zigzag().max_abs_position(), 4.0L);
+  EXPECT_EQ(Trajectory({{0, -7}, {1, -6}}).max_abs_position(), 7.0L);
+}
+
+TEST(TurningWaypoints, DetectsSignFlipsOnly) {
+  const Trajectory t = simple_zigzag();
+  const std::vector<Waypoint> turns = t.turning_waypoints();
+  ASSERT_EQ(turns.size(), 2u);
+  EXPECT_EQ(turns[0].position, 1.0L);
+  EXPECT_EQ(turns[1].position, -2.0L);
+}
+
+TEST(TurningWaypoints, PauseIsNotATurn) {
+  // Move right, wait, keep moving right: no turning point.
+  const Trajectory t({{0, 0}, {2, 2}, {3, 2}, {5, 4}});
+  EXPECT_TRUE(t.turning_waypoints().empty());
+}
+
+TEST(TurningWaypoints, PauseThenReverseIsATurn) {
+  const Trajectory t({{0, 0}, {2, 2}, {3, 2}, {5, 0}});
+  // The direction flips across the pause; with our definition the flip is
+  // detected at the waypoint where motion resumes in the other direction.
+  const std::vector<Waypoint> turns = t.turning_waypoints();
+  ASSERT_EQ(turns.size(), 1u);
+  EXPECT_EQ(turns[0].position, 2.0L);
+}
+
+TEST(Describe, MentionsSegmentsAndTurns) {
+  const std::string d = simple_zigzag().describe();
+  EXPECT_NE(d.find("3 segments"), std::string::npos);
+  EXPECT_NE(d.find("2 turns"), std::string::npos);
+}
+
+TEST(Builder, BuildsUnitSpeedLegs) {
+  const Trajectory t = [] {
+    TrajectoryBuilder b;
+    b.start_at(0, 0);
+    b.move_to(3).move_to(-1);
+    return std::move(b).build();
+  }();
+  EXPECT_EQ(t.end_time(), 7.0L);
+  EXPECT_EQ(t.end_position(), -1.0L);
+  EXPECT_NEAR(static_cast<double>(t.max_speed()), 1.0, 1e-15);
+}
+
+TEST(Builder, MoveToAtEnforcesSpeedAtBuild) {
+  TrajectoryBuilder b;
+  b.start_at(0, 0);
+  b.move_to_at(5, 2);  // speed 2.5 — rejected at build time
+  EXPECT_THROW((void)std::move(b).build(), PreconditionError);
+}
+
+TEST(Builder, SlowLegAccepted) {
+  TrajectoryBuilder b;
+  b.start_at(0, 0);
+  b.move_to_at(1, 3);  // speed 1/3, Definition-4 prefix style
+  const Trajectory t = std::move(b).build();
+  EXPECT_NEAR(static_cast<double>(t.position_at(1.5L)), 0.5, 1e-15);
+}
+
+TEST(Builder, WaitUntilAddsStationarySegment) {
+  TrajectoryBuilder b;
+  b.start_at(0, 1);
+  b.wait_until(4).move_to(2);
+  const Trajectory t = std::move(b).build();
+  EXPECT_EQ(t.position_at(3), 1.0L);
+  EXPECT_EQ(t.end_time(), 5.0L);
+}
+
+TEST(Builder, WaitUntilSameTimeIsNoop) {
+  TrajectoryBuilder b;
+  b.start_at(0, 1);
+  b.wait_until(0);
+  b.move_to(2);
+  const Trajectory t = std::move(b).build();
+  EXPECT_EQ(t.segment_count(), 1u);
+}
+
+TEST(Builder, GuardsMisuse) {
+  TrajectoryBuilder unstarted;
+  EXPECT_THROW(unstarted.move_to(1), PreconditionError);
+  EXPECT_THROW((void)std::move(unstarted).build(), PreconditionError);
+
+  TrajectoryBuilder twice;
+  twice.start_at(0, 0);
+  EXPECT_THROW(twice.start_at(1, 1), PreconditionError);
+  EXPECT_THROW(twice.move_to(0), PreconditionError);  // zero-length leg
+  EXPECT_THROW(twice.wait_until(-1), PreconditionError);
+}
+
+TEST(Builder, CurrentStateTracksLegs) {
+  TrajectoryBuilder b;
+  b.start_at(0, 0);
+  b.move_to(2);
+  EXPECT_EQ(b.current_time(), 2.0L);
+  EXPECT_EQ(b.current_position(), 2.0L);
+}
+
+}  // namespace
+}  // namespace linesearch

@@ -1,0 +1,175 @@
+// Tests for sim/zigzag.hpp — Lemma 1 and the cone zig-zag builders.
+#include "sim/zigzag.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace linesearch {
+namespace {
+
+TEST(ExpansionFactor, KnownValues) {
+  EXPECT_NEAR(static_cast<double>(expansion_factor(3)), 2.0, 1e-15);
+  EXPECT_NEAR(static_cast<double>(expansion_factor(5.0L / 3)), 4.0, 1e-12);
+  EXPECT_NEAR(static_cast<double>(expansion_factor(2)), 3.0, 1e-15);
+}
+
+TEST(ExpansionFactor, RejectsBetaAtOrBelowOne) {
+  EXPECT_THROW((void)expansion_factor(1), PreconditionError);
+  EXPECT_THROW((void)expansion_factor(0.5L), PreconditionError);
+}
+
+TEST(BetaForExpansion, InvertsExpansionFactor) {
+  for (const Real beta : {1.5L, 2.0L, 3.0L, 7.0L}) {
+    EXPECT_NEAR(
+        static_cast<double>(beta_for_expansion(expansion_factor(beta))),
+        static_cast<double>(beta), 1e-12);
+  }
+}
+
+TEST(ConeArrival, BetaTimesAbs) {
+  EXPECT_EQ(cone_arrival_time(3, 2), 6.0L);
+  EXPECT_EQ(cone_arrival_time(3, -2), 6.0L);
+}
+
+TEST(TurningPointNeighbors, InverseOfEachOther) {
+  const Real beta = 2.5L;
+  const Real x = 1.7L;
+  EXPECT_NEAR(static_cast<double>(
+                  previous_turning_point(beta, next_turning_point(beta, x))),
+              static_cast<double>(x), 1e-12);
+  EXPECT_LT(next_turning_point(beta, x), 0.0L);  // alternates sides
+}
+
+TEST(Lemma1TurningPoints, AlternatingGeometric) {
+  // beta = 3 => kappa = 2: 1, -2, 4, -8, 16.
+  const std::vector<Real> pts = lemma1_turning_points(3, 1, 5);
+  ASSERT_EQ(pts.size(), 5u);
+  EXPECT_EQ(pts[0], 1.0L);
+  EXPECT_NEAR(static_cast<double>(pts[1]), -2.0, 1e-12);
+  EXPECT_NEAR(static_cast<double>(pts[2]), 4.0, 1e-12);
+  EXPECT_NEAR(static_cast<double>(pts[3]), -8.0, 1e-12);
+  EXPECT_NEAR(static_cast<double>(pts[4]), 16.0, 1e-12);
+}
+
+TEST(Lemma1TurningPoints, FormulaMatchesDefinition) {
+  // x_i = x0 * kappa^i * (-1)^i for arbitrary beta.
+  const Real beta = 1.8L;
+  const Real kappa = expansion_factor(beta);
+  const std::vector<Real> pts = lemma1_turning_points(beta, 0.5L, 6);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const Real expected = 0.5L * std::pow(kappa, static_cast<Real>(i)) *
+                          ((i % 2 == 0) ? 1 : -1);
+    EXPECT_NEAR(static_cast<double>(pts[i]), static_cast<double>(expected),
+                1e-10);
+  }
+}
+
+TEST(MakeConeZigzag, StartsOnConeBoundary) {
+  const Trajectory t =
+      make_cone_zigzag({.beta = 3, .first_turn = 1, .min_coverage = 8});
+  EXPECT_EQ(t.start_time(), 3.0L);  // beta * |x0|
+  EXPECT_EQ(t.start_position(), 1.0L);
+}
+
+TEST(MakeConeZigzag, EveryTurnOnConeBoundary) {
+  const Real beta = 2.2L;
+  const Trajectory t =
+      make_cone_zigzag({.beta = beta, .first_turn = -0.7L, .min_coverage = 30});
+  for (const Waypoint& w : t.turning_waypoints()) {
+    EXPECT_NEAR(static_cast<double>(w.time),
+                static_cast<double>(beta * std::fabs(w.position)), 1e-9);
+  }
+}
+
+TEST(MakeConeZigzag, UnitSpeedLegs) {
+  const Trajectory t =
+      make_cone_zigzag({.beta = 1.5L, .first_turn = 1, .min_coverage = 50});
+  EXPECT_NEAR(static_cast<double>(t.max_speed()), 1.0, 1e-12);
+}
+
+TEST(MakeConeZigzag, CoversBothSidesPastMinCoverage) {
+  const Trajectory t =
+      make_cone_zigzag({.beta = 3, .first_turn = 1, .min_coverage = 10});
+  Real best_pos = 0, best_neg = 0;
+  for (const Waypoint& w : t.waypoints()) {
+    best_pos = std::max(best_pos, w.position);
+    best_neg = std::max(best_neg, -w.position);
+  }
+  EXPECT_GE(best_pos, 10.0L);
+  EXPECT_GE(best_neg, 10.0L);
+}
+
+TEST(MakeConeZigzag, NegativeSeedWorks) {
+  const Trajectory t =
+      make_cone_zigzag({.beta = 3, .first_turn = -1, .min_coverage = 10});
+  EXPECT_EQ(t.start_position(), -1.0L);
+  EXPECT_TRUE(within_cone(t, 3));
+}
+
+TEST(MakeConeZigzag, RejectsBadSpecs) {
+  EXPECT_THROW((void)make_cone_zigzag({.beta = 1, .first_turn = 1}),
+               PreconditionError);
+  EXPECT_THROW((void)make_cone_zigzag({.beta = 3, .first_turn = 0}),
+               PreconditionError);
+  EXPECT_THROW(
+      (void)make_cone_zigzag({.beta = 3, .first_turn = 1, .min_coverage = 0}),
+      PreconditionError);
+}
+
+TEST(MakeOriginZigzag, PrefixAtOneOverBetaSpeed) {
+  const Real beta = 3;
+  const Trajectory t =
+      make_origin_zigzag({.beta = beta, .first_turn = 1, .min_coverage = 8});
+  EXPECT_EQ(t.start_time(), 0.0L);
+  EXPECT_EQ(t.start_position(), 0.0L);
+  // Halfway through the prefix the robot is halfway to the turn.
+  EXPECT_NEAR(static_cast<double>(t.position_at(beta / 2)), 0.5, 1e-15);
+}
+
+TEST(MakeOriginZigzag, MatchesConeZigzagAfterPrefix) {
+  const ZigZagSpec spec{.beta = 2.0L, .first_turn = 1, .min_coverage = 20};
+  const Trajectory with_prefix = make_origin_zigzag(spec);
+  const Trajectory pure = make_cone_zigzag(spec);
+  for (const Real time : {3.0L, 5.0L, 11.0L, 30.0L}) {
+    EXPECT_NEAR(static_cast<double>(with_prefix.position_at(time)),
+                static_cast<double>(pure.position_at(time)), 1e-10);
+  }
+}
+
+TEST(WithinCone, AcceptsConeZigzagRejectsEscapee) {
+  const Trajectory good =
+      make_cone_zigzag({.beta = 3, .first_turn = 1, .min_coverage = 8});
+  EXPECT_TRUE(within_cone(good, 3));
+  // The same trajectory violates a much narrower cone.
+  EXPECT_FALSE(within_cone(good, 30));
+  // A robot racing straight out at unit speed leaves any beta > 1 cone.
+  const Trajectory racer({{0, 0}, {10, 10}});
+  EXPECT_FALSE(within_cone(racer, 3));
+}
+
+TEST(WithinCone, OriginPrefixIsInsideCone) {
+  // The Definition-4 prefix (speed 1/beta) lies inside the cone: at time
+  // t the robot is at x = t/beta, exactly on the boundary.
+  const Trajectory t =
+      make_origin_zigzag({.beta = 3, .first_turn = 1, .min_coverage = 8});
+  EXPECT_TRUE(within_cone(t, 3));
+}
+
+TEST(ExtendZigzag, ContinuesFromExistingTurn) {
+  TrajectoryBuilder b;
+  b.start_at(6, 2);  // on the beta=3 cone at x=2
+  extend_zigzag(b, 3, 10);
+  const Trajectory t = std::move(b).build();
+  EXPECT_TRUE(within_cone(t, 3));
+  // Next turns: -4, 8, -16 (kappa = 2).
+  const std::vector<Waypoint> turns = t.turning_waypoints();
+  ASSERT_GE(turns.size(), 2u);
+  EXPECT_NEAR(static_cast<double>(turns[0].position), -4.0, 1e-12);
+  EXPECT_NEAR(static_cast<double>(turns[1].position), 8.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace linesearch

@@ -1,0 +1,194 @@
+// Tests for the m-ray star substrate and strategies.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "star/search.hpp"
+#include "star/trajectory.hpp"
+#include "util/error.hpp"
+
+namespace linesearch {
+namespace {
+
+// -------------------------------------------------------- trajectory --
+
+TEST(StarTrajectoryTest, ExcursionBuilderShape) {
+  StarTrajectoryBuilder builder;
+  builder.excursion(0, 1).excursion(1, 2).excursion(2, 4);
+  const StarTrajectory t = std::move(builder).build();
+  // origin + 3 * (tip, origin) = 7 waypoints; total time 2(1+2+4) = 14.
+  EXPECT_EQ(t.waypoints().size(), 7u);
+  EXPECT_EQ(t.end_time(), 14.0L);
+}
+
+TEST(StarTrajectoryTest, FirstVisitOnOutboundLeg) {
+  StarTrajectoryBuilder builder;
+  builder.excursion(0, 1).excursion(1, 2);
+  const StarTrajectory t = std::move(builder).build();
+  // (ray 1, 1.5): reached at t = 2 (end of first excursion) + 1.5.
+  EXPECT_NEAR(static_cast<double>(*t.first_visit_time({1, 1.5L})), 3.5,
+              1e-15);
+  // (ray 0, 0.5): on the very first leg.
+  EXPECT_EQ(*t.first_visit_time({0, 0.5L}), 0.5L);
+}
+
+TEST(StarTrajectoryTest, UnvisitedRayReturnsNullopt) {
+  StarTrajectoryBuilder builder;
+  builder.excursion(0, 2);
+  const StarTrajectory t = std::move(builder).build();
+  EXPECT_FALSE(t.first_visit_time({1, 1.0L}).has_value());
+  EXPECT_FALSE(t.first_visit_time({0, 3.0L}).has_value());
+}
+
+TEST(StarTrajectoryTest, OriginBelongsToEveryRay) {
+  StarTrajectoryBuilder builder;
+  builder.excursion(2, 1);
+  const StarTrajectory t = std::move(builder).build();
+  for (int ray = 0; ray < 5; ++ray) {
+    EXPECT_EQ(*t.first_visit_time({ray, 0}), 0.0L) << ray;
+  }
+}
+
+TEST(StarTrajectoryTest, ReachAndTurningDepths) {
+  StarTrajectoryBuilder builder;
+  builder.excursion(0, 1).excursion(1, 2).excursion(0, 4).excursion(1, 8);
+  const StarTrajectory t = std::move(builder).build();
+  EXPECT_EQ(t.reach(0), 4.0L);
+  EXPECT_EQ(t.reach(1), 8.0L);
+  EXPECT_EQ(t.turning_depths(0), (std::vector<Real>{1, 4}));
+  EXPECT_EQ(t.turning_depths(1), (std::vector<Real>{2, 8}));
+}
+
+TEST(StarTrajectoryTest, ValidationRejectsIllegalMoves) {
+  // Ray change away from the origin.
+  EXPECT_THROW(StarTrajectory({{0, 0, 0}, {1, 0, 1}, {2, 1, 2}}),
+               PreconditionError);
+  // Super-unit speed.
+  EXPECT_THROW(StarTrajectory({{0, 0, 0}, {1, 0, 3}}), PreconditionError);
+  // Non-increasing time.
+  EXPECT_THROW(StarTrajectory({{0, 0, 0}, {0, 0, 0}}), PreconditionError);
+  // Negative distance.
+  EXPECT_THROW(StarTrajectory({{0, 0, -1}}), PreconditionError);
+}
+
+TEST(StarTrajectoryTest, FinalOutLeg) {
+  StarTrajectoryBuilder builder;
+  builder.excursion(0, 1);
+  builder.final_out(1, 3);
+  const StarTrajectory t = std::move(builder).build();
+  EXPECT_EQ(t.end_time(), 5.0L);
+  EXPECT_EQ(*t.first_visit_time({1, 3.0L}), 5.0L);
+}
+
+// ------------------------------------------------------------- sweep --
+
+TEST(StarSweepTest, ClosedFormRatioJustPastDepths) {
+  // Worst ratio just past excursion depth kappa^j on the sweep is
+  // 1 + 2 kappa^m/(kappa-1) minus a vanishing correction.
+  const int m = 3;
+  const Real kappa = 1.5L;
+  const StarTrajectory sweep = star_sweep(m, kappa, 1, 3000);
+  const StarFleet fleet({sweep});
+  const Real limit = star_sweep_cr(m, kappa);
+  // Probe just past a mid-schedule depth on each ray.
+  Real worst = 0;
+  for (int ray = 0; ray < m; ++ray) {
+    for (const Real depth : fleet.turning_depths(ray)) {
+      if (depth < 10 || depth > 100) continue;
+      const Real d = depth * (1 + 1e-9L);
+      worst = std::max(worst,
+                       fleet.detection_time({ray, d}, 0) / d);
+    }
+  }
+  EXPECT_GT(worst, limit - 0.2L);
+  EXPECT_LT(worst, limit + 1e-6L);
+}
+
+TEST(StarSweepTest, LineSpecialCaseIsTheCowPath) {
+  // m = 2, kappa = 2 reduces to the classic doubling: closed form 9.
+  EXPECT_NEAR(static_cast<double>(star_sweep_cr(2, 2)), 9.0, 1e-15);
+  EXPECT_NEAR(static_cast<double>(star_optimal_cr(2)), 9.0, 1e-15);
+  EXPECT_NEAR(static_cast<double>(star_optimal_kappa(2)), 2.0, 1e-15);
+}
+
+TEST(StarSweepTest, TextbookConstantsForSmallM) {
+  // 1 + 2 m^m/(m-1)^(m-1): 14.5 (m=3), ~19.96 (m=4), ~25.42 (m=5).
+  EXPECT_NEAR(static_cast<double>(star_optimal_cr(3)), 14.5, 1e-12);
+  EXPECT_NEAR(static_cast<double>(star_optimal_cr(4)), 1 + 512.0 / 27,
+              1e-12);
+  EXPECT_NEAR(static_cast<double>(star_optimal_cr(5)), 1 + 6250.0 / 256,
+              1e-12);
+}
+
+TEST(StarSweepTest, OptimalKappaMinimizesMeasuredCr) {
+  const int m = 3;
+  const Real kappa_star = star_optimal_kappa(m);
+  const auto measured = [&](const Real kappa) {
+    const StarFleet fleet({star_sweep(m, kappa, 1, 5000)});
+    return star_cr(fleet, m, 0, 8, 80).cr;
+  };
+  const Real at_star = measured(kappa_star);
+  EXPECT_NEAR(static_cast<double>(at_star),
+              static_cast<double>(star_optimal_cr(m)), 0.2);
+  EXPECT_LT(at_star, measured(kappa_star * 1.4L));
+  EXPECT_LT(at_star, measured(1 + (kappa_star - 1) / 2));
+}
+
+// ---------------------------------------------------------- faulty ----
+
+TEST(StarProportionalTest, CoverageAndDetection) {
+  // m = 3 rays, n = 4 robots (coprime): every ray served by all robots.
+  const StarFleet fleet = star_proportional(3, 4, 1.3L, 200);
+  EXPECT_EQ(fleet.size(), 4u);
+  for (int ray = 0; ray < 3; ++ray) {
+    for (const Real d : {1.0L, 7.7L, 50.0L}) {
+      for (int f = 0; f < 4; ++f) {
+        EXPECT_TRUE(std::isfinite(fleet.detection_time({ray, d}, f)))
+            << ray << " " << static_cast<double>(d) << " " << f;
+      }
+    }
+  }
+}
+
+TEST(StarProportionalTest, FaultsDelayDetectionMonotonically) {
+  const StarFleet fleet = star_proportional(3, 4, 1.3L, 200);
+  const StarPoint target{1, 20.0L};
+  Real previous = 0;
+  for (int f = 0; f < 4; ++f) {
+    const Real time = fleet.detection_time(target, f);
+    EXPECT_GE(time, previous);
+    previous = time;
+  }
+}
+
+TEST(StarProportionalTest, GcdLimitsCoverage) {
+  // m = 2, n = 2: gcd 2, each ray served by exactly one robot — f = 1
+  // detection is impossible and the evaluator reports it.
+  const StarFleet fleet = star_proportional(2, 2, 1.5L, 100);
+  EXPECT_TRUE(std::isinf(fleet.detection_time({0, 5.0L}, 1)));
+  EXPECT_THROW((void)star_cr(fleet, 2, 1, 2, 50), NumericError);
+}
+
+TEST(StarProportionalTest, LineCaseBeatsSingleRobotNine) {
+  // m = 2, n = 3 (f = 1): the faulty-robot star schedule with a tuned
+  // rho must beat running the single-robot sweep three times... i.e. be
+  // meaningfully below the naive 3-robot pack bound of 9+.
+  const StarFleet fleet = star_proportional(2, 3, 1.6L, 3000);
+  const StarCrResult result = star_cr(fleet, 2, 1, 4, 64);
+  EXPECT_LT(result.cr, 9.0L);
+  EXPECT_GT(result.cr, 3.0L);
+}
+
+TEST(StarGuards, ArgumentValidation) {
+  EXPECT_THROW((void)star_sweep(1, 2, 1, 10), PreconditionError);
+  EXPECT_THROW((void)star_sweep(3, 1, 1, 10), PreconditionError);
+  EXPECT_THROW((void)star_proportional(3, 0, 1.5L, 10), PreconditionError);
+  EXPECT_THROW((void)star_proportional(3, 2, 1.0L, 10), PreconditionError);
+  EXPECT_THROW((void)star_optimal_cr(1), PreconditionError);
+  const StarFleet fleet = star_proportional(3, 4, 1.3L, 50);
+  EXPECT_THROW((void)star_cr(fleet, 1, 0, 2, 40), PreconditionError);
+  EXPECT_THROW((void)star_cr(fleet, 3, 0, 5, 2), PreconditionError);
+}
+
+}  // namespace
+}  // namespace linesearch

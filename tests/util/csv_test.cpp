@@ -1,0 +1,62 @@
+// Tests for util/csv.hpp.
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace linesearch {
+namespace {
+
+TEST(CsvEscape, PlainFieldUnchanged) {
+  EXPECT_EQ(CsvWriter::escape("hello"), "hello");
+  EXPECT_EQ(CsvWriter::escape("3.14"), "3.14");
+}
+
+TEST(CsvEscape, CommaTriggersQuoting) {
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+}
+
+TEST(CsvEscape, QuotesAreDoubled) {
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvEscape, NewlineTriggersQuoting) {
+  EXPECT_EQ(CsvWriter::escape("a\nb"), "\"a\nb\"");
+}
+
+TEST(CsvWriter, WritesRows) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.write_row({"a", "b"});
+  csv.write_row({"1", "2,3"});
+  EXPECT_EQ(out.str(), "a,b\n1,\"2,3\"\n");
+}
+
+TEST(SeriesCsv, LongFormatWithHeader) {
+  std::ostringstream out;
+  write_series_csv(out, {{"curve", {1.0L, 2.0L}, {9.0L, 5.24L}}});
+  const std::string text = out.str();
+  EXPECT_EQ(text.rfind("series,x,y\n", 0), 0u);
+  EXPECT_NE(text.find("curve,1,9"), std::string::npos);
+  EXPECT_NE(text.find("curve,2,5.24"), std::string::npos);
+}
+
+TEST(SeriesCsv, MismatchedLengthsThrow) {
+  std::ostringstream out;
+  EXPECT_THROW(write_series_csv(out, {{"bad", {1.0L}, {}}}),
+               PreconditionError);
+}
+
+TEST(SeriesCsv, MultipleSeriesConcatenate) {
+  std::ostringstream out;
+  write_series_csv(out, {{"a", {1.0L}, {2.0L}}, {"b", {3.0L}, {4.0L}}});
+  const std::string text = out.str();
+  EXPECT_NE(text.find("a,1,2"), std::string::npos);
+  EXPECT_NE(text.find("b,3,4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace linesearch

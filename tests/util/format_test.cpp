@@ -1,0 +1,55 @@
+// Tests for util/format.hpp.
+#include "util/format.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace linesearch {
+namespace {
+
+TEST(Fixed, BasicRounding) {
+  EXPECT_EQ(fixed(3.14159L, 2), "3.14");
+  EXPECT_EQ(fixed(3.146L, 2), "3.15");
+  EXPECT_EQ(fixed(-2.4L, 0), "-2");
+  EXPECT_EQ(fixed(9.0L, 3), "9.000");
+}
+
+TEST(Fixed, NanRendersDash) { EXPECT_EQ(fixed(kNaN, 2), "-"); }
+
+TEST(Fixed, RejectsBadDecimals) {
+  EXPECT_THROW(fixed(1.0L, -1), PreconditionError);
+  EXPECT_THROW(fixed(1.0L, 31), PreconditionError);
+}
+
+TEST(Sig, SignificantDigits) {
+  EXPECT_EQ(sig(1234.5678L, 4), "1235");
+  EXPECT_EQ(sig(0.00012345L, 3), "0.000123");
+  EXPECT_EQ(sig(kNaN, 3), "-");
+}
+
+TEST(Scientific, Format) {
+  EXPECT_EQ(scientific(12345.0L, 2), "1.23e+04");
+  EXPECT_EQ(scientific(kNaN, 2), "-");
+}
+
+TEST(Pad, LeftAndRight) {
+  EXPECT_EQ(pad_left("ab", 5), "   ab");
+  EXPECT_EQ(pad_right("ab", 5), "ab   ");
+  EXPECT_EQ(pad_left("abcdef", 3), "abcdef");  // never truncates
+  EXPECT_EQ(pad_right("abcdef", 3), "abcdef");
+}
+
+TEST(Join, Pieces) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({"only"}, ", "), "only");
+  EXPECT_EQ(join({}, ", "), "");
+}
+
+TEST(Seconds, RendersWithSuffix) {
+  EXPECT_EQ(seconds(1.2344L), "1.234s");
+  EXPECT_EQ(seconds(kNaN), "-");
+}
+
+}  // namespace
+}  // namespace linesearch

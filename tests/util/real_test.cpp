@@ -1,0 +1,86 @@
+// Tests for util/real.hpp — tolerance semantics every other module
+// depends on.
+#include "util/real.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace linesearch {
+namespace {
+
+TEST(ApproxEqual, ExactValuesMatch) {
+  EXPECT_TRUE(approx_equal(1.0L, 1.0L));
+  EXPECT_TRUE(approx_equal(0.0L, 0.0L));
+  EXPECT_TRUE(approx_equal(-3.5L, -3.5L));
+}
+
+TEST(ApproxEqual, WithinRelativeTolerance) {
+  EXPECT_TRUE(approx_equal(1.0L, 1.0L + 5e-10L));
+  EXPECT_TRUE(approx_equal(1e6L, 1e6L * (1 + 5e-10L)));
+  EXPECT_TRUE(approx_equal(-1e6L, -1e6L * (1 + 5e-10L)));
+}
+
+TEST(ApproxEqual, OutsideRelativeTolerance) {
+  EXPECT_FALSE(approx_equal(1.0L, 1.0L + 5e-8L));
+  EXPECT_FALSE(approx_equal(1e6L, 1e6L * (1 + 1e-8L)));
+}
+
+TEST(ApproxEqual, AbsoluteFloorNearZero) {
+  EXPECT_TRUE(approx_equal(0.0L, 5e-13L));
+  EXPECT_FALSE(approx_equal(0.0L, 1e-6L));
+}
+
+TEST(ApproxEqual, NanNeverEqual) {
+  EXPECT_FALSE(approx_equal(kNaN, kNaN));
+  EXPECT_FALSE(approx_equal(kNaN, 1.0L));
+  EXPECT_FALSE(approx_equal(1.0L, kNaN));
+}
+
+TEST(ApproxEqual, MatchingInfinitiesEqual) {
+  EXPECT_TRUE(approx_equal(kInfinity, kInfinity));
+  EXPECT_FALSE(approx_equal(kInfinity, -kInfinity));
+  EXPECT_FALSE(approx_equal(kInfinity, 1e30L));
+}
+
+TEST(ApproxEqual, CustomTolerances) {
+  EXPECT_TRUE(approx_equal(100.0L, 101.0L, 0.02L));
+  EXPECT_FALSE(approx_equal(100.0L, 103.0L, 0.02L));
+}
+
+TEST(ApproxLe, StrictlyLessAlwaysHolds) {
+  EXPECT_TRUE(approx_le(1.0L, 2.0L));
+  EXPECT_TRUE(approx_le(-5.0L, -4.0L));
+}
+
+TEST(ApproxLe, SlightlyAboveWithinTolerance) {
+  EXPECT_TRUE(approx_le(1.0L + 1e-12L, 1.0L));
+  EXPECT_FALSE(approx_le(1.0L + 1e-3L, 1.0L));
+}
+
+TEST(ApproxGe, MirrorsApproxLe) {
+  EXPECT_TRUE(approx_ge(2.0L, 1.0L));
+  EXPECT_TRUE(approx_ge(1.0L - 1e-12L, 1.0L));
+  EXPECT_FALSE(approx_ge(0.9L, 1.0L));
+}
+
+TEST(SignOf, AllThreeCases) {
+  EXPECT_EQ(sign_of(3.0L), 1);
+  EXPECT_EQ(sign_of(-0.25L), -1);
+  EXPECT_EQ(sign_of(0.0L), 0);
+}
+
+TEST(RelativeDifference, ScalesByLargerMagnitude) {
+  EXPECT_NEAR(static_cast<double>(relative_difference(100.0L, 101.0L)),
+              1.0 / 101.0, 1e-12);
+  // Anchored at 1 for small values.
+  EXPECT_NEAR(static_cast<double>(relative_difference(0.0L, 0.5L)), 0.5,
+              1e-12);
+}
+
+TEST(RelativeDifference, ZeroForEqualValues) {
+  EXPECT_EQ(relative_difference(7.0L, 7.0L), 0.0L);
+}
+
+}  // namespace
+}  // namespace linesearch

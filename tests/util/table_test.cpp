@@ -1,0 +1,69 @@
+// Tests for util/table.hpp.
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace linesearch {
+namespace {
+
+TEST(TablePrinter, RendersAlignedColumns) {
+  TablePrinter table({"n", "value"});
+  table.add_row({"1", "9.00"});
+  table.add_row({"10", "5.24"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find(" n  value"), std::string::npos);
+  EXPECT_NE(out.find(" 1   9.00"), std::string::npos);
+  EXPECT_NE(out.find("10   5.24"), std::string::npos);
+}
+
+TEST(TablePrinter, HeaderRuleSpansAllColumns) {
+  TablePrinter table({"aa", "bb"});
+  table.add_row({"1", "2"});
+  const std::string out = table.to_string();
+  // rule length = widths (2 + 2) + separator 2
+  EXPECT_NE(out.find("------"), std::string::npos);
+}
+
+TEST(TablePrinter, LeftAlignment) {
+  TablePrinter table({"name", "x"});
+  table.set_alignment(0, Align::kLeft);
+  table.add_row({"ab", "1"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("ab    1"), std::string::npos);
+}
+
+TEST(TablePrinter, CaptionComesFirst) {
+  TablePrinter table({"x"});
+  table.set_caption("Table 1: results");
+  table.add_row({"1"});
+  const std::string out = table.to_string();
+  EXPECT_EQ(out.rfind("Table 1: results", 0), 0u);
+}
+
+TEST(TablePrinter, RowWidthMismatchThrows) {
+  TablePrinter table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), PreconditionError);
+}
+
+TEST(TablePrinter, EmptyHeaderListThrows) {
+  EXPECT_THROW(TablePrinter({}), PreconditionError);
+}
+
+TEST(TablePrinter, RowCountTracksRows) {
+  TablePrinter table({"a"});
+  EXPECT_EQ(table.row_count(), 0u);
+  table.add_row({"1"});
+  table.add_row({"2"});
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(Cell, FormatsRealsAndIntegers) {
+  EXPECT_EQ(cell(3.14159L, 2), "3.14");
+  EXPECT_EQ(cell(kNaN, 2), "-");
+  EXPECT_EQ(cell(42LL), "42");
+}
+
+}  // namespace
+}  // namespace linesearch

@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Render the CSV blocks emitted by the bench binaries as SVG plots.
+
+Every bench prints one or more blocks of the form
+
+    --- csv: <name> ---
+    series,x,y
+    <series>,<x>,<y>
+    ...
+
+Pipe a bench's stdout through this script (or give it files) and it
+writes one SVG per block, with one polyline per series, to --outdir.
+
+    build/bench/bench_fig5_ratio_curves | tools/plot_csv.py
+    tools/plot_csv.py --outdir figures saved_output.txt
+
+Pure standard library; no matplotlib required.
+"""
+
+import argparse
+import math
+import os
+import re
+import sys
+
+PALETTE = ["#1f77b4", "#d62728", "#2ca02c", "#9467bd",
+           "#ff7f0e", "#8c564b", "#17becf", "#7f7f7f"]
+
+WIDTH, HEIGHT, MARGIN = 640, 420, 50
+
+
+def parse_blocks(text):
+    """Yield (name, {series: [(x, y), ...]}) per CSV block."""
+    blocks = re.split(r"^--- csv: (.+?) ---$", text, flags=re.M)
+    # blocks = [prefix, name1, body1, name2, body2, ...]
+    for i in range(1, len(blocks) - 1, 2):
+        name, body = blocks[i].strip(), blocks[i + 1]
+        series = {}
+        for line in body.strip().splitlines():
+            parts = line.strip().split(",")
+            if len(parts) != 3 or parts[0] == "series":
+                continue
+            label, x, y = parts
+            try:
+                point = (float(x), float(y))
+            except ValueError:
+                continue
+            series.setdefault(label, []).append(point)
+        if series:
+            yield name, series
+
+
+def nice_ticks(lo, hi, count=5):
+    if hi <= lo:
+        hi = lo + 1
+    raw = (hi - lo) / count
+    mag = 10 ** math.floor(math.log10(raw))
+    step = min(s * mag for s in (1, 2, 5, 10) if s * mag >= raw)
+    first = math.ceil(lo / step) * step
+    ticks = []
+    t = first
+    while t <= hi + 1e-12 * abs(hi):
+        ticks.append(t)
+        t += step
+    return ticks
+
+
+def render(name, series):
+    xs = [p[0] for pts in series.values() for p in pts]
+    ys = [p[1] for pts in series.values() for p in pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        x_hi += 1
+    pad = (y_hi - y_lo) * 0.08 or 1
+    y_lo, y_hi = y_lo - pad, y_hi + pad
+
+    def px(x):
+        return MARGIN + (x - x_lo) / (x_hi - x_lo) * (WIDTH - 2 * MARGIN)
+
+    def py(y):
+        return HEIGHT - MARGIN - (y - y_lo) / (y_hi - y_lo) * (HEIGHT - 2 * MARGIN)
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" '
+        f'height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}">',
+        '<rect width="100%" height="100%" fill="white"/>',
+        f'<text x="{WIDTH/2:.0f}" y="20" text-anchor="middle" '
+        f'font-family="sans-serif" font-size="14">{name}</text>',
+    ]
+    # Axes + ticks.
+    parts.append(
+        f'<line x1="{MARGIN}" y1="{HEIGHT-MARGIN}" x2="{WIDTH-MARGIN}" '
+        f'y2="{HEIGHT-MARGIN}" stroke="#333"/>')
+    parts.append(
+        f'<line x1="{MARGIN}" y1="{MARGIN}" x2="{MARGIN}" '
+        f'y2="{HEIGHT-MARGIN}" stroke="#333"/>')
+    for t in nice_ticks(x_lo, x_hi):
+        parts.append(
+            f'<text x="{px(t):.1f}" y="{HEIGHT-MARGIN+18}" '
+            f'text-anchor="middle" font-family="sans-serif" '
+            f'font-size="10">{t:g}</text>')
+    for t in nice_ticks(y_lo, y_hi):
+        parts.append(
+            f'<line x1="{MARGIN-3}" y1="{py(t):.1f}" x2="{WIDTH-MARGIN}" '
+            f'y2="{py(t):.1f}" stroke="#eee"/>')
+        parts.append(
+            f'<text x="{MARGIN-8}" y="{py(t)+3:.1f}" text-anchor="end" '
+            f'font-family="sans-serif" font-size="10">{t:g}</text>')
+    # Series.
+    for i, (label, pts) in enumerate(sorted(series.items())):
+        color = PALETTE[i % len(PALETTE)]
+        path = " ".join(f"{px(x):.1f},{py(y):.1f}" for x, y in sorted(pts))
+        parts.append(
+            f'<polyline fill="none" stroke="{color}" stroke-width="1.8" '
+            f'points="{path}"/>')
+        parts.append(
+            f'<rect x="{WIDTH-MARGIN-150}" y="{MARGIN+16*i}" width="10" '
+            f'height="10" fill="{color}"/>')
+        parts.append(
+            f'<text x="{WIDTH-MARGIN-136}" y="{MARGIN+9+16*i}" '
+            f'font-family="sans-serif" font-size="10">{label}</text>')
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="*", help="bench outputs (default: stdin)")
+    parser.add_argument("--outdir", default="figures")
+    args = parser.parse_args()
+
+    texts = []
+    if args.files:
+        for path in args.files:
+            with open(path, encoding="utf-8") as handle:
+                texts.append(handle.read())
+    else:
+        texts.append(sys.stdin.read())
+
+    os.makedirs(args.outdir, exist_ok=True)
+    written = 0
+    for text in texts:
+        for name, series in parse_blocks(text):
+            safe = re.sub(r"[^A-Za-z0-9_.-]", "_", name)
+            path = os.path.join(args.outdir, f"{safe}.svg")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(render(name, series))
+            print(f"wrote {path}")
+            written += 1
+    if written == 0:
+        print("no CSV blocks found", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
