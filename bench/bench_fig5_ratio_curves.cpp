@@ -6,14 +6,20 @@
 //             — the asymptotic CR when n = a*f robots.
 // Each series is printed as a table, an ASCII sparkline and a CSV block;
 // the odd-n points of the left curve are cross-checked against Theorem 1.
+#include <chrono>
 #include <cmath>
 #include <iostream>
+#include <utility>
+#include <vector>
 
 #include "analysis/grid.hpp"
 #include "bench_common.hpp"
+#include "core/algorithm.hpp"
 #include "core/competitive.hpp"
+#include "eval/batch.hpp"
 #include "util/csv.hpp"
 #include "util/format.hpp"
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -75,8 +81,59 @@ void body() {
                "a->2):\n";
   sparkline(right_series.y, 3, 9);
 
+  // ---- Measured cross-check: batched empirical CR vs the curve. ----
+  // The left-panel points are re-derived by MEASURING actual A(2f+1, f)
+  // fleets with the batched evaluator, once serially and once on the
+  // pool; both runs must agree exactly and the parallel one should be
+  // faster on a multi-core machine.
+  std::cout << "\nMeasured cross-check: measure_cr_batch on A(2f+1, f) "
+               "fleets, serial vs parallel\n\n";
+  std::vector<int> ns;
+  std::vector<Fleet> fleets;
+  for (int n = 3; n <= 9; n += 2) {
+    ns.push_back(n);
+    fleets.push_back(
+        ProportionalAlgorithm(n, (n - 1) / 2).build_fleet(2000));
+  }
+  std::vector<CrBatchJob> jobs;
+  for (std::size_t i = 0; i < fleets.size(); ++i) {
+    jobs.push_back({&fleets[i], (ns[i] - 1) / 2,
+                    {.window_hi = 40, .interior_samples = 16}});
+  }
+  const auto timed_batch = [&jobs](const int threads) {
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<CrEvalResult> results =
+        measure_cr_batch(jobs, {.threads = threads});
+    const std::chrono::duration<double, std::milli> elapsed =
+        std::chrono::steady_clock::now() - start;
+    return std::make_pair(std::move(results), elapsed.count());
+  };
+  const auto [serial, serial_ms] = timed_batch(1);
+  const auto [parallel, parallel_ms] = timed_batch(0);
+
+  TablePrinter check({"n", "measured CR", "Theorem 1", "serial == parallel"});
+  Series measured_series{"fig5_measured", {}, {}};
+  bool all_identical = true;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const bool identical = serial[i].cr == parallel[i].cr &&
+                           serial[i].argmax == parallel[i].argmax;
+    all_identical = all_identical && identical;
+    check.add_row({cell(static_cast<long long>(ns[i])),
+                   fixed(parallel[i].cr, 4),
+                   fixed(algorithm_cr(ns[i], (ns[i] - 1) / 2), 4),
+                   identical ? "yes" : "NO"});
+    measured_series.x.push_back(static_cast<Real>(ns[i]));
+    measured_series.y.push_back(parallel[i].cr);
+  }
+  check.print(std::cout);
+  std::cout << "\ntimings: serial " << fixed(serial_ms, 1)
+            << " ms, parallel (" << resolve_thread_count(0) << " threads) "
+            << fixed(parallel_ms, 1) << " ms, speedup "
+            << fixed(serial_ms / parallel_ms, 2) << "x, results "
+            << (all_identical ? "identical" : "DIVERGED") << '\n';
+
   bench::csv_header("fig5_curves");
-  write_series_csv(std::cout, {left_series, right_series});
+  write_series_csv(std::cout, {left_series, right_series, measured_series});
 }
 
 }  // namespace

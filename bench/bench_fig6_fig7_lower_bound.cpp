@@ -4,6 +4,7 @@
 // and experiment E2: the Theorem-2 adversary forcing ratio >= alpha
 // against A(n, f) and against the baselines.
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <iostream>
 #include <string>
@@ -20,6 +21,7 @@
 #include "sim/recorder.hpp"
 #include "sim/zigzag.hpp"
 #include "util/csv.hpp"
+#include "util/parallel.hpp"
 #include "util/format.hpp"
 #include "util/table.hpp"
 
@@ -128,10 +130,54 @@ void experiment_e2() {
   write_series_csv(std::cout, {series});
 }
 
+void parallel_game_timing() {
+  // The placement scan is the game's hot loop; attack_turning_points
+  // densifies it (every turning-point right-limit becomes a target).
+  // Play the same game serially (threads = 1) and on the pool
+  // (threads = 0): the forced ratios must match exactly — the scan
+  // reduces into input order — and the parallel run should be faster on
+  // a multi-core machine.
+  std::cout << "\nParallel placement scan: the E2 game with "
+               "attack_turning_points, serial vs pool\n\n";
+  const int n = 7, f = 3;
+  const Real alpha = comfortable_alpha(n, 0.8L);
+  const ProportionalAlgorithm algo(n, f);
+  const Fleet fleet = algo.build_fleet(largest_placement(alpha) * 4);
+
+  const auto timed_game = [&](const int threads) {
+    GameOptions options;
+    options.attack_turning_points = true;
+    options.keep_outcomes = false;
+    options.threads = threads;
+    const auto start = std::chrono::steady_clock::now();
+    const GameResult game = play_theorem2_game(fleet, f, alpha, options);
+    const std::chrono::duration<double, std::milli> elapsed =
+        std::chrono::steady_clock::now() - start;
+    return std::make_pair(game, elapsed.count());
+  };
+  const auto [serial, serial_ms] = timed_game(1);
+  const auto [parallel, parallel_ms] = timed_game(0);
+  const bool identical = serial.forced_ratio == parallel.forced_ratio &&
+                         serial.best.target == parallel.best.target;
+
+  TablePrinter table({"scan", "threads", "forced ratio", "target", "ms"});
+  table.set_alignment(0, Align::kLeft);
+  table.add_row({"serial", "1", fixed(serial.forced_ratio, 4),
+                 fixed(serial.best.target, 3), fixed(serial_ms, 1)});
+  table.add_row({"pool", cell(static_cast<long long>(resolve_thread_count(0))),
+                 fixed(parallel.forced_ratio, 4),
+                 fixed(parallel.best.target, 3), fixed(parallel_ms, 1)});
+  table.print(std::cout);
+  std::cout << "speedup " << fixed(serial_ms / parallel_ms, 2)
+            << "x, results "
+            << (identical ? "identical" : "DIVERGED") << '\n';
+}
+
 void body() {
   figure6();
   figure7(5, comfortable_alpha(5, 0.9L));
   experiment_e2();
+  parallel_game_timing();
 }
 
 }  // namespace

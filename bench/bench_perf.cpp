@@ -7,17 +7,22 @@
 
 #include <cmath>
 
+#include <vector>
+
 #include "adversary/game.hpp"
 #include "adversary/placements.hpp"
 #include "core/algorithm.hpp"
 #include "core/competitive.hpp"
 #include "core/lower_bound.hpp"
+#include "eval/batch.hpp"
 #include "eval/cr_eval.hpp"
 #include "eval/exact.hpp"
+#include "eval/visit_cache.hpp"
 #include "runtime/world.hpp"
 #include "sim/serialize.hpp"
 #include "sim/zigzag.hpp"
 #include "star/search.hpp"
+#include "util/parallel.hpp"
 
 namespace {
 
@@ -73,6 +78,70 @@ void BM_MeasureCr(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MeasureCr);
+
+/// The dense (f, window) job list both sweep benchmarks time: every
+/// fault budget of an A(7, 4) fleet crossed with three windows.  This is
+/// the grid shape bench_fig5/analysis sweeps evaluate for real.
+std::vector<CrBatchJob> dense_cr_jobs(const Fleet& fleet) {
+  std::vector<CrBatchJob> jobs;
+  for (int f = 0; f < static_cast<int>(fleet.size()); ++f) {
+    for (const Real window : {12.0L, 24.0L, 48.0L}) {
+      jobs.push_back(
+          {&fleet, f, {.window_hi = window, .interior_samples = 16}});
+    }
+  }
+  return jobs;
+}
+
+void BM_DenseCrSweepSerial(benchmark::State& state) {
+  const ProportionalAlgorithm algo(7, 4);
+  const Fleet fleet = algo.build_fleet(2000);
+  const std::vector<CrBatchJob> jobs = dense_cr_jobs(fleet);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(measure_cr_batch(jobs, {.threads = 1}));
+  }
+}
+BENCHMARK(BM_DenseCrSweepSerial)->Unit(benchmark::kMillisecond);
+
+void BM_DenseCrSweepParallel(benchmark::State& state) {
+  // Compare against BM_DenseCrSweepSerial for the speedup; the results
+  // are verified identical (cr and argmax) before any timing happens.
+  const ProportionalAlgorithm algo(7, 4);
+  const Fleet fleet = algo.build_fleet(2000);
+  const std::vector<CrBatchJob> jobs = dense_cr_jobs(fleet);
+  const std::vector<CrEvalResult> serial =
+      measure_cr_batch(jobs, {.threads = 1});
+  const std::vector<CrEvalResult> parallel =
+      measure_cr_batch(jobs, {.threads = 0});
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (parallel[i].cr != serial[i].cr ||
+        parallel[i].argmax != serial[i].argmax) {
+      state.SkipWithError("parallel batch diverged from serial");
+      return;
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(measure_cr_batch(jobs, {.threads = 0}));
+  }
+  state.counters["threads"] =
+      static_cast<double>(resolve_thread_count(0));
+}
+BENCHMARK(BM_DenseCrSweepParallel)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_VisitCacheHit(benchmark::State& state) {
+  // Steady-state memo hit vs BM_DetectionTime's full recomputation.
+  const ProportionalAlgorithm algo(11, 10);
+  const Fleet fleet = algo.build_fleet(10000);
+  const FleetVisitCache cache(fleet);
+  Real x = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.detection_time(x, 10));
+    x = (x < 9e3L) ? x * 1.37L : 1;
+  }
+}
+BENCHMARK(BM_VisitCacheHit);
 
 void BM_Theorem2Root(benchmark::State& state) {
   int n = 2;

@@ -7,6 +7,7 @@
 #include "core/lower_bound.hpp"
 #include "sim/faults.hpp"
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 
 namespace linesearch {
 
@@ -33,17 +34,27 @@ GameResult play_theorem2_game(const Fleet& fleet, const int f,
     }
   }
 
-  AdversarialFaults adversary;
+  // Placements are independent, so the scan fans out over the pool;
+  // outcomes land in target order and the reduction below replays the
+  // serial first-wins tie-break exactly.
+  std::vector<PlacementOutcome> outcomes = parallel_map(
+      targets.size(),
+      [&fleet, &targets, f](const std::size_t i) {
+        AdversarialFaults adversary;
+        PlacementOutcome outcome;
+        outcome.target = targets[i];
+        outcome.faults = adversary.choose_faults(fleet, outcome.target, f);
+        outcome.detection_time =
+            fleet.detection_time_with_faults(outcome.target, outcome.faults);
+        outcome.ratio = outcome.detection_time / std::fabs(outcome.target);
+        return outcome;
+      },
+      options.threads);
+
   GameResult result;
   result.forced_ratio = 0;
   bool first = true;
-  for (const Real target : targets) {
-    PlacementOutcome outcome;
-    outcome.target = target;
-    outcome.faults = adversary.choose_faults(fleet, target, f);
-    outcome.detection_time =
-        fleet.detection_time_with_faults(target, outcome.faults);
-    outcome.ratio = outcome.detection_time / std::fabs(target);
+  for (PlacementOutcome& outcome : outcomes) {
     if (first || outcome.ratio > result.forced_ratio) {
       result.forced_ratio = outcome.ratio;
       result.best = outcome;

@@ -44,6 +44,13 @@ struct GameOptions {
   /// Keep per-placement outcomes (can be large with
   /// attack_turning_points).
   bool keep_outcomes = true;
+
+  /// Workers for the placement scan (util/parallel): 1 = serial (the
+  /// default), 0 = LINESEARCH_THREADS env var, then hardware.  Outcomes
+  /// are evaluated placement-by-placement into input order and reduced
+  /// with the serial scan's first-wins tie-break, so the result is
+  /// identical for every thread count.
+  int threads = 1;
 };
 
 /// Run the adversary at threat level alpha against `fleet` with fault

@@ -3,13 +3,17 @@
 #include <cmath>
 
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 
 namespace linesearch {
 
 std::vector<Real> linspace(const Real lo, const Real hi, const int count) {
   expects(count >= 1, "linspace: count must be >= 1");
   if (count == 1) {
-    expects(lo == hi, "linspace: count==1 requires lo==hi");
+    // Tolerance policy (util/real.hpp): derived endpoints that agree up
+    // to approx_equal ARE equal; exact == would reject e.g. a window
+    // whose hi was recomputed through a root solve.
+    expects(approx_equal(lo, hi), "linspace: count==1 requires lo==hi");
     return {lo};
   }
   expects(lo < hi, "linspace: need lo < hi");
@@ -45,6 +49,22 @@ std::vector<int> int_range(const int lo, const int hi) {
   out.reserve(static_cast<std::size_t>(hi - lo + 1));
   for (int i = lo; i <= hi; ++i) out.push_back(i);
   return out;
+}
+
+std::vector<Real> sweep_grid(const std::vector<Real>& grid,
+                             const std::function<Real(Real)>& fn,
+                             const int threads) {
+  return parallel_map(
+      grid.size(), [&](const std::size_t i) { return fn(grid[i]); },
+      threads);
+}
+
+std::vector<Real> sweep_grid(const std::vector<int>& grid,
+                             const std::function<Real(int)>& fn,
+                             const int threads) {
+  return parallel_map(
+      grid.size(), [&](const std::size_t i) { return fn(grid[i]); },
+      threads);
 }
 
 std::vector<Real> open_linspace(const Real lo, const Real hi,

@@ -6,6 +6,7 @@
 // geometrically, so uniform grids would under-sample near the origin.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "util/real.hpp"
@@ -13,7 +14,8 @@
 namespace linesearch {
 
 /// `count` evenly spaced points from lo to hi inclusive (count >= 2),
-/// or the single point lo when count == 1 and lo == hi.
+/// or the single point lo when count == 1 and lo and hi agree up to the
+/// library tolerance (approx_equal).
 [[nodiscard]] std::vector<Real> linspace(Real lo, Real hi, int count);
 
 /// `count` points geometrically spaced from lo to hi inclusive
@@ -27,5 +29,18 @@ namespace linesearch {
 /// endpoints.  Used for open-interval sweeps like a ∈ (1, 2) in Fig. 5
 /// right, where the endpoints are singular.
 [[nodiscard]] std::vector<Real> open_linspace(Real lo, Real hi, int count);
+
+/// Evaluate `fn` at every grid point, fanning the points out over the
+/// util/parallel pool (threads: explicit > LINESEARCH_THREADS > hardware;
+/// 1 runs inline).  Results land in grid order, so a downstream argmax /
+/// first-wins reduction is identical to the serial sweep's.
+[[nodiscard]] std::vector<Real> sweep_grid(
+    const std::vector<Real>& grid, const std::function<Real(Real)>& fn,
+    int threads = 0);
+
+/// Integer-grid overload (n or f sweeps).
+[[nodiscard]] std::vector<Real> sweep_grid(
+    const std::vector<int>& grid, const std::function<Real(int)>& fn,
+    int threads = 0);
 
 }  // namespace linesearch

@@ -1,0 +1,85 @@
+#include "eval/batch.hpp"
+
+#include <cmath>
+#include <map>
+#include <memory>
+
+#include "eval/visit_cache.hpp"
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+
+namespace linesearch {
+namespace {
+
+// One shared memo table per distinct fleet in the batch.  Built up front
+// (serially) so workers only ever read the map structure itself; the
+// caches' striped locks handle concurrent entry inserts.
+using CacheMap = std::map<const Fleet*, std::shared_ptr<FleetVisitCache>>;
+
+CacheMap build_caches(const std::vector<CrBatchJob>& jobs) {
+  CacheMap caches;
+  for (const CrBatchJob& job : jobs) {
+    if (caches.find(job.fleet) == caches.end()) {
+      caches.emplace(job.fleet, std::make_shared<FleetVisitCache>(*job.fleet));
+    }
+  }
+  return caches;
+}
+
+}  // namespace
+
+std::vector<CrEvalResult> measure_cr_batch(const std::vector<CrBatchJob>& jobs,
+                                           const BatchOptions& batch) {
+  for (const CrBatchJob& job : jobs) {
+    expects(job.fleet != nullptr, "measure_cr_batch: null fleet in job");
+  }
+  const CacheMap caches = batch.use_cache ? build_caches(jobs) : CacheMap{};
+
+  return parallel_map(
+      jobs.size(),
+      [&](const std::size_t i) {
+        const CrBatchJob& job = jobs[i];
+        if (batch.use_cache) {
+          const FleetVisitCache& cache = *caches.at(job.fleet);
+          return detail::measure_cr_with(
+              *job.fleet, job.f, job.options, [&cache, &job](const Real x) {
+                return cache.detection_time(x, job.f);
+              });
+        }
+        return measure_cr(*job.fleet, job.f, job.options);
+      },
+      batch.threads);
+}
+
+std::vector<CrEvalResult> measure_cr_batch(const Fleet& fleet,
+                                           const std::vector<int>& fault_budgets,
+                                           const CrEvalOptions& options,
+                                           const BatchOptions& batch) {
+  std::vector<CrBatchJob> jobs;
+  jobs.reserve(fault_budgets.size());
+  for (const int f : fault_budgets) {
+    jobs.push_back({&fleet, f, options});
+  }
+  return measure_cr_batch(jobs, batch);
+}
+
+std::vector<Real> k_profile_batch(const Fleet& fleet, const int f,
+                                  const std::vector<Real>& positions,
+                                  const BatchOptions& batch) {
+  expects(f >= 0, "k_profile_batch: f must be >= 0");
+  for (const Real x : positions) {
+    expects(x != 0, "k_profile_batch: positions must be non-zero");
+  }
+  const FleetVisitCache cache(fleet);
+  return parallel_map(
+      positions.size(),
+      [&](const std::size_t i) {
+        const Real x = positions[i];
+        const Real time = batch.use_cache ? cache.detection_time(x, f)
+                                          : fleet.detection_time(x, f);
+        return time / std::fabs(x);
+      },
+      batch.threads);
+}
+
+}  // namespace linesearch

@@ -6,7 +6,7 @@
 #include "util/error.hpp"
 
 namespace linesearch {
-namespace {
+namespace detail {
 
 // Collect the probe magnitudes for one half-line.
 std::vector<Real> probe_magnitudes(const Fleet& fleet, const int side,
@@ -48,10 +48,9 @@ std::vector<Real> probe_magnitudes(const Fleet& fleet, const int side,
   return probes;
 }
 
-}  // namespace
-
-CrEvalResult measure_cr(const Fleet& fleet, const int f,
-                        const CrEvalOptions& options) {
+CrEvalResult measure_cr_with(const Fleet& fleet, const int f,
+                             const CrEvalOptions& options,
+                             const DetectionOracle& oracle) {
   expects(f >= 0, "measure_cr: f must be >= 0");
   expects(options.window_lo > 0, "measure_cr: window_lo must be positive");
   expects(options.window_hi > options.window_lo,
@@ -61,9 +60,11 @@ CrEvalResult measure_cr(const Fleet& fleet, const int f,
   for (const int side : {+1, -1}) {
     Real best = 0;
     Real best_x = 0;
+    bool any_detected = false;
+    Real first_undetected_x = 0;
     for (const Real magnitude : probe_magnitudes(fleet, side, options)) {
       const Real x = static_cast<Real>(side) * magnitude;
-      const Real time = fleet.detection_time(x, f);
+      const Real time = oracle(x);
       ++result.probes;
       if (std::isinf(time)) {
         if (options.require_finite) {
@@ -71,13 +72,23 @@ CrEvalResult measure_cr(const Fleet& fleet, const int f,
               "measure_cr: undetected probe — fleet extent too small for "
               "the measurement window");
         }
+        ++result.undetected_probes;
+        if (first_undetected_x == 0) first_undetected_x = x;
         continue;
       }
+      any_detected = true;
       const Real ratio = time / magnitude;
       if (ratio > best) {
         best = ratio;
         best_x = x;
       }
+    }
+    // A half-line where NO probe is ever detected has sup K = infinity
+    // (the target there is simply never found); reporting 0 would be a
+    // silently optimistic lie.
+    if (!any_detected && first_undetected_x != 0) {
+      best = kInfinity;
+      best_x = first_undetected_x;
     }
     if (side > 0) {
       result.cr_positive = best;
@@ -90,6 +101,15 @@ CrEvalResult measure_cr(const Fleet& fleet, const int f,
     }
   }
   return result;
+}
+
+}  // namespace detail
+
+CrEvalResult measure_cr(const Fleet& fleet, const int f,
+                        const CrEvalOptions& options) {
+  return detail::measure_cr_with(
+      fleet, f, options,
+      [&fleet, f](const Real x) { return fleet.detection_time(x, f); });
 }
 
 std::vector<Real> k_profile(const Fleet& fleet, const int f,

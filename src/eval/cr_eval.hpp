@@ -12,8 +12,14 @@
 //     non-zig-zag fleets whose K need not obey Lemma 3).
 // All probes use the fleet's exact detection_time; the only approximation
 // is the eps offset (relative 1e-9).
+//
+// The probe scan itself is detection-oracle-agnostic (detail::
+// measure_cr_with): the batch engine in eval/batch.hpp runs the same scan
+// against a memoized oracle, so both paths share one implementation and
+// produce bit-identical results.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "sim/fleet.hpp"
@@ -36,6 +42,11 @@ struct CrEvalResult {
   int probes = 0;     ///< number of evaluated placements
   Real cr_positive = 0;  ///< supremum restricted to x > 0
   Real cr_negative = 0;  ///< supremum restricted to x < 0
+  /// Probes whose detection never happens (only reachable with
+  /// require_finite == false).  A half-line whose EVERY probe is
+  /// undetected reports its side supremum — and hence cr — as kInfinity
+  /// rather than silently pretending the side costs nothing.
+  int undetected_probes = 0;
 };
 
 /// Measure sup K(x) over window_lo <= |x| <= window_hi.
@@ -50,5 +61,24 @@ struct CrEvalResult {
 /// plots); entries are detection_time(x, f)/|x|.
 [[nodiscard]] std::vector<Real> k_profile(const Fleet& fleet, int f,
                                           const std::vector<Real>& positions);
+
+namespace detail {
+
+/// Detection-time oracle: must agree bit-for-bit with
+/// Fleet::detection_time(x, f) of the fleet being measured.
+using DetectionOracle = std::function<Real(Real x)>;
+
+/// The probe magnitudes measure_cr evaluates on one half-line (exposed
+/// for the batch engine and tests).
+[[nodiscard]] std::vector<Real> probe_magnitudes(const Fleet& fleet,
+                                                 int side,
+                                                 const CrEvalOptions& options);
+
+/// The probe scan behind measure_cr, parameterized over the oracle.
+[[nodiscard]] CrEvalResult measure_cr_with(const Fleet& fleet, int f,
+                                           const CrEvalOptions& options,
+                                           const DetectionOracle& oracle);
+
+}  // namespace detail
 
 }  // namespace linesearch

@@ -1,0 +1,79 @@
+#include "eval/visit_cache.hpp"
+
+#include <cstring>
+#include <optional>
+
+#include "analysis/stats.hpp"
+#include "util/error.hpp"
+
+namespace linesearch {
+
+FleetVisitCache::FleetVisitCache(const Fleet& fleet)
+    : fleet_(fleet), stripes_(fleet.size() * kStripes) {}
+
+std::uint64_t FleetVisitCache::quantize(const Real x) noexcept {
+  // Quantize to double: distinct probes differ by >= ~1e-9 relative (the
+  // evaluator's own dedupe tolerance), double resolves ~2e-16, so honest
+  // collisions only happen for positions the evaluator treats as equal
+  // anyway — and even those are verified against the exact stored x.
+  const double quantized = static_cast<double>(x);
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(quantized));
+  std::memcpy(&bits, &quantized, sizeof(bits));
+  return bits;
+}
+
+FleetVisitCache::Stripe& FleetVisitCache::stripe_for(
+    const RobotId id, const std::uint64_t key) const noexcept {
+  // Fibonacci scramble of the mantissa bits spreads geometric probe
+  // sequences (which share exponent bytes) across stripes.
+  const std::uint64_t mixed = key * 0x9e3779b97f4a7c15ULL;
+  return stripes_[id * kStripes + (mixed >> 58)];  // top 6 bits: 64 stripes
+}
+
+Real FleetVisitCache::first_visit(const RobotId id, const Real x) const {
+  const std::uint64_t key = quantize(x);
+  Stripe& stripe = stripe_for(id, key);
+  {
+    const std::lock_guard<std::mutex> lock(stripe.mutex);
+    const auto it = stripe.map.find(key);
+    if (it != stripe.map.end() && it->second.x == x) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second.time;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  const std::optional<Real> visit = fleet_.robot(id).first_visit_time(x);
+  const Real time = visit ? *visit : kInfinity;
+  {
+    const std::lock_guard<std::mutex> lock(stripe.mutex);
+    // try_emplace keeps the first entry on a quantization collision; the
+    // colliding position simply stays uncached (exactness over hit rate).
+    stripe.map.try_emplace(key, Entry{x, time});
+  }
+  return time;
+}
+
+Real FleetVisitCache::detection_time(const Real x, const int faults) const {
+  // Mirrors Fleet::detection_time exactly, robot order and all, so the
+  // kth_smallest reduction sees the same sequence of values.
+  expects(faults >= 0, "detection_time: faults must be >= 0");
+  const auto k = static_cast<std::size_t>(faults);
+  if (k >= fleet_.size()) return kInfinity;
+  std::vector<Real> times;
+  times.reserve(fleet_.size());
+  for (RobotId id = 0; id < fleet_.size(); ++id) {
+    times.push_back(first_visit(id, x));
+  }
+  return kth_smallest(std::move(times), k);
+}
+
+void FleetVisitCache::warm(const std::vector<Real>& positions) const {
+  for (const Real x : positions) {
+    for (RobotId id = 0; id < fleet_.size(); ++id) {
+      (void)first_visit(id, x);
+    }
+  }
+}
+
+}  // namespace linesearch

@@ -1,0 +1,88 @@
+// eval/visit_cache.hpp — memoized first-visit queries for a fleet.
+//
+// CR sweeps evaluate T_{f+1}(x)/|x| at probe positions that repeat
+// massively: every (n, f) job over the same fleet re-probes the same
+// turning-point right-limits, and a k-profile revisits positions that the
+// CR scan already touched.  Each probe walks every robot's segment list,
+// so memoizing per-robot first-visit times turns an O(segments) query
+// into a hash lookup after the first evaluation.
+//
+// Exactness contract: a cache hit returns the BIT-IDENTICAL value the
+// uncached Trajectory::first_visit_time would produce.  Keys are the
+// probe position quantized to double (52-bit mantissa — far finer than
+// the 1e-9 probe offsets the evaluator distinguishes), but every entry
+// also stores the exact long-double position; a quantization collision
+// between genuinely different positions is detected and bypasses the
+// cache entirely, so quantization can never alias two distinct probes.
+//
+// Concurrency: the table is striped — each stripe owns a mutex and a hash
+// map — so concurrent readers on different stripes never contend and the
+// structure is safe for the batch engine's workers with no warm phase.
+// Values are deterministic functions of the key, so racing inserts of the
+// same position are benign (both compute the identical value).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/fleet.hpp"
+#include "util/real.hpp"
+
+namespace linesearch {
+
+/// Striped memo table of per-robot first-visit times for one fleet.
+/// The fleet must outlive the cache.  All methods are thread-safe.
+class FleetVisitCache {
+ public:
+  explicit FleetVisitCache(const Fleet& fleet);
+
+  [[nodiscard]] const Fleet& fleet() const noexcept { return fleet_; }
+
+  /// Memoized Trajectory::first_visit_time(x) of robot `id`; kInfinity
+  /// when the robot never visits x (mirroring Fleet::first_visit_times).
+  [[nodiscard]] Real first_visit(RobotId id, Real x) const;
+
+  /// Memoized Fleet::detection_time(x, faults) — bit-identical to the
+  /// uncached query for any thread count.
+  [[nodiscard]] Real detection_time(Real x, int faults) const;
+
+  /// Pre-populate the table for a set of positions (optional warm phase;
+  /// the striped locks make cold concurrent use equally correct).
+  void warm(const std::vector<Real>& positions) const;
+
+  /// Lookup statistics (approximate under concurrency; for tests/benches).
+  [[nodiscard]] std::size_t hits() const noexcept {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t misses() const noexcept {
+    return misses_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Entry {
+    Real x = 0;     ///< exact queried position (collision check)
+    Real time = 0;  ///< memoized first-visit time
+  };
+  struct Stripe {
+    std::mutex mutex;
+    std::unordered_map<std::uint64_t, Entry> map;
+  };
+
+  static constexpr std::size_t kStripes = 64;
+
+  [[nodiscard]] static std::uint64_t quantize(Real x) noexcept;
+  [[nodiscard]] Stripe& stripe_for(RobotId id,
+                                   std::uint64_t key) const noexcept;
+
+  const Fleet& fleet_;
+  /// stripes_[robot * kStripes + stripe]; per-robot striping keeps keys
+  /// from different robots out of each other's maps.
+  mutable std::vector<Stripe> stripes_;
+  mutable std::atomic<std::size_t> hits_{0};
+  mutable std::atomic<std::size_t> misses_{0};
+};
+
+}  // namespace linesearch

@@ -90,13 +90,17 @@ bool Fleet::covers(const Real min_x, const Real extent, const int required,
   expects(probes_per_side >= 2, "covers: need at least 2 probes");
 
   // Geometric probe grid on each side + right-limits past each turning
-  // point (the places where coverage can drop, cf. Lemma 3).
+  // point (the places where coverage can drop, cf. Lemma 3).  The final
+  // probe is pinned to `extent` exactly (as geomspace does): accumulated
+  // rounding in the repeated multiplication can otherwise leave it short
+  // of — or one ulp PAST — the extent, probing a point the fleet was
+  // never asked to cover.
   const Real ratio = std::pow(extent / min_x,
                               Real{1} / static_cast<Real>(probes_per_side - 1));
   std::vector<Real> probes;
   Real p = min_x;
   for (int i = 0; i < probes_per_side; ++i) {
-    probes.push_back(p);
+    probes.push_back(i == probes_per_side - 1 ? extent : p);
     p *= ratio;
   }
   for (const int side : {+1, -1}) {
@@ -107,6 +111,13 @@ bool Fleet::covers(const Real min_x, const Real extent, const int required,
       }
     }
   }
+  // Dedupe the merged grid: the pinned extent probe and turning-point
+  // right-limits routinely coincide (and turns repeat across robots).
+  // Exact equality only — an approx dedupe could swallow a just-past
+  // probe in favor of the 1e-9-smaller turning point itself, which is
+  // precisely the distinction the limit probes exist to test.
+  std::sort(probes.begin(), probes.end());
+  probes.erase(std::unique(probes.begin(), probes.end()), probes.end());
 
   for (const Real magnitude : probes) {
     for (const int side : {+1, -1}) {

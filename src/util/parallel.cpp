@@ -1,0 +1,167 @@
+#include "util/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <limits>
+#include <string>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace linesearch {
+
+int resolve_thread_count(const int requested) {
+  int resolved = requested;
+  if (resolved <= 0) {
+    if (const char* env = std::getenv("LINESEARCH_THREADS")) {
+      try {
+        resolved = std::stoi(env);
+      } catch (const std::exception&) {
+        resolved = 0;  // unparsable values fall through to the hardware
+      }
+    }
+  }
+  if (resolved <= 0) {
+    resolved = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  return std::clamp(resolved, 1, kMaxThreads);
+}
+
+ThreadPool::ThreadPool(const int threads) {
+  expects(threads >= 1, "ThreadPool: need at least one worker");
+  ensure_workers(threads);
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+int ThreadPool::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(workers_.size());
+}
+
+void ThreadPool::ensure_workers(const int threads) {
+  const int target = std::clamp(threads, 1, kMaxThreads);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  while (static_cast<int>(workers_.size()) < target) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    expects(!stopping_, "ThreadPool: submit after shutdown");
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(resolve_thread_count());
+  return pool;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+namespace {
+
+// True while the current thread is executing parallel_for items.  A
+// nested parallel_for would otherwise submit helper tasks and block on
+// them while every pool worker is itself blocked the same way; nested
+// calls therefore run inline (serial), which is also the deterministic
+// reference behavior.
+thread_local bool tl_inside_parallel_region = false;
+
+}  // namespace
+
+void parallel_for(const std::size_t count,
+                  const std::function<void(std::size_t)>& body,
+                  const int threads) {
+  if (count == 0) return;
+  const int resolved = resolve_thread_count(threads);
+  const auto workers = static_cast<int>(std::min<std::size_t>(
+      static_cast<std::size_t>(resolved), count));
+
+  if (workers <= 1 || tl_inside_parallel_region) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  // Shared loop state: a dynamic index counter (no static partitioning, so
+  // uneven item costs balance out) plus lowest-index exception capture.
+  struct LoopState {
+    std::atomic<std::size_t> next{0};
+    std::mutex error_mutex;
+    std::exception_ptr error;
+    std::size_t error_index = std::numeric_limits<std::size_t>::max();
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+    int tasks_running = 0;
+  };
+  LoopState state;
+
+  const auto drain = [&] {
+    tl_inside_parallel_region = true;
+    for (;;) {
+      const std::size_t i =
+          state.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) break;
+      try {
+        body(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(state.error_mutex);
+        if (i < state.error_index) {
+          state.error_index = i;
+          state.error = std::current_exception();
+        }
+      }
+    }
+    tl_inside_parallel_region = false;
+  };
+
+  ThreadPool& pool = ThreadPool::global();
+  pool.ensure_workers(workers);
+  const int helpers = workers - 1;  // the caller is the remaining worker
+  state.tasks_running = helpers;
+  for (int t = 0; t < helpers; ++t) {
+    pool.submit([&state, &drain] {
+      drain();
+      // Notify UNDER the lock: the caller destroys LoopState as soon as
+      // its wait observes tasks_running == 0, and wait can only return
+      // after reacquiring done_mutex — so signaling while holding it
+      // guarantees the cv outlives the signal.
+      const std::lock_guard<std::mutex> lock(state.done_mutex);
+      --state.tasks_running;
+      state.done_cv.notify_one();
+    });
+  }
+  drain();
+  {
+    std::unique_lock<std::mutex> lock(state.done_mutex);
+    state.done_cv.wait(lock, [&state] { return state.tasks_running == 0; });
+  }
+  if (state.error) std::rethrow_exception(state.error);
+}
+
+}  // namespace linesearch

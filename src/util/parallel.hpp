@@ -1,0 +1,97 @@
+// util/parallel.hpp — fixed-size thread pool and deterministic parallel
+// loops.
+//
+// Every sweep in this library (CR grids, adversary placement scans,
+// profile batches) is embarrassingly parallel over independent points, so
+// the whole parallel substrate is two primitives: `parallel_for` runs a
+// body over [0, count) on a shared pool, and `parallel_map` additionally
+// collects results INTO INPUT ORDER — each worker writes slot i of a
+// pre-sized output vector, so reductions downstream (argmax scans,
+// first-wins tie-breaks) see exactly the sequence the serial loop would
+// have produced, regardless of thread count or completion order.
+//
+// Worker-count resolution: an explicit `threads` argument wins; otherwise
+// the LINESEARCH_THREADS environment variable; otherwise the hardware
+// concurrency.  A resolved count of 1 bypasses the pool entirely and runs
+// inline (no thread is ever spawned), which is both the serial fallback
+// and the reference semantics every parallel run must reproduce.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace linesearch {
+
+/// Hard cap on pool width (backstop against absurd env values).
+inline constexpr int kMaxThreads = 64;
+
+/// Resolve a worker count: `requested` if > 0, else the
+/// LINESEARCH_THREADS environment variable if set and positive, else
+/// std::thread::hardware_concurrency().  Always in [1, kMaxThreads].
+[[nodiscard]] int resolve_thread_count(int requested = 0);
+
+/// A reusable fixed-size pool of worker threads draining a task queue.
+/// Construction spawns the workers; destruction drains and joins.  The
+/// process-wide instance behind `parallel_for` lives in `global()` and
+/// grows on demand (never shrinks) up to kMaxThreads.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Current number of worker threads.
+  [[nodiscard]] int size() const;
+
+  /// Grow the pool to at least `threads` workers (capped at kMaxThreads).
+  void ensure_workers(int threads);
+
+  /// Enqueue a task; it runs on some worker, eventually.
+  void submit(std::function<void()> task);
+
+  /// The process-wide pool (lazily created on first use).
+  [[nodiscard]] static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+/// Run body(i) for every i in [0, count) using up to `threads` workers
+/// (see resolve_thread_count).  The calling thread participates, so the
+/// call always completes even if the pool is saturated (this also makes
+/// nested parallel_for safe: the inner call drains its own items).
+/// If any body throws, every item still runs and the exception raised at
+/// the LOWEST index is rethrown — the same exception the serial loop
+/// would surface first.
+void parallel_for(std::size_t count,
+                  const std::function<void(std::size_t)>& body,
+                  int threads = 0);
+
+/// Map fn over [0, count) and return the results in input order.  The
+/// result type must be default-constructible; slot i is written only by
+/// the worker that ran item i, so the output is bit-identical to the
+/// serial loop's for any thread count.
+template <typename Fn>
+[[nodiscard]] auto parallel_map(std::size_t count, Fn&& fn, int threads = 0)
+    -> std::vector<decltype(fn(std::size_t{0}))> {
+  using Result = decltype(fn(std::size_t{0}));
+  std::vector<Result> out(count);
+  parallel_for(
+      count, [&](const std::size_t i) { out[i] = fn(i); }, threads);
+  return out;
+}
+
+}  // namespace linesearch

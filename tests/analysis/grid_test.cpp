@@ -22,6 +22,19 @@ TEST(Linspace, SinglePointRequiresEqualEndpoints) {
   EXPECT_THROW((void)linspace(0, 1, 1), PreconditionError);
 }
 
+TEST(Linspace, SinglePointAcceptsToleranceEqualEndpoints) {
+  // Regression: count==1 used exact lo == hi, rejecting endpoints that
+  // agree up to the library-wide tolerance policy (util/real.hpp) — e.g.
+  // a window bound recomputed through a solver.  approx_equal is the law.
+  const Real lo = 2;
+  const Real hi = 2 * (1 + tol::kRelative / 10);
+  ASSERT_NE(lo, hi);
+  ASSERT_TRUE(approx_equal(lo, hi));
+  EXPECT_EQ(linspace(lo, hi, 1), std::vector<Real>{lo});
+  // Beyond tolerance still throws.
+  EXPECT_THROW((void)linspace(2, 2 * (1 + 1e-6L), 1), PreconditionError);
+}
+
 TEST(Linspace, RejectsReversedInterval) {
   EXPECT_THROW((void)linspace(1, 0, 3), PreconditionError);
 }

@@ -1,0 +1,226 @@
+// Tests for eval/batch.hpp and eval/visit_cache.hpp — the parallel
+// batched CR engine.  The load-bearing property is DETERMINISM: any
+// thread count must reproduce the serial path bit-for-bit.
+#include "eval/batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/algorithm.hpp"
+#include "core/baselines.hpp"
+#include "eval/visit_cache.hpp"
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+
+namespace linesearch {
+namespace {
+
+/// RAII guard that sets LINESEARCH_THREADS and restores it on exit.
+class ThreadsEnvGuard {
+ public:
+  explicit ThreadsEnvGuard(const char* value) {
+    const char* old = std::getenv("LINESEARCH_THREADS");
+    if (old != nullptr) saved_ = old;
+    had_value_ = old != nullptr;
+    setenv("LINESEARCH_THREADS", value, 1);
+  }
+  ~ThreadsEnvGuard() {
+    if (had_value_) {
+      setenv("LINESEARCH_THREADS", saved_.c_str(), 1);
+    } else {
+      unsetenv("LINESEARCH_THREADS");
+    }
+  }
+
+ private:
+  std::string saved_;
+  bool had_value_ = false;
+};
+
+/// Value-exact equality for Real: same value, same zero sign, NaN equals
+/// NaN.  (A raw memcmp would compare the x87 long double's padding
+/// bytes, which are indeterminate.)
+bool bit_identical(const Real a, const Real b) {
+  if (std::isnan(a) || std::isnan(b)) return std::isnan(a) && std::isnan(b);
+  return a == b && std::signbit(a) == std::signbit(b);
+}
+
+std::vector<CrBatchJob> table1_style_jobs(const Fleet& fleet, const int n) {
+  std::vector<CrBatchJob> jobs;
+  for (int f = 0; f < n; ++f) {
+    jobs.push_back({&fleet, f, {.window_hi = 24}});
+  }
+  return jobs;
+}
+
+TEST(MeasureCrBatch, MatchesSerialMeasureCrExactly) {
+  const ProportionalAlgorithm algo(5, 3);
+  const Fleet fleet = algo.build_fleet(1000);
+  const std::vector<CrBatchJob> jobs = table1_style_jobs(fleet, 5);
+
+  const std::vector<CrEvalResult> batched =
+      measure_cr_batch(jobs, {.threads = 8});
+  ASSERT_EQ(batched.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const CrEvalResult serial =
+        measure_cr(*jobs[i].fleet, jobs[i].f, jobs[i].options);
+    EXPECT_TRUE(bit_identical(batched[i].cr, serial.cr)) << "job " << i;
+    EXPECT_TRUE(bit_identical(batched[i].argmax, serial.argmax))
+        << "job " << i;
+    EXPECT_EQ(batched[i].probes, serial.probes);
+    EXPECT_EQ(batched[i].undetected_probes, serial.undetected_probes);
+  }
+}
+
+TEST(MeasureCrBatch, EnvThreadCountsAreBitIdentical) {
+  // The ISSUE-mandated determinism check: LINESEARCH_THREADS=1 and =8
+  // produce bit-identical cr / argmax for the whole batch.
+  const ProportionalAlgorithm algo(7, 4);
+  const Fleet fleet = algo.build_fleet(800);
+  const std::vector<CrBatchJob> jobs = table1_style_jobs(fleet, 7);
+
+  std::vector<CrEvalResult> one;
+  {
+    const ThreadsEnvGuard env("1");
+    one = measure_cr_batch(jobs);  // threads = 0 -> env
+  }
+  std::vector<CrEvalResult> eight;
+  {
+    const ThreadsEnvGuard env("8");
+    eight = measure_cr_batch(jobs);
+  }
+  ASSERT_EQ(one.size(), eight.size());
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    EXPECT_TRUE(bit_identical(one[i].cr, eight[i].cr)) << "job " << i;
+    EXPECT_TRUE(bit_identical(one[i].argmax, eight[i].argmax))
+        << "job " << i;
+  }
+}
+
+TEST(MeasureCrBatch, CacheOnAndOffAgreeBitwise) {
+  const ProportionalAlgorithm algo(5, 2);
+  const Fleet fleet = algo.build_fleet(600);
+  const std::vector<CrBatchJob> jobs = table1_style_jobs(fleet, 5);
+  const std::vector<CrEvalResult> cached =
+      measure_cr_batch(jobs, {.threads = 4, .use_cache = true});
+  const std::vector<CrEvalResult> uncached =
+      measure_cr_batch(jobs, {.threads = 4, .use_cache = false});
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_TRUE(bit_identical(cached[i].cr, uncached[i].cr)) << i;
+    EXPECT_TRUE(bit_identical(cached[i].argmax, uncached[i].argmax)) << i;
+  }
+}
+
+TEST(MeasureCrBatch, FaultBudgetConvenienceOverload) {
+  const ProportionalAlgorithm algo(3, 1);
+  const Fleet fleet = algo.build_fleet(500);
+  const std::vector<CrEvalResult> results =
+      measure_cr_batch(fleet, {0, 1, 2}, {.window_hi = 16});
+  ASSERT_EQ(results.size(), 3u);
+  // More faults -> larger measured CR (order statistic grows with f).
+  EXPECT_LE(results[0].cr, results[1].cr);
+  EXPECT_LE(results[1].cr, results[2].cr);
+}
+
+TEST(MeasureCrBatch, RejectsNullFleet) {
+  EXPECT_THROW((void)measure_cr_batch({CrBatchJob{}}), PreconditionError);
+}
+
+TEST(MeasureCrBatch, PropagatesUndetectedErrors) {
+  // require_finite jobs throw through the parallel loop like the serial
+  // path does.
+  const ProportionalAlgorithm algo(3, 1);
+  const Fleet fleet = algo.build_fleet(4);
+  const std::vector<CrBatchJob> jobs{
+      {&fleet, 1, {.window_hi = 4096, .require_finite = true}}};
+  EXPECT_THROW((void)measure_cr_batch(jobs, {.threads = 4}), NumericError);
+}
+
+TEST(KProfileBatch, MatchesSerialKProfile) {
+  const ProportionalAlgorithm algo(3, 1);
+  const Fleet fleet = algo.build_fleet(400);
+  std::vector<Real> positions;
+  for (int i = 1; i <= 200; ++i) {
+    positions.push_back(0.25L * static_cast<Real>(i) *
+                        (i % 2 == 0 ? 1 : -1));
+  }
+  const std::vector<Real> serial = k_profile(fleet, 1, positions);
+  const std::vector<Real> batched =
+      k_profile_batch(fleet, 1, positions, {.threads = 8});
+  ASSERT_EQ(serial.size(), batched.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_TRUE(bit_identical(serial[i], batched[i])) << "position " << i;
+  }
+}
+
+TEST(VisitCache, MatchesUncachedDetectionBitwise) {
+  const ProportionalAlgorithm algo(5, 3);
+  const Fleet fleet = algo.build_fleet(300);
+  const FleetVisitCache cache(fleet);
+  for (const Real x : {1.0L, -2.5L, 17.0L, -63.0L, 1.0000000001L}) {
+    for (int f = 0; f < 5; ++f) {
+      const Real expected = fleet.detection_time(x, f);
+      const Real first = cache.detection_time(x, f);   // cold
+      const Real second = cache.detection_time(x, f);  // memoized
+      EXPECT_TRUE(bit_identical(expected, first));
+      EXPECT_TRUE(bit_identical(first, second));
+    }
+  }
+  EXPECT_GT(cache.hits(), 0u);
+  EXPECT_GT(cache.misses(), 0u);
+}
+
+TEST(VisitCache, WarmPhasePopulatesEntries) {
+  const GroupDoubling pack(2, 1);
+  const Fleet fleet = pack.build_fleet(200);
+  const FleetVisitCache cache(fleet);
+  cache.warm({1.0L, 2.0L, 3.0L});
+  const std::size_t misses_after_warm = cache.misses();
+  (void)cache.detection_time(2.0L, 0);
+  EXPECT_EQ(cache.misses(), misses_after_warm);  // pure hits
+  EXPECT_GE(cache.hits(), fleet.size());
+}
+
+TEST(VisitCache, ConcurrentReadersAreRaceFreeAndConsistent) {
+  // TSAN-facing stress test: 8 threads hammer one shared cache over an
+  // overlapping probe set (every value is recomputed-or-memoized under
+  // the striped locks).  Run under -fsanitize=thread in the CI tsan job.
+  const ProportionalAlgorithm algo(5, 3);
+  const Fleet fleet = algo.build_fleet(500);
+  const FleetVisitCache cache(fleet);
+
+  std::vector<Real> positions;
+  for (int i = 1; i <= 400; ++i) {
+    positions.push_back(1 + 0.11L * static_cast<Real>(i % 97));
+    positions.push_back(-(1 + 0.07L * static_cast<Real>(i % 89)));
+  }
+
+  std::vector<std::vector<Real>> per_thread(8);
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < per_thread.size(); ++t) {
+    workers.emplace_back([&cache, &positions, &per_thread, t] {
+      std::vector<Real>& mine = per_thread[t];
+      mine.reserve(positions.size());
+      for (const Real x : positions) {
+        mine.push_back(cache.detection_time(x, 3));
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    const Real expected = fleet.detection_time(positions[i], 3);
+    for (const std::vector<Real>& mine : per_thread) {
+      ASSERT_TRUE(bit_identical(mine[i], expected)) << "position " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace linesearch

@@ -82,11 +82,36 @@ TEST(MeasureCr, UndetectedProbeSkippedWhenNotRequired) {
   const ProportionalAlgorithm algo(3, 1);
   const Fleet fleet = algo.build_fleet(4);
   CrEvalOptions options;
-  options.window_hi = 64;
+  // Window far beyond the fleet's reach: the far probes are undetected,
+  // the near ones (|x| up to the fleet extent) are not.
+  options.window_hi = 4096;
   options.require_finite = false;
   const CrEvalResult result = measure_cr(fleet, 1, options);
   EXPECT_TRUE(std::isfinite(result.cr));
   EXPECT_GT(result.cr, 1.0L);
+  // The skipped probes are surfaced, not silently swallowed.
+  EXPECT_GT(result.undetected_probes, 0);
+}
+
+TEST(MeasureCr, FullyUndetectedSideReportsInfinity) {
+  // Regression: a fleet that never searches the negative half-line used
+  // to report cr_negative == 0 (and, if the positive side were also
+  // uncovered, cr == 0 / argmax == 0) with require_finite == false — a
+  // silently optimistic answer for a target that is NEVER found.  The
+  // honest supremum of that side is infinity.
+  const Fleet rightward{{Trajectory({{0, 0}, {100, 100}}),
+                         Trajectory({{0, 0}, {100, 100}})}};
+  CrEvalOptions options;
+  options.window_hi = 32;
+  options.require_finite = false;
+  const CrEvalResult result = measure_cr(rightward, 0, options);
+  EXPECT_TRUE(std::isinf(result.cr_negative));
+  EXPECT_TRUE(std::isinf(result.cr));
+  EXPECT_LT(result.argmax, 0.0L);  // attained on the uncovered side
+  EXPECT_GT(result.undetected_probes, 0);
+  // The covered side is still measured normally.
+  EXPECT_TRUE(std::isfinite(result.cr_positive));
+  EXPECT_GE(result.cr_positive, 1.0L);
 }
 
 TEST(MeasureCr, GuardsWindow) {

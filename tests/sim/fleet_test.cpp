@@ -128,6 +128,21 @@ TEST(Covers, ZigzagFleetCoversItsExtent) {
   EXPECT_TRUE(fleet.covers(1, 40, 1));
 }
 
+TEST(Covers, FinalProbeIsPinnedToExtent) {
+  // Regression: the geometric grid was built by repeated p *= ratio, and
+  // for (min_x=1, extent=3, 3 probes) the accumulated product
+  // 1 * sqrt(3) * sqrt(3) lands one ulp PAST 3 — probing a point outside
+  // the requested range, which no fleet covering exactly [-3, 3] visits.
+  // The final probe must be pinned to `extent` (as geomspace pins hi).
+  TrajectoryBuilder builder;
+  builder.start_at(0, 0);
+  builder.move_to(3).move_to(-3);
+  const Fleet fleet{{std::move(builder).build()}};
+  EXPECT_TRUE(fleet.covers(1, 3, 1, 3));
+  // Sanity: a genuinely uncovered extent still fails.
+  EXPECT_FALSE(fleet.covers(1, 4, 1, 3));
+}
+
 TEST(Covers, OneSidedFleetFailsCoverage) {
   const Fleet fleet = staggered_sweepers();  // never goes left
   EXPECT_FALSE(fleet.covers(1, 8, 1));

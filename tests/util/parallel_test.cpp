@@ -1,0 +1,143 @@
+// Tests for util/parallel.hpp — the thread pool and deterministic loops.
+#include "util/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/real.hpp"
+
+namespace linesearch {
+namespace {
+
+/// RAII guard that sets LINESEARCH_THREADS and restores it on exit.
+class ThreadsEnvGuard {
+ public:
+  explicit ThreadsEnvGuard(const char* value) {
+    const char* old = std::getenv("LINESEARCH_THREADS");
+    if (old != nullptr) saved_ = old;
+    had_value_ = old != nullptr;
+    setenv("LINESEARCH_THREADS", value, 1);
+  }
+  ~ThreadsEnvGuard() {
+    if (had_value_) {
+      setenv("LINESEARCH_THREADS", saved_.c_str(), 1);
+    } else {
+      unsetenv("LINESEARCH_THREADS");
+    }
+  }
+
+ private:
+  std::string saved_;
+  bool had_value_ = false;
+};
+
+TEST(ResolveThreadCount, ExplicitRequestWins) {
+  const ThreadsEnvGuard env("3");
+  EXPECT_EQ(resolve_thread_count(5), 5);
+}
+
+TEST(ResolveThreadCount, EnvOverrideApplies) {
+  const ThreadsEnvGuard env("7");
+  EXPECT_EQ(resolve_thread_count(0), 7);
+}
+
+TEST(ResolveThreadCount, ClampsToValidRange) {
+  EXPECT_EQ(resolve_thread_count(-4), resolve_thread_count(0));
+  EXPECT_EQ(resolve_thread_count(10000), kMaxThreads);
+  const ThreadsEnvGuard env("not-a-number");
+  EXPECT_GE(resolve_thread_count(0), 1);
+}
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  for (const int threads : {1, 2, 8}) {
+    std::vector<std::atomic<int>> visits(257);
+    parallel_for(
+        visits.size(),
+        [&](const std::size_t i) {
+          visits[i].fetch_add(1, std::memory_order_relaxed);
+        },
+        threads);
+    for (const std::atomic<int>& v : visits) EXPECT_EQ(v.load(), 1);
+  }
+}
+
+TEST(ParallelFor, ZeroCountIsANoop) {
+  parallel_for(0, [](const std::size_t) { FAIL(); }, 8);
+}
+
+TEST(ParallelMap, ResultsLandInInputOrder) {
+  const auto square = [](const std::size_t i) {
+    return static_cast<Real>(i) * static_cast<Real>(i);
+  };
+  const std::vector<Real> serial = parallel_map(100, square, 1);
+  const std::vector<Real> parallel = parallel_map(100, square, 8);
+  ASSERT_EQ(serial.size(), 100u);
+  EXPECT_EQ(serial, parallel);
+  EXPECT_EQ(serial[7], 49.0L);
+}
+
+TEST(ParallelFor, RethrowsLowestIndexException) {
+  for (const int threads : {1, 8}) {
+    try {
+      parallel_for(
+          64,
+          [](const std::size_t i) {
+            if (i == 5 || i == 41) {
+              throw std::runtime_error("item " + std::to_string(i));
+            }
+          },
+          threads);
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "item 5") << "threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelFor, NestedCallsFallBackToSerial) {
+  // A body that itself calls parallel_for must not deadlock the pool.
+  std::atomic<int> total{0};
+  parallel_for(
+      8,
+      [&](const std::size_t) {
+        parallel_for(
+            8,
+            [&](const std::size_t) {
+              total.fetch_add(1, std::memory_order_relaxed);
+            },
+            8);
+      },
+      8);
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPool, GrowsButNeverShrinks) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.size(), 2);
+  pool.ensure_workers(4);
+  EXPECT_EQ(pool.size(), 4);
+  pool.ensure_workers(1);
+  EXPECT_EQ(pool.size(), 4);
+  EXPECT_THROW(ThreadPool(0), PreconditionError);
+}
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 20; ++i) {
+      pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+    // Destructor drains the queue and joins.
+  }
+  EXPECT_EQ(ran.load(), 20);
+}
+
+}  // namespace
+}  // namespace linesearch
