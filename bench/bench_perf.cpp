@@ -5,9 +5,14 @@
 // (no discretization) that all reproductions run on.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cmath>
-
+#include <fstream>
+#include <iostream>
+#include <string>
 #include <vector>
+
+#include "util/jsonio.hpp"
 
 #include "adversary/game.hpp"
 #include "adversary/placements.hpp"
@@ -212,6 +217,108 @@ void BM_StarDetection(benchmark::State& state) {
 }
 BENCHMARK(BM_StarDetection)->Arg(3)->Arg(5);
 
+/// Machine-readable artifact for CI: a few representative workloads
+/// timed with steady_clock plus DETERMINISTIC checksums (sums of cr and
+/// argmax over the dense job grid), so regressions in either wall-clock
+/// or results show up as a JSON diff.  `--timings-only` skips the
+/// google-benchmark suite and emits only this file — cheap enough to run
+/// on every CI push.
+void write_perf_json(const std::string& path) {
+  using Clock = std::chrono::steady_clock;
+  const auto millis_since = [](const Clock::time_point start) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start)
+        .count();
+  };
+
+  const ProportionalAlgorithm algo(7, 4);
+  const Fleet fleet = algo.build_fleet(2000);
+  const std::vector<CrBatchJob> jobs = dense_cr_jobs(fleet);
+
+  const auto checksum = [](const std::vector<CrEvalResult>& results) {
+    Real sum = 0;
+    for (const CrEvalResult& r : results) sum += r.cr + r.argmax;
+    return sum;
+  };
+
+  const auto serial_start = Clock::now();
+  const std::vector<CrEvalResult> serial =
+      measure_cr_batch(jobs, {.threads = 1});
+  const double serial_ms = millis_since(serial_start);
+
+  const auto parallel_start = Clock::now();
+  const std::vector<CrEvalResult> parallel =
+      measure_cr_batch(jobs, {.threads = 0});
+  const double parallel_ms = millis_since(parallel_start);
+
+  bool identical = serial.size() == parallel.size();
+  for (std::size_t i = 0; identical && i < serial.size(); ++i) {
+    identical = serial[i].cr == parallel[i].cr &&
+                serial[i].argmax == parallel[i].argmax;
+  }
+
+  const auto certified_start = Clock::now();
+  const ExactCrResult certified = certified_cr(fleet, 4, {.window_hi = 32});
+  const double certified_ms = millis_since(certified_start);
+
+  const Real alpha = comfortable_alpha(3, 0.8L);
+  const Fleet game_fleet =
+      ProportionalAlgorithm(3, 1).build_fleet(largest_placement(alpha) * 4);
+  const auto game_start = Clock::now();
+  const GameResult game = play_theorem2_game(game_fleet, 1, alpha);
+  const double game_ms = millis_since(game_start);
+
+  std::ofstream out(path);
+  JsonWriter json(out);
+  json.begin_object();
+  json.field("schema", "linesearch-bench-perf/1");
+  json.field("threads", static_cast<int>(resolve_thread_count(0)));
+  json.key("workloads").begin_array();
+
+  const auto workload = [&json](const char* name, const double ms,
+                                const Real value) {
+    json.begin_object();
+    json.field("name", name);
+    json.field("millis", static_cast<Real>(ms));
+    json.field("checksum", value);
+    json.end_object();
+  };
+  workload("dense_cr_sweep_serial", serial_ms, checksum(serial));
+  workload("dense_cr_sweep_parallel", parallel_ms, checksum(parallel));
+  workload("certified_cr_a74", certified_ms, certified.cr);
+  workload("theorem2_game_a31", game_ms, game.forced_ratio);
+  json.end_array();
+  json.field("parallel_identical_to_serial", identical);
+  json.end_object();
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool timings_only = false;
+  std::string json_path = "BENCH_perf.json";
+  // Strip our flags before google-benchmark sees (and rejects) them.
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--timings-only") {
+      timings_only = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+
+  if (!timings_only) {
+    benchmark::Initialize(&filtered_argc, args.data());
+    if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+      return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  write_perf_json(json_path);
+  std::cerr << "wrote " << json_path << '\n';
+  return 0;
+}

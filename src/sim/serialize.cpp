@@ -1,5 +1,6 @@
 #include "sim/serialize.hpp"
 
+#include <cmath>
 #include <cstdlib>
 #include <istream>
 #include <map>
@@ -7,20 +8,30 @@
 #include <sstream>
 #include <vector>
 
+#include "util/csv.hpp"
 #include "util/error.hpp"
-#include "util/format.hpp"
 
 namespace linesearch {
 namespace {
 
 constexpr const char* kHeader = "robot,time,position";
 
+// Shared lossless codec (util/csv): 21 significant digits for finite
+// values, literal "inf"/"-inf"/"nan" for non-finite ones — so any field
+// this module writes parses back bit-exactly.  Waypoints are finite by
+// construction (an infinite time would make every speed check vacuously
+// pass), so externally-authored files carrying non-finite markers are
+// rejected here with the row context rather than slipping through
+// Trajectory validation.
 Real parse_real(const std::string& field, const std::string& context) {
-  expects(!field.empty(), "serialize: empty numeric field in " + context);
-  char* end = nullptr;
-  const Real value = std::strtold(field.c_str(), &end);
-  expects(end != nullptr && *end == '\0',
-          "serialize: malformed number '" + field + "' in " + context);
+  Real value = 0;
+  try {
+    value = parse_real_field(field);
+  } catch (const PreconditionError& error) {
+    throw PreconditionError(std::string(error.what()) + " in " + context);
+  }
+  expects(std::isfinite(value),
+          "waypoint fields must be finite, got '" + field + "' in " + context);
   return value;
 }
 
@@ -29,8 +40,8 @@ Real parse_real(const std::string& field, const std::string& context) {
 void write_trajectory_csv(std::ostream& out, const Trajectory& trajectory,
                           const RobotId robot) {
   for (const Waypoint& w : trajectory.waypoints()) {
-    out << robot << ',' << sig(w.time, 21) << ',' << sig(w.position, 21)
-        << '\n';
+    out << robot << ',' << encode_real_field(w.time) << ','
+        << encode_real_field(w.position) << '\n';
   }
 }
 

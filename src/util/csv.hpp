@@ -1,9 +1,17 @@
-// util/csv.hpp — minimal CSV emission.
+// util/csv.hpp — minimal CSV emission and parsing.
 //
 // Bench binaries print a machine-readable CSV block after each
 // human-readable table so figure series can be piped straight into a
 // plotting tool.  Quoting follows RFC 4180 (quote iff the field contains
 // a comma, quote, or newline).
+//
+// Numeric fields round-trip LOSSLESSLY, including the non-finite values
+// that became representable once undetected half-lines started reporting
+// cr = inf: `encode_real_field` spells them "inf" / "-inf" / "nan" and
+// `parse_real_field` reads those (plus the legacy "-" NaN marker of the
+// human-facing tables) back.  Every text serialization of a Real in the
+// library goes through this one codec (series CSV here, fleet CSV in
+// sim/serialize, JSON in util/jsonio).
 #pragma once
 
 #include <iosfwd>
@@ -13,6 +21,17 @@
 #include "util/real.hpp"
 
 namespace linesearch {
+
+/// Encode one Real as a CSV/JSON-safe text field: finite values with
+/// `digits` significant digits (21 = max_digits10 of 80-bit long double,
+/// the exact-round-trip default), non-finite as "inf"/"-inf"/"nan".
+[[nodiscard]] std::string encode_real_field(Real value, int digits = 21);
+
+/// Parse a field written by encode_real_field (or any strtold-legal
+/// number).  Accepts "inf"/"-inf"/"infinity"/"nan" case-insensitively and
+/// the legacy "-" NaN marker; throws PreconditionError on anything else
+/// that is not a full number.
+[[nodiscard]] Real parse_real_field(const std::string& field);
 
 /// Streaming CSV writer bound to an ostream.
 class CsvWriter {
@@ -37,7 +56,12 @@ struct Series {
 };
 
 /// Emit series as long-format CSV: header `series,x,y` then one row per
-/// point, 12 significant digits.
+/// point, 12 significant digits (non-finite values per encode_real_field).
 void write_series_csv(std::ostream& out, const std::vector<Series>& series);
+
+/// Parse the output of write_series_csv back into series (grouped by
+/// name, first-appearance order).  Non-finite y values (cr = inf rows)
+/// round-trip exactly.  Throws PreconditionError on malformed input.
+[[nodiscard]] std::vector<Series> read_series_csv(std::istream& in);
 
 }  // namespace linesearch

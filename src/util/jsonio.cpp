@@ -1,0 +1,121 @@
+#include "util/jsonio.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/csv.hpp"
+
+namespace linesearch {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char ch : text) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buffer;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::separate() {
+  if (after_key_) {
+    after_key_ = false;
+    return;  // value belongs on the key's line
+  }
+  if (!first_) *out_ << ',';
+  if (depth_ > 0) {
+    *out_ << '\n' << std::string(static_cast<std::size_t>(depth_) * 2, ' ');
+  }
+  first_ = false;
+}
+
+void JsonWriter::open(const char bracket) {
+  separate();
+  *out_ << bracket;
+  ++depth_;
+  first_ = true;
+}
+
+void JsonWriter::close(const char bracket) {
+  --depth_;
+  if (!first_) {
+    *out_ << '\n' << std::string(static_cast<std::size_t>(depth_) * 2, ' ');
+  }
+  *out_ << bracket;
+  first_ = false;
+  if (depth_ == 0) *out_ << '\n';
+}
+
+JsonWriter& JsonWriter::begin_object() { open('{'); return *this; }
+JsonWriter& JsonWriter::end_object() { close('}'); return *this; }
+JsonWriter& JsonWriter::begin_array() { open('['); return *this; }
+JsonWriter& JsonWriter::end_array() { close(']'); return *this; }
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  separate();
+  *out_ << '"' << json_escape(name) << "\": ";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& text) {
+  separate();
+  *out_ << '"' << json_escape(text) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* text) {
+  return value(std::string(text));
+}
+
+JsonWriter& JsonWriter::value(const Real number) {
+  separate();
+  // Non-finite values have no JSON literal; the shared codec spelling
+  // goes out as a string so consumers see "inf" rather than invalid JSON.
+  if (std::isnan(number) || std::isinf(number)) {
+    *out_ << '"' << encode_real_field(number) << '"';
+  } else {
+    *out_ << encode_real_field(number);
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const int number) {
+  separate();
+  *out_ << number;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const long long number) {
+  separate();
+  *out_ << number;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::size_t number) {
+  separate();
+  *out_ << number;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const bool flag) {
+  separate();
+  *out_ << (flag ? "true" : "false");
+  return *this;
+}
+
+}  // namespace linesearch

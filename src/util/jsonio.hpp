@@ -1,0 +1,66 @@
+// util/jsonio.hpp — minimal streaming JSON emission.
+//
+// Machine-readable artifacts (fuzzer repro instances, BENCH_perf.json)
+// are JSON so CI can diff them and external tools can parse them without
+// a CSV dialect.  This is emission only — nothing in the library needs a
+// JSON parser, and keeping it write-only keeps it dependency-free.
+//
+// Non-finite Reals are representable: JSON has no inf/nan literals, so
+// `value(Real)` emits them as the STRINGS "inf"/"-inf"/"nan" (the same
+// spellings as util/csv's encode_real_field, so one codec governs every
+// serialization).  Finite values are numbers with 21 significant digits
+// and round-trip exactly through strtold.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "util/real.hpp"
+
+namespace linesearch {
+
+/// Escape a string for inclusion inside JSON double quotes.
+[[nodiscard]] std::string json_escape(const std::string& text);
+
+/// Streaming writer producing pretty-printed (2-space) JSON.  The caller
+/// is responsible for well-formedness (every begin has an end, keys only
+/// inside objects); the writer handles commas, indentation and escaping.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(&out) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emit `"key":` — must be followed by a value or a begin_*.
+  JsonWriter& key(const std::string& name);
+
+  JsonWriter& value(const std::string& text);
+  JsonWriter& value(const char* text);
+  JsonWriter& value(Real number);
+  JsonWriter& value(int number);
+  JsonWriter& value(long long number);
+  JsonWriter& value(std::size_t number);
+  JsonWriter& value(bool flag);
+
+  /// key + value in one call.
+  template <typename T>
+  JsonWriter& field(const std::string& name, const T& v) {
+    key(name);
+    return value(v);
+  }
+
+ private:
+  void separate();  ///< comma + newline between siblings, then indent
+  void open(char bracket);
+  void close(char bracket);
+
+  std::ostream* out_;
+  int depth_ = 0;
+  bool first_ = true;        ///< no sibling emitted yet at this depth
+  bool after_key_ = false;   ///< next value sits on the key's line
+};
+
+}  // namespace linesearch

@@ -1,0 +1,242 @@
+#include "verify/differential.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "eval/exact.hpp"
+#include "eval/visit_cache.hpp"
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "verify/invariants.hpp"
+
+namespace linesearch {
+namespace verify {
+namespace {
+
+std::string real_str(const Real value) { return encode_real_field(value, 12); }
+
+void record(DifferentialResult& result, const std::size_t job,
+            const std::string& field, const Real lhs, const Real rhs) {
+  result.passed = false;
+  result.mismatches.push_back({job, field, lhs, rhs});
+  if (result.message.empty()) {
+    result.message = "job " + std::to_string(job) + " field " + field +
+                     ": " + real_str(lhs) + " vs " + real_str(rhs);
+  }
+}
+
+/// Compare two CrEvalResults field by field, bitwise.
+void compare_results(DifferentialResult& out, const std::size_t job,
+                     const CrEvalResult& reference,
+                     const CrEvalResult& candidate) {
+  if (!value_identical(reference.cr, candidate.cr)) {
+    record(out, job, "cr", reference.cr, candidate.cr);
+  }
+  if (!value_identical(reference.argmax, candidate.argmax)) {
+    record(out, job, "argmax", reference.argmax, candidate.argmax);
+  }
+  if (!value_identical(reference.cr_positive, candidate.cr_positive)) {
+    record(out, job, "cr_positive", reference.cr_positive,
+           candidate.cr_positive);
+  }
+  if (!value_identical(reference.cr_negative, candidate.cr_negative)) {
+    record(out, job, "cr_negative", reference.cr_negative,
+           candidate.cr_negative);
+  }
+  if (reference.probes != candidate.probes) {
+    record(out, job, "probes", static_cast<Real>(reference.probes),
+           static_cast<Real>(candidate.probes));
+  }
+  if (reference.undetected_probes != candidate.undetected_probes) {
+    record(out, job, "undetected_probes",
+           static_cast<Real>(reference.undetected_probes),
+           static_cast<Real>(candidate.undetected_probes));
+  }
+}
+
+}  // namespace
+
+DifferentialResult diff_batch_threads(const std::vector<CrBatchJob>& jobs,
+                                      const DifferentialOptions& options) {
+  DifferentialResult result;
+  result.name = "batch_threads";
+  expects(!options.thread_counts.empty(),
+          "diff_batch_threads: need at least one thread count");
+  const std::vector<CrEvalResult> reference =
+      measure_cr_batch(jobs, {.threads = options.thread_counts.front()});
+  // The serial measure_cr path is part of the race too: the batch layer
+  // promises to be indistinguishable from it, not just self-consistent.
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const CrEvalResult serial =
+        measure_cr(*jobs[i].fleet, jobs[i].f, jobs[i].options);
+    compare_results(result, i, serial, reference[i]);
+  }
+  for (std::size_t t = 1; t < options.thread_counts.size(); ++t) {
+    const std::vector<CrEvalResult> candidate =
+        measure_cr_batch(jobs, {.threads = options.thread_counts[t]});
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      compare_results(result, i, reference[i], candidate[i]);
+    }
+  }
+  if (!result.passed && result.mismatches.size() > 1) {
+    result.message += " (+" +
+                      std::to_string(result.mismatches.size() - 1) +
+                      " more mismatches)";
+  }
+  return result;
+}
+
+DifferentialResult diff_cache_on_off(const std::vector<CrBatchJob>& jobs,
+                                     const int threads) {
+  DifferentialResult result;
+  result.name = "cache_on_off";
+  const std::vector<CrEvalResult> cached =
+      measure_cr_batch(jobs, {.threads = threads, .use_cache = true});
+  const std::vector<CrEvalResult> uncached =
+      measure_cr_batch(jobs, {.threads = threads, .use_cache = false});
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    compare_results(result, i, uncached[i], cached[i]);
+  }
+  return result;
+}
+
+DifferentialResult diff_cache_direct(const Fleet& fleet, const int f,
+                                     const std::vector<Real>& positions) {
+  DifferentialResult result;
+  result.name = "cache_direct";
+  if (positions.empty()) {
+    result.applicable = false;
+    return result;
+  }
+  const FleetVisitCache cache(fleet);
+  for (int round = 0; round < 2; ++round) {  // cold, then memoized
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      const Real direct = fleet.detection_time(positions[i], f);
+      const Real memoized = cache.detection_time(positions[i], f);
+      if (!value_identical(direct, memoized)) {
+        record(result, i, round == 0 ? "cold" : "warm", direct, memoized);
+      }
+    }
+  }
+  return result;
+}
+
+DifferentialResult diff_probe_vs_exact(const Fleet& fleet, const int f,
+                                       const CrEvalOptions& eval,
+                                       const DifferentialOptions& options) {
+  DifferentialResult result;
+  result.name = "probe_vs_exact";
+  const CrEvalResult measured = measure_cr(fleet, f, eval);
+  const ExactCrResult certified =
+      certified_cr(fleet, f,
+                   {.window_lo = eval.window_lo,
+                    .window_hi = eval.window_hi,
+                    .require_finite = eval.require_finite});
+  if (std::isinf(measured.cr) || std::isinf(certified.cr)) {
+    // Only reachable with require_finite off; both paths must agree the
+    // window is undetectable.
+    if (std::isinf(measured.cr) != std::isinf(certified.cr)) {
+      record(result, 0, "cr", measured.cr, certified.cr);
+    }
+    return result;
+  }
+  // A probe is a sample of the sup: it can never exceed the certified
+  // value (round-off slack only)...
+  if (measured.cr > certified.cr * (1 + options.sample_tol)) {
+    record(result, 0, "cr(probe>exact)", measured.cr, certified.cr);
+  }
+  // ...and the 1e-9 right-limit offset must keep it within probe_gap_tol
+  // BELOW it.
+  if (certified.cr - measured.cr >
+      certified.cr * options.probe_gap_tol) {
+    record(result, 0, "cr(gap)", measured.cr, certified.cr);
+    result.message += " — probe scan missed the certified sup at x=" +
+                      real_str(certified.argsup);
+  }
+  return result;
+}
+
+DifferentialResult diff_exact_vs_grid(const Fleet& fleet, const int f,
+                                      const CrEvalOptions& eval,
+                                      const DifferentialOptions& options) {
+  DifferentialResult result;
+  result.name = "exact_vs_grid";
+  const ExactCrResult certified =
+      certified_cr(fleet, f,
+                   {.window_lo = eval.window_lo,
+                    .window_hi = eval.window_hi,
+                    .require_finite = eval.require_finite});
+  if (std::isinf(certified.cr)) return result;
+
+  std::vector<Real> positions;
+  const int count = std::max(2, options.grid_points);
+  const Real ratio = std::pow(eval.window_hi / eval.window_lo,
+                              Real{1} / static_cast<Real>(count - 1));
+  Real magnitude = eval.window_lo;
+  for (int i = 0; i < count; ++i) {
+    const Real m = (i == count - 1) ? eval.window_hi : magnitude;
+    positions.push_back(m);
+    positions.push_back(-m);
+    magnitude *= ratio;
+  }
+  const std::vector<Real> profile =
+      k_profile_batch(fleet, f, positions, {.threads = 2});
+  const std::vector<Real> serial_profile = k_profile(fleet, f, positions);
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    if (!value_identical(profile[i], serial_profile[i])) {
+      record(result, i, "k_profile(parallel)", serial_profile[i], profile[i]);
+    }
+    if (std::isinf(serial_profile[i])) continue;
+    if (serial_profile[i] > certified.cr * (1 + options.sample_tol)) {
+      record(result, i, "k>certified_sup", serial_profile[i], certified.cr);
+      result.message += " at x=" + real_str(positions[i]);
+    }
+  }
+  return result;
+}
+
+std::vector<DifferentialResult> run_differentials(
+    const Fleet& fleet, const int f, const CrEvalOptions& eval,
+    const std::vector<Real>& targets, const DifferentialOptions& options) {
+  // The thread race uses a small (f', window) sweep around the instance,
+  // the shape real sweeps have, so the cache sees cross-job sharing.
+  std::vector<CrBatchJob> jobs;
+  const int n = static_cast<int>(fleet.size());
+  for (const int g : {0, f, n - 1}) {
+    if (g < 0 || (!jobs.empty() && jobs.back().f == g)) continue;
+    CrEvalOptions job_options = eval;
+    jobs.push_back({&fleet, g, job_options});
+  }
+
+  std::vector<DifferentialResult> results;
+  results.push_back(diff_batch_threads(jobs, options));
+  results.push_back(diff_cache_on_off(jobs));
+  std::vector<Real> positions = targets;
+  if (positions.empty()) {
+    positions = {eval.window_lo, -eval.window_lo, eval.window_hi,
+                 -eval.window_hi};
+  }
+  results.push_back(diff_cache_direct(fleet, f, positions));
+  results.push_back(diff_probe_vs_exact(fleet, f, eval, options));
+  results.push_back(diff_exact_vs_grid(fleet, f, eval, options));
+  return results;
+}
+
+bool all_ok(const std::vector<DifferentialResult>& results) {
+  return std::all_of(results.begin(), results.end(),
+                     [](const DifferentialResult& r) { return r.ok(); });
+}
+
+std::string describe_failures(
+    const std::vector<DifferentialResult>& results) {
+  std::string out;
+  for (const DifferentialResult& result : results) {
+    if (result.ok()) continue;
+    if (!out.empty()) out += '\n';
+    out += result.name + ": " + result.message;
+  }
+  return out;
+}
+
+}  // namespace verify
+}  // namespace linesearch

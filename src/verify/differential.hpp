@@ -1,0 +1,107 @@
+// verify/differential.hpp — pit independent evaluator paths against each
+// other on the same instance.
+//
+// The library computes sup K(x) = T_{f+1}(x)/|x| through four routes
+// that share no implementation beyond the Fleet queries:
+//
+//   serial probe scan  (eval/cr_eval measure_cr)
+//   batched probe scan (eval/batch, any thread count, memoized oracle)
+//   certified suprema  (eval/exact, probe-free)
+//   dense grid sweep   (eval/batch k_profile over a geometric grid)
+//
+// Differential engines demand the right relation between each pair:
+// bit-identical where the contract is exact (thread counts, cache
+// on/off, memo vs direct), tolerance-bounded where an epsilon is part of
+// the design (probe scan sits 1e-9 below the certified sup; a finite
+// grid sits at or below it).  A mismatch produces a structured report
+// naming the job, the field and both values, so a fuzzer failure is
+// immediately actionable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "eval/batch.hpp"
+#include "eval/cr_eval.hpp"
+#include "sim/fleet.hpp"
+#include "util/real.hpp"
+
+namespace linesearch {
+namespace verify {
+
+/// One field that disagreed between two paths.
+struct FieldMismatch {
+  std::size_t job = 0;    ///< index into the compared job/position list
+  std::string field;      ///< "cr", "argmax", "probes", ...
+  Real lhs = 0;           ///< value on the reference path
+  Real rhs = 0;           ///< value on the path under test
+};
+
+/// Outcome of one differential engine.
+struct DifferentialResult {
+  std::string name;
+  bool applicable = true;
+  bool passed = true;
+  std::string message;
+  std::vector<FieldMismatch> mismatches;
+
+  [[nodiscard]] bool ok() const noexcept { return !applicable || passed; }
+};
+
+/// Tolerances for the non-exact comparisons.
+struct DifferentialOptions {
+  /// Max relative gap certified sup may sit ABOVE the probe scan (the
+  /// probe misses the sup by ~kLimitProbe; generous default covers
+  /// non-zig-zag fleets whose K jumps are steeper).
+  Real probe_gap_tol = 1e-6L;
+  /// Slack for "a sample can never exceed the sup" directions (pure
+  /// long-double round-off).
+  Real sample_tol = 1e-15L;
+  /// Grid density per side for the dense-sweep cross-check.
+  int grid_points = 64;
+  /// Thread counts the batch engine is raced at (first is reference).
+  std::vector<int> thread_counts = {1, 2, 8};
+};
+
+/// Batch engine vs itself across thread counts: every CrEvalResult field
+/// bit-identical to the serial (threads = 1) reference.
+[[nodiscard]] DifferentialResult diff_batch_threads(
+    const std::vector<CrBatchJob>& jobs, const DifferentialOptions& options = {});
+
+/// Cached vs uncached batch paths at a fixed thread count: bit-identical.
+[[nodiscard]] DifferentialResult diff_cache_on_off(
+    const std::vector<CrBatchJob>& jobs, int threads = 8);
+
+/// Memoized FleetVisitCache::detection_time vs direct Fleet queries at
+/// explicit positions (queried twice: cold, then warm): bit-identical.
+[[nodiscard]] DifferentialResult diff_cache_direct(
+    const Fleet& fleet, int f, const std::vector<Real>& positions);
+
+/// Probe scan vs certified suprema: measured <= certified (a probe is a
+/// sample of the sup) and certified - measured <= probe_gap_tol relative.
+[[nodiscard]] DifferentialResult diff_probe_vs_exact(
+    const Fleet& fleet, int f, const CrEvalOptions& eval,
+    const DifferentialOptions& options = {});
+
+/// Dense geometric K(x) grid vs certified suprema: every grid sample
+/// <= certified sup (within round-off).
+[[nodiscard]] DifferentialResult diff_exact_vs_grid(
+    const Fleet& fleet, int f, const CrEvalOptions& eval,
+    const DifferentialOptions& options = {});
+
+/// Run every engine above on one (fleet, f, window) instance.  `targets`
+/// adds fuzzer-chosen positions to the memo-vs-direct check.
+[[nodiscard]] std::vector<DifferentialResult> run_differentials(
+    const Fleet& fleet, int f, const CrEvalOptions& eval,
+    const std::vector<Real>& targets = {},
+    const DifferentialOptions& options = {});
+
+/// True iff every result is ok.
+[[nodiscard]] bool all_ok(const std::vector<DifferentialResult>& results);
+
+/// One line per failed engine, empty when all ok.
+[[nodiscard]] std::string describe_failures(
+    const std::vector<DifferentialResult>& results);
+
+}  // namespace verify
+}  // namespace linesearch

@@ -1,0 +1,501 @@
+#include "verify/fuzz.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "core/algorithm.hpp"
+#include "core/baselines.hpp"
+#include "core/competitive.hpp"
+#include "core/custom.hpp"
+#include "sim/trajectory.hpp"
+#include "sim/zigzag.hpp"
+#include "util/error.hpp"
+#include "util/jsonio.hpp"
+
+namespace linesearch {
+namespace verify {
+
+std::uint64_t SplitMix64::next() noexcept {
+  std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+Real SplitMix64::uniform(const Real lo, const Real hi) noexcept {
+  const Real unit = static_cast<Real>(next() >> 11) * 0x1.0p-53L;
+  return lo + (hi - lo) * unit;
+}
+
+int SplitMix64::uniform_int(const int lo, const int hi) noexcept {
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int>(next() % span);
+}
+
+bool SplitMix64::chance(const Real p) noexcept { return uniform(0, 1) < p; }
+
+const char* kind_name(const FleetKind kind) noexcept {
+  switch (kind) {
+    case FleetKind::kProportional: return "proportional";
+    case FleetKind::kPerturbedBeta: return "perturbed-beta";
+    case FleetKind::kCustomCone: return "custom-cone";
+    case FleetKind::kGroupDoubling: return "group-doubling";
+    case FleetKind::kClassicCowPath: return "classic-cow-path";
+    case FleetKind::kUniformOffset: return "uniform-offset";
+  }
+  return "unknown";
+}
+
+const char* injection_name(const Injection injection) noexcept {
+  switch (injection) {
+    case Injection::kNone: return "none";
+    case Injection::kConeEscape: return "cone-escape";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool regime_kind(const FleetKind kind) noexcept {
+  return kind == FleetKind::kProportional ||
+         kind == FleetKind::kPerturbedBeta ||
+         kind == FleetKind::kUniformOffset;
+}
+
+bool cone_kind(const FleetKind kind) noexcept {
+  return kind != FleetKind::kClassicCowPath;
+}
+
+/// Smallest f with f < n < 2f+2, i.e. the regime floor floor(n/2).
+int regime_f_floor(const int n) noexcept { return n / 2; }
+
+/// Unit-speed Beck/Bellman doubling zig-zag from the origin: waypoints
+/// (0,0), (1,1), (-2,4), (4,10), ... until both half-lines reach
+/// min_coverage.  Its first waypoint (1, 1) lies strictly below the
+/// boundary t = beta*|x| of every cone with beta > 1.
+Trajectory make_escape_zigzag(const Real min_coverage) {
+  TrajectoryBuilder builder;
+  builder.start_at(0, 0);
+  Real turn = 1;
+  Real covered_pos = 0;
+  Real covered_neg = 0;
+  while (covered_pos < min_coverage || covered_neg < min_coverage) {
+    builder.move_to(turn);
+    if (turn > 0) {
+      covered_pos = turn;
+    } else {
+      covered_neg = -turn;
+    }
+    turn *= -2;
+  }
+  return std::move(builder).build();
+}
+
+}  // namespace
+
+FuzzInstance generate_instance(const std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  FuzzInstance instance;
+  instance.seed = seed;
+  instance.kind = static_cast<FleetKind>(rng.uniform_int(0, 5));
+
+  switch (instance.kind) {
+    case FleetKind::kProportional:
+    case FleetKind::kPerturbedBeta:
+    case FleetKind::kUniformOffset: {
+      instance.f = rng.uniform_int(1, 4);
+      instance.n = rng.uniform_int(instance.f + 1, 2 * instance.f + 1);
+      instance.beta =
+          instance.kind == FleetKind::kPerturbedBeta
+              ? rng.uniform(1.2L, 6.0L)
+              : optimal_beta(instance.n, instance.f);
+      break;
+    }
+    case FleetKind::kGroupDoubling:
+    case FleetKind::kClassicCowPath: {
+      instance.n = rng.uniform_int(1, 6);
+      instance.f = rng.uniform_int(0, instance.n - 1);
+      instance.beta = 3;
+      instance.mirrored = instance.kind == FleetKind::kClassicCowPath &&
+                          instance.n >= 2 && rng.chance(0.5L);
+      break;
+    }
+    case FleetKind::kCustomCone: {
+      instance.beta = rng.uniform(1.5L, 4.0L);
+      const Real kappa2 = expansion_factor(instance.beta) *
+                          expansion_factor(instance.beta);
+      instance.n = rng.uniform_int(1, 6);
+      for (int i = 0; i < instance.n; ++i) {
+        instance.magnitudes.push_back(
+            rng.uniform(1, kappa2 * 0.999L));
+      }
+      std::sort(instance.magnitudes.begin(), instance.magnitudes.end());
+      instance.f = rng.uniform_int(0, instance.n - 1);
+      break;
+    }
+  }
+
+  instance.window_lo = 1;
+  instance.window_hi = static_cast<Real>(1 << rng.uniform_int(2, 4));
+  instance.extent = instance.window_hi * 4;
+  if (instance.kind == FleetKind::kCustomCone) {
+    const Real kappa2 =
+        expansion_factor(instance.beta) * expansion_factor(instance.beta);
+    instance.extent = std::max(instance.extent, kappa2 * Real{1.5L});
+  }
+
+  // Adversarial targets: the +-window_lo boundary right-limits, the top
+  // of the window, a couple of uniform draws, and right/left limits of a
+  // few turning points of the actual fleet (the discontinuities of K).
+  const Real lo = instance.window_lo;
+  const Real hi = instance.window_hi;
+  instance.targets = {lo * (1 + tol::kLimitProbe), -lo * (1 + tol::kLimitProbe),
+                      hi * (1 - tol::kLimitProbe), -hi * (1 - tol::kLimitProbe)};
+  instance.targets.push_back(rng.uniform(lo, hi));
+  instance.targets.push_back(-rng.uniform(lo, hi));
+  const Fleet fleet = build_fuzz_fleet(instance);
+  for (const int side : {+1, -1}) {
+    int taken = 0;
+    for (const Real turn : fleet.turning_positions(side)) {
+      const Real magnitude = std::fabs(turn);
+      if (magnitude <= lo * Real{1.01L} || magnitude >= hi * Real{0.99L}) {
+        continue;
+      }
+      instance.targets.push_back(turn * (1 + tol::kLimitProbe));
+      instance.targets.push_back(turn * (1 - tol::kLimitProbe));
+      if (++taken == 3) break;
+    }
+  }
+  return instance;
+}
+
+Fleet build_fuzz_fleet(const FuzzInstance& instance) {
+  Fleet fleet = [&instance]() -> Fleet {
+    switch (instance.kind) {
+      case FleetKind::kProportional:
+        return ProportionalAlgorithm(instance.n, instance.f)
+            .build_fleet(instance.extent);
+      case FleetKind::kPerturbedBeta:
+        return ProportionalAlgorithm(instance.n, instance.f, instance.beta)
+            .build_fleet(instance.extent);
+      case FleetKind::kCustomCone:
+        return build_cone_fleet(instance.beta, instance.magnitudes,
+                                instance.extent);
+      case FleetKind::kGroupDoubling:
+        return GroupDoubling(instance.n, instance.f)
+            .build_fleet(instance.extent);
+      case FleetKind::kClassicCowPath:
+        return ClassicCowPath(instance.n, instance.f, instance.mirrored)
+            .build_fleet(instance.extent);
+      case FleetKind::kUniformOffset:
+        return UniformOffsetZigzag(instance.n, instance.f)
+            .build_fleet(instance.extent);
+    }
+    throw PreconditionError("build_fuzz_fleet: unknown kind");
+  }();
+
+  if (instance.injection == Injection::kConeEscape) {
+    std::vector<Trajectory> robots = fleet.robots();
+    // Coverage capped at 4: the violation is the FIRST waypoint, so the
+    // minimal 4-segment zig-zag (1, -2, 4, -8) already exhibits it and
+    // the shrunk repro stays minimal regardless of the instance extent.
+    robots.front() = make_escape_zigzag(std::min(instance.extent, Real{4}));
+    fleet = Fleet(std::move(robots));
+  }
+  return fleet;
+}
+
+Subject make_subject(const FuzzInstance& instance, const Fleet& fleet) {
+  Subject subject;
+  subject.fleet = &fleet;
+  subject.f = instance.f;
+  subject.coverage_extent = instance.extent;
+  if (cone_kind(instance.kind)) subject.beta = instance.beta;
+  switch (instance.kind) {
+    case FleetKind::kProportional:
+      subject.proportional = true;
+      subject.theory_cr = algorithm_cr(instance.n, instance.f);
+      break;
+    case FleetKind::kPerturbedBeta:
+      subject.proportional = true;
+      subject.theory_cr = schedule_cr(instance.n, instance.f, instance.beta);
+      break;
+    case FleetKind::kGroupDoubling:
+      subject.theory_cr = Real{9};
+      break;
+    case FleetKind::kClassicCowPath: {
+      const auto theory =
+          ClassicCowPath(instance.n, instance.f, instance.mirrored)
+              .theoretical_cr();
+      if (theory) subject.theory_cr = *theory;
+      break;
+    }
+    case FleetKind::kCustomCone:
+    case FleetKind::kUniformOffset:
+      break;
+  }
+  return subject;
+}
+
+bool FuzzOutcome::ok() const {
+  return verify::all_ok(invariants) && verify::all_ok(differentials);
+}
+
+std::string FuzzOutcome::primary_failure() const {
+  for (const InvariantResult& result : invariants) {
+    if (!result.ok()) return result.name;
+  }
+  for (const DifferentialResult& result : differentials) {
+    if (!result.ok()) return result.name;
+  }
+  return "";
+}
+
+std::string FuzzOutcome::describe() const {
+  std::string out = verify::describe_failures(invariants);
+  const std::string diff = verify::describe_failures(differentials);
+  if (!diff.empty()) {
+    if (!out.empty()) out += '\n';
+    out += diff;
+  }
+  return out;
+}
+
+FuzzOutcome run_instance(const FuzzInstance& instance) {
+  FuzzOutcome outcome;
+  try {
+    const Fleet fleet = build_fuzz_fleet(instance);
+    const Subject subject = make_subject(instance, fleet);
+    InvariantOptions options;
+    options.window_lo = instance.window_lo;
+    options.window_hi = instance.window_hi;
+    options.samples = 16;
+    options.extra_positions = instance.targets;
+    outcome.invariants = run_invariants(subject, options);
+
+    if (instance.injection == Injection::kNone) {
+      CrEvalOptions eval;
+      eval.window_lo = instance.window_lo;
+      eval.window_hi = instance.window_hi;
+      try {
+        outcome.differentials =
+            run_differentials(fleet, instance.f, eval, instance.targets);
+      } catch (const Error& error) {
+        DifferentialResult failed;
+        failed.name = "differential-exception";
+        failed.passed = false;
+        failed.message = error.what();
+        outcome.differentials.push_back(std::move(failed));
+      }
+    }
+  } catch (const Error& error) {
+    InvariantResult failed;
+    failed.name = "build";
+    failed.passed = false;
+    failed.message = error.what();
+    outcome.invariants.push_back(std::move(failed));
+  }
+  return outcome;
+}
+
+namespace {
+
+/// Re-clamp (n, f) after a robot drop so every builder precondition
+/// still holds; regime kinds additionally need f < n < 2f+2, and kinds
+/// whose builder derives beta from (n, f) get the claim re-derived so
+/// the Subject keeps describing the fleet actually built.
+void clamp_faults(FuzzInstance& instance) {
+  instance.f = std::min(instance.f, instance.n - 1);
+  if (regime_kind(instance.kind)) {
+    instance.f = std::max({instance.f, regime_f_floor(instance.n), 1});
+  }
+  instance.f = std::max(instance.f, 0);
+  if (instance.n < 2) instance.mirrored = false;
+  if (instance.kind == FleetKind::kProportional ||
+      instance.kind == FleetKind::kUniformOffset) {
+    instance.beta = optimal_beta(instance.n, instance.f);
+  }
+}
+
+/// Candidate shrink moves, smallest-first; each strictly reduces the
+/// instance (fewer targets/robots, smaller extent/window, rounder
+/// parameters), so greedy acceptance terminates.
+std::vector<FuzzInstance> shrink_moves(const FuzzInstance& instance) {
+  std::vector<FuzzInstance> moves;
+
+  if (!instance.targets.empty()) {
+    FuzzInstance cleared = instance;
+    cleared.targets.clear();
+    moves.push_back(std::move(cleared));
+    FuzzInstance fewer = instance;
+    fewer.targets.pop_back();
+    moves.push_back(std::move(fewer));
+  }
+
+  if (instance.kind == FleetKind::kCustomCone) {
+    if (instance.magnitudes.size() > 1) {
+      FuzzInstance dropped = instance;
+      dropped.magnitudes.pop_back();
+      dropped.n = static_cast<int>(dropped.magnitudes.size());
+      clamp_faults(dropped);
+      moves.push_back(std::move(dropped));
+    }
+  } else if (instance.n > (regime_kind(instance.kind) ? 2 : 1)) {
+    // Regime kinds bottom out at (n, f) = (2, 1), the smallest pair with
+    // 1 <= f < n < 2f+2.
+    FuzzInstance dropped = instance;
+    dropped.n -= 1;
+    clamp_faults(dropped);
+    moves.push_back(std::move(dropped));
+  }
+
+  Real extent_floor = 4;
+  if (instance.kind == FleetKind::kCustomCone) {
+    const Real kappa2 =
+        expansion_factor(instance.beta) * expansion_factor(instance.beta);
+    extent_floor = std::max(extent_floor, kappa2 * Real{1.25L});
+  }
+  const Real halved_extent = std::max(extent_floor, instance.extent / 2);
+  if (halved_extent < instance.extent) {
+    FuzzInstance smaller = instance;
+    smaller.extent = halved_extent;
+    moves.push_back(std::move(smaller));
+  }
+
+  const Real halved_window =
+      std::max(std::max(Real{2}, instance.window_lo * 2),
+               instance.window_hi / 2);
+  if (halved_window < instance.window_hi) {
+    FuzzInstance narrower = instance;
+    narrower.window_hi = halved_window;
+    narrower.extent = std::max(narrower.extent, halved_window * 2);
+    moves.push_back(std::move(narrower));
+  }
+
+  if (instance.kind == FleetKind::kPerturbedBeta ||
+      instance.kind == FleetKind::kCustomCone) {
+    const Real rounded = std::max(Real{1.5L}, std::round(instance.beta));
+    if (!value_identical(rounded, instance.beta)) {
+      FuzzInstance rounder = instance;
+      rounder.beta = rounded;
+      if (rounder.kind == FleetKind::kCustomCone) {
+        const Real kappa2 =
+            expansion_factor(rounder.beta) * expansion_factor(rounder.beta);
+        for (Real& magnitude : rounder.magnitudes) {
+          magnitude = std::min(magnitude, kappa2 * Real{0.999L});
+        }
+        rounder.extent = std::max(rounder.extent, kappa2 * Real{1.25L});
+      }
+      moves.push_back(std::move(rounder));
+    }
+  }
+
+  if (instance.kind == FleetKind::kCustomCone) {
+    FuzzInstance rounder = instance;
+    bool changed = false;
+    for (Real& magnitude : rounder.magnitudes) {
+      const Real rounded =
+          std::max(Real{1}, std::round(magnitude * 4) / 4);
+      if (!value_identical(rounded, magnitude)) {
+        magnitude = rounded;
+        changed = true;
+      }
+    }
+    if (changed) moves.push_back(std::move(rounder));
+  }
+
+  return moves;
+}
+
+}  // namespace
+
+ShrinkResult shrink_instance(const FuzzInstance& start) {
+  ShrinkResult result;
+  result.instance = start;
+  result.failure = run_instance(start).primary_failure();
+  expects(!result.failure.empty(),
+          "shrink_instance: the starting instance must fail");
+
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (FuzzInstance& candidate : shrink_moves(result.instance)) {
+      const FuzzOutcome outcome = run_instance(candidate);
+      bool preserved = false;
+      for (const InvariantResult& r : outcome.invariants) {
+        if (!r.ok() && r.name == result.failure) preserved = true;
+      }
+      for (const DifferentialResult& r : outcome.differentials) {
+        if (!r.ok() && r.name == result.failure) preserved = true;
+      }
+      if (preserved) {
+        result.instance = std::move(candidate);
+        result.accepted_moves += 1;
+        progressed = true;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+std::string instance_to_json(const FuzzInstance& instance,
+                             const FuzzOutcome& outcome) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.begin_object();
+  json.field("seed", std::to_string(instance.seed));
+  json.field("kind", kind_name(instance.kind));
+  json.field("injection", injection_name(instance.injection));
+  json.field("n", instance.n);
+  json.field("f", instance.f);
+  json.field("beta", instance.beta);
+  json.field("mirrored", instance.mirrored);
+  json.key("magnitudes").begin_array();
+  for (const Real magnitude : instance.magnitudes) json.value(magnitude);
+  json.end_array();
+  json.field("extent", instance.extent);
+  json.field("window_lo", instance.window_lo);
+  json.field("window_hi", instance.window_hi);
+  json.key("targets").begin_array();
+  for (const Real target : instance.targets) json.value(target);
+  json.end_array();
+  json.field("ok", outcome.ok());
+  json.key("failures").begin_array();
+  for (const InvariantResult& result : outcome.invariants) {
+    if (result.ok()) continue;
+    json.begin_object();
+    json.field("check", result.name);
+    json.field("message", result.message);
+    json.end_object();
+  }
+  for (const DifferentialResult& result : outcome.differentials) {
+    if (result.ok()) continue;
+    json.begin_object();
+    json.field("check", result.name);
+    json.field("message", result.message);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  out << '\n';
+  return out.str();
+}
+
+CorpusReport run_corpus(const std::uint64_t first_seed, const int count) {
+  CorpusReport report;
+  for (int i = 0; i < count; ++i) {
+    const std::uint64_t seed = first_seed + static_cast<std::uint64_t>(i);
+    const FuzzOutcome outcome = run_instance(generate_instance(seed));
+    report.total += 1;
+    if (!outcome.ok()) {
+      report.failed += 1;
+      report.failing_seeds.push_back(seed);
+    }
+  }
+  return report;
+}
+
+}  // namespace verify
+}  // namespace linesearch

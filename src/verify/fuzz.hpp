@@ -1,0 +1,147 @@
+// verify/fuzz.hpp — seeded strategy fuzzer with greedy failure shrinking.
+//
+// A fuzz instance is a small record (strategy family, n, f, beta,
+// magnitudes, window, adversarial targets) generated deterministically
+// from a 64-bit seed: same seed, same instance, same verdict, on every
+// machine.  Running an instance builds the fleet, runs every invariant
+// oracle of verify/invariants and (for valid fleets) every differential
+// engine of verify/differential.
+//
+// On failure the instance is shrunk greedily — drop robots, halve the
+// extent and window, round parameters, drop targets — accepting a move
+// only while the ORIGINAL failing oracle still fails, until no move
+// applies.  The minimal repro is replayable from its seed alone
+// (`tools/fuzz_main --seed S` re-runs generation and shrinking
+// bit-identically) and is also emitted as JSON for bug reports.
+//
+// Injections deliberately corrupt a generated fleet (e.g. ConeEscape
+// swaps robot 0 for a unit-speed classic cow-path zig-zag that leaves
+// C_beta) so the oracle set and the shrinker themselves stay tested.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/fleet.hpp"
+#include "util/real.hpp"
+#include "verify/differential.hpp"
+#include "verify/invariants.hpp"
+
+namespace linesearch {
+namespace verify {
+
+/// Deterministic 64-bit generator (SplitMix64) — tiny state, full-period,
+/// identical streams on every platform.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  [[nodiscard]] std::uint64_t next() noexcept;
+
+  /// Uniform Real in [lo, hi).
+  [[nodiscard]] Real uniform(Real lo, Real hi) noexcept;
+
+  /// Uniform int in [lo, hi] (inclusive); requires lo <= hi.
+  [[nodiscard]] int uniform_int(int lo, int hi) noexcept;
+
+  /// True with probability p.
+  [[nodiscard]] bool chance(Real p) noexcept;
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Strategy families the generator draws from.
+enum class FleetKind {
+  kProportional,    ///< A(n, f) — optimal beta
+  kPerturbedBeta,   ///< S_beta(n) with a random beta != beta*
+  kCustomCone,      ///< build_cone_fleet with random magnitudes
+  kGroupDoubling,   ///< all robots on one cone-doubling zig-zag
+  kClassicCowPath,  ///< non-cone Beck/Bellman doubling (optionally mirrored)
+  kUniformOffset,   ///< arithmetic first-turn spread (ablation foil)
+};
+
+/// Deliberate corruptions for testing the oracles and the shrinker.
+enum class Injection {
+  kNone,
+  /// Replace robot 0 with a unit-speed classic cow-path zig-zag from the
+  /// origin.  Its first waypoint (1, 1) sits below t = beta*|x| for every
+  /// beta > 1, so cone containment must fail while speed validation
+  /// passes.
+  kConeEscape,
+};
+
+[[nodiscard]] const char* kind_name(FleetKind kind) noexcept;
+[[nodiscard]] const char* injection_name(Injection injection) noexcept;
+
+/// One fuzz case.  Every field is derived from `seed` by
+/// generate_instance; the shrinker then mutates the record directly.
+struct FuzzInstance {
+  std::uint64_t seed = 0;
+  FleetKind kind = FleetKind::kProportional;
+  Injection injection = Injection::kNone;
+  int n = 3;
+  int f = 1;
+  Real beta = 3;                ///< cone kinds; ignored by cow-path kinds
+  bool mirrored = false;        ///< kClassicCowPath only
+  std::vector<Real> magnitudes; ///< kCustomCone only, each in [1, kappa^2)
+  Real extent = 64;
+  Real window_lo = 1;
+  Real window_hi = 16;
+  std::vector<Real> targets;    ///< adversarial probe positions (signed)
+};
+
+/// Everything one run produced.
+struct FuzzOutcome {
+  std::vector<InvariantResult> invariants;
+  std::vector<DifferentialResult> differentials;
+
+  [[nodiscard]] bool ok() const;
+  /// Name of the first failing check ("" when ok) — the shrink predicate.
+  [[nodiscard]] std::string primary_failure() const;
+  /// One line per failure, empty when ok.
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Deterministic instance from a seed (never injected; set
+/// instance.injection afterwards to corrupt it).
+[[nodiscard]] FuzzInstance generate_instance(std::uint64_t seed);
+
+/// Materialize the instance's fleet, applying its injection.
+[[nodiscard]] Fleet build_fuzz_fleet(const FuzzInstance& instance);
+
+/// The Subject (claims) the oracles check `fleet` against.
+[[nodiscard]] Subject make_subject(const FuzzInstance& instance,
+                                   const Fleet& fleet);
+
+/// Build + run all oracles (+ differentials when not injected;
+/// exceptions from any engine become failed results, never escape).
+[[nodiscard]] FuzzOutcome run_instance(const FuzzInstance& instance);
+
+/// Result of greedy shrinking.
+struct ShrinkResult {
+  FuzzInstance instance;  ///< minimal instance still failing
+  int accepted_moves = 0; ///< shrink steps that preserved the failure
+  std::string failure;    ///< the preserved primary failure name
+};
+
+/// Greedily minimize a failing instance; requires that run_instance
+/// (start) currently fails.  Deterministic: replaying the same start
+/// yields the same minimum.
+[[nodiscard]] ShrinkResult shrink_instance(const FuzzInstance& start);
+
+/// JSON repro record (instance + failures) via util/jsonio.
+[[nodiscard]] std::string instance_to_json(const FuzzInstance& instance,
+                                           const FuzzOutcome& outcome);
+
+/// Corpus sweep over `count` consecutive seeds starting at first_seed.
+struct CorpusReport {
+  int total = 0;
+  int failed = 0;
+  std::vector<std::uint64_t> failing_seeds;
+};
+[[nodiscard]] CorpusReport run_corpus(std::uint64_t first_seed, int count);
+
+}  // namespace verify
+}  // namespace linesearch

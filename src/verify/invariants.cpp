@@ -1,0 +1,418 @@
+#include "verify/invariants.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "adversary/game.hpp"
+#include "adversary/placements.hpp"
+#include "core/competitive.hpp"
+#include "core/lower_bound.hpp"
+#include "core/proportional.hpp"
+#include "eval/cr_eval.hpp"
+#include "eval/exact.hpp"
+#include "sim/zigzag.hpp"
+#include "util/csv.hpp"
+#include "util/error.hpp"
+
+namespace linesearch {
+namespace verify {
+namespace {
+
+InvariantResult inapplicable(const std::string& name) {
+  InvariantResult result;
+  result.name = name;
+  result.applicable = false;
+  return result;
+}
+
+InvariantResult pass(const std::string& name) {
+  InvariantResult result;
+  result.name = name;
+  return result;
+}
+
+InvariantResult fail(const std::string& name, const std::string& message,
+                     const Real worst = 0) {
+  InvariantResult result;
+  result.name = name;
+  result.passed = false;
+  result.message = message;
+  result.worst = worst;
+  return result;
+}
+
+/// The signed probe set a sampled oracle walks: a geometric grid on each
+/// half-line plus the caller's extra positions clamped to the window.
+std::vector<Real> sampled_positions(const InvariantOptions& options) {
+  std::vector<Real> positions;
+  const int count = std::max(2, options.samples);
+  const Real ratio =
+      std::pow(options.window_hi / options.window_lo,
+               Real{1} / static_cast<Real>(count - 1));
+  Real magnitude = options.window_lo;
+  for (int i = 0; i < count; ++i) {
+    const Real m = (i == count - 1) ? options.window_hi : magnitude;
+    positions.push_back(m);
+    positions.push_back(-m);
+    magnitude *= ratio;
+  }
+  for (const Real x : options.extra_positions) {
+    const Real m = std::fabs(x);
+    if (m >= options.window_lo && m <= options.window_hi) {
+      positions.push_back(x);
+    }
+  }
+  return positions;
+}
+
+std::string real_str(const Real value) { return encode_real_field(value, 12); }
+
+}  // namespace
+
+InvariantResult check_kinematics(const Subject& subject,
+                                 const InvariantOptions& options) {
+  const std::string name = "kinematics";
+  const Fleet& fleet = *subject.fleet;
+  constexpr Real kSpeedSlack = 1e-9L;
+  for (RobotId id = 0; id < fleet.size(); ++id) {
+    const Real speed = fleet.robot(id).max_speed();
+    if (speed > 1 + kSpeedSlack) {
+      return fail(name,
+                  "robot " + std::to_string(id) + " max speed " +
+                      real_str(speed) + " exceeds 1",
+                  speed - 1);
+    }
+  }
+  for (const Real x : sampled_positions(options)) {
+    const Real time = fleet.detection_time(x, subject.f);
+    if (std::isinf(time)) continue;  // coverage oracle's business
+    const Real magnitude = std::fabs(x);
+    if (time < magnitude * (1 - tol::kRelative)) {
+      return fail(name,
+                  "detection at x=" + real_str(x) + " takes " +
+                      real_str(time) + " < |x| (faster than speed 1)",
+                  magnitude - time);
+    }
+  }
+  return pass(name);
+}
+
+InvariantResult check_cone_containment(const Subject& subject,
+                                       const InvariantOptions& options) {
+  (void)options;
+  const std::string name = "lemma1_cone_containment";
+  if (!subject.beta) return inapplicable(name);
+  const Fleet& fleet = *subject.fleet;
+  const Real beta = *subject.beta;
+  Real worst = 0;
+  RobotId worst_robot = 0;
+  Real worst_position = 0;
+  for (RobotId id = 0; id < fleet.size(); ++id) {
+    for (const Waypoint& w : fleet.robot(id).waypoints()) {
+      // Mirror sim/zigzag's within_cone slack exactly.
+      const Real boundary = beta * std::fabs(w.position);
+      const Real violation =
+          boundary * (1 - tol::kRelative) - tol::kAbsolute - w.time;
+      if (violation > worst) {
+        worst = violation;
+        worst_robot = id;
+        worst_position = w.position;
+      }
+    }
+  }
+  if (worst > 0) {
+    return fail(name,
+                "robot " + std::to_string(worst_robot) + " waypoint at x=" +
+                    real_str(worst_position) + " escapes C_beta(beta=" +
+                    real_str(beta) + ") by " + real_str(worst),
+                worst);
+  }
+  return pass(name);
+}
+
+InvariantResult check_proportional_structure(const Subject& subject,
+                                             const InvariantOptions& options) {
+  (void)options;
+  const std::string name = "lemma2_proportional_structure";
+  if (!subject.proportional || !subject.beta) return inapplicable(name);
+  const Fleet& fleet = *subject.fleet;
+  const ScheduleCheck check = check_schedule(
+      fleet, static_cast<int>(fleet.size()), *subject.beta, Real{1});
+  if (!check.all_ok()) {
+    std::ostringstream message;
+    message << "schedule re-derivation failed:";
+    if (!check.within_cone) message << " within_cone";
+    if (!check.unit_speed_legs) message << " unit_speed_legs";
+    if (!check.proportional) message << " proportional(r)";
+    if (!check.robots_interleaved) message << " robots_interleaved";
+    message << " (max ratio error " << real_str(check.max_ratio_error) << ")";
+    return fail(name, message.str(), check.max_ratio_error);
+  }
+  return pass(name);
+}
+
+InvariantResult check_first_visit_monotonicity(
+    const Subject& subject, const InvariantOptions& options) {
+  const std::string name = "first_visit_monotonicity";
+  const Fleet& fleet = *subject.fleet;
+
+  // Magnitudes, ascending, per side; monotonicity is per half-line.
+  std::vector<Real> magnitudes;
+  for (const Real x : sampled_positions(options)) {
+    if (x > 0) magnitudes.push_back(x);
+  }
+  std::sort(magnitudes.begin(), magnitudes.end());
+
+  for (RobotId id = 0; id < fleet.size(); ++id) {
+    const Trajectory& robot = fleet.robot(id);
+    // The argument needs the robot to start strictly inside the probed
+    // band: reaching a farther point then crosses every nearer one first.
+    if (std::fabs(robot.start_position()) >= options.window_lo) continue;
+    for (const int side : {+1, -1}) {
+      Real previous = -kInfinity;
+      Real previous_x = 0;
+      for (const Real magnitude : magnitudes) {
+        const Real x = static_cast<Real>(side) * magnitude;
+        const std::optional<Real> visit = robot.first_visit_time(x);
+        const Real time = visit ? *visit : kInfinity;
+        if (std::isinf(previous) && previous > 0 && !std::isinf(time)) {
+          return fail(name,
+                      "robot " + std::to_string(id) + " never visits x=" +
+                          real_str(previous_x) + " but visits farther x=" +
+                          real_str(x));
+        }
+        if (!std::isinf(time) && time < previous) {
+          return fail(name,
+                      "robot " + std::to_string(id) + " first visit at x=" +
+                          real_str(x) + " (" + real_str(time) +
+                          ") precedes visit at nearer x=" +
+                          real_str(previous_x) + " (" + real_str(previous) +
+                          ")",
+                      previous - time);
+        }
+        previous = time;
+        previous_x = x;
+      }
+    }
+  }
+  return pass(name);
+}
+
+InvariantResult check_detection_order_statistics(
+    const Subject& subject, const InvariantOptions& options) {
+  const std::string name = "detection_order_statistics";
+  const Fleet& fleet = *subject.fleet;
+  const int n = static_cast<int>(fleet.size());
+
+  for (const Real x : sampled_positions(options)) {
+    const std::vector<VisitRecord> order = fleet.visit_order(x);
+    Real previous = 0;
+    for (int k = 0; k < n; ++k) {
+      const Real time = fleet.detection_time(x, k);
+      // Exactly the (k+1)-st distinct first visit...
+      const Real expected = k < static_cast<int>(order.size())
+                                ? order[static_cast<std::size_t>(k)].time
+                                : kInfinity;
+      if (!value_identical(time, expected)) {
+        return fail(name,
+                    "detection_time(x=" + real_str(x) + ", f=" +
+                        std::to_string(k) + ") = " + real_str(time) +
+                        " but the (f+1)-st distinct visit is at " +
+                        real_str(expected),
+                    std::fabs(time - expected));
+      }
+      // ...nondecreasing in the fault budget...
+      if (time < previous) {
+        return fail(name,
+                    "detection_time at x=" + real_str(x) +
+                        " decreases from f=" + std::to_string(k - 1) +
+                        " to f=" + std::to_string(k),
+                    previous - time);
+      }
+      // ...and witnessed by at least k+1 distinct visitors.
+      if (!std::isinf(time) &&
+          fleet.distinct_visitors_by(x, time) < k + 1) {
+        return fail(name,
+                    "fewer than f+1 distinct visitors by T_{f+1} at x=" +
+                        real_str(x) + ", f=" + std::to_string(k));
+      }
+      previous = time;
+    }
+    if (!std::isinf(fleet.detection_time(x, n))) {
+      return fail(name, "detection_time with f >= n must be infinite at x=" +
+                            real_str(x));
+    }
+  }
+  return pass(name);
+}
+
+InvariantResult check_coverage(const Subject& subject,
+                               const InvariantOptions& options) {
+  const std::string name = "coverage";
+  if (subject.coverage_extent <= options.window_lo) return inapplicable(name);
+  const Fleet& fleet = *subject.fleet;
+  if (!fleet.covers(options.window_lo, subject.coverage_extent,
+                    subject.f + 1)) {
+    return fail(name,
+                "fleet does not give " + std::to_string(subject.f + 1) +
+                    "-fold distinct coverage of " +
+                    real_str(options.window_lo) + " <= |x| <= " +
+                    real_str(subject.coverage_extent));
+  }
+  return pass(name);
+}
+
+InvariantResult check_theorem1_agreement(const Subject& subject,
+                                         const InvariantOptions& options) {
+  const std::string name = "theorem1_closed_form";
+  if (!subject.theory_cr) return inapplicable(name);
+  const Real theory = *subject.theory_cr;
+  ExactCrResult certified;
+  try {
+    certified = certified_cr(*subject.fleet, subject.f,
+                             {.window_lo = options.window_lo,
+                              .window_hi = options.window_hi,
+                              .require_finite = true});
+  } catch (const Error& error) {
+    // A fleet that claims a finite CR but cannot even be evaluated over
+    // the window (e.g. it fails (f+1)-coverage) refutes the claim.
+    return fail(name, std::string("certified evaluation refused: ") +
+                          error.what(),
+                kInfinity);
+  }
+  const Real gap = relative_difference(certified.cr, theory);
+  // The sup over any window is at most the true CR, always.
+  if (certified.cr > theory * (1 + options.rel_tol)) {
+    return fail(name,
+                "certified sup " + real_str(certified.cr) + " at x=" +
+                    real_str(certified.argsup) + " exceeds closed form " +
+                    real_str(theory),
+                gap);
+  }
+  // With a steady-state window the sup must also reach the closed form.
+  if (subject.window_is_tight && certified.cr < theory * (1 - options.rel_tol)) {
+    return fail(name,
+                "certified sup " + real_str(certified.cr) +
+                    " falls short of closed form " + real_str(theory) +
+                    " in a window claimed tight",
+                gap);
+  }
+  return pass(name);
+}
+
+InvariantResult check_lower_bound_dominance(const Subject& subject,
+                                            const InvariantOptions& options) {
+  const std::string name = "theorem2_lower_bound_dominance";
+  const Fleet& fleet = *subject.fleet;
+  const int n = static_cast<int>(fleet.size());
+  if (n >= 2 * subject.f + 2) return inapplicable(name);  // trivial floor
+
+  // Any claimed closed form must itself dominate the proved floor
+  // (the Kupavskii-Welzl-style sanity direction: no strategy's book
+  // value may undercut a proved lower bound).
+  const Real floor = best_lower_bound(n, subject.f);
+  if (subject.theory_cr && *subject.theory_cr < floor * (1 - options.rel_tol)) {
+    return fail(name,
+                "claimed CR " + real_str(*subject.theory_cr) +
+                    " undercuts the proved lower bound " + real_str(floor),
+                floor - *subject.theory_cr);
+  }
+
+  if (!options.run_theorem2_game) return pass(name);
+
+  // Constructive dominance: pick the strongest feasible threat level
+  // whose placements fit inside the fleet's coverage, and demand the
+  // game force at least it.  x_0 = 2/(alpha-3) <= extent requires
+  // alpha >= 3 + 2/extent.
+  const Real alpha_star = theorem2_alpha(n);
+  Real alpha = comfortable_alpha(n, 0.75L);
+  if (subject.coverage_extent > 0 &&
+      largest_placement(alpha) > subject.coverage_extent) {
+    const Real alpha_fit = 3 + 2 / subject.coverage_extent;
+    if (alpha_fit > alpha_star || !placements_feasible(n, alpha_fit)) {
+      return inapplicable(name);  // extent too small for any feasible set
+    }
+    alpha = alpha_fit;
+  }
+  GameResult game;
+  try {
+    game = play_theorem2_game(fleet, subject.f, alpha,
+                              {.keep_outcomes = false});
+  } catch (const Error& error) {
+    return fail(name,
+                std::string("adversary game refused: ") + error.what(),
+                kInfinity);
+  }
+  if (game.forced_ratio < alpha * (1 - options.rel_tol)) {
+    return fail(name,
+                "adversary at alpha=" + real_str(alpha) +
+                    " only forces ratio " + real_str(game.forced_ratio) +
+                    " (Theorem 2 guarantees >= alpha for n < 2f+2)",
+                alpha - game.forced_ratio);
+  }
+  return pass(name);
+}
+
+InvariantResult check_fault_monotone_cr(const Subject& subject,
+                                        const InvariantOptions& options) {
+  const std::string name = "fault_monotone_cr";
+  const Fleet& fleet = *subject.fleet;
+  const CrEvalOptions eval{.window_lo = options.window_lo,
+                           .window_hi = options.window_hi,
+                           .interior_samples = 2,
+                           .require_finite = false};
+  Real previous = 0;
+  int previous_f = 0;
+  for (int g = 0; g <= subject.f; ++g) {
+    const CrEvalResult measured = measure_cr(fleet, g, eval);
+    if (measured.cr < previous * (1 - tol::kRelative)) {
+      return fail(name,
+                  "measured sup K drops from " + real_str(previous) +
+                      " (f=" + std::to_string(previous_f) + ") to " +
+                      real_str(measured.cr) + " (f=" + std::to_string(g) +
+                      ") — extra crash faults helped the searchers",
+                  previous - measured.cr);
+    }
+    previous = measured.cr;
+    previous_f = g;
+  }
+  return pass(name);
+}
+
+std::vector<InvariantResult> run_invariants(const Subject& subject,
+                                            const InvariantOptions& options) {
+  expects(subject.fleet != nullptr, "run_invariants: null fleet");
+  expects(subject.f >= 0, "run_invariants: fault budget must be >= 0");
+  expects(options.window_lo > 0 && options.window_hi > options.window_lo,
+          "run_invariants: bad window");
+  std::vector<InvariantResult> results;
+  results.push_back(check_kinematics(subject, options));
+  results.push_back(check_cone_containment(subject, options));
+  results.push_back(check_proportional_structure(subject, options));
+  results.push_back(check_first_visit_monotonicity(subject, options));
+  results.push_back(check_detection_order_statistics(subject, options));
+  results.push_back(check_coverage(subject, options));
+  results.push_back(check_theorem1_agreement(subject, options));
+  results.push_back(check_lower_bound_dominance(subject, options));
+  results.push_back(check_fault_monotone_cr(subject, options));
+  return results;
+}
+
+bool all_ok(const std::vector<InvariantResult>& results) {
+  return std::all_of(results.begin(), results.end(),
+                     [](const InvariantResult& r) { return r.ok(); });
+}
+
+std::string describe_failures(const std::vector<InvariantResult>& results) {
+  std::string out;
+  for (const InvariantResult& result : results) {
+    if (result.ok()) continue;
+    if (!out.empty()) out += '\n';
+    out += result.name + ": " + result.message;
+  }
+  return out;
+}
+
+}  // namespace verify
+}  // namespace linesearch

@@ -1,0 +1,159 @@
+// verify/invariants.hpp — machine-checkable oracles over fleets.
+//
+// The paper is not just a source of strategies; it is a source of
+// PREDICATES that every strategy and every evaluator path must satisfy.
+// This module packages them as pure checks over a `Subject` (a fleet plus
+// what the builder claims about it) so the fuzzer, the differential
+// engines and the tests all enforce one oracle set:
+//
+//   * kinematics   — speed <= 1, detection never beats the light cone
+//                    (T_{f+1}(x) >= |x|);
+//   * Lemma 1      — cone containment: every waypoint of a cone-built
+//                    fleet inside C_beta;
+//   * Lemma 2      — proportional structure: positive turning points in
+//                    geometric progression r = ((beta+1)/(beta-1))^(2/n),
+//                    robots interleaved mod n (re-derived from raw
+//                    waypoints by core/check_schedule);
+//   * monotonicity — per-robot first-visit times nondecreasing in |x|
+//                    along each half-line (robots start at the origin, so
+//                    reaching x means crossing everything nearer first);
+//   * T_{f+1}      — detection_time(x, k) is EXACTLY the (k+1)-st
+//                    distinct first visit, nondecreasing in k, kInfinity
+//                    once k >= n; more faults never shrink the measured
+//                    CR (the crash <= Byzantine direction of
+//                    arXiv:1611.08209, restricted to our model);
+//   * coverage     — the (f+1)-fold coverage every SearchStrategy
+//                    promises for |x| <= extent;
+//   * Theorem 1    — certified CR of A(n,f) (or Lemma 5's F(beta) for
+//                    any S_beta(n)) agrees with the closed form;
+//   * Theorem 2    — the adversary game forces ratio >= alpha for every
+//                    feasible threat level whenever n < 2f+2 — the
+//                    lower-bound-dominance cross-check in the spirit of
+//                    Kupavskii-Welzl's independent bounds (arXiv:
+//                    1707.05077): measured ratios must dominate every
+//                    proved floor, on every instance.
+#pragma once
+
+#include <cmath>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/fleet.hpp"
+#include "util/real.hpp"
+
+namespace linesearch {
+namespace verify {
+
+/// A fleet plus everything the builder claims about it.  Oracles that
+/// need a claim the subject does not make report themselves inapplicable
+/// instead of failing.
+struct Subject {
+  const Fleet* fleet = nullptr;
+  int f = 0;                      ///< fault budget the fleet claims
+  std::optional<Real> beta;       ///< cone parameter, when cone-confined
+  bool proportional = false;      ///< Lemma-2 structure expected
+  std::optional<Real> theory_cr;  ///< closed-form CR, when proven
+  /// True when the verification window is known to contain the worst
+  /// case (steady state), so theory agreement is two-sided; false keeps
+  /// the Theorem-1 oracle one-sided (measured <= theory).
+  bool window_is_tight = false;
+  Real coverage_extent = 0;       ///< extent the builder promised
+};
+
+/// Options shared by the sampled oracles.
+struct InvariantOptions {
+  Real window_lo = 1;
+  Real window_hi = 16;
+  int samples = 24;          ///< geometric probe grid density per side
+  Real rel_tol = 1e-7L;      ///< closed-form agreement tolerance
+  /// Extra positions (signed) every sampled oracle also probes —
+  /// the fuzzer feeds its adversarial targets through here.
+  std::vector<Real> extra_positions;
+  /// Run the Theorem-2 adversary game (the costliest oracle).
+  bool run_theorem2_game = true;
+};
+
+/// Outcome of one oracle.
+struct InvariantResult {
+  std::string name;
+  bool applicable = true;   ///< subject makes the claim this oracle needs
+  bool passed = true;
+  std::string message;      ///< failure detail (empty when passed)
+  Real worst = 0;           ///< worst observed violation magnitude
+
+  [[nodiscard]] bool ok() const noexcept { return !applicable || passed; }
+};
+
+/// Value-exact equality for Real: same value, same zero sign, NaN == NaN.
+/// (The "bit-identical" contract of the parallel engine, minus the x87
+/// padding bytes a raw memcmp would compare.)
+[[nodiscard]] inline bool value_identical(const Real a,
+                                          const Real b) noexcept {
+  if (std::isnan(a) || std::isnan(b)) return std::isnan(a) && std::isnan(b);
+  return a == b && std::signbit(a) == std::signbit(b);
+}
+
+/// Kinematics: every robot's speed <= 1 (+slack) and sampled detection
+/// times never beat the light cone (T_{f+1}(x) >= |x|).
+[[nodiscard]] InvariantResult check_kinematics(const Subject& subject,
+                                               const InvariantOptions& options);
+
+/// Lemma 1: every waypoint of every robot inside C_beta.  Inapplicable
+/// without subject.beta.
+[[nodiscard]] InvariantResult check_cone_containment(
+    const Subject& subject, const InvariantOptions& options);
+
+/// Lemma 2: proportional turning-point structure, re-derived from raw
+/// waypoints.  Inapplicable unless subject.proportional.
+[[nodiscard]] InvariantResult check_proportional_structure(
+    const Subject& subject, const InvariantOptions& options);
+
+/// Per-robot first-visit times nondecreasing in |x| along each half-line
+/// (skips robots that do not start inside (-window_lo, window_lo)).
+[[nodiscard]] InvariantResult check_first_visit_monotonicity(
+    const Subject& subject, const InvariantOptions& options);
+
+/// T_{f+1} ordering at sampled positions: detection_time(x, k) equals the
+/// (k+1)-st distinct first visit, is nondecreasing in k, turns kInfinity
+/// at k >= n, and distinct_visitors_by confirms the count.
+[[nodiscard]] InvariantResult check_detection_order_statistics(
+    const Subject& subject, const InvariantOptions& options);
+
+/// (f+1)-fold coverage of 1 <= |x| <= coverage_extent (Fleet::covers).
+[[nodiscard]] InvariantResult check_coverage(const Subject& subject,
+                                             const InvariantOptions& options);
+
+/// Theorem 1 / Lemma 5: certified CR over the window vs the closed form.
+/// One-sided (certified <= theory) unless subject.window_is_tight, in
+/// which case agreement within rel_tol is demanded.  Inapplicable
+/// without subject.theory_cr.
+[[nodiscard]] InvariantResult check_theorem1_agreement(
+    const Subject& subject, const InvariantOptions& options);
+
+/// Theorem 2 dominance: the adversary game at a feasible threat level
+/// alpha forces ratio >= alpha (and any claimed closed-form CR dominates
+/// best_lower_bound).  Inapplicable when n >= 2f+2 (bound is trivial) or
+/// the fleet's extent cannot contain any feasible placement set.
+[[nodiscard]] InvariantResult check_lower_bound_dominance(
+    const Subject& subject, const InvariantOptions& options);
+
+/// Fault monotonicity of the measured CR itself: sup K with fault budget
+/// g is nondecreasing in g over 0..f (more crash faults never help the
+/// searchers — the in-model face of the crash-vs-Byzantine ordering).
+[[nodiscard]] InvariantResult check_fault_monotone_cr(
+    const Subject& subject, const InvariantOptions& options);
+
+/// Run every oracle above, in a fixed order.
+[[nodiscard]] std::vector<InvariantResult> run_invariants(
+    const Subject& subject, const InvariantOptions& options = {});
+
+/// True iff every result is ok (inapplicable counts as ok).
+[[nodiscard]] bool all_ok(const std::vector<InvariantResult>& results);
+
+/// One line per failed oracle ("name: message"), empty when all ok.
+[[nodiscard]] std::string describe_failures(
+    const std::vector<InvariantResult>& results);
+
+}  // namespace verify
+}  // namespace linesearch

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 
 #include "adversary/placements.hpp"
 #include "core/algorithm.hpp"
@@ -14,6 +15,12 @@
 
 namespace linesearch {
 namespace {
+
+/// Value-exact equality (same value, same zero sign, NaN equals NaN).
+bool bit_identical(const Real a, const Real b) {
+  if (std::isnan(a) || std::isnan(b)) return std::isnan(a) && std::isnan(b);
+  return a == b && std::signbit(a) == std::signbit(b);
+}
 
 Fleet fleet_for_game(const SearchStrategy& strategy, const Real alpha) {
   // Build comfortably past the largest placement so every attack point is
@@ -147,6 +154,55 @@ TEST(Game, UndefendedPlacementReportsInfiniteRatio) {
 TEST(Game, InfeasibleAlphaThrows) {
   const Fleet fleet({Trajectory({{0, 0}, {40, 40}})});
   EXPECT_THROW((void)play_theorem2_game(fleet, 0, 9.5L), PreconditionError);
+}
+
+TEST(Game, TieBreakDeterministicAcrossThreadCounts) {
+  // 50 seeded instances: the parallel game must pick the IDENTICAL
+  // winning placement as the serial one — same target, same ratio, same
+  // fault set — not merely an equally-good one.  This is the tie-break
+  // contract: ties are resolved by placement order, independent of which
+  // worker finishes first.
+  int checked = 0;
+  for (std::uint64_t seed = 1; checked < 50; ++seed) {
+    // Small deterministic instance mix without any RNG dependency:
+    // derive (n, f, alpha shrink) from the seed.
+    const int f = 1 + static_cast<int>(seed % 4);
+    const int n = f + 1 + static_cast<int>((seed / 4) % static_cast<std::uint64_t>(f + 1));
+    if (n >= 2 * f + 2) continue;
+    const Real shrink = 0.5L + 0.1L * static_cast<Real>(seed % 5);
+    const Real alpha = comfortable_alpha(n, shrink);
+    const Fleet fleet =
+        ProportionalAlgorithm(n, f).build_fleet(largest_placement(alpha) * 4);
+
+    const GameOptions serial_options{.attack_turning_points = true,
+                                     .keep_outcomes = true,
+                                     .threads = 1};
+    const GameResult serial =
+        play_theorem2_game(fleet, f, alpha, serial_options);
+    for (const int threads : {2, 4, 8}) {
+      GameOptions parallel_options = serial_options;
+      parallel_options.threads = threads;
+      const GameResult parallel =
+          play_theorem2_game(fleet, f, alpha, parallel_options);
+
+      ASSERT_TRUE(bit_identical(parallel.forced_ratio, serial.forced_ratio))
+          << "seed " << seed << " threads " << threads;
+      // The winner must be the same placement, not just the same score.
+      ASSERT_TRUE(bit_identical(parallel.best.target, serial.best.target))
+          << "seed " << seed << " threads " << threads;
+      ASSERT_TRUE(bit_identical(parallel.best.detection_time,
+                                serial.best.detection_time));
+      ASSERT_EQ(parallel.best.faults, serial.best.faults);
+      // And the full outcome list must match in order.
+      ASSERT_EQ(parallel.outcomes.size(), serial.outcomes.size());
+      for (std::size_t i = 0; i < serial.outcomes.size(); ++i) {
+        ASSERT_TRUE(bit_identical(parallel.outcomes[i].ratio,
+                                  serial.outcomes[i].ratio))
+            << "seed " << seed << " outcome " << i;
+      }
+    }
+    ++checked;
+  }
 }
 
 }  // namespace

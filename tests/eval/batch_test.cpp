@@ -222,5 +222,68 @@ TEST(VisitCache, ConcurrentReadersAreRaceFreeAndConsistent) {
   }
 }
 
+TEST(VisitCache, QuantizationCollisionBypassesTheCache) {
+  // Two positions distinct as long doubles but IDENTICAL once quantized
+  // to double (2^-60 is below double's 52-bit mantissa at magnitude 1):
+  // the cache must detect the key collision and fall back to the exact
+  // query, bit-identical to the uncached path, in both query orders.
+  const Fleet fleet = ProportionalAlgorithm(5, 2).build_fleet(64);
+  const Real x1 = 1.0L;
+  const Real x2 = 1.0L + ldexpl(1.0L, -60);
+  ASSERT_NE(x1, x2);
+  ASSERT_EQ(static_cast<double>(x1), static_cast<double>(x2));
+
+  const FleetVisitCache cache(fleet);
+  for (int round = 0; round < 2; ++round) {  // cold, then warm
+    for (int f = 0; f < 5; ++f) {
+      ASSERT_TRUE(bit_identical(cache.detection_time(x1, f),
+                                fleet.detection_time(x1, f)))
+          << "round " << round << " f " << f;
+      ASSERT_TRUE(bit_identical(cache.detection_time(x2, f),
+                                fleet.detection_time(x2, f)))
+          << "round " << round << " f " << f;
+    }
+    for (RobotId id = 0; id < fleet.size(); ++id) {
+      const std::vector<Real> direct1 = fleet.first_visit_times(x1);
+      const std::vector<Real> direct2 = fleet.first_visit_times(x2);
+      ASSERT_TRUE(bit_identical(cache.first_visit(id, x1), direct1[id]));
+      ASSERT_TRUE(bit_identical(cache.first_visit(id, x2), direct2[id]));
+    }
+  }
+  // At least one miss per distinct exact position: the collision cannot
+  // have served x2 from x1's entry.
+  EXPECT_GE(cache.misses(), 2u);
+}
+
+TEST(MeasureCrBatch, EmptyJobListYieldsEmptyResults) {
+  EXPECT_TRUE(measure_cr_batch({}).empty());
+  EXPECT_TRUE(measure_cr_batch({}, {.threads = 8}).empty());
+  EXPECT_TRUE(measure_cr_batch({}, {.threads = 8, .use_cache = false}).empty());
+}
+
+TEST(MeasureCrBatch, MoreThreadsThanJobsStaysBitIdentical) {
+  const Fleet fleet = ProportionalAlgorithm(3, 1).build_fleet(64);
+  std::vector<CrBatchJob> jobs = {{&fleet, 0, {.window_hi = 16}},
+                                  {&fleet, 1, {.window_hi = 16}}};
+  const std::vector<CrEvalResult> serial =
+      measure_cr_batch(jobs, {.threads = 1});
+  for (const int threads : {4, 16, 64}) {
+    const std::vector<CrEvalResult> parallel =
+        measure_cr_batch(jobs, {.threads = threads});
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_TRUE(bit_identical(parallel[i].cr, serial[i].cr));
+      EXPECT_TRUE(bit_identical(parallel[i].argmax, serial[i].argmax));
+      EXPECT_EQ(parallel[i].probes, serial[i].probes);
+    }
+  }
+}
+
+TEST(KProfileBatch, EmptyPositionsYieldEmptyProfile) {
+  const Fleet fleet = ProportionalAlgorithm(3, 1).build_fleet(64);
+  EXPECT_TRUE(k_profile_batch(fleet, 1, {}).empty());
+  EXPECT_TRUE(k_profile_batch(fleet, 1, {}, {.threads = 8}).empty());
+}
+
 }  // namespace
 }  // namespace linesearch

@@ -102,5 +102,17 @@ TEST(Serialize, RejectsEmptyBody) {
                PreconditionError);
 }
 
+TEST(Serialize, NonFiniteWaypointFieldsAreRejectedNotMisparsed) {
+  // The shared codec parses "inf"/"nan" losslessly, so a non-finite
+  // waypoint must be rejected by trajectory validation — not silently
+  // truncated or misread as zero.
+  EXPECT_THROW(
+      (void)fleet_from_csv("robot,time,position\n0,0,0\n0,inf,1\n"),
+      PreconditionError);
+  EXPECT_THROW(
+      (void)fleet_from_csv("robot,time,position\n0,0,0\n0,1,nan\n"),
+      PreconditionError);
+}
+
 }  // namespace
 }  // namespace linesearch

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 
 #include "util/error.hpp"
@@ -56,6 +57,80 @@ TEST(SeriesCsv, MultipleSeriesConcatenate) {
   const std::string text = out.str();
   EXPECT_NE(text.find("a,1,2"), std::string::npos);
   EXPECT_NE(text.find("b,3,4"), std::string::npos);
+}
+
+TEST(RealField, NonFiniteValuesEncodeAsWords) {
+  EXPECT_EQ(encode_real_field(kInfinity), "inf");
+  EXPECT_EQ(encode_real_field(-kInfinity), "-inf");
+  EXPECT_EQ(encode_real_field(kNaN), "nan");
+}
+
+TEST(RealField, NonFiniteValuesParseBack) {
+  EXPECT_TRUE(std::isinf(parse_real_field("inf")));
+  EXPECT_GT(parse_real_field("inf"), 0);
+  EXPECT_LT(parse_real_field("-inf"), 0);
+  EXPECT_TRUE(std::isinf(parse_real_field("-Infinity")));
+  EXPECT_TRUE(std::isnan(parse_real_field("nan")));
+  EXPECT_TRUE(std::isnan(parse_real_field("NaN")));
+  // Legacy human-facing tables spell missing values "-".
+  EXPECT_TRUE(std::isnan(parse_real_field("-")));
+}
+
+TEST(RealField, FiniteValuesRoundTripExactly) {
+  for (const Real value : {0.1L, -1.0L / 3.0L, 2.5e-19L, 123456.789L,
+                           9.999999999999999999e4000L, Real{0}}) {
+    const Real parsed = parse_real_field(encode_real_field(value));
+    EXPECT_EQ(parsed, value) << encode_real_field(value);
+  }
+}
+
+TEST(RealField, MalformedFieldsThrow) {
+  EXPECT_THROW((void)parse_real_field(""), PreconditionError);
+  EXPECT_THROW((void)parse_real_field("abc"), PreconditionError);
+  EXPECT_THROW((void)parse_real_field("1.5x"), PreconditionError);
+  EXPECT_THROW((void)parse_real_field("--2"), PreconditionError);
+}
+
+TEST(SeriesCsv, NonFiniteCrValuesRoundTrip) {
+  // A ratio curve hitting an undetected half-line emits cr = inf rows;
+  // the reader must hand back the identical non-finite values.
+  const std::vector<Series> original = {
+      {"ratio", {1.0L, 2.0L, 4.0L}, {3.5L, kInfinity, kNaN}},
+      {"floor", {1.0L}, {-kInfinity}}};
+  std::ostringstream out;
+  write_series_csv(out, original);
+  std::istringstream in(out.str());
+  const std::vector<Series> parsed = read_series_csv(in);
+
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].name, "ratio");
+  ASSERT_EQ(parsed[0].y.size(), 3u);
+  EXPECT_EQ(parsed[0].y[0], 3.5L);
+  EXPECT_TRUE(std::isinf(parsed[0].y[1]));
+  EXPECT_GT(parsed[0].y[1], 0);
+  EXPECT_TRUE(std::isnan(parsed[0].y[2]));
+  ASSERT_EQ(parsed[1].y.size(), 1u);
+  EXPECT_TRUE(std::isinf(parsed[1].y[0]));
+  EXPECT_LT(parsed[1].y[0], 0);
+}
+
+TEST(SeriesCsv, ReaderRejectsMalformedInput) {
+  std::istringstream missing_header("a,1,2\n");
+  EXPECT_THROW((void)read_series_csv(missing_header), PreconditionError);
+  std::istringstream short_row("series,x,y\na,1\n");
+  EXPECT_THROW((void)read_series_csv(short_row), PreconditionError);
+  std::istringstream bad_number("series,x,y\na,1,zzz\n");
+  EXPECT_THROW((void)read_series_csv(bad_number), PreconditionError);
+}
+
+TEST(SeriesCsv, QuotedSeriesNamesRoundTrip) {
+  const std::vector<Series> original = {{"cr, measured", {1.0L}, {2.0L}}};
+  std::ostringstream out;
+  write_series_csv(out, original);
+  std::istringstream in(out.str());
+  const std::vector<Series> parsed = read_series_csv(in);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].name, "cr, measured");
 }
 
 }  // namespace

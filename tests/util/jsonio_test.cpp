@@ -1,0 +1,106 @@
+// Streaming JSON writer, including the non-finite Real codec.
+#include "util/jsonio.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/real.hpp"
+
+namespace linesearch {
+namespace {
+
+std::string emit(const std::function<void(JsonWriter&)>& body) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  body(json);
+  return out.str();
+}
+
+TEST(JsonWriter, ObjectWithScalarFields) {
+  const std::string text = emit([](JsonWriter& json) {
+    json.begin_object();
+    json.field("name", "A(5,2)");
+    json.field("n", 5);
+    json.field("ok", true);
+    json.end_object();
+  });
+  EXPECT_NE(text.find("\"name\": \"A(5,2)\""), std::string::npos) << text;
+  EXPECT_NE(text.find("\"n\": 5"), std::string::npos);
+  EXPECT_NE(text.find("\"ok\": true"), std::string::npos);
+  EXPECT_EQ(text.front(), '{');
+  EXPECT_EQ(text.substr(text.size() - 2), "}\n");
+}
+
+TEST(JsonWriter, NonFiniteRealsBecomeCodecStrings) {
+  const std::string text = emit([](JsonWriter& json) {
+    json.begin_array();
+    json.value(kInfinity);
+    json.value(-kInfinity);
+    json.value(kNaN);
+    json.value(Real{1.5L});
+    json.end_array();
+  });
+  EXPECT_NE(text.find("\"inf\""), std::string::npos) << text;
+  EXPECT_NE(text.find("\"-inf\""), std::string::npos);
+  EXPECT_NE(text.find("\"nan\""), std::string::npos);
+  EXPECT_NE(text.find("1.5"), std::string::npos);
+  // Finite values are bare JSON numbers, not strings.
+  EXPECT_EQ(text.find("\"1.5"), std::string::npos);
+}
+
+TEST(JsonWriter, FiniteRealsRoundTripThroughTheSharedCodec) {
+  const Real original = 0.1L + 0.2L;  // not exactly representable
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.begin_array();
+  json.value(original);
+  json.end_array();
+  std::string text = out.str();
+  // Strip the array brackets/whitespace to recover the number token.
+  std::string token;
+  for (const char c : text) {
+    if ((c >= '0' && c <= '9') || c == '.' || c == '-' || c == 'e' ||
+        c == '+') {
+      token += c;
+    }
+  }
+  EXPECT_EQ(parse_real_field(token), original);
+}
+
+TEST(JsonWriter, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(json_escape("tab\there"), "tab\\there");
+  const std::string escaped = json_escape(std::string(1, '\x01'));
+  EXPECT_EQ(escaped, "\\u0001");
+}
+
+TEST(JsonWriter, NestedStructuresAndEmptyContainers) {
+  const std::string text = emit([](JsonWriter& json) {
+    json.begin_object();
+    json.key("empty_array").begin_array();
+    json.end_array();
+    json.key("empty_object").begin_object();
+    json.end_object();
+    json.key("nested").begin_array();
+    json.begin_object();
+    json.field("i", 0);
+    json.end_object();
+    json.begin_object();
+    json.field("i", 1);
+    json.end_object();
+    json.end_array();
+    json.end_object();
+  });
+  EXPECT_NE(text.find("\"empty_array\": []"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"empty_object\": {}"), std::string::npos);
+  EXPECT_NE(text.find("\"i\": 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace linesearch

@@ -1,0 +1,103 @@
+// Differential layer: independent evaluator paths must agree.
+#include "verify/differential.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/algorithm.hpp"
+#include "core/baselines.hpp"
+#include "eval/batch.hpp"
+
+namespace linesearch {
+namespace verify {
+namespace {
+
+CrEvalOptions window16() {
+  CrEvalOptions eval;
+  eval.window_lo = 1;
+  eval.window_hi = 16;
+  return eval;
+}
+
+TEST(Differential, ProportionalFleetAllEnginesAgree) {
+  const Fleet fleet = ProportionalAlgorithm(5, 2).build_fleet(64);
+  const std::vector<DifferentialResult> results =
+      run_differentials(fleet, 2, window16());
+  EXPECT_EQ(results.size(), 5u);
+  EXPECT_TRUE(all_ok(results)) << describe_failures(results);
+  EXPECT_TRUE(describe_failures(results).empty());
+}
+
+TEST(Differential, NonConeFleetAllEnginesAgree) {
+  const Fleet fleet = ClassicCowPath(3, 1, /*mirrored=*/true).build_fleet(64);
+  const std::vector<DifferentialResult> results =
+      run_differentials(fleet, 1, window16());
+  EXPECT_TRUE(all_ok(results)) << describe_failures(results);
+}
+
+TEST(Differential, BatchThreadsBitIdenticalAcrossManyCounts) {
+  const Fleet fleet = ProportionalAlgorithm(7, 3).build_fleet(64);
+  std::vector<CrBatchJob> jobs;
+  for (int g = 0; g < 7; ++g) jobs.push_back({&fleet, g, window16()});
+  DifferentialOptions options;
+  options.thread_counts = {1, 2, 3, 8, 16};
+  const DifferentialResult result = diff_batch_threads(jobs, options);
+  EXPECT_TRUE(result.ok()) << result.message;
+  EXPECT_TRUE(result.mismatches.empty());
+}
+
+TEST(Differential, CacheOnOffBitIdentical) {
+  const Fleet fleet = GroupDoubling(4, 2).build_fleet(64);
+  std::vector<CrBatchJob> jobs;
+  for (int g = 0; g < 4; ++g) jobs.push_back({&fleet, g, window16()});
+  EXPECT_TRUE(diff_cache_on_off(jobs).ok());
+  EXPECT_TRUE(diff_cache_on_off(jobs, /*threads=*/1).ok());
+}
+
+TEST(Differential, CacheDirectMatchesFleetQueries) {
+  const Fleet fleet = ProportionalAlgorithm(3, 1).build_fleet(64);
+  const std::vector<Real> positions = {1, -1, 2.5L, -7.25L, 16, -16,
+                                       3.0000000001L};
+  const DifferentialResult result = diff_cache_direct(fleet, 1, positions);
+  EXPECT_TRUE(result.ok()) << result.message;
+}
+
+TEST(Differential, CacheDirectInapplicableWithoutPositions) {
+  const Fleet fleet = ProportionalAlgorithm(3, 1).build_fleet(64);
+  const DifferentialResult result = diff_cache_direct(fleet, 1, {});
+  EXPECT_FALSE(result.applicable);
+  EXPECT_TRUE(result.ok());
+}
+
+TEST(Differential, ProbeVsExactWithinDesignedGap) {
+  const Fleet fleet = ProportionalAlgorithm(5, 2).build_fleet(64);
+  const DifferentialResult result = diff_probe_vs_exact(fleet, 2, window16());
+  EXPECT_TRUE(result.ok()) << result.message;
+}
+
+TEST(Differential, ImpossibleToleranceProducesStructuredMismatch) {
+  // Forcing probe_gap_tol to zero makes the designed 1e-9 probe offset a
+  // "failure" — which is exactly how the mismatch report is exercised.
+  const Fleet fleet = ProportionalAlgorithm(5, 2).build_fleet(64);
+  DifferentialOptions options;
+  options.probe_gap_tol = 0;
+  const DifferentialResult result =
+      diff_probe_vs_exact(fleet, 2, window16(), options);
+  ASSERT_FALSE(result.ok());
+  ASSERT_FALSE(result.mismatches.empty());
+  EXPECT_EQ(result.mismatches.front().field, "cr(gap)");
+  EXPECT_FALSE(result.message.empty());
+  EXPECT_FALSE(describe_failures({result}).empty());
+}
+
+TEST(Differential, GridSamplesNeverExceedCertifiedSup) {
+  const Fleet fleet = ProportionalAlgorithm(4, 2).build_fleet(64);
+  DifferentialOptions options;
+  options.grid_points = 96;
+  const DifferentialResult result =
+      diff_exact_vs_grid(fleet, 2, window16(), options);
+  EXPECT_TRUE(result.ok()) << result.message;
+}
+
+}  // namespace
+}  // namespace verify
+}  // namespace linesearch

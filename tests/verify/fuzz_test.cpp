@@ -1,0 +1,162 @@
+// Fuzzer layer: deterministic generation, oracle wiring, shrinking.
+#include "verify/fuzz.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/error.hpp"
+
+namespace linesearch {
+namespace verify {
+namespace {
+
+bool same_instance(const FuzzInstance& a, const FuzzInstance& b) {
+  if (a.seed != b.seed || a.kind != b.kind || a.injection != b.injection ||
+      a.n != b.n || a.f != b.f || a.mirrored != b.mirrored) {
+    return false;
+  }
+  if (!value_identical(a.beta, b.beta) ||
+      !value_identical(a.extent, b.extent) ||
+      !value_identical(a.window_lo, b.window_lo) ||
+      !value_identical(a.window_hi, b.window_hi)) {
+    return false;
+  }
+  if (a.magnitudes.size() != b.magnitudes.size() ||
+      a.targets.size() != b.targets.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.magnitudes.size(); ++i) {
+    if (!value_identical(a.magnitudes[i], b.magnitudes[i])) return false;
+  }
+  for (std::size_t i = 0; i < a.targets.size(); ++i) {
+    if (!value_identical(a.targets[i], b.targets[i])) return false;
+  }
+  return true;
+}
+
+TEST(SplitMix, DeterministicStream) {
+  SplitMix64 a(12345), b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix, UniformStaysInRange) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const Real x = rng.uniform(1.5L, 4.0L);
+    EXPECT_GE(x, 1.5L);
+    EXPECT_LT(x, 4.0L);
+    const int k = rng.uniform_int(-3, 3);
+    EXPECT_GE(k, -3);
+    EXPECT_LE(k, 3);
+  }
+}
+
+TEST(Fuzz, GenerationIsDeterministic) {
+  for (const std::uint64_t seed : {1ULL, 42ULL, 0xDEADBEEFULL}) {
+    EXPECT_TRUE(same_instance(generate_instance(seed),
+                              generate_instance(seed)))
+        << "seed " << seed;
+  }
+}
+
+TEST(Fuzz, SeedsCoverEveryFleetKind) {
+  std::set<FleetKind> kinds;
+  for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+    kinds.insert(generate_instance(seed).kind);
+  }
+  EXPECT_EQ(kinds.size(), 6u);
+}
+
+TEST(Fuzz, GeneratedInstancesAreValid) {
+  for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+    const FuzzInstance instance = generate_instance(seed);
+    EXPECT_GE(instance.n, 1) << seed;
+    EXPECT_GE(instance.f, 0) << seed;
+    EXPECT_LT(instance.f, instance.n) << seed;
+    EXPECT_GT(instance.window_hi, instance.window_lo) << seed;
+    EXPECT_GE(instance.extent, instance.window_hi) << seed;
+    EXPECT_FALSE(instance.targets.empty()) << seed;
+    // Building must not throw and must honour the coverage contract.
+    const Fleet fleet = build_fuzz_fleet(instance);
+    EXPECT_EQ(static_cast<int>(fleet.size()), instance.n) << seed;
+  }
+}
+
+TEST(Fuzz, CleanSeedRunsAllOracles) {
+  const FuzzInstance instance = generate_instance(42);
+  const FuzzOutcome outcome = run_instance(instance);
+  EXPECT_TRUE(outcome.ok()) << outcome.describe();
+  EXPECT_EQ(outcome.invariants.size(), 9u);
+  EXPECT_EQ(outcome.differentials.size(), 5u);
+  EXPECT_EQ(outcome.primary_failure(), "");
+}
+
+TEST(Fuzz, ConeEscapeInjectionFailsConeOracle) {
+  // Find an injectable (cone-claiming) seed deterministically.
+  for (std::uint64_t seed = 1;; ++seed) {
+    FuzzInstance instance = generate_instance(seed);
+    if (instance.kind == FleetKind::kClassicCowPath) continue;
+    instance.injection = Injection::kConeEscape;
+    const FuzzOutcome outcome = run_instance(instance);
+    EXPECT_FALSE(outcome.ok());
+    EXPECT_EQ(outcome.primary_failure(), "lemma1_cone_containment");
+    // Injected instances skip the differential engines by design.
+    EXPECT_TRUE(outcome.differentials.empty());
+    break;
+  }
+}
+
+TEST(Fuzz, ShrinkerReducesInjectedViolationToMinimalRepro) {
+  for (std::uint64_t seed = 1;; ++seed) {
+    FuzzInstance instance = generate_instance(seed);
+    if (instance.kind == FleetKind::kClassicCowPath) continue;
+    if (instance.n < 4) continue;  // start from a genuinely large case
+    instance.injection = Injection::kConeEscape;
+
+    const ShrinkResult shrunk = shrink_instance(instance);
+    EXPECT_EQ(shrunk.failure, "lemma1_cone_containment");
+    EXPECT_GT(shrunk.accepted_moves, 0);
+    EXPECT_LE(shrunk.instance.n, 3);
+    EXPECT_TRUE(shrunk.instance.targets.empty());
+
+    const Fleet fleet = build_fuzz_fleet(shrunk.instance);
+    EXPECT_LE(fleet.robot(0).segment_count(), 4u);
+    const FuzzOutcome outcome = run_instance(shrunk.instance);
+    EXPECT_EQ(outcome.primary_failure(), "lemma1_cone_containment");
+
+    // Replaying the identical start must shrink to the identical minimum.
+    const ShrinkResult again = shrink_instance(instance);
+    EXPECT_TRUE(same_instance(shrunk.instance, again.instance));
+    EXPECT_EQ(shrunk.accepted_moves, again.accepted_moves);
+    break;
+  }
+}
+
+TEST(Fuzz, JsonReproRecordNamesTheFailure) {
+  FuzzInstance instance = generate_instance(7);
+  instance.injection = Injection::kConeEscape;
+  const FuzzOutcome outcome = run_instance(instance);
+  const std::string json = instance_to_json(instance, outcome);
+  EXPECT_NE(json.find("\"seed\": \"7\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"injection\": \"cone-escape\""), std::string::npos);
+  EXPECT_NE(json.find("\"ok\": false"), std::string::npos);
+  EXPECT_NE(json.find("lemma1_cone_containment"), std::string::npos);
+}
+
+TEST(Fuzz, JsonCleanRecordIsOk) {
+  const FuzzInstance instance = generate_instance(42);
+  const FuzzOutcome outcome = run_instance(instance);
+  const std::string json = instance_to_json(instance, outcome);
+  EXPECT_NE(json.find("\"ok\": true"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"failures\": []"), std::string::npos) << json;
+}
+
+TEST(Fuzz, ShrinkRequiresAFailingStart) {
+  const FuzzInstance instance = generate_instance(42);
+  EXPECT_THROW((void)shrink_instance(instance), PreconditionError);
+}
+
+}  // namespace
+}  // namespace verify
+}  // namespace linesearch

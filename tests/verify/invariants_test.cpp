@@ -1,0 +1,209 @@
+// Invariant-oracle layer: the paper's lemmas as machine predicates.
+#include "verify/invariants.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/algorithm.hpp"
+#include "core/baselines.hpp"
+#include "core/competitive.hpp"
+#include "core/lower_bound.hpp"
+#include "sim/trajectory.hpp"
+
+namespace linesearch {
+namespace verify {
+namespace {
+
+InvariantOptions small_window() {
+  InvariantOptions options;
+  options.window_lo = 1;
+  options.window_hi = 16;
+  options.samples = 16;
+  return options;
+}
+
+const InvariantResult& find_result(const std::vector<InvariantResult>& results,
+                                   const std::string& name) {
+  static const InvariantResult missing{"<missing>", false, false, "", 0};
+  const auto it =
+      std::find_if(results.begin(), results.end(),
+                   [&name](const InvariantResult& r) { return r.name == name; });
+  if (it == results.end()) {
+    ADD_FAILURE() << "missing oracle " << name;
+    return missing;
+  }
+  return *it;
+}
+
+TEST(Invariants, ProportionalAlgorithmPassesEveryOracle) {
+  const ProportionalAlgorithm algo(5, 2);
+  const Fleet fleet = algo.build_fleet(64);
+  Subject subject;
+  subject.fleet = &fleet;
+  subject.f = 2;
+  subject.beta = algo.beta();
+  subject.proportional = true;
+  subject.theory_cr = algorithm_cr(5, 2);
+  subject.coverage_extent = 64;
+
+  const std::vector<InvariantResult> results =
+      run_invariants(subject, small_window());
+  EXPECT_TRUE(all_ok(results)) << describe_failures(results);
+
+  // Every claim the subject makes must actually have been checked —
+  // an oracle that silently reports inapplicable would hide bugs.
+  for (const char* name :
+       {"kinematics", "lemma1_cone_containment",
+        "lemma2_proportional_structure", "first_visit_monotonicity",
+        "detection_order_statistics", "coverage", "theorem1_closed_form",
+        "theorem2_lower_bound_dominance", "fault_monotone_cr"}) {
+    EXPECT_TRUE(find_result(results, name).applicable)
+        << name << " was not applicable";
+  }
+}
+
+TEST(Invariants, NonConeStrategyLimitsApplicability) {
+  const ClassicCowPath strategy(3, 1);
+  const Fleet fleet = strategy.build_fleet(64);
+  Subject subject;
+  subject.fleet = &fleet;
+  subject.f = 1;
+  subject.coverage_extent = 64;
+
+  const std::vector<InvariantResult> results =
+      run_invariants(subject, small_window());
+  EXPECT_TRUE(all_ok(results)) << describe_failures(results);
+  EXPECT_FALSE(find_result(results, "lemma1_cone_containment").applicable);
+  EXPECT_FALSE(
+      find_result(results, "lemma2_proportional_structure").applicable);
+  EXPECT_FALSE(find_result(results, "theorem1_closed_form").applicable);
+  // n = 3 < 2f+2 = 4: the lower-bound game still applies.
+  EXPECT_TRUE(
+      find_result(results, "theorem2_lower_bound_dominance").applicable);
+}
+
+TEST(Invariants, TrivialRegimeSkipsLowerBoundGame) {
+  const TwoGroupSplit strategy(4, 1);
+  const Fleet fleet = strategy.build_fleet(64);
+  Subject subject;
+  subject.fleet = &fleet;
+  subject.f = 1;
+  subject.coverage_extent = 64;
+
+  const std::vector<InvariantResult> results =
+      run_invariants(subject, small_window());
+  EXPECT_TRUE(all_ok(results)) << describe_failures(results);
+  EXPECT_FALSE(
+      find_result(results, "theorem2_lower_bound_dominance").applicable);
+}
+
+TEST(Invariants, ConeEscapeIsCaught) {
+  // A unit-speed doubling zig-zag straight from the origin reaches
+  // (1, 1), strictly below the beta = 3 cone boundary t = 3|x|.
+  TrajectoryBuilder builder;
+  builder.start_at(0, 0);
+  for (const Real turn : {1.0L, -2.0L, 4.0L, -8.0L, 16.0L, -32.0L, 64.0L,
+                          -64.0L}) {
+    builder.move_to(turn);
+  }
+  const Fleet fleet(std::vector<Trajectory>{std::move(builder).build()});
+  Subject subject;
+  subject.fleet = &fleet;
+  subject.f = 0;
+  subject.beta = 3;
+  subject.coverage_extent = 16;
+
+  const std::vector<InvariantResult> results =
+      run_invariants(subject, small_window());
+  const InvariantResult& cone =
+      find_result(results, "lemma1_cone_containment");
+  EXPECT_TRUE(cone.applicable);
+  EXPECT_FALSE(cone.passed);
+  EXPECT_GT(cone.worst, 0);
+  EXPECT_FALSE(all_ok(results));
+  EXPECT_NE(describe_failures(results).find("lemma1_cone_containment"),
+            std::string::npos);
+}
+
+TEST(Invariants, WrongClosedFormClaimIsCaught) {
+  const ProportionalAlgorithm algo(3, 1);
+  const Fleet fleet = algo.build_fleet(64);
+  Subject subject;
+  subject.fleet = &fleet;
+  subject.f = 1;
+  subject.beta = algo.beta();
+  subject.proportional = true;
+  subject.theory_cr = algorithm_cr(3, 1) * Real{0.5L};  // absurdly low
+  subject.window_is_tight = true;
+  subject.coverage_extent = 64;
+
+  const std::vector<InvariantResult> results =
+      run_invariants(subject, small_window());
+  const InvariantResult& theorem1 =
+      find_result(results, "theorem1_closed_form");
+  EXPECT_TRUE(theorem1.applicable);
+  EXPECT_FALSE(theorem1.passed);
+}
+
+TEST(Invariants, ValueIdenticalSemantics) {
+  EXPECT_TRUE(value_identical(kNaN, kNaN));
+  EXPECT_TRUE(value_identical(kInfinity, kInfinity));
+  EXPECT_FALSE(value_identical(kInfinity, -kInfinity));
+  EXPECT_FALSE(value_identical(Real{0}, -Real{0}));
+  EXPECT_TRUE(value_identical(Real{1.5L}, Real{1.5L}));
+  EXPECT_FALSE(value_identical(Real{1.5L}, kNaN));
+}
+
+// Acceptance bar: Theorem 1's closed form agrees with the certified
+// (simulated) CR within 1e-9 for EVERY pair in the proportional regime
+// up to n = 12 — the window [1, 64] of an extent-2048 fleet is deep in
+// steady state, so agreement is demanded two-sided.
+TEST(Invariants, Theorem1AgreesWithinTolerance_AllPairsUpTo12) {
+  InvariantOptions options;
+  options.window_lo = 1;
+  options.window_hi = 64;
+  options.samples = 8;
+  options.rel_tol = 1e-9L;
+  options.run_theorem2_game = false;  // covered elsewhere; keep this fast
+
+  int pairs = 0;
+  for (int n = 2; n <= 12; ++n) {
+    for (int f = 1; f < n; ++f) {
+      if (!in_proportional_regime(n, f)) continue;
+      const ProportionalAlgorithm algo(n, f);
+      const Fleet fleet = algo.build_fleet(2048);
+      Subject subject;
+      subject.fleet = &fleet;
+      subject.f = f;
+      subject.beta = algo.beta();
+      subject.proportional = true;
+      subject.theory_cr = algorithm_cr(n, f);
+      subject.window_is_tight = true;
+      subject.coverage_extent = 2048;
+
+      const InvariantResult result =
+          check_theorem1_agreement(subject, options);
+      EXPECT_TRUE(result.applicable) << "n=" << n << " f=" << f;
+      EXPECT_TRUE(result.passed)
+          << "n=" << n << " f=" << f << ": " << result.message;
+      ++pairs;
+    }
+  }
+  EXPECT_EQ(pairs, 41);
+}
+
+TEST(Invariants, ClosedFormDominatesLowerBoundEverywhere) {
+  for (int n = 2; n <= 12; ++n) {
+    for (int f = 1; f < n; ++f) {
+      if (!in_proportional_regime(n, f)) continue;
+      EXPECT_GE(algorithm_cr(n, f),
+                best_lower_bound(n, f) * (1 - tol::kRelative))
+          << "n=" << n << " f=" << f;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace verify
+}  // namespace linesearch

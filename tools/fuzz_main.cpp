@@ -1,0 +1,120 @@
+// tools/fuzz_main — run the verify fuzzer from the command line.
+//
+//   fuzz_main --seed 42                 run one instance
+//   fuzz_main --seed 1 --count 100      run a corpus of consecutive seeds
+//   fuzz_main --seed 7 --inject cone-escape   corrupt the instance first
+//   fuzz_main ... --json out.json       write the (shrunk) repro record
+//
+// Exit status 0 when every instance passes, 1 on any failure (the
+// minimal repro JSON is printed to stdout), 2 on usage errors.  A
+// failing run is fully reproducible from its seed: generation AND
+// shrinking are deterministic, so `fuzz_main --seed S [--inject ...]`
+// reconstructs the identical minimal instance.
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "verify/fuzz.hpp"
+
+namespace {
+
+using linesearch::verify::FuzzInstance;
+using linesearch::verify::FuzzOutcome;
+using linesearch::verify::Injection;
+
+struct CliOptions {
+  std::uint64_t seed = 1;
+  int count = 1;
+  Injection injection = Injection::kNone;
+  bool shrink = true;
+  std::string json_path;
+};
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--seed S] [--count N] [--inject cone-escape]"
+               " [--no-shrink] [--json PATH]\n";
+  return 2;
+}
+
+bool parse_args(const int argc, const char* const* argv, CliOptions& cli) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next_value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--seed") {
+      const char* value = next_value();
+      if (value == nullptr) return false;
+      cli.seed = std::strtoull(value, nullptr, 10);
+    } else if (arg == "--count") {
+      const char* value = next_value();
+      if (value == nullptr) return false;
+      cli.count = std::atoi(value);
+      if (cli.count < 1) return false;
+    } else if (arg == "--inject") {
+      const char* value = next_value();
+      if (value == nullptr || std::string(value) != "cone-escape") {
+        return false;
+      }
+      cli.injection = Injection::kConeEscape;
+    } else if (arg == "--no-shrink") {
+      cli.shrink = false;
+    } else if (arg == "--json") {
+      const char* value = next_value();
+      if (value == nullptr) return false;
+      cli.json_path = value;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Run one seed; on failure print (and optionally shrink) the repro.
+bool run_seed(const std::uint64_t seed, const CliOptions& cli) {
+  FuzzInstance instance = linesearch::verify::generate_instance(seed);
+  instance.injection = cli.injection;
+  FuzzOutcome outcome = linesearch::verify::run_instance(instance);
+  if (outcome.ok()) return true;
+
+  std::cerr << "seed " << seed << " FAILED: " << outcome.primary_failure()
+            << '\n'
+            << outcome.describe() << '\n';
+  if (cli.shrink) {
+    const linesearch::verify::ShrinkResult shrunk =
+        linesearch::verify::shrink_instance(instance);
+    std::cerr << "shrunk in " << shrunk.accepted_moves
+              << " steps (preserving '" << shrunk.failure << "')\n";
+    instance = shrunk.instance;
+    outcome = linesearch::verify::run_instance(instance);
+  }
+  const std::string json =
+      linesearch::verify::instance_to_json(instance, outcome);
+  std::cout << json;
+  if (!cli.json_path.empty()) {
+    std::ofstream out(cli.json_path);
+    out << json;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(const int argc, const char* const* argv) {
+  CliOptions cli;
+  if (!parse_args(argc, argv, cli)) return usage(argv[0]);
+
+  int failures = 0;
+  for (int i = 0; i < cli.count; ++i) {
+    const std::uint64_t seed = cli.seed + static_cast<std::uint64_t>(i);
+    if (!run_seed(seed, cli)) ++failures;
+  }
+  if (cli.count > 1) {
+    std::cerr << (cli.count - failures) << "/" << cli.count
+              << " seeds passed\n";
+  }
+  return failures == 0 ? 0 : 1;
+}
