@@ -135,6 +135,29 @@ BENCHMARK(BM_DenseCrSweepParallel)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+void BM_AnalyticFleetConstruction(benchmark::State& state) {
+  // Counterpart of BM_FleetConstruction: the analytic backend's O(1)
+  // per-robot state makes construction independent of the horizon.
+  const int n = static_cast<int>(state.range(0));
+  const ProportionalAlgorithm algo(n, n - 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algo.build_unbounded_fleet());
+  }
+}
+BENCHMARK(BM_AnalyticFleetConstruction)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_AnalyticCrSweep(benchmark::State& state) {
+  // measure_cr over a 2^20 window on the unbounded analytic fleet: the
+  // probe grid and every visit query come from closed forms, no dense
+  // ladder is ever materialized.
+  const ProportionalAlgorithm algo(12, 11);
+  const Fleet fleet = algo.build_unbounded_fleet();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(measure_cr(fleet, 11, {.window_hi = 1048576}));
+  }
+}
+BENCHMARK(BM_AnalyticCrSweep)->Unit(benchmark::kMillisecond);
+
 void BM_VisitCacheHit(benchmark::State& state) {
   // Steady-state memo hit vs BM_DetectionTime's full recomputation.
   const ProportionalAlgorithm algo(11, 10);
@@ -267,6 +290,50 @@ void write_perf_json(const std::string& path) {
   const GameResult game = play_theorem2_game(game_fleet, 1, alpha);
   const double game_ms = millis_since(game_start);
 
+  // analytic_sweep: the same A(12, 11) schedule built dense (waypoints
+  // materialized out to 4 * 2^20) and analytic (O(1) closed-form state),
+  // then evaluated over window_hi = 2^20.  Checksums must agree bit for
+  // bit; the build-time and footprint ratios are the headline wins of
+  // the analytic backend layer.  Builds are timed over many iterations
+  // because a single build is below clock resolution.
+  const ProportionalAlgorithm wide(12, 11);
+  constexpr Real kSweepWindowHi = 1048576;  // 2^20 (power of two: exact)
+  constexpr int kBuildReps = 512;
+
+  const auto dense_build_start = Clock::now();
+  for (int rep = 0; rep < kBuildReps - 1; ++rep) {
+    benchmark::DoNotOptimize(wide.build_fleet(4 * kSweepWindowHi));
+  }
+  const Fleet wide_dense = wide.build_fleet(4 * kSweepWindowHi);
+  const double dense_build_ms = millis_since(dense_build_start);
+
+  const auto analytic_build_start = Clock::now();
+  for (int rep = 0; rep < kBuildReps - 1; ++rep) {
+    benchmark::DoNotOptimize(wide.build_unbounded_fleet());
+  }
+  const Fleet wide_analytic = wide.build_unbounded_fleet();
+  const double analytic_build_ms = millis_since(analytic_build_start);
+
+  const auto footprint = [](const Fleet& swept) {
+    std::size_t bytes = 0;
+    for (RobotId id = 0; id < swept.size(); ++id) {
+      bytes += swept.robot(id).source().footprint_bytes();
+    }
+    return bytes;
+  };
+
+  const CrEvalOptions sweep_options{.window_hi = kSweepWindowHi};
+  const auto dense_sweep_start = Clock::now();
+  const CrEvalResult dense_sweep = measure_cr(wide_dense, 11, sweep_options);
+  const double dense_sweep_ms = millis_since(dense_sweep_start);
+  const auto analytic_sweep_start = Clock::now();
+  const CrEvalResult analytic_sweep =
+      measure_cr(wide_analytic, 11, sweep_options);
+  const double analytic_sweep_ms = millis_since(analytic_sweep_start);
+  const bool sweep_identical =
+      dense_sweep.cr == analytic_sweep.cr &&
+      dense_sweep.argmax == analytic_sweep.argmax;
+
   std::ofstream out(path);
   JsonWriter json(out);
   json.begin_object();
@@ -286,8 +353,23 @@ void write_perf_json(const std::string& path) {
   workload("dense_cr_sweep_parallel", parallel_ms, checksum(parallel));
   workload("certified_cr_a74", certified_ms, certified.cr);
   workload("theorem2_game_a31", game_ms, game.forced_ratio);
+  workload("analytic_sweep_dense", dense_sweep_ms,
+           dense_sweep.cr + dense_sweep.argmax);
+  workload("analytic_sweep_analytic", analytic_sweep_ms,
+           analytic_sweep.cr + analytic_sweep.argmax);
   json.end_array();
   json.field("parallel_identical_to_serial", identical);
+  json.key("analytic_sweep").begin_object();
+  json.field("window_hi", kSweepWindowHi);
+  json.field("build_reps", kBuildReps);
+  json.field("dense_build_millis", static_cast<Real>(dense_build_ms));
+  json.field("analytic_build_millis", static_cast<Real>(analytic_build_ms));
+  json.field("dense_footprint_bytes",
+             static_cast<Real>(footprint(wide_dense)));
+  json.field("analytic_footprint_bytes",
+             static_cast<Real>(footprint(wide_analytic)));
+  json.field("analytic_identical_to_dense", sweep_identical);
+  json.end_object();
   json.end_object();
 }
 

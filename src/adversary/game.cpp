@@ -25,7 +25,9 @@ GameResult play_theorem2_game(const Fleet& fleet, const int f,
   if (options.attack_turning_points) {
     const Real x0 = largest_placement(alpha);
     for (const int side : {+1, -1}) {
-      for (const Real magnitude : fleet.turning_positions(side)) {
+      // Windowed: only turns at magnitude <= x0 can pass the probe filter
+      // below, and the window keeps the scan finite on analytic fleets.
+      for (const Real magnitude : fleet.turning_positions_in(side, 0, x0)) {
         const Real probe = magnitude * (1 + tol::kLimitProbe);
         if (probe >= 1 && probe <= x0) {
           targets.push_back(static_cast<Real>(side) * probe);

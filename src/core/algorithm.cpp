@@ -38,6 +38,10 @@ Fleet ProportionalAlgorithm::build_fleet(const Real extent) const {
   return schedule_.build_fleet(extent);
 }
 
+Fleet ProportionalAlgorithm::build_unbounded_fleet() const {
+  return schedule_.build_unbounded_fleet();
+}
+
 std::optional<Real> ProportionalAlgorithm::theoretical_cr() const {
   return schedule_cr(n_, f_, beta());
 }

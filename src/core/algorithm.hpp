@@ -28,6 +28,8 @@ class ProportionalAlgorithm final : public SearchStrategy {
   [[nodiscard]] int robot_count() const override { return n_; }
   [[nodiscard]] int fault_budget() const override { return f_; }
   [[nodiscard]] Fleet build_fleet(Real extent) const override;
+  [[nodiscard]] bool supports_unbounded() const override { return true; }
+  [[nodiscard]] Fleet build_unbounded_fleet() const override;
   [[nodiscard]] std::optional<Real> theoretical_cr() const override;
 
   /// The underlying schedule generator.

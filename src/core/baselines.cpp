@@ -1,8 +1,11 @@
 #include "core/baselines.hpp"
 
+#include <memory>
 #include <sstream>
+#include <utility>
 
 #include "core/competitive.hpp"
+#include "sim/analytic.hpp"
 #include "sim/zigzag.hpp"
 #include "util/error.hpp"
 #include "util/format.hpp"
@@ -37,6 +40,19 @@ Fleet TwoGroupSplit::build_fleet(const Real extent) const {
   return Fleet(std::move(robots));
 }
 
+Fleet TwoGroupSplit::build_unbounded_fleet() const {
+  const Trajectory right(std::make_shared<AnalyticRay>(+1));
+  const Trajectory left(std::make_shared<AnalyticRay>(-1));
+  std::vector<Trajectory> robots;
+  robots.reserve(static_cast<std::size_t>(n_));
+  for (int i = 0; i < n_; ++i) {
+    const bool rightward =
+        (i <= f_) || (i > 2 * f_ + 1 && (i % 2 == 0));
+    robots.push_back(rightward ? right : left);
+  }
+  return Fleet(std::move(robots));
+}
+
 GroupDoubling::GroupDoubling(const int n, const int f) : n_(n), f_(f) {
   expects(f >= 0 && f < n, "GroupDoubling: need 0 <= f < n");
 }
@@ -59,6 +75,14 @@ Fleet GroupDoubling::build_fleet(const Real extent) const {
                                          .min_coverage = extent}));
   }
   return Fleet(std::move(robots));
+}
+
+Fleet GroupDoubling::build_unbounded_fleet() const {
+  // The whole pack shares ONE analytic backend: n views over the same
+  // O(1) schedule state (and the same visit-cache slots downstream).
+  const Trajectory shared =
+      make_analytic_origin_zigzag({.beta = 3, .first_turn = 1});
+  return Fleet(std::vector<Trajectory>(static_cast<std::size_t>(n_), shared));
 }
 
 ClassicCowPath::ClassicCowPath(const int n, const int f,
@@ -111,6 +135,26 @@ Fleet ClassicCowPath::build_fleet(const Real extent) const {
   return Fleet(std::move(robots));
 }
 
+Fleet ClassicCowPath::build_unbounded_fleet() const {
+  // Non-cone ladder: full speed to +-1 at t = 1, then turning points
+  // -2, 4, -8, ... — `turn *= -2` in the dense builder, i.e. kappa = 2
+  // with a unit-speed (not 1/beta) start leg.
+  const auto build_one = [](const int direction) {
+    AnalyticZigzagSpec spec;
+    spec.head = {{0, 0}, {1, static_cast<Real>(direction)}};
+    spec.kappa = 2;
+    return Trajectory(std::make_shared<AnalyticZigzag>(std::move(spec)));
+  };
+  const Trajectory forward = build_one(+1);
+  const Trajectory backward = mirrored_ ? build_one(-1) : forward;
+  std::vector<Trajectory> robots;
+  robots.reserve(static_cast<std::size_t>(n_));
+  for (int i = 0; i < n_; ++i) {
+    robots.push_back((mirrored_ && i % 2 == 1) ? backward : forward);
+  }
+  return Fleet(std::move(robots));
+}
+
 StaggeredDoubling::StaggeredDoubling(const int n, const int f,
                                      const Real delay_step)
     : n_(n), f_(f), delay_(delay_step) {
@@ -150,6 +194,21 @@ Fleet StaggeredDoubling::build_fleet(const Real extent) const {
   return Fleet(std::move(robots));
 }
 
+Fleet StaggeredDoubling::build_unbounded_fleet() const {
+  std::vector<Trajectory> robots;
+  robots.reserve(static_cast<std::size_t>(n_));
+  for (int i = 0; i < n_; ++i) {
+    AnalyticZigzagSpec spec;
+    spec.head.push_back({0, 0});
+    if (i > 0) spec.head.push_back({delay_ * static_cast<Real>(i), 0});
+    // move_to(1) semantics: arrive at +1 one time unit after the wait.
+    spec.head.push_back({spec.head.back().time + 1, 1});
+    spec.kappa = 2;
+    robots.emplace_back(std::make_shared<AnalyticZigzag>(std::move(spec)));
+  }
+  return Fleet(std::move(robots));
+}
+
 UniformOffsetZigzag::UniformOffsetZigzag(const int n, const int f)
     : n_(n), f_(f), beta_(optimal_beta(n, f)) {}
 
@@ -174,6 +233,21 @@ Fleet UniformOffsetZigzag::build_fleet(const Real extent) const {
     const Real first_turn = (i % 2 == 0) ? magnitude : -magnitude;
     robots.push_back(make_origin_zigzag(
         {.beta = beta_, .first_turn = first_turn, .min_coverage = extent}));
+  }
+  return Fleet(std::move(robots));
+}
+
+Fleet UniformOffsetZigzag::build_unbounded_fleet() const {
+  const Real kappa = expansion_factor(beta_);
+  const Real span = kappa * kappa - 1;
+  std::vector<Trajectory> robots;
+  robots.reserve(static_cast<std::size_t>(n_));
+  for (int i = 0; i < n_; ++i) {
+    const Real magnitude =
+        1 + span * static_cast<Real>(i) / static_cast<Real>(n_);
+    const Real first_turn = (i % 2 == 0) ? magnitude : -magnitude;
+    robots.push_back(
+        make_analytic_origin_zigzag({.beta = beta_, .first_turn = first_turn}));
   }
   return Fleet(std::move(robots));
 }

@@ -28,6 +28,8 @@ class TwoGroupSplit final : public SearchStrategy {
   [[nodiscard]] int robot_count() const override { return n_; }
   [[nodiscard]] int fault_budget() const override { return f_; }
   [[nodiscard]] Fleet build_fleet(Real extent) const override;
+  [[nodiscard]] bool supports_unbounded() const override { return true; }
+  [[nodiscard]] Fleet build_unbounded_fleet() const override;
   [[nodiscard]] std::optional<Real> theoretical_cr() const override {
     return Real{1};
   }
@@ -47,6 +49,8 @@ class GroupDoubling final : public SearchStrategy {
   [[nodiscard]] int robot_count() const override { return n_; }
   [[nodiscard]] int fault_budget() const override { return f_; }
   [[nodiscard]] Fleet build_fleet(Real extent) const override;
+  [[nodiscard]] bool supports_unbounded() const override { return true; }
+  [[nodiscard]] Fleet build_unbounded_fleet() const override;
   [[nodiscard]] std::optional<Real> theoretical_cr() const override {
     return Real{9};
   }
@@ -74,6 +78,8 @@ class ClassicCowPath final : public SearchStrategy {
   [[nodiscard]] int robot_count() const override { return n_; }
   [[nodiscard]] int fault_budget() const override { return f_; }
   [[nodiscard]] Fleet build_fleet(Real extent) const override;
+  [[nodiscard]] bool supports_unbounded() const override { return true; }
+  [[nodiscard]] Fleet build_unbounded_fleet() const override;
   [[nodiscard]] std::optional<Real> theoretical_cr() const override;
 
   [[nodiscard]] bool mirrored() const noexcept { return mirrored_; }
@@ -100,6 +106,8 @@ class StaggeredDoubling final : public SearchStrategy {
   [[nodiscard]] int robot_count() const override { return n_; }
   [[nodiscard]] int fault_budget() const override { return f_; }
   [[nodiscard]] Fleet build_fleet(Real extent) const override;
+  [[nodiscard]] bool supports_unbounded() const override { return true; }
+  [[nodiscard]] Fleet build_unbounded_fleet() const override;
 
   [[nodiscard]] Real delay_step() const noexcept { return delay_; }
 
@@ -121,6 +129,8 @@ class UniformOffsetZigzag final : public SearchStrategy {
   [[nodiscard]] int robot_count() const override { return n_; }
   [[nodiscard]] int fault_budget() const override { return f_; }
   [[nodiscard]] Fleet build_fleet(Real extent) const override;
+  [[nodiscard]] bool supports_unbounded() const override { return true; }
+  [[nodiscard]] Fleet build_unbounded_fleet() const override;
 
   [[nodiscard]] Real beta() const noexcept { return beta_; }
 

@@ -1,9 +1,12 @@
 #include "core/bounded.hpp"
 
 #include <cmath>
+#include <memory>
 #include <sstream>
+#include <utility>
 
 #include "core/competitive.hpp"
+#include "sim/analytic.hpp"
 #include "sim/zigzag.hpp"
 #include "util/error.hpp"
 #include "util/format.hpp"
@@ -56,6 +59,20 @@ Fleet BoundedProportional::build_fleet(const Real extent) const {
     builder.move_to(barrier);
     builder.move_to(-barrier);
     robots.push_back(std::move(builder).build());
+  }
+  return Fleet(std::move(robots));
+}
+
+Fleet BoundedProportional::build_unbounded_fleet() const {
+  std::vector<Trajectory> robots;
+  robots.reserve(static_cast<std::size_t>(n_));
+  for (int i = 0; i < n_; ++i) {
+    const Real first = schedule_.initial_turn(i);
+    AnalyticZigzagSpec spec;
+    spec.head = {{0, 0}, {schedule_.cone().boundary_time(first), first}};
+    spec.kappa = schedule_.expansion_factor();
+    spec.barrier = bound_;
+    robots.emplace_back(std::make_shared<AnalyticZigzag>(std::move(spec)));
   }
   return Fleet(std::move(robots));
 }

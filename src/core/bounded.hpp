@@ -38,6 +38,13 @@ class BoundedProportional final : public SearchStrategy {
   /// distance bound (there is nothing beyond the barrier).
   [[nodiscard]] Fleet build_fleet(Real extent) const override;
 
+  /// The same trajectories as closed-form barrier-mode analytic
+  /// schedules.  A bounded arena has no unbounded horizon — the complete
+  /// schedule (ladder + barrier sweeps) IS the full extent-D fleet, so
+  /// no extent argument is needed.
+  [[nodiscard]] bool supports_unbounded() const override { return true; }
+  [[nodiscard]] Fleet build_unbounded_fleet() const override;
+
   /// The unbounded Theorem-1 value — an upper bound for the bounded
   /// variant too (clamping only ever helps).
   [[nodiscard]] std::optional<Real> theoretical_cr() const override;

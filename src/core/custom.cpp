@@ -44,4 +44,31 @@ Fleet build_cone_fleet(const Real beta, const std::vector<Real>& magnitudes,
   return Fleet(std::move(robots));
 }
 
+Trajectory make_analytic_offset_robot(const Real beta, const Real s) {
+  const Real kappa = expansion_factor(beta);
+  expects(s >= 1 && s < kappa * kappa,
+          "make_analytic_offset_robot: magnitude must lie in [1, kappa^2)");
+  // Same backward extension as make_offset_robot, minus the extent.
+  Real first = s;
+  int m = 0;
+  while (std::fabs(first) >= 1) {
+    first = -first / kappa;
+    ++m;
+  }
+  ensures(m >= 1 && m <= 2, "backward extension out of expected range");
+  return make_analytic_origin_zigzag({.beta = beta, .first_turn = first});
+}
+
+Fleet build_analytic_cone_fleet(const Real beta,
+                                const std::vector<Real>& magnitudes) {
+  expects(!magnitudes.empty(),
+          "build_analytic_cone_fleet: need at least one robot");
+  std::vector<Trajectory> robots;
+  robots.reserve(magnitudes.size());
+  for (const Real s : magnitudes) {
+    robots.push_back(make_analytic_offset_robot(beta, s));
+  }
+  return Fleet(std::move(robots));
+}
+
 }  // namespace linesearch

@@ -29,4 +29,10 @@ namespace linesearch {
                                      const std::vector<Real>& magnitudes,
                                      Real extent);
 
+/// Analytic counterparts with an UNBOUNDED horizon: the same curves,
+/// bit-identical on every shared waypoint, generated from O(1) state.
+[[nodiscard]] Trajectory make_analytic_offset_robot(Real beta, Real s);
+[[nodiscard]] Fleet build_analytic_cone_fleet(
+    Real beta, const std::vector<Real>& magnitudes);
+
 }  // namespace linesearch

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+#include <utility>
 
 #include "analysis/series.hpp"
+#include "sim/analytic.hpp"
 #include "sim/zigzag.hpp"
 #include "util/error.hpp"
 
@@ -77,6 +80,23 @@ Fleet ProportionalSchedule::build_fleet(const Real extent) const {
   robots.reserve(static_cast<std::size_t>(n_));
   for (int i = 0; i < n_; ++i) {
     robots.push_back(robot_trajectory(i, extent));
+  }
+  return Fleet(std::move(robots));
+}
+
+Trajectory ProportionalSchedule::analytic_robot_trajectory(const int i) const {
+  const Real first = initial_turn(i);
+  AnalyticZigzagSpec spec;
+  spec.head = {{0, 0}, {cone_.boundary_time(first), first}};
+  spec.kappa = cone_.expansion_factor();
+  return Trajectory(std::make_shared<AnalyticZigzag>(std::move(spec)));
+}
+
+Fleet ProportionalSchedule::build_unbounded_fleet() const {
+  std::vector<Trajectory> robots;
+  robots.reserve(static_cast<std::size_t>(n_));
+  for (int i = 0; i < n_; ++i) {
+    robots.push_back(analytic_robot_trajectory(i));
   }
   return Fleet(std::move(robots));
 }

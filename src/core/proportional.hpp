@@ -71,8 +71,18 @@ class ProportionalSchedule {
   /// half-lines are covered past `extent`.
   [[nodiscard]] Trajectory robot_trajectory(int i, Real extent) const;
 
+  /// Robot i as a closed-form analytic schedule with an UNBOUNDED
+  /// horizon: the same Definition-4 curve as robot_trajectory —
+  /// bit-identical on every shared waypoint — but generated on demand
+  /// from O(1) state (start leg + ladder seed + kappa).
+  [[nodiscard]] Trajectory analytic_robot_trajectory(int i) const;
+
   /// The whole algorithm-A(n,f) fleet covering |x| <= extent.
   [[nodiscard]] Fleet build_fleet(Real extent) const;
+
+  /// The analytic A(n,f) fleet: unbounded horizon, coverage extent is a
+  /// query-time window.
+  [[nodiscard]] Fleet build_unbounded_fleet() const;
 
  private:
   int n_;

@@ -32,8 +32,23 @@ class SearchStrategy {
   [[nodiscard]] virtual int fault_budget() const = 0;
 
   /// Materialize trajectories guaranteeing (f+1)-fold distinct coverage
-  /// of 1 <= |x| <= extent.  Requires extent > 1.
+  /// of 1 <= |x| <= extent.  Requires extent > 1.  This is the dense
+  /// compatibility path: it eagerly builds O(log extent) waypoints per
+  /// robot and remains the independent reference the analytic backends
+  /// are differentially tested against.
   [[nodiscard]] virtual Fleet build_fleet(Real extent) const = 0;
+
+  /// True when the strategy can emit closed-form (analytic) schedules
+  /// with an unbounded horizon via build_unbounded_fleet().
+  [[nodiscard]] virtual bool supports_unbounded() const { return false; }
+
+  /// The same fleet as build_fleet but backed by analytic schedule
+  /// sources with an UNBOUNDED horizon: coverage extent becomes a
+  /// query-time window, O(1) state per robot, and no under-built-fleet
+  /// failures.  Bit-identical to the dense fleet on every shared
+  /// waypoint and every visit query (the verify subsystem enforces
+  /// this).  Throws PreconditionError unless supports_unbounded().
+  [[nodiscard]] virtual Fleet build_unbounded_fleet() const;
 
   /// Proven competitive ratio, if the strategy has one.
   [[nodiscard]] virtual std::optional<Real> theoretical_cr() const {

@@ -11,13 +11,11 @@ namespace detail {
 // Collect the probe magnitudes for one half-line.
 std::vector<Real> probe_magnitudes(const Fleet& fleet, const int side,
                                    const CrEvalOptions& options) {
-  std::vector<Real> turns;
-  for (const Real magnitude : fleet.turning_positions(side)) {
-    if (magnitude >= options.window_lo * (1 - tol::kRelative) &&
-        magnitude <= options.window_hi) {
-      turns.push_back(magnitude);
-    }
-  }
+  // Windowed turning enumeration: exact on dense fleets (same filter the
+  // scan used to apply itself) and the only finite query on unbounded
+  // (analytic) fleets.
+  std::vector<Real> turns = fleet.turning_positions_in(
+      side, options.window_lo * (1 - tol::kRelative), options.window_hi);
   turns.push_back(options.window_lo);
   turns.push_back(options.window_hi);
   std::sort(turns.begin(), turns.end());
@@ -45,7 +43,26 @@ std::vector<Real> probe_magnitudes(const Fleet& fleet, const int side,
       }
     }
   }
-  return probes;
+
+  // Exact-duplicate pass: tau*(1+eps) can collide bit-for-bit with a
+  // window endpoint or an adjacent interior sample (e.g. when tau*(1+eps)
+  // rounds to the endpoint value), and the turning-point grid itself may
+  // carry the same magnitude from several robots.  Evaluating such a
+  // probe twice double-counts it in `probes` and makes the reported count
+  // depend on rounding accidents.  Keep the FIRST occurrence only —
+  // order is preserved, so the argmax (first strict maximum) is
+  // untouched.  Exact equality only: approx-equal probes (the point vs
+  // its right-limit) are exactly the distinction the limit probes exist
+  // to test.
+  std::vector<Real> unique_probes;
+  unique_probes.reserve(probes.size());
+  for (const Real probe : probes) {
+    if (std::find(unique_probes.begin(), unique_probes.end(), probe) ==
+        unique_probes.end()) {
+      unique_probes.push_back(probe);
+    }
+  }
+  return unique_probes;
 }
 
 CrEvalResult measure_cr_with(const Fleet& fleet, const int f,
@@ -57,6 +74,8 @@ CrEvalResult measure_cr_with(const Fleet& fleet, const int f,
           "measure_cr: window_hi must exceed window_lo");
 
   CrEvalResult result;
+  Real pos_best_x = 0;
+  Real neg_best_x = 0;
   for (const int side : {+1, -1}) {
     Real best = 0;
     Real best_x = 0;
@@ -92,13 +111,21 @@ CrEvalResult measure_cr_with(const Fleet& fleet, const int f,
     }
     if (side > 0) {
       result.cr_positive = best;
+      pos_best_x = best_x;
     } else {
       result.cr_negative = best;
+      neg_best_x = best_x;
     }
-    if (best > result.cr) {
-      result.cr = best;
-      result.argmax = best_x;
-    }
+  }
+  // Overall worst case.  Tie-break is pinned: when both half-lines attain
+  // the same supremum, the POSITIVE side's witness wins — independent of
+  // the side evaluation order above.
+  if (result.cr_negative > result.cr_positive) {
+    result.cr = result.cr_negative;
+    result.argmax = neg_best_x;
+  } else {
+    result.cr = result.cr_positive;
+    result.argmax = pos_best_x;
   }
   return result;
 }

@@ -16,9 +16,11 @@ std::vector<Real> critical_magnitudes(const Fleet& fleet, const int side,
           "critical_magnitudes: bad window");
   std::vector<Real> criticals{window_lo, window_hi};
   for (const Trajectory& robot : fleet.robots()) {
-    for (const Waypoint& w : robot.waypoints()) {
-      if (sign_of(w.position) == side) {
-        const Real magnitude = std::fabs(w.position);
+    // Windowed enumeration: finite even on unbounded analytic backends,
+    // and the same waypoint set a dense backend would yield.
+    for (const Real position : robot.waypoint_positions_within(window_hi)) {
+      if (sign_of(position) == side) {
+        const Real magnitude = std::fabs(position);
         if (magnitude > window_lo && magnitude < window_hi) {
           criticals.push_back(magnitude);
         }

@@ -46,13 +46,8 @@ CrEvalResult measure_cr_with_turn_cost(const Fleet& fleet, const int faults,
   // time is not a Fleet query.
   CrEvalResult result;
   for (const int side : {+1, -1}) {
-    std::vector<Real> magnitudes;
-    for (const Real magnitude : fleet.turning_positions(side)) {
-      if (magnitude >= options.window_lo * (1 - tol::kRelative) &&
-          magnitude <= options.window_hi) {
-        magnitudes.push_back(magnitude);
-      }
-    }
+    std::vector<Real> magnitudes = fleet.turning_positions_in(
+        side, options.window_lo * (1 - tol::kRelative), options.window_hi);
     magnitudes.push_back(options.window_lo);
     magnitudes.push_back(options.window_hi);
     std::sort(magnitudes.begin(), magnitudes.end());

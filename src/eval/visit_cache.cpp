@@ -9,7 +9,17 @@
 namespace linesearch {
 
 FleetVisitCache::FleetVisitCache(const Fleet& fleet)
-    : fleet_(fleet), stripes_(fleet.size() * kStripes) {}
+    : fleet_(fleet), slot_of_(fleet.size()) {
+  // Backend-identity keying: robots sharing one ScheduleSource object
+  // answer every visit query identically, so they share a memo slot.
+  std::unordered_map<const ScheduleSource*, std::size_t> slots;
+  for (RobotId id = 0; id < fleet.size(); ++id) {
+    const auto [it, inserted] = slots.try_emplace(
+        fleet.robot(id).source_ptr().get(), slots.size());
+    slot_of_[id] = it->second;
+  }
+  stripes_ = std::vector<Stripe>(slots.size() * kStripes);
+}
 
 std::uint64_t FleetVisitCache::quantize(const Real x) noexcept {
   // Quantize to double: distinct probes differ by >= ~1e-9 relative (the
@@ -28,7 +38,8 @@ FleetVisitCache::Stripe& FleetVisitCache::stripe_for(
   // Fibonacci scramble of the mantissa bits spreads geometric probe
   // sequences (which share exponent bytes) across stripes.
   const std::uint64_t mixed = key * 0x9e3779b97f4a7c15ULL;
-  return stripes_[id * kStripes + (mixed >> 58)];  // top 6 bits: 64 stripes
+  // top 6 bits: 64 stripes
+  return stripes_[slot_of_[id] * kStripes + (mixed >> 58)];
 }
 
 Real FleetVisitCache::first_visit(const RobotId id, const Real x) const {

@@ -20,6 +20,12 @@
 // structure is safe for the batch engine's workers with no warm phase.
 // Values are deterministic functions of the key, so racing inserts of the
 // same position are benign (both compute the identical value).
+//
+// Backend identity: robots are keyed by their ScheduleSource, not their
+// index.  Robots sharing one backend object (e.g. a group strategy that
+// hands the same analytic schedule to every member) share a memo slot —
+// a probe computed for one is a hit for all of them, exactly, because
+// identical backends answer every visit query identically.
 #pragma once
 
 #include <atomic>
@@ -61,6 +67,12 @@ class FleetVisitCache {
     return misses_.load(std::memory_order_relaxed);
   }
 
+  /// Number of DISTINCT schedule backends in the fleet (== number of memo
+  /// slots).  Less than fleet().size() when robots share a backend.
+  [[nodiscard]] std::size_t slot_count() const noexcept {
+    return stripes_.size() / kStripes;
+  }
+
  private:
   struct Entry {
     Real x = 0;     ///< exact queried position (collision check)
@@ -78,8 +90,11 @@ class FleetVisitCache {
                                    std::uint64_t key) const noexcept;
 
   const Fleet& fleet_;
-  /// stripes_[robot * kStripes + stripe]; per-robot striping keeps keys
-  /// from different robots out of each other's maps.
+  /// Robot index -> memo slot; robots with the same ScheduleSource map to
+  /// the same slot (computed once at construction).
+  std::vector<std::size_t> slot_of_;
+  /// stripes_[slot * kStripes + stripe]; per-slot striping keeps keys
+  /// from different backends out of each other's maps.
   mutable std::vector<Stripe> stripes_;
   mutable std::atomic<std::size_t> hits_{0};
   mutable std::atomic<std::size_t> misses_{0};

@@ -11,6 +11,7 @@ namespace linesearch {
 Fleet::Fleet(std::vector<Trajectory> robots) : robots_(std::move(robots)) {
   expects(!robots_.empty(), "fleet needs at least one robot");
   for (const Trajectory& t : robots_) {
+    if (t.unbounded()) unbounded_ = true;
     horizon_ = std::max(horizon_, t.end_time());
   }
 }
@@ -104,7 +105,10 @@ bool Fleet::covers(const Real min_x, const Real extent, const int required,
     p *= ratio;
   }
   for (const int side : {+1, -1}) {
-    for (const Real magnitude : turning_positions(side)) {
+    // Windowed turning query so unbounded (analytic) fleets enumerate
+    // only the finitely many turns that matter; turns beyond `extent`
+    // would fail the just-past filter below anyway.
+    for (const Real magnitude : turning_positions_in(side, 0, extent)) {
       const Real just_past = magnitude * (1 + tol::kLimitProbe);
       if (just_past >= min_x && just_past <= extent) {
         probes.push_back(just_past);
@@ -137,6 +141,18 @@ std::vector<Real> Fleet::turning_positions(const int side) const {
         magnitudes.push_back(std::fabs(w.position));
       }
     }
+  }
+  std::sort(magnitudes.begin(), magnitudes.end());
+  return magnitudes;
+}
+
+std::vector<Real> Fleet::turning_positions_in(const int side, const Real lo,
+                                              const Real hi) const {
+  expects(side == 1 || side == -1, "turning_positions_in: side must be +-1");
+  std::vector<Real> magnitudes;
+  for (const Trajectory& t : robots_) {
+    const std::vector<Real> own = t.turning_magnitudes_in(side, lo, hi);
+    magnitudes.insert(magnitudes.end(), own.begin(), own.end());
   }
   std::sort(magnitudes.begin(), magnitudes.end());
   return magnitudes;

@@ -70,17 +70,30 @@ class Fleet {
   [[nodiscard]] bool covers(Real min_x, Real extent, int required,
                             int probes_per_side = 64) const;
 
-  /// Latest end_time over all robots (the simulation horizon).
+  /// Latest end_time over all robots (the simulation horizon);
+  /// kInfinity when any robot's schedule is unbounded.
   [[nodiscard]] Real horizon() const noexcept { return horizon_; }
+
+  /// True when any robot's schedule has an unbounded horizon.
+  [[nodiscard]] bool unbounded() const noexcept { return unbounded_; }
 
   /// All positive (or all negative, by sign) turning-point positions of
   /// all robots, sorted increasing by magnitude; used by the empirical CR
   /// evaluator to enumerate the discontinuities of K(x) (Lemma 3).
+  /// Requires a bounded fleet; unbounded fleets use turning_positions_in.
   [[nodiscard]] std::vector<Real> turning_positions(int side) const;
+
+  /// Windowed variant, exact on every backend: all turning magnitudes on
+  /// `side` with lo <= magnitude <= hi, merged over robots and sorted
+  /// increasing (duplicates across robots preserved, as in
+  /// turning_positions).
+  [[nodiscard]] std::vector<Real> turning_positions_in(int side, Real lo,
+                                                       Real hi) const;
 
  private:
   std::vector<Trajectory> robots_;
   Real horizon_ = 0;
+  bool unbounded_ = false;
 };
 
 }  // namespace linesearch

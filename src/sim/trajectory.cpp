@@ -1,6 +1,5 @@
 #include "sim/trajectory.hpp"
 
-#include <algorithm>
 #include <cmath>
 #include <sstream>
 
@@ -8,87 +7,18 @@
 #include "util/format.hpp"
 
 namespace linesearch {
-namespace {
-
-// Speed validation allows a hair of slack for accumulated rounding in the
-// turning-point recurrences; anything above this is a construction bug.
-constexpr Real kSpeedSlack = 1 + 1e-9L;
-
-}  // namespace
 
 Trajectory::Trajectory(std::vector<Waypoint> waypoints)
-    : waypoints_(std::move(waypoints)) {
-  expects(!waypoints_.empty(), "trajectory needs at least one waypoint");
-  max_abs_ = std::fabs(waypoints_.front().position);
-  for (std::size_t i = 1; i < waypoints_.size(); ++i) {
-    const Waypoint& a = waypoints_[i - 1];
-    const Waypoint& b = waypoints_[i];
-    expects(b.time > a.time,
-            "trajectory waypoints must have strictly increasing time");
-    const Real speed = std::fabs(b.position - a.position) / (b.time - a.time);
-    expects(speed <= kMaxSpeed * kSpeedSlack,
-            "trajectory segment exceeds maximum speed");
-    max_speed_ = std::max(max_speed_, speed);
-    max_abs_ = std::max(max_abs_, std::fabs(b.position));
-  }
+    : source_(std::make_shared<DenseSchedule>(std::move(waypoints))) {}
+
+Trajectory::Trajectory(std::shared_ptr<const ScheduleSource> source)
+    : source_(std::move(source)) {
+  expects(source_ != nullptr, "trajectory needs a schedule source");
 }
 
 Trajectory Trajectory::stationary(const Real position, const Real until) {
   expects(until > 0, "stationary trajectory needs positive duration");
   return Trajectory({{0, position}, {until, position}});
-}
-
-Real Trajectory::position_at(const Real t) const {
-  expects(t >= start_time() && t <= end_time(),
-          "position_at: time outside trajectory span");
-  // Binary search for the segment containing t.
-  const auto it = std::upper_bound(
-      waypoints_.begin(), waypoints_.end(), t,
-      [](const Real value, const Waypoint& w) { return value < w.time; });
-  if (it == waypoints_.begin()) return waypoints_.front().position;
-  if (it == waypoints_.end()) return waypoints_.back().position;
-  const Waypoint& a = *(it - 1);
-  const Waypoint& b = *it;
-  const Real fraction = (t - a.time) / (b.time - a.time);
-  return a.position + fraction * (b.position - a.position);
-}
-
-std::vector<Real> Trajectory::visit_times(const Real x,
-                                          const std::size_t max_count) const {
-  std::vector<Real> times;
-  if (max_count == 0) return times;
-
-  if (waypoints_.size() == 1) {
-    if (waypoints_.front().position == x) times.push_back(start_time());
-    return times;
-  }
-
-  for (std::size_t i = 0; i + 1 < waypoints_.size(); ++i) {
-    const Waypoint& a = waypoints_[i];
-    const Waypoint& b = waypoints_[i + 1];
-    const Real lo = std::min(a.position, b.position);
-    const Real hi = std::max(a.position, b.position);
-    if (x < lo || x > hi) continue;
-
-    // Continuous occupancy: if this segment STARTS at x, the previous
-    // segment ended at x and already reported the visit (segments share
-    // endpoints) — a turning point touch or a stationary dwell is one
-    // visit, and leaving a dwell is not a new one.
-    if (i > 0 && x == a.position) continue;
-
-    Real t;
-    if (a.position == b.position) {
-      t = a.time;  // stationary segment sitting on x
-    } else {
-      const Real fraction = (x - a.position) / (b.position - a.position);
-      t = a.time + fraction * (b.time - a.time);
-    }
-    // Safety net for near-endpoint rounding.
-    if (!times.empty() && approx_equal(times.back(), t)) continue;
-    times.push_back(t);
-    if (times.size() == max_count) break;
-  }
-  return times;
 }
 
 std::optional<Real> Trajectory::first_visit_time(const Real x) const {
@@ -104,29 +34,18 @@ std::optional<Real> Trajectory::kth_visit_time(const Real x,
   return times[k];
 }
 
-std::vector<Waypoint> Trajectory::turning_waypoints() const {
-  // A turn is a reversal of the direction of motion, with any pauses in
-  // between ignored: we track the last nonzero direction and record a
-  // turn at the waypoint where motion resumes the opposite way.
-  std::vector<Waypoint> turns;
-  int last_direction = 0;
-  for (std::size_t s = 0; s + 1 < waypoints_.size(); ++s) {
-    const int direction =
-        sign_of(waypoints_[s + 1].position - waypoints_[s].position);
-    if (direction == 0) continue;  // pause
-    if (last_direction != 0 && direction == -last_direction) {
-      turns.push_back(waypoints_[s]);
-    }
-    last_direction = direction;
-  }
-  return turns;
-}
-
 std::string Trajectory::describe() const {
   std::ostringstream out;
+  if (unbounded()) {
+    out << source_->backend_name() << ", unbounded horizon, t in ["
+        << fixed(start_time(), 3) << ", inf), start "
+        << fixed(start_position(), 3);
+    return out.str();
+  }
   out << segment_count() << " segments, t in [" << fixed(start_time(), 3)
-      << ", " << fixed(end_time(), 3) << "], reach " << fixed(max_abs_, 3)
-      << ", " << turning_waypoints().size() << " turns";
+      << ", " << fixed(end_time(), 3) << "], reach "
+      << fixed(max_abs_position(), 3) << ", " << turning_waypoints().size()
+      << " turns";
   return out.str();
 }
 
@@ -160,7 +79,7 @@ TrajectoryBuilder& TrajectoryBuilder::move_to_at(const Real x, const Real t) {
   expects(started_, "builder not started");
   const Waypoint& last = waypoints_.back();
   expects(t > last.time, "move_to_at: time must advance");
-  waypoints_.push_back({t, x});  // speed validated by Trajectory ctor
+  waypoints_.push_back({t, x});  // speed validated by DenseSchedule ctor
   return *this;
 }
 

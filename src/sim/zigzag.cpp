@@ -1,7 +1,10 @@
 #include "sim/zigzag.hpp"
 
 #include <cmath>
+#include <memory>
+#include <utility>
 
+#include "sim/analytic.hpp"
 #include "util/error.hpp"
 
 namespace linesearch {
@@ -102,6 +105,25 @@ Trajectory make_origin_zigzag(const ZigZagSpec& spec) {
                      cone_arrival_time(spec.beta, spec.first_turn));
   extend_zigzag(builder, spec.beta, spec.min_coverage);
   return std::move(builder).build();
+}
+
+Trajectory make_analytic_cone_zigzag(const ZigZagSpec& spec) {
+  check_spec(spec);
+  AnalyticZigzagSpec analytic;
+  analytic.head = {{cone_arrival_time(spec.beta, spec.first_turn),
+                    spec.first_turn}};
+  analytic.kappa = expansion_factor(spec.beta);
+  return Trajectory(std::make_shared<AnalyticZigzag>(std::move(analytic)));
+}
+
+Trajectory make_analytic_origin_zigzag(const ZigZagSpec& spec) {
+  check_spec(spec);
+  AnalyticZigzagSpec analytic;
+  analytic.head = {{0, 0},
+                   {cone_arrival_time(spec.beta, spec.first_turn),
+                    spec.first_turn}};
+  analytic.kappa = expansion_factor(spec.beta);
+  return Trajectory(std::make_shared<AnalyticZigzag>(std::move(analytic)));
 }
 
 bool within_cone(const Trajectory& trajectory, const Real beta,

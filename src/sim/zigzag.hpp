@@ -55,6 +55,14 @@ struct ZigZagSpec {
 /// speed.
 [[nodiscard]] Trajectory make_origin_zigzag(const ZigZagSpec& spec);
 
+/// The analytic (closed-form, unbounded-horizon) counterparts: the same
+/// curves as make_cone_zigzag / make_origin_zigzag — bit-identical on
+/// every shared waypoint — but generated on demand from O(1) state
+/// instead of materialized to a coverage extent.  spec.min_coverage is
+/// ignored: the horizon is unbounded.
+[[nodiscard]] Trajectory make_analytic_cone_zigzag(const ZigZagSpec& spec);
+[[nodiscard]] Trajectory make_analytic_origin_zigzag(const ZigZagSpec& spec);
+
 /// Append unit-speed C_beta zig-zag legs to a builder whose current
 /// position is a turning point on the cone (time == beta * |position|),
 /// until BOTH half-lines have a turning point of magnitude >=

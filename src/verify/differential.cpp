@@ -195,6 +195,50 @@ DifferentialResult diff_exact_vs_grid(const Fleet& fleet, const int f,
   return result;
 }
 
+DifferentialResult diff_dense_vs_analytic(const SearchStrategy& strategy,
+                                          const Real extent, const int f,
+                                          const CrEvalOptions& eval) {
+  DifferentialResult result;
+  result.name = "dense_vs_analytic";
+  if (!strategy.supports_unbounded()) {
+    result.applicable = false;
+    return result;
+  }
+  const Fleet dense = strategy.build_fleet(extent);
+  const Fleet analytic = strategy.build_unbounded_fleet();
+  if (dense.size() != analytic.size()) {
+    record(result, 0, "fleet_size", static_cast<Real>(dense.size()),
+           static_cast<Real>(analytic.size()));
+    return result;
+  }
+
+  // (a) The analytic schedule must reproduce the dense waypoint stream
+  // bit for bit on the prefix both backends materialize.
+  constexpr std::size_t kPrefix = 64;
+  for (RobotId id = 0; id < dense.size(); ++id) {
+    const std::vector<Waypoint> lhs = dense.robot(id).waypoint_prefix(kPrefix);
+    const std::vector<Waypoint> rhs =
+        analytic.robot(id).waypoint_prefix(kPrefix);
+    const std::size_t shared = std::min(lhs.size(), rhs.size());
+    for (std::size_t w = 0; w < shared; ++w) {
+      if (!value_identical(lhs[w].time, rhs[w].time)) {
+        record(result, id, "waypoint[" + std::to_string(w) + "].time",
+               lhs[w].time, rhs[w].time);
+      }
+      if (!value_identical(lhs[w].position, rhs[w].position)) {
+        record(result, id, "waypoint[" + std::to_string(w) + "].position",
+               lhs[w].position, rhs[w].position);
+      }
+    }
+  }
+
+  // (b) The evaluator must not be able to tell the backends apart.
+  const CrEvalResult dense_cr = measure_cr(dense, f, eval);
+  const CrEvalResult analytic_cr = measure_cr(analytic, f, eval);
+  compare_results(result, 0, dense_cr, analytic_cr);
+  return result;
+}
+
 std::vector<DifferentialResult> run_differentials(
     const Fleet& fleet, const int f, const CrEvalOptions& eval,
     const std::vector<Real>& targets, const DifferentialOptions& options) {

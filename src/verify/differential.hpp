@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "core/strategy.hpp"
 #include "eval/batch.hpp"
 #include "eval/cr_eval.hpp"
 #include "sim/fleet.hpp"
@@ -88,6 +89,16 @@ struct DifferentialOptions {
 [[nodiscard]] DifferentialResult diff_exact_vs_grid(
     const Fleet& fleet, int f, const CrEvalOptions& eval,
     const DifferentialOptions& options = {});
+
+/// Dense vs analytic backend: build the strategy both ways and demand
+/// (a) the shared waypoint prefix (up to 64 entries per robot) is
+/// bit-identical and (b) measure_cr over the window agrees field by
+/// field, bitwise.  Inapplicable when the strategy has no analytic path.
+/// Callers should pass a power-of-two extent: straight-line (ray)
+/// trajectories reproduce dense visit arithmetic exactly only then.
+[[nodiscard]] DifferentialResult diff_dense_vs_analytic(
+    const SearchStrategy& strategy, Real extent, int f,
+    const CrEvalOptions& eval);
 
 /// Run every engine above on one (fleet, f, window) instance.  `targets`
 /// adds fuzzer-chosen positions to the memo-vs-direct check.

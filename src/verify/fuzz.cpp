@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <sstream>
 
 #include "core/algorithm.hpp"
@@ -43,6 +44,7 @@ const char* kind_name(const FleetKind kind) noexcept {
     case FleetKind::kGroupDoubling: return "group-doubling";
     case FleetKind::kClassicCowPath: return "classic-cow-path";
     case FleetKind::kUniformOffset: return "uniform-offset";
+    case FleetKind::kAnalyticZigzag: return "analytic-zigzag";
   }
   return "unknown";
 }
@@ -60,7 +62,8 @@ namespace {
 bool regime_kind(const FleetKind kind) noexcept {
   return kind == FleetKind::kProportional ||
          kind == FleetKind::kPerturbedBeta ||
-         kind == FleetKind::kUniformOffset;
+         kind == FleetKind::kUniformOffset ||
+         kind == FleetKind::kAnalyticZigzag;
 }
 
 bool cone_kind(const FleetKind kind) noexcept {
@@ -74,6 +77,30 @@ int regime_f_floor(const int n) noexcept { return n / 2; }
 /// (0,0), (1,1), (-2,4), (4,10), ... until both half-lines reach
 /// min_coverage.  Its first waypoint (1, 1) lies strictly below the
 /// boundary t = beta*|x| of every cone with beta > 1.
+/// Strategy object behind a fuzz kind, for the dense-vs-analytic
+/// differential; null when the kind has no SearchStrategy form.
+std::unique_ptr<SearchStrategy> make_fuzz_strategy(
+    const FuzzInstance& instance) {
+  switch (instance.kind) {
+    case FleetKind::kProportional:
+    case FleetKind::kAnalyticZigzag:
+      return std::make_unique<ProportionalAlgorithm>(instance.n, instance.f);
+    case FleetKind::kPerturbedBeta:
+      return std::make_unique<ProportionalAlgorithm>(instance.n, instance.f,
+                                                     instance.beta);
+    case FleetKind::kGroupDoubling:
+      return std::make_unique<GroupDoubling>(instance.n, instance.f);
+    case FleetKind::kClassicCowPath:
+      return std::make_unique<ClassicCowPath>(instance.n, instance.f,
+                                              instance.mirrored);
+    case FleetKind::kUniformOffset:
+      return std::make_unique<UniformOffsetZigzag>(instance.n, instance.f);
+    case FleetKind::kCustomCone:
+      return nullptr;
+  }
+  return nullptr;
+}
+
 Trajectory make_escape_zigzag(const Real min_coverage) {
   TrajectoryBuilder builder;
   builder.start_at(0, 0);
@@ -98,12 +125,13 @@ FuzzInstance generate_instance(const std::uint64_t seed) {
   SplitMix64 rng(seed);
   FuzzInstance instance;
   instance.seed = seed;
-  instance.kind = static_cast<FleetKind>(rng.uniform_int(0, 5));
+  instance.kind = static_cast<FleetKind>(rng.uniform_int(0, 6));
 
   switch (instance.kind) {
     case FleetKind::kProportional:
     case FleetKind::kPerturbedBeta:
-    case FleetKind::kUniformOffset: {
+    case FleetKind::kUniformOffset:
+    case FleetKind::kAnalyticZigzag: {
       instance.f = rng.uniform_int(1, 4);
       instance.n = rng.uniform_int(instance.f + 1, 2 * instance.f + 1);
       instance.beta =
@@ -139,7 +167,11 @@ FuzzInstance generate_instance(const std::uint64_t seed) {
   instance.window_lo = 1;
   instance.window_hi = static_cast<Real>(1 << rng.uniform_int(2, 4));
   instance.extent = instance.window_hi * 4;
-  if (instance.kind == FleetKind::kCustomCone) {
+  if (instance.kind == FleetKind::kCustomCone || regime_kind(instance.kind)) {
+    // Cone fleets need extent > kappa^2 (builder precondition); regime
+    // kinds additionally need the positive turning grid to hold a full
+    // n-rung interleaving cycle above 1 — one whole kappa^2 period —
+    // before the structural oracle can judge them.
     const Real kappa2 =
         expansion_factor(instance.beta) * expansion_factor(instance.beta);
     instance.extent = std::max(instance.extent, kappa2 * Real{1.5L});
@@ -157,7 +189,9 @@ FuzzInstance generate_instance(const std::uint64_t seed) {
   const Fleet fleet = build_fuzz_fleet(instance);
   for (const int side : {+1, -1}) {
     int taken = 0;
-    for (const Real turn : fleet.turning_positions(side)) {
+    // Windowed: finite on the analytic kind, and turns beyond the window
+    // never pass the magnitude filter below anyway.
+    for (const Real turn : fleet.turning_positions_in(side, 0, hi)) {
       const Real magnitude = std::fabs(turn);
       if (magnitude <= lo * Real{1.01L} || magnitude >= hi * Real{0.99L}) {
         continue;
@@ -191,6 +225,12 @@ Fleet build_fuzz_fleet(const FuzzInstance& instance) {
       case FleetKind::kUniformOffset:
         return UniformOffsetZigzag(instance.n, instance.f)
             .build_fleet(instance.extent);
+      case FleetKind::kAnalyticZigzag:
+        // The same A(n, f) curves as kProportional, but on the analytic
+        // backend with an unbounded horizon — every oracle downstream
+        // must work through windowed queries only.
+        return ProportionalAlgorithm(instance.n, instance.f)
+            .build_unbounded_fleet();
     }
     throw PreconditionError("build_fuzz_fleet: unknown kind");
   }();
@@ -231,6 +271,12 @@ Subject make_subject(const FuzzInstance& instance, const Fleet& fleet) {
       if (theory) subject.theory_cr = *theory;
       break;
     }
+    case FleetKind::kAnalyticZigzag:
+      // Genuinely proportional, but the structural re-derivation needs a
+      // materialized waypoint list, which the unbounded backend refuses;
+      // the dense-vs-analytic differential covers the structure instead.
+      subject.theory_cr = algorithm_cr(instance.n, instance.f);
+      break;
     case FleetKind::kCustomCone:
     case FleetKind::kUniformOffset:
       break;
@@ -281,6 +327,11 @@ FuzzOutcome run_instance(const FuzzInstance& instance) {
       try {
         outcome.differentials =
             run_differentials(fleet, instance.f, eval, instance.targets);
+        if (const std::unique_ptr<SearchStrategy> strategy =
+                make_fuzz_strategy(instance)) {
+          outcome.differentials.push_back(diff_dense_vs_analytic(
+              *strategy, instance.extent, instance.f, eval));
+        }
       } catch (const Error& error) {
         DifferentialResult failed;
         failed.name = "differential-exception";
@@ -313,7 +364,8 @@ void clamp_faults(FuzzInstance& instance) {
   instance.f = std::max(instance.f, 0);
   if (instance.n < 2) instance.mirrored = false;
   if (instance.kind == FleetKind::kProportional ||
-      instance.kind == FleetKind::kUniformOffset) {
+      instance.kind == FleetKind::kUniformOffset ||
+      instance.kind == FleetKind::kAnalyticZigzag) {
     instance.beta = optimal_beta(instance.n, instance.f);
   }
 }
@@ -351,7 +403,7 @@ std::vector<FuzzInstance> shrink_moves(const FuzzInstance& instance) {
   }
 
   Real extent_floor = 4;
-  if (instance.kind == FleetKind::kCustomCone) {
+  if (instance.kind == FleetKind::kCustomCone || regime_kind(instance.kind)) {
     const Real kappa2 =
         expansion_factor(instance.beta) * expansion_factor(instance.beta);
     extent_floor = std::max(extent_floor, kappa2 * Real{1.25L});

@@ -60,6 +60,7 @@ enum class FleetKind {
   kGroupDoubling,   ///< all robots on one cone-doubling zig-zag
   kClassicCowPath,  ///< non-cone Beck/Bellman doubling (optionally mirrored)
   kUniformOffset,   ///< arithmetic first-turn spread (ablation foil)
+  kAnalyticZigzag,  ///< A(n, f) on the analytic (unbounded) backend
 };
 
 /// Deliberate corruptions for testing the oracles and the shrinker.

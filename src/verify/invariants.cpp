@@ -108,8 +108,17 @@ InvariantResult check_cone_containment(const Subject& subject,
   Real worst = 0;
   RobotId worst_robot = 0;
   Real worst_position = 0;
+  // Unbounded (analytic) backends have no full waypoint list; a 64-entry
+  // prefix covers every head waypoint plus dozens of ladder rungs — the
+  // cone constraint is scale-invariant along the ladder, so if any rung
+  // escaped, the first ones would.
+  constexpr std::size_t kUnboundedPrefix = 64;
   for (RobotId id = 0; id < fleet.size(); ++id) {
-    for (const Waypoint& w : fleet.robot(id).waypoints()) {
+    const Trajectory& robot = fleet.robot(id);
+    const std::vector<Waypoint> prefix =
+        robot.unbounded() ? robot.waypoint_prefix(kUnboundedPrefix)
+                          : robot.waypoints();
+    for (const Waypoint& w : prefix) {
       // Mirror sim/zigzag's within_cone slack exactly.
       const Real boundary = beta * std::fabs(w.position);
       const Real violation =

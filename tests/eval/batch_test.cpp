@@ -285,5 +285,24 @@ TEST(KProfileBatch, EmptyPositionsYieldEmptyProfile) {
   EXPECT_TRUE(k_profile_batch(fleet, 1, {}, {.threads = 8}).empty());
 }
 
+TEST(VisitCache, RobotsSharingABackendShareMemoSlots) {
+  // GroupDoubling's analytic build hands ONE AnalyticZigzag object to all
+  // n robots, so the cache collapses them to a single memo slot: the
+  // first robot's miss is every other robot's hit.
+  const GroupDoubling pack(4, 1);
+  const Fleet analytic = pack.build_unbounded_fleet();
+  const FleetVisitCache cache(analytic);
+  EXPECT_EQ(cache.slot_count(), 1u);
+  (void)cache.detection_time(3.0L, 1);
+  EXPECT_EQ(cache.misses(), 1u);                      // robot 0 computed...
+  EXPECT_EQ(cache.hits(), analytic.size() - 1);       // ...the rest reused
+  const Real direct = analytic.detection_time(3.0L, 1);
+  EXPECT_TRUE(bit_identical(direct, cache.detection_time(3.0L, 1)));
+
+  // Dense builds materialize per-robot copies: one slot per robot.
+  const Fleet dense = pack.build_fleet(200);
+  EXPECT_EQ(FleetVisitCache(dense).slot_count(), dense.size());
+}
+
 }  // namespace
 }  // namespace linesearch

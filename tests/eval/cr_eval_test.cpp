@@ -9,9 +9,12 @@
 #include "core/baselines.hpp"
 #include "core/competitive.hpp"
 #include "util/error.hpp"
+#include "verify/invariants.hpp"
 
 namespace linesearch {
 namespace {
+
+using verify::value_identical;
 
 TEST(MeasureCr, TwoGroupSplitIsExactlyOne) {
   const TwoGroupSplit split(4, 1);
@@ -181,6 +184,66 @@ TEST(KProfile, Lemma3ShapeDecreasingBetweenTurns) {
   for (std::size_t i = 1; i < profile.size(); ++i) {
     EXPECT_LT(profile[i], profile[i - 1] + 1e-12L);
   }
+}
+
+TEST(ProbeMagnitudes, ExactCollisionsAreDeduplicated) {
+  // Regression: engineer a fleet whose interior sample bit-collides with
+  // a turning point's right-limit probe.  With turns at a = 1 and
+  // b = 1 + 2*(fl(1*(1+eps)) - 1), one interior sample lands at
+  // a + (b-a)/2 == fl(a*(1+eps)) exactly (all steps are exact in binary
+  // arithmetic), which the pre-fix scan pushed twice.
+  const Real a = 1;
+  const Real just_past = a * (1 + tol::kLimitProbe);
+  const Real b = a + 2 * (just_past - a);
+  ASSERT_TRUE(value_identical(a + (b - a) / 2, just_past));
+
+  TrajectoryBuilder builder;
+  builder.start_at(0, 0);
+  builder.move_to(a);   // turn at +1
+  builder.move_to(-1);  // turn at -1
+  builder.move_to(b);   // turn at +b (2e-9 above +1: outside approx-dedup)
+  builder.move_to(-8);
+  builder.move_to(8);   // final waypoint, not a turn
+  const Fleet fleet(std::vector<Trajectory>{std::move(builder).build()});
+
+  const CrEvalOptions options{
+      .window_lo = 0.5L, .window_hi = 4, .interior_samples = 1};
+  const std::vector<Real> probes =
+      detail::probe_magnitudes(fleet, +1, options);
+  int hits = 0;
+  for (const Real probe : probes) {
+    if (value_identical(probe, just_past)) ++hits;
+  }
+  EXPECT_EQ(hits, 1) << "right-limit probe duplicated";
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    for (std::size_t j = i + 1; j < probes.size(); ++j) {
+      EXPECT_FALSE(value_identical(probes[i], probes[j]))
+          << "duplicate probe " << static_cast<double>(probes[i]);
+    }
+  }
+}
+
+TEST(MeasureCr, ArgmaxTieBreakPrefersPositiveSide) {
+  // Two exactly mirrored robots: T_1(x) == T_1(-x) bit for bit, so the
+  // two half-lines tie on every probe.  The pinned rule says the positive
+  // witness wins, regardless of side evaluation order.
+  std::vector<Trajectory> robots;
+  for (const int sign : {+1, -1}) {
+    TrajectoryBuilder builder;
+    builder.start_at(0, 0);
+    Real turn = static_cast<Real>(sign);
+    for (int i = 0; i < 8; ++i) {
+      builder.move_to(turn);
+      builder.move_to(-turn);
+      turn *= 2;
+    }
+    robots.push_back(std::move(builder).build());
+  }
+  const Fleet fleet(std::move(robots));
+  const CrEvalResult result = measure_cr(fleet, 0, {.window_hi = 16});
+  ASSERT_TRUE(value_identical(result.cr_positive, result.cr_negative));
+  EXPECT_GT(result.argmax, 0.0L);
+  EXPECT_TRUE(value_identical(result.cr, result.cr_positive));
 }
 
 }  // namespace

@@ -1,0 +1,197 @@
+// Tests for sim/schedule.hpp + sim/analytic.hpp — the trajectory backend
+// layer: DenseSchedule (materialized waypoints) vs AnalyticZigzag /
+// AnalyticRay (closed-form, unbounded horizon).
+#include "sim/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "sim/analytic.hpp"
+#include "sim/trajectory.hpp"
+#include "sim/zigzag.hpp"
+#include "util/error.hpp"
+#include "verify/invariants.hpp"
+
+namespace linesearch {
+namespace {
+
+using verify::value_identical;
+
+AnalyticZigzagSpec origin_doubling_spec() {
+  // The classic cow-path: (0,0) -> (1,1), then x_{k+1} = -2 x_k.
+  AnalyticZigzagSpec spec;
+  spec.head = {{0, 0}, {1, 1}};
+  spec.kappa = 2;
+  return spec;
+}
+
+TEST(DenseSchedule, CachesTurningWaypointsAsConstRef) {
+  const Trajectory robot =
+      make_origin_zigzag({.beta = 3, .first_turn = 1, .min_coverage = 32});
+  const std::vector<Waypoint>& first = robot.turning_waypoints();
+  const std::vector<Waypoint>& second = robot.turning_waypoints();
+  // Satellite: the turn list is computed once at construction and the
+  // accessor returns the SAME cached vector, not a fresh copy.
+  EXPECT_EQ(&first, &second);
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first.front().position, 1.0L);
+}
+
+TEST(AnalyticZigzag, IsUnboundedWithInfiniteHorizon) {
+  const AnalyticZigzag schedule(origin_doubling_spec());
+  EXPECT_TRUE(schedule.unbounded());
+  EXPECT_EQ(schedule.waypoint_count(), kUnboundedCount);
+  EXPECT_TRUE(std::isinf(schedule.end_time()));
+  EXPECT_TRUE(std::isinf(schedule.max_abs_position()));
+}
+
+TEST(AnalyticZigzag, UncappedQueriesThrowOnUnbounded) {
+  const AnalyticZigzag schedule(origin_doubling_spec());
+  EXPECT_THROW((void)schedule.waypoints(), PreconditionError);
+  EXPECT_THROW((void)schedule.turning_waypoints(), PreconditionError);
+  EXPECT_THROW((void)schedule.visit_times(1, kUnboundedCount),
+               PreconditionError);
+}
+
+TEST(AnalyticZigzag, PrefixMatchesDenseCowPathBitForBit) {
+  const AnalyticZigzag analytic(origin_doubling_spec());
+  // Dense reference: same curve, built with TrajectoryBuilder.
+  TrajectoryBuilder builder;
+  builder.start_at(0, 0);
+  Real turn = 1;
+  for (int i = 0; i < 20; ++i) {
+    builder.move_to(turn);
+    turn *= -2;
+  }
+  const Trajectory dense = std::move(builder).build();
+  const std::vector<Waypoint> prefix = analytic.waypoint_prefix(21);
+  ASSERT_EQ(prefix.size(), 21u);
+  const std::vector<Waypoint>& reference = dense.waypoints();
+  for (std::size_t i = 0; i < prefix.size(); ++i) {
+    EXPECT_TRUE(value_identical(prefix[i].time, reference[i].time)) << i;
+    EXPECT_TRUE(value_identical(prefix[i].position, reference[i].position))
+        << i;
+  }
+}
+
+TEST(AnalyticZigzag, PositionAtAgreesWithDenseSemantics) {
+  const AnalyticZigzag analytic(origin_doubling_spec());
+  TrajectoryBuilder builder;
+  builder.start_at(0, 0);
+  Real turn = 1;
+  for (int i = 0; i < 12; ++i) {
+    builder.move_to(turn);
+    turn *= -2;
+  }
+  const Trajectory dense = std::move(builder).build();
+  for (const Real t : {0.0L, 0.25L, 1.0L, 2.5L, 3.0L, 7.0L, 100.0L,
+                       1000.0L}) {
+    if (t > dense.end_time()) break;
+    EXPECT_TRUE(value_identical(analytic.position_at(t),
+                                dense.position_at(t)))
+        << "t=" << static_cast<double>(t);
+  }
+  // Outside the span the query is rejected, exactly like the dense
+  // backend.
+  EXPECT_THROW((void)analytic.position_at(-1), PreconditionError);
+}
+
+TEST(AnalyticZigzag, VisitTimesStreamOnDemand) {
+  const AnalyticZigzag analytic(origin_doubling_spec());
+  // x = +1 is visited on every positive leg; times must be increasing and
+  // available far past any fixed horizon.
+  const std::vector<Real> visits = analytic.visit_times(1, 8);
+  ASSERT_EQ(visits.size(), 8u);
+  for (std::size_t i = 1; i < visits.size(); ++i) {
+    EXPECT_GT(visits[i], visits[i - 1]);
+  }
+  EXPECT_EQ(visits.front(), 1.0L);  // (0,0) -> (1,1) arrives at t = 1
+}
+
+TEST(AnalyticZigzag, WindowedTurnQueriesAreFinite) {
+  const AnalyticZigzag analytic(origin_doubling_spec());
+  // Positive turns: 1, 4, 16, ... (every other ladder rung).
+  const std::vector<Real> turns = analytic.turning_magnitudes_in(+1, 1, 20);
+  ASSERT_EQ(turns.size(), 3u);
+  EXPECT_EQ(turns[0], 1.0L);
+  EXPECT_EQ(turns[1], 4.0L);
+  EXPECT_EQ(turns[2], 16.0L);
+  const std::vector<Real> negative =
+      analytic.turning_magnitudes_in(-1, 1, 20);
+  ASSERT_EQ(negative.size(), 2u);
+  EXPECT_EQ(negative[0], 2.0L);
+  EXPECT_EQ(negative[1], 8.0L);
+}
+
+TEST(AnalyticZigzag, BarrierModeMaterializesFiniteSchedule) {
+  AnalyticZigzagSpec spec = origin_doubling_spec();
+  spec.barrier = 10;
+  const AnalyticZigzag bounded(spec);
+  EXPECT_FALSE(bounded.unbounded());
+  EXPECT_LT(bounded.waypoint_count(), kUnboundedCount);
+  // Ladder 1, -2, 4, -8; next (+16) would overshoot 10, so the robot
+  // sweeps to +10 and back to -10 and stops.
+  const std::vector<Waypoint>& waypoints = bounded.waypoints();
+  EXPECT_EQ(waypoints.back().position, -10.0L);
+  EXPECT_EQ(waypoints[waypoints.size() - 2].position, 10.0L);
+  EXPECT_FALSE(std::isinf(bounded.end_time()));
+  EXPECT_EQ(bounded.max_abs_position(), 10.0L);
+}
+
+TEST(AnalyticZigzag, FootprintIsIndependentOfQueryReach) {
+  const AnalyticZigzag analytic(origin_doubling_spec());
+  const std::size_t before = analytic.footprint_bytes();
+  (void)analytic.turning_magnitudes_in(+1, 1, 1e18L);
+  (void)analytic.visit_times(1, 32);
+  EXPECT_EQ(analytic.footprint_bytes(), before);
+  // A dense build covering the same reach would hold ~60 waypoints of
+  // ladder; the analytic state is just the two-waypoint head + scalars.
+  EXPECT_LT(before, 512u);
+}
+
+TEST(AnalyticRay, ClosedFormVisitAndPosition) {
+  const AnalyticRay right(+1);
+  EXPECT_EQ(right.position_at(3), 3.0L);
+  const std::vector<Real> visit = right.visit_times(5, 4);
+  ASSERT_EQ(visit.size(), 1u);  // a ray visits each point exactly once
+  EXPECT_EQ(visit.front(), 5.0L);
+  EXPECT_TRUE(right.visit_times(-5, 4).empty());  // wrong side: never
+  const AnalyticRay left(-1);
+  EXPECT_EQ(left.position_at(3), -3.0L);
+  EXPECT_TRUE(left.turning_magnitudes_in(+1, 0, 100).empty());
+  EXPECT_TRUE(left.turning_magnitudes_in(-1, 0, 100).empty());
+}
+
+TEST(Trajectory, WrapsBackendsPolymorphically) {
+  const Trajectory dense =
+      make_origin_zigzag({.beta = 3, .first_turn = 1, .min_coverage = 16});
+  EXPECT_FALSE(dense.unbounded());
+  EXPECT_EQ(dense.source().backend_name(), "dense");
+
+  const Trajectory analytic =
+      make_analytic_origin_zigzag({.beta = 3, .first_turn = 1});
+  EXPECT_TRUE(analytic.unbounded());
+  EXPECT_EQ(analytic.source().backend_name(), "analytic-zigzag");
+  EXPECT_EQ(analytic.segment_count(), kUnboundedCount);
+
+  // Copies share the immutable backend instead of re-validating it.
+  const Trajectory copy = analytic;  // NOLINT(performance-unnecessary-copy-initialization)
+  EXPECT_EQ(copy.source_ptr().get(), analytic.source_ptr().get());
+}
+
+TEST(AnalyticZigzag, RejectsInvalidSpecs) {
+  EXPECT_THROW(AnalyticZigzag({.head = {}, .kappa = 2}), PreconditionError);
+  EXPECT_THROW(AnalyticZigzag({.head = {{0, 0}}, .kappa = 2}),
+               PreconditionError);  // zero seed position
+  EXPECT_THROW(AnalyticZigzag({.head = {{0, 0}, {1, 1}}, .kappa = 1}),
+               PreconditionError);  // kappa must exceed 1
+  EXPECT_THROW(
+      AnalyticZigzag({.head = {{0, 0}, {1, 1}}, .kappa = 2, .barrier = 0.5L}),
+      PreconditionError);  // barrier inside the seed magnitude
+  EXPECT_THROW(AnalyticRay(0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace linesearch

@@ -17,7 +17,7 @@ Trajectory simple_zigzag() {
 }
 
 TEST(TrajectoryCtor, RejectsEmptyWaypointList) {
-  EXPECT_THROW(Trajectory({}), PreconditionError);
+  EXPECT_THROW(Trajectory(std::vector<Waypoint>{}), PreconditionError);
 }
 
 TEST(TrajectoryCtor, RejectsNonIncreasingTime) {
