@@ -5,14 +5,11 @@
 // (no discretization) that all reproductions run on.
 #include <benchmark/benchmark.h>
 
-#include <chrono>
 #include <cmath>
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
-
-#include "util/jsonio.hpp"
 
 #include "adversary/game.hpp"
 #include "adversary/placements.hpp"
@@ -23,6 +20,7 @@
 #include "eval/cr_eval.hpp"
 #include "eval/exact.hpp"
 #include "eval/visit_cache.hpp"
+#include "obs/perf_report.hpp"
 #include "runtime/world.hpp"
 #include "sim/serialize.hpp"
 #include "sim/zigzag.hpp"
@@ -240,139 +238,6 @@ void BM_StarDetection(benchmark::State& state) {
 }
 BENCHMARK(BM_StarDetection)->Arg(3)->Arg(5);
 
-/// Machine-readable artifact for CI: a few representative workloads
-/// timed with steady_clock plus DETERMINISTIC checksums (sums of cr and
-/// argmax over the dense job grid), so regressions in either wall-clock
-/// or results show up as a JSON diff.  `--timings-only` skips the
-/// google-benchmark suite and emits only this file — cheap enough to run
-/// on every CI push.
-void write_perf_json(const std::string& path) {
-  using Clock = std::chrono::steady_clock;
-  const auto millis_since = [](const Clock::time_point start) {
-    return std::chrono::duration<double, std::milli>(Clock::now() - start)
-        .count();
-  };
-
-  const ProportionalAlgorithm algo(7, 4);
-  const Fleet fleet = algo.build_fleet(2000);
-  const std::vector<CrBatchJob> jobs = dense_cr_jobs(fleet);
-
-  const auto checksum = [](const std::vector<CrEvalResult>& results) {
-    Real sum = 0;
-    for (const CrEvalResult& r : results) sum += r.cr + r.argmax;
-    return sum;
-  };
-
-  const auto serial_start = Clock::now();
-  const std::vector<CrEvalResult> serial =
-      measure_cr_batch(jobs, {.threads = 1});
-  const double serial_ms = millis_since(serial_start);
-
-  const auto parallel_start = Clock::now();
-  const std::vector<CrEvalResult> parallel =
-      measure_cr_batch(jobs, {.threads = 0});
-  const double parallel_ms = millis_since(parallel_start);
-
-  bool identical = serial.size() == parallel.size();
-  for (std::size_t i = 0; identical && i < serial.size(); ++i) {
-    identical = serial[i].cr == parallel[i].cr &&
-                serial[i].argmax == parallel[i].argmax;
-  }
-
-  const auto certified_start = Clock::now();
-  const ExactCrResult certified = certified_cr(fleet, 4, {.window_hi = 32});
-  const double certified_ms = millis_since(certified_start);
-
-  const Real alpha = comfortable_alpha(3, 0.8L);
-  const Fleet game_fleet =
-      ProportionalAlgorithm(3, 1).build_fleet(largest_placement(alpha) * 4);
-  const auto game_start = Clock::now();
-  const GameResult game = play_theorem2_game(game_fleet, 1, alpha);
-  const double game_ms = millis_since(game_start);
-
-  // analytic_sweep: the same A(12, 11) schedule built dense (waypoints
-  // materialized out to 4 * 2^20) and analytic (O(1) closed-form state),
-  // then evaluated over window_hi = 2^20.  Checksums must agree bit for
-  // bit; the build-time and footprint ratios are the headline wins of
-  // the analytic backend layer.  Builds are timed over many iterations
-  // because a single build is below clock resolution.
-  const ProportionalAlgorithm wide(12, 11);
-  constexpr Real kSweepWindowHi = 1048576;  // 2^20 (power of two: exact)
-  constexpr int kBuildReps = 512;
-
-  const auto dense_build_start = Clock::now();
-  for (int rep = 0; rep < kBuildReps - 1; ++rep) {
-    benchmark::DoNotOptimize(wide.build_fleet(4 * kSweepWindowHi));
-  }
-  const Fleet wide_dense = wide.build_fleet(4 * kSweepWindowHi);
-  const double dense_build_ms = millis_since(dense_build_start);
-
-  const auto analytic_build_start = Clock::now();
-  for (int rep = 0; rep < kBuildReps - 1; ++rep) {
-    benchmark::DoNotOptimize(wide.build_unbounded_fleet());
-  }
-  const Fleet wide_analytic = wide.build_unbounded_fleet();
-  const double analytic_build_ms = millis_since(analytic_build_start);
-
-  const auto footprint = [](const Fleet& swept) {
-    std::size_t bytes = 0;
-    for (RobotId id = 0; id < swept.size(); ++id) {
-      bytes += swept.robot(id).source().footprint_bytes();
-    }
-    return bytes;
-  };
-
-  const CrEvalOptions sweep_options{.window_hi = kSweepWindowHi};
-  const auto dense_sweep_start = Clock::now();
-  const CrEvalResult dense_sweep = measure_cr(wide_dense, 11, sweep_options);
-  const double dense_sweep_ms = millis_since(dense_sweep_start);
-  const auto analytic_sweep_start = Clock::now();
-  const CrEvalResult analytic_sweep =
-      measure_cr(wide_analytic, 11, sweep_options);
-  const double analytic_sweep_ms = millis_since(analytic_sweep_start);
-  const bool sweep_identical =
-      dense_sweep.cr == analytic_sweep.cr &&
-      dense_sweep.argmax == analytic_sweep.argmax;
-
-  std::ofstream out(path);
-  JsonWriter json(out);
-  json.begin_object();
-  json.field("schema", "linesearch-bench-perf/1");
-  json.field("threads", static_cast<int>(resolve_thread_count(0)));
-  json.key("workloads").begin_array();
-
-  const auto workload = [&json](const char* name, const double ms,
-                                const Real value) {
-    json.begin_object();
-    json.field("name", name);
-    json.field("millis", static_cast<Real>(ms));
-    json.field("checksum", value);
-    json.end_object();
-  };
-  workload("dense_cr_sweep_serial", serial_ms, checksum(serial));
-  workload("dense_cr_sweep_parallel", parallel_ms, checksum(parallel));
-  workload("certified_cr_a74", certified_ms, certified.cr);
-  workload("theorem2_game_a31", game_ms, game.forced_ratio);
-  workload("analytic_sweep_dense", dense_sweep_ms,
-           dense_sweep.cr + dense_sweep.argmax);
-  workload("analytic_sweep_analytic", analytic_sweep_ms,
-           analytic_sweep.cr + analytic_sweep.argmax);
-  json.end_array();
-  json.field("parallel_identical_to_serial", identical);
-  json.key("analytic_sweep").begin_object();
-  json.field("window_hi", kSweepWindowHi);
-  json.field("build_reps", kBuildReps);
-  json.field("dense_build_millis", static_cast<Real>(dense_build_ms));
-  json.field("analytic_build_millis", static_cast<Real>(analytic_build_ms));
-  json.field("dense_footprint_bytes",
-             static_cast<Real>(footprint(wide_dense)));
-  json.field("analytic_footprint_bytes",
-             static_cast<Real>(footprint(wide_analytic)));
-  json.field("analytic_identical_to_dense", sweep_identical);
-  json.end_object();
-  json.end_object();
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -400,7 +265,11 @@ int main(int argc, char** argv) {
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
   }
-  write_perf_json(json_path);
+  // The JSON artifact lives in the library (obs/perf_report) so tests
+  // can pin its schema; --timings-only genuinely skips the checksum
+  // workloads there (it used to run them all regardless of the flag).
+  std::ofstream out(json_path);
+  obs::write_perf_report(out, {.timings_only = timings_only});
   std::cerr << "wrote " << json_path << '\n';
   return 0;
 }

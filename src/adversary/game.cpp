@@ -5,6 +5,8 @@
 
 #include "adversary/placements.hpp"
 #include "core/lower_bound.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/faults.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
@@ -14,6 +16,8 @@ namespace linesearch {
 GameResult play_theorem2_game(const Fleet& fleet, const int f,
                               const Real alpha, const GameOptions& options) {
   expects(f >= 0, "game: f must be >= 0");
+  LS_OBS_SPAN("adversary.game.play");
+  LS_OBS_COUNT("adversary.game.rounds", 1);
   const int n = static_cast<int>(fleet.size());
   const std::vector<Real> magnitudes = adversary_placements(n, alpha);
 
@@ -53,6 +57,10 @@ GameResult play_theorem2_game(const Fleet& fleet, const int f,
       },
       options.threads);
 
+  LS_OBS_COUNT("adversary.game.placements", outcomes.size());
+  LS_OBS_OBSERVE("adversary.game.placements_per_round", outcomes.size(),
+                 {8, 16, 32, 64, 128});
+
   GameResult result;
   result.forced_ratio = 0;
   bool first = true;
@@ -61,6 +69,10 @@ GameResult play_theorem2_game(const Fleet& fleet, const int f,
       result.forced_ratio = outcome.ratio;
       result.best = outcome;
       first = false;
+    } else if (outcome.ratio == result.forced_ratio) {
+      // First-wins tie: a later placement matched the forced ratio but
+      // did not displace the witness (the determinism-sensitive branch).
+      LS_OBS_COUNT("adversary.game.tie_breaks", 1);
     }
     if (options.keep_outcomes) result.outcomes.push_back(std::move(outcome));
   }

@@ -5,6 +5,8 @@
 #include <memory>
 
 #include "eval/visit_cache.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 
@@ -33,7 +35,10 @@ std::vector<CrEvalResult> measure_cr_batch(const std::vector<CrBatchJob>& jobs,
   for (const CrBatchJob& job : jobs) {
     expects(job.fleet != nullptr, "measure_cr_batch: null fleet in job");
   }
+  LS_OBS_SPAN("eval.batch.run");
+  LS_OBS_COUNT("eval.batch.jobs", jobs.size());
   const CacheMap caches = batch.use_cache ? build_caches(jobs) : CacheMap{};
+  LS_OBS_COUNT("eval.batch.cached_fleets", caches.size());
 
   return parallel_map(
       jobs.size(),

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace linesearch {
@@ -72,10 +74,15 @@ CrEvalResult measure_cr_with(const Fleet& fleet, const int f,
   expects(options.window_lo > 0, "measure_cr: window_lo must be positive");
   expects(options.window_hi > options.window_lo,
           "measure_cr: window_hi must exceed window_lo");
+  LS_OBS_SPAN("eval.cr.scan");
 
   CrEvalResult result;
   Real pos_best_x = 0;
   Real neg_best_x = 0;
+  // Counters are accumulated locally and recorded once per scan below:
+  // per-probe relaxed adds are cheap but not free, and this loop is the
+  // library's hottest (the sums are identical either way).
+  std::uint64_t refinements = 0;
   for (const int side : {+1, -1}) {
     Real best = 0;
     Real best_x = 0;
@@ -100,6 +107,7 @@ CrEvalResult measure_cr_with(const Fleet& fleet, const int f,
       if (ratio > best) {
         best = ratio;
         best_x = x;
+        ++refinements;
       }
     }
     // A half-line where NO probe is ever detected has sup K = infinity
@@ -127,6 +135,11 @@ CrEvalResult measure_cr_with(const Fleet& fleet, const int f,
     result.cr = result.cr_positive;
     result.argmax = pos_best_x;
   }
+  LS_OBS_COUNT("eval.cr.probes", result.probes);
+  LS_OBS_COUNT("eval.cr.undetected_probes", result.undetected_probes);
+  LS_OBS_COUNT("eval.cr.supremum_refinements", refinements);
+  LS_OBS_OBSERVE("eval.cr.probes_per_scan", result.probes,
+                 {16, 64, 256, 1024, 4096});
   return result;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <optional>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace linesearch::detail {
@@ -30,6 +31,7 @@ std::vector<Real> critical_magnitudes(const Fleet& fleet, const int side,
   std::sort(criticals.begin(), criticals.end());
   criticals.erase(std::unique(criticals.begin(), criticals.end()),
                   criticals.end());
+  LS_OBS_COUNT("eval.interval_lines.critical_magnitudes", criticals.size());
   return criticals;
 }
 
@@ -53,6 +55,9 @@ std::vector<VisitLine> visit_lines(const Fleet& fleet, const int side,
     }
     lines.push_back(line);
   }
+  // One interval-line segment per robot per inter-critical interval: the
+  // certified evaluator's unit of work (Theorem-1-style decomposition).
+  LS_OBS_COUNT("eval.interval_lines.segments", lines.size());
   return lines;
 }
 
@@ -94,6 +99,7 @@ std::vector<Real> line_crossings(const std::vector<VisitLine>& lines,
       if (cross > a && cross < b) crossings.push_back(cross);
     }
   }
+  LS_OBS_COUNT("eval.interval_lines.crossings", crossings.size());
   return crossings;
 }
 

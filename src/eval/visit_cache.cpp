@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "analysis/stats.hpp"
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace linesearch {
@@ -19,6 +20,7 @@ FleetVisitCache::FleetVisitCache(const Fleet& fleet)
     slot_of_[id] = it->second;
   }
   stripes_ = std::vector<Stripe>(slots.size() * kStripes);
+  slot_lookups_ = std::vector<std::atomic<std::size_t>>(slots.size());
 }
 
 std::uint64_t FleetVisitCache::quantize(const Real x) noexcept {
@@ -43,14 +45,25 @@ FleetVisitCache::Stripe& FleetVisitCache::stripe_for(
 }
 
 Real FleetVisitCache::first_visit(const RobotId id, const Real x) const {
+  LS_OBS_COUNT("eval.visit_cache.lookups", 1);
+  return lookup_impl(id, x);
+}
+
+Real FleetVisitCache::lookup_impl(const RobotId id, const Real x) const {
   const std::uint64_t key = quantize(x);
   Stripe& stripe = stripe_for(id, key);
+  slot_lookups_[slot_of_[id]].fetch_add(1, std::memory_order_relaxed);
   {
     const std::lock_guard<std::mutex> lock(stripe.mutex);
     const auto it = stripe.map.find(key);
-    if (it != stripe.map.end() && it->second.x == x) {
-      hits_.fetch_add(1, std::memory_order_relaxed);
-      return it->second.time;
+    if (it != stripe.map.end()) {
+      if (it->second.x == x) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return it->second.time;
+      }
+      // Quantization collision: a DIFFERENT exact position owns the key;
+      // this probe bypasses the cache permanently.
+      LS_OBS_COUNT("eval.visit_cache.collision_bypasses", 1);
     }
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
@@ -60,7 +73,9 @@ Real FleetVisitCache::first_visit(const RobotId id, const Real x) const {
     const std::lock_guard<std::mutex> lock(stripe.mutex);
     // try_emplace keeps the first entry on a quantization collision; the
     // colliding position simply stays uncached (exactness over hit rate).
-    stripe.map.try_emplace(key, Entry{x, time});
+    const auto [it, inserted] = stripe.map.try_emplace(key, Entry{x, time});
+    (void)it;
+    if (inserted) LS_OBS_COUNT("eval.visit_cache.inserts", 1);
   }
   return time;
 }
@@ -71,12 +86,50 @@ Real FleetVisitCache::detection_time(const Real x, const int faults) const {
   expects(faults >= 0, "detection_time: faults must be >= 0");
   const auto k = static_cast<std::size_t>(faults);
   if (k >= fleet_.size()) return kInfinity;
+  // One batched metric add for the whole query (lookup totals are
+  // identical to per-robot counting; the hot path stays lean).
+  LS_OBS_COUNT("eval.visit_cache.lookups", fleet_.size());
   std::vector<Real> times;
   times.reserve(fleet_.size());
   for (RobotId id = 0; id < fleet_.size(); ++id) {
-    times.push_back(first_visit(id, x));
+    times.push_back(lookup_impl(id, x));
   }
   return kth_smallest(std::move(times), k);
+}
+
+std::size_t FleetVisitCache::CacheStats::lookups() const noexcept {
+  std::size_t total = 0;
+  for (const SlotStats& slot : slots) total += slot.lookups;
+  return total;
+}
+
+std::size_t FleetVisitCache::CacheStats::entries() const noexcept {
+  std::size_t total = 0;
+  for (const SlotStats& slot : slots) total += slot.entries;
+  return total;
+}
+
+std::size_t FleetVisitCache::CacheStats::hits() const noexcept {
+  std::size_t total = 0;
+  for (const SlotStats& slot : slots) total += slot.hits();
+  return total;
+}
+
+FleetVisitCache::CacheStats FleetVisitCache::stats() const {
+  CacheStats out;
+  out.slots.resize(slot_lookups_.size());
+  for (std::size_t slot = 0; slot < out.slots.size(); ++slot) {
+    out.slots[slot].lookups =
+        slot_lookups_[slot].load(std::memory_order_relaxed);
+    std::size_t entries = 0;
+    for (std::size_t s = 0; s < kStripes; ++s) {
+      Stripe& stripe = stripes_[slot * kStripes + s];
+      const std::lock_guard<std::mutex> lock(stripe.mutex);
+      entries += stripe.map.size();
+    }
+    out.slots[slot].entries = entries;
+  }
+  return out;
 }
 
 void FleetVisitCache::warm(const std::vector<Real>& positions) const {

@@ -60,12 +60,35 @@ class FleetVisitCache {
   void warm(const std::vector<Real>& positions) const;
 
   /// Lookup statistics (approximate under concurrency; for tests/benches).
+  /// Under a concurrent workload two workers may both miss on the same
+  /// key before either inserts, so hits()/misses() can differ slightly
+  /// between thread counts; use stats() for the deterministic accounting.
   [[nodiscard]] std::size_t hits() const noexcept {
     return hits_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::size_t misses() const noexcept {
     return misses_.load(std::memory_order_relaxed);
   }
+
+  /// Deterministic per-slot accounting: every quantity below is a pure
+  /// function of the query multiset, bit-identical for any thread count.
+  /// `hits()` is DERIVED (lookups - entries): with no quantization
+  /// collisions it equals the serial hit count exactly, and unlike the
+  /// racy counters above it cannot be skewed by concurrent double-misses.
+  struct SlotStats {
+    std::size_t lookups = 0;  ///< first_visit calls routed to this slot
+    std::size_t entries = 0;  ///< distinct memoized keys in the slot
+    [[nodiscard]] std::size_t hits() const noexcept {
+      return lookups > entries ? lookups - entries : 0;
+    }
+  };
+  struct CacheStats {
+    std::vector<SlotStats> slots;  ///< one per schedule backend slot
+    [[nodiscard]] std::size_t lookups() const noexcept;
+    [[nodiscard]] std::size_t entries() const noexcept;
+    [[nodiscard]] std::size_t hits() const noexcept;
+  };
+  [[nodiscard]] CacheStats stats() const;
 
   /// Number of DISTINCT schedule backends in the fleet (== number of memo
   /// slots).  Less than fleet().size() when robots share a backend.
@@ -88,6 +111,10 @@ class FleetVisitCache {
   [[nodiscard]] static std::uint64_t quantize(Real x) noexcept;
   [[nodiscard]] Stripe& stripe_for(RobotId id,
                                    std::uint64_t key) const noexcept;
+  /// first_visit without the aggregate lookup metric — detection_time
+  /// batches that one add per call instead of per robot (the memo-hit
+  /// path is hot enough for the difference to show up in bench_perf).
+  [[nodiscard]] Real lookup_impl(RobotId id, Real x) const;
 
   const Fleet& fleet_;
   /// Robot index -> memo slot; robots with the same ScheduleSource map to
@@ -98,6 +125,9 @@ class FleetVisitCache {
   mutable std::vector<Stripe> stripes_;
   mutable std::atomic<std::size_t> hits_{0};
   mutable std::atomic<std::size_t> misses_{0};
+  /// Per-slot lookup tally (deterministic: the query stream per slot is
+  /// fixed by the workload, however it is partitioned across threads).
+  mutable std::vector<std::atomic<std::size_t>> slot_lookups_;
 };
 
 }  // namespace linesearch

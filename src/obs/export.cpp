@@ -1,0 +1,62 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace linesearch::obs {
+
+void write_metrics_array(JsonWriter& json,
+                         const std::vector<MetricSnapshot>& snapshots) {
+  json.begin_array();
+  for (const MetricSnapshot& snap : snapshots) {
+    json.begin_object();
+    json.field("name", snap.name);
+    json.field("type", metric_type_name(snap.type));
+    json.field("deterministic", snap.deterministic);
+    json.field("value", snap.value);
+    if (snap.type == MetricType::kHistogram) {
+      json.field("count", snap.count);
+      json.field("sum", snap.sum);
+      json.key("bounds").begin_array();
+      for (const std::uint64_t bound : snap.bounds) json.value(bound);
+      json.end_array();
+      json.key("buckets").begin_array();
+      for (const std::uint64_t bucket : snap.buckets) json.value(bucket);
+      json.end_array();
+    }
+    json.end_object();
+  }
+  json.end_array();
+}
+
+void write_metrics_array(JsonWriter& json, const bool deterministic_only) {
+  std::vector<MetricSnapshot> snapshots = Registry::instance().snapshot();
+  if (deterministic_only) {
+    snapshots = deterministic_subset(std::move(snapshots));
+  }
+  write_metrics_array(json, snapshots);
+}
+
+std::string metrics_to_json(const bool deterministic_only) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.begin_object();
+  json.field("schema", "linesearch-metrics/1");
+  json.field("enabled", kEnabled);
+  json.key("metrics");
+  write_metrics_array(json, deterministic_only);
+  json.end_object();
+  return out.str();
+}
+
+std::vector<MetricSnapshot> deterministic_subset(
+    std::vector<MetricSnapshot> snapshots) {
+  snapshots.erase(std::remove_if(snapshots.begin(), snapshots.end(),
+                                 [](const MetricSnapshot& snap) {
+                                   return !snap.deterministic;
+                                 }),
+                  snapshots.end());
+  return snapshots;
+}
+
+}  // namespace linesearch::obs

@@ -1,0 +1,195 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace linesearch::obs {
+
+namespace {
+
+/// Thread-local pointer into Registry::sinks_ (the registry is a
+/// process-wide singleton, so one slot of TLS suffices).  Never freed:
+/// the registry owns the sink and outlives every recording thread.
+thread_local Registry::Sink* tl_sink = nullptr;
+
+}  // namespace
+
+const char* metric_type_name(const MetricType type) noexcept {
+  switch (type) {
+    case MetricType::kCounter: return "counter";
+    case MetricType::kGauge: return "gauge";
+    case MetricType::kHistogram: return "histogram";
+  }
+  return "unknown";
+}
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+MetricId Registry::register_metric(const std::string_view name,
+                                   const MetricType type,
+                                   const bool deterministic,
+                                   std::vector<std::uint64_t> bounds) {
+  expects(!name.empty(), "obs: metric name must be non-empty");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = by_name_.find(std::string(name));
+  if (it != by_name_.end()) {
+    const MetricDef& def = defs_[it->second];
+    expects(def.type == type && def.deterministic == deterministic &&
+                def.bounds == bounds,
+            "obs: metric re-registered with a different definition");
+    return it->second;
+  }
+  std::uint32_t slots = 1;
+  if (type == MetricType::kHistogram) {
+    expects(!bounds.empty(), "obs: histogram needs at least one bound");
+    expects(bounds.size() <= kMaxHistogramBounds,
+            "obs: too many histogram bounds");
+    expects(std::is_sorted(bounds.begin(), bounds.end()) &&
+                std::adjacent_find(bounds.begin(), bounds.end()) ==
+                    bounds.end(),
+            "obs: histogram bounds must be strictly increasing");
+    // bounds.size() buckets + overflow + count + sum
+    slots = static_cast<std::uint32_t>(bounds.size()) + 3;
+  }
+  expects(next_slot_ + slots <= kMaxSlots,
+          "obs: sink slot capacity exhausted (too many metrics)");
+  expects(defs_.size() < kMaxMetrics, "obs: metric capacity exhausted");
+  const auto id = static_cast<MetricId>(defs_.size());
+  HotDef& hot = hot_[id];
+  hot.first_slot = next_slot_;
+  hot.bound_count = static_cast<std::uint32_t>(bounds.size());
+  std::copy(bounds.begin(), bounds.end(), hot.bounds.begin());
+  defs_.push_back(MetricDef{std::string(name), type, deterministic,
+                            std::move(bounds), next_slot_, slots});
+  next_slot_ += slots;
+  by_name_.emplace(defs_.back().name, id);
+  return id;
+}
+
+MetricId Registry::counter(const std::string_view name,
+                           const bool deterministic) {
+  return register_metric(name, MetricType::kCounter, deterministic, {});
+}
+
+MetricId Registry::gauge(const std::string_view name) {
+  return register_metric(name, MetricType::kGauge, true, {});
+}
+
+MetricId Registry::histogram(const std::string_view name,
+                             std::vector<std::uint64_t> bounds) {
+  return register_metric(name, MetricType::kHistogram, true,
+                         std::move(bounds));
+}
+
+Registry::Sink& Registry::local_sink() {
+  if (tl_sink == nullptr) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    sinks_.push_back(std::make_unique<Sink>());
+    tl_sink = sinks_.back().get();
+  }
+  return *tl_sink;
+}
+
+void Registry::add(const MetricId id, const std::uint64_t delta) {
+  const std::uint32_t slot = hot_[id].first_slot;  // write-once entry
+  local_sink().slots[slot].fetch_add(delta, std::memory_order_relaxed);
+}
+
+void Registry::gauge_to(const MetricId id,
+                        const std::uint64_t value) {
+  std::atomic<std::uint64_t>& slot =
+      local_sink().slots[hot_[id].first_slot];
+  // Thread-local slot: no other writer, so load + store suffices.
+  if (value > slot.load(std::memory_order_relaxed)) {
+    slot.store(value, std::memory_order_relaxed);
+  }
+}
+
+void Registry::observe(const MetricId id,
+                       const std::uint64_t value) {
+  const HotDef& def = hot_[id];
+  Sink& sink = local_sink();
+  const std::size_t buckets = def.bound_count;
+  // First bucket whose inclusive upper bound holds the value; past the
+  // last bound, the overflow bucket at index bound_count.
+  std::size_t bucket = buckets;
+  for (std::size_t b = 0; b < buckets; ++b) {
+    if (value <= def.bounds[b]) {
+      bucket = b;
+      break;
+    }
+  }
+  const std::uint32_t base = def.first_slot;
+  sink.slots[base + bucket].fetch_add(1, std::memory_order_relaxed);
+  sink.slots[base + buckets + 1].fetch_add(1, std::memory_order_relaxed);
+  sink.slots[base + buckets + 2].fetch_add(value,
+                                           std::memory_order_relaxed);
+}
+
+void Registry::add_named(const std::string_view name,
+                         const std::uint64_t delta) {
+  add(counter(name), delta);
+}
+
+std::vector<MetricSnapshot> Registry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<MetricSnapshot> out;
+  out.reserve(defs_.size());
+  for (const MetricDef& def : defs_) {
+    MetricSnapshot snap;
+    snap.name = def.name;
+    snap.type = def.type;
+    snap.deterministic = def.deterministic;
+    snap.bounds = def.bounds;
+    const auto fold = [&](const std::uint32_t offset) {
+      std::uint64_t total = 0;
+      for (const std::unique_ptr<Sink>& sink : sinks_) {
+        const std::uint64_t part =
+            sink->slots[def.first_slot + offset].load(
+                std::memory_order_relaxed);
+        total = def.type == MetricType::kGauge ? std::max(total, part)
+                                               : total + part;
+      }
+      return total;
+    };
+    if (def.type == MetricType::kHistogram) {
+      const std::size_t buckets = def.bounds.size() + 1;
+      snap.buckets.reserve(buckets);
+      for (std::size_t b = 0; b < buckets; ++b) {
+        snap.buckets.push_back(fold(static_cast<std::uint32_t>(b)));
+      }
+      snap.count = fold(static_cast<std::uint32_t>(buckets));
+      snap.sum = fold(static_cast<std::uint32_t>(buckets + 1));
+      snap.value = snap.count;
+    } else {
+      snap.value = fold(0);
+      snap.count = snap.value;
+    }
+    out.push_back(std::move(snap));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+void Registry::reset() noexcept {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::unique_ptr<Sink>& sink : sinks_) {
+    for (std::atomic<std::uint64_t>& slot : sink->slots) {
+      slot.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+std::size_t Registry::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return defs_.size();
+}
+
+}  // namespace linesearch::obs

@@ -1,0 +1,200 @@
+#include "obs/perf_report.hpp"
+
+#include <chrono>
+#include <ostream>
+#include <vector>
+
+#include "adversary/game.hpp"
+#include "adversary/placements.hpp"
+#include "core/algorithm.hpp"
+#include "core/lower_bound.hpp"
+#include "eval/batch.hpp"
+#include "eval/cr_eval.hpp"
+#include "eval/exact.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+#include "util/jsonio.hpp"
+#include "util/parallel.hpp"
+
+namespace linesearch::obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double millis_since(const Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// The dense (f, window) job list the sweep workloads time: every fault
+/// budget of an A(7, 4) fleet crossed with three windows — the grid
+/// shape bench_fig5/analysis sweeps evaluate for real.
+std::vector<CrBatchJob> dense_cr_jobs(const Fleet& fleet) {
+  std::vector<CrBatchJob> jobs;
+  for (int f = 0; f < static_cast<int>(fleet.size()); ++f) {
+    for (const Real window : {12.0L, 24.0L, 48.0L}) {
+      jobs.push_back(
+          {&fleet, f, {.window_hi = window, .interior_samples = 16}});
+    }
+  }
+  return jobs;
+}
+
+Real checksum(const std::vector<CrEvalResult>& results) {
+  Real sum = 0;
+  for (const CrEvalResult& r : results) sum += r.cr + r.argmax;
+  return sum;
+}
+
+}  // namespace
+
+void write_perf_report(std::ostream& out, const PerfReportOptions& options) {
+  expects(options.build_reps >= 1, "perf_report: build_reps must be >= 1");
+  expects(options.sweep_window_hi > 1,
+          "perf_report: sweep_window_hi must exceed 1");
+
+  if (options.include_metrics) Registry::instance().reset();
+
+  const ProportionalAlgorithm algo(7, 4);
+  const Fleet fleet = algo.build_fleet(options.dense_coverage);
+  const std::vector<CrBatchJob> jobs = dense_cr_jobs(fleet);
+
+  const auto serial_start = Clock::now();
+  const std::vector<CrEvalResult> serial =
+      measure_cr_batch(jobs, {.threads = 1});
+  const double serial_ms = millis_since(serial_start);
+
+  const auto parallel_start = Clock::now();
+  const std::vector<CrEvalResult> parallel =
+      measure_cr_batch(jobs, {.threads = 0});
+  const double parallel_ms = millis_since(parallel_start);
+
+  bool identical = true;
+  if (!options.timings_only) {
+    identical = serial.size() == parallel.size();
+    for (std::size_t i = 0; identical && i < serial.size(); ++i) {
+      identical = serial[i].cr == parallel[i].cr &&
+                  serial[i].argmax == parallel[i].argmax;
+    }
+  }
+
+  const auto certified_start = Clock::now();
+  const ExactCrResult certified = certified_cr(fleet, 4, {.window_hi = 32});
+  const double certified_ms = millis_since(certified_start);
+
+  const Real alpha = comfortable_alpha(3, 0.8L);
+  const Fleet game_fleet =
+      ProportionalAlgorithm(3, 1).build_fleet(largest_placement(alpha) * 4);
+  const auto game_start = Clock::now();
+  const GameResult game = play_theorem2_game(game_fleet, 1, alpha);
+  const double game_ms = millis_since(game_start);
+
+  // analytic_sweep: the A(12, 11) schedule built analytic (O(1)
+  // closed-form state) and evaluated over options.sweep_window_hi.  In
+  // the full mode the SAME schedule is also built dense (waypoints
+  // materialized out to 4 * window) and swept, and the checksums must
+  // agree bit for bit; timings-only skips the dense counterpart, which
+  // exists purely to verify the analytic result.  Builds are timed over
+  // build_reps iterations because one build is below clock resolution;
+  // the size fold keeps the loop's results observably used.
+  const ProportionalAlgorithm wide(12, 11);
+  std::size_t build_sink = 0;
+
+  double dense_build_ms = 0;
+  double dense_sweep_ms = 0;
+  std::size_t dense_footprint = 0;
+  CrEvalResult dense_sweep;
+  if (!options.timings_only) {
+    const auto dense_build_start = Clock::now();
+    for (int rep = 0; rep < options.build_reps - 1; ++rep) {
+      build_sink += wide.build_fleet(4 * options.sweep_window_hi).size();
+    }
+    const Fleet wide_dense = wide.build_fleet(4 * options.sweep_window_hi);
+    dense_build_ms = millis_since(dense_build_start);
+
+    const auto dense_sweep_start = Clock::now();
+    dense_sweep =
+        measure_cr(wide_dense, 11, {.window_hi = options.sweep_window_hi});
+    dense_sweep_ms = millis_since(dense_sweep_start);
+
+    for (RobotId id = 0; id < wide_dense.size(); ++id) {
+      dense_footprint += wide_dense.robot(id).source().footprint_bytes();
+    }
+  }
+
+  const auto analytic_build_start = Clock::now();
+  for (int rep = 0; rep < options.build_reps - 1; ++rep) {
+    build_sink += wide.build_unbounded_fleet().size();
+  }
+  const Fleet wide_analytic = wide.build_unbounded_fleet();
+  const double analytic_build_ms = millis_since(analytic_build_start);
+
+  const auto analytic_sweep_start = Clock::now();
+  const CrEvalResult analytic_sweep =
+      measure_cr(wide_analytic, 11, {.window_hi = options.sweep_window_hi});
+  const double analytic_sweep_ms = millis_since(analytic_sweep_start);
+
+  std::size_t analytic_footprint = 0;
+  for (RobotId id = 0; id < wide_analytic.size(); ++id) {
+    analytic_footprint += wide_analytic.robot(id).source().footprint_bytes();
+  }
+
+  JsonWriter json(out);
+  json.begin_object();
+  json.field("schema", kPerfReportSchema);
+  json.field("threads", static_cast<int>(resolve_thread_count(0)));
+  json.field("timings_only", options.timings_only);
+  json.key("workloads").begin_array();
+
+  const auto workload = [&json, &options](const char* name, const double ms,
+                                          const Real value) {
+    json.begin_object();
+    json.field("name", name);
+    json.field("millis", static_cast<Real>(ms));
+    if (!options.timings_only) json.field("checksum", value);
+    json.end_object();
+  };
+  workload("dense_cr_sweep_serial", serial_ms, checksum(serial));
+  workload("dense_cr_sweep_parallel", parallel_ms, checksum(parallel));
+  workload("certified_cr_a74", certified_ms, certified.cr);
+  workload("theorem2_game_a31", game_ms, game.forced_ratio);
+  if (!options.timings_only) {
+    workload("analytic_sweep_dense", dense_sweep_ms,
+             dense_sweep.cr + dense_sweep.argmax);
+  }
+  workload("analytic_sweep_analytic", analytic_sweep_ms,
+           analytic_sweep.cr + analytic_sweep.argmax);
+  json.end_array();
+
+  if (!options.timings_only) {
+    json.field("parallel_identical_to_serial", identical);
+  }
+
+  json.key("analytic_sweep").begin_object();
+  json.field("window_hi", options.sweep_window_hi);
+  json.field("build_reps", options.build_reps);
+  json.field("analytic_build_millis", static_cast<Real>(analytic_build_ms));
+  json.field("analytic_footprint_bytes",
+             static_cast<Real>(analytic_footprint));
+  if (!options.timings_only) {
+    json.field("dense_build_millis", static_cast<Real>(dense_build_ms));
+    json.field("dense_footprint_bytes", static_cast<Real>(dense_footprint));
+    json.field("analytic_identical_to_dense",
+               dense_sweep.cr == analytic_sweep.cr &&
+                   dense_sweep.argmax == analytic_sweep.argmax);
+  }
+  json.end_object();
+
+  if (options.include_metrics) {
+    // Folded AFTER every workload above joined its workers: the
+    // deterministic entries are bit-identical for any thread count.
+    json.key("metrics");
+    write_metrics_array(json);
+  }
+  json.field("build_sink", static_cast<Real>(build_sink));
+  json.end_object();
+}
+
+}  // namespace linesearch::obs

@@ -1,0 +1,58 @@
+// obs/perf_report.hpp — the machine-readable perf artifact, as a library.
+//
+// bench_perf's JSON output (BENCH_perf.json) used to live inside the
+// bench binary, which made two things impossible: tests could not pin
+// its schema (satellite: schema-stability regression), and the
+// `--timings-only` flag could not actually skip the checksum work — the
+// heavyweight dense counterpart of the analytic sweep (hundreds of dense
+// A(12, 11) builds out to 4 * 2^20) ran unconditionally, defeating the
+// flag's stated purpose of being cheap enough for every CI push.
+//
+// This module owns the workload now.  bench_perf delegates here;
+// tests/obs/perf_report_test runs it with scaled-down options and
+// asserts on the schema.  Semantics of the two modes:
+//
+//   full (timings_only = false): every workload runs, deterministic
+//     checksums are folded, serial-vs-parallel and dense-vs-analytic
+//     identity is verified, and the dense sweep counterpart is timed.
+//   timings only: everything whose ONLY purpose is checksum
+//     verification is skipped — the checksum folds, the element-wise
+//     identity comparisons, and the entire dense counterpart of the
+//     analytic sweep.  "checksum" fields and the two *_identical_* flags
+//     are omitted; everything else keeps its name and shape.
+//
+// Both modes emit schema "linesearch-bench-perf/2" and embed the obs
+// metric registry ("metrics": [...], see obs/export.hpp) folded over
+// exactly the workloads this report ran (the registry is reset first).
+#pragma once
+
+#include <iosfwd>
+
+#include "util/real.hpp"
+
+namespace linesearch::obs {
+
+/// Schema tag emitted by write_perf_report (bumped from /1 when the
+/// report moved into the library, gained the metrics array and made
+/// timings-only actually skip the checksum workloads).
+inline constexpr const char* kPerfReportSchema = "linesearch-bench-perf/2";
+
+struct PerfReportOptions {
+  /// Skip all checksum-verification work (see header comment).
+  bool timings_only = false;
+  /// Fleet builds per timing loop of the analytic-vs-dense build
+  /// comparison (single builds are below clock resolution).
+  int build_reps = 512;
+  /// Coverage of the dense A(7, 4) fleet behind the CR-sweep workloads.
+  Real dense_coverage = 2000;
+  /// Window of the analytic sweep (a power of two keeps probes exact).
+  Real sweep_window_hi = 1048576;
+  /// Embed the obs metric registry (reset + folded over this report).
+  bool include_metrics = true;
+};
+
+/// Run the perf workloads and stream the JSON document to `out`.
+void write_perf_report(std::ostream& out,
+                       const PerfReportOptions& options = {});
+
+}  // namespace linesearch::obs

@@ -1,0 +1,17 @@
+#include "obs/trace.hpp"
+
+#include <string>
+
+namespace linesearch::obs {
+
+SpanHandle register_span(const std::string_view name) {
+  Registry& registry = Registry::instance();
+  const std::string base = "span." + std::string(name);
+  SpanHandle handle;
+  handle.count_id = registry.counter(base + ".count");
+  handle.nanos_id =
+      registry.counter(base + ".nanos", /*deterministic=*/false);
+  return handle;
+}
+
+}  // namespace linesearch::obs

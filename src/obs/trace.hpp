@@ -1,0 +1,100 @@
+// obs/trace.hpp — RAII scoped-span tracing on top of obs/metrics.
+//
+// A span names a region of work ("eval.batch.run", "runtime.world.
+// execute").  Entering the region bumps `span.<name>.count` (an ordinary
+// deterministic counter: the number of entries is a pure function of the
+// workload) and, on exit, adds the elapsed steady-clock nanoseconds to
+// `span.<name>.nanos` — a counter flagged `deterministic = false`, since
+// wall-clock time is the one quantity this layer cannot make
+// reproducible.  Tests assert on span COUNTS; exporters report both.
+//
+// Spans are metrics, not a call-stack: nesting works (each level has its
+// own pair of counters) but there is no parent/child edge — per-phase
+// attribution is by naming convention (`<area>.<component>.<verb>`, see
+// docs/observability.md).
+//
+// Cost: two steady_clock reads plus two thread-local relaxed adds per
+// span.  Place spans at call granularity (a CR scan, a game, a batch),
+// never per probe; per-event accounting belongs to plain counters.  With
+// LINESEARCH_OBS=OFF the macro expands to nothing and ScopedSpan is an
+// empty no-op type.
+#pragma once
+
+#include "obs/metrics.hpp"
+
+#if LINESEARCH_OBS_ENABLED
+#include <chrono>
+#endif
+
+namespace linesearch::obs {
+
+/// The two metric ids behind one span name (interned once per call site
+/// by LS_OBS_SPAN's function-local static).
+struct SpanHandle {
+  MetricId count_id = 0;
+  MetricId nanos_id = 0;
+};
+
+/// Intern `span.<name>.count` (deterministic) and `span.<name>.nanos`
+/// (non-deterministic); both are counters.
+[[nodiscard]] SpanHandle register_span(std::string_view name);
+
+#if LINESEARCH_OBS_ENABLED
+
+/// RAII region marker; see the header comment.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const SpanHandle& handle)
+      : handle_(handle), start_(std::chrono::steady_clock::now()) {
+    Registry::instance().add(handle_.count_id, 1);
+  }
+
+  ~ScopedSpan() {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    Registry::instance().add(
+        handle_.nanos_id,
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                .count()));
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  SpanHandle handle_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+#else  // LINESEARCH_OBS_ENABLED == 0
+
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const SpanHandle&) {}
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+};
+
+#endif  // LINESEARCH_OBS_ENABLED
+
+}  // namespace linesearch::obs
+
+#if LINESEARCH_OBS_ENABLED
+
+#define LS_OBS_SPAN_CONCAT_(a, b) a##b
+#define LS_OBS_SPAN_CONCAT(a, b) LS_OBS_SPAN_CONCAT_(a, b)
+
+/// Open a span covering the rest of the enclosing scope.
+#define LS_OBS_SPAN(name)                                                  \
+  static const ::linesearch::obs::SpanHandle LS_OBS_SPAN_CONCAT(           \
+      ls_obs_span_handle_, __LINE__) = ::linesearch::obs::register_span(   \
+      name);                                                               \
+  const ::linesearch::obs::ScopedSpan LS_OBS_SPAN_CONCAT(                  \
+      ls_obs_span_, __LINE__)(LS_OBS_SPAN_CONCAT(ls_obs_span_handle_,      \
+                                                 __LINE__))
+
+#else
+
+#define LS_OBS_SPAN(name) ((void)0)
+
+#endif  // LINESEARCH_OBS_ENABLED

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "core/competitive.hpp"
+#include "obs/metrics.hpp"
 #include "sim/zigzag.hpp"
 #include "util/error.hpp"
 #include "util/format.hpp"
@@ -29,6 +30,9 @@ std::string ZigZagController::name() const {
 }
 
 Directive ZigZagController::next(const Real time, const Real position) {
+  // ProportionalController::next delegates here, so this single counter
+  // covers both without double counting.
+  LS_OBS_COUNT("runtime.controller.directives", 1);
   if (!launched_) {
     launched_ = true;
     // Meet the cone boundary at the first turn: the required speed from
@@ -84,6 +88,7 @@ ScriptedController::ScriptedController(Trajectory trajectory)
     : trajectory_(std::move(trajectory)) {}
 
 Directive ScriptedController::next(const Real time, const Real position) {
+  LS_OBS_COUNT("runtime.controller.directives", 1);
   if (next_waypoint_ >= trajectory_.waypoints().size()) {
     return Directive::stop();
   }

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace linesearch {
@@ -13,6 +15,7 @@ World::World(WorldConfig config) : config_(config) {
 
 Trajectory World::execute(Controller& controller,
                           ExecutionReport* report) const {
+  LS_OBS_SPAN("runtime.world.execute");
   TrajectoryBuilder builder;
   builder.start_at(0, 0);
   ExecutionReport local;
@@ -65,12 +68,14 @@ Trajectory World::execute(Controller& controller,
     builder.move_to_at(directive.value, arrival);
   }
 
+  LS_OBS_COUNT("runtime.world.directives", local.directives);
   if (report != nullptr) *report = local;
   return std::move(builder).build();
 }
 
 Fleet World::execute_team(const std::vector<ControllerPtr>& controllers,
                           std::vector<ExecutionReport>* reports) const {
+  LS_OBS_SPAN("runtime.world.execute_team");
   expects(!controllers.empty(), "world: empty team");
   std::vector<Trajectory> robots;
   robots.reserve(controllers.size());

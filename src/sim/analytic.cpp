@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace linesearch {
@@ -108,6 +109,7 @@ AnalyticZigzag::AnalyticZigzag(AnalyticZigzagSpec spec)
   if (barrier_ > 0) {
     // Finite schedule: materialize once so the dense-only queries
     // (waypoints(), turning_waypoints()) work and count_ is exact.
+    LS_OBS_COUNT("sim.analytic.barrier_materializations", 1);
     auto cache = std::make_unique<BoundedCache>();
     cache->waypoints.push_back(head_.front());
     for (Walker cursor(*this); cursor.has_next();) {
@@ -173,6 +175,7 @@ std::vector<Real> AnalyticZigzag::visit_times(
     const Real x, const std::size_t max_count) const {
   expects(!unbounded() || max_count < kUnboundedCount,
           "visit_times: unbounded schedule needs a finite max_count");
+  LS_OBS_COUNT("sim.analytic.visit_queries", 1);
   std::vector<Real> times;
   if (max_count == 0) return times;
 
@@ -239,6 +242,7 @@ std::vector<Real> AnalyticZigzag::turning_magnitudes_in(const int side,
                                                         const Real hi) const {
   expects(side == 1 || side == -1,
           "turning_magnitudes_in: side must be +-1");
+  LS_OBS_COUNT("sim.analytic.window_queries", 1);
   std::vector<Real> magnitudes;
   const auto add = [&](const Real position) {
     if (sign_of(position) != side) return;
@@ -272,6 +276,7 @@ std::vector<Real> AnalyticZigzag::turning_magnitudes_in(const int side,
 
 std::vector<Real> AnalyticZigzag::waypoint_positions_within(
     const Real max_magnitude) const {
+  LS_OBS_COUNT("sim.analytic.window_queries", 1);
   std::vector<Real> positions;
   Walker cursor(*this);
   while (true) {

@@ -9,6 +9,7 @@
 #include "core/baselines.hpp"
 #include "core/competitive.hpp"
 #include "core/custom.hpp"
+#include "obs/metrics.hpp"
 #include "sim/trajectory.hpp"
 #include "sim/zigzag.hpp"
 #include "util/error.hpp"
@@ -309,6 +310,11 @@ std::string FuzzOutcome::describe() const {
 }
 
 FuzzOutcome run_instance(const FuzzInstance& instance) {
+  LS_OBS_COUNT("verify.fuzz.instances", 1);
+  if constexpr (obs::kEnabled) {
+    obs::count_named(std::string("verify.fuzz.instances.") +
+                     kind_name(instance.kind));
+  }
   FuzzOutcome outcome;
   try {
     const Fleet fleet = build_fuzz_fleet(instance);
@@ -473,6 +479,7 @@ ShrinkResult shrink_instance(const FuzzInstance& start) {
   while (progressed) {
     progressed = false;
     for (FuzzInstance& candidate : shrink_moves(result.instance)) {
+      LS_OBS_COUNT("verify.fuzz.shrink_attempts", 1);
       const FuzzOutcome outcome = run_instance(candidate);
       bool preserved = false;
       for (const InvariantResult& r : outcome.invariants) {
@@ -483,6 +490,7 @@ ShrinkResult shrink_instance(const FuzzInstance& start) {
       }
       if (preserved) {
         result.instance = std::move(candidate);
+        LS_OBS_COUNT("verify.fuzz.shrink_accepted", 1);
         result.accepted_moves += 1;
         progressed = true;
         break;

@@ -1,0 +1,155 @@
+// Golden behavioural counters: for every feasible (n, f) regime pair
+// with n <= 12 (41 pairs, the same grid core/golden_analytic_test
+// pins), a cached CR evaluation of the unbounded analytic A(n, f) fleet
+// must reproduce the committed event counts EXACTLY — probe count,
+// visit-cache traffic (and hence hit rate), and the analytic backend's
+// window/visit query counts.  A diff here means the evaluator's work
+// profile changed: maybe a real optimisation, maybe an accidental
+// complexity regression — either way it must be reviewed and the
+// fixture regenerated deliberately:
+//
+//   LS_OBS_GOLDEN_REGEN=1 tests/obs_test --gtest_filter='ObsGolden*'
+//
+// The fixture is compared as a serialized string (byte for byte), so
+// the expected side is built with the same JsonWriter that wrote the
+// file — no JSON parser needed.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/algorithm.hpp"
+#include "eval/batch.hpp"
+#include "obs/metrics.hpp"
+#include "util/jsonio.hpp"
+
+namespace linesearch {
+namespace {
+
+std::uint64_t value_of(const std::vector<obs::MetricSnapshot>& snaps,
+                       const std::string& name) {
+  for (const obs::MetricSnapshot& snap : snaps) {
+    if (snap.name == name) return snap.value;
+  }
+  return 0;
+}
+
+std::vector<std::pair<int, int>> regime_pairs_up_to_12() {
+  // All (n, f) with f >= 1 and f < n < 2f+2 and n <= 12: 41 pairs.
+  std::vector<std::pair<int, int>> pairs;
+  for (int f = 1; f <= 11; ++f) {
+    for (int n = f + 1; n <= std::min(12, 2 * f + 1); ++n) {
+      pairs.emplace_back(n, f);
+    }
+  }
+  return pairs;
+}
+
+/// Event counts of one pair's evaluation, read from the registry.
+struct PairCounters {
+  int n = 0;
+  int f = 0;
+  std::uint64_t probes = 0;
+  std::uint64_t lookups = 0;
+  std::uint64_t inserts = 0;
+  std::uint64_t window_queries = 0;
+  std::uint64_t visit_queries = 0;
+};
+
+PairCounters evaluate_pair(const int n, const int f) {
+  const ProportionalAlgorithm algo(n, f);
+  const Fleet fleet = algo.build_unbounded_fleet();
+  obs::Registry::instance().reset();
+  // Two fault budgets over the shared fleet: the second job's probe
+  // positions repeat the first's, which is exactly the sweep shape the
+  // visit cache exists for — so the fixture pins a REAL hit rate, not
+  // the trivially-cold single-job one.
+  const std::vector<CrBatchJob> jobs{
+      {&fleet, f, {.window_lo = 1, .window_hi = 16}},
+      {&fleet, f - 1, {.window_lo = 1, .window_hi = 16}}};
+  (void)measure_cr_batch(jobs, {.threads = 1});
+  const std::vector<obs::MetricSnapshot> snaps =
+      obs::Registry::instance().snapshot();
+  PairCounters counters;
+  counters.n = n;
+  counters.f = f;
+  counters.probes = value_of(snaps, "eval.cr.probes");
+  counters.lookups = value_of(snaps, "eval.visit_cache.lookups");
+  counters.inserts = value_of(snaps, "eval.visit_cache.inserts");
+  counters.window_queries = value_of(snaps, "sim.analytic.window_queries");
+  counters.visit_queries = value_of(snaps, "sim.analytic.visit_queries");
+  return counters;
+}
+
+std::string serialize(const std::vector<PairCounters>& pairs) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.begin_object();
+  json.field("schema", "linesearch-golden-obs/1");
+  json.field("window_lo", 1);
+  json.field("window_hi", 16);
+  json.key("pairs").begin_array();
+  for (const PairCounters& pair : pairs) {
+    json.begin_object();
+    json.field("n", pair.n);
+    json.field("f", pair.f);
+    json.field("probes", pair.probes);
+    json.field("lookups", pair.lookups);
+    json.field("inserts", pair.inserts);
+    // Derived, not stored separately: hits = lookups - inserts (the
+    // deterministic hit count; see eval/visit_cache.hpp).
+    json.field("hits", pair.lookups - pair.inserts);
+    json.field("window_queries", pair.window_queries);
+    json.field("visit_queries", pair.visit_queries);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  out << '\n';
+  return out.str();
+}
+
+TEST(ObsGoldenCounters, AllRegimePairsMatchFixture) {
+  if constexpr (!obs::kEnabled) {
+    GTEST_SKIP() << "observability compiled out (LINESEARCH_OBS=OFF)";
+  }
+  const auto regime_pairs = regime_pairs_up_to_12();
+  ASSERT_EQ(regime_pairs.size(), 41u);
+
+  std::vector<PairCounters> pairs;
+  pairs.reserve(regime_pairs.size());
+  for (const auto& [n, f] : regime_pairs) {
+    pairs.push_back(evaluate_pair(n, f));
+    // Sanity independent of the fixture: the scan probed something, the
+    // cache saw every probe's robot queries, and repeats really hit.
+    const PairCounters& counters = pairs.back();
+    EXPECT_GT(counters.probes, 0u) << "n=" << n << " f=" << f;
+    EXPECT_GT(counters.lookups, counters.inserts)
+        << "n=" << n << " f=" << f << ": the second job must hit";
+  }
+  const std::string actual = serialize(pairs);
+
+  const std::string path = LS_OBS_GOLDEN_FIXTURE;
+  if (std::getenv("LS_OBS_GOLDEN_REGEN") != nullptr) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good())
+      << "missing fixture " << path
+      << " — regenerate with LS_OBS_GOLDEN_REGEN=1";
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  EXPECT_EQ(contents.str(), actual)
+      << "behavioural counters diverged from the committed fixture; if "
+         "the change is intended, regenerate with LS_OBS_GOLDEN_REGEN=1";
+}
+
+}  // namespace
+}  // namespace linesearch

@@ -1,0 +1,98 @@
+// Schema stability of the BENCH_perf.json artifact (obs/perf_report).
+// CI consumers diff this file across pushes, so the keys each mode
+// emits — and the keys timings-only mode must NOT emit — are pinned
+// here with scaled-down options (small build_reps / window) that keep
+// the test fast while exercising the exact production code path.
+#include "obs/perf_report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace linesearch::obs {
+namespace {
+
+PerfReportOptions fast_options(const bool timings_only) {
+  PerfReportOptions options;
+  options.timings_only = timings_only;
+  options.build_reps = 2;
+  options.dense_coverage = 200;
+  options.sweep_window_hi = 1024;
+  return options;
+}
+
+std::string report(const PerfReportOptions& options) {
+  std::ostringstream out;
+  write_perf_report(out, options);
+  return out.str();
+}
+
+bool contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+TEST(ObsPerfReport, FullModeEmitsChecksumsAndIdentityFlags) {
+  const std::string json = report(fast_options(/*timings_only=*/false));
+  EXPECT_TRUE(contains(json, "\"schema\": \"linesearch-bench-perf/2\""));
+  EXPECT_TRUE(contains(json, "\"timings_only\": false"));
+  for (const char* name :
+       {"dense_cr_sweep_serial", "dense_cr_sweep_parallel",
+        "certified_cr_a74", "theorem2_game_a31", "analytic_sweep_dense",
+        "analytic_sweep_analytic"}) {
+    EXPECT_TRUE(contains(json, std::string("\"name\": \"") + name + "\""))
+        << name;
+  }
+  EXPECT_TRUE(contains(json, "\"checksum\""));
+  // The identity checks are the report's whole point in full mode —
+  // and they must PASS: serial == parallel, dense == analytic.
+  EXPECT_TRUE(contains(json, "\"parallel_identical_to_serial\": true"));
+  EXPECT_TRUE(contains(json, "\"analytic_identical_to_dense\": true"));
+  EXPECT_TRUE(contains(json, "\"dense_build_millis\""));
+  EXPECT_TRUE(contains(json, "\"metrics\""));
+}
+
+TEST(ObsPerfReport, TimingsOnlySkipsChecksumWork) {
+  const std::string json = report(fast_options(/*timings_only=*/true));
+  EXPECT_TRUE(contains(json, "\"schema\": \"linesearch-bench-perf/2\""));
+  EXPECT_TRUE(contains(json, "\"timings_only\": true"));
+  for (const char* name :
+       {"dense_cr_sweep_serial", "dense_cr_sweep_parallel",
+        "certified_cr_a74", "theorem2_game_a31",
+        "analytic_sweep_analytic"}) {
+    EXPECT_TRUE(contains(json, std::string("\"name\": \"") + name + "\""))
+        << name;
+  }
+  // Everything whose only purpose is checksum verification is gone:
+  // checksum fields, identity flags, and the dense sweep counterpart.
+  EXPECT_FALSE(contains(json, "\"checksum\""));
+  EXPECT_FALSE(contains(json, "parallel_identical_to_serial"));
+  EXPECT_FALSE(contains(json, "analytic_identical_to_dense"));
+  EXPECT_FALSE(contains(json, "analytic_sweep_dense"));
+  EXPECT_FALSE(contains(json, "dense_build_millis"));
+  // The shared shape survives in both modes.
+  EXPECT_TRUE(contains(json, "\"analytic_build_millis\""));
+  EXPECT_TRUE(contains(json, "\"metrics\""));
+}
+
+TEST(ObsPerfReport, MetricsSectionReflectsBuildMode) {
+  const std::string json = report(fast_options(/*timings_only=*/true));
+  if constexpr (kEnabled) {
+    // The report's own workloads populate the embedded registry dump.
+    EXPECT_TRUE(contains(json, "eval.cr.probes"));
+  } else {
+    EXPECT_FALSE(contains(json, "eval.cr.probes"));
+  }
+}
+
+TEST(ObsPerfReport, RejectsDegenerateOptions) {
+  PerfReportOptions options = fast_options(true);
+  options.build_reps = 0;
+  std::ostringstream out;
+  EXPECT_ANY_THROW(write_perf_report(out, options));
+}
+
+}  // namespace
+}  // namespace linesearch::obs

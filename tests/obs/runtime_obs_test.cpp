@@ -1,0 +1,96 @@
+// Span/counter emission of the runtime layer (satellite: previously the
+// controller/world instrumentation had no test coverage at all).  The
+// counters cross-check against the runtime's own ExecutionReports, so
+// the test pins semantics (one span per execute, directives counted
+// once per controller decision) rather than magic numbers.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "runtime/controller.hpp"
+#include "runtime/world.hpp"
+#include "sim/trajectory.hpp"
+
+namespace linesearch {
+namespace {
+
+std::uint64_t counter_value(const std::string& name) {
+  for (const obs::MetricSnapshot& snap :
+       obs::Registry::instance().snapshot()) {
+    if (snap.name == name) return snap.value;
+  }
+  return 0;
+}
+
+TEST(ObsRuntime, ProportionalTeamEmitsSpansAndDirectiveCounts) {
+  if constexpr (!obs::kEnabled) {
+    GTEST_SKIP() << "observability compiled out (LINESEARCH_OBS=OFF)";
+  }
+  obs::Registry::instance().reset();
+  const int n = 3;
+  const Fleet fleet = run_proportional_controllers(n, 1, 100);
+  EXPECT_EQ(fleet.size(), static_cast<std::size_t>(n));
+
+  EXPECT_EQ(counter_value("span.runtime.world.execute_team.count"), 1u);
+  EXPECT_EQ(counter_value("span.runtime.world.execute.count"),
+            static_cast<std::uint64_t>(n));
+  // Every directive the world consumed came from one controller
+  // decision, so the two layers' counters must agree exactly.
+  const std::uint64_t world = counter_value("runtime.world.directives");
+  EXPECT_GT(world, 0u);
+  EXPECT_EQ(world, counter_value("runtime.controller.directives"));
+}
+
+TEST(ObsRuntime, WorldDirectiveCounterMatchesExecutionReports) {
+  if constexpr (!obs::kEnabled) {
+    GTEST_SKIP() << "observability compiled out (LINESEARCH_OBS=OFF)";
+  }
+  obs::Registry::instance().reset();
+  std::vector<ControllerPtr> team;
+  for (int robot = 0; robot < 4; ++robot) {
+    team.push_back(
+        std::make_unique<ProportionalController>(4, 2, robot, 64));
+  }
+  std::vector<ExecutionReport> reports;
+  const World world(WorldConfig{});
+  (void)world.execute_team(team, &reports);
+
+  std::uint64_t reported = 0;
+  for (const ExecutionReport& report : reports) {
+    reported += static_cast<std::uint64_t>(report.directives);
+  }
+  EXPECT_EQ(counter_value("runtime.world.directives"), reported);
+  EXPECT_EQ(counter_value("runtime.controller.directives"), reported);
+  EXPECT_EQ(counter_value("span.runtime.world.execute.count"), 4u);
+}
+
+TEST(ObsRuntime, ScriptedControllerCountsDecisions) {
+  if constexpr (!obs::kEnabled) {
+    GTEST_SKIP() << "observability compiled out (LINESEARCH_OBS=OFF)";
+  }
+  // Script a short trajectory, replay it through the world, and check
+  // the controller counter: one decision per leg (the start waypoint is
+  // implicit) plus the final stop decision — waypoints in total.
+  TrajectoryBuilder builder;
+  builder.start_at(0, 0);
+  builder.move_to_at(2, 2);
+  builder.move_to_at(-1, 5);
+  const Trajectory scripted = std::move(builder).build();
+  const std::size_t waypoints = scripted.waypoints().size();
+
+  obs::Registry::instance().reset();
+  ScriptedController controller(scripted);
+  ExecutionReport report;
+  (void)World(WorldConfig{}).execute(controller, &report);
+  EXPECT_TRUE(report.stopped);
+  EXPECT_EQ(counter_value("runtime.controller.directives"),
+            static_cast<std::uint64_t>(report.directives));
+  EXPECT_EQ(counter_value("runtime.controller.directives"),
+            static_cast<std::uint64_t>(waypoints));
+}
+
+}  // namespace
+}  // namespace linesearch

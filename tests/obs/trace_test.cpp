@@ -1,0 +1,63 @@
+// Scoped-span tracing: entry counts are deterministic counters, elapsed
+// nanos are wall-clock counters flagged non-deterministic.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "obs/metrics.hpp"
+
+namespace linesearch::obs {
+namespace {
+
+std::optional<MetricSnapshot> find_metric(const std::string& name) {
+  for (MetricSnapshot& snap : Registry::instance().snapshot()) {
+    if (snap.name == name) return std::move(snap);
+  }
+  return std::nullopt;
+}
+
+void spanned_work() { LS_OBS_SPAN("test.trace.work"); }
+
+TEST(ObsTrace, RegisterSpanInternsCountAndNanos) {
+  const SpanHandle handle = register_span("test.trace.pair");
+  const SpanHandle again = register_span("test.trace.pair");
+  EXPECT_EQ(handle.count_id, again.count_id);
+  EXPECT_EQ(handle.nanos_id, again.nanos_id);
+  const auto count = find_metric("span.test.trace.pair.count");
+  const auto nanos = find_metric("span.test.trace.pair.nanos");
+  ASSERT_TRUE(count.has_value());
+  ASSERT_TRUE(nanos.has_value());
+  EXPECT_TRUE(count->deterministic);
+  EXPECT_FALSE(nanos->deterministic);
+}
+
+TEST(ObsTrace, ScopedSpanCountsEntries) {
+  Registry::instance().reset();
+  for (int i = 0; i < 3; ++i) spanned_work();
+  const auto count = find_metric("span.test.trace.work.count");
+  if constexpr (kEnabled) {
+    ASSERT_TRUE(count.has_value());
+    EXPECT_EQ(count->value, 3u);
+  } else {
+    // OBS=OFF: LS_OBS_SPAN expands to nothing — no registration.
+    EXPECT_FALSE(count.has_value());
+  }
+}
+
+TEST(ObsTrace, NanosAccumulateOnExit) {
+  if constexpr (!kEnabled) GTEST_SKIP() << "observability compiled out";
+  Registry::instance().reset();
+  const SpanHandle handle = register_span("test.trace.timed");
+  { const ScopedSpan span(handle); }
+  const auto count = find_metric("span.test.trace.timed.count");
+  ASSERT_TRUE(count.has_value());
+  EXPECT_EQ(count->value, 1u);
+  // Nanos are wall-clock: only assert the counter exists and was
+  // touched at most monotonically (>= 0 trivially; no timing asserts).
+  EXPECT_TRUE(find_metric("span.test.trace.timed.nanos").has_value());
+}
+
+}  // namespace
+}  // namespace linesearch::obs

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Coverage ratchet: fail CI when line coverage drops below the floor.
+
+Reads a gcovr JSON summary (``gcovr --json-summary``) and compares its
+aggregate line coverage against the committed floor in
+``ci/coverage_baseline.json``.  The floor only moves UP, and only by a
+human editing the baseline file — this script never rewrites it in CI.
+
+    python3 tools/coverage_ratchet.py SUMMARY.json ci/coverage_baseline.json
+    python3 tools/coverage_ratchet.py SUMMARY.json BASELINE --update  # local
+
+Exit codes: 0 pass, 1 coverage below the floor, 2 bad input.
+
+The baseline file is JSON: {"line_percent_min": <float 0..100>,
+"note": "..."}.  When coverage comfortably exceeds the floor the script
+says so, so raising the ratchet stays a deliberate, reviewable one-line
+diff rather than an automatic churn source.
+"""
+
+import json
+import sys
+
+# Raise the floor only when coverage exceeds it by at least this much;
+# smaller surpluses are timing/codegen noise between compiler versions.
+RAISE_MARGIN = 2.0
+
+
+def aggregate_line_percent(summary: dict) -> float:
+    """Aggregate line coverage of a gcovr --json-summary document."""
+    # Prefer exact counts; gcovr's pre-rounded root percent is a fallback.
+    covered = summary.get("line_covered")
+    total = summary.get("line_total")
+    if isinstance(covered, (int, float)) and isinstance(total, (int, float)):
+        if total > 0:
+            return 100.0 * covered / total
+    percent = summary.get("line_percent")
+    if isinstance(percent, (int, float)):
+        return float(percent)
+    raise ValueError("summary has neither line_covered/line_total nor "
+                     "line_percent")
+
+
+def main(argv: list) -> int:
+    args = [a for a in argv[1:] if a != "--update"]
+    update = "--update" in argv[1:]
+    if len(args) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    summary_path, baseline_path = args
+    try:
+        with open(summary_path, encoding="utf-8") as handle:
+            summary = json.load(handle)
+        actual = aggregate_line_percent(summary)
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        print(f"coverage_ratchet: cannot read summary: {error}",
+              file=sys.stderr)
+        return 2
+
+    if update:
+        baseline = {
+            "line_percent_min": round(actual - RAISE_MARGIN, 1),
+            "note": "floor = measured aggregate line coverage of the "
+                    "filtered set minus a noise margin; raise deliberately",
+        }
+        with open(baseline_path, "w", encoding="utf-8") as handle:
+            json.dump(baseline, handle, indent=2)
+            handle.write("\n")
+        print(f"coverage_ratchet: baseline updated to "
+              f"{baseline['line_percent_min']:.1f}% (measured {actual:.1f}%)")
+        return 0
+
+    try:
+        with open(baseline_path, encoding="utf-8") as handle:
+            floor = float(json.load(handle)["line_percent_min"])
+    except (OSError, KeyError, ValueError, json.JSONDecodeError) as error:
+        print(f"coverage_ratchet: cannot read baseline: {error}",
+              file=sys.stderr)
+        return 2
+
+    print(f"coverage_ratchet: measured {actual:.2f}% line coverage, "
+          f"floor {floor:.2f}%")
+    if actual < floor:
+        print("coverage_ratchet: FAIL — coverage fell below the committed "
+              "floor; add tests or (with review) lower the baseline",
+              file=sys.stderr)
+        return 1
+    if actual >= floor + RAISE_MARGIN:
+        print(f"coverage_ratchet: note — coverage exceeds the floor by "
+              f"{actual - floor:.1f}pp; consider raising "
+              f"line_percent_min in the baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,142 @@
+// tools/stats_main — run instrumented workloads and dump the obs metric
+// registry as JSON (schema "linesearch-stats/1").
+//
+// The observability layer's counters are deterministic for any thread
+// count (docs/observability.md), so two invocations
+//
+//   stats_main --workload=dense --threads=1
+//   stats_main --workload=dense --threads=8
+//
+// must print bit-identical "metrics" arrays once the non-deterministic
+// wall-clock entries are filtered (--deterministic-only drops them in
+// the output itself).  That makes this binary both a debugging lens
+// ("how many probes did that sweep really run?") and a quick manual
+// determinism check outside the test suite.
+//
+// Usage: stats_main [--workload=dense|analytic|game|runtime|fuzz|all]
+//                   [--threads=N] [--json=PATH] [--deterministic-only]
+#include <fstream>
+#include <iostream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "adversary/game.hpp"
+#include "adversary/placements.hpp"
+#include "core/algorithm.hpp"
+#include "core/lower_bound.hpp"
+#include "eval/batch.hpp"
+#include "eval/cr_eval.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "runtime/world.hpp"
+#include "util/jsonio.hpp"
+#include "util/parallel.hpp"
+#include "verify/fuzz.hpp"
+
+namespace {
+
+using namespace linesearch;
+
+/// The dense A(7, 4) grid shared with obs/perf_report: every fault
+/// budget crossed with three windows.
+void run_dense(const int threads) {
+  const ProportionalAlgorithm algo(7, 4);
+  const Fleet fleet = algo.build_fleet(2000);
+  std::vector<CrBatchJob> jobs;
+  for (int f = 0; f < static_cast<int>(fleet.size()); ++f) {
+    for (const Real window : {12.0L, 24.0L, 48.0L}) {
+      jobs.push_back(
+          {&fleet, f, {.window_hi = window, .interior_samples = 16}});
+    }
+  }
+  (void)measure_cr_batch(jobs, {.threads = threads});
+}
+
+/// Unbounded analytic A(12, 11) swept over 2^20 — every visit query and
+/// window enumeration comes from closed forms.
+void run_analytic() {
+  const ProportionalAlgorithm algo(12, 11);
+  const Fleet fleet = algo.build_unbounded_fleet();
+  (void)measure_cr(fleet, 11, {.window_hi = 1048576});
+}
+
+/// One Theorem-2 adversarial round against A(3, 1).
+void run_game(const int threads) {
+  const Real alpha = comfortable_alpha(3, 0.8L);
+  const Fleet fleet =
+      ProportionalAlgorithm(3, 1).build_fleet(largest_placement(alpha) * 4);
+  GameOptions options;
+  options.threads = threads;
+  (void)play_theorem2_game(fleet, 1, alpha, options);
+}
+
+/// Online execution: 5 proportional controllers driven by the world.
+void run_runtime() {
+  (void)run_proportional_controllers(5, 2, 1000);
+}
+
+/// A small deterministic fuzz corpus (seeds 1..16).
+void run_fuzz() { (void)verify::run_corpus(1, 16); }
+
+int usage() {
+  std::cerr << "usage: stats_main [--workload=dense|analytic|game|runtime|"
+               "fuzz|all]\n"
+               "                  [--threads=N] [--json=PATH] "
+               "[--deterministic-only]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string workload = "all";
+  std::string json_path;  // empty: stdout
+  int threads = 0;
+  bool deterministic_only = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--workload=", 0) == 0) {
+      workload = arg.substr(11);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      threads = std::stoi(arg.substr(10));
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg == "--deterministic-only") {
+      deterministic_only = true;
+    } else {
+      return usage();
+    }
+  }
+
+  const bool all = workload == "all";
+  if (!all && workload != "dense" && workload != "analytic" &&
+      workload != "game" && workload != "runtime" && workload != "fuzz") {
+    return usage();
+  }
+
+  obs::Registry::instance().reset();
+  if (all || workload == "dense") run_dense(threads);
+  if (all || workload == "analytic") run_analytic();
+  if (all || workload == "game") run_game(threads);
+  if (all || workload == "runtime") run_runtime();
+  if (all || workload == "fuzz") run_fuzz();
+
+  std::ofstream file;
+  if (!json_path.empty()) file.open(json_path);
+  std::ostream& out = json_path.empty() ? std::cout : file;
+
+  JsonWriter json(out);
+  json.begin_object();
+  json.field("schema", "linesearch-stats/1");
+  json.field("workload", workload);
+  json.field("threads", static_cast<int>(resolve_thread_count(threads)));
+  json.field("enabled", obs::kEnabled);
+  json.field("deterministic_only", deterministic_only);
+  json.key("metrics");
+  obs::write_metrics_array(json, deterministic_only);
+  json.end_object();
+  out << '\n';
+  return 0;
+}
