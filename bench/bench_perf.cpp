@@ -21,6 +21,8 @@
 #include "eval/exact.hpp"
 #include "eval/visit_cache.hpp"
 #include "obs/perf_report.hpp"
+#include "runtime/injector.hpp"
+#include "runtime/supervisor.hpp"
 #include "runtime/world.hpp"
 #include "sim/serialize.hpp"
 #include "sim/zigzag.hpp"
@@ -213,6 +215,37 @@ void BM_OnlineExecution(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_OnlineExecution)->Arg(3)->Arg(11);
+
+void BM_InjectedExecution(benchmark::State& state) {
+  // Fault-injected online execution vs BM_OnlineExecution's clean run:
+  // the injector's per-directive overhead (crash clipping, speed caps,
+  // drop bookkeeping) on a mixed random plan.
+  const int n = static_cast<int>(state.range(0));
+  const auto injector = FaultInjector::random(
+      2024, static_cast<std::size_t>(n),
+      {.fault_probability = 0.5L, .horizon = 100});
+  for (auto _ : state) {
+    std::vector<ControllerPtr> team;
+    for (int robot = 0; robot < n; ++robot) {
+      team.push_back(std::make_unique<ProportionalController>(
+          n, n - 1, robot, 1000));
+    }
+    benchmark::DoNotOptimize(World().execute_team(team, injector));
+  }
+}
+BENCHMARK(BM_InjectedExecution)->Arg(3)->Arg(11);
+
+void BM_DegradedSweep(benchmark::State& state) {
+  // The full crash -> detect -> re-plan -> re-measure pipeline over the
+  // regime grid (the perf report's degraded_sweep workload).
+  DegradedSweepOptions options;
+  options.n_max = static_cast<int>(state.range(0));
+  options.max_crashes = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(degraded_mode_sweep(options));
+  }
+}
+BENCHMARK(BM_DegradedSweep)->Arg(4)->Arg(6)->Unit(benchmark::kMillisecond);
 
 void BM_AdversarialGame(benchmark::State& state) {
   const int n = 3, f = 1;

@@ -1,6 +1,7 @@
 #include "obs/perf_report.hpp"
 
 #include <chrono>
+#include <cmath>
 #include <ostream>
 #include <vector>
 
@@ -13,6 +14,7 @@
 #include "eval/exact.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "runtime/supervisor.hpp"
 #include "util/error.hpp"
 #include "util/jsonio.hpp"
 #include "util/parallel.hpp"
@@ -141,6 +143,33 @@ void write_perf_report(std::ostream& out, const PerfReportOptions& options) {
     analytic_footprint += wide_analytic.robot(id).source().footprint_bytes();
   }
 
+  // degraded_sweep: crash -> silence-detect -> re-plan -> re-measure CR
+  // over the proportional-regime grid (runtime/supervisor.hpp).  The
+  // timing covers the full recovery pipeline; the verification side —
+  // the worst relative gap to Theorem 1 over the valid reductions — is
+  // a by-product of rows the sweep computes anyway, so full mode reports
+  // it while timings-only just drops the field.
+  DegradedSweepOptions degraded_options;
+  degraded_options.n_max = options.degraded_n_max;
+  degraded_options.max_crashes = options.degraded_max_crashes;
+  const auto degraded_start = Clock::now();
+  const std::vector<DegradedSweepRow> degraded =
+      degraded_mode_sweep(degraded_options);
+  const double degraded_ms = millis_since(degraded_start);
+
+  int degraded_recovered = 0;
+  Real degraded_checksum = 0;
+  Real degraded_worst_gap = 0;
+  for (const DegradedSweepRow& row : degraded) {
+    if (!row.recovered) continue;
+    ++degraded_recovered;
+    degraded_checksum += row.measured_cr + row.survivors;
+    if (std::isfinite(row.ratio_to_theory)) {
+      degraded_worst_gap =
+          std::max(degraded_worst_gap, std::fabs(row.ratio_to_theory - 1));
+    }
+  }
+
   JsonWriter json(out);
   json.begin_object();
   json.field("schema", kPerfReportSchema);
@@ -166,6 +195,7 @@ void write_perf_report(std::ostream& out, const PerfReportOptions& options) {
   }
   workload("analytic_sweep_analytic", analytic_sweep_ms,
            analytic_sweep.cr + analytic_sweep.argmax);
+  workload("degraded_sweep", degraded_ms, degraded_checksum);
   json.end_array();
 
   if (!options.timings_only) {
@@ -185,6 +215,26 @@ void write_perf_report(std::ostream& out, const PerfReportOptions& options) {
                dense_sweep.cr == analytic_sweep.cr &&
                    dense_sweep.argmax == analytic_sweep.argmax);
   }
+  json.end_object();
+
+  json.key("degraded_sweep").begin_object();
+  json.field("n_max", options.degraded_n_max);
+  json.field("max_crashes", options.degraded_max_crashes);
+  json.field("recovered_rows", degraded_recovered);
+  if (!options.timings_only) {
+    json.field("worst_gap_to_theory", degraded_worst_gap);
+  }
+  json.key("rows").begin_array();
+  for (const DegradedSweepRow& row : degraded) {
+    json.begin_object();
+    json.field("n", row.n);
+    json.field("f", row.f);
+    json.field("crashes", row.crashes);
+    json.field("cr", row.measured_cr);
+    json.field("theory_cr", row.theory_cr);
+    json.end_object();
+  }
+  json.end_array();
   json.end_object();
 
   if (options.include_metrics) {

@@ -21,9 +21,13 @@
 //     analytic sweep.  "checksum" fields and the two *_identical_* flags
 //     are omitted; everything else keeps its name and shape.
 //
-// Both modes emit schema "linesearch-bench-perf/2" and embed the obs
+// Both modes emit schema "linesearch-bench-perf/3" and embed the obs
 // metric registry ("metrics": [...], see obs/export.hpp) folded over
 // exactly the workloads this report ran (the registry is reset first).
+// Schema /3 added the degraded_sweep workload (runtime/supervisor.hpp:
+// crash -> detect -> re-plan -> re-measure CR over the regime grid) and
+// its summary object; in full mode that object also reports the worst
+// relative gap to Theorem 1 over the valid reductions.
 #pragma once
 
 #include <iosfwd>
@@ -34,8 +38,9 @@ namespace linesearch::obs {
 
 /// Schema tag emitted by write_perf_report (bumped from /1 when the
 /// report moved into the library, gained the metrics array and made
-/// timings-only actually skip the checksum workloads).
-inline constexpr const char* kPerfReportSchema = "linesearch-bench-perf/2";
+/// timings-only actually skip the checksum workloads; from /2 when the
+/// degraded-mode supervisor sweep joined the workload list).
+inline constexpr const char* kPerfReportSchema = "linesearch-bench-perf/3";
 
 struct PerfReportOptions {
   /// Skip all checksum-verification work (see header comment).
@@ -47,6 +52,10 @@ struct PerfReportOptions {
   Real dense_coverage = 2000;
   /// Window of the analytic sweep (a power of two keeps probes exact).
   Real sweep_window_hi = 1048576;
+  /// Grid size of the degraded-mode supervisor sweep (regime pairs with
+  /// n <= degraded_n_max, 1..degraded_max_crashes crash-stops each).
+  int degraded_n_max = 6;
+  int degraded_max_crashes = 2;
   /// Embed the obs metric registry (reset + folded over this report).
   bool include_metrics = true;
 };

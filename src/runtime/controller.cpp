@@ -29,16 +29,19 @@ std::string ZigZagController::name() const {
   return out.str();
 }
 
-Directive ZigZagController::next(const Real time, const Real position) {
+Directive ZigZagController::next(const Real /*time*/, const Real position) {
   // ProportionalController::next delegates here, so this single counter
   // covers both without double counting.
   LS_OBS_COUNT("runtime.controller.directives", 1);
   if (!launched_) {
     launched_ = true;
     // Meet the cone boundary at the first turn: the required speed from
-    // the origin is |s| / (beta*|s|) = 1/beta.
-    expects(position == 0 && time == 0,
-            "zigzag controller expects to start at the origin at t=0");
+    // the origin is |s| / (beta*|s|) = 1/beta.  Any launch TIME is
+    // accepted (a delayed activation or a supervisor re-plan starts the
+    // same ladder shifted by the launch time), but the ladder geometry
+    // requires the origin.
+    expects(position == 0,
+            "zigzag controller expects to launch at the origin");
     next_turn_ = -first_turn_ * kappa_;
     return Directive::move_to(first_turn_, 1 / beta_);
   }

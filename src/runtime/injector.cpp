@@ -1,0 +1,119 @@
+#include "runtime/injector.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace linesearch {
+
+const char* fault_kind_name(const FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kCrashStop: return "crash-stop";
+    case FaultKind::kDelayedActivation: return "delayed-activation";
+    case FaultKind::kSpeedCap: return "speed-cap";
+    case FaultKind::kDirectiveDrop: return "directive-drop";
+  }
+  return "unknown";
+}
+
+FaultSpec FaultSpec::crash_at(const Real t) {
+  expects(t >= 0 && std::isfinite(t), "crash_at: time must be finite >= 0");
+  FaultSpec spec;
+  spec.kind = FaultKind::kCrashStop;
+  spec.time = t;
+  return spec;
+}
+
+FaultSpec FaultSpec::delayed_until(const Real t) {
+  expects(t >= 0 && std::isfinite(t),
+          "delayed_until: time must be finite >= 0");
+  FaultSpec spec;
+  spec.kind = FaultKind::kDelayedActivation;
+  spec.time = t;
+  return spec;
+}
+
+FaultSpec FaultSpec::speed_capped(const Real cap) {
+  expects(cap > 0 && cap <= 1, "speed_capped: cap must be in (0, 1]");
+  FaultSpec spec;
+  spec.kind = FaultKind::kSpeedCap;
+  spec.speed_cap = cap;
+  return spec;
+}
+
+FaultSpec FaultSpec::dropping_every(const int period) {
+  expects(period >= 1, "dropping_every: period must be >= 1");
+  FaultSpec spec;
+  spec.kind = FaultKind::kDirectiveDrop;
+  spec.drop_period = period;
+  return spec;
+}
+
+FaultInjector::FaultInjector(std::vector<FaultSpec> plan)
+    : plan_(std::move(plan)) {}
+
+FaultInjector FaultInjector::random(const std::uint64_t seed,
+                                    const std::size_t robots,
+                                    const RandomConfig& config) {
+  expects(config.fault_probability >= 0 && config.fault_probability <= 1,
+          "injector: fault probability must be in [0, 1]");
+  expects(config.min_time > 0 && config.horizon > config.min_time,
+          "injector: need 0 < min_time < horizon");
+  SplitMix64 rng(seed);
+  std::vector<FaultSpec> plan;
+  plan.reserve(robots);
+  for (std::size_t robot = 0; robot < robots; ++robot) {
+    // Fixed draw order per robot keeps the stream aligned regardless of
+    // which branch a robot takes (one chance + one kind + params).
+    if (!rng.chance(config.fault_probability)) {
+      plan.push_back(FaultSpec::none());
+      continue;
+    }
+    const int kind = config.crashes_only ? 0 : rng.uniform_int(0, 3);
+    switch (kind) {
+      case 0:
+        plan.push_back(FaultSpec::crash_at(
+            rng.uniform(config.min_time, config.horizon)));
+        break;
+      case 1:
+        plan.push_back(FaultSpec::delayed_until(
+            rng.uniform(config.min_time, config.horizon)));
+        break;
+      case 2:
+        plan.push_back(
+            FaultSpec::speed_capped(rng.uniform(0.25L, 1.0L)));
+        break;
+      default:
+        plan.push_back(FaultSpec::dropping_every(rng.uniform_int(2, 5)));
+        break;
+    }
+  }
+  return FaultInjector(std::move(plan));
+}
+
+const FaultSpec& FaultInjector::spec(const std::size_t robot) const noexcept {
+  static const FaultSpec kHealthy;
+  return robot < plan_.size() ? plan_[robot] : kHealthy;
+}
+
+bool FaultInjector::any_faults() const noexcept {
+  for (const FaultSpec& spec : plan_) {
+    if (spec.kind != FaultKind::kNone) return true;
+  }
+  return false;
+}
+
+std::vector<Real> FaultInjector::crash_times(const std::size_t robots) const {
+  std::vector<Real> times(robots, kInfinity);
+  for (std::size_t robot = 0; robot < robots && robot < plan_.size();
+       ++robot) {
+    if (plan_[robot].kind == FaultKind::kCrashStop) {
+      times[robot] = plan_[robot].time;
+    }
+  }
+  return times;
+}
+
+}  // namespace linesearch

@@ -1,0 +1,110 @@
+// runtime/injector.hpp — deterministic fault injection for World runs.
+//
+// The world normally honours every directive.  Real robots crash, start
+// late, slow down, and lose messages — the fault models the related
+// work studies beyond the paper's sensor-blind robots (Byzantine search,
+// arXiv:1611.08209; near-majority faulty evacuation).  A FaultInjector
+// assigns each robot one FaultSpec and World::execute applies it while
+// driving the controller:
+//
+//   kCrashStop          halt forever at time t, truncating the active
+//                       leg with the dense-schedule interpolation
+//                       arithmetic, so an injected run is value_identical
+//                       to truncate_at_crashes() of the un-injected run
+//                       (the verify crash differential pins this);
+//   kDelayedActivation  held at the origin until time t; the controller
+//                       is simply launched late (its first `next` sees
+//                       time == t);
+//   kSpeedCap           every kMoveTo speed is clamped to `speed_cap`;
+//   kDirectiveDrop      every `drop_period`-th kMoveTo is lost in
+//                       transit: the robot waits in place for the leg's
+//                       would-be duration while the controller believes
+//                       the move happened.
+//
+// Everything is deterministic: explicit plans are just data, and
+// FaultInjector::random derives per-robot specs from a SplitMix64 seed —
+// same seed, same faults, on every platform and thread count.  The
+// extended ExecutionReport (fault kind, injection time, truncated leg,
+// dropped count) makes every injected run reconstructable after the
+// fact.  Obs counters: `runtime.faults_injected` once per faulted robot
+// executed, `runtime.crash_truncations` once per crash that actually cut
+// a run short.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/real.hpp"
+
+namespace linesearch {
+
+/// What kind of fault a robot carries (kNone = healthy).
+enum class FaultKind : std::uint8_t {
+  kNone,
+  kCrashStop,
+  kDelayedActivation,
+  kSpeedCap,
+  kDirectiveDrop,
+};
+
+[[nodiscard]] const char* fault_kind_name(FaultKind kind) noexcept;
+
+/// One robot's fault, fully describing how its execution is perturbed.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kNone;
+  /// kCrashStop: halt time.  kDelayedActivation: release time.
+  Real time = kInfinity;
+  /// kSpeedCap: clamp every kMoveTo speed to this (in (0, 1]).
+  Real speed_cap = 1;
+  /// kDirectiveDrop: every `drop_period`-th move directive is dropped
+  /// (1 = every move, 2 = every second move, ...).
+  int drop_period = 0;
+
+  [[nodiscard]] static FaultSpec none() { return {}; }
+  [[nodiscard]] static FaultSpec crash_at(Real t);
+  [[nodiscard]] static FaultSpec delayed_until(Real t);
+  [[nodiscard]] static FaultSpec speed_capped(Real cap);
+  [[nodiscard]] static FaultSpec dropping_every(int period);
+};
+
+/// Parameters of FaultInjector::random's seeded plan.
+struct InjectorRandomConfig {
+  Real fault_probability = 0.5L;  ///< chance a robot is faulted at all
+  Real min_time = 0.05L;          ///< earliest crash/activation time
+  Real horizon = 64;              ///< latest crash/activation time
+  bool crashes_only = false;      ///< restrict to kCrashStop
+};
+
+/// A per-robot fault plan for one team execution.  Robots beyond the
+/// plan's size are healthy, so a default-constructed injector is a
+/// no-op and `World::execute_team(team, FaultInjector{})` is exactly
+/// the fault-free path.
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  explicit FaultInjector(std::vector<FaultSpec> plan);
+
+  using RandomConfig = InjectorRandomConfig;
+
+  /// Deterministic random plan for `robots` robots: same seed, same
+  /// plan, bit-identical on every platform (SplitMix64 stream).
+  [[nodiscard]] static FaultInjector random(std::uint64_t seed,
+                                            std::size_t robots,
+                                            const RandomConfig& config = {});
+
+  /// The spec for one robot (kNone beyond the plan).
+  [[nodiscard]] const FaultSpec& spec(std::size_t robot) const noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept { return plan_.size(); }
+  [[nodiscard]] bool any_faults() const noexcept;
+
+  /// Crash times as a vector sized for `robots` robots (kInfinity for
+  /// robots without a kCrashStop fault) — the shape
+  /// sim/truncate_at_crashes and CrashFaults consume.
+  [[nodiscard]] std::vector<Real> crash_times(std::size_t robots) const;
+
+ private:
+  std::vector<FaultSpec> plan_;
+};
+
+}  // namespace linesearch

@@ -1,0 +1,274 @@
+#include "runtime/supervisor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "core/competitive.hpp"
+#include "core/proportional.hpp"
+#include "eval/cr_eval.hpp"
+#include "eval/validation.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace linesearch {
+
+Real recovery_beta(const int n, const int f) {
+  expects(n >= 1 && f >= 0, "recovery_beta: need n >= 1, f >= 0");
+  return in_proportional_regime(n, f) ? optimal_beta(n, f) : 3;
+}
+
+ResilientController::ResilientController(const int n, const int f,
+                                         const int robot, const Real extent,
+                                         std::vector<ReplanEvent> events)
+    : n_(n), f_(f), robot_(robot), extent_(extent),
+      events_(std::move(events)) {
+  expects(n >= 1 && robot >= 0 && robot < n,
+          "resilient controller: robot index out of range");
+  expects(f >= 1 && f < n,
+          "resilient controller: need 1 <= f < n");
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const ReplanEvent& event = events_[i];
+    expects(event.time > 0 && std::isfinite(event.time),
+            "resilient controller: event times must be finite > 0");
+    expects(event.survivors >= 1 && event.new_index >= 0 &&
+                event.new_index < event.survivors,
+            "resilient controller: event rank out of range");
+    expects(i == 0 || events_[i - 1].time < event.time,
+            "resilient controller: events must be strictly increasing");
+  }
+  inner_ = make_ladder(n_, robot_);
+}
+
+std::unique_ptr<ZigZagController> ResilientController::make_ladder(
+    const int fleet_size, const int index) const {
+  const Real beta = recovery_beta(fleet_size, f_);
+  const Real turn =
+      ProportionalSchedule(fleet_size, beta).initial_turn(index);
+  return std::make_unique<ZigZagController>(beta, turn, extent_);
+}
+
+std::string ResilientController::name() const {
+  std::ostringstream out;
+  out << "resilient(A-robot-" << robot_ << "/" << n_
+      << ", events=" << events_.size() << ")";
+  return out.str();
+}
+
+Directive ResilientController::next(const Real time, const Real position) {
+  // Consume every declaration that has fired by now; the last one wins
+  // (simultaneous declarations are merged upstream, but a robot may also
+  // be handed several past-due events at once after a long leg).
+  bool replanned = false;
+  while (next_event_ < events_.size() &&
+         time >= events_[next_event_].time) {
+    ++next_event_;
+    replanned = true;
+  }
+  if (replanned) {
+    LS_OBS_COUNT("runtime.replans", 1);
+    ++replans_;
+    awaiting_event_ = false;
+    inner_.reset();  // abandon the old ladder outright
+    returning_ = position != 0;
+  } else if (awaiting_event_) {
+    // The previous leg was subdivided at the declaration boundary but
+    // rounding landed us an ulp early: hold until the exact instant.
+    return Directive::wait_until(events_[next_event_].time);
+  }
+
+  Directive directive = Directive::stop();
+  if (returning_) {
+    if (position != 0) {
+      directive = Directive::move_to(0, 1);
+    } else {
+      returning_ = false;
+    }
+  }
+  if (!returning_) {
+    if (inner_ == nullptr) {
+      const ReplanEvent& active = events_[next_event_ - 1];
+      inner_ = make_ladder(active.survivors, active.new_index);
+    }
+    directive = inner_->next(time, position);
+  }
+
+  if (next_event_ >= events_.size()) return directive;
+  const Real boundary = events_[next_event_].time;
+
+  // Subdivide anything that would cross the next declaration so the
+  // re-plan fires at the exact protocol instant.
+  if (directive.kind == Directive::Kind::kStop) {
+    awaiting_event_ = true;
+    return Directive::wait_until(boundary);
+  }
+  if (directive.kind == Directive::Kind::kWaitUntil) {
+    if (directive.value > boundary) {
+      awaiting_event_ = true;
+      return Directive::wait_until(boundary);
+    }
+    return directive;
+  }
+  const Real arrival =
+      time + std::fabs(directive.value - position) / directive.speed;
+  if (arrival <= boundary) return directive;
+  awaiting_event_ = true;
+  const Real direction = directive.value > position ? 1 : -1;
+  const Real partial =
+      position + direction * directive.speed * (boundary - time);
+  if (partial == position) return Directive::wait_until(boundary);
+  return Directive::move_to(partial, directive.speed);
+}
+
+Supervisor::Supervisor(const int n, const int f, SupervisorConfig config)
+    : n_(n), f_(f), config_(config) {
+  expects(f >= 1 && f < n, "supervisor: need 1 <= f < n");
+  expects(config.heartbeat_interval > 0 && config.silence_timeout > 0,
+          "supervisor: protocol intervals must be positive");
+}
+
+Real Supervisor::detection_time_for(const Real crash_time) const {
+  expects(crash_time >= 0, "supervisor: crash time must be >= 0");
+  if (!std::isfinite(crash_time)) return kInfinity;
+  // The crash silences the NEXT scheduled heartbeat; the declaration
+  // fires silence_timeout after that missed slot.
+  const Real missed =
+      (std::floor(crash_time / config_.heartbeat_interval) + 1) *
+      config_.heartbeat_interval;
+  return missed + config_.silence_timeout;
+}
+
+std::vector<ControllerPtr> Supervisor::make_team(
+    const std::vector<Real>& crash_times, const Real extent,
+    SupervisorReport* report) const {
+  expects(static_cast<int>(crash_times.size()) == n_,
+          "supervisor: crash schedule size must match the fleet");
+
+  std::vector<Real> detect(crash_times.size(), kInfinity);
+  for (int robot = 0; robot < n_; ++robot) {
+    detect[static_cast<std::size_t>(robot)] =
+        detection_time_for(crash_times[static_cast<std::size_t>(robot)]);
+  }
+
+  // Distinct declaration instants, in protocol order.
+  std::vector<Real> instants;
+  for (const Real t : detect) {
+    if (std::isfinite(t)) instants.push_back(t);
+  }
+  std::sort(instants.begin(), instants.end());
+  instants.erase(std::unique(instants.begin(), instants.end()),
+                 instants.end());
+
+  SupervisorReport local;
+  local.residual_faults = f_;
+  for (const Real instant : instants) {
+    CrashDeclaration declaration;
+    declaration.detect_time = instant;
+    for (int robot = 0; robot < n_; ++robot) {
+      if (detect[static_cast<std::size_t>(robot)] == instant) {
+        declaration.crashed.push_back(robot);
+      }
+    }
+    local.declarations.push_back(std::move(declaration));
+  }
+  for (int robot = 0; robot < n_; ++robot) {
+    if (!std::isfinite(detect[static_cast<std::size_t>(robot)])) {
+      ++local.survivors;
+    }
+  }
+  local.recoverable = local.survivors >= local.residual_faults + 1;
+
+  std::vector<ControllerPtr> team;
+  team.reserve(static_cast<std::size_t>(n_));
+  for (int robot = 0; robot < n_; ++robot) {
+    const Real own = detect[static_cast<std::size_t>(robot)];
+    std::vector<ReplanEvent> events;
+    for (const Real instant : instants) {
+      if (instant >= own) break;  // declared dead; no further commands
+      ReplanEvent event;
+      event.time = instant;
+      int survivors = 0;
+      int rank = 0;
+      for (int other = 0; other < n_; ++other) {
+        if (detect[static_cast<std::size_t>(other)] <= instant) continue;
+        if (other == robot) rank = survivors;
+        ++survivors;
+      }
+      event.survivors = survivors;
+      event.new_index = rank;
+      events.push_back(event);
+    }
+    team.push_back(std::make_unique<ResilientController>(
+        n_, f_, robot, extent, std::move(events)));
+  }
+
+  if (report != nullptr) *report = std::move(local);
+  return team;
+}
+
+Fleet Supervisor::run(const std::vector<Real>& crash_times,
+                      const Real extent, SupervisorReport* report,
+                      const WorldConfig& world) const {
+  LS_OBS_SPAN("runtime.supervisor.run");
+  std::vector<FaultSpec> plan;
+  plan.reserve(crash_times.size());
+  for (const Real t : crash_times) {
+    plan.push_back(std::isfinite(t) ? FaultSpec::crash_at(t)
+                                    : FaultSpec::none());
+  }
+  const std::vector<ControllerPtr> team = make_team(crash_times, extent,
+                                                    report);
+  return World(world).execute_team(team, FaultInjector(std::move(plan)));
+}
+
+std::vector<DegradedSweepRow> degraded_mode_sweep(
+    const DegradedSweepOptions& options) {
+  LS_OBS_SPAN("runtime.supervisor.sweep");
+  expects(options.max_crashes >= 1, "degraded sweep: need max_crashes >= 1");
+  expects(options.crash_time > 0 && options.window_hi > 1,
+          "degraded sweep: need crash_time > 0 and window_hi > 1");
+  std::vector<DegradedSweepRow> rows;
+  for (const auto& [n, f] : proportional_regime_pairs(options.n_max)) {
+    // The original ladder's first turns scale with kappa^2; build far
+    // enough out that every re-planned ladder covers the window too.
+    const Real kappa = optimal_expansion_factor(n, f);
+    const Real extent =
+        std::max(4 * options.window_hi, 2 * kappa * kappa);
+    const Supervisor supervisor(n, f, options.supervisor);
+    for (int crashes = 1; crashes <= std::min(options.max_crashes, n - 1);
+         ++crashes) {
+      std::vector<Real> crash_times(static_cast<std::size_t>(n),
+                                    kInfinity);
+      for (int k = 0; k < crashes; ++k) {
+        crash_times[static_cast<std::size_t>(n - 1 - k)] =
+            options.crash_time;
+      }
+      SupervisorReport report;
+      const Fleet fleet =
+          supervisor.run(crash_times, extent, &report);
+
+      DegradedSweepRow row;
+      row.n = n;
+      row.f = f;
+      row.crashes = crashes;
+      row.survivors = report.survivors;
+      row.residual_faults = report.residual_faults;
+      CrEvalOptions eval;
+      eval.window_hi = options.window_hi;
+      eval.require_finite = false;
+      row.measured_cr = measure_cr(fleet, f, eval).cr;
+      row.recovered = std::isfinite(row.measured_cr);
+      if (in_proportional_regime(row.survivors, f)) {
+        row.theory_cr = algorithm_cr(row.survivors, f);
+        row.ratio_to_theory = row.measured_cr / row.theory_cr;
+      }
+      rows.push_back(row);
+    }
+  }
+  return rows;
+}
+
+}  // namespace linesearch

@@ -1,0 +1,167 @@
+// runtime/supervisor.hpp — crash detection and degraded-mode re-planning.
+//
+// The paper's A(n, f) tolerates f sensor-blind robots but assumes every
+// robot keeps MOVING.  A crash-stop fault (runtime/injector.hpp) breaks
+// the (f+1)-coverage invariant: positions only the crashed robot would
+// have visited are never visited at all, so detection can become
+// impossible no matter the blind budget.  This module restores coverage
+// online:
+//
+//   * Supervisor models a silence-timeout protocol: every robot
+//     heartbeats every `heartbeat_interval`; a robot that crashes at t
+//     misses its next scheduled heartbeat, and after `silence_timeout`
+//     of silence the supervisor declares it dead at
+//         detect(t) = (floor(t / interval) + 1) * interval + timeout.
+//     Detection times are pure arithmetic — deterministic, and
+//     identical for every survivor.
+//
+//   * ResilientController wraps robot i of A(n, f).  It follows the
+//     original ladder until a declaration fires, subdividing any leg
+//     that would cross the declaration time; at the declaration it
+//     abandons the leg, returns to the origin at unit speed, and runs a
+//     FRESH proportional ladder A(n', f) for the n' declared-alive
+//     survivors (its index re-ranked among them), time-shifted to the
+//     re-plan instant.  Later declarations re-plan again.
+//
+// With n' survivors and the blind budget f unchanged, the re-planned
+// fleet restores (f+1)-coverage — and hence a finite CR — exactly when
+// n' >= f + 1.  Because the whole recovery detour happens within
+// |x| < window_lo of any measurement window, the degraded CR lands
+// within T0 (detect + return time, < 0.1 with the default config) of
+// the Theorem 1 value for the reduced pair (n', f) whenever that pair
+// is in regime; degraded_mode_sweep reports the achieved ratio per
+// (n, f, crashes) and the robustness tests pin the 5% agreement.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/controller.hpp"
+#include "runtime/injector.hpp"
+#include "runtime/world.hpp"
+#include "sim/fleet.hpp"
+#include "util/real.hpp"
+
+namespace linesearch {
+
+/// Silence-timeout protocol parameters.
+struct SupervisorConfig {
+  Real heartbeat_interval = 0.01L;  ///< scheduled heartbeat spacing
+  Real silence_timeout = 0.01L;     ///< silence before declaring death
+};
+
+/// One re-plan boundary as robot i sees it: at `time`, the declared
+/// survivor count became `survivors` and this robot is rank `new_index`
+/// among them.
+struct ReplanEvent {
+  Real time = 0;
+  int survivors = 0;
+  int new_index = 0;
+};
+
+/// One supervisor declaration (possibly several robots at once).
+struct CrashDeclaration {
+  Real detect_time = 0;
+  std::vector<RobotId> crashed;  ///< robots declared dead at this instant
+};
+
+/// Outcome summary of a supervised run.
+struct SupervisorReport {
+  std::vector<CrashDeclaration> declarations;
+  int survivors = 0;        ///< robots never declared dead
+  int residual_faults = 0;  ///< blind budget f (crashes don't consume it)
+  bool recoverable = false; ///< survivors >= residual_faults + 1
+};
+
+/// Robot i of A(n, f) with supervisor-driven re-planning.  With an
+/// empty event list this is exactly ProportionalController (tests pin
+/// the waypoint-identical equivalence).
+class ResilientController final : public Controller {
+ public:
+  ResilientController(int n, int f, int robot, Real extent,
+                      std::vector<ReplanEvent> events = {});
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] Directive next(Real time, Real position) override;
+
+  /// Re-plans performed so far (grows as events fire).
+  [[nodiscard]] int replans() const noexcept { return replans_; }
+
+ private:
+  [[nodiscard]] std::unique_ptr<ZigZagController> make_ladder(
+      int fleet_size, int index) const;
+
+  int n_;
+  int f_;
+  int robot_;
+  Real extent_;
+  std::vector<ReplanEvent> events_;
+  std::size_t next_event_ = 0;
+  std::unique_ptr<ZigZagController> inner_;
+  bool returning_ = false;       ///< heading back to the origin
+  bool awaiting_event_ = false;  ///< leg subdivided at the next boundary
+  int replans_ = 0;
+};
+
+/// Ladder parameter for a re-planned fleet: the Theorem-1 optimum when
+/// (n, f) is in the proportional regime, the classic beta = 3 otherwise
+/// (any beta > 1 restores full coverage per survivor).
+[[nodiscard]] Real recovery_beta(int n, int f);
+
+/// The crash-recovery orchestrator for one A(n, f) team.
+class Supervisor {
+ public:
+  Supervisor(int n, int f, SupervisorConfig config = {});
+
+  /// Declaration time for a crash at `crash_time` under the protocol.
+  [[nodiscard]] Real detection_time_for(Real crash_time) const;
+
+  /// Build the team of ResilientControllers for a crash schedule
+  /// (crash_times[i] = kInfinity for healthy robots).
+  [[nodiscard]] std::vector<ControllerPtr> make_team(
+      const std::vector<Real>& crash_times, Real extent,
+      SupervisorReport* report = nullptr) const;
+
+  /// The full degraded pipeline: build the team, inject the crashes,
+  /// execute, return the mixed fleet (crashed robots truncated, the
+  /// survivors re-planned).
+  [[nodiscard]] Fleet run(const std::vector<Real>& crash_times, Real extent,
+                          SupervisorReport* report = nullptr,
+                          const WorldConfig& world = {}) const;
+
+ private:
+  int n_;
+  int f_;
+  SupervisorConfig config_;
+};
+
+/// One row of the degraded-mode CR sweep.
+struct DegradedSweepRow {
+  int n = 0;
+  int f = 0;
+  int crashes = 0;
+  int survivors = 0;
+  int residual_faults = 0;
+  Real measured_cr = 0;       ///< CR of the supervised run, f blind faults
+  Real theory_cr = kNaN;      ///< Theorem 1 for (survivors, f); NaN when
+                              ///< the reduced pair leaves the regime
+  Real ratio_to_theory = kNaN;
+  bool recovered = false;     ///< measured_cr finite
+};
+
+struct DegradedSweepOptions {
+  int n_max = 8;           ///< regime grid bound (41 pairs at 12)
+  int max_crashes = 2;     ///< crash counts swept per pair (1..max)
+  Real crash_time = 0.02L; ///< all crashes fire here (early: the whole
+                           ///< recovery stays inside |x| < 1)
+  Real window_hi = 16;     ///< CR measurement window
+  SupervisorConfig supervisor;
+};
+
+/// Sweep every regime pair (n <= n_max) x crash count: supervised run,
+/// measured degraded CR, Theorem-1 comparison for the reduced pair.
+[[nodiscard]] std::vector<DegradedSweepRow> degraded_mode_sweep(
+    const DegradedSweepOptions& options = {});
+
+}  // namespace linesearch

@@ -1,6 +1,7 @@
 #include "runtime/world.hpp"
 
 #include <cmath>
+#include <string>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -15,19 +16,55 @@ World::World(WorldConfig config) : config_(config) {
 
 Trajectory World::execute(Controller& controller,
                           ExecutionReport* report) const {
+  return execute(controller, FaultSpec::none(), report);
+}
+
+Trajectory World::execute(Controller& controller, const FaultSpec& fault,
+                          ExecutionReport* report) const {
   LS_OBS_SPAN("runtime.world.execute");
   TrajectoryBuilder builder;
   builder.start_at(0, 0);
   ExecutionReport local;
+  local.fault = fault.kind;
+  if (fault.kind == FaultKind::kCrashStop ||
+      fault.kind == FaultKind::kDelayedActivation) {
+    local.fault_time = fault.time;
+  }
+  if (fault.kind != FaultKind::kNone) {
+    LS_OBS_COUNT("runtime.faults_injected", 1);
+  }
 
-  while (true) {
-    if (local.directives >= config_.max_directives) {
-      throw NumericError("world: controller '" + controller.name() +
-                         "' exceeded the directive cap (runaway?)");
+  const Real crash =
+      fault.kind == FaultKind::kCrashStop ? fault.time : kInfinity;
+  int moves_seen = 0;
+  bool done = false;
+
+  if (fault.kind == FaultKind::kDelayedActivation && fault.time > 0) {
+    // Held at the origin: the controller is simply launched late.
+    const Real release = std::min(fault.time, config_.time_limit);
+    builder.wait_until(release);
+    if (release == config_.time_limit) {
+      local.time_limited = true;
+      done = true;
     }
+  }
+
+  while (!done) {
     const Real now = builder.current_time();
     const Real here = builder.current_position();
-    const Directive directive = controller.next(now, here);
+    if (now >= crash) {
+      // Crash landed exactly on a decision point: halt, nothing cut.
+      local.crashed = true;
+      LS_OBS_COUNT("runtime.crash_truncations", 1);
+      break;
+    }
+    if (local.directives >= config_.max_directives) {
+      throw NumericError("world: controller '" + controller.name() +
+                         "' exceeded the directive cap after " +
+                         std::to_string(local.directives) +
+                         " directives (runaway?)");
+    }
+    Directive directive = controller.next(now, here);
     ++local.directives;
 
     if (directive.kind == Directive::Kind::kStop) {
@@ -38,6 +75,13 @@ Trajectory World::execute(Controller& controller,
       expects(directive.value >= now,
               "world: controller tried to wait into the past");
       const Real until = std::min(directive.value, config_.time_limit);
+      if (crash < until) {
+        builder.wait_until(crash);
+        local.crashed = true;
+        local.truncated_leg = local.directives - 1;
+        LS_OBS_COUNT("runtime.crash_truncations", 1);
+        break;
+      }
       builder.wait_until(until);
       if (until == config_.time_limit) {
         local.time_limited = true;
@@ -47,6 +91,9 @@ Trajectory World::execute(Controller& controller,
     }
 
     // kMoveTo.
+    if (fault.kind == FaultKind::kSpeedCap) {
+      directive.speed = std::min(directive.speed, fault.speed_cap);
+    }
     expects(directive.speed > 0 &&
                 directive.speed <= Trajectory::kMaxSpeed * (1 + 1e-12L),
             "world: controller requested an illegal speed");
@@ -54,6 +101,32 @@ Trajectory World::execute(Controller& controller,
     expects(distance > 0,
             "world: zero-length move (use wait_until or stop)");
     const Real arrival = now + distance / directive.speed;
+
+    if (fault.kind == FaultKind::kDirectiveDrop &&
+        (++moves_seen % fault.drop_period) == 0) {
+      // Lost in transit: the robot holds position for the leg's
+      // would-be duration while the controller believes it moved.
+      ++local.dropped_directives;
+      const Real until = std::min(arrival, config_.time_limit);
+      builder.wait_until(until);
+      if (until == config_.time_limit) {
+        local.time_limited = true;
+        break;
+      }
+      continue;
+    }
+
+    if (crash < arrival && crash <= config_.time_limit) {
+      // Mid-leg crash.  The crash position uses the EXACT interpolation
+      // arithmetic of DenseSchedule::position_at, so the injected run is
+      // value_identical to truncate_at_crashes() of the clean run.
+      const Real fraction = (crash - now) / (arrival - now);
+      builder.move_to_at(here + fraction * (directive.value - here), crash);
+      local.crashed = true;
+      local.truncated_leg = local.directives - 1;
+      LS_OBS_COUNT("runtime.crash_truncations", 1);
+      break;
+    }
     if (arrival > config_.time_limit) {
       // Truncate the leg at the time limit and halt the robot there.
       const Real budget = config_.time_limit - now;
@@ -75,6 +148,12 @@ Trajectory World::execute(Controller& controller,
 
 Fleet World::execute_team(const std::vector<ControllerPtr>& controllers,
                           std::vector<ExecutionReport>* reports) const {
+  return execute_team(controllers, FaultInjector{}, reports);
+}
+
+Fleet World::execute_team(const std::vector<ControllerPtr>& controllers,
+                          const FaultInjector& injector,
+                          std::vector<ExecutionReport>* reports) const {
   LS_OBS_SPAN("runtime.world.execute_team");
   expects(!controllers.empty(), "world: empty team");
   std::vector<Trajectory> robots;
@@ -83,7 +162,7 @@ Fleet World::execute_team(const std::vector<ControllerPtr>& controllers,
   for (std::size_t i = 0; i < controllers.size(); ++i) {
     expects(controllers[i] != nullptr, "world: null controller");
     robots.push_back(execute(
-        *controllers[i],
+        *controllers[i], injector.spec(i),
         reports != nullptr ? &(*reports)[i] : nullptr));
   }
   return Fleet(std::move(robots));

@@ -10,11 +10,17 @@
 // The outcome is an ordinary Fleet, so everything downstream — exact
 // detection queries, the evaluators, the adversary, the renderer —
 // applies to online-executed programs unchanged.
+//
+// Execution can be perturbed by a FaultSpec / FaultInjector
+// (runtime/injector.hpp): crash-stop, delayed activation, speed caps and
+// directive drops, all deterministic and recorded in the report.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "runtime/controller.hpp"
+#include "runtime/injector.hpp"
 #include "sim/fleet.hpp"
 #include "util/real.hpp"
 
@@ -26,11 +32,19 @@ struct WorldConfig {
   int max_directives = 100000;  ///< per robot; exceeded => runaway error
 };
 
-/// Per-robot execution report.
+/// Per-robot execution report.  The fault fields make an injected run
+/// fully reconstructable: which fault, when it fired, which leg it cut.
 struct ExecutionReport {
   int directives = 0;
   bool stopped = false;        ///< controller emitted kStop
   bool time_limited = false;   ///< truncated at the time limit
+  FaultKind fault = FaultKind::kNone;  ///< injected fault kind
+  Real fault_time = kInfinity; ///< crash / activation time (those kinds)
+  bool crashed = false;        ///< halted forever by kCrashStop
+  /// 0-based index of the directive the crash cut mid-flight; -1 when
+  /// the crash landed exactly on a decision point (no leg truncated).
+  int truncated_leg = -1;
+  int dropped_directives = 0;  ///< kMoveTo legs lost to kDirectiveDrop
 };
 
 /// Drive every controller to completion and materialize the fleet.
@@ -42,10 +56,21 @@ class World {
   [[nodiscard]] Trajectory execute(Controller& controller,
                                    ExecutionReport* report = nullptr) const;
 
+  /// Execute one controller under an injected fault.
+  [[nodiscard]] Trajectory execute(Controller& controller,
+                                   const FaultSpec& fault,
+                                   ExecutionReport* report = nullptr) const;
+
   /// Execute a team of controllers into a Fleet (reports optional,
   /// resized to match).
   [[nodiscard]] Fleet execute_team(
       const std::vector<ControllerPtr>& controllers,
+      std::vector<ExecutionReport>* reports = nullptr) const;
+
+  /// Execute a team under a fault plan (robot i gets injector.spec(i)).
+  [[nodiscard]] Fleet execute_team(
+      const std::vector<ControllerPtr>& controllers,
+      const FaultInjector& injector,
       std::vector<ExecutionReport>* reports = nullptr) const;
 
  private:

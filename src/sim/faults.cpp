@@ -1,11 +1,19 @@
 #include "sim/faults.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
+#include <utility>
 
 #include "util/error.hpp"
 
 namespace linesearch {
+
+Real FaultModel::detection_time(const Fleet& fleet, const Real target,
+                                const int max_faults) {
+  return fleet.detection_time_with_faults(
+      target, choose_faults(fleet, target, max_faults));
+}
 
 std::vector<bool> AdversarialFaults::choose_faults(const Fleet& fleet,
                                                    const Real target,
@@ -30,11 +38,15 @@ FixedFaults::FixedFaults(std::vector<bool> faulty)
 std::vector<bool> FixedFaults::choose_faults(const Fleet& fleet,
                                              const Real /*target*/,
                                              const int max_faults) {
+  expects(max_faults >= 0, "max_faults must be >= 0");
   expects(faulty_.size() == fleet.size(),
           "fixed fault set size must match fleet size");
   const auto count =
       std::count(faulty_.begin(), faulty_.end(), true);
-  expects(count <= max_faults, "fixed fault set exceeds fault budget");
+  expects(count <= max_faults,
+          "fixed fault set has " + std::to_string(count) +
+              " faulty robots but the budget allows only " +
+              std::to_string(max_faults));
   return faulty_;
 }
 
@@ -56,11 +68,98 @@ std::vector<bool> RandomFaults::choose_faults(const Fleet& fleet,
   return faulty;
 }
 
+namespace {
+
+/// Cut one trajectory at `crash`.  Shares the backend when the crash is
+/// at or past the end; otherwise materializes the kept waypoints plus an
+/// interpolated cut point using DenseSchedule::position_at's exact
+/// arithmetic (value-identity with World's crash truncation).
+Trajectory truncate_trajectory(const Trajectory& robot, const Real crash) {
+  expects(crash >= 0, "truncate_at_crashes: crash times must be >= 0");
+  if (!(crash < robot.end_time())) return robot;
+  if (crash <= robot.start_time()) {
+    return Trajectory(std::vector<Waypoint>{
+        Waypoint{robot.start_time(), robot.start_position()}});
+  }
+  std::vector<Waypoint> kept;
+  if (robot.unbounded()) {
+    std::size_t count = 64;
+    kept = robot.waypoint_prefix(count);
+    while (kept.back().time < crash) {
+      count *= 2;
+      kept = robot.waypoint_prefix(count);
+    }
+  } else {
+    kept = robot.waypoints();
+  }
+  std::size_t cut = 0;
+  while (cut < kept.size() && kept[cut].time <= crash) ++cut;
+  const Waypoint before = kept[cut - 1];
+  std::vector<Waypoint> out(kept.begin(),
+                            kept.begin() + static_cast<std::ptrdiff_t>(cut));
+  if (before.time < crash) {
+    const Waypoint after = kept[cut];
+    const Real fraction = (crash - before.time) / (after.time - before.time);
+    out.push_back(Waypoint{
+        crash,
+        before.position + fraction * (after.position - before.position)});
+  }
+  return Trajectory(std::move(out));
+}
+
+}  // namespace
+
+Fleet truncate_at_crashes(const Fleet& fleet,
+                          const std::vector<Real>& crash_times) {
+  expects(crash_times.size() == fleet.size(),
+          "truncate_at_crashes: crash schedule size must match the fleet");
+  std::vector<Trajectory> robots;
+  robots.reserve(fleet.size());
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    robots.push_back(truncate_trajectory(
+        fleet.robot(static_cast<RobotId>(i)), crash_times[i]));
+  }
+  return Fleet(std::move(robots));
+}
+
+CrashFaults::CrashFaults(std::vector<Real> crash_times)
+    : crash_times_(std::move(crash_times)) {
+  for (const Real t : crash_times_) {
+    expects(t >= 0, "crash faults: crash times must be >= 0");
+  }
+}
+
+const Fleet& CrashFaults::truncated_for(const Fleet& fleet) {
+  expects(crash_times_.size() == fleet.size(),
+          "crash faults: crash schedule size must match the fleet");
+  if (cached_key_ != &fleet) {
+    truncated_ =
+        std::make_unique<Fleet>(truncate_at_crashes(fleet, crash_times_));
+    cached_key_ = &fleet;
+  }
+  return *truncated_;
+}
+
+std::vector<bool> CrashFaults::choose_faults(const Fleet& fleet,
+                                             const Real target,
+                                             const int max_faults) {
+  // Adversarial blind assignment against the fleet AS IT MOVES: the
+  // earliest visitors of the truncated trajectories.
+  AdversarialFaults adversarial;
+  return adversarial.choose_faults(truncated_for(fleet), target, max_faults);
+}
+
+Real CrashFaults::detection_time(const Fleet& fleet, const Real target,
+                                 const int max_faults) {
+  // Answer on the truncated fleet itself: visits after a crash never
+  // happen, so the (f+1)-st distinct visit is computed in the right
+  // regime by construction.
+  return truncated_for(fleet).detection_time(target, max_faults);
+}
+
 Real detection_time_under(FaultModel& model, const Fleet& fleet,
                           const Real target, const int max_faults) {
-  const std::vector<bool> faulty =
-      model.choose_faults(fleet, target, max_faults);
-  return fleet.detection_time_with_faults(target, faulty);
+  return model.detection_time(fleet, target, max_faults);
 }
 
 }  // namespace linesearch

@@ -7,6 +7,15 @@
 // exactly that.  FixedFaults and RandomFaults support the extension
 // experiments (explicit scenarios and Monte-Carlo studies of *average*
 // behaviour under random faults, bench A3).
+//
+// CrashFaults extends the taxonomy beyond the paper: a crash-stop robot
+// halts at its crash time and contributes NO visits afterwards (its past
+// visits still count — a crashed robot was sensing-reliable while it
+// moved; the blind budget is separate and unchanged).  The model reduces
+// crashes to the existing machinery by truncating trajectories at the
+// crash times (truncate_at_crashes) and answering every query against
+// the truncated fleet, which makes the mixed regime (f blind faults +
+// any number of crashes) exact by construction.
 #pragma once
 
 #include <memory>
@@ -30,6 +39,13 @@ class FaultModel {
                                                         Real target,
                                                         int max_faults) = 0;
 
+  /// Detection time at `target` under this model with up to `max_faults`
+  /// sensor-blind robots.  The default evaluates the chosen assignment
+  /// on `fleet` directly; models that alter the MOTION regime (crashes)
+  /// override this to answer against their own view of the fleet.
+  [[nodiscard]] virtual Real detection_time(const Fleet& fleet, Real target,
+                                            int max_faults);
+
   [[nodiscard]] virtual std::string name() const = 0;
 };
 
@@ -48,6 +64,8 @@ class FixedFaults final : public FaultModel {
  public:
   explicit FixedFaults(std::vector<bool> faulty);
 
+  /// Throws PreconditionError (with the offending counts in the message)
+  /// when the fixed set is larger than the permitted budget.
   [[nodiscard]] std::vector<bool> choose_faults(const Fleet& fleet,
                                                 Real target,
                                                 int max_faults) override;
@@ -70,6 +88,45 @@ class RandomFaults final : public FaultModel {
 
  private:
   std::mt19937_64 rng_;
+};
+
+/// The fleet as it actually moves when robot i crash-stops at
+/// crash_times[i]: each trajectory is cut at its crash time (the cut
+/// waypoint is interpolated with DenseSchedule::position_at's exact
+/// arithmetic, so the result is value_identical to a World run under a
+/// crash FaultInjector).  kInfinity entries leave the robot untouched
+/// (the backend is shared, not copied).
+[[nodiscard]] Fleet truncate_at_crashes(const Fleet& fleet,
+                                        const std::vector<Real>& crash_times);
+
+/// Mixed regime: crash-stop schedule plus up to `max_faults` adversarial
+/// sensor-blind robots.  Visits after a robot's crash never happen;
+/// visits before it count (crashed != blind).  Queries are answered
+/// against the truncated fleet, with the blind assignment chosen
+/// adversarially (earliest truncated visitors first).
+class CrashFaults final : public FaultModel {
+ public:
+  explicit CrashFaults(std::vector<Real> crash_times);
+
+  [[nodiscard]] std::vector<bool> choose_faults(const Fleet& fleet,
+                                                Real target,
+                                                int max_faults) override;
+  [[nodiscard]] Real detection_time(const Fleet& fleet, Real target,
+                                    int max_faults) override;
+  [[nodiscard]] std::string name() const override { return "crash"; }
+
+  [[nodiscard]] const std::vector<Real>& crash_times() const noexcept {
+    return crash_times_;
+  }
+
+ private:
+  /// Truncated view of `fleet`, cached per fleet identity (the model is
+  /// typically interrogated many times about one fleet).
+  [[nodiscard]] const Fleet& truncated_for(const Fleet& fleet);
+
+  std::vector<Real> crash_times_;
+  const Fleet* cached_key_ = nullptr;
+  std::unique_ptr<Fleet> truncated_;
 };
 
 /// Convenience: detection time at x under `model` with up to f faults.

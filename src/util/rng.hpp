@@ -1,0 +1,48 @@
+// util/rng.hpp — deterministic 64-bit generator (SplitMix64).
+//
+// Tiny state, full period, and — unlike std::mt19937_64 +
+// std::uniform_real_distribution — identical streams on every platform
+// and standard library.  Both the verify fuzzer and the runtime fault
+// injector derive their randomness from it, so a seed alone replays an
+// instance bit-identically anywhere.
+#pragma once
+
+#include <cstdint>
+
+#include "util/real.hpp"
+
+namespace linesearch {
+
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  [[nodiscard]] std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform Real in [lo, hi).
+  [[nodiscard]] Real uniform(const Real lo, const Real hi) noexcept {
+    const Real unit = static_cast<Real>(next() >> 11) * 0x1.0p-53L;
+    return lo + (hi - lo) * unit;
+  }
+
+  /// Uniform int in [lo, hi] (inclusive); requires lo <= hi.
+  [[nodiscard]] int uniform_int(const int lo, const int hi) noexcept {
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int>(next() % span);
+  }
+
+  /// True with probability p.
+  [[nodiscard]] bool chance(const Real p) noexcept {
+    return uniform(0, 1) < p;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace linesearch

@@ -5,6 +5,8 @@
 
 #include "eval/exact.hpp"
 #include "eval/visit_cache.hpp"
+#include "runtime/world.hpp"
+#include "sim/faults.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
 #include "verify/invariants.hpp"
@@ -236,6 +238,69 @@ DifferentialResult diff_dense_vs_analytic(const SearchStrategy& strategy,
   const CrEvalResult dense_cr = measure_cr(dense, f, eval);
   const CrEvalResult analytic_cr = measure_cr(analytic, f, eval);
   compare_results(result, 0, dense_cr, analytic_cr);
+  return result;
+}
+
+DifferentialResult diff_crash_injected(const int n, const int f,
+                                       const Real extent,
+                                       const std::vector<Real>& crash_times,
+                                       const CrEvalOptions& eval) {
+  DifferentialResult result;
+  result.name = "crash_injected";
+  expects(static_cast<int>(crash_times.size()) == n,
+          "diff_crash_injected: crash schedule size must match the fleet");
+
+  const auto team = [n, f, extent]() {
+    std::vector<ControllerPtr> controllers;
+    controllers.reserve(static_cast<std::size_t>(n));
+    for (int robot = 0; robot < n; ++robot) {
+      controllers.push_back(
+          std::make_unique<ProportionalController>(n, f, robot, extent));
+    }
+    return controllers;
+  };
+  std::vector<FaultSpec> plan;
+  plan.reserve(crash_times.size());
+  for (const Real t : crash_times) {
+    plan.push_back(std::isfinite(t) ? FaultSpec::crash_at(t)
+                                    : FaultSpec::none());
+  }
+  const Fleet injected =
+      World().execute_team(team(), FaultInjector(std::move(plan)));
+  const Fleet truncated =
+      truncate_at_crashes(World().execute_team(team()), crash_times);
+
+  // (a) The injected run must equal the analytic truncation waypoint by
+  // waypoint (World's mid-leg cut uses the same interpolation
+  // arithmetic).
+  for (RobotId id = 0; id < injected.size(); ++id) {
+    const std::vector<Waypoint>& lhs = injected.robot(id).waypoints();
+    const std::vector<Waypoint>& rhs = truncated.robot(id).waypoints();
+    if (lhs.size() != rhs.size()) {
+      record(result, id, "waypoint_count", static_cast<Real>(lhs.size()),
+             static_cast<Real>(rhs.size()));
+      continue;
+    }
+    for (std::size_t w = 0; w < lhs.size(); ++w) {
+      if (!value_identical(lhs[w].time, rhs[w].time)) {
+        record(result, id, "waypoint[" + std::to_string(w) + "].time",
+               lhs[w].time, rhs[w].time);
+      }
+      if (!value_identical(lhs[w].position, rhs[w].position)) {
+        record(result, id, "waypoint[" + std::to_string(w) + "].position",
+               lhs[w].position, rhs[w].position);
+      }
+    }
+  }
+
+  // (b) Nor may the evaluator tell them apart (a crashed fleet can leave
+  // probes undetected, so the caller's eval must have require_finite
+  // off; enforce it here rather than trusting every call site).
+  CrEvalOptions relaxed = eval;
+  relaxed.require_finite = false;
+  const CrEvalResult lhs_cr = measure_cr(injected, f, relaxed);
+  const CrEvalResult rhs_cr = measure_cr(truncated, f, relaxed);
+  compare_results(result, 0, lhs_cr, rhs_cr);
   return result;
 }
 

@@ -100,6 +100,16 @@ struct DifferentialOptions {
     const SearchStrategy& strategy, Real extent, int f,
     const CrEvalOptions& eval);
 
+/// Crash-injected World run vs analytic truncation: execute the A(n, f)
+/// controllers under a crash-stop FaultInjector, independently truncate
+/// a CLEAN run at the same crash times (sim/faults truncate_at_crashes),
+/// and demand (a) every robot's waypoint stream is value-identical and
+/// (b) measure_cr over the window (require_finite off) agrees field by
+/// field, bitwise.  crash_times[i] = kInfinity means robot i is healthy.
+[[nodiscard]] DifferentialResult diff_crash_injected(
+    int n, int f, Real extent, const std::vector<Real>& crash_times,
+    const CrEvalOptions& eval);
+
 /// Run every engine above on one (fleet, f, window) instance.  `targets`
 /// adds fuzzer-chosen positions to the memo-vs-direct check.
 [[nodiscard]] std::vector<DifferentialResult> run_differentials(

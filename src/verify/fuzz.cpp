@@ -10,6 +10,8 @@
 #include "core/competitive.hpp"
 #include "core/custom.hpp"
 #include "obs/metrics.hpp"
+#include "runtime/world.hpp"
+#include "sim/faults.hpp"
 #include "sim/trajectory.hpp"
 #include "sim/zigzag.hpp"
 #include "util/error.hpp"
@@ -17,25 +19,6 @@
 
 namespace linesearch {
 namespace verify {
-
-std::uint64_t SplitMix64::next() noexcept {
-  std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-  return z ^ (z >> 31);
-}
-
-Real SplitMix64::uniform(const Real lo, const Real hi) noexcept {
-  const Real unit = static_cast<Real>(next() >> 11) * 0x1.0p-53L;
-  return lo + (hi - lo) * unit;
-}
-
-int SplitMix64::uniform_int(const int lo, const int hi) noexcept {
-  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
-  return lo + static_cast<int>(next() % span);
-}
-
-bool SplitMix64::chance(const Real p) noexcept { return uniform(0, 1) < p; }
 
 const char* kind_name(const FleetKind kind) noexcept {
   switch (kind) {
@@ -46,6 +29,7 @@ const char* kind_name(const FleetKind kind) noexcept {
     case FleetKind::kClassicCowPath: return "classic-cow-path";
     case FleetKind::kUniformOffset: return "uniform-offset";
     case FleetKind::kAnalyticZigzag: return "analytic-zigzag";
+    case FleetKind::kCrashInjected: return "crash-injected";
   }
   return "unknown";
 }
@@ -64,7 +48,8 @@ bool regime_kind(const FleetKind kind) noexcept {
   return kind == FleetKind::kProportional ||
          kind == FleetKind::kPerturbedBeta ||
          kind == FleetKind::kUniformOffset ||
-         kind == FleetKind::kAnalyticZigzag;
+         kind == FleetKind::kAnalyticZigzag ||
+         kind == FleetKind::kCrashInjected;
 }
 
 bool cone_kind(const FleetKind kind) noexcept {
@@ -97,9 +82,30 @@ std::unique_ptr<SearchStrategy> make_fuzz_strategy(
     case FleetKind::kUniformOffset:
       return std::make_unique<UniformOffsetZigzag>(instance.n, instance.f);
     case FleetKind::kCustomCone:
+    case FleetKind::kCrashInjected:
+      // A crashed fleet is not a SearchStrategy; diff_crash_injected is
+      // its dedicated differential instead.
       return nullptr;
   }
   return nullptr;
+}
+
+/// The controller team behind kCrashInjected (the crash differential
+/// rebuilds the identical team itself).
+Fleet build_crash_injected_fleet(const FuzzInstance& instance) {
+  std::vector<FaultSpec> plan;
+  plan.reserve(instance.crash_times.size());
+  for (const Real t : instance.crash_times) {
+    plan.push_back(std::isfinite(t) ? FaultSpec::crash_at(t)
+                                    : FaultSpec::none());
+  }
+  std::vector<ControllerPtr> team;
+  team.reserve(static_cast<std::size_t>(instance.n));
+  for (int robot = 0; robot < instance.n; ++robot) {
+    team.push_back(std::make_unique<ProportionalController>(
+        instance.n, instance.f, robot, instance.extent));
+  }
+  return World().execute_team(team, FaultInjector(std::move(plan)));
 }
 
 Trajectory make_escape_zigzag(const Real min_coverage) {
@@ -126,13 +132,14 @@ FuzzInstance generate_instance(const std::uint64_t seed) {
   SplitMix64 rng(seed);
   FuzzInstance instance;
   instance.seed = seed;
-  instance.kind = static_cast<FleetKind>(rng.uniform_int(0, 6));
+  instance.kind = static_cast<FleetKind>(rng.uniform_int(0, 7));
 
   switch (instance.kind) {
     case FleetKind::kProportional:
     case FleetKind::kPerturbedBeta:
     case FleetKind::kUniformOffset:
-    case FleetKind::kAnalyticZigzag: {
+    case FleetKind::kAnalyticZigzag:
+    case FleetKind::kCrashInjected: {
       instance.f = rng.uniform_int(1, 4);
       instance.n = rng.uniform_int(instance.f + 1, 2 * instance.f + 1);
       instance.beta =
@@ -176,6 +183,16 @@ FuzzInstance generate_instance(const std::uint64_t seed) {
     const Real kappa2 =
         expansion_factor(instance.beta) * expansion_factor(instance.beta);
     instance.extent = std::max(instance.extent, kappa2 * Real{1.5L});
+  }
+
+  if (instance.kind == FleetKind::kCrashInjected) {
+    // Per-robot crash schedule; both draws happen unconditionally so
+    // the stream shape is fixed regardless of which robots crash.
+    for (int robot = 0; robot < instance.n; ++robot) {
+      const bool crashes = rng.chance(0.6L);
+      const Real at = rng.uniform(0.1L, 32.0L);
+      instance.crash_times.push_back(crashes ? at : kInfinity);
+    }
   }
 
   // Adversarial targets: the +-window_lo boundary right-limits, the top
@@ -232,6 +249,8 @@ Fleet build_fuzz_fleet(const FuzzInstance& instance) {
         // must work through windowed queries only.
         return ProportionalAlgorithm(instance.n, instance.f)
             .build_unbounded_fleet();
+      case FleetKind::kCrashInjected:
+        return build_crash_injected_fleet(instance);
     }
     throw PreconditionError("build_fuzz_fleet: unknown kind");
   }();
@@ -277,6 +296,12 @@ Subject make_subject(const FuzzInstance& instance, const Fleet& fleet) {
       // materialized waypoint list, which the unbounded backend refuses;
       // the dense-vs-analytic differential covers the structure instead.
       subject.theory_cr = algorithm_cr(instance.n, instance.f);
+      break;
+    case FleetKind::kCrashInjected:
+      // Crashed robots stop short of the extent, so the coverage claim
+      // is withdrawn (0 => inapplicable); the ladder is A(n, f) so the
+      // cone claim stands — every truncated leg stays inside C_beta.
+      subject.coverage_extent = 0;
       break;
     case FleetKind::kCustomCone:
     case FleetKind::kUniformOffset:
@@ -324,6 +349,10 @@ FuzzOutcome run_instance(const FuzzInstance& instance) {
     options.window_hi = instance.window_hi;
     options.samples = 16;
     options.extra_positions = instance.targets;
+    // A crashed fleet can leave probes undetected forever; the adversary
+    // game assumes a fully covering fleet, so it sits this kind out.
+    options.run_theorem2_game =
+        instance.kind != FleetKind::kCrashInjected;
     outcome.invariants = run_invariants(subject, options);
 
     if (instance.injection == Injection::kNone) {
@@ -331,8 +360,17 @@ FuzzOutcome run_instance(const FuzzInstance& instance) {
       eval.window_lo = instance.window_lo;
       eval.window_hi = instance.window_hi;
       try {
-        outcome.differentials =
-            run_differentials(fleet, instance.f, eval, instance.targets);
+        if (instance.kind == FleetKind::kCrashInjected) {
+          // The generic engines demand finite detection everywhere; the
+          // crash kind instead races the injected World run against the
+          // analytic truncation of a clean run.
+          outcome.differentials.push_back(diff_crash_injected(
+              instance.n, instance.f, instance.extent,
+              instance.crash_times, eval));
+        } else {
+          outcome.differentials =
+              run_differentials(fleet, instance.f, eval, instance.targets);
+        }
         if (const std::unique_ptr<SearchStrategy> strategy =
                 make_fuzz_strategy(instance)) {
           outcome.differentials.push_back(diff_dense_vs_analytic(
@@ -371,8 +409,13 @@ void clamp_faults(FuzzInstance& instance) {
   if (instance.n < 2) instance.mirrored = false;
   if (instance.kind == FleetKind::kProportional ||
       instance.kind == FleetKind::kUniformOffset ||
-      instance.kind == FleetKind::kAnalyticZigzag) {
+      instance.kind == FleetKind::kAnalyticZigzag ||
+      instance.kind == FleetKind::kCrashInjected) {
     instance.beta = optimal_beta(instance.n, instance.f);
+  }
+  while (instance.crash_times.size() >
+         static_cast<std::size_t>(instance.n)) {
+    instance.crash_times.pop_back();
   }
 }
 
@@ -463,6 +506,33 @@ std::vector<FuzzInstance> shrink_moves(const FuzzInstance& instance) {
     if (changed) moves.push_back(std::move(rounder));
   }
 
+  if (instance.kind == FleetKind::kCrashInjected) {
+    bool any_crash = false;
+    for (const Real t : instance.crash_times) {
+      if (std::isfinite(t)) any_crash = true;
+    }
+    if (any_crash) {
+      // Simplest first: no crashes at all (a plain A(n, f) run).
+      FuzzInstance healthy = instance;
+      std::fill(healthy.crash_times.begin(), healthy.crash_times.end(),
+                kInfinity);
+      moves.push_back(std::move(healthy));
+      // Then rounder crash times (quarter grid, floor 0.25).
+      FuzzInstance rounder = instance;
+      bool changed = false;
+      for (Real& t : rounder.crash_times) {
+        if (!std::isfinite(t)) continue;
+        const Real rounded =
+            std::max(Real{0.25L}, std::round(t * 4) / 4);
+        if (!value_identical(rounded, t)) {
+          t = rounded;
+          changed = true;
+        }
+      }
+      if (changed) moves.push_back(std::move(rounder));
+    }
+  }
+
   return moves;
 }
 
@@ -520,6 +590,9 @@ std::string instance_to_json(const FuzzInstance& instance,
   json.field("window_hi", instance.window_hi);
   json.key("targets").begin_array();
   for (const Real target : instance.targets) json.value(target);
+  json.end_array();
+  json.key("crash_times").begin_array();
+  for (const Real t : instance.crash_times) json.value(t);
   json.end_array();
   json.field("ok", outcome.ok());
   json.key("failures").begin_array();

@@ -25,32 +25,17 @@
 
 #include "sim/fleet.hpp"
 #include "util/real.hpp"
+#include "util/rng.hpp"
 #include "verify/differential.hpp"
 #include "verify/invariants.hpp"
 
 namespace linesearch {
 namespace verify {
 
-/// Deterministic 64-bit generator (SplitMix64) — tiny state, full-period,
-/// identical streams on every platform.
-class SplitMix64 {
- public:
-  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
-
-  [[nodiscard]] std::uint64_t next() noexcept;
-
-  /// Uniform Real in [lo, hi).
-  [[nodiscard]] Real uniform(Real lo, Real hi) noexcept;
-
-  /// Uniform int in [lo, hi] (inclusive); requires lo <= hi.
-  [[nodiscard]] int uniform_int(int lo, int hi) noexcept;
-
-  /// True with probability p.
-  [[nodiscard]] bool chance(Real p) noexcept;
-
- private:
-  std::uint64_t state_;
-};
+/// Deterministic 64-bit generator — now the library-wide
+/// linesearch::SplitMix64 (util/rng.hpp); the alias keeps the long-lived
+/// verify::SplitMix64 spelling (and its streams) intact.
+using ::linesearch::SplitMix64;
 
 /// Strategy families the generator draws from.
 enum class FleetKind {
@@ -61,6 +46,7 @@ enum class FleetKind {
   kClassicCowPath,  ///< non-cone Beck/Bellman doubling (optionally mirrored)
   kUniformOffset,   ///< arithmetic first-turn spread (ablation foil)
   kAnalyticZigzag,  ///< A(n, f) on the analytic (unbounded) backend
+  kCrashInjected,   ///< A(n, f) executed under a crash-stop FaultInjector
 };
 
 /// Deliberate corruptions for testing the oracles and the shrinker.
@@ -91,6 +77,9 @@ struct FuzzInstance {
   Real window_lo = 1;
   Real window_hi = 16;
   std::vector<Real> targets;    ///< adversarial probe positions (signed)
+  /// kCrashInjected only: per-robot crash-stop times (kInfinity =
+  /// healthy).  Size n when present.
+  std::vector<Real> crash_times;
 };
 
 /// Everything one run produced.

@@ -373,18 +373,38 @@ InvariantResult check_fault_monotone_cr(const Subject& subject,
                            .require_finite = false};
   Real previous = 0;
   int previous_f = 0;
+  int previous_undetected = 0;
   for (int g = 0; g <= subject.f; ++g) {
     const CrEvalResult measured = measure_cr(fleet, g, eval);
-    if (measured.cr < previous * (1 - tol::kRelative)) {
+    // Detection can only get harder with more faults: a probe undetected
+    // at g stays undetected at g+1.
+    if (measured.undetected_probes < previous_undetected) {
+      return fail(name,
+                  "probes detected again with more faults: " +
+                      std::to_string(previous_undetected) + " undetected at f=" +
+                      std::to_string(previous_f) + " but only " +
+                      std::to_string(measured.undetected_probes) + " at f=" +
+                      std::to_string(g),
+                  static_cast<Real>(previous_undetected -
+                                    measured.undetected_probes));
+    }
+    // The reported sup skips individually-undetected probes (a crashed
+    // fleet can lose probes to infinity one by one), so the finite
+    // number is only comparable while the detected probe set is
+    // unchanged; a probe that escaped to infinity satisfies K >=
+    // anything by itself.
+    if (measured.undetected_probes == previous_undetected &&
+        measured.cr < previous * (1 - tol::kRelative)) {
       return fail(name,
                   "measured sup K drops from " + real_str(previous) +
                       " (f=" + std::to_string(previous_f) + ") to " +
                       real_str(measured.cr) + " (f=" + std::to_string(g) +
-                      ") — extra crash faults helped the searchers",
+                      ") — extra faults helped the searchers",
                   previous - measured.cr);
     }
     previous = measured.cr;
     previous_f = g;
+    previous_undetected = measured.undetected_probes;
   }
   return pass(name);
 }

@@ -21,6 +21,8 @@ PerfReportOptions fast_options(const bool timings_only) {
   options.build_reps = 2;
   options.dense_coverage = 200;
   options.sweep_window_hi = 1024;
+  options.degraded_n_max = 4;
+  options.degraded_max_crashes = 1;
   return options;
 }
 
@@ -36,12 +38,12 @@ bool contains(const std::string& haystack, const std::string& needle) {
 
 TEST(ObsPerfReport, FullModeEmitsChecksumsAndIdentityFlags) {
   const std::string json = report(fast_options(/*timings_only=*/false));
-  EXPECT_TRUE(contains(json, "\"schema\": \"linesearch-bench-perf/2\""));
+  EXPECT_TRUE(contains(json, "\"schema\": \"linesearch-bench-perf/3\""));
   EXPECT_TRUE(contains(json, "\"timings_only\": false"));
   for (const char* name :
        {"dense_cr_sweep_serial", "dense_cr_sweep_parallel",
         "certified_cr_a74", "theorem2_game_a31", "analytic_sweep_dense",
-        "analytic_sweep_analytic"}) {
+        "analytic_sweep_analytic", "degraded_sweep"}) {
     EXPECT_TRUE(contains(json, std::string("\"name\": \"") + name + "\""))
         << name;
   }
@@ -51,29 +53,38 @@ TEST(ObsPerfReport, FullModeEmitsChecksumsAndIdentityFlags) {
   EXPECT_TRUE(contains(json, "\"parallel_identical_to_serial\": true"));
   EXPECT_TRUE(contains(json, "\"analytic_identical_to_dense\": true"));
   EXPECT_TRUE(contains(json, "\"dense_build_millis\""));
+  // The degraded sweep reports a row per (n, f, crashes) plus the worst
+  // relative gap to Theorem 1 over the valid reductions.
+  EXPECT_TRUE(contains(json, "\"recovered_rows\""));
+  EXPECT_TRUE(contains(json, "\"crashes\""));
+  EXPECT_TRUE(contains(json, "\"theory_cr\""));
+  EXPECT_TRUE(contains(json, "\"worst_gap_to_theory\""));
   EXPECT_TRUE(contains(json, "\"metrics\""));
 }
 
 TEST(ObsPerfReport, TimingsOnlySkipsChecksumWork) {
   const std::string json = report(fast_options(/*timings_only=*/true));
-  EXPECT_TRUE(contains(json, "\"schema\": \"linesearch-bench-perf/2\""));
+  EXPECT_TRUE(contains(json, "\"schema\": \"linesearch-bench-perf/3\""));
   EXPECT_TRUE(contains(json, "\"timings_only\": true"));
   for (const char* name :
        {"dense_cr_sweep_serial", "dense_cr_sweep_parallel",
         "certified_cr_a74", "theorem2_game_a31",
-        "analytic_sweep_analytic"}) {
+        "analytic_sweep_analytic", "degraded_sweep"}) {
     EXPECT_TRUE(contains(json, std::string("\"name\": \"") + name + "\""))
         << name;
   }
   // Everything whose only purpose is checksum verification is gone:
-  // checksum fields, identity flags, and the dense sweep counterpart.
+  // checksum fields, identity flags, the dense sweep counterpart, and
+  // the degraded sweep's theory-gap verification field.
   EXPECT_FALSE(contains(json, "\"checksum\""));
   EXPECT_FALSE(contains(json, "parallel_identical_to_serial"));
   EXPECT_FALSE(contains(json, "analytic_identical_to_dense"));
   EXPECT_FALSE(contains(json, "analytic_sweep_dense"));
   EXPECT_FALSE(contains(json, "dense_build_millis"));
+  EXPECT_FALSE(contains(json, "worst_gap_to_theory"));
   // The shared shape survives in both modes.
   EXPECT_TRUE(contains(json, "\"analytic_build_millis\""));
+  EXPECT_TRUE(contains(json, "\"recovered_rows\""));
   EXPECT_TRUE(contains(json, "\"metrics\""));
 }
 

@@ -1,0 +1,239 @@
+// Tests for runtime/injector.hpp — deterministic fault injection.
+#include "runtime/injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/algorithm.hpp"
+#include "eval/batch.hpp"
+#include "runtime/world.hpp"
+#include "sim/faults.hpp"
+#include "util/error.hpp"
+#include "verify/invariants.hpp"
+
+namespace linesearch {
+namespace {
+
+std::vector<ControllerPtr> proportional_team(const int n, const int f,
+                                             const Real extent) {
+  std::vector<ControllerPtr> team;
+  team.reserve(static_cast<std::size_t>(n));
+  for (int robot = 0; robot < n; ++robot) {
+    team.push_back(
+        std::make_unique<ProportionalController>(n, f, robot, extent));
+  }
+  return team;
+}
+
+TEST(FaultSpecTest, FactoriesValidate) {
+  EXPECT_THROW((void)FaultSpec::crash_at(-1), PreconditionError);
+  EXPECT_THROW((void)FaultSpec::crash_at(kInfinity), PreconditionError);
+  EXPECT_THROW((void)FaultSpec::delayed_until(-0.5L), PreconditionError);
+  EXPECT_THROW((void)FaultSpec::speed_capped(0), PreconditionError);
+  EXPECT_THROW((void)FaultSpec::speed_capped(1.5L), PreconditionError);
+  EXPECT_THROW((void)FaultSpec::dropping_every(0), PreconditionError);
+  EXPECT_EQ(FaultSpec::none().kind, FaultKind::kNone);
+  EXPECT_EQ(FaultSpec::crash_at(2).kind, FaultKind::kCrashStop);
+}
+
+TEST(FaultSpecTest, KindNamesAreStable) {
+  EXPECT_STREQ(fault_kind_name(FaultKind::kNone), "none");
+  EXPECT_STREQ(fault_kind_name(FaultKind::kCrashStop), "crash-stop");
+  EXPECT_STREQ(fault_kind_name(FaultKind::kDelayedActivation),
+               "delayed-activation");
+  EXPECT_STREQ(fault_kind_name(FaultKind::kSpeedCap), "speed-cap");
+  EXPECT_STREQ(fault_kind_name(FaultKind::kDirectiveDrop),
+               "directive-drop");
+}
+
+TEST(FaultInjectorTest, DefaultInjectorIsNoOp) {
+  const FaultInjector injector;
+  EXPECT_EQ(injector.size(), 0u);
+  EXPECT_FALSE(injector.any_faults());
+  EXPECT_EQ(injector.spec(7).kind, FaultKind::kNone);
+}
+
+TEST(FaultInjectorTest, RandomPlanIsSeedReproducible) {
+  const auto a = FaultInjector::random(42, 16);
+  const auto b = FaultInjector::random(42, 16);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.spec(i).kind, b.spec(i).kind) << i;
+    EXPECT_TRUE(verify::value_identical(a.spec(i).time, b.spec(i).time))
+        << i;
+    EXPECT_TRUE(verify::value_identical(a.spec(i).speed_cap,
+                                        b.spec(i).speed_cap))
+        << i;
+    EXPECT_EQ(a.spec(i).drop_period, b.spec(i).drop_period) << i;
+  }
+  // A different seed must eventually disagree somewhere.
+  const auto c = FaultInjector::random(43, 16);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a.spec(i).kind != c.spec(i).kind ||
+        !verify::value_identical(a.spec(i).time, c.spec(i).time)) {
+      differs = true;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(FaultInjectorTest, CrashesOnlyPlanCrashes) {
+  const auto injector = FaultInjector::random(
+      7, 32, {.fault_probability = 1, .crashes_only = true});
+  EXPECT_TRUE(injector.any_faults());
+  for (std::size_t i = 0; i < injector.size(); ++i) {
+    EXPECT_EQ(injector.spec(i).kind, FaultKind::kCrashStop) << i;
+    EXPECT_TRUE(std::isfinite(injector.spec(i).time)) << i;
+  }
+  const std::vector<Real> times = injector.crash_times(32);
+  for (const Real t : times) EXPECT_TRUE(std::isfinite(t));
+}
+
+TEST(InjectedWorldTest, CrashTruncatesMidLegAndReports) {
+  std::vector<ControllerPtr> team = proportional_team(3, 1, 40);
+  std::vector<FaultSpec> plan = {FaultSpec::crash_at(0.75L),
+                                 FaultSpec::none(), FaultSpec::none()};
+  std::vector<ExecutionReport> reports;
+  const Fleet fleet =
+      World().execute_team(team, FaultInjector(plan), &reports);
+  EXPECT_TRUE(reports[0].crashed);
+  EXPECT_EQ(reports[0].fault, FaultKind::kCrashStop);
+  EXPECT_EQ(reports[0].fault_time, 0.75L);
+  EXPECT_GE(reports[0].truncated_leg, 0);
+  EXPECT_EQ(fleet.robot(0).end_time(), 0.75L);
+  EXPECT_FALSE(reports[1].crashed);
+  EXPECT_TRUE(reports[1].stopped);
+}
+
+TEST(InjectedWorldTest, DelayedActivationShiftsTheLadder) {
+  std::vector<ControllerPtr> late = proportional_team(3, 1, 40);
+  std::vector<ExecutionReport> reports;
+  const Fleet delayed = World().execute_team(
+      late,
+      FaultInjector({FaultSpec::delayed_until(2), FaultSpec::none(),
+                     FaultSpec::none()}),
+      &reports);
+  EXPECT_EQ(reports[0].fault, FaultKind::kDelayedActivation);
+  EXPECT_EQ(reports[0].fault_time, 2.0L);
+  // Robot 0 idles at the origin until t = 2, then runs the same ladder
+  // time-shifted by 2.
+  std::vector<ControllerPtr> prompt = proportional_team(3, 1, 40);
+  const Fleet clean = World().execute_team(prompt);
+  const auto& shifted = delayed.robot(0).waypoints();
+  const auto& reference = clean.robot(0).waypoints();
+  ASSERT_EQ(shifted.size(), reference.size() + 1);  // the hold waypoint
+  EXPECT_EQ(shifted[1].time, 2.0L);
+  EXPECT_EQ(shifted[1].position, 0.0L);
+  for (std::size_t w = 1; w < reference.size(); ++w) {
+    // Positions are the exact same directive targets; times accumulate
+    // the same leg durations from a different origin, so they agree to
+    // round-off rather than bitwise.
+    EXPECT_NEAR(static_cast<double>(shifted[w + 1].time),
+                static_cast<double>(reference[w].time + 2), 1e-12)
+        << w;
+    EXPECT_TRUE(verify::value_identical(shifted[w + 1].position,
+                                        reference[w].position))
+        << w;
+  }
+}
+
+TEST(InjectedWorldTest, SpeedCapSlowsEveryLeg) {
+  std::vector<ControllerPtr> team = proportional_team(2, 1, 20);
+  std::vector<ExecutionReport> reports;
+  const Fleet fleet = World().execute_team(
+      team,
+      FaultInjector({FaultSpec::speed_capped(0.25L), FaultSpec::none()}),
+      &reports);
+  EXPECT_EQ(reports[0].fault, FaultKind::kSpeedCap);
+  const auto& waypoints = fleet.robot(0).waypoints();
+  for (std::size_t w = 1; w < waypoints.size(); ++w) {
+    const Real dt = waypoints[w].time - waypoints[w - 1].time;
+    const Real dx =
+        std::fabs(waypoints[w].position - waypoints[w - 1].position);
+    if (dx > 0) {
+      EXPECT_LE(dx / dt, 0.25L * (1 + 1e-12L)) << w;
+    }
+  }
+}
+
+TEST(InjectedWorldTest, DirectiveDropHoldsPosition) {
+  std::vector<ControllerPtr> team = proportional_team(2, 1, 20);
+  std::vector<ExecutionReport> reports;
+  const Fleet fleet = World().execute_team(
+      team,
+      FaultInjector({FaultSpec::dropping_every(2), FaultSpec::none()}),
+      &reports);
+  EXPECT_EQ(reports[0].fault, FaultKind::kDirectiveDrop);
+  EXPECT_GT(reports[0].dropped_directives, 0);
+  // Every second move is a hold: consecutive equal positions exist.
+  const auto& waypoints = fleet.robot(0).waypoints();
+  bool held = false;
+  for (std::size_t w = 1; w < waypoints.size(); ++w) {
+    if (waypoints[w].position == waypoints[w - 1].position) held = true;
+  }
+  EXPECT_TRUE(held);
+}
+
+TEST(InjectedWorldTest, InjectedRunMatchesAnalyticTruncation) {
+  // The determinism contract behind the crash differential: run the
+  // team under a random crashes-only plan, truncate a clean run at the
+  // same times, demand value-identical waypoint streams.
+  const int n = 5;
+  const int f = 2;
+  const auto injector = FaultInjector::random(
+      99, static_cast<std::size_t>(n),
+      {.fault_probability = 0.7L, .horizon = 8, .crashes_only = true});
+  std::vector<ControllerPtr> team = proportional_team(n, f, 40);
+  const Fleet injected = World().execute_team(team, injector);
+  std::vector<ControllerPtr> fresh = proportional_team(n, f, 40);
+  const Fleet truncated = truncate_at_crashes(
+      World().execute_team(fresh),
+      injector.crash_times(static_cast<std::size_t>(n)));
+  ASSERT_EQ(injected.size(), truncated.size());
+  for (RobotId id = 0; id < injected.size(); ++id) {
+    const auto& a = injected.robot(id).waypoints();
+    const auto& b = truncated.robot(id).waypoints();
+    ASSERT_EQ(a.size(), b.size()) << "robot " << id;
+    for (std::size_t w = 0; w < a.size(); ++w) {
+      EXPECT_TRUE(verify::value_identical(a[w].time, b[w].time))
+          << id << ":" << w;
+      EXPECT_TRUE(verify::value_identical(a[w].position, b[w].position))
+          << id << ":" << w;
+    }
+  }
+}
+
+TEST(InjectedWorldTest, InjectedEvalBitIdenticalAcrossThreadCounts) {
+  // Injected fleets flow through the batch evaluator bit-identically at
+  // every LINESEARCH_THREADS setting, like any other fleet.
+  std::vector<ControllerPtr> team = proportional_team(5, 2, 40);
+  const auto injector = FaultInjector::random(
+      1234, 5, {.fault_probability = 0.8L, .horizon = 10});
+  const Fleet fleet = World().execute_team(team, injector);
+  std::vector<CrBatchJob> jobs;
+  for (const int g : {0, 1, 2}) {
+    jobs.push_back({&fleet, g,
+                    {.window_hi = 8, .require_finite = false}});
+  }
+  const auto reference = measure_cr_batch(jobs, {.threads = 1});
+  for (const int threads : {2, 8}) {
+    const auto parallel = measure_cr_batch(jobs, {.threads = threads});
+    ASSERT_EQ(parallel.size(), reference.size());
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      EXPECT_TRUE(
+          verify::value_identical(reference[i].cr, parallel[i].cr))
+          << "job " << i << " threads " << threads;
+      EXPECT_TRUE(verify::value_identical(reference[i].argmax,
+                                          parallel[i].argmax))
+          << "job " << i << " threads " << threads;
+      EXPECT_EQ(reference[i].undetected_probes,
+                parallel[i].undetected_probes)
+          << "job " << i << " threads " << threads;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace linesearch

@@ -1,0 +1,187 @@
+// Tests for runtime/supervisor.hpp — crash detection and degraded-mode
+// re-planning.
+#include "runtime/supervisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/algorithm.hpp"
+#include "core/competitive.hpp"
+#include "eval/cr_eval.hpp"
+#include "eval/validation.hpp"
+#include "util/error.hpp"
+#include "verify/invariants.hpp"
+
+namespace linesearch {
+namespace {
+
+TEST(SupervisorTest, DetectionTimeFollowsTheProtocol) {
+  const Supervisor supervisor(3, 1,
+                              {.heartbeat_interval = 0.01L,
+                               .silence_timeout = 0.01L});
+  // Crash at 0.025: the missed heartbeat is the t = 0.03 slot, declared
+  // at 0.04.
+  EXPECT_NEAR(static_cast<double>(supervisor.detection_time_for(0.025L)),
+              0.04, 1e-15);
+  // Healthy robots are never declared.
+  EXPECT_EQ(supervisor.detection_time_for(kInfinity), kInfinity);
+  EXPECT_THROW((void)supervisor.detection_time_for(-1), PreconditionError);
+}
+
+TEST(SupervisorTest, ResilientWithoutEventsEqualsProportional) {
+  // The wrapper must be a transparent ProportionalController when no
+  // declaration ever fires.
+  const int n = 4;
+  const int f = 2;
+  std::vector<ControllerPtr> resilient;
+  std::vector<ControllerPtr> plain;
+  for (int robot = 0; robot < n; ++robot) {
+    resilient.push_back(
+        std::make_unique<ResilientController>(n, f, robot, 40));
+    plain.push_back(
+        std::make_unique<ProportionalController>(n, f, robot, 40));
+  }
+  const Fleet a = World().execute_team(resilient);
+  const Fleet b = World().execute_team(plain);
+  for (RobotId id = 0; id < a.size(); ++id) {
+    EXPECT_EQ(a.robot(id).waypoints(), b.robot(id).waypoints())
+        << "robot " << id;
+  }
+}
+
+TEST(SupervisorTest, MakeTeamRanksSurvivors) {
+  const Supervisor supervisor(4, 1);
+  // Robot 1 crashes at 0.02 -> declared at 0.04 (default protocol).
+  SupervisorReport report;
+  const std::vector<ControllerPtr> team = supervisor.make_team(
+      {kInfinity, 0.02L, kInfinity, kInfinity}, 40, &report);
+  EXPECT_EQ(team.size(), 4u);
+  ASSERT_EQ(report.declarations.size(), 1u);
+  EXPECT_NEAR(static_cast<double>(report.declarations[0].detect_time),
+              0.04, 1e-15);
+  ASSERT_EQ(report.declarations[0].crashed.size(), 1u);
+  EXPECT_EQ(report.declarations[0].crashed[0], 1);
+  EXPECT_EQ(report.survivors, 3);
+  EXPECT_EQ(report.residual_faults, 1);
+  EXPECT_TRUE(report.recoverable);
+}
+
+TEST(SupervisorTest, ReplanRestoresFiniteCrWhenEnoughSurvive) {
+  // (n, f) = (4, 2), one crash: survivors = 3 = f + 1, so re-planning
+  // restores (f+1)-coverage and a finite CR; without the supervisor the
+  // same crash leaves the CR infinite.
+  const int n = 4;
+  const int f = 2;
+  const Real extent = 64;
+  const std::vector<Real> crashes = {kInfinity, kInfinity, kInfinity,
+                                     0.02L};
+  SupervisorReport report;
+  const Fleet recovered =
+      Supervisor(n, f).run(crashes, extent, &report);
+  EXPECT_TRUE(report.recoverable);
+  const CrEvalOptions eval{.window_hi = 16, .require_finite = false};
+  EXPECT_TRUE(
+      std::isfinite(measure_cr(recovered, f, eval).cr));
+
+  // Foil: one more crash drops the survivors below f + 1, and then no
+  // amount of re-planning can restore (f+1)-coverage — every probe in
+  // the window sees at most two distinct robots, so the CR is infinite
+  // with or without the supervisor.
+  std::vector<ControllerPtr> naive;
+  for (int robot = 0; robot < n; ++robot) {
+    naive.push_back(
+        std::make_unique<ProportionalController>(n, f, robot, extent));
+  }
+  std::vector<FaultSpec> plan(static_cast<std::size_t>(n),
+                              FaultSpec::none());
+  plan[2] = FaultSpec::crash_at(0.02L);
+  plan[3] = FaultSpec::crash_at(0.02L);
+  const Fleet unsupervised =
+      World().execute_team(naive, FaultInjector(plan));
+  EXPECT_TRUE(std::isinf(measure_cr(unsupervised, f, eval).cr));
+
+  SupervisorReport doomed;
+  const Fleet supervised = Supervisor(n, f).run(
+      {kInfinity, kInfinity, 0.02L, 0.02L}, extent, &doomed);
+  EXPECT_FALSE(doomed.recoverable);
+  EXPECT_EQ(doomed.survivors, 2);
+  EXPECT_TRUE(std::isinf(measure_cr(supervised, f, eval).cr));
+}
+
+TEST(SupervisorTest, DegradedSweepMatchesTheorem1OnValidReductions) {
+  // The acceptance grid: every regime pair (n <= 12; 41 pairs), 1..2
+  // crashes.  Finite CR exactly when survivors >= f + 1, and within 5%
+  // of Theorem 1 for (survivors, f) whenever the reduced pair is itself
+  // in the proportional regime.
+  DegradedSweepOptions options;
+  options.n_max = 12;
+  options.max_crashes = 2;
+  const std::vector<DegradedSweepRow> rows = degraded_mode_sweep(options);
+  EXPECT_EQ(proportional_regime_pairs(12).size(), 41u);
+  ASSERT_FALSE(rows.empty());
+  int valid_reductions = 0;
+  for (const DegradedSweepRow& row : rows) {
+    EXPECT_EQ(row.survivors, row.n - row.crashes);
+    EXPECT_EQ(row.residual_faults, row.f);
+    EXPECT_EQ(row.recovered, row.survivors >= row.f + 1)
+        << "n=" << row.n << " f=" << row.f << " crashes=" << row.crashes;
+    EXPECT_EQ(std::isfinite(row.measured_cr),
+              row.survivors >= row.f + 1)
+        << "n=" << row.n << " f=" << row.f << " crashes=" << row.crashes;
+    if (in_proportional_regime(row.survivors, row.f)) {
+      ++valid_reductions;
+      ASSERT_TRUE(std::isfinite(row.theory_cr));
+      EXPECT_NEAR(static_cast<double>(row.ratio_to_theory), 1.0, 0.05)
+          << "n=" << row.n << " f=" << row.f
+          << " crashes=" << row.crashes << " measured="
+          << static_cast<double>(row.measured_cr) << " theory="
+          << static_cast<double>(row.theory_cr);
+      // Degraded search can only be slower than a fleet born with n'
+      // robots: the detour must not make it cheaper.
+      EXPECT_GE(row.measured_cr,
+                row.theory_cr * (1 - 1e-9L));
+    } else {
+      EXPECT_TRUE(std::isnan(row.theory_cr));
+    }
+  }
+  EXPECT_GT(valid_reductions, 0);
+}
+
+TEST(SupervisorTest, SequentialDeclarationsReplanTwice) {
+  // Two crashes at different instants: survivors re-plan at each
+  // declaration and the final fleet still has finite CR when
+  // survivors >= f + 1.
+  const int n = 5;
+  const int f = 2;
+  const std::vector<Real> crashes = {kInfinity, kInfinity, kInfinity,
+                                     0.02L, 0.27L};
+  SupervisorReport report;
+  const Fleet fleet = Supervisor(n, f).run(crashes, 64, &report);
+  EXPECT_EQ(report.declarations.size(), 2u);
+  EXPECT_EQ(report.survivors, 3);
+  EXPECT_TRUE(report.recoverable);
+  const CrEvalOptions eval{.window_hi = 16, .require_finite = false};
+  EXPECT_TRUE(std::isfinite(measure_cr(fleet, f, eval).cr));
+}
+
+TEST(SupervisorTest, RecoveryBetaFallsBackOutsideRegime) {
+  EXPECT_EQ(recovery_beta(3, 1), optimal_beta(3, 1));
+  // (n, f) = (2, 2) is outside f < n; (5, 1) is outside n < 2f+2: both
+  // fall back to the classic beta = 3.
+  EXPECT_EQ(recovery_beta(5, 1), 3.0L);
+  EXPECT_EQ(recovery_beta(1, 1), 3.0L);
+}
+
+TEST(SupervisorTest, GuardsParameters) {
+  EXPECT_THROW(Supervisor(2, 0), PreconditionError);
+  EXPECT_THROW(Supervisor(2, 2), PreconditionError);
+  EXPECT_THROW(Supervisor(3, 1, {.heartbeat_interval = 0}),
+               PreconditionError);
+  const Supervisor ok(3, 1);
+  EXPECT_THROW((void)ok.make_team({kInfinity, kInfinity}, 40),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace linesearch

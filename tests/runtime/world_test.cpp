@@ -94,6 +94,39 @@ TEST(WorldTest, RunawayControllerIsCaught) {
   EXPECT_THROW((void)world.execute(runaway), NumericError);
 }
 
+TEST(WorldTest, RunawayErrorNamesControllerAndCount) {
+  RunawayController runaway;
+  WorldConfig config;
+  config.max_directives = 100;
+  const World world(config);
+  try {
+    (void)world.execute(runaway);
+    FAIL() << "expected a runaway error";
+  } catch (const NumericError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("'runaway'"), std::string::npos) << what;
+    EXPECT_NE(what.find("100 directives"), std::string::npos) << what;
+  }
+}
+
+TEST(WorldTest, ScriptedRoundTripWithWaitsUnderDisabledInjector) {
+  // Script with wait segments (zero-length legs): fleet -> script ->
+  // re-execute under an injector whose plan is all-healthy -> the
+  // waypoint stream is byte-identical to the source trajectory.
+  const Trajectory original(
+      {{0, 0}, {1, 1}, {3, 1}, {4, 0}, {6, 0}, {7, -1}});
+  std::vector<ControllerPtr> team;
+  team.push_back(std::make_unique<ScriptedController>(original));
+  const FaultInjector disabled(
+      std::vector<FaultSpec>{FaultSpec::none()});
+  EXPECT_FALSE(disabled.any_faults());
+  std::vector<ExecutionReport> reports;
+  const Fleet fleet = World().execute_team(team, disabled, &reports);
+  EXPECT_EQ(fleet.robot(0).waypoints(), original.waypoints());
+  EXPECT_EQ(reports[0].fault, FaultKind::kNone);
+  EXPECT_FALSE(reports[0].crashed);
+}
+
 TEST(WorldTest, IllegalSpeedRejected) {
   SpeedingController speeder;
   const World world;

@@ -119,13 +119,127 @@ TEST(DetectionTimeUnder, RandomNeverBeatsReliableFirstVisit) {
   }
 }
 
+TEST(DetectionTimeUnder, BudgetAtFleetSizeIsUndetectable) {
+  // With every robot potentially blind there is no (f+1)-st visitor:
+  // the detection time degenerates to infinity rather than throwing.
+  AdversarialFaults model;
+  const Fleet fleet = staggered_sweepers();
+  EXPECT_TRUE(std::isinf(detection_time_under(model, fleet, 4, 3)));
+  EXPECT_TRUE(std::isinf(detection_time_under(model, fleet, 4, 99)));
+}
+
+TEST(FixedFaults, OverBudgetErrorNamesTheCounts) {
+  const Fleet fleet = staggered_sweepers();
+  FixedFaults over_budget({true, true, false});
+  try {
+    (void)over_budget.choose_faults(fleet, 4, 1);
+    FAIL() << "expected a structured budget error";
+  } catch (const PreconditionError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("2 faulty robots"), std::string::npos) << what;
+    EXPECT_NE(what.find("allows only 1"), std::string::npos) << what;
+  }
+}
+
+TEST(TruncateAtCrashes, CutsMidLegWithExactInterpolation) {
+  const Fleet fleet = staggered_sweepers();
+  const Fleet cut = truncate_at_crashes(fleet, {5, kInfinity, kInfinity});
+  const auto& waypoints = cut.robot(0).waypoints();
+  ASSERT_EQ(waypoints.size(), 2u);
+  EXPECT_EQ(waypoints[1].time, 5.0L);
+  EXPECT_EQ(waypoints[1].position, 5.0L);
+  // Healthy robots are untouched.
+  EXPECT_EQ(cut.robot(1).waypoints(), fleet.robot(1).waypoints());
+}
+
+TEST(TruncateAtCrashes, CrashBeforeLaunchPinsTheStart) {
+  // Robot 1 launches at t = 2; a crash at t = 1 collapses it to its
+  // start waypoint (it never moves, never visits anything).
+  const Fleet fleet = staggered_sweepers();
+  const Fleet cut = truncate_at_crashes(fleet, {kInfinity, 1, kInfinity});
+  const auto& waypoints = cut.robot(1).waypoints();
+  ASSERT_EQ(waypoints.size(), 1u);
+  EXPECT_EQ(waypoints[0].time, 2.0L);
+  EXPECT_EQ(waypoints[0].position, 0.0L);
+}
+
+TEST(TruncateAtCrashes, CrashAtOrAfterEndLeavesTheRobotAlone) {
+  const Fleet fleet = staggered_sweepers();
+  const Fleet at_end = truncate_at_crashes(fleet, {10, kInfinity, kInfinity});
+  EXPECT_EQ(at_end.robot(0).waypoints(), fleet.robot(0).waypoints());
+  const Fleet late = truncate_at_crashes(fleet, {100, kInfinity, kInfinity});
+  EXPECT_EQ(late.robot(0).waypoints(), fleet.robot(0).waypoints());
+}
+
+TEST(TruncateAtCrashes, CrashDuringAWaitHoldsThePosition) {
+  const Fleet fleet({Trajectory({{0, 0}, {1, 1}, {3, 1}, {4, 0}})});
+  const Fleet cut = truncate_at_crashes(fleet, {2});
+  const auto& waypoints = cut.robot(0).waypoints();
+  ASSERT_EQ(waypoints.size(), 3u);
+  EXPECT_EQ(waypoints[2].time, 2.0L);
+  EXPECT_EQ(waypoints[2].position, 1.0L);
+}
+
+TEST(TruncateAtCrashes, GuardsArguments) {
+  const Fleet fleet = staggered_sweepers();
+  EXPECT_THROW(
+      (void)truncate_at_crashes(fleet, {1, 2}), PreconditionError);
+  EXPECT_THROW(
+      (void)truncate_at_crashes(fleet, {-1, kInfinity, kInfinity}),
+      PreconditionError);
+}
+
+TEST(CrashFaults, RemovesPostCrashVisits) {
+  // Robot 0 would visit x = 4 at t = 4; crashing it at t = 2 hands the
+  // first visit to robot 1 (t = 6) and the second to robot 2 (t = 8).
+  CrashFaults model({2, kInfinity, kInfinity});
+  const Fleet fleet = staggered_sweepers();
+  EXPECT_EQ(detection_time_under(model, fleet, 4, 0), 6.0L);
+  EXPECT_EQ(detection_time_under(model, fleet, 4, 1), 8.0L);
+  // Only two robots still visit: a budget of two blinds everyone.
+  EXPECT_TRUE(std::isinf(detection_time_under(model, fleet, 4, 2)));
+  EXPECT_EQ(model.name(), "crash");
+}
+
+TEST(CrashFaults, BlindAssignmentTargetsTruncatedVisitors) {
+  // The adversary blinds the earliest visitor of the fleet AS IT MOVES:
+  // with robot 0 crashed before reaching x = 4, the best blind pick is
+  // robot 1, not robot 0.
+  CrashFaults model({2, kInfinity, kInfinity});
+  const Fleet fleet = staggered_sweepers();
+  EXPECT_EQ(model.choose_faults(fleet, 4, 1),
+            (std::vector<bool>{false, true, false}));
+}
+
+TEST(CrashFaults, CacheFollowsTheFleetIdentity) {
+  CrashFaults model({2, kInfinity, kInfinity});
+  const Fleet a = staggered_sweepers();
+  const Fleet b({Trajectory({{0, 0}, {20, 20}}),
+                 Trajectory({{1, 0}, {21, 20}}),
+                 Trajectory({{2, 0}, {22, 20}})});
+  EXPECT_EQ(detection_time_under(model, a, 4, 0), 6.0L);
+  // Fleet b's robot 0 crashes at t = 2 too (position 2 < 4): first
+  // visit at x = 4 comes from robot 1 at t = 5.
+  EXPECT_EQ(detection_time_under(model, b, 4, 0), 5.0L);
+  EXPECT_EQ(detection_time_under(model, a, 4, 0), 6.0L);
+}
+
+TEST(CrashFaults, GuardsArguments) {
+  EXPECT_THROW(CrashFaults({-1}), PreconditionError);
+  CrashFaults model({1, 2});
+  const Fleet fleet = staggered_sweepers();
+  EXPECT_THROW((void)model.choose_faults(fleet, 4, 1), PreconditionError);
+}
+
 TEST(ModelNames, AreStable) {
   AdversarialFaults a;
   FixedFaults fx({});
   RandomFaults r(0);
+  CrashFaults c({});
   EXPECT_EQ(a.name(), "adversarial");
   EXPECT_EQ(fx.name(), "fixed");
   EXPECT_EQ(r.name(), "random");
+  EXPECT_EQ(c.name(), "crash");
 }
 
 }  // namespace

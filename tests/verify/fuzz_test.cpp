@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 
 #include "util/error.hpp"
@@ -65,7 +66,7 @@ TEST(Fuzz, SeedsCoverEveryFleetKind) {
   for (std::uint64_t seed = 1; seed <= 64; ++seed) {
     kinds.insert(generate_instance(seed).kind);
   }
-  EXPECT_EQ(kinds.size(), 7u);
+  EXPECT_EQ(kinds.size(), 8u);
 }
 
 TEST(Fuzz, GeneratedInstancesAreValid) {
@@ -152,6 +153,53 @@ TEST(Fuzz, JsonCleanRecordIsOk) {
   const std::string json = instance_to_json(instance, outcome);
   EXPECT_NE(json.find("\"ok\": true"), std::string::npos) << json;
   EXPECT_NE(json.find("\"failures\": []"), std::string::npos) << json;
+}
+
+TEST(Fuzz, CrashKindInstancesCarryACrashSchedule) {
+  int crash_seeds = 0;
+  for (std::uint64_t seed = 1; seed <= 120; ++seed) {
+    const FuzzInstance instance = generate_instance(seed);
+    if (instance.kind != FleetKind::kCrashInjected) continue;
+    ++crash_seeds;
+    EXPECT_EQ(instance.crash_times.size(),
+              static_cast<std::size_t>(instance.n))
+        << seed;
+    for (const Real t : instance.crash_times) {
+      EXPECT_TRUE(std::isinf(t) || (t >= 0.1L && t <= 32.0L)) << seed;
+    }
+    const Fleet fleet = build_fuzz_fleet(instance);
+    EXPECT_EQ(static_cast<int>(fleet.size()), instance.n) << seed;
+  }
+  EXPECT_GT(crash_seeds, 0);
+}
+
+TEST(Fuzz, CrashKindRunsTheCrashDifferential) {
+  // The crash kind swaps the generic differential engines (which demand
+  // finite detection everywhere) for the injected-vs-analytic race, and
+  // sits out the Theorem 2 adversary game.
+  for (std::uint64_t seed = 1;; ++seed) {
+    const FuzzInstance instance = generate_instance(seed);
+    if (instance.kind != FleetKind::kCrashInjected) continue;
+    const FuzzOutcome outcome = run_instance(instance);
+    EXPECT_TRUE(outcome.ok()) << outcome.describe();
+    EXPECT_EQ(outcome.invariants.size(), 9u);
+    ASSERT_EQ(outcome.differentials.size(), 1u);
+    EXPECT_EQ(outcome.differentials[0].name, "crash_injected");
+    break;
+  }
+}
+
+TEST(Fuzz, CrashKindJsonRecordsTheSchedule) {
+  for (std::uint64_t seed = 1;; ++seed) {
+    const FuzzInstance instance = generate_instance(seed);
+    if (instance.kind != FleetKind::kCrashInjected) continue;
+    const FuzzOutcome outcome = run_instance(instance);
+    const std::string json = instance_to_json(instance, outcome);
+    EXPECT_NE(json.find("\"kind\": \"crash-injected\""), std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"crash_times\""), std::string::npos) << json;
+    break;
+  }
 }
 
 TEST(Fuzz, ShrinkRequiresAFailingStart) {

@@ -3,7 +3,14 @@
 //   fuzz_main --seed 42                 run one instance
 //   fuzz_main --seed 1 --count 100      run a corpus of consecutive seeds
 //   fuzz_main --seed 7 --inject cone-escape   corrupt the instance first
+//   fuzz_main --kind crash-injected --count 10   only seeds of one kind
 //   fuzz_main ... --json out.json       write the (shrunk) repro record
+//
+// --kind filters by generated fleet kind (see kind_name in verify/fuzz):
+// seeds are scanned upward from --seed and only matching instances run,
+// so --count still means "run N instances".  Seed->instance mapping is
+// untouched — a failure found through the filter replays with the bare
+// seed.
 //
 // Exit status 0 when every instance passes, 1 on any failure (the
 // minimal repro JSON is printed to stdout), 2 on usage errors.  A
@@ -29,14 +36,31 @@ struct CliOptions {
   int count = 1;
   Injection injection = Injection::kNone;
   bool shrink = true;
+  std::string kind;  ///< empty = every kind
   std::string json_path;
 };
 
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--seed S] [--count N] [--inject cone-escape]"
-               " [--no-shrink] [--json PATH]\n";
+               " [--kind NAME] [--no-shrink] [--json PATH]\n"
+               "kinds: proportional, perturbed-beta, custom-cone,"
+               " group-doubling,\n       classic-cow-path, uniform-offset,"
+               " analytic-zigzag, crash-injected\n";
   return 2;
+}
+
+/// True when `name` is a kind_name the generator can produce.
+bool known_kind(const std::string& name) {
+  using linesearch::verify::FleetKind;
+  for (const FleetKind kind :
+       {FleetKind::kProportional, FleetKind::kPerturbedBeta,
+        FleetKind::kCustomCone, FleetKind::kGroupDoubling,
+        FleetKind::kClassicCowPath, FleetKind::kUniformOffset,
+        FleetKind::kAnalyticZigzag, FleetKind::kCrashInjected}) {
+    if (name == linesearch::verify::kind_name(kind)) return true;
+  }
+  return false;
 }
 
 bool parse_args(const int argc, const char* const* argv, CliOptions& cli) {
@@ -60,6 +84,10 @@ bool parse_args(const int argc, const char* const* argv, CliOptions& cli) {
         return false;
       }
       cli.injection = Injection::kConeEscape;
+    } else if (arg == "--kind") {
+      const char* value = next_value();
+      if (value == nullptr || !known_kind(value)) return false;
+      cli.kind = value;
     } else if (arg == "--no-shrink") {
       cli.shrink = false;
     } else if (arg == "--json") {
@@ -108,8 +136,13 @@ int main(const int argc, const char* const* argv) {
   if (!parse_args(argc, argv, cli)) return usage(argv[0]);
 
   int failures = 0;
-  for (int i = 0; i < cli.count; ++i) {
-    const std::uint64_t seed = cli.seed + static_cast<std::uint64_t>(i);
+  int ran = 0;
+  for (std::uint64_t seed = cli.seed; ran < cli.count; ++seed) {
+    if (!cli.kind.empty()) {
+      const FuzzInstance probe = linesearch::verify::generate_instance(seed);
+      if (cli.kind != linesearch::verify::kind_name(probe.kind)) continue;
+    }
+    ++ran;
     if (!run_seed(seed, cli)) ++failures;
   }
   if (cli.count > 1) {

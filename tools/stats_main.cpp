@@ -13,7 +13,8 @@
 // ("how many probes did that sweep really run?") and a quick manual
 // determinism check outside the test suite.
 //
-// Usage: stats_main [--workload=dense|analytic|game|runtime|fuzz|all]
+// Usage: stats_main [--workload=dense|analytic|game|runtime|degraded|
+//                      fuzz|all]
 //                   [--threads=N] [--json=PATH] [--deterministic-only]
 #include <fstream>
 #include <iostream>
@@ -29,6 +30,7 @@
 #include "eval/cr_eval.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "runtime/supervisor.hpp"
 #include "runtime/world.hpp"
 #include "util/jsonio.hpp"
 #include "util/parallel.hpp"
@@ -79,9 +81,19 @@ void run_runtime() {
 /// A small deterministic fuzz corpus (seeds 1..16).
 void run_fuzz() { (void)verify::run_corpus(1, 16); }
 
+/// Crash -> detect -> re-plan -> re-measure over the regime grid
+/// (runtime/supervisor.hpp); populates the runtime.replans and
+/// runtime.crash_truncations counters.
+void run_degraded() {
+  DegradedSweepOptions options;
+  options.n_max = 6;
+  options.max_crashes = 2;
+  (void)degraded_mode_sweep(options);
+}
+
 int usage() {
   std::cerr << "usage: stats_main [--workload=dense|analytic|game|runtime|"
-               "fuzz|all]\n"
+               "degraded|fuzz|all]\n"
                "                  [--threads=N] [--json=PATH] "
                "[--deterministic-only]\n";
   return 2;
@@ -112,7 +124,8 @@ int main(int argc, char** argv) {
 
   const bool all = workload == "all";
   if (!all && workload != "dense" && workload != "analytic" &&
-      workload != "game" && workload != "runtime" && workload != "fuzz") {
+      workload != "game" && workload != "runtime" &&
+      workload != "degraded" && workload != "fuzz") {
     return usage();
   }
 
@@ -121,6 +134,7 @@ int main(int argc, char** argv) {
   if (all || workload == "analytic") run_analytic();
   if (all || workload == "game") run_game(threads);
   if (all || workload == "runtime") run_runtime();
+  if (all || workload == "degraded") run_degraded();
   if (all || workload == "fuzz") run_fuzz();
 
   std::ofstream file;
