@@ -19,6 +19,7 @@
 #include "eval/batch.hpp"
 #include "eval/cr_eval.hpp"
 #include "eval/exact.hpp"
+#include "eval/kernels.hpp"
 #include "eval/visit_cache.hpp"
 #include "obs/perf_report.hpp"
 #include "runtime/injector.hpp"
@@ -157,6 +158,34 @@ void BM_AnalyticCrSweep(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AnalyticCrSweep)->Unit(benchmark::kMillisecond);
+
+void BM_KernelCrScalar(benchmark::State& state) {
+  // Scalar reference scan: one direct Fleet::detection_time query per
+  // probe (allocation + full segment walk each).  Compare against
+  // BM_KernelCrSoA for the SoA kernel speedup (bench_perf's JSON
+  // artifact reports the same race as kernel_sweep_*).
+  const ProportionalAlgorithm algo(7, 4);
+  const Fleet fleet = algo.build_fleet(2000);
+  const CrEvalOptions options{.window_hi = 48, .interior_samples = 16};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detail::measure_cr_with(
+        fleet, 4, options,
+        [&fleet](const Real x) { return fleet.detection_time(x, 4); }));
+  }
+}
+BENCHMARK(BM_KernelCrScalar)->Unit(benchmark::kMillisecond);
+
+void BM_KernelCrSoA(benchmark::State& state) {
+  // The SoA kernel path on the identical scan (bit-identical result).
+  const ProportionalAlgorithm algo(7, 4);
+  const Fleet fleet = algo.build_fleet(2000);
+  const CrEvalOptions options{.window_hi = 48, .interior_samples = 16};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::measure_cr_kernel(fleet, 4, options));
+  }
+  state.counters["simd"] = kernels::simd_compiled() ? 1 : 0;
+}
+BENCHMARK(BM_KernelCrSoA)->Unit(benchmark::kMillisecond);
 
 void BM_VisitCacheHit(benchmark::State& state) {
   // Steady-state memo hit vs BM_DetectionTime's full recomputation.

@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <numeric>
 
+#include "eval/kernels.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
+#include "util/simd.hpp"
 
 namespace linesearch {
 namespace detail {
@@ -15,7 +19,9 @@ std::vector<Real> probe_magnitudes(const Fleet& fleet, const int side,
                                    const CrEvalOptions& options) {
   // Windowed turning enumeration: exact on dense fleets (same filter the
   // scan used to apply itself) and the only finite query on unbounded
-  // (analytic) fleets.
+  // (analytic) fleets.  The slack band just below window_lo admits a
+  // turning point whose RIGHT-LIMIT lands inside the window; the turn
+  // itself (and any probe derived from it) is clamped below.
   std::vector<Real> turns = fleet.turning_positions_in(
       side, options.window_lo * (1 - tol::kRelative), options.window_hi);
   turns.push_back(options.window_lo);
@@ -27,21 +33,46 @@ std::vector<Real> probe_magnitudes(const Fleet& fleet, const int side,
                           }),
               turns.end());
 
+  // The Lemma-3 right-limits tau*(1+eps) for ALL turns, one fused
+  // elementwise pass over the turn grid instead of a multiply inside the
+  // emission loop.
+  std::vector<Real> limits(turns.size());
+  {
+    const Real* tau = turns.data();
+    Real* limit = limits.data();
+    const std::size_t count = turns.size();
+    LS_SIMD_LOOP
+    for (std::size_t i = 0; i < count; ++i) {
+      limit[i] = tau[i] * (1 + tol::kLimitProbe);
+    }
+  }
+
+  // Every probe must stay inside [window_lo, window_hi]: turns from the
+  // slack band (and interior samples toward them) would otherwise leak
+  // probes strictly below window_lo, silently widening the measurement
+  // window the caller asked for.
+  const auto in_window = [&](const Real magnitude) {
+    return magnitude >= options.window_lo && magnitude <= options.window_hi;
+  };
+
   std::vector<Real> probes;
+  probes.reserve(turns.size() *
+                 (2 + static_cast<std::size_t>(
+                          std::max(options.interior_samples, 0))));
   for (std::size_t i = 0; i < turns.size(); ++i) {
     // Right-limit just past the turning point (the jump of Lemma 3)...
-    const Real just_past = turns[i] * (1 + tol::kLimitProbe);
-    if (just_past <= options.window_hi) probes.push_back(just_past);
+    if (in_window(limits[i])) probes.push_back(limits[i]);
     // ...the point itself...
-    probes.push_back(turns[i]);
+    if (in_window(turns[i])) probes.push_back(turns[i]);
     // ...and interior samples up to the next turning point.
     if (i + 1 < turns.size() && options.interior_samples > 0) {
       const Real lo = turns[i];
       const Real hi = turns[i + 1];
       const int k = options.interior_samples;
       for (int s = 1; s <= k; ++s) {
-        probes.push_back(lo + (hi - lo) * static_cast<Real>(s) /
-                                  static_cast<Real>(k + 1));
+        const Real sample = lo + (hi - lo) * static_cast<Real>(s) /
+                                     static_cast<Real>(k + 1);
+        if (in_window(sample)) probes.push_back(sample);
       }
     }
   }
@@ -55,16 +86,30 @@ std::vector<Real> probe_magnitudes(const Fleet& fleet, const int side,
   // order is preserved, so the argmax (first strict maximum) is
   // untouched.  Exact equality only: approx-equal probes (the point vs
   // its right-limit) are exactly the distinction the limit probes exist
-  // to test.
-  std::vector<Real> unique_probes;
-  unique_probes.reserve(probes.size());
-  for (const Real probe : probes) {
-    if (std::find(unique_probes.begin(), unique_probes.end(), probe) ==
-        unique_probes.end()) {
-      unique_probes.push_back(probe);
+  // to test.  A (value, index)-sorted permutation finds every duplicate
+  // run in O(P log P); the first element of a run is the first
+  // occurrence, so the kept set — and the output order — match the old
+  // quadratic std::find scan exactly.
+  const std::size_t count = probes.size();
+  std::vector<std::uint32_t> by_value(count);
+  std::iota(by_value.begin(), by_value.end(), 0U);
+  std::sort(by_value.begin(), by_value.end(),
+            [&](const std::uint32_t p, const std::uint32_t q) {
+              if (probes[p] != probes[q]) return probes[p] < probes[q];
+              return p < q;
+            });
+  std::vector<char> keep(count, 1);
+  for (std::size_t i = 1; i < count; ++i) {
+    if (probes[by_value[i]] == probes[by_value[i - 1]]) {
+      keep[by_value[i]] = 0;
     }
   }
-  return unique_probes;
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (keep[i]) probes[kept++] = probes[i];
+  }
+  probes.resize(kept);
+  return probes;
 }
 
 CrEvalResult measure_cr_with(const Fleet& fleet, const int f,
@@ -147,9 +192,12 @@ CrEvalResult measure_cr_with(const Fleet& fleet, const int f,
 
 CrEvalResult measure_cr(const Fleet& fleet, const int f,
                         const CrEvalOptions& options) {
-  return detail::measure_cr_with(
-      fleet, f, options,
-      [&fleet, f](const Real x) { return fleet.detection_time(x, f); });
+  // SoA fast path (eval/kernels): same probes, same scan, detection
+  // times batched through one frontier sweep per robot.  The scalar
+  // reference below it stays reachable through detail::measure_cr_with
+  // with a direct oracle — the scalar-vs-SIMD differential holds the two
+  // bit-identical.
+  return kernels::measure_cr_kernel(fleet, f, options);
 }
 
 std::vector<Real> k_profile(const Fleet& fleet, const int f,

@@ -18,6 +18,11 @@ ExactCrResult certified_cr(const Fleet& fleet, const int f,
   expects(k < fleet.size(), "certified_cr: fault budget >= fleet size");
 
   ExactCrResult result;
+  // SoA working set, reused across every interval of both sides (no
+  // per-interval allocation churn; see eval/interval_lines LineColumns).
+  detail::LineColumns columns;
+  std::vector<Real> crossings;
+  std::vector<Real> candidates;
   for (const int side : {+1, -1}) {
     const std::vector<Real> criticals = detail::critical_magnitudes(
         fleet, side, options.window_lo, options.window_hi);
@@ -26,20 +31,18 @@ ExactCrResult certified_cr(const Fleet& fleet, const int f,
       const Real a = criticals[i];
       const Real b = criticals[i + 1];
       ++result.intervals;
-      const std::vector<detail::VisitLine> lines =
-          detail::visit_lines(fleet, side, a, b);
+      detail::fill_line_columns(fleet, side, a, b, columns);
 
       // Candidate extrema: interval endpoints (as one-sided limits) and
       // every pairwise crossing of lines with distinct slopes.
-      std::vector<Real> candidates{a, b};
-      const std::vector<Real> crossings =
-          detail::line_crossings(lines, a, b);
+      candidates.assign({a, b});
+      detail::line_crossings_into(columns, a, b, crossings);
       result.breakpoints += static_cast<int>(crossings.size());
       candidates.insert(candidates.end(), crossings.begin(),
                         crossings.end());
 
       for (const Real x : candidates) {
-        const Real time = detail::order_statistic_at(lines, x, k);
+        const Real time = detail::order_statistic_at(columns, x, k);
         if (std::isinf(time)) {
           if (options.require_finite) {
             throw NumericError(

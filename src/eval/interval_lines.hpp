@@ -45,14 +45,61 @@ struct VisitLine {
 [[nodiscard]] Real order_statistic_at(const std::vector<VisitLine>& lines,
                                       Real x, std::size_t k);
 
-/// Index of the line realizing the k-th smallest value at x (ties by
-/// smallest index).
+/// Index of the line realizing the k-th smallest value at x.  Tie-break
+/// is PINNED to lowest-index-among-attainers: of all lines whose value
+/// at x equals the order statistic bit-for-bit, the smallest index wins
+/// — the same line on the AoS and SoA paths, in both SIMD and scalar
+/// builds.
 [[nodiscard]] std::size_t order_statistic_line(
     const std::vector<VisitLine>& lines, Real x, std::size_t k);
 
 /// All pairwise crossings of distinct-slope finite lines strictly inside
-/// (a, b), unsorted.
+/// (a, b), sorted ascending with exact duplicates removed (several line
+/// pairs can cross at the bit-identical abscissa; reporting it once
+/// keeps certified intervals from being split twice at the same point).
 [[nodiscard]] std::vector<Real> line_crossings(
     const std::vector<VisitLine>& lines, Real a, Real b);
+
+/// SoA layout of one interval's visit lines — the VisitLine fields in
+/// parallel columns plus reused evaluation buffers, so the certified
+/// evaluators run their order-statistic scans as flat elementwise passes
+/// (LS_SIMD_LOOP) with no per-candidate allocation.  Bit-identity:
+/// every query below equals its AoS counterpart exactly — the evaluated
+/// expression, the selection and the tie-break are the same.
+struct LineColumns {
+  std::vector<Real> anchor;
+  std::vector<Real> value;
+  std::vector<Real> slope;
+  std::vector<unsigned char> finite;
+  std::vector<Real> at;      ///< scratch: last evaluate() result
+  std::vector<Real> ranked;  ///< scratch: nth_element working copy
+
+  [[nodiscard]] std::size_t size() const noexcept { return value.size(); }
+};
+
+/// Fit each robot's visit line on (a, b) directly into columns
+/// (visit_lines in SoA form; one batched first-visit query per sample
+/// abscissa instead of a per-robot segment walk).
+void fill_line_columns(const Fleet& fleet, int side, Real a, Real b,
+                       LineColumns& columns);
+
+/// Evaluate every line at x into columns.at (elementwise SoA pass;
+/// entries match VisitLine::at bit-for-bit).
+void evaluate_lines(LineColumns& columns, Real x);
+
+/// SoA order_statistic_at (uses columns scratch; no allocation after
+/// the first call at a given fleet size).
+[[nodiscard]] Real order_statistic_at(LineColumns& columns, Real x,
+                                      std::size_t k);
+
+/// SoA order_statistic_line — lowest-index-among-attainers, like the
+/// AoS overload.
+[[nodiscard]] std::size_t order_statistic_line(LineColumns& columns, Real x,
+                                               std::size_t k);
+
+/// SoA line_crossings: sorted ascending, exact duplicates removed,
+/// appended into `out` (cleared first).
+void line_crossings_into(const LineColumns& columns, Real a, Real b,
+                         std::vector<Real>& out);
 
 }  // namespace linesearch::detail

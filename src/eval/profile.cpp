@@ -35,8 +35,11 @@ std::vector<ProfilePiece> detection_profile(const Fleet& fleet,
   expects(k < fleet.size(),
           "detection_profile: fault budget >= fleet size");
 
-  // Build pieces on the MAGNITUDE axis first.
+  // Build pieces on the MAGNITUDE axis first.  The SoA columns and the
+  // cut list are reused across intervals (eval/interval_lines).
   std::vector<ProfilePiece> magnitude_pieces;
+  detail::LineColumns columns;
+  std::vector<Real> crossings;
   const std::vector<Real> criticals = detail::critical_magnitudes(
       fleet, side, options.window_lo, options.window_hi);
   for (std::size_t i = 0; i + 1 < criticals.size(); ++i) {
@@ -47,12 +50,13 @@ std::vector<ProfilePiece> detection_profile(const Fleet& fleet,
     // sample abscissae would coincide after rounding.  They have measure
     // ~1e-17 and are skipped.
     if (b - a < std::max(a, Real{1}) * 1e-15L) continue;
-    const std::vector<detail::VisitLine> lines =
-        detail::visit_lines(fleet, side, a, b);
+    detail::fill_line_columns(fleet, side, a, b, columns);
 
-    // Sub-intervals delimited by order-statistic breakpoints.
+    // Sub-intervals delimited by order-statistic breakpoints (the
+    // crossings arrive sorted and deduplicated; merging the endpoints
+    // keeps the cut list sorted-unique).
     std::vector<Real> cuts{a, b};
-    const std::vector<Real> crossings = detail::line_crossings(lines, a, b);
+    detail::line_crossings_into(columns, a, b, crossings);
     cuts.insert(cuts.end(), crossings.begin(), crossings.end());
     std::sort(cuts.begin(), cuts.end());
     cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
@@ -61,7 +65,7 @@ std::vector<ProfilePiece> detection_profile(const Fleet& fleet,
       const Real lo = cuts[c];
       const Real hi = cuts[c + 1];
       const Real mid = lo + (hi - lo) / 2;
-      const Real t_mid = detail::order_statistic_at(lines, mid, k);
+      const Real t_mid = detail::order_statistic_at(columns, mid, k);
       if (std::isinf(t_mid)) {
         if (options.require_finite) {
           throw NumericError(
@@ -70,10 +74,14 @@ std::vector<ProfilePiece> detection_profile(const Fleet& fleet,
         continue;
       }
       const std::size_t line_index =
-          detail::order_statistic_line(lines, mid, k);
-      const detail::VisitLine& line = lines[line_index];
+          detail::order_statistic_line(columns, mid, k);
+      // line.at(lo) / line.slope, read off the columns.
+      const Real value_at_lo =
+          columns.value[line_index] +
+          columns.slope[line_index] * (lo - columns.anchor[line_index]);
       push_piece(magnitude_pieces,
-                 {lo, hi, line.at(lo), line.slope}, options.coalesce);
+                 {lo, hi, value_at_lo, columns.slope[line_index]},
+                 options.coalesce);
     }
   }
   if (side == 1) return magnitude_pieces;

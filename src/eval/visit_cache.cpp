@@ -1,9 +1,9 @@
 #include "eval/visit_cache.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <optional>
 
-#include "analysis/stats.hpp"
 #include "obs/metrics.hpp"
 #include "util/error.hpp"
 
@@ -89,12 +89,21 @@ Real FleetVisitCache::detection_time(const Real x, const int faults) const {
   // One batched metric add for the whole query (lookup totals are
   // identical to per-robot counting; the hot path stays lean).
   LS_OBS_COUNT("eval.visit_cache.lookups", fleet_.size());
-  std::vector<Real> times;
+  // Thread-local selection buffer: this is the batch engine's innermost
+  // query and a heap allocation per probe dominated its memo-hit cost.
+  // nth_element over the same value multiset returns the identical k-th
+  // smallest VALUE as analysis/stats kth_smallest did here — selection
+  // does no arithmetic on the times, so the result is bit-equal.
+  static thread_local std::vector<Real> times;
+  times.clear();
   times.reserve(fleet_.size());
   for (RobotId id = 0; id < fleet_.size(); ++id) {
     times.push_back(lookup_impl(id, x));
   }
-  return kth_smallest(std::move(times), k);
+  std::nth_element(times.begin(),
+                   times.begin() + static_cast<std::ptrdiff_t>(k),
+                   times.end());
+  return times[static_cast<std::ptrdiff_t>(k)];
 }
 
 std::size_t FleetVisitCache::CacheStats::lookups() const noexcept {

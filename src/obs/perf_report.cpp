@@ -2,7 +2,9 @@
 
 #include <chrono>
 #include <cmath>
+#include <limits>
 #include <ostream>
+#include <utility>
 #include <vector>
 
 #include "adversary/game.hpp"
@@ -12,6 +14,7 @@
 #include "eval/batch.hpp"
 #include "eval/cr_eval.hpp"
 #include "eval/exact.hpp"
+#include "eval/kernels.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "runtime/supervisor.hpp"
@@ -54,6 +57,7 @@ Real checksum(const std::vector<CrEvalResult>& results) {
 
 void write_perf_report(std::ostream& out, const PerfReportOptions& options) {
   expects(options.build_reps >= 1, "perf_report: build_reps must be >= 1");
+  expects(options.kernel_reps >= 1, "perf_report: kernel_reps must be >= 1");
   expects(options.sweep_window_hi > 1,
           "perf_report: sweep_window_hi must exceed 1");
 
@@ -143,6 +147,98 @@ void write_perf_report(std::ostream& out, const PerfReportOptions& options) {
     analytic_footprint += wide_analytic.robot(id).source().footprint_bytes();
   }
 
+  // kernel_sweep: the SoA kernel path (eval/kernels measure_cr_kernel)
+  // raced against the scalar reference scan (detail::measure_cr_with
+  // over direct, uncached Fleet::detection_time queries) on two shapes.
+  // The dense leg runs the deep wide regimes A(12, 11) and A(12, 10)
+  // built dense at 4x the race window — high-f proportional schedules
+  // pack many segments into the window, which is exactly the regime
+  // where the per-probe segment walk the kernel replaces with one
+  // frontier sweep per robot dominates the scalar scan.  The analytic
+  // leg sweeps A(12, 11) on the analytic backend over the full window.
+  // Both runs are single-threaded and uncached, so the ratio isolates
+  // the SoA restructuring itself; full mode also demands bitwise
+  // identity of every result field.  Fleet builds happen outside the
+  // timed regions in both modes.
+  const auto scalar_scan = [](const Fleet& target, const int faults,
+                              const CrEvalOptions& scan_options) {
+    return detail::measure_cr_with(
+        target, faults, scan_options, [&target, faults](const Real x) {
+          return target.detection_time(x, faults);
+        });
+  };
+  const Real kernel_window =
+      options.sweep_window_hi < 2048 ? options.sweep_window_hi : 2048;
+  const CrEvalOptions kernel_scan{.window_hi = kernel_window,
+                                  .interior_samples = 16};
+  const Fleet kernel_dense_a = wide.build_fleet(4 * kernel_window);
+  const Fleet kernel_dense_b =
+      ProportionalAlgorithm(12, 10).build_fleet(4 * kernel_window);
+  const std::vector<std::pair<const Fleet*, int>> kernel_jobs{
+      {&kernel_dense_a, 11}, {&kernel_dense_b, 10}};
+
+  // Every leg is a few milliseconds end to end, so a single pass is
+  // dominated by scheduler and frequency noise; each leg runs
+  // kernel_reps times and reports its fastest pass.  Results are
+  // deterministic, so re-running a leg cannot change what the identity
+  // check below sees.
+  const auto best_of = [&options](auto&& leg) {
+    double best = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < options.kernel_reps; ++rep) {
+      const auto start = Clock::now();
+      leg();
+      best = std::min(best, millis_since(start));
+    }
+    return best;
+  };
+
+  std::vector<CrEvalResult> kernel_scalar;
+  const double kernel_scalar_ms = best_of([&] {
+    kernel_scalar.clear();
+    kernel_scalar.reserve(kernel_jobs.size());
+    for (const auto& [target, faults] : kernel_jobs) {
+      kernel_scalar.push_back(scalar_scan(*target, faults, kernel_scan));
+    }
+  });
+
+  std::vector<CrEvalResult> kernel_fast;
+  const double kernel_fast_ms = best_of([&] {
+    kernel_fast.clear();
+    kernel_fast.reserve(kernel_jobs.size());
+    for (const auto& [target, faults] : kernel_jobs) {
+      kernel_fast.push_back(
+          kernels::measure_cr_kernel(*target, faults, kernel_scan));
+    }
+  });
+
+  const CrEvalOptions analytic_scan{.window_hi = options.sweep_window_hi};
+  CrEvalResult kernel_analytic_scalar;
+  const double kernel_analytic_scalar_ms = best_of([&] {
+    kernel_analytic_scalar = scalar_scan(wide_analytic, 11, analytic_scan);
+  });
+
+  CrEvalResult kernel_analytic_fast;
+  const double kernel_analytic_fast_ms = best_of([&] {
+    kernel_analytic_fast =
+        kernels::measure_cr_kernel(wide_analytic, 11, analytic_scan);
+  });
+
+  bool kernel_identical = true;
+  if (!options.timings_only) {
+    kernel_identical = kernel_scalar.size() == kernel_fast.size();
+    for (std::size_t i = 0; kernel_identical && i < kernel_scalar.size();
+         ++i) {
+      kernel_identical = kernel_scalar[i].cr == kernel_fast[i].cr &&
+                         kernel_scalar[i].argmax == kernel_fast[i].argmax &&
+                         kernel_scalar[i].probes == kernel_fast[i].probes;
+    }
+    kernel_identical =
+        kernel_identical &&
+        kernel_analytic_scalar.cr == kernel_analytic_fast.cr &&
+        kernel_analytic_scalar.argmax == kernel_analytic_fast.argmax &&
+        kernel_analytic_scalar.probes == kernel_analytic_fast.probes;
+  }
+
   // degraded_sweep: crash -> silence-detect -> re-plan -> re-measure CR
   // over the proportional-regime grid (runtime/supervisor.hpp).  The
   // timing covers the full recovery pipeline; the verification side —
@@ -195,6 +291,12 @@ void write_perf_report(std::ostream& out, const PerfReportOptions& options) {
   }
   workload("analytic_sweep_analytic", analytic_sweep_ms,
            analytic_sweep.cr + analytic_sweep.argmax);
+  workload("kernel_sweep_scalar", kernel_scalar_ms, checksum(kernel_scalar));
+  workload("kernel_sweep_kernel", kernel_fast_ms, checksum(kernel_fast));
+  workload("kernel_sweep_analytic_scalar", kernel_analytic_scalar_ms,
+           kernel_analytic_scalar.cr + kernel_analytic_scalar.argmax);
+  workload("kernel_sweep_analytic_kernel", kernel_analytic_fast_ms,
+           kernel_analytic_fast.cr + kernel_analytic_fast.argmax);
   workload("degraded_sweep", degraded_ms, degraded_checksum);
   json.end_array();
 
@@ -214,6 +316,24 @@ void write_perf_report(std::ostream& out, const PerfReportOptions& options) {
     json.field("analytic_identical_to_dense",
                dense_sweep.cr == analytic_sweep.cr &&
                    dense_sweep.argmax == analytic_sweep.argmax);
+  }
+  json.end_object();
+
+  json.key("kernel_sweep").begin_object();
+  json.field("simd_compiled", kernels::simd_compiled());
+  json.field("window_hi", kernel_window);
+  json.field("kernel_reps", options.kernel_reps);
+  json.field("dense_speedup",
+             static_cast<Real>(kernel_fast_ms > 0
+                                   ? kernel_scalar_ms / kernel_fast_ms
+                                   : 0));
+  json.field("analytic_speedup",
+             static_cast<Real>(kernel_analytic_fast_ms > 0
+                                   ? kernel_analytic_scalar_ms /
+                                         kernel_analytic_fast_ms
+                                   : 0));
+  if (!options.timings_only) {
+    json.field("kernel_identical_to_scalar", kernel_identical);
   }
   json.end_object();
 

@@ -21,13 +21,20 @@
 //     analytic sweep.  "checksum" fields and the two *_identical_* flags
 //     are omitted; everything else keeps its name and shape.
 //
-// Both modes emit schema "linesearch-bench-perf/3" and embed the obs
+// Both modes emit schema "linesearch-bench-perf/4" and embed the obs
 // metric registry ("metrics": [...], see obs/export.hpp) folded over
 // exactly the workloads this report ran (the registry is reset first).
 // Schema /3 added the degraded_sweep workload (runtime/supervisor.hpp:
 // crash -> detect -> re-plan -> re-measure CR over the regime grid) and
 // its summary object; in full mode that object also reports the worst
-// relative gap to Theorem 1 over the valid reductions.
+// relative gap to Theorem 1 over the valid reductions.  Schema /4 added
+// the kernel_sweep workloads — the SoA kernel path (eval/kernels) raced
+// against the scalar reference scan on a dense leg (the deep wide
+// regimes A(12, 11) and A(12, 10) built dense at 4x the race window)
+// and the analytic A(12, 11) window sweep — plus the kernel_sweep
+// summary object (simd_compiled, the two speedups, and in full mode the
+// bitwise kernel-vs-scalar identity flag).  Each kernel_sweep leg is
+// timed best-of-kernel_reps (single passes are noise-bound).
 #pragma once
 
 #include <iosfwd>
@@ -39,8 +46,9 @@ namespace linesearch::obs {
 /// Schema tag emitted by write_perf_report (bumped from /1 when the
 /// report moved into the library, gained the metrics array and made
 /// timings-only actually skip the checksum workloads; from /2 when the
-/// degraded-mode supervisor sweep joined the workload list).
-inline constexpr const char* kPerfReportSchema = "linesearch-bench-perf/3";
+/// degraded-mode supervisor sweep joined the workload list; from /3 when
+/// the SoA kernel_sweep workloads and summary joined it).
+inline constexpr const char* kPerfReportSchema = "linesearch-bench-perf/4";
 
 struct PerfReportOptions {
   /// Skip all checksum-verification work (see header comment).
@@ -52,6 +60,10 @@ struct PerfReportOptions {
   Real dense_coverage = 2000;
   /// Window of the analytic sweep (a power of two keeps probes exact).
   Real sweep_window_hi = 1048576;
+  /// Timing passes per kernel_sweep leg; the fastest pass is reported.
+  /// Each leg is only a few milliseconds end to end, so a single pass
+  /// is dominated by scheduler and frequency noise.
+  int kernel_reps = 15;
   /// Grid size of the degraded-mode supervisor sweep (regime pairs with
   /// n <= degraded_n_max, 1..degraded_max_crashes crash-stops each).
   int degraded_n_max = 6;

@@ -4,7 +4,9 @@
 #include <cmath>
 
 #include "obs/metrics.hpp"
+#include "sim/visit_sweep.hpp"
 #include "util/error.hpp"
+#include "util/simd.hpp"
 
 namespace linesearch {
 namespace {
@@ -210,6 +212,30 @@ std::vector<Real> AnalyticZigzag::visit_times(
   return times;
 }
 
+void AnalyticZigzag::first_visit_times_into(const Real* xs,
+                                            const std::size_t count,
+                                            Real* out) const {
+  // One ladder walk answers the whole sorted batch — the scalar
+  // visit_times restarts the walk per query, which is exactly the cost
+  // the SoA probe kernel exists to avoid.  Counted separately from
+  // sim.analytic.visit_queries, which keeps meaning "walks".
+  LS_OBS_COUNT("sim.analytic.batched_sweeps", 1);
+  LS_OBS_COUNT("sim.analytic.batched_visit_queries", count);
+  detail::FrontierSweep sweep(xs, count, out, head_.front());
+  // Unbounded ladders reach every point of both half-lines eventually
+  // (reach grows by kappa > 1 per leg), so the sweep always completes;
+  // bounded schedules may simply run out of segments, leaving the
+  // never-visited probes at kInfinity.
+  Walker cursor(*this);
+  Waypoint a = cursor.current();
+  while (cursor.has_next() && !sweep.done()) {
+    cursor.advance();
+    const Waypoint& b = cursor.current();
+    sweep.feed(a, b);
+    a = b;
+  }
+}
+
 const std::vector<Waypoint>& AnalyticZigzag::waypoints() const {
   expects(!unbounded(),
           "waypoints: schedule has an unbounded horizon; use "
@@ -331,6 +357,19 @@ std::vector<Real> AnalyticRay::visit_times(
     times.push_back(std::fabs(x));
   }
   return times;
+}
+
+void AnalyticRay::first_visit_times_into(const Real* xs,
+                                         const std::size_t count,
+                                         Real* out) const {
+  // Closed form, elementwise: the ray reaches x at t = |x| iff x is on
+  // its half-line (or the origin) — same branch as visit_times.
+  const int direction = direction_;
+  LS_SIMD_LOOP
+  for (std::size_t i = 0; i < count; ++i) {
+    const Real x = xs[i];
+    out[i] = (x == 0 || sign_of(x) == direction) ? std::fabs(x) : kInfinity;
+  }
 }
 
 const std::vector<Waypoint>& AnalyticRay::waypoints() const {

@@ -75,6 +75,8 @@ class AnalyticZigzag final : public ScheduleSource {
   [[nodiscard]] Real position_at(Real t) const override;
   [[nodiscard]] std::vector<Real> visit_times(
       Real x, std::size_t max_count) const override;
+  void first_visit_times_into(const Real* xs, std::size_t count,
+                              Real* out) const override;
   [[nodiscard]] const std::vector<Waypoint>& waypoints() const override;
   [[nodiscard]] std::vector<Waypoint> waypoint_prefix(
       std::size_t k) const override;
@@ -137,6 +139,8 @@ class AnalyticRay final : public ScheduleSource {
   [[nodiscard]] Real position_at(Real t) const override;
   [[nodiscard]] std::vector<Real> visit_times(
       Real x, std::size_t max_count) const override;
+  void first_visit_times_into(const Real* xs, std::size_t count,
+                              Real* out) const override;
   [[nodiscard]] const std::vector<Waypoint>& waypoints() const override;
   [[nodiscard]] std::vector<Waypoint> waypoint_prefix(
       std::size_t k) const override;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sim/visit_sweep.hpp"
 #include "util/error.hpp"
 
 namespace linesearch {
@@ -13,6 +14,17 @@ namespace {
 constexpr Real kSpeedSlack = 1 + 1e-9L;
 
 }  // namespace
+
+void ScheduleSource::first_visit_times_into(const Real* xs,
+                                            const std::size_t count,
+                                            Real* out) const {
+  // Reference fallback: one scalar query per probe.  Backends override
+  // with a frontier sweep; this loop defines what they must reproduce.
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::vector<Real> times = visit_times(xs[i], 1);
+    out[i] = times.empty() ? kInfinity : times.front();
+  }
+}
 
 DenseSchedule::DenseSchedule(std::vector<Waypoint> waypoints)
     : waypoints_(std::move(waypoints)) {
@@ -96,6 +108,15 @@ std::vector<Real> DenseSchedule::visit_times(
     if (times.size() == max_count) break;
   }
   return times;
+}
+
+void DenseSchedule::first_visit_times_into(const Real* xs,
+                                           const std::size_t count,
+                                           Real* out) const {
+  detail::FrontierSweep sweep(xs, count, out, waypoints_.front());
+  for (std::size_t i = 0; i + 1 < waypoints_.size() && !sweep.done(); ++i) {
+    sweep.feed(waypoints_[i], waypoints_[i + 1]);
+  }
 }
 
 std::vector<Waypoint> DenseSchedule::waypoint_prefix(

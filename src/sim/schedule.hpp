@@ -73,6 +73,16 @@ class ScheduleSource {
   [[nodiscard]] virtual std::vector<Real> visit_times(
       Real x, std::size_t max_count) const = 0;
 
+  /// Batched first visits: out[i] = first visit time to xs[i], or
+  /// kInfinity when xs[i] is never reached.  `xs` must be sorted
+  /// ascending (duplicates allowed); every entry is bit-identical to
+  /// visit_times(xs[i], 1).  The base implementation loops the scalar
+  /// query; backends override with a single frontier sweep over their
+  /// segments (O(segments + count) instead of O(segments * count)), which
+  /// is what makes the SoA probe kernels in eval/kernels pay off.
+  virtual void first_visit_times_into(const Real* xs, std::size_t count,
+                                      Real* out) const;
+
   /// The full materialized waypoint list; requires a bounded schedule.
   [[nodiscard]] virtual const std::vector<Waypoint>& waypoints() const = 0;
 
@@ -134,6 +144,8 @@ class DenseSchedule final : public ScheduleSource {
   [[nodiscard]] Real position_at(Real t) const override;
   [[nodiscard]] std::vector<Real> visit_times(
       Real x, std::size_t max_count) const override;
+  void first_visit_times_into(const Real* xs, std::size_t count,
+                              Real* out) const override;
   [[nodiscard]] const std::vector<Waypoint>& waypoints() const override {
     return waypoints_;
   }

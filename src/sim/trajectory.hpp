@@ -111,6 +111,15 @@ class Trajectory {
   [[nodiscard]] std::optional<Real> kth_visit_time(Real x,
                                                    std::size_t k) const;
 
+  /// Batched first visits into a caller-owned buffer: out[i] is
+  /// bit-identical to first_visit_time(xs[i]) (kInfinity when never
+  /// visited).  `xs` must be sorted ascending; backends answer the whole
+  /// batch with one segment sweep (see ScheduleSource).
+  void first_visit_times_into(const Real* xs, std::size_t count,
+                              Real* out) const {
+    source_->first_visit_times_into(xs, count, out);
+  }
+
   /// Largest |position| ever reached (kInfinity when unbounded).
   [[nodiscard]] Real max_abs_position() const {
     return source_->max_abs_position();

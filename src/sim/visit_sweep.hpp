@@ -1,0 +1,108 @@
+// sim/visit_sweep.hpp — shared frontier sweep behind the batched
+// first-visit queries (ScheduleSource::first_visit_times_into).
+//
+// A trajectory is continuous, so after any prefix of segments the set of
+// visited points is exactly the interval [min position so far, max
+// position so far].  Each segment starts inside that interval (segments
+// share endpoints) and can therefore extend it on at most one side; a
+// probe x is first visited by the first segment that pushes the frontier
+// past x, and the visit time is the very interpolation the scalar
+// per-segment scan (DenseSchedule::visit_times with max_count = 1) would
+// compute on that segment.  Sweeping a SORTED probe array against the
+// segment stream in order assigns every probe in O(segments + probes)
+// with two cursors — one per frontier — instead of the scalar scan's
+// O(segments) walk per probe, and produces bit-identical times because
+// the assigned expression is the same, on the same segment, in the same
+// arithmetic.
+//
+// Exactness notes mirrored from the scalar scan:
+//   * a probe equal to the start position is visited at start_time()
+//     (the scan's fraction-0 interpolation yields exactly a.time);
+//   * stationary segments never extend the frontier, and any probe they
+//     sit on was already covered, so they assign nothing;
+//   * the scan's skip-start and approx-dedup rules only affect SECOND
+//     visits and are irrelevant to the first-visit query.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+#include "sim/schedule.hpp"
+#include "util/error.hpp"
+#include "util/real.hpp"
+
+namespace linesearch::detail {
+
+/// One batched first-visit computation.  Feed the schedule's segments in
+/// time order until done() (or the schedule ends); unfed probes keep
+/// kInfinity, exactly like a never-visiting scalar query.
+class FrontierSweep {
+ public:
+  /// `xs` must be sorted ascending (duplicates allowed).
+  FrontierSweep(const Real* xs, const std::size_t count, Real* out,
+                const Waypoint& start)
+      : xs_(xs), count_(count), out_(out) {
+    // Validation and the kInfinity pre-fill share one branchless pass;
+    // the single check afterwards keeps expects (and its potential
+    // throw) off the per-element path.
+    bool sorted = true;
+    if (count_ > 0) out_[0] = kInfinity;
+    for (std::size_t i = 1; i < count_; ++i) {
+      sorted &= xs_[i - 1] <= xs_[i];
+      out_[i] = kInfinity;
+    }
+    expects(sorted,
+            "first_visit_times_into: positions must be sorted ascending");
+    cov_lo_ = cov_hi_ = start.position;
+    // Probes sitting exactly on the start position are visited at the
+    // start; [lo, hi) brackets them in the sorted array.
+    const Real* lo = std::lower_bound(xs_, xs_ + count_, start.position);
+    const Real* hi = std::upper_bound(lo, xs_ + count_, start.position);
+    for (const Real* p = lo; p != hi; ++p) out_[p - xs_] = start.time;
+    right_ = static_cast<std::size_t>(hi - xs_);
+    left_ = (lo - xs_) - 1;
+  }
+
+  /// All probes assigned; feeding further segments is a no-op.
+  [[nodiscard]] bool done() const noexcept {
+    return left_ < 0 && right_ >= count_;
+  }
+
+  /// Advance the frontier over one segment a -> b (b.time > a.time).
+  void feed(const Waypoint& a, const Waypoint& b) {
+    const Real lo = std::min(a.position, b.position);
+    const Real hi = std::max(a.position, b.position);
+    if (hi > cov_hi_) {
+      while (right_ < count_ && xs_[right_] <= hi) {
+        assign(right_, a, b);
+        ++right_;
+      }
+      cov_hi_ = hi;
+    }
+    if (lo < cov_lo_) {
+      while (left_ >= 0 && xs_[left_] >= lo) {
+        assign(static_cast<std::size_t>(left_), a, b);
+        --left_;
+      }
+      cov_lo_ = lo;
+    }
+  }
+
+ private:
+  void assign(const std::size_t i, const Waypoint& a, const Waypoint& b) {
+    // Only a moving segment extends the frontier, so b != a here; the
+    // expression is character-for-character the scalar scan's.
+    const Real fraction = (xs_[i] - a.position) / (b.position - a.position);
+    out_[i] = a.time + fraction * (b.time - a.time);
+  }
+
+  const Real* xs_;
+  std::size_t count_;
+  Real* out_;
+  Real cov_lo_ = 0;
+  Real cov_hi_ = 0;
+  std::ptrdiff_t left_ = -1;   ///< largest unassigned index below cov_lo_
+  std::size_t right_ = 0;      ///< smallest unassigned index above cov_hi_
+};
+
+}  // namespace linesearch::detail

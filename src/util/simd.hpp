@@ -1,0 +1,36 @@
+// util/simd.hpp — the configure-time SIMD switch for the SoA kernels.
+//
+// The hot kernels (eval/kernels, eval/interval_lines) are written as
+// structure-of-arrays loops annotated with LS_SIMD_LOOP.  With
+// LINESEARCH_SIMD=ON (the default) the macro expands to
+// `#pragma omp simd` — the portable, library-free vectorization hint
+// enabled by -fopenmp-simd, which needs no OpenMP runtime — and with
+// LINESEARCH_SIMD=OFF it expands to nothing, giving a pure scalar build
+// of the very same source.  Both builds must produce bit-identical
+// results: `omp simd` on an elementwise loop (no reduction clause)
+// licenses no re-association, and `Real` is long double, which the
+// hardware cannot contract anyway.  The scalar build exists so CI can
+// prove that claim rather than assume it.
+//
+// Code that needs to report which variant it is running (the perf
+// report, the differential harness) should use kSimdCompiled instead of
+// testing the macro at each site.
+#pragma once
+
+#if defined(LINESEARCH_SIMD_ENABLED) && LINESEARCH_SIMD_ENABLED
+#define LS_SIMD_LOOP _Pragma("omp simd")
+#else
+#define LS_SIMD_LOOP
+#endif
+
+namespace linesearch {
+
+/// True when this build annotates the SoA kernels with `#pragma omp simd`
+/// (LINESEARCH_SIMD=ON); false in the scalar-fallback build.
+#if defined(LINESEARCH_SIMD_ENABLED) && LINESEARCH_SIMD_ENABLED
+inline constexpr bool kSimdCompiled = true;
+#else
+inline constexpr bool kSimdCompiled = false;
+#endif
+
+}  // namespace linesearch

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "eval/exact.hpp"
+#include "eval/kernels.hpp"
 #include "eval/visit_cache.hpp"
 #include "runtime/world.hpp"
 #include "sim/faults.hpp"
@@ -304,6 +305,45 @@ DifferentialResult diff_crash_injected(const int n, const int f,
   return result;
 }
 
+DifferentialResult diff_scalar_vs_simd(const Fleet& fleet, const int f,
+                                       const CrEvalOptions& eval) {
+  DifferentialResult result;
+  result.name = "scalar_vs_simd";
+  // A fleet that leaves probes undetected throws under require_finite on
+  // BOTH paths with the same message; compare the relaxed results so the
+  // engine reports value mismatches instead of aborting.
+  CrEvalOptions relaxed = eval;
+  relaxed.require_finite = false;
+
+  // (a) Full scan: the SoA kernel vs the scalar reference loop backed by
+  // direct (uncached, unbatched) Fleet queries.
+  const CrEvalResult kernel = kernels::measure_cr_kernel(fleet, f, relaxed);
+  const CrEvalResult scalar = detail::measure_cr_with(
+      fleet, f, relaxed,
+      [&fleet, f](const Real x) { return fleet.detection_time(x, f); });
+  compare_results(result, 0, scalar, kernel);
+
+  // (b) Columns: every batched per-probe detection time vs the scalar
+  // oracle at the identical signed position (the same side * magnitude
+  // product the kernel feeds its sweep).
+  const kernels::ProbeBatch batch = kernels::build_probe_batch(fleet, relaxed);
+  kernels::VisitColumns columns;
+  kernels::fill_visit_columns(fleet, f, batch, columns);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Real x = static_cast<Real>(batch.sides[i]) * batch.magnitudes[i];
+    const Real direct = fleet.detection_time(x, f);
+    if (!value_identical(direct, columns.detection[i])) {
+      record(result, i, "detection", direct, columns.detection[i]);
+    }
+  }
+  if (!result.passed && result.mismatches.size() > 1) {
+    result.message += " (+" +
+                      std::to_string(result.mismatches.size() - 1) +
+                      " more mismatches)";
+  }
+  return result;
+}
+
 std::vector<DifferentialResult> run_differentials(
     const Fleet& fleet, const int f, const CrEvalOptions& eval,
     const std::vector<Real>& targets, const DifferentialOptions& options) {
@@ -328,6 +368,7 @@ std::vector<DifferentialResult> run_differentials(
   results.push_back(diff_cache_direct(fleet, f, positions));
   results.push_back(diff_probe_vs_exact(fleet, f, eval, options));
   results.push_back(diff_exact_vs_grid(fleet, f, eval, options));
+  results.push_back(diff_scalar_vs_simd(fleet, f, eval));
   return results;
 }
 

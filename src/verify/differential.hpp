@@ -110,6 +110,15 @@ struct DifferentialOptions {
     int n, int f, Real extent, const std::vector<Real>& crash_times,
     const CrEvalOptions& eval);
 
+/// SoA kernel path (eval/kernels measure_cr_kernel) vs the scalar
+/// reference scan driven by direct Fleet queries: every CrEvalResult
+/// field bit-identical, and every batched per-probe detection time
+/// bit-identical to Fleet::detection_time at the same signed position.
+/// This is the differential that licenses the configure-time SIMD
+/// switch — it must hold on both LINESEARCH_SIMD builds.
+[[nodiscard]] DifferentialResult diff_scalar_vs_simd(
+    const Fleet& fleet, int f, const CrEvalOptions& eval);
+
 /// Run every engine above on one (fleet, f, window) instance.  `targets`
 /// adds fuzzer-chosen positions to the memo-vs-direct check.
 [[nodiscard]] std::vector<DifferentialResult> run_differentials(

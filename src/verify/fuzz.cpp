@@ -30,6 +30,7 @@ const char* kind_name(const FleetKind kind) noexcept {
     case FleetKind::kUniformOffset: return "uniform-offset";
     case FleetKind::kAnalyticZigzag: return "analytic-zigzag";
     case FleetKind::kCrashInjected: return "crash-injected";
+    case FleetKind::kKernelSoA: return "kernel-soa";
   }
   return "unknown";
 }
@@ -49,7 +50,8 @@ bool regime_kind(const FleetKind kind) noexcept {
          kind == FleetKind::kPerturbedBeta ||
          kind == FleetKind::kUniformOffset ||
          kind == FleetKind::kAnalyticZigzag ||
-         kind == FleetKind::kCrashInjected;
+         kind == FleetKind::kCrashInjected ||
+         kind == FleetKind::kKernelSoA;
 }
 
 bool cone_kind(const FleetKind kind) noexcept {
@@ -72,6 +74,7 @@ std::unique_ptr<SearchStrategy> make_fuzz_strategy(
     case FleetKind::kAnalyticZigzag:
       return std::make_unique<ProportionalAlgorithm>(instance.n, instance.f);
     case FleetKind::kPerturbedBeta:
+    case FleetKind::kKernelSoA:
       return std::make_unique<ProportionalAlgorithm>(instance.n, instance.f,
                                                      instance.beta);
     case FleetKind::kGroupDoubling:
@@ -132,18 +135,20 @@ FuzzInstance generate_instance(const std::uint64_t seed) {
   SplitMix64 rng(seed);
   FuzzInstance instance;
   instance.seed = seed;
-  instance.kind = static_cast<FleetKind>(rng.uniform_int(0, 7));
+  instance.kind = static_cast<FleetKind>(rng.uniform_int(0, 8));
 
   switch (instance.kind) {
     case FleetKind::kProportional:
     case FleetKind::kPerturbedBeta:
     case FleetKind::kUniformOffset:
     case FleetKind::kAnalyticZigzag:
-    case FleetKind::kCrashInjected: {
+    case FleetKind::kCrashInjected:
+    case FleetKind::kKernelSoA: {
       instance.f = rng.uniform_int(1, 4);
       instance.n = rng.uniform_int(instance.f + 1, 2 * instance.f + 1);
       instance.beta =
-          instance.kind == FleetKind::kPerturbedBeta
+          instance.kind == FleetKind::kPerturbedBeta ||
+                  instance.kind == FleetKind::kKernelSoA
               ? rng.uniform(1.2L, 6.0L)
               : optimal_beta(instance.n, instance.f);
       break;
@@ -219,6 +224,14 @@ FuzzInstance generate_instance(const std::uint64_t seed) {
       if (++taken == 3) break;
     }
   }
+  if (instance.kind == FleetKind::kKernelSoA) {
+    // Exact duplicates on purpose: the SoA kernel's first-occurrence
+    // dedup and the visit cache must treat a repeated position as one.
+    const std::size_t unique_targets = instance.targets.size();
+    for (std::size_t i = 0; i < unique_targets && i < 4; ++i) {
+      instance.targets.push_back(instance.targets[i]);
+    }
+  }
   return instance;
 }
 
@@ -229,6 +242,7 @@ Fleet build_fuzz_fleet(const FuzzInstance& instance) {
         return ProportionalAlgorithm(instance.n, instance.f)
             .build_fleet(instance.extent);
       case FleetKind::kPerturbedBeta:
+      case FleetKind::kKernelSoA:
         return ProportionalAlgorithm(instance.n, instance.f, instance.beta)
             .build_fleet(instance.extent);
       case FleetKind::kCustomCone:
@@ -278,6 +292,7 @@ Subject make_subject(const FuzzInstance& instance, const Fleet& fleet) {
       subject.theory_cr = algorithm_cr(instance.n, instance.f);
       break;
     case FleetKind::kPerturbedBeta:
+    case FleetKind::kKernelSoA:
       subject.proportional = true;
       subject.theory_cr = schedule_cr(instance.n, instance.f, instance.beta);
       break;
@@ -475,7 +490,8 @@ std::vector<FuzzInstance> shrink_moves(const FuzzInstance& instance) {
   }
 
   if (instance.kind == FleetKind::kPerturbedBeta ||
-      instance.kind == FleetKind::kCustomCone) {
+      instance.kind == FleetKind::kCustomCone ||
+      instance.kind == FleetKind::kKernelSoA) {
     const Real rounded = std::max(Real{1.5L}, std::round(instance.beta));
     if (!value_identical(rounded, instance.beta)) {
       FuzzInstance rounder = instance;

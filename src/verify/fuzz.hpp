@@ -47,6 +47,10 @@ enum class FleetKind {
   kUniformOffset,   ///< arithmetic first-turn spread (ablation foil)
   kAnalyticZigzag,  ///< A(n, f) on the analytic (unbounded) backend
   kCrashInjected,   ///< A(n, f) executed under a crash-stop FaultInjector
+  /// S_beta(n) with a random beta whose target list carries exact
+  /// duplicates — aimed at the SoA kernel path (probe dedup, batched
+  /// sweeps, scalar-vs-SIMD differential).
+  kKernelSoA,
 };
 
 /// Deliberate corruptions for testing the oracles and the shrinker.

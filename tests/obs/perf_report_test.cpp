@@ -38,20 +38,27 @@ bool contains(const std::string& haystack, const std::string& needle) {
 
 TEST(ObsPerfReport, FullModeEmitsChecksumsAndIdentityFlags) {
   const std::string json = report(fast_options(/*timings_only=*/false));
-  EXPECT_TRUE(contains(json, "\"schema\": \"linesearch-bench-perf/3\""));
+  EXPECT_TRUE(contains(json, "\"schema\": \"linesearch-bench-perf/4\""));
   EXPECT_TRUE(contains(json, "\"timings_only\": false"));
   for (const char* name :
        {"dense_cr_sweep_serial", "dense_cr_sweep_parallel",
         "certified_cr_a74", "theorem2_game_a31", "analytic_sweep_dense",
-        "analytic_sweep_analytic", "degraded_sweep"}) {
+        "analytic_sweep_analytic", "kernel_sweep_scalar",
+        "kernel_sweep_kernel", "kernel_sweep_analytic_scalar",
+        "kernel_sweep_analytic_kernel", "degraded_sweep"}) {
     EXPECT_TRUE(contains(json, std::string("\"name\": \"") + name + "\""))
         << name;
   }
   EXPECT_TRUE(contains(json, "\"checksum\""));
   // The identity checks are the report's whole point in full mode —
-  // and they must PASS: serial == parallel, dense == analytic.
+  // and they must PASS: serial == parallel, dense == analytic,
+  // kernel == scalar.
   EXPECT_TRUE(contains(json, "\"parallel_identical_to_serial\": true"));
   EXPECT_TRUE(contains(json, "\"analytic_identical_to_dense\": true"));
+  EXPECT_TRUE(contains(json, "\"kernel_identical_to_scalar\": true"));
+  EXPECT_TRUE(contains(json, "\"simd_compiled\""));
+  EXPECT_TRUE(contains(json, "\"dense_speedup\""));
+  EXPECT_TRUE(contains(json, "\"analytic_speedup\""));
   EXPECT_TRUE(contains(json, "\"dense_build_millis\""));
   // The degraded sweep reports a row per (n, f, crashes) plus the worst
   // relative gap to Theorem 1 over the valid reductions.
@@ -64,27 +71,33 @@ TEST(ObsPerfReport, FullModeEmitsChecksumsAndIdentityFlags) {
 
 TEST(ObsPerfReport, TimingsOnlySkipsChecksumWork) {
   const std::string json = report(fast_options(/*timings_only=*/true));
-  EXPECT_TRUE(contains(json, "\"schema\": \"linesearch-bench-perf/3\""));
+  EXPECT_TRUE(contains(json, "\"schema\": \"linesearch-bench-perf/4\""));
   EXPECT_TRUE(contains(json, "\"timings_only\": true"));
   for (const char* name :
        {"dense_cr_sweep_serial", "dense_cr_sweep_parallel",
         "certified_cr_a74", "theorem2_game_a31",
-        "analytic_sweep_analytic", "degraded_sweep"}) {
+        "analytic_sweep_analytic", "kernel_sweep_scalar",
+        "kernel_sweep_kernel", "kernel_sweep_analytic_scalar",
+        "kernel_sweep_analytic_kernel", "degraded_sweep"}) {
     EXPECT_TRUE(contains(json, std::string("\"name\": \"") + name + "\""))
         << name;
   }
   // Everything whose only purpose is checksum verification is gone:
   // checksum fields, identity flags, the dense sweep counterpart, and
-  // the degraded sweep's theory-gap verification field.
+  // the degraded sweep's theory-gap verification field.  The kernel
+  // race itself survives — its scalar leg exists for the SPEEDUP
+  // timing, not for verification — but its identity flag is gone.
   EXPECT_FALSE(contains(json, "\"checksum\""));
   EXPECT_FALSE(contains(json, "parallel_identical_to_serial"));
   EXPECT_FALSE(contains(json, "analytic_identical_to_dense"));
   EXPECT_FALSE(contains(json, "analytic_sweep_dense"));
   EXPECT_FALSE(contains(json, "dense_build_millis"));
   EXPECT_FALSE(contains(json, "worst_gap_to_theory"));
+  EXPECT_FALSE(contains(json, "kernel_identical_to_scalar"));
   // The shared shape survives in both modes.
   EXPECT_TRUE(contains(json, "\"analytic_build_millis\""));
   EXPECT_TRUE(contains(json, "\"recovered_rows\""));
+  EXPECT_TRUE(contains(json, "\"simd_compiled\""));
   EXPECT_TRUE(contains(json, "\"metrics\""));
 }
 

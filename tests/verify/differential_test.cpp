@@ -22,7 +22,7 @@ TEST(Differential, ProportionalFleetAllEnginesAgree) {
   const Fleet fleet = ProportionalAlgorithm(5, 2).build_fleet(64);
   const std::vector<DifferentialResult> results =
       run_differentials(fleet, 2, window16());
-  EXPECT_EQ(results.size(), 5u);
+  EXPECT_EQ(results.size(), 6u);
   EXPECT_TRUE(all_ok(results)) << describe_failures(results);
   EXPECT_TRUE(describe_failures(results).empty());
 }
@@ -87,6 +87,34 @@ TEST(Differential, ImpossibleToleranceProducesStructuredMismatch) {
   EXPECT_EQ(result.mismatches.front().field, "cr(gap)");
   EXPECT_FALSE(result.message.empty());
   EXPECT_FALSE(describe_failures({result}).empty());
+}
+
+TEST(Differential, ScalarVsSimdBitIdenticalOnDenseFleet) {
+  const Fleet fleet = ProportionalAlgorithm(5, 2).build_fleet(64);
+  const DifferentialResult result = diff_scalar_vs_simd(fleet, 2, window16());
+  EXPECT_EQ(result.name, "scalar_vs_simd");
+  EXPECT_TRUE(result.ok()) << result.message;
+  EXPECT_TRUE(result.mismatches.empty());
+}
+
+TEST(Differential, ScalarVsSimdBitIdenticalOnAnalyticFleet) {
+  // The batched frontier sweep has a dedicated closed-form path on the
+  // unbounded backend; it must be as indistinguishable as the dense one.
+  const Fleet fleet = ProportionalAlgorithm(5, 2).build_unbounded_fleet();
+  const DifferentialResult result = diff_scalar_vs_simd(fleet, 2, window16());
+  EXPECT_TRUE(result.ok()) << result.message;
+}
+
+TEST(Differential, ScalarVsSimdAgreesOnUndetectedProbes) {
+  // An under-built fleet leaves probes undetected; the engine relaxes
+  // require_finite and both paths must report the identical undetected
+  // count instead of throwing.
+  const Fleet fleet = ProportionalAlgorithm(3, 1).build_fleet(4);
+  CrEvalOptions eval = window16();
+  eval.window_hi = 4096;  // far beyond the fleet's reach
+  eval.require_finite = false;
+  const DifferentialResult result = diff_scalar_vs_simd(fleet, 1, eval);
+  EXPECT_TRUE(result.ok()) << result.message;
 }
 
 TEST(Differential, GridSamplesNeverExceedCertifiedSup) {

@@ -66,7 +66,7 @@ TEST(Fuzz, SeedsCoverEveryFleetKind) {
   for (std::uint64_t seed = 1; seed <= 64; ++seed) {
     kinds.insert(generate_instance(seed).kind);
   }
-  EXPECT_EQ(kinds.size(), 8u);
+  EXPECT_EQ(kinds.size(), 9u);
 }
 
 TEST(Fuzz, GeneratedInstancesAreValid) {
@@ -89,9 +89,9 @@ TEST(Fuzz, CleanSeedRunsAllOracles) {
   const FuzzOutcome outcome = run_instance(instance);
   EXPECT_TRUE(outcome.ok()) << outcome.describe();
   EXPECT_EQ(outcome.invariants.size(), 9u);
-  // run_differentials' five engines plus the dense-vs-analytic backend
+  // run_differentials' six engines plus the dense-vs-analytic backend
   // differential (seed 42 maps to a strategy-backed kind).
-  EXPECT_EQ(outcome.differentials.size(), 6u);
+  EXPECT_EQ(outcome.differentials.size(), 7u);
   EXPECT_EQ(outcome.primary_failure(), "");
 }
 
@@ -200,6 +200,39 @@ TEST(Fuzz, CrashKindJsonRecordsTheSchedule) {
     EXPECT_NE(json.find("\"crash_times\""), std::string::npos) << json;
     break;
   }
+}
+
+TEST(Fuzz, KernelKindCarriesDuplicateTargets) {
+  // The kernel-soa kind exists to stress exact-duplicate handling: its
+  // target list repeats its leading entries bit-for-bit, and the
+  // instance still passes every oracle and differential (including
+  // scalar_vs_simd).
+  int kernel_seeds = 0;
+  for (std::uint64_t seed = 1; seed <= 120; ++seed) {
+    const FuzzInstance instance = generate_instance(seed);
+    if (instance.kind != FleetKind::kKernelSoA) continue;
+    ++kernel_seeds;
+    ASSERT_GE(instance.targets.size(), 8u) << seed;
+    bool any_duplicate = false;
+    for (std::size_t i = 0; i < instance.targets.size(); ++i) {
+      for (std::size_t j = i + 1; j < instance.targets.size(); ++j) {
+        if (value_identical(instance.targets[i], instance.targets[j])) {
+          any_duplicate = true;
+        }
+      }
+    }
+    EXPECT_TRUE(any_duplicate) << seed;
+    if (kernel_seeds == 1) {
+      const FuzzOutcome outcome = run_instance(instance);
+      EXPECT_TRUE(outcome.ok()) << outcome.describe();
+      bool ran_scalar_vs_simd = false;
+      for (const DifferentialResult& result : outcome.differentials) {
+        if (result.name == "scalar_vs_simd") ran_scalar_vs_simd = true;
+      }
+      EXPECT_TRUE(ran_scalar_vs_simd);
+    }
+  }
+  EXPECT_GT(kernel_seeds, 0);
 }
 
 TEST(Fuzz, ShrinkRequiresAFailingStart) {
