@@ -17,6 +17,7 @@
 #include "core/competitive.hpp"
 #include "core/lower_bound.hpp"
 #include "eval/batch.hpp"
+#include "eval/byzantine.hpp"
 #include "eval/cr_eval.hpp"
 #include "eval/exact.hpp"
 #include "eval/kernels.hpp"
@@ -276,6 +277,18 @@ void BM_DegradedSweep(benchmark::State& state) {
 }
 BENCHMARK(BM_DegradedSweep)->Arg(4)->Arg(6)->Unit(benchmark::kMillisecond);
 
+void BM_ByzantineSweep(benchmark::State& state) {
+  // The quorum-CR scan of every regime pair against the arXiv:1611.08209
+  // closed form (the perf report's byzantine_sweep workload; also
+  // reachable alone via --workload byzantine).
+  ByzantineSweepOptions options;
+  options.n_max = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(byzantine_sweep(options));
+  }
+}
+BENCHMARK(BM_ByzantineSweep)->Arg(4)->Arg(6)->Unit(benchmark::kMillisecond);
+
 void BM_AdversarialGame(benchmark::State& state) {
   const int n = 3, f = 1;
   const Real alpha = comfortable_alpha(n, 0.8L);
@@ -305,6 +318,7 @@ BENCHMARK(BM_StarDetection)->Arg(3)->Arg(5);
 int main(int argc, char** argv) {
   bool timings_only = false;
   std::string json_path = "BENCH_perf.json";
+  std::string workload;
   // Strip our flags before google-benchmark sees (and rejects) them.
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
@@ -313,9 +327,30 @@ int main(int argc, char** argv) {
       timings_only = true;
     } else if (arg.rfind("--json=", 0) == 0) {
       json_path = arg.substr(7);
+    } else if (arg.rfind("--workload=", 0) == 0) {
+      workload = arg.substr(11);
+    } else if (arg == "--workload" && i + 1 < argc) {
+      workload = argv[++i];
     } else {
       args.push_back(argv[i]);
     }
+  }
+  // --workload narrows the microbenchmark run to one family; the JSON
+  // artifact below still carries every summary object (including the
+  // schema /5 byzantine_sweep rows with worst_gap_to_theory), so a
+  // focused run stays a complete report.
+  static std::string filter;
+  if (!workload.empty()) {
+    if (workload == "byzantine") {
+      filter = "--benchmark_filter=BM_ByzantineSweep";
+    } else if (workload == "degraded") {
+      filter = "--benchmark_filter=BM_DegradedSweep";
+    } else {
+      std::cerr << "bench_perf: unknown --workload '" << workload
+                << "' (expected byzantine|degraded)\n";
+      return 1;
+    }
+    args.push_back(filter.data());
   }
   int filtered_argc = static_cast<int>(args.size());
 

@@ -79,6 +79,88 @@ GameResult play_theorem2_game(const Fleet& fleet, const int f,
   return result;
 }
 
+ByzantineGameResult play_byzantine_game(const Fleet& fleet, const int f,
+                                        const Real alpha,
+                                        const GameOptions& options) {
+  expects(f >= 0, "byzantine game: f must be >= 0");
+  LS_OBS_SPAN("adversary.byzantine.play");
+  LS_OBS_COUNT("adversary.game.rounds", 1);
+  const int n = static_cast<int>(fleet.size());
+  const std::vector<Real> magnitudes = adversary_placements(n, alpha);
+
+  std::vector<Real> points;
+  for (const Real m : magnitudes) {
+    points.push_back(m);
+    points.push_back(-m);
+  }
+  if (options.attack_turning_points) {
+    const Real x0 = largest_placement(alpha);
+    for (const int side : {+1, -1}) {
+      for (const Real magnitude : fleet.turning_positions_in(side, 0, x0)) {
+        const Real probe = magnitude * (1 + tol::kLimitProbe);
+        if (probe >= 1 && probe <= x0) {
+          points.push_back(static_cast<Real>(side) * probe);
+        }
+      }
+    }
+  }
+
+  // Every ordered (target, lie) pair with lie != target, in point order.
+  std::vector<std::pair<Real, Real>> pairs;
+  for (const Real target : points) {
+    for (const Real lie : points) {
+      if (lie != target) pairs.emplace_back(target, lie);
+    }
+  }
+
+  std::vector<LiePlacementOutcome> outcomes = parallel_map(
+      pairs.size(),
+      [&fleet, &pairs, f](const std::size_t i) {
+        LiePlacementOutcome outcome;
+        outcome.target = pairs[i].first;
+        outcome.lie_position = pairs[i].second;
+        // The strongest liar set against THIS target: the f earliest
+        // visitors, exactly the blind set of the crash/blind adversary.
+        AdversarialFaults adversary;
+        outcome.liars = adversary.choose_faults(fleet, outcome.target, f);
+        outcome.confirm_time =
+            byzantine_quorum_time(fleet, outcome.target, outcome.liars, f);
+        outcome.ratio = outcome.confirm_time / std::fabs(outcome.target);
+        // The lie is claimed by the liars alone; honest robots only ever
+        // corroborate the true target.  Quorum needs f+1 distinct
+        // supporters, so this stays false unless the budget is violated.
+        const auto supporters =
+            std::count(outcome.liars.begin(), outcome.liars.end(), true);
+        outcome.false_claim_confirmed = supporters >= f + 1;
+        // Refutation: the (f+1)-st distinct honest visit to the lie —
+        // f+1 "nothing there" reports contain an honest one.
+        outcome.refute_time =
+            byzantine_quorum_time(fleet, outcome.lie_position, outcome.liars,
+                                  f);
+        return outcome;
+      },
+      options.threads);
+
+  LS_OBS_COUNT("adversary.lie_placements", outcomes.size());
+
+  ByzantineGameResult result;
+  result.forced_ratio = 0;
+  bool first = true;
+  for (LiePlacementOutcome& outcome : outcomes) {
+    result.any_false_confirmed =
+        result.any_false_confirmed || outcome.false_claim_confirmed;
+    if (first || outcome.ratio > result.forced_ratio) {
+      result.forced_ratio = outcome.ratio;
+      result.best = outcome;
+      first = false;
+    } else if (outcome.ratio == result.forced_ratio) {
+      LS_OBS_COUNT("adversary.game.tie_breaks", 1);
+    }
+    if (options.keep_outcomes) result.outcomes.push_back(std::move(outcome));
+  }
+  return result;
+}
+
 Real comfortable_alpha(const int n, const Real shrink) {
   expects(shrink > 0 && shrink <= 1, "comfortable_alpha: shrink in (0,1]");
   const Real alpha_star = theorem2_alpha(n);

@@ -68,4 +68,39 @@ struct GameOptions {
 /// largest_placement — and hence the required fleet extent — moderate).
 [[nodiscard]] Real comfortable_alpha(int n, Real shrink = 0.9L);
 
+/// One inspected (target, lie) pair of the Byzantine game.
+struct LiePlacementOutcome {
+  Real target = 0;        ///< the true target position
+  Real lie_position = 0;  ///< where the liars claim it is instead
+  Real confirm_time = 0;  ///< quorum (f+1 corroborations) at the target
+  Real ratio = 0;         ///< confirm_time / |target|
+  Real refute_time = 0;   ///< (f+1)-st honest visit to the lie; kInfinity
+                          ///< when the lie is never formally refuted
+  bool false_claim_confirmed = false;  ///< lie reached quorum (never, by
+                                       ///< the f+1 pigeonhole — asserted)
+  std::vector<bool> liars;             ///< the liar set the adversary chose
+};
+
+/// Result of a full Byzantine lie-placement game.
+struct ByzantineGameResult {
+  Real forced_ratio = 0;        ///< max quorum ratio over pairs
+  LiePlacementOutcome best;     ///< the winning pair
+  bool any_false_confirmed = false;  ///< any lie reached quorum (must stay
+                                     ///< false; the oracle pins it)
+  std::vector<LiePlacementOutcome> outcomes;  ///< all pairs, in order
+};
+
+/// The Byzantine analogue of play_theorem2_game: the adversary picks a
+/// true target AND a lie placement from the same signed Theorem-2
+/// placement set (lie != target; turning-point probes too when
+/// options.attack_turning_points).  Per pair it makes liars of the f
+/// robots that visit the target earliest — the liars suppress the find
+/// and claim the lie instead — and the searcher pays the quorum time:
+/// the (f+1)-st distinct honest first visit (sim's
+/// byzantine_quorum_time).  Lies are corroborated only by the <= f
+/// liars, so no pair can confirm a false position; the game computes
+/// that from the model and reports it rather than assuming it.
+[[nodiscard]] ByzantineGameResult play_byzantine_game(
+    const Fleet& fleet, int f, Real alpha, const GameOptions& options = {});
+
 }  // namespace linesearch

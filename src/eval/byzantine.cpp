@@ -1,0 +1,67 @@
+#include "eval/byzantine.hpp"
+
+#include <cmath>
+
+#include "core/algorithm.hpp"
+#include "core/competitive.hpp"
+#include "eval/validation.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/error.hpp"
+
+namespace linesearch {
+
+ByzantineCrResult measure_byzantine_cr(const Fleet& fleet, const int f,
+                                       const CrEvalOptions& options) {
+  LS_OBS_SPAN("eval.byzantine.measure");
+  expects(f >= 0, "measure_byzantine_cr: f must be >= 0");
+  ByzantineCrResult result;
+  result.feasible =
+      fleet.size() >= static_cast<std::size_t>(2 * f) + 1;
+
+  CrEvalOptions quorum = options;
+  quorum.require_finite = false;  // infeasibility reports inf, not throw
+  const CrEvalResult scan = measure_cr(fleet, 2 * f, quorum);
+  result.probes = scan.probes;
+  result.undetected_probes = scan.undetected_probes;
+  if (result.feasible && scan.undetected_probes == 0) {
+    result.cr = scan.cr;
+    result.argmax = scan.argmax;
+  }
+  return result;
+}
+
+Real byzantine_theory_cr(const int n, const int f) {
+  expects(n >= 1 && f >= 0, "byzantine_theory_cr: need n >= 1, f >= 0");
+  if (n != 2 * f + 1 || !in_proportional_regime(n, f)) return kInfinity;
+  // (2f+1, 2f) is itself in regime, so Lemma 5 applies verbatim at the
+  // doubled budget with the pair's own optimal ladder parameter.
+  return schedule_cr(n, 2 * f, optimal_beta(n, f));
+}
+
+std::vector<ByzantineSweepRow> byzantine_sweep(
+    const ByzantineSweepOptions& options) {
+  LS_OBS_SPAN("eval.byzantine.sweep");
+  expects(options.window_hi > 1, "byzantine sweep: need window_hi > 1");
+  std::vector<ByzantineSweepRow> rows;
+  for (const auto& [n, f] : proportional_regime_pairs(options.n_max)) {
+    ByzantineSweepRow row;
+    row.n = n;
+    row.f = f;
+    const Fleet fleet =
+        ProportionalAlgorithm(n, f).build_unbounded_fleet();
+    CrEvalOptions eval;
+    eval.window_hi = options.window_hi;
+    const ByzantineCrResult measured = measure_byzantine_cr(fleet, f, eval);
+    row.feasible = measured.feasible;
+    row.measured_cr = measured.cr;
+    row.theory_cr = byzantine_theory_cr(n, f);
+    if (std::isfinite(row.measured_cr) && std::isfinite(row.theory_cr)) {
+      row.ratio_to_theory = row.measured_cr / row.theory_cr;
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace linesearch

@@ -1,0 +1,71 @@
+// eval/byzantine.hpp — Byzantine (quorum) competitive-ratio evaluation.
+//
+// Under the lying fault model (sim/faults.hpp, arXiv:1611.08209) the
+// team confirms the target only at the quorum instant: the (f+1)-st
+// distinct corroborating visit among honest robots, worst case over
+// liar sets = the (2f+1)-st distinct first visit overall.  The quorum
+// CR is therefore sup K_q(x) = T_{2f+1}(x)/|x| — the SAME probe scan as
+// measure_cr, run at the doubled budget 2f, so every analytic backend
+// answers it exactly:
+//
+//   * feasibility: n >= 2f+1 robots or no quorum ever forms (CR = inf,
+//     the impossibility half of the reproduced bounds);
+//   * within the paper's proportional regime f < n < 2f+2, the only
+//     feasible pairs sit on the diagonal n = 2f+1, where the Lemma-5
+//     machinery applies verbatim at budget 2f:
+//         CR_byz(2f+1, f) = schedule_cr(2f+1, 2f, beta)
+//     (the pair (2f+1, 2f) is itself in regime) — the upper-bound half,
+//     which byzantine_theory_cr exposes and the sweep certifies.
+#pragma once
+
+#include <vector>
+
+#include "eval/cr_eval.hpp"
+#include "sim/fleet.hpp"
+#include "util/real.hpp"
+
+namespace linesearch {
+
+/// Result of one Byzantine CR measurement.
+struct ByzantineCrResult {
+  bool feasible = false;  ///< n >= 2f+1 (quorum reachable at all)
+  Real cr = kInfinity;    ///< sup T_{2f+1}(x)/|x|; kInfinity if infeasible
+  Real argmax = 0;        ///< signed probe attaining it (when finite)
+  int probes = 0;
+  int undetected_probes = 0;  ///< probes whose quorum never forms
+};
+
+/// Measure the quorum CR of `fleet` with lie budget f over the options'
+/// window.  Answered analytically as measure_cr at budget 2f with
+/// require_finite forced off (infeasible teams report kInfinity instead
+/// of throwing).
+[[nodiscard]] ByzantineCrResult measure_byzantine_cr(
+    const Fleet& fleet, int f, const CrEvalOptions& options = {});
+
+/// The reproduced upper bound: schedule_cr(n, 2f, beta*(n, f)) on the
+/// feasible diagonal n = 2f+1 of the proportional regime, kInfinity
+/// everywhere else (n < 2f+1 is the impossibility bound; n > 2f+1
+/// leaves the regime).
+[[nodiscard]] Real byzantine_theory_cr(int n, int f);
+
+/// One row of the Byzantine sweep.
+struct ByzantineSweepRow {
+  int n = 0;
+  int f = 0;
+  bool feasible = false;       ///< n >= 2f+1
+  Real measured_cr = kInfinity;
+  Real theory_cr = kInfinity;  ///< byzantine_theory_cr(n, f)
+  Real ratio_to_theory = kNaN; ///< measured / theory when both finite
+};
+
+struct ByzantineSweepOptions {
+  int n_max = 8;       ///< regime grid bound (41 pairs at 12)
+  Real window_hi = 16; ///< CR measurement window
+};
+
+/// Sweep every regime pair (n <= n_max): quorum CR of A(n, f) on the
+/// unbounded analytic backend vs. the reproduced bound.
+[[nodiscard]] std::vector<ByzantineSweepRow> byzantine_sweep(
+    const ByzantineSweepOptions& options = {});
+
+}  // namespace linesearch

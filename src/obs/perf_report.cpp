@@ -12,6 +12,7 @@
 #include "core/algorithm.hpp"
 #include "core/lower_bound.hpp"
 #include "eval/batch.hpp"
+#include "eval/byzantine.hpp"
 #include "eval/cr_eval.hpp"
 #include "eval/exact.hpp"
 #include "eval/kernels.hpp"
@@ -266,6 +267,34 @@ void write_perf_report(std::ostream& out, const PerfReportOptions& options) {
     }
   }
 
+  // byzantine_sweep: quorum-CR scan (budget 2f, require_finite off) of
+  // every proportional-regime pair vs the arXiv:1611.08209 closed form
+  // (eval/byzantine).  Only the feasible diagonal n = 2f + 1 admits a
+  // finite bound, so full mode reports the worst relative gap to theory
+  // over exactly those rows; timings-only drops the field like the
+  // degraded sweep does.
+  ByzantineSweepOptions byzantine_options;
+  byzantine_options.n_max = options.byzantine_n_max;
+  const auto byzantine_start = Clock::now();
+  const std::vector<ByzantineSweepRow> byzantine =
+      byzantine_sweep(byzantine_options);
+  const double byzantine_ms = millis_since(byzantine_start);
+
+  int byzantine_feasible = 0;
+  Real byzantine_checksum = 0;
+  Real byzantine_worst_gap = 0;
+  for (const ByzantineSweepRow& row : byzantine) {
+    if (!row.feasible) continue;
+    ++byzantine_feasible;
+    if (std::isfinite(row.measured_cr)) {
+      byzantine_checksum += row.measured_cr + row.n;
+    }
+    if (std::isfinite(row.ratio_to_theory)) {
+      byzantine_worst_gap =
+          std::max(byzantine_worst_gap, std::fabs(row.ratio_to_theory - 1));
+    }
+  }
+
   JsonWriter json(out);
   json.begin_object();
   json.field("schema", kPerfReportSchema);
@@ -298,6 +327,7 @@ void write_perf_report(std::ostream& out, const PerfReportOptions& options) {
   workload("kernel_sweep_analytic_kernel", kernel_analytic_fast_ms,
            kernel_analytic_fast.cr + kernel_analytic_fast.argmax);
   workload("degraded_sweep", degraded_ms, degraded_checksum);
+  workload("byzantine_sweep", byzantine_ms, byzantine_checksum);
   json.end_array();
 
   if (!options.timings_only) {
@@ -350,6 +380,24 @@ void write_perf_report(std::ostream& out, const PerfReportOptions& options) {
     json.field("n", row.n);
     json.field("f", row.f);
     json.field("crashes", row.crashes);
+    json.field("cr", row.measured_cr);
+    json.field("theory_cr", row.theory_cr);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+
+  json.key("byzantine_sweep").begin_object();
+  json.field("n_max", options.byzantine_n_max);
+  json.field("feasible_rows", byzantine_feasible);
+  if (!options.timings_only) {
+    json.field("worst_gap_to_theory", byzantine_worst_gap);
+  }
+  json.key("rows").begin_array();
+  for (const ByzantineSweepRow& row : byzantine) {
+    json.begin_object();
+    json.field("n", row.n);
+    json.field("f", row.f);
     json.field("cr", row.measured_cr);
     json.field("theory_cr", row.theory_cr);
     json.end_object();

@@ -34,7 +34,11 @@
 // and the analytic A(12, 11) window sweep — plus the kernel_sweep
 // summary object (simd_compiled, the two speedups, and in full mode the
 // bitwise kernel-vs-scalar identity flag).  Each kernel_sweep leg is
-// timed best-of-kernel_reps (single passes are noise-bound).
+// timed best-of-kernel_reps (single passes are noise-bound).  Schema /5
+// added the byzantine_sweep workload (eval/byzantine: quorum CR of
+// every regime pair vs the arXiv:1611.08209 closed form) and its
+// summary object; full mode reports worst_gap_to_theory over the
+// feasible diagonal.
 #pragma once
 
 #include <iosfwd>
@@ -47,8 +51,9 @@ namespace linesearch::obs {
 /// report moved into the library, gained the metrics array and made
 /// timings-only actually skip the checksum workloads; from /2 when the
 /// degraded-mode supervisor sweep joined the workload list; from /3 when
-/// the SoA kernel_sweep workloads and summary joined it).
-inline constexpr const char* kPerfReportSchema = "linesearch-bench-perf/4";
+/// the SoA kernel_sweep workloads and summary joined it; from /4 when
+/// the Byzantine quorum sweep joined it).
+inline constexpr const char* kPerfReportSchema = "linesearch-bench-perf/5";
 
 struct PerfReportOptions {
   /// Skip all checksum-verification work (see header comment).
@@ -68,6 +73,9 @@ struct PerfReportOptions {
   /// n <= degraded_n_max, 1..degraded_max_crashes crash-stops each).
   int degraded_n_max = 6;
   int degraded_max_crashes = 2;
+  /// Grid size of the Byzantine quorum sweep (regime pairs with
+  /// n <= byzantine_n_max; 41 pairs at 12).
+  int byzantine_n_max = 6;
   /// Embed the obs metric registry (reset + folded over this report).
   bool include_metrics = true;
 };

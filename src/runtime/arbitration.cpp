@@ -1,0 +1,172 @@
+#include "runtime/arbitration.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/error.hpp"
+
+namespace linesearch {
+
+ArbitrationReport arbitrate(const Fleet& fleet, const int f,
+                            std::vector<Claim> claims,
+                            const std::vector<Real>& crash_declared_at,
+                            const ArbitrationConfig& config) {
+  LS_OBS_SPAN("runtime.arbitrate");
+  expects(f >= 0, "arbitrate: f must be >= 0");
+  expects(config.quorum >= 0, "arbitrate: quorum must be >= 0");
+  expects(crash_declared_at.empty() ||
+              crash_declared_at.size() == fleet.size(),
+          "arbitrate: crash declaration size must match the fleet");
+  for (const Claim& claim : claims) {
+    expects(claim.robot < fleet.size(), "arbitrate: claim robot out of range");
+    expects(std::isfinite(claim.time) && claim.time >= 0,
+            "arbitrate: claim times must be finite >= 0");
+    expects(std::isfinite(claim.position),
+            "arbitrate: claim positions must be finite");
+  }
+  const int quorum = config.quorum > 0 ? config.quorum : f + 1;
+
+  // Deterministic ledger order regardless of how claims were gathered.
+  std::sort(claims.begin(), claims.end(),
+            [](const Claim& a, const Claim& b) {
+              if (a.time != b.time) return a.time < b.time;
+              if (a.robot != b.robot) return a.robot < b.robot;
+              return a.position < b.position;
+            });
+
+  const auto declared_at = [&](const RobotId robot) {
+    return crash_declared_at.empty() ? kInfinity : crash_declared_at[robot];
+  };
+
+  ArbitrationReport report;
+  report.claims_made = static_cast<int>(claims.size());
+
+  // Distinct claimed positions, first-claim order (exact Real equality:
+  // honest claims of one target are bit-identical by construction).
+  std::vector<Real> positions;
+  for (const Claim& claim : claims) {
+    if (std::none_of(positions.begin(), positions.end(),
+                     [&](const Real p) { return p == claim.position; })) {
+      positions.push_back(claim.position);
+    }
+  }
+
+  for (const Real position : positions) {
+    ClaimVerdict verdict;
+    verdict.position = position;
+
+    // Earliest claim per distinct robot, ascending in time (the ledger
+    // is already time-sorted, so first mention per robot wins).
+    std::vector<std::pair<Real, RobotId>> supports;
+    std::vector<bool> claimant(fleet.size(), false);
+    Real first_claim = kInfinity;
+    for (const Claim& claim : claims) {
+      if (claim.position != position) continue;
+      first_claim = std::min(first_claim, claim.time);
+      if (claimant[claim.robot]) continue;
+      claimant[claim.robot] = true;
+      supports.emplace_back(claim.time, claim.robot);
+    }
+    verdict.supporters = static_cast<int>(supports.size());
+
+    // Walk candidate quorum instants.  At instant T a support counts
+    // only if its robot's crash declaration is STRICTLY after T: a
+    // declaration landing exactly on the corroboration deadline means
+    // the robot can no longer stand behind its claim at the instant the
+    // quorum would form, so it is excluded.  (Counting it — the `<=`
+    // off-by-one — was the latent supervisor edge; the regression test
+    // in tests/runtime/arbitration_test pins this boundary.)
+    for (std::size_t i = 0; i < supports.size(); ++i) {
+      const Real deadline = supports[i].first;
+      int counted = 0;
+      for (std::size_t j = 0; j <= i; ++j) {
+        if (declared_at(supports[j].second) > deadline) ++counted;
+      }
+      if (counted >= quorum) {
+        verdict.confirm_time = deadline;
+        break;
+      }
+    }
+
+    // Refutation: the quorum-th distinct NON-claimant visit to the
+    // claimed position (claimants cannot refute themselves), no earlier
+    // than the first claim — at most f of those visitors lie, so a
+    // quorum of "nothing there" reports contains an honest one.  For
+    // the TRUE target the non-claimants are exactly the suppressing
+    // liars (<= f < quorum), so refutation can never fire on it.
+    std::vector<Real> visits;
+    const std::vector<Real> first = fleet.first_visit_times(position);
+    for (std::size_t robot = 0; robot < first.size(); ++robot) {
+      if (claimant[robot]) continue;
+      if (std::isfinite(first[robot])) visits.push_back(first[robot]);
+    }
+    if (static_cast<int>(visits.size()) >= quorum) {
+      const auto nth = static_cast<std::ptrdiff_t>(quorum - 1);
+      std::nth_element(visits.begin(), visits.begin() + nth, visits.end());
+      verdict.refute_time =
+          std::max(visits[static_cast<std::size_t>(nth)], first_claim);
+    }
+
+    if (verdict.refuted()) ++report.claims_refuted;
+    if (verdict.confirmed() &&
+        (!report.quorum_reached ||
+         verdict.confirm_time < report.confirm_time)) {
+      report.quorum_reached = true;
+      report.confirm_time = verdict.confirm_time;
+      report.confirmed_position = verdict.position;
+    }
+    report.verdicts.push_back(verdict);
+  }
+
+  LS_OBS_COUNT("runtime.claims_made", report.claims_made);
+  LS_OBS_COUNT("runtime.claims_refuted", report.claims_refuted);
+  LS_OBS_COUNT("runtime.quorum_reached", report.quorum_reached ? 1 : 0);
+  return report;
+}
+
+std::vector<Claim> collect_claims(const Fleet& fleet, const Real target,
+                                  const LiePlan& plan) {
+  expects(plan.size() == fleet.size(),
+          "collect_claims: plan size must match the fleet");
+  const std::vector<Real> visits = fleet.first_visit_times(target);
+  std::vector<Claim> claims;
+  for (std::size_t robot = 0; robot < fleet.size(); ++robot) {
+    if (plan.liar[robot]) {
+      // False negative: the real find is suppressed outright; only the
+      // fabricated schedule is announced.
+      for (const LieEvent& event : plan.claims[robot]) {
+        claims.push_back(Claim{robot, event.time, event.position});
+      }
+    } else if (std::isfinite(visits[robot])) {
+      claims.push_back(Claim{robot, visits[robot], target});
+    }
+  }
+  return claims;
+}
+
+ByzantineRunReport run_byzantine(const int n, const int f, const Real extent,
+                                 const Real target, const LiePlan& plan,
+                                 const std::vector<Real>& crash_times,
+                                 const SupervisorConfig& supervisor,
+                                 const ArbitrationConfig& arbitration) {
+  LS_OBS_SPAN("runtime.byzantine.run");
+  expects(n >= 1 && plan.size() == static_cast<std::size_t>(n),
+          "run_byzantine: plan size must match the team");
+  std::vector<Real> schedule = crash_times;
+  if (schedule.empty()) {
+    schedule.assign(static_cast<std::size_t>(n), kInfinity);
+  }
+  const Supervisor boss(n, f, supervisor);
+  ByzantineRunReport report;
+  report.target = target;
+  const Fleet fleet = boss.run(schedule, extent, &report.supervisor);
+  report.arbitration =
+      arbitrate(fleet, f, collect_claims(fleet, target, plan),
+                boss.declaration_times(schedule), arbitration);
+  return report;
+}
+
+}  // namespace linesearch

@@ -1,0 +1,120 @@
+// runtime/arbitration.hpp — quorum claim arbitration for Byzantine teams.
+//
+// The PR 5 supervisor trusts silence: a robot that stops heartbeating is
+// declared crashed.  A Byzantine robot (sim/faults ByzantineFaults) is
+// worse — it keeps moving and heartbeating but LIES, fabricating target
+// claims and suppressing real finds.  So claims are QUEUED, never
+// trusted:
+//
+//   * every claim lands in a ledger keyed by the claimed position;
+//   * a position is CONFIRMED at the instant a quorum of f+1 DISTINCT
+//     robots has claimed it — at most f can lie, so f+1 matching claims
+//     contain at least one honest witness.  A robot whose crash was
+//     declared at or before that instant does not count toward the
+//     quorum (a declaration landing exactly on the corroboration
+//     deadline invalidates the corroboration — the boundary the
+//     regression test in tests/runtime/arbitration_test pins; counting
+//     it was the latent supervisor edge this module fixed);
+//   * a pending position is REFUTED once f+1 distinct robots have
+//     visited it WITHOUT claiming it — survivors dispatched past a
+//     claimed position report "nothing there", and f+1 such reports
+//     again contain an honest one.
+//
+// Everything is pure arithmetic over the fleet's actual motion plus the
+// claim list: deterministic, replayable, and value-identical to the
+// analytic order-statistic computation (byzantine_quorum_time) — the
+// identity diff_byzantine races on every fuzz instance.
+#pragma once
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "runtime/supervisor.hpp"
+#include "sim/faults.hpp"
+#include "sim/fleet.hpp"
+#include "util/real.hpp"
+
+namespace linesearch {
+
+/// One queued target claim.
+struct Claim {
+  RobotId robot = 0;
+  Real time = 0;      ///< announcement instant
+  Real position = 0;  ///< claimed target position
+};
+
+/// Arbitration parameters.
+struct ArbitrationConfig {
+  /// Distinct corroborating robots required to confirm a position; 0
+  /// derives the canonical f+1 from the fault budget.
+  int quorum = 0;
+};
+
+/// The arbiter's verdict on one distinct claimed position.
+struct ClaimVerdict {
+  Real position = 0;
+  int supporters = 0;             ///< distinct robots that claimed it
+  Real confirm_time = kInfinity;  ///< quorum instant; kInfinity = never
+  Real refute_time = kInfinity;   ///< quorum-th non-claimant visit; ditto
+
+  [[nodiscard]] bool confirmed() const noexcept {
+    return std::isfinite(confirm_time);
+  }
+  [[nodiscard]] bool refuted() const noexcept {
+    return !confirmed() && std::isfinite(refute_time);
+  }
+};
+
+/// Outcome of arbitrating one claim stream.
+struct ArbitrationReport {
+  std::vector<ClaimVerdict> verdicts;  ///< per position, first-claim order
+  int claims_made = 0;
+  int claims_refuted = 0;              ///< refuted verdicts
+  bool quorum_reached = false;
+  Real confirm_time = kInfinity;       ///< earliest confirmation
+  Real confirmed_position = kNaN;      ///< its position (kNaN when none)
+};
+
+/// Arbitrate a claim stream against the fleet's actual motion.
+/// `crash_declared_at[i]` is the supervisor's declaration instant for
+/// robot i (kInfinity = never declared; empty = nobody crashes).
+[[nodiscard]] ArbitrationReport arbitrate(
+    const Fleet& fleet, int f, std::vector<Claim> claims,
+    const std::vector<Real>& crash_declared_at = {},
+    const ArbitrationConfig& config = {});
+
+/// The claim stream a target at `target` produces under `plan`: honest
+/// robots claim truthfully at their first visit of the target; liars
+/// suppress that find and announce their fabricated schedule instead.
+[[nodiscard]] std::vector<Claim> collect_claims(const Fleet& fleet,
+                                                Real target,
+                                                const LiePlan& plan);
+
+/// Everything one supervised Byzantine run produced.
+struct ByzantineRunReport {
+  Real target = 0;
+  ArbitrationReport arbitration;
+  SupervisorReport supervisor;  ///< crash side (empty when none crash)
+
+  /// The team declared the target found — at the TRUE position.  False
+  /// claims reaching quorum would make quorum_reached true with a
+  /// different confirmed_position; the tests demand that never happens.
+  [[nodiscard]] bool found() const noexcept {
+    return arbitration.quorum_reached &&
+           arbitration.confirmed_position == target;
+  }
+};
+
+/// The full Byzantine pipeline for one A(n, f) team: execute under the
+/// supervisor's crash protocol (crash_times[i] = kInfinity for healthy
+/// robots; empty = all healthy), collect truthful claims from honest
+/// robots and fabrications from the plan, and arbitrate with crash
+/// declarations excluded from quorum.
+[[nodiscard]] ByzantineRunReport run_byzantine(
+    int n, int f, Real extent, Real target, const LiePlan& plan,
+    const std::vector<Real>& crash_times = {},
+    const SupervisorConfig& supervisor = {},
+    const ArbitrationConfig& arbitration = {});
+
+}  // namespace linesearch

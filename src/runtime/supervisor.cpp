@@ -141,17 +141,21 @@ Real Supervisor::detection_time_for(const Real crash_time) const {
   return missed + config_.silence_timeout;
 }
 
+std::vector<Real> Supervisor::declaration_times(
+    const std::vector<Real>& crash_times) const {
+  expects(static_cast<int>(crash_times.size()) == n_,
+          "supervisor: crash schedule size must match the fleet");
+  std::vector<Real> detect(crash_times.size(), kInfinity);
+  for (std::size_t robot = 0; robot < crash_times.size(); ++robot) {
+    detect[robot] = detection_time_for(crash_times[robot]);
+  }
+  return detect;
+}
+
 std::vector<ControllerPtr> Supervisor::make_team(
     const std::vector<Real>& crash_times, const Real extent,
     SupervisorReport* report) const {
-  expects(static_cast<int>(crash_times.size()) == n_,
-          "supervisor: crash schedule size must match the fleet");
-
-  std::vector<Real> detect(crash_times.size(), kInfinity);
-  for (int robot = 0; robot < n_; ++robot) {
-    detect[static_cast<std::size_t>(robot)] =
-        detection_time_for(crash_times[static_cast<std::size_t>(robot)]);
-  }
+  const std::vector<Real> detect = declaration_times(crash_times);
 
   // Distinct declaration instants, in protocol order.
   std::vector<Real> instants;

@@ -117,6 +117,13 @@ class Supervisor {
   /// Declaration time for a crash at `crash_time` under the protocol.
   [[nodiscard]] Real detection_time_for(Real crash_time) const;
 
+  /// Per-robot declaration instants for a whole crash schedule
+  /// (kInfinity entries for robots never declared dead).  This is the
+  /// vector the claim arbiter (runtime/arbitration) consults to exclude
+  /// declared-dead robots from quorum.
+  [[nodiscard]] std::vector<Real> declaration_times(
+      const std::vector<Real>& crash_times) const;
+
   /// Build the team of ResilientControllers for a crash schedule
   /// (crash_times[i] = kInfinity for healthy robots).
   [[nodiscard]] std::vector<ControllerPtr> make_team(

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "util/error.hpp"
+#include "util/rng.hpp"
 
 namespace linesearch {
 
@@ -160,6 +161,112 @@ Real CrashFaults::detection_time(const Fleet& fleet, const Real target,
 Real detection_time_under(FaultModel& model, const Fleet& fleet,
                           const Real target, const int max_faults) {
   return model.detection_time(fleet, target, max_faults);
+}
+
+int LiePlan::liar_count() const noexcept {
+  return static_cast<int>(std::count(liar.begin(), liar.end(), true));
+}
+
+LiePlan random_lie_plan(const std::uint64_t seed, const std::size_t robots,
+                        const LiePlanConfig& config) {
+  expects(robots >= 1, "random_lie_plan: need at least one robot");
+  expects(config.max_liars >= 1 && config.max_claims_per_liar >= 1,
+          "random_lie_plan: liar and claim budgets must be >= 1");
+  expects(config.claim_horizon > 0 && config.claim_extent >= 1,
+          "random_lie_plan: claim horizon and extent must be positive");
+  SplitMix64 rng(seed);
+  LiePlan plan;
+  plan.liar.assign(robots, false);
+  plan.claims.assign(robots, {});
+
+  // The liars are the last `liar_target` robots — a deterministic set,
+  // like the degraded sweep's crash schedule — while times and positions
+  // are drawn per robot.  Drawing every robot's schedule unconditionally
+  // keeps the stream shape fixed no matter which robots lie.
+  const int liar_target = rng.uniform_int(
+      1, std::min<int>(config.max_liars, static_cast<int>(robots)));
+  for (std::size_t robot = 0; robot < robots; ++robot) {
+    const int claim_count = rng.uniform_int(1, config.max_claims_per_liar);
+    std::vector<LieEvent> events;
+    for (int k = 0; k < config.max_claims_per_liar; ++k) {
+      LieEvent event;
+      event.time = rng.uniform(Real{0.1L}, config.claim_horizon);
+      const Real magnitude = rng.uniform(1, config.claim_extent);
+      event.position = rng.chance(0.5L) ? magnitude : -magnitude;
+      if (k < claim_count) events.push_back(event);
+    }
+    if (robot + static_cast<std::size_t>(liar_target) >= robots) {
+      plan.liar[robot] = true;
+      plan.claims[robot] = std::move(events);
+    }
+  }
+  return plan;
+}
+
+Real byzantine_quorum_time(const Fleet& fleet, const Real target,
+                           const std::vector<bool>& liars, const int f) {
+  expects(f >= 0, "byzantine_quorum_time: f must be >= 0");
+  expects(liars.size() == fleet.size(),
+          "byzantine_quorum_time: liar mask size must match the fleet");
+  const std::vector<Real> visits = fleet.first_visit_times(target);
+  std::vector<Real> honest;
+  honest.reserve(visits.size());
+  for (std::size_t robot = 0; robot < visits.size(); ++robot) {
+    if (!liars[robot] && std::isfinite(visits[robot])) {
+      honest.push_back(visits[robot]);
+    }
+  }
+  const auto quorum = static_cast<std::size_t>(f);
+  if (honest.size() < quorum + 1) return kInfinity;
+  std::nth_element(honest.begin(),
+                   honest.begin() + static_cast<std::ptrdiff_t>(quorum),
+                   honest.end());
+  return honest[quorum];
+}
+
+Real byzantine_quorum_time(const Fleet& fleet, const Real target,
+                           const int f) {
+  expects(f >= 0, "byzantine_quorum_time: f must be >= 0");
+  // Worst liar set = the f earliest visitors, so the honest (f+1)-st
+  // corroboration is the (2f+1)-st distinct first visit overall.
+  return fleet.detection_time(target, 2 * f);
+}
+
+ByzantineFaults::ByzantineFaults(LiePlan plan) : plan_(std::move(plan)) {
+  expects(plan_.claims.size() == plan_.liar.size(),
+          "byzantine faults: plan claim list size must match liar mask");
+  for (std::size_t robot = 0; robot < plan_.size(); ++robot) {
+    expects(plan_.liar[robot] || plan_.claims[robot].empty(),
+            "byzantine faults: honest robots cannot carry fabrications");
+    for (const LieEvent& event : plan_.claims[robot]) {
+      expects(event.time >= 0 && std::isfinite(event.time),
+              "byzantine faults: claim times must be finite >= 0");
+    }
+  }
+}
+
+std::vector<bool> ByzantineFaults::choose_faults(const Fleet& fleet,
+                                                 const Real /*target*/,
+                                                 const int max_faults) {
+  expects(max_faults >= 0, "max_faults must be >= 0");
+  expects(plan_.size() == fleet.size(),
+          "byzantine faults: plan size must match the fleet");
+  const int liars = plan_.liar_count();
+  expects(liars <= max_faults,
+          "byzantine faults: plan lies with " + std::to_string(liars) +
+              " robots but the budget allows only " +
+              std::to_string(max_faults));
+  return plan_.liar;
+}
+
+Real ByzantineFaults::detection_time(const Fleet& fleet, const Real target,
+                                     const int max_faults) {
+  // The quorum time under this plan's liar set — NOT the blind
+  // (f+1)-st visit: confirmation needs f+1 corroborating visits and
+  // only non-liars are guaranteed to corroborate.
+  return byzantine_quorum_time(fleet, target,
+                               choose_faults(fleet, target, max_faults),
+                               max_faults);
 }
 
 }  // namespace linesearch

@@ -16,8 +16,25 @@
 // crash times (truncate_at_crashes) and answering every query against
 // the truncated fleet, which makes the mixed regime (f blind faults +
 // any number of crashes) exact by construction.
+//
+// ByzantineFaults strengthens blindness to LYING (arXiv:1611.08209):
+// a Byzantine robot may fabricate a target claim at an adversarially
+// chosen time and position (false positive) and suppresses its real
+// find (false negative).  No single claim can be trusted, so the team
+// confirms a position only after a QUORUM of f+1 distinct corroborating
+// robots — at most f can lie, so f+1 matching claims contain at least
+// one honest witness.  The model again reduces to order statistics:
+// with liar set L the confirmation waits for the (f+1)-st distinct
+// first visit among the non-liars (worst case: every liar stays
+// silent), and the worst case over all |L| <= f makes liars of the f
+// earliest visitors, which is exactly the (2f+1)-st distinct first
+// visit — Fleet::detection_time(x, 2f).  Quorum is therefore
+// unreachable for every target when n < 2f+1 (fewer than f+1 honest
+// corroborators exist at all), the impossibility half of the
+// reproduced bounds.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <random>
 #include <string>
@@ -132,5 +149,76 @@ class CrashFaults final : public FaultModel {
 /// Convenience: detection time at x under `model` with up to f faults.
 [[nodiscard]] Real detection_time_under(FaultModel& model, const Fleet& fleet,
                                         Real target, int max_faults);
+
+/// One fabricated claim in a Byzantine robot's lie schedule.
+struct LieEvent {
+  Real time = 0;      ///< announcement instant (>= 0)
+  Real position = 0;  ///< the falsely claimed target position
+};
+
+/// Per-robot Byzantine behaviour.  A robot with liar[i] true suppresses
+/// its real find and announces claims[i] instead; honest robots carry no
+/// events.  The plan is data, not behaviour — the runtime arbiter
+/// (runtime/arbitration) and the adversary game consume it.
+struct LiePlan {
+  std::vector<bool> liar;                     ///< size n
+  std::vector<std::vector<LieEvent>> claims;  ///< size n; empty unless liar
+
+  [[nodiscard]] std::size_t size() const noexcept { return liar.size(); }
+  [[nodiscard]] int liar_count() const noexcept;
+};
+
+/// Parameters of the seeded lie-schedule generator.
+struct LiePlanConfig {
+  int max_liars = 1;            ///< liars drawn in [1, max_liars]
+  int max_claims_per_liar = 2;  ///< fabrications per liar in [1, max]
+  Real claim_horizon = 32;      ///< fabricated claim times in (0, horizon]
+  Real claim_extent = 16;       ///< fabricated |positions| in [1, extent]
+};
+
+/// Deterministic lie plan on the shared SplitMix64 substrate: a pure
+/// function of (seed, robots, config) — same triple, same plan, on every
+/// machine.  Every per-robot draw happens unconditionally so the stream
+/// shape is independent of which robots end up lying.
+[[nodiscard]] LiePlan random_lie_plan(std::uint64_t seed, std::size_t robots,
+                                      const LiePlanConfig& config = {});
+
+/// Quorum time with an EXPLICIT liar set: the (f+1)-st distinct first
+/// visit to `target` among the non-liar robots (worst case: every liar
+/// suppresses; a lying corroboration could only make this earlier).
+/// kInfinity when fewer than f+1 non-liars ever visit.
+[[nodiscard]] Real byzantine_quorum_time(const Fleet& fleet, Real target,
+                                         const std::vector<bool>& liars,
+                                         int f);
+
+/// Worst case over every liar set of size <= f: making liars of the f
+/// earliest visitors delays the honest (f+1)-st corroboration the most,
+/// so this is exactly the (2f+1)-st distinct first visit —
+/// Fleet::detection_time(target, 2f).  kInfinity for every target when
+/// n < 2f+1 (the impossibility bound).
+[[nodiscard]] Real byzantine_quorum_time(const Fleet& fleet, Real target,
+                                         int f);
+
+/// Byzantine fault model: choose_faults exposes the plan's liar set and
+/// detection_time answers the QUORUM time (f+1 corroborating visits)
+/// under that set — the lying analogue of sensor-blind detection.
+class ByzantineFaults final : public FaultModel {
+ public:
+  explicit ByzantineFaults(LiePlan plan);
+
+  /// The plan's liar mask.  Throws PreconditionError when the plan lies
+  /// more than the permitted budget.
+  [[nodiscard]] std::vector<bool> choose_faults(const Fleet& fleet,
+                                                Real target,
+                                                int max_faults) override;
+  [[nodiscard]] Real detection_time(const Fleet& fleet, Real target,
+                                    int max_faults) override;
+  [[nodiscard]] std::string name() const override { return "byzantine"; }
+
+  [[nodiscard]] const LiePlan& plan() const noexcept { return plan_; }
+
+ private:
+  LiePlan plan_;
+};
 
 }  // namespace linesearch

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/algorithm.hpp"
 #include "eval/exact.hpp"
 #include "eval/kernels.hpp"
 #include "eval/visit_cache.hpp"
+#include "runtime/arbitration.hpp"
 #include "runtime/world.hpp"
 #include "sim/faults.hpp"
 #include "util/csv.hpp"
@@ -302,6 +304,87 @@ DifferentialResult diff_crash_injected(const int n, const int f,
   const CrEvalResult lhs_cr = measure_cr(injected, f, relaxed);
   const CrEvalResult rhs_cr = measure_cr(truncated, f, relaxed);
   compare_results(result, 0, lhs_cr, rhs_cr);
+  return result;
+}
+
+DifferentialResult diff_byzantine(const int n, const int f, const Real extent,
+                                  const LiePlan& plan,
+                                  const std::vector<Real>& targets,
+                                  const CrEvalOptions& eval) {
+  DifferentialResult result;
+  result.name = "byzantine";
+  expects(plan.size() == static_cast<std::size_t>(n),
+          "diff_byzantine: lie plan size must match the fleet");
+
+  std::vector<ControllerPtr> team;
+  team.reserve(static_cast<std::size_t>(n));
+  for (int robot = 0; robot < n; ++robot) {
+    team.push_back(
+        std::make_unique<ProportionalController>(n, f, robot, extent));
+  }
+  const Fleet injected = World().execute_team(team);
+
+  const auto confirm_at = [](const ArbitrationReport& report, const Real x) {
+    for (const ClaimVerdict& verdict : report.verdicts) {
+      if (verdict.position == x) return verdict.confirm_time;
+    }
+    return kInfinity;
+  };
+
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const Real x = targets[i];
+    const ArbitrationReport arbitrated =
+        arbitrate(injected, f, collect_claims(injected, x, plan));
+
+    // (b) No falsely claimed position may ever reach quorum.
+    for (const ClaimVerdict& verdict : arbitrated.verdicts) {
+      if (verdict.position != x && verdict.confirmed()) {
+        record(result, i, "false_confirm", verdict.position,
+               verdict.confirm_time);
+      }
+    }
+
+    // (a) Arbiter vs the analytic per-liar-set quorum — unless some lie
+    // lands exactly on the target, where extra (accidentally true)
+    // corroborations may legitimately confirm earlier.
+    bool lie_on_target = false;
+    for (const std::vector<LieEvent>& events : plan.claims) {
+      for (const LieEvent& event : events) {
+        lie_on_target = lie_on_target || event.position == x;
+      }
+    }
+    if (!lie_on_target) {
+      const Real analytic = byzantine_quorum_time(injected, x, plan.liar, f);
+      const Real arbiter = confirm_at(arbitrated, x);
+      if (!value_identical(arbiter, analytic)) {
+        record(result, i, "confirm_time", analytic, arbiter);
+      }
+    }
+
+    // (c) The worst liar set — the f earliest visitors, all silent —
+    // arbitrated through the runtime path must land exactly on the
+    // order statistic the sim layer promises.
+    AdversarialFaults adversary;
+    LiePlan silent;
+    silent.liar = adversary.choose_faults(injected, x, f);
+    silent.claims.assign(injected.size(), {});
+    const Real worst_arbiter = confirm_at(
+        arbitrate(injected, f, collect_claims(injected, x, silent)), x);
+    const Real order_stat = injected.detection_time(x, 2 * f);
+    if (!value_identical(worst_arbiter, order_stat)) {
+      record(result, i, "worst_case_quorum", order_stat, worst_arbiter);
+    }
+  }
+
+  // (d) The quorum CR scan cannot tell the executed fleet from the
+  // schedule builder's (a quorum can be unreachable, so require_finite
+  // must be off on both paths).
+  const Fleet built = ProportionalAlgorithm(n, f).build_fleet(extent);
+  CrEvalOptions relaxed = eval;
+  relaxed.require_finite = false;
+  const CrEvalResult lhs_cr = measure_cr(injected, 2 * f, relaxed);
+  const CrEvalResult rhs_cr = measure_cr(built, 2 * f, relaxed);
+  compare_results(result, targets.size(), lhs_cr, rhs_cr);
   return result;
 }
 

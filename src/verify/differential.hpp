@@ -24,6 +24,7 @@
 #include "core/strategy.hpp"
 #include "eval/batch.hpp"
 #include "eval/cr_eval.hpp"
+#include "sim/faults.hpp"
 #include "sim/fleet.hpp"
 #include "util/real.hpp"
 
@@ -109,6 +110,27 @@ struct DifferentialOptions {
 [[nodiscard]] DifferentialResult diff_crash_injected(
     int n, int f, Real extent, const std::vector<Real>& crash_times,
     const CrEvalOptions& eval);
+
+/// Byzantine quorum cost, three independent routes on one instance:
+/// execute the A(n, f) controllers in a World (lies never alter motion,
+/// only claims), feed the executed fleet's claim stream — honest robots
+/// claiming truthfully, `plan`'s liars fabricating — through the runtime
+/// arbiter (runtime/arbitration), and demand per target
+///   (a) the arbiter's confirm time at the true target is
+///       value_identical to the analytic per-liar-set quorum
+///       byzantine_quorum_time(fleet, x, plan.liar, f),
+///   (b) no falsely claimed position is ever confirmed,
+///   (c) arbitrating the WORST liar set (the f earliest visitors,
+///       silent) lands exactly on the order statistic
+///       detection_time(x, 2f), and
+///   (d) the quorum CR scan (budget 2f) cannot tell the executed fleet
+///       from the schedule builder's, field by field, bitwise.
+/// Targets that collide with a fabricated claim position are skipped in
+/// (a) — a lie that accidentally tells the truth may legitimately
+/// accelerate confirmation.
+[[nodiscard]] DifferentialResult diff_byzantine(
+    int n, int f, Real extent, const LiePlan& plan,
+    const std::vector<Real>& targets, const CrEvalOptions& eval);
 
 /// SoA kernel path (eval/kernels measure_cr_kernel) vs the scalar
 /// reference scan driven by direct Fleet queries: every CrEvalResult

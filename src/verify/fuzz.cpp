@@ -31,6 +31,7 @@ const char* kind_name(const FleetKind kind) noexcept {
     case FleetKind::kAnalyticZigzag: return "analytic-zigzag";
     case FleetKind::kCrashInjected: return "crash-injected";
     case FleetKind::kKernelSoA: return "kernel-soa";
+    case FleetKind::kByzantineLies: return "byzantine-lies";
   }
   return "unknown";
 }
@@ -51,7 +52,8 @@ bool regime_kind(const FleetKind kind) noexcept {
          kind == FleetKind::kUniformOffset ||
          kind == FleetKind::kAnalyticZigzag ||
          kind == FleetKind::kCrashInjected ||
-         kind == FleetKind::kKernelSoA;
+         kind == FleetKind::kKernelSoA ||
+         kind == FleetKind::kByzantineLies;
 }
 
 bool cone_kind(const FleetKind kind) noexcept {
@@ -72,6 +74,7 @@ std::unique_ptr<SearchStrategy> make_fuzz_strategy(
   switch (instance.kind) {
     case FleetKind::kProportional:
     case FleetKind::kAnalyticZigzag:
+    case FleetKind::kByzantineLies:
       return std::make_unique<ProportionalAlgorithm>(instance.n, instance.f);
     case FleetKind::kPerturbedBeta:
     case FleetKind::kKernelSoA:
@@ -135,7 +138,7 @@ FuzzInstance generate_instance(const std::uint64_t seed) {
   SplitMix64 rng(seed);
   FuzzInstance instance;
   instance.seed = seed;
-  instance.kind = static_cast<FleetKind>(rng.uniform_int(0, 8));
+  instance.kind = static_cast<FleetKind>(rng.uniform_int(0, 9));
 
   switch (instance.kind) {
     case FleetKind::kProportional:
@@ -143,7 +146,8 @@ FuzzInstance generate_instance(const std::uint64_t seed) {
     case FleetKind::kUniformOffset:
     case FleetKind::kAnalyticZigzag:
     case FleetKind::kCrashInjected:
-    case FleetKind::kKernelSoA: {
+    case FleetKind::kKernelSoA:
+    case FleetKind::kByzantineLies: {
       instance.f = rng.uniform_int(1, 4);
       instance.n = rng.uniform_int(instance.f + 1, 2 * instance.f + 1);
       instance.beta =
@@ -200,6 +204,19 @@ FuzzInstance generate_instance(const std::uint64_t seed) {
     }
   }
 
+  if (instance.kind == FleetKind::kByzantineLies) {
+    // Seeded lie schedule on the shared substrate: one draw feeds the
+    // dedicated generator, so the plan stays a pure function of the
+    // instance seed and the shrinker can mutate the record directly.
+    LiePlanConfig lies;
+    lies.max_liars = instance.f;
+    lies.max_claims_per_liar = 2;
+    lies.claim_horizon = 32;
+    lies.claim_extent = instance.window_hi;
+    instance.lies = random_lie_plan(
+        rng.next(), static_cast<std::size_t>(instance.n), lies);
+  }
+
   // Adversarial targets: the +-window_lo boundary right-limits, the top
   // of the window, a couple of uniform draws, and right/left limits of a
   // few turning points of the actual fleet (the discontinuities of K).
@@ -239,6 +256,9 @@ Fleet build_fuzz_fleet(const FuzzInstance& instance) {
   Fleet fleet = [&instance]() -> Fleet {
     switch (instance.kind) {
       case FleetKind::kProportional:
+      case FleetKind::kByzantineLies:
+        // Lies never alter motion — the Byzantine fleet IS the A(n, f)
+        // fleet; only the claim stream differs (diff_byzantine's job).
         return ProportionalAlgorithm(instance.n, instance.f)
             .build_fleet(instance.extent);
       case FleetKind::kPerturbedBeta:
@@ -288,6 +308,7 @@ Subject make_subject(const FuzzInstance& instance, const Fleet& fleet) {
   if (cone_kind(instance.kind)) subject.beta = instance.beta;
   switch (instance.kind) {
     case FleetKind::kProportional:
+    case FleetKind::kByzantineLies:
       subject.proportional = true;
       subject.theory_cr = algorithm_cr(instance.n, instance.f);
       break;
@@ -386,6 +407,13 @@ FuzzOutcome run_instance(const FuzzInstance& instance) {
           outcome.differentials =
               run_differentials(fleet, instance.f, eval, instance.targets);
         }
+        if (instance.kind == FleetKind::kByzantineLies) {
+          // Race the runtime claim arbiter against the analytic quorum
+          // evaluation under this instance's lie schedule.
+          outcome.differentials.push_back(
+              diff_byzantine(instance.n, instance.f, instance.extent,
+                             instance.lies, instance.targets, eval));
+        }
         if (const std::unique_ptr<SearchStrategy> strategy =
                 make_fuzz_strategy(instance)) {
           outcome.differentials.push_back(diff_dense_vs_analytic(
@@ -425,12 +453,29 @@ void clamp_faults(FuzzInstance& instance) {
   if (instance.kind == FleetKind::kProportional ||
       instance.kind == FleetKind::kUniformOffset ||
       instance.kind == FleetKind::kAnalyticZigzag ||
-      instance.kind == FleetKind::kCrashInjected) {
+      instance.kind == FleetKind::kCrashInjected ||
+      instance.kind == FleetKind::kByzantineLies) {
     instance.beta = optimal_beta(instance.n, instance.f);
   }
   while (instance.crash_times.size() >
          static_cast<std::size_t>(instance.n)) {
     instance.crash_times.pop_back();
+  }
+  // Dropped robots take their lie schedules with them (liars sit at the
+  // tail, so a drop sheds liars first and liar_count <= f is preserved
+  // through the regime re-clamp above).
+  while (instance.lies.size() > static_cast<std::size_t>(instance.n)) {
+    instance.lies.liar.pop_back();
+    instance.lies.claims.pop_back();
+  }
+  // A re-clamp can still shrink f below a surviving liar count (e.g. a
+  // non-tail liar layout fed in by hand); demote the latest liars.
+  for (std::size_t robot = instance.lies.size();
+       instance.lies.liar_count() > instance.f && robot-- > 0;) {
+    if (instance.lies.liar[robot]) {
+      instance.lies.liar[robot] = false;
+      instance.lies.claims[robot].clear();
+    }
   }
 }
 
@@ -549,6 +594,46 @@ std::vector<FuzzInstance> shrink_moves(const FuzzInstance& instance) {
     }
   }
 
+  if (instance.kind == FleetKind::kByzantineLies &&
+      instance.lies.liar_count() > 0) {
+    // Simplest first: everyone honest (a plain A(n, f) instance).
+    FuzzInstance honest = instance;
+    std::fill(honest.lies.liar.begin(), honest.lies.liar.end(), false);
+    for (auto& claims : honest.lies.claims) claims.clear();
+    moves.push_back(std::move(honest));
+    // Then one fabrication fewer — drop the last liar's last claim (a
+    // claimless liar still suppresses its real find).
+    for (std::size_t robot = instance.lies.size(); robot-- > 0;) {
+      if (!instance.lies.claims[robot].empty()) {
+        FuzzInstance fewer = instance;
+        fewer.lies.claims[robot].pop_back();
+        moves.push_back(std::move(fewer));
+        break;
+      }
+    }
+    // Then rounder fabrications (quarter grid, |position| floor 1).
+    FuzzInstance rounder = instance;
+    bool changed = false;
+    for (auto& claims : rounder.lies.claims) {
+      for (LieEvent& event : claims) {
+        const Real time =
+            std::max(Real{0.25L}, std::round(event.time * 4) / 4);
+        const Real sign = event.position < 0 ? Real{-1} : Real{1};
+        const Real magnitude = std::max(
+            Real{1}, std::round(std::fabs(event.position) * 4) / 4);
+        if (!value_identical(time, event.time)) {
+          event.time = time;
+          changed = true;
+        }
+        if (!value_identical(sign * magnitude, event.position)) {
+          event.position = sign * magnitude;
+          changed = true;
+        }
+      }
+    }
+    if (changed) moves.push_back(std::move(rounder));
+  }
+
   return moves;
 }
 
@@ -609,6 +694,20 @@ std::string instance_to_json(const FuzzInstance& instance,
   json.end_array();
   json.key("crash_times").begin_array();
   for (const Real t : instance.crash_times) json.value(t);
+  json.end_array();
+  json.key("liars").begin_array();
+  for (const bool liar : instance.lies.liar) json.value(liar ? 1 : 0);
+  json.end_array();
+  json.key("lie_claims").begin_array();
+  for (std::size_t robot = 0; robot < instance.lies.size(); ++robot) {
+    for (const LieEvent& event : instance.lies.claims[robot]) {
+      json.begin_object();
+      json.field("robot", static_cast<int>(robot));
+      json.field("time", event.time);
+      json.field("position", event.position);
+      json.end_object();
+    }
+  }
   json.end_array();
   json.field("ok", outcome.ok());
   json.key("failures").begin_array();

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/faults.hpp"
 #include "sim/fleet.hpp"
 #include "util/real.hpp"
 #include "util/rng.hpp"
@@ -51,6 +52,12 @@ enum class FleetKind {
   /// duplicates — aimed at the SoA kernel path (probe dedup, batched
   /// sweeps, scalar-vs-SIMD differential).
   kKernelSoA,
+  /// A(n, f) with a seeded per-robot lie schedule (sim/faults LiePlan):
+  /// the instance races the runtime claim arbiter against the analytic
+  /// quorum-cost evaluation (diff_byzantine) on the fuzzer's adversarial
+  /// targets, and the byzantine_bounds oracle checks the 1611.08209
+  /// bounds on the same fleet.
+  kByzantineLies,
 };
 
 /// Deliberate corruptions for testing the oracles and the shrinker.
@@ -84,6 +91,9 @@ struct FuzzInstance {
   /// kCrashInjected only: per-robot crash-stop times (kInfinity =
   /// healthy).  Size n when present.
   std::vector<Real> crash_times;
+  /// kByzantineLies only: per-robot lie schedule (size n when present;
+  /// liar_count <= f always).
+  LiePlan lies;
 };
 
 /// Everything one run produced.

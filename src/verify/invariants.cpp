@@ -9,8 +9,10 @@
 #include "core/competitive.hpp"
 #include "core/lower_bound.hpp"
 #include "core/proportional.hpp"
+#include "eval/byzantine.hpp"
 #include "eval/cr_eval.hpp"
 #include "eval/exact.hpp"
+#include "sim/faults.hpp"
 #include "sim/zigzag.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
@@ -409,6 +411,76 @@ InvariantResult check_fault_monotone_cr(const Subject& subject,
   return pass(name);
 }
 
+InvariantResult check_byzantine_bounds(const Subject& subject,
+                                       const InvariantOptions& options) {
+  const std::string name = "byzantine_bounds";
+  if (subject.f < 1) return inapplicable(name);
+  const Fleet& fleet = *subject.fleet;
+  const int n = static_cast<int>(fleet.size());
+  const int f = subject.f;
+  const bool feasible = n >= 2 * f + 1;
+
+  for (const Real x : sampled_positions(options)) {
+    const Real quorum = byzantine_quorum_time(fleet, x, f);
+    // B1 impossibility: fewer than f+1 honest corroborators can ever
+    // exist when n < 2f+1, for EVERY target.
+    if (!feasible && !std::isinf(quorum)) {
+      return fail(name,
+                  "n=" + std::to_string(n) + " < 2f+1 yet quorum forms at x=" +
+                      real_str(x) + " (t=" + real_str(quorum) + ")",
+                  quorum);
+    }
+    // Order-statistic identity: worst-case quorum == the (2f+1)-st
+    // distinct first visit, bit for bit.
+    const std::vector<VisitRecord> order = fleet.visit_order(x);
+    const Real expected =
+        2 * f < static_cast<int>(order.size())
+            ? order[static_cast<std::size_t>(2 * f)].time
+            : kInfinity;
+    if (!value_identical(quorum, expected)) {
+      return fail(name,
+                  "quorum time at x=" + real_str(x) + " is " +
+                      real_str(quorum) + " but the (2f+1)-st distinct " +
+                      "visit is at " + real_str(expected),
+                  std::fabs(quorum - expected));
+    }
+    // B3 ordering: lying faults are never cheaper than blind faults.
+    const Real blind = fleet.detection_time(x, f);
+    if (quorum < blind) {
+      return fail(name,
+                  "quorum at x=" + real_str(x) + " (" + real_str(quorum) +
+                      ") beats blind detection (" + real_str(blind) + ")",
+                  blind - quorum);
+    }
+  }
+
+  // B2 upper bound, on the feasible diagonal of a proportional subject:
+  // the measured quorum CR over the window must stay within the Lemma-5
+  // closed form at the doubled budget.
+  if (subject.proportional && subject.beta && n == 2 * f + 1 &&
+      in_proportional_regime(n, f)) {
+    const CrEvalOptions eval{.window_lo = options.window_lo,
+                             .window_hi = options.window_hi,
+                             .interior_samples = 2,
+                             .require_finite = false};
+    const ByzantineCrResult measured = measure_byzantine_cr(fleet, f, eval);
+    // Probes lost to a too-small build extent are the coverage oracle's
+    // business; the bound is only claimed where quorum actually forms.
+    if (measured.undetected_probes == 0) {
+      const Real bound = schedule_cr(n, 2 * f, *subject.beta);
+      if (measured.cr > bound * (1 + options.rel_tol)) {
+        return fail(name,
+                    "measured quorum sup " + real_str(measured.cr) +
+                        " at x=" + real_str(measured.argmax) +
+                        " exceeds schedule_cr(n, 2f, beta) = " +
+                        real_str(bound),
+                    measured.cr - bound);
+      }
+    }
+  }
+  return pass(name);
+}
+
 std::vector<InvariantResult> run_invariants(const Subject& subject,
                                             const InvariantOptions& options) {
   expects(subject.fleet != nullptr, "run_invariants: null fleet");
@@ -425,6 +497,7 @@ std::vector<InvariantResult> run_invariants(const Subject& subject,
   results.push_back(check_theorem1_agreement(subject, options));
   results.push_back(check_lower_bound_dominance(subject, options));
   results.push_back(check_fault_monotone_cr(subject, options));
+  results.push_back(check_byzantine_bounds(subject, options));
   return results;
 }
 

@@ -31,7 +31,12 @@
 //                    lower-bound-dominance cross-check in the spirit of
 //                    Kupavskii-Welzl's independent bounds (arXiv:
 //                    1707.05077): measured ratios must dominate every
-//                    proved floor, on every instance.
+//                    proved floor, on every instance;
+//   * Byzantine    — the arXiv:1611.08209 bounds: quorum time is exactly
+//                    the (2f+1)-st distinct visit and dominates T_{f+1};
+//                    n < 2f+1 makes quorum impossible (CR = inf); on the
+//                    feasible diagonal n = 2f+1 the measured quorum CR
+//                    never exceeds schedule_cr(n, 2f, beta).
 #pragma once
 
 #include <cmath>
@@ -142,6 +147,17 @@ struct InvariantResult {
 /// g is nondecreasing in g over 0..f (more crash faults never help the
 /// searchers — the in-model face of the crash-vs-Byzantine ordering).
 [[nodiscard]] InvariantResult check_fault_monotone_cr(
+    const Subject& subject, const InvariantOptions& options);
+
+/// arXiv:1611.08209 bounds for the lying fault model, per sampled
+/// position: the quorum time byzantine_quorum_time(x, f) is exactly the
+/// (2f+1)-st distinct first visit (order-statistic identity), dominates
+/// T_{f+1}(x) pointwise, and is infinite everywhere when n < 2f+1 (the
+/// impossibility bound).  On the feasible diagonal n = 2f+1 of a
+/// proportional subject the measured quorum CR must stay within the
+/// closed-form upper bound schedule_cr(n, 2f, beta).  Inapplicable when
+/// f < 1.
+[[nodiscard]] InvariantResult check_byzantine_bounds(
     const Subject& subject, const InvariantOptions& options);
 
 /// Run every oracle above, in a fixed order.

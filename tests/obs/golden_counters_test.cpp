@@ -21,9 +21,12 @@
 #include <string>
 #include <vector>
 
+#include "adversary/game.hpp"
 #include "core/algorithm.hpp"
 #include "eval/batch.hpp"
 #include "obs/metrics.hpp"
+#include "runtime/arbitration.hpp"
+#include "sim/faults.hpp"
 #include "util/jsonio.hpp"
 
 namespace linesearch {
@@ -57,6 +60,10 @@ struct PairCounters {
   std::uint64_t inserts = 0;
   std::uint64_t window_queries = 0;
   std::uint64_t visit_queries = 0;
+  std::uint64_t lie_placements = 0;
+  std::uint64_t claims_made = 0;
+  std::uint64_t claims_refuted = 0;
+  std::uint64_t quorum_reached = 0;
 };
 
 PairCounters evaluate_pair(const int n, const int f) {
@@ -71,6 +78,19 @@ PairCounters evaluate_pair(const int n, const int f) {
       {&fleet, f, {.window_lo = 1, .window_hi = 16}},
       {&fleet, f - 1, {.window_lo = 1, .window_hi = 16}}};
   (void)measure_cr_batch(jobs, {.threads = 1});
+  // Byzantine leg: one serial lie-placement game round plus one
+  // arbitrated claim stream per pair, so the fixture also pins the
+  // adversary.lie_placements and runtime.claims_* counters (the claim
+  // arbiter's behaviour, not just the evaluator's).  The lie plan is a
+  // pure function of (n, f), the game of the fleet — both deterministic.
+  GameOptions game_options;
+  game_options.keep_outcomes = false;
+  (void)play_byzantine_game(fleet, f, comfortable_alpha(n, 0.8L),
+                            game_options);
+  const LiePlan plan = random_lie_plan(
+      1000u + static_cast<std::uint64_t>(16 * n + f),
+      static_cast<std::size_t>(n), {.max_liars = f});
+  (void)arbitrate(fleet, f, collect_claims(fleet, 5, plan));
   const std::vector<obs::MetricSnapshot> snaps =
       obs::Registry::instance().snapshot();
   PairCounters counters;
@@ -81,6 +101,10 @@ PairCounters evaluate_pair(const int n, const int f) {
   counters.inserts = value_of(snaps, "eval.visit_cache.inserts");
   counters.window_queries = value_of(snaps, "sim.analytic.window_queries");
   counters.visit_queries = value_of(snaps, "sim.analytic.visit_queries");
+  counters.lie_placements = value_of(snaps, "adversary.lie_placements");
+  counters.claims_made = value_of(snaps, "runtime.claims_made");
+  counters.claims_refuted = value_of(snaps, "runtime.claims_refuted");
+  counters.quorum_reached = value_of(snaps, "runtime.quorum_reached");
   return counters;
 }
 
@@ -88,7 +112,9 @@ std::string serialize(const std::vector<PairCounters>& pairs) {
   std::ostringstream out;
   JsonWriter json(out);
   json.begin_object();
-  json.field("schema", "linesearch-golden-obs/1");
+  // Schema /2 added the Byzantine leg: lie_placements + claims_* per
+  // pair (the /1 fixture predates the claim arbiter).
+  json.field("schema", "linesearch-golden-obs/2");
   json.field("window_lo", 1);
   json.field("window_hi", 16);
   json.key("pairs").begin_array();
@@ -104,6 +130,10 @@ std::string serialize(const std::vector<PairCounters>& pairs) {
     json.field("hits", pair.lookups - pair.inserts);
     json.field("window_queries", pair.window_queries);
     json.field("visit_queries", pair.visit_queries);
+    json.field("lie_placements", pair.lie_placements);
+    json.field("claims_made", pair.claims_made);
+    json.field("claims_refuted", pair.claims_refuted);
+    json.field("quorum_reached", pair.quorum_reached);
     json.end_object();
   }
   json.end_array();
@@ -129,6 +159,8 @@ TEST(ObsGoldenCounters, AllRegimePairsMatchFixture) {
     EXPECT_GT(counters.probes, 0u) << "n=" << n << " f=" << f;
     EXPECT_GT(counters.lookups, counters.inserts)
         << "n=" << n << " f=" << f << ": the second job must hit";
+    EXPECT_GT(counters.lie_placements, 0u) << "n=" << n << " f=" << f;
+    EXPECT_GT(counters.claims_made, 0u) << "n=" << n << " f=" << f;
   }
   const std::string actual = serialize(pairs);
 

@@ -23,6 +23,7 @@ PerfReportOptions fast_options(const bool timings_only) {
   options.sweep_window_hi = 1024;
   options.degraded_n_max = 4;
   options.degraded_max_crashes = 1;
+  options.byzantine_n_max = 4;
   return options;
 }
 
@@ -38,14 +39,15 @@ bool contains(const std::string& haystack, const std::string& needle) {
 
 TEST(ObsPerfReport, FullModeEmitsChecksumsAndIdentityFlags) {
   const std::string json = report(fast_options(/*timings_only=*/false));
-  EXPECT_TRUE(contains(json, "\"schema\": \"linesearch-bench-perf/4\""));
+  EXPECT_TRUE(contains(json, "\"schema\": \"linesearch-bench-perf/5\""));
   EXPECT_TRUE(contains(json, "\"timings_only\": false"));
   for (const char* name :
        {"dense_cr_sweep_serial", "dense_cr_sweep_parallel",
         "certified_cr_a74", "theorem2_game_a31", "analytic_sweep_dense",
         "analytic_sweep_analytic", "kernel_sweep_scalar",
         "kernel_sweep_kernel", "kernel_sweep_analytic_scalar",
-        "kernel_sweep_analytic_kernel", "degraded_sweep"}) {
+        "kernel_sweep_analytic_kernel", "degraded_sweep",
+        "byzantine_sweep"}) {
     EXPECT_TRUE(contains(json, std::string("\"name\": \"") + name + "\""))
         << name;
   }
@@ -66,19 +68,23 @@ TEST(ObsPerfReport, FullModeEmitsChecksumsAndIdentityFlags) {
   EXPECT_TRUE(contains(json, "\"crashes\""));
   EXPECT_TRUE(contains(json, "\"theory_cr\""));
   EXPECT_TRUE(contains(json, "\"worst_gap_to_theory\""));
+  // The byzantine sweep reports the regime rows and the feasible count.
+  EXPECT_TRUE(contains(json, "\"byzantine_sweep\""));
+  EXPECT_TRUE(contains(json, "\"feasible_rows\""));
   EXPECT_TRUE(contains(json, "\"metrics\""));
 }
 
 TEST(ObsPerfReport, TimingsOnlySkipsChecksumWork) {
   const std::string json = report(fast_options(/*timings_only=*/true));
-  EXPECT_TRUE(contains(json, "\"schema\": \"linesearch-bench-perf/4\""));
+  EXPECT_TRUE(contains(json, "\"schema\": \"linesearch-bench-perf/5\""));
   EXPECT_TRUE(contains(json, "\"timings_only\": true"));
   for (const char* name :
        {"dense_cr_sweep_serial", "dense_cr_sweep_parallel",
         "certified_cr_a74", "theorem2_game_a31",
         "analytic_sweep_analytic", "kernel_sweep_scalar",
         "kernel_sweep_kernel", "kernel_sweep_analytic_scalar",
-        "kernel_sweep_analytic_kernel", "degraded_sweep"}) {
+        "kernel_sweep_analytic_kernel", "degraded_sweep",
+        "byzantine_sweep"}) {
     EXPECT_TRUE(contains(json, std::string("\"name\": \"") + name + "\""))
         << name;
   }
@@ -97,6 +103,7 @@ TEST(ObsPerfReport, TimingsOnlySkipsChecksumWork) {
   // The shared shape survives in both modes.
   EXPECT_TRUE(contains(json, "\"analytic_build_millis\""));
   EXPECT_TRUE(contains(json, "\"recovered_rows\""));
+  EXPECT_TRUE(contains(json, "\"feasible_rows\""));
   EXPECT_TRUE(contains(json, "\"simd_compiled\""));
   EXPECT_TRUE(contains(json, "\"metrics\""));
 }

@@ -1,0 +1,248 @@
+// Tests for runtime/arbitration.hpp — the quorum claim arbiter: claims
+// queued not trusted, f+1 distinct corroborations to confirm, f+1
+// distinct non-claimant visits to refute, crash declarations excluded
+// from quorum (including the exactly-at-the-deadline regression), and
+// the full supervised Byzantine pipeline.
+#include "runtime/arbitration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/algorithm.hpp"
+#include "runtime/supervisor.hpp"
+#include "sim/faults.hpp"
+#include "util/error.hpp"
+#include "verify/invariants.hpp"
+
+namespace linesearch {
+namespace {
+
+using verify::value_identical;
+
+Fleet staggered_sweepers() {
+  return Fleet({Trajectory({{0, 0}, {10, 10}}),
+                Trajectory({{2, 0}, {12, 10}}),
+                Trajectory({{4, 0}, {14, 10}})});
+}
+
+TEST(ArbitrationTest, QuorumNeverReachedWithAtMostFCorroborations) {
+  const Fleet fleet = staggered_sweepers();
+  // f = 1: a single claimant (f corroborations) must never confirm, no
+  // matter how often it repeats itself.
+  const ArbitrationReport report = arbitrate(
+      fleet, 1, {{0, 4, 5}, {0, 4.5L, 5}, {0, 6, 5}});
+  EXPECT_EQ(report.claims_made, 3);
+  EXPECT_FALSE(report.quorum_reached);
+  ASSERT_EQ(report.verdicts.size(), 1u);
+  EXPECT_EQ(report.verdicts[0].supporters, 1);  // distinct robots, not claims
+  EXPECT_FALSE(report.verdicts[0].confirmed());
+  EXPECT_TRUE(std::isnan(report.confirmed_position));
+}
+
+TEST(ArbitrationTest, ConfirmsAtTheQuorumInstant) {
+  const Fleet fleet = staggered_sweepers();
+  // Two distinct robots corroborate position 5 at t = 5 and t = 7: the
+  // f+1 = 2 quorum completes with the later claim.
+  const ArbitrationReport report =
+      arbitrate(fleet, 1, {{0, 5, 5}, {1, 7, 5}});
+  EXPECT_TRUE(report.quorum_reached);
+  EXPECT_EQ(report.confirm_time, 7);
+  EXPECT_EQ(report.confirmed_position, 5);
+  ASSERT_EQ(report.verdicts.size(), 1u);
+  EXPECT_EQ(report.verdicts[0].supporters, 2);
+  EXPECT_TRUE(report.verdicts[0].confirmed());
+}
+
+TEST(ArbitrationTest, EarliestConfirmationWinsAcrossPositions) {
+  const Fleet fleet = staggered_sweepers();
+  const ArbitrationReport report = arbitrate(
+      fleet, 1,
+      {{0, 4, 6}, {1, 9, 6}, {0, 5, 2}, {2, 6, 2}});
+  EXPECT_TRUE(report.quorum_reached);
+  EXPECT_EQ(report.confirmed_position, 2);  // confirmed at 6, before 9
+  EXPECT_EQ(report.confirm_time, 6);
+}
+
+TEST(ArbitrationTest, RefutesAPendingClaimAfterQuorumManyVisits) {
+  const Fleet fleet = staggered_sweepers();
+  // Robot 0 alone claims position 4 at t = 4.  The non-claimants visit
+  // 4 at t = 6 (robot 1) and t = 8 (robot 2); the second such visit is
+  // the f+1 = 2 refutation quorum.
+  const ArbitrationReport report = arbitrate(fleet, 1, {{0, 4, 4}});
+  EXPECT_FALSE(report.quorum_reached);
+  EXPECT_EQ(report.claims_refuted, 1);
+  ASSERT_EQ(report.verdicts.size(), 1u);
+  EXPECT_TRUE(report.verdicts[0].refuted());
+  EXPECT_EQ(report.verdicts[0].refute_time, 8);
+}
+
+TEST(ArbitrationTest, RefutationWaitsForTheClaimItself) {
+  const Fleet fleet = staggered_sweepers();
+  // The non-claimants have long visited position 4 when robot 0 claims
+  // it at t = 20; a claim cannot be refuted before it is made.
+  const ArbitrationReport report = arbitrate(fleet, 1, {{0, 20, 4}});
+  ASSERT_EQ(report.verdicts.size(), 1u);
+  EXPECT_TRUE(report.verdicts[0].refuted());
+  EXPECT_EQ(report.verdicts[0].refute_time, 20);
+}
+
+TEST(ArbitrationTest, CrashDeclaredAtExactlyTheDeadlineDoesNotCount) {
+  // THE regression this module exists to pin (the latent supervisor
+  // edge): a corroboration whose robot was declared crashed at exactly
+  // the candidate confirmation instant must NOT count toward quorum —
+  // the declaration invalidates the corroboration on the boundary.
+  // Before the fix the arbiter compared with >=, counted robot 1's
+  // support at its own declaration instant, and confirmed at t = 6.
+  const Fleet fleet = staggered_sweepers();
+  const std::vector<Claim> claims = {{0, 4, 5}, {1, 6, 5}};
+
+  const ArbitrationReport boundary =
+      arbitrate(fleet, 1, claims, {kInfinity, 6, kInfinity});
+  EXPECT_FALSE(boundary.quorum_reached)
+      << "a declaration landing exactly on the corroboration deadline "
+         "must invalidate the corroboration";
+
+  // Strictly after the deadline the corroboration stands.
+  const ArbitrationReport after =
+      arbitrate(fleet, 1, claims, {kInfinity, 6.0000001L, kInfinity});
+  EXPECT_TRUE(after.quorum_reached);
+  EXPECT_EQ(after.confirm_time, 6);
+
+  // Declared before the deadline: invalid as well.
+  const ArbitrationReport before =
+      arbitrate(fleet, 1, claims, {kInfinity, 5, kInfinity});
+  EXPECT_FALSE(before.quorum_reached);
+}
+
+TEST(ArbitrationTest, ValidatesItsInputs) {
+  const Fleet fleet = staggered_sweepers();
+  EXPECT_THROW((void)arbitrate(fleet, -1, {}), PreconditionError);
+  // Crash vector must be empty or fleet-sized.
+  EXPECT_THROW((void)arbitrate(fleet, 1, {}, {kInfinity}),
+               PreconditionError);
+  // Claims must come from fleet robots with finite times.
+  EXPECT_THROW((void)arbitrate(fleet, 1, {{7, 1, 1}}), PreconditionError);
+  EXPECT_THROW((void)arbitrate(fleet, 1, {{0, kInfinity, 1}}),
+               PreconditionError);
+}
+
+TEST(CollectClaimsTest, HonestRobotsClaimTruthfullyLiarsFabricate) {
+  const Fleet fleet = staggered_sweepers();
+  LiePlan plan;
+  plan.liar = {false, true, false};
+  plan.claims = {{}, {{1.5L, -3}, {2.5L, 7}}, {}};
+  const std::vector<Claim> claims = collect_claims(fleet, 4, plan);
+  // Honest robots 0 and 2 claim the target at their first visits (4 and
+  // 8); liar robot 1 suppresses its t = 6 find and fabricates instead.
+  ASSERT_EQ(claims.size(), 4u);
+  int honest = 0;
+  int fabricated = 0;
+  for (const Claim& claim : claims) {
+    if (claim.position == 4) {
+      ++honest;
+      EXPECT_TRUE(claim.robot == 0 || claim.robot == 2);
+      EXPECT_EQ(claim.time, claim.robot == 0 ? 4 : 8);
+    } else {
+      ++fabricated;
+      EXPECT_EQ(claim.robot, 1u);
+    }
+  }
+  EXPECT_EQ(honest, 2);
+  EXPECT_EQ(fabricated, 2);
+}
+
+TEST(ByzantineRunTest, FalseClaimsNeverTerminateTheSearch) {
+  // A(3, 1) under a lying plan: the liar fabricates two positions; the
+  // run must confirm only the true target, and every fabricated
+  // position must end unconfirmed.
+  const int n = 3;
+  const int f = 1;
+  LiePlan plan;
+  plan.liar = {false, false, true};
+  plan.claims = {{}, {}, {{0.5L, -3}, {1.0L, 7}}};
+  const ByzantineRunReport report = run_byzantine(n, f, 64, 5, plan);
+  EXPECT_TRUE(report.found());
+  EXPECT_EQ(report.arbitration.confirmed_position, 5);
+  for (const ClaimVerdict& verdict : report.arbitration.verdicts) {
+    if (verdict.position == 5) continue;
+    EXPECT_FALSE(verdict.confirmed())
+        << "false claim at " << static_cast<double>(verdict.position)
+        << " reached quorum";
+  }
+}
+
+TEST(ByzantineRunTest, LieFreeRunMatchesTheAnalyticOrderStatistic) {
+  // With nobody lying and nobody crashing, the arbiter's confirmation is
+  // exactly the (f+1)-st distinct first visit of the clean schedule —
+  // bit-identical to the CrashFaults-era detection path.
+  const int n = 4;
+  const int f = 2;
+  const Real target = 7;
+  LiePlan plan;
+  plan.liar.assign(n, false);
+  plan.claims.assign(n, {});
+  const ByzantineRunReport report = run_byzantine(n, f, 64, target, plan);
+  EXPECT_TRUE(report.found());
+  const Fleet clean = ProportionalAlgorithm(n, f).build_fleet(64);
+  EXPECT_TRUE(value_identical(report.arbitration.confirm_time,
+                              clean.detection_time(target, f)));
+  CrashFaults crash(std::vector<Real>(n, kInfinity));
+  EXPECT_TRUE(value_identical(
+      report.arbitration.confirm_time,
+      detection_time_under(crash, clean, target, f)));
+}
+
+TEST(ByzantineRunTest, CrashedRobotsAreExcludedFromQuorum) {
+  // (n, f) = (4, 1), target at 7, robot 3 crashes immediately.  The
+  // supervised run recovers, and the arbiter must reach quorum from the
+  // three survivors alone — the crashed robot's declaration bars it.
+  const int n = 4;
+  const int f = 1;
+  LiePlan plan;
+  plan.liar.assign(n, false);
+  plan.claims.assign(n, {});
+  const std::vector<Real> crashes = {kInfinity, kInfinity, kInfinity,
+                                     0.02L};
+  const ByzantineRunReport report =
+      run_byzantine(n, f, 64, 7, plan, crashes);
+  ASSERT_EQ(report.supervisor.declarations.size(), 1u);
+  EXPECT_EQ(report.supervisor.survivors, 3);
+  EXPECT_TRUE(report.found());
+  // Quorum from survivors only: every counted corroboration postdates
+  // the single declaration.
+  EXPECT_GT(report.arbitration.confirm_time,
+            report.supervisor.declarations[0].detect_time);
+}
+
+TEST(ByzantineRunTest, LiarSuppressionDelaysConfirmation) {
+  // The liar is blind-silent about the true target, so confirmation
+  // waits for the (f+1)-st HONEST visit — strictly later than the clean
+  // detection whenever the liar would have been among the first f+1.
+  const int n = 3;
+  const int f = 1;
+  const Real target = 5;
+  const Fleet clean = ProportionalAlgorithm(n, f).build_fleet(64);
+  const std::vector<Real> visits = clean.first_visit_times(target);
+  // Make a liar of the earliest visitor.
+  std::size_t earliest = 0;
+  for (std::size_t robot = 1; robot < visits.size(); ++robot) {
+    if (visits[robot] < visits[earliest]) earliest = robot;
+  }
+  LiePlan plan;
+  plan.liar.assign(n, false);
+  plan.claims.assign(n, {});
+  plan.liar[earliest] = true;
+  plan.claims[earliest] = {{0.25L, -2}};
+  const ByzantineRunReport report = run_byzantine(n, f, 64, target, plan);
+  EXPECT_TRUE(report.found());
+  EXPECT_GT(report.arbitration.confirm_time,
+            clean.detection_time(target, f));
+  EXPECT_TRUE(value_identical(
+      report.arbitration.confirm_time,
+      byzantine_quorum_time(clean, target, plan.liar, f)));
+}
+
+}  // namespace
+}  // namespace linesearch

@@ -1,0 +1,336 @@
+// Tests for the Byzantine (lying) fault model: seeded lie plans, the
+// analytic quorum kernels of sim/faults, the eval-layer quorum CR and
+// its reproduced arXiv:1611.08209 bounds over the full regime grid, and
+// the adversarial lie-placement game's thread determinism.
+#include "sim/faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "adversary/game.hpp"
+#include "adversary/placements.hpp"
+#include "core/algorithm.hpp"
+#include "core/competitive.hpp"
+#include "core/lower_bound.hpp"
+#include "eval/byzantine.hpp"
+#include "eval/validation.hpp"
+#include "util/error.hpp"
+#include "verify/invariants.hpp"
+
+namespace linesearch {
+namespace {
+
+using verify::value_identical;
+
+Fleet staggered_sweepers() {
+  return Fleet({Trajectory({{0, 0}, {10, 10}}),
+                Trajectory({{2, 0}, {12, 10}}),
+                Trajectory({{4, 0}, {14, 10}}),
+                Trajectory({{6, 0}, {16, 10}})});
+}
+
+int count_true(const std::vector<bool>& v) {
+  return static_cast<int>(std::count(v.begin(), v.end(), true));
+}
+
+TEST(LiePlanTest, GeneratorIsAPureFunctionOfSeedRobotsConfig) {
+  const LiePlanConfig config{.max_liars = 2,
+                             .max_claims_per_liar = 3,
+                             .claim_horizon = 20,
+                             .claim_extent = 8};
+  const LiePlan a = random_lie_plan(42, 5, config);
+  const LiePlan b = random_lie_plan(42, 5, config);
+  ASSERT_EQ(a.size(), 5u);
+  EXPECT_EQ(a.liar, b.liar);
+  ASSERT_EQ(a.claims.size(), b.claims.size());
+  for (std::size_t robot = 0; robot < a.claims.size(); ++robot) {
+    ASSERT_EQ(a.claims[robot].size(), b.claims[robot].size());
+    for (std::size_t k = 0; k < a.claims[robot].size(); ++k) {
+      EXPECT_TRUE(value_identical(a.claims[robot][k].time,
+                                  b.claims[robot][k].time));
+      EXPECT_TRUE(value_identical(a.claims[robot][k].position,
+                                  b.claims[robot][k].position));
+    }
+  }
+  // A different seed must produce a different plan (claim values are
+  // continuous draws; collision would be a broken stream).
+  const LiePlan c = random_lie_plan(43, 5, config);
+  bool differs = a.liar != c.liar;
+  for (std::size_t robot = 0; !differs && robot < 5; ++robot) {
+    differs = a.claims[robot].size() != c.claims[robot].size();
+    for (std::size_t k = 0; !differs && k < a.claims[robot].size(); ++k) {
+      differs = a.claims[robot][k].time != c.claims[robot][k].time ||
+                a.claims[robot][k].position != c.claims[robot][k].position;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(LiePlanTest, PlansRespectTheConfigEnvelope) {
+  for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+    const LiePlanConfig config{.max_liars = 3,
+                               .max_claims_per_liar = 2,
+                               .claim_horizon = 16,
+                               .claim_extent = 4};
+    const LiePlan plan = random_lie_plan(seed, 6, config);
+    ASSERT_EQ(plan.size(), 6u);
+    ASSERT_EQ(plan.claims.size(), 6u);
+    EXPECT_GE(plan.liar_count(), 1);
+    EXPECT_LE(plan.liar_count(), 3);
+    for (std::size_t robot = 0; robot < plan.size(); ++robot) {
+      if (!plan.liar[robot]) {
+        // Honest robots carry no fabrications.
+        EXPECT_TRUE(plan.claims[robot].empty());
+        continue;
+      }
+      EXPECT_GE(plan.claims[robot].size(), 1u);
+      EXPECT_LE(plan.claims[robot].size(), 2u);
+      for (const LieEvent& event : plan.claims[robot]) {
+        EXPECT_GT(event.time, 0);
+        EXPECT_LT(event.time, 16);
+        EXPECT_GE(std::fabs(event.position), 1);
+        EXPECT_LT(std::fabs(event.position), 4);
+      }
+    }
+  }
+}
+
+TEST(QuorumTimeTest, ExplicitLiarSetIsTheHonestOrderStatistic) {
+  const Fleet fleet = staggered_sweepers();
+  // First visits of x = 4: robots reach it at 4, 6, 8, 10.
+  const std::vector<bool> no_liars(4, false);
+  // f = 1: quorum = 2nd distinct honest visit.
+  EXPECT_EQ(byzantine_quorum_time(fleet, 4, no_liars, 1), 6);
+  // Making the earliest visitor a liar shifts the 2nd honest visit.
+  EXPECT_EQ(byzantine_quorum_time(fleet, 4,
+                                  {true, false, false, false}, 1),
+            8);
+  EXPECT_EQ(byzantine_quorum_time(fleet, 4, {true, true, false, false}, 1),
+            10);
+  // Fewer than f+1 honest robots ever visit: no quorum.
+  EXPECT_EQ(byzantine_quorum_time(fleet, 4, {true, true, true, false}, 1),
+            kInfinity);
+}
+
+TEST(QuorumTimeTest, WorstCaseIsTheDoubledBudgetOrderStatistic) {
+  const Fleet fleet = staggered_sweepers();
+  for (const Real x : {1.0L, 4.0L, 7.5L}) {
+    EXPECT_TRUE(value_identical(byzantine_quorum_time(fleet, x, 1),
+                                fleet.detection_time(x, 2)));
+  }
+}
+
+TEST(QuorumTimeTest, WorstCaseDominatesEveryExplicitLiarSet) {
+  // Exhaustive over every liar set of size <= f on a 4-robot fleet: the
+  // closed-form worst case is attained and never exceeded.
+  const Fleet fleet = staggered_sweepers();
+  const int n = 4;
+  const int f = 1;
+  for (const Real x : {2.0L, 4.0L, 9.0L}) {
+    const Real worst = byzantine_quorum_time(fleet, x, f);
+    Real attained = 0;
+    for (int mask = 0; mask < (1 << n); ++mask) {
+      std::vector<bool> liars(n, false);
+      int liar_count = 0;
+      for (int robot = 0; robot < n; ++robot) {
+        if ((mask >> robot) & 1) {
+          liars[robot] = true;
+          ++liar_count;
+        }
+      }
+      if (liar_count > f) continue;
+      const Real quorum = byzantine_quorum_time(fleet, x, liars, f);
+      EXPECT_LE(quorum, worst);
+      attained = std::max(attained, quorum);
+    }
+    EXPECT_TRUE(value_identical(attained, worst));
+  }
+}
+
+TEST(QuorumTimeTest, ImpossibleBelowTwoFPlusOneRobots) {
+  // n = 2 < 2f+1 = 3: fewer than f+1 honest corroborators can exist, so
+  // no target is ever confirmed.
+  const Fleet fleet = Fleet({Trajectory({{0, 0}, {10, 10}}),
+                             Trajectory({{2, 0}, {12, 10}})});
+  for (const Real x : {1.0L, 4.0L, 8.0L}) {
+    EXPECT_EQ(byzantine_quorum_time(fleet, x, 1), kInfinity);
+  }
+}
+
+TEST(ByzantineFaultsTest, ChoosesThePlansLiarSet) {
+  LiePlan plan;
+  plan.liar = {false, true, false, false};
+  plan.claims = {{}, {{1, 3}}, {}, {}};
+  ByzantineFaults model(plan);
+  const Fleet fleet = staggered_sweepers();
+  EXPECT_EQ(model.choose_faults(fleet, 4, 1),
+            (std::vector<bool>{false, true, false, false}));
+  EXPECT_EQ(count_true(model.choose_faults(fleet, 4, 2)), 1);
+  // The plan lies more than the permitted budget.
+  EXPECT_THROW((void)model.choose_faults(fleet, 4, 0), PreconditionError);
+}
+
+TEST(ByzantineFaultsTest, DetectionTimeIsTheQuorumUnderThePlan) {
+  LiePlan plan;
+  plan.liar = {true, false, false, false};
+  plan.claims = {{{0.5L, -2}}, {}, {}, {}};
+  ByzantineFaults model(plan);
+  const Fleet fleet = staggered_sweepers();
+  EXPECT_TRUE(value_identical(
+      detection_time_under(model, fleet, 4, 1),
+      byzantine_quorum_time(fleet, 4, plan.liar, 1)));
+}
+
+TEST(ByzantineFaultsTest, MalformedPlansThrow) {
+  LiePlan ragged;
+  ragged.liar = {true, false};
+  ragged.claims = {{{1, 2}}};  // sizes disagree
+  EXPECT_THROW((void)ByzantineFaults(ragged), PreconditionError);
+
+  LiePlan honest_with_claims;
+  honest_with_claims.liar = {false, false};
+  honest_with_claims.claims = {{{1, 2}}, {}};
+  EXPECT_THROW((void)ByzantineFaults(honest_with_claims),
+               PreconditionError);
+
+  LiePlan negative_time;
+  negative_time.liar = {true, false};
+  negative_time.claims = {{{-1, 2}}, {}};
+  EXPECT_THROW((void)ByzantineFaults(negative_time), PreconditionError);
+}
+
+TEST(ByzantineFaultsTest, LieFreePlanMatchesTheCrashFreePath) {
+  // A plan with zero liars degrades to the ordinary sensor-blind model:
+  // quorum under the empty liar set is the (f+1)-st distinct visit, the
+  // same order statistic the all-healthy CrashFaults path answers.
+  const int n = 5;
+  const int f = 2;
+  const Fleet fleet = ProportionalAlgorithm(n, f).build_fleet(64);
+  LiePlan plan;
+  plan.liar.assign(n, false);
+  plan.claims.assign(n, {});
+  ByzantineFaults byzantine(plan);
+  CrashFaults crash(std::vector<Real>(n, kInfinity));
+  for (const Real x : {1.0L, 3.0L, -5.0L, 12.0L}) {
+    EXPECT_TRUE(value_identical(
+        detection_time_under(byzantine, fleet, x, f),
+        detection_time_under(crash, fleet, x, f)))
+        << "x = " << static_cast<double>(x);
+  }
+}
+
+TEST(ByzantineEvalTest, MeasureReportsInfeasibilityBelowQuorumSize) {
+  // (n, f) = (3, 2): n < 2f+1 = 5, quorum unreachable for every target.
+  const Fleet fleet = ProportionalAlgorithm(3, 2).build_unbounded_fleet();
+  const ByzantineCrResult result =
+      measure_byzantine_cr(fleet, 2, {.window_hi = 8});
+  EXPECT_FALSE(result.feasible);
+  EXPECT_EQ(result.cr, kInfinity);
+}
+
+TEST(ByzantineEvalTest, TheoryBoundLivesOnTheFeasibleDiagonal) {
+  // n = 2f+1 is the only feasible slice of the proportional regime; the
+  // bound there is the Lemma-5 schedule CR at the doubled budget.
+  for (int f = 1; f <= 5; ++f) {
+    const int n = 2 * f + 1;
+    const Real bound = byzantine_theory_cr(n, f);
+    ASSERT_TRUE(std::isfinite(bound));
+    EXPECT_TRUE(value_identical(
+        bound, schedule_cr(n, 2 * f, optimal_beta(n, f))));
+  }
+  EXPECT_EQ(byzantine_theory_cr(4, 2), kInfinity);  // n < 2f+1
+  EXPECT_EQ(byzantine_theory_cr(6, 2), kInfinity);  // off the diagonal
+  EXPECT_EQ(byzantine_theory_cr(3, 0), kInfinity);  // f < 1 regime edge
+}
+
+TEST(ByzantineEvalTest, SweepCertifiesTheBoundsOnTheFullRegimeGrid) {
+  // Every proportional-regime pair up to n = 12 (the full 41-pair grid):
+  // infeasible pairs must report an infinite quorum CR, and on the
+  // feasible diagonal the measured quorum CR certifies the reproduced
+  // upper bound (the probe scan samples the sup from below).
+  const std::vector<ByzantineSweepRow> rows =
+      byzantine_sweep({.n_max = 12, .window_hi = 16});
+  EXPECT_EQ(rows.size(), proportional_regime_pairs(12).size());
+  EXPECT_EQ(rows.size(), 41u);
+  int diagonal = 0;
+  for (const ByzantineSweepRow& row : rows) {
+    EXPECT_EQ(row.feasible, row.n >= 2 * row.f + 1)
+        << row.n << "," << row.f;
+    if (!row.feasible) {
+      EXPECT_EQ(row.measured_cr, kInfinity);
+      EXPECT_EQ(row.theory_cr, kInfinity);
+      continue;
+    }
+    ASSERT_EQ(row.n, 2 * row.f + 1);  // the regime's feasible slice
+    ++diagonal;
+    ASSERT_TRUE(std::isfinite(row.measured_cr));
+    ASSERT_TRUE(std::isfinite(row.theory_cr));
+    EXPECT_LE(row.measured_cr, row.theory_cr * (1 + 1e-9L));
+    EXPECT_GE(row.measured_cr, row.theory_cr * (1 - 1e-5L));
+    EXPECT_NEAR(static_cast<double>(row.ratio_to_theory), 1.0, 1e-5);
+  }
+  EXPECT_EQ(diagonal, 5);  // f = 1..5 fit under n <= 12
+}
+
+TEST(ByzantineGameTest, NeverConfirmsAFalseClaim) {
+  const int n = 3;
+  const int f = 1;
+  const Real alpha = comfortable_alpha(n, 0.8L);
+  const Fleet fleet =
+      ProportionalAlgorithm(n, f).build_fleet(largest_placement(alpha) * 4);
+  const ByzantineGameResult result = play_byzantine_game(fleet, f, alpha);
+  EXPECT_FALSE(result.any_false_confirmed);
+  ASSERT_FALSE(result.outcomes.empty());
+  for (const LiePlacementOutcome& outcome : result.outcomes) {
+    EXPECT_FALSE(outcome.false_claim_confirmed);
+    EXPECT_NE(outcome.lie_position, outcome.target);
+    EXPECT_EQ(count_true(outcome.liars), f);
+    // The quorum the searcher pays is the honest order statistic for
+    // the liar set the adversary chose.
+    EXPECT_TRUE(value_identical(
+        outcome.confirm_time,
+        byzantine_quorum_time(fleet, outcome.target, outcome.liars, f)));
+  }
+  // The forced quorum ratio can never undercut the plain Theorem-2
+  // forced ratio: lying strictly strengthens the adversary.
+  const GameResult plain = play_theorem2_game(fleet, f, alpha);
+  EXPECT_GE(result.forced_ratio, plain.forced_ratio);
+}
+
+TEST(ByzantineGameTest, DeterministicAcrossThreadCounts) {
+  const int n = 3;
+  const int f = 1;
+  const Real alpha = comfortable_alpha(n, 0.8L);
+  const Fleet fleet =
+      ProportionalAlgorithm(n, f).build_fleet(largest_placement(alpha) * 4);
+  GameOptions serial;
+  serial.threads = 1;
+  const ByzantineGameResult reference =
+      play_byzantine_game(fleet, f, alpha, serial);
+  for (const int threads : {2, 8}) {
+    GameOptions options;
+    options.threads = threads;
+    const ByzantineGameResult candidate =
+        play_byzantine_game(fleet, f, alpha, options);
+    EXPECT_TRUE(
+        value_identical(candidate.forced_ratio, reference.forced_ratio));
+    EXPECT_TRUE(value_identical(candidate.best.target,
+                                reference.best.target));
+    EXPECT_TRUE(value_identical(candidate.best.lie_position,
+                                reference.best.lie_position));
+    ASSERT_EQ(candidate.outcomes.size(), reference.outcomes.size());
+    for (std::size_t i = 0; i < reference.outcomes.size(); ++i) {
+      EXPECT_TRUE(value_identical(candidate.outcomes[i].confirm_time,
+                                  reference.outcomes[i].confirm_time));
+      EXPECT_TRUE(value_identical(candidate.outcomes[i].refute_time,
+                                  reference.outcomes[i].refute_time));
+      EXPECT_EQ(candidate.outcomes[i].liars, reference.outcomes[i].liars);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace linesearch

@@ -24,7 +24,8 @@ bool same_instance(const FuzzInstance& a, const FuzzInstance& b) {
     return false;
   }
   if (a.magnitudes.size() != b.magnitudes.size() ||
-      a.targets.size() != b.targets.size()) {
+      a.targets.size() != b.targets.size() ||
+      a.crash_times.size() != b.crash_times.size()) {
     return false;
   }
   for (std::size_t i = 0; i < a.magnitudes.size(); ++i) {
@@ -32,6 +33,24 @@ bool same_instance(const FuzzInstance& a, const FuzzInstance& b) {
   }
   for (std::size_t i = 0; i < a.targets.size(); ++i) {
     if (!value_identical(a.targets[i], b.targets[i])) return false;
+  }
+  for (std::size_t i = 0; i < a.crash_times.size(); ++i) {
+    if (!value_identical(a.crash_times[i], b.crash_times[i])) return false;
+  }
+  if (a.lies.liar != b.lies.liar ||
+      a.lies.claims.size() != b.lies.claims.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.lies.claims.size(); ++i) {
+    if (a.lies.claims[i].size() != b.lies.claims[i].size()) return false;
+    for (std::size_t k = 0; k < a.lies.claims[i].size(); ++k) {
+      if (!value_identical(a.lies.claims[i][k].time,
+                           b.lies.claims[i][k].time) ||
+          !value_identical(a.lies.claims[i][k].position,
+                           b.lies.claims[i][k].position)) {
+        return false;
+      }
+    }
   }
   return true;
 }
@@ -66,7 +85,7 @@ TEST(Fuzz, SeedsCoverEveryFleetKind) {
   for (std::uint64_t seed = 1; seed <= 64; ++seed) {
     kinds.insert(generate_instance(seed).kind);
   }
-  EXPECT_EQ(kinds.size(), 9u);
+  EXPECT_EQ(kinds.size(), 10u);
 }
 
 TEST(Fuzz, GeneratedInstancesAreValid) {
@@ -88,7 +107,7 @@ TEST(Fuzz, CleanSeedRunsAllOracles) {
   const FuzzInstance instance = generate_instance(42);
   const FuzzOutcome outcome = run_instance(instance);
   EXPECT_TRUE(outcome.ok()) << outcome.describe();
-  EXPECT_EQ(outcome.invariants.size(), 9u);
+  EXPECT_EQ(outcome.invariants.size(), 10u);
   // run_differentials' six engines plus the dense-vs-analytic backend
   // differential (seed 42 maps to a strategy-backed kind).
   EXPECT_EQ(outcome.differentials.size(), 7u);
@@ -182,7 +201,7 @@ TEST(Fuzz, CrashKindRunsTheCrashDifferential) {
     if (instance.kind != FleetKind::kCrashInjected) continue;
     const FuzzOutcome outcome = run_instance(instance);
     EXPECT_TRUE(outcome.ok()) << outcome.describe();
-    EXPECT_EQ(outcome.invariants.size(), 9u);
+    EXPECT_EQ(outcome.invariants.size(), 10u);
     ASSERT_EQ(outcome.differentials.size(), 1u);
     EXPECT_EQ(outcome.differentials[0].name, "crash_injected");
     break;
@@ -233,6 +252,94 @@ TEST(Fuzz, KernelKindCarriesDuplicateTargets) {
     }
   }
   EXPECT_GT(kernel_seeds, 0);
+}
+
+TEST(Fuzz, ByzantineKindCarriesALiePlanAndRunsItsDifferential) {
+  // Byzantine-lies instances carry a per-robot lie schedule sized to the
+  // fleet with at most f liars, lies never alter motion (the fleet is
+  // the plain A(n, f)), and the run swaps the generic engines for the
+  // runtime-vs-analytic quorum race.
+  int byzantine_seeds = 0;
+  for (std::uint64_t seed = 1; seed <= 120; ++seed) {
+    const FuzzInstance instance = generate_instance(seed);
+    if (instance.kind != FleetKind::kByzantineLies) continue;
+    ++byzantine_seeds;
+    EXPECT_EQ(instance.lies.size(), static_cast<std::size_t>(instance.n))
+        << seed;
+    EXPECT_GE(instance.lies.liar_count(), 1) << seed;
+    EXPECT_LE(instance.lies.liar_count(), instance.f) << seed;
+    for (std::size_t robot = 0; robot < instance.lies.size(); ++robot) {
+      if (!instance.lies.liar[robot]) {
+        EXPECT_TRUE(instance.lies.claims[robot].empty()) << seed;
+      }
+      for (const LieEvent& event : instance.lies.claims[robot]) {
+        EXPECT_GT(event.time, 0) << seed;
+        EXPECT_GE(std::fabs(event.position), 1) << seed;
+      }
+    }
+    const Fleet fleet = build_fuzz_fleet(instance);
+    EXPECT_EQ(static_cast<int>(fleet.size()), instance.n) << seed;
+    if (byzantine_seeds == 1) {
+      // Lies never alter motion, so the full generic engine set still
+      // applies — the quorum race rides along as an extra engine.
+      const FuzzOutcome outcome = run_instance(instance);
+      EXPECT_TRUE(outcome.ok()) << outcome.describe();
+      EXPECT_EQ(outcome.invariants.size(), 10u);
+      bool ran_byzantine = false;
+      for (const DifferentialResult& result : outcome.differentials) {
+        if (result.name == "byzantine") ran_byzantine = true;
+      }
+      EXPECT_TRUE(ran_byzantine);
+    }
+  }
+  EXPECT_GT(byzantine_seeds, 0);
+}
+
+TEST(Fuzz, ByzantineKindJsonRecordsTheLieSchedule) {
+  for (std::uint64_t seed = 1;; ++seed) {
+    const FuzzInstance instance = generate_instance(seed);
+    if (instance.kind != FleetKind::kByzantineLies) continue;
+    const FuzzOutcome outcome = run_instance(instance);
+    const std::string json = instance_to_json(instance, outcome);
+    EXPECT_NE(json.find("\"kind\": \"byzantine-lies\""), std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"liars\""), std::string::npos) << json;
+    EXPECT_NE(json.find("\"lie_claims\""), std::string::npos) << json;
+    break;
+  }
+}
+
+TEST(Fuzz, ShrinkerReducesByzantineInstanceToAtMostThreeRobots) {
+  // A corrupted byzantine-lies instance must shrink to a <= 3-robot
+  // lie-schedule repro whose JSON still carries the schedule — the
+  // repro an actual arbitration bug would be reported as.
+  for (std::uint64_t seed = 1;; ++seed) {
+    FuzzInstance instance = generate_instance(seed);
+    if (instance.kind != FleetKind::kByzantineLies) continue;
+    if (instance.n < 4) continue;  // start from a genuinely large case
+    instance.injection = Injection::kConeEscape;
+
+    const ShrinkResult shrunk = shrink_instance(instance);
+    EXPECT_EQ(shrunk.failure, "lemma1_cone_containment");
+    EXPECT_GT(shrunk.accepted_moves, 0);
+    EXPECT_LE(shrunk.instance.n, 3);
+    EXPECT_EQ(shrunk.instance.kind, FleetKind::kByzantineLies);
+    // The lie plan is clamped alongside the fleet.
+    EXPECT_EQ(shrunk.instance.lies.size(),
+              static_cast<std::size_t>(shrunk.instance.n));
+    EXPECT_LE(shrunk.instance.lies.liar_count(), shrunk.instance.f);
+
+    const std::string json = instance_to_json(
+        shrunk.instance, run_instance(shrunk.instance));
+    EXPECT_NE(json.find("\"liars\""), std::string::npos) << json;
+
+    // Replaying the identical start must shrink to the identical
+    // minimum.
+    const ShrinkResult again = shrink_instance(instance);
+    EXPECT_TRUE(same_instance(shrunk.instance, again.instance));
+    EXPECT_EQ(shrunk.accepted_moves, again.accepted_moves);
+    break;
+  }
 }
 
 TEST(Fuzz, ShrinkRequiresAFailingStart) {

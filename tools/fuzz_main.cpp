@@ -46,7 +46,8 @@ int usage(const char* argv0) {
                " [--kind NAME] [--no-shrink] [--json PATH]\n"
                "kinds: proportional, perturbed-beta, custom-cone,"
                " group-doubling,\n       classic-cow-path, uniform-offset,"
-               " analytic-zigzag, crash-injected\n";
+               " analytic-zigzag, crash-injected,\n       kernel-soa,"
+               " byzantine-lies\n";
   return 2;
 }
 
@@ -57,7 +58,8 @@ bool known_kind(const std::string& name) {
        {FleetKind::kProportional, FleetKind::kPerturbedBeta,
         FleetKind::kCustomCone, FleetKind::kGroupDoubling,
         FleetKind::kClassicCowPath, FleetKind::kUniformOffset,
-        FleetKind::kAnalyticZigzag, FleetKind::kCrashInjected}) {
+        FleetKind::kAnalyticZigzag, FleetKind::kCrashInjected,
+        FleetKind::kKernelSoA, FleetKind::kByzantineLies}) {
     if (name == linesearch::verify::kind_name(kind)) return true;
   }
   return false;

@@ -14,7 +14,7 @@
 // determinism check outside the test suite.
 //
 // Usage: stats_main [--workload=dense|analytic|game|runtime|degraded|
-//                      fuzz|all]
+//                      byzantine|fuzz|all]
 //                   [--threads=N] [--json=PATH] [--deterministic-only]
 #include <fstream>
 #include <iostream>
@@ -30,8 +30,10 @@
 #include "eval/cr_eval.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "runtime/arbitration.hpp"
 #include "runtime/supervisor.hpp"
 #include "runtime/world.hpp"
+#include "sim/faults.hpp"
 #include "util/jsonio.hpp"
 #include "util/parallel.hpp"
 #include "verify/fuzz.hpp"
@@ -91,9 +93,24 @@ void run_degraded() {
   (void)degraded_mode_sweep(options);
 }
 
+/// Byzantine quorum pipeline: one lie-placement game round against
+/// A(3, 1) plus one arbitrated run under a seeded lie plan
+/// (runtime/arbitration); populates adversary.lie_placements and the
+/// runtime.claims_* counters.
+void run_byzantine_workload(const int threads) {
+  const Real alpha = comfortable_alpha(3, 0.8L);
+  const Fleet fleet =
+      ProportionalAlgorithm(3, 1).build_fleet(largest_placement(alpha) * 4);
+  GameOptions options;
+  options.threads = threads;
+  (void)play_byzantine_game(fleet, 1, alpha, options);
+  const LiePlan plan = random_lie_plan(2024, 3, {});
+  (void)run_byzantine(3, 1, 64, 5, plan);
+}
+
 int usage() {
   std::cerr << "usage: stats_main [--workload=dense|analytic|game|runtime|"
-               "degraded|fuzz|all]\n"
+               "degraded|byzantine|fuzz|all]\n"
                "                  [--threads=N] [--json=PATH] "
                "[--deterministic-only]\n";
   return 2;
@@ -125,7 +142,8 @@ int main(int argc, char** argv) {
   const bool all = workload == "all";
   if (!all && workload != "dense" && workload != "analytic" &&
       workload != "game" && workload != "runtime" &&
-      workload != "degraded" && workload != "fuzz") {
+      workload != "degraded" && workload != "byzantine" &&
+      workload != "fuzz") {
     return usage();
   }
 
@@ -135,6 +153,7 @@ int main(int argc, char** argv) {
   if (all || workload == "game") run_game(threads);
   if (all || workload == "runtime") run_runtime();
   if (all || workload == "degraded") run_degraded();
+  if (all || workload == "byzantine") run_byzantine_workload(threads);
   if (all || workload == "fuzz") run_fuzz();
 
   std::ofstream file;
