@@ -42,8 +42,10 @@ void sweep(const int n, const int f, std::vector<Series>& all_series) {
     const ProportionalAlgorithm schedule(n, f, beta);
     const Fleet fleet = schedule.build_fleet(800);
     const Real measured = measure_cr(fleet, f, {.window_hi = 8}).cr;
+    std::string gap = "+";
+    gap += fixed(formula - algorithm_cr(n, f), 4);
     table.add_row({fixed(beta, 4), fixed(formula, 5), fixed(measured, 5),
-                   "+" + fixed(formula - algorithm_cr(n, f), 4)});
+                   std::move(gap)});
     closed.x.push_back(beta);
     closed.y.push_back(formula);
     meas.x.push_back(beta);

@@ -29,6 +29,8 @@
 #include "sim/serialize.hpp"
 #include "sim/zigzag.hpp"
 #include "star/search.hpp"
+#include "svc/server.hpp"
+#include "util/cli.hpp"
 #include "util/parallel.hpp"
 
 namespace {
@@ -289,6 +291,24 @@ void BM_ByzantineSweep(benchmark::State& state) {
 }
 BENCHMARK(BM_ByzantineSweep)->Arg(4)->Arg(6)->Unit(benchmark::kMillisecond);
 
+void BM_ServiceQuery(benchmark::State& state) {
+  // One NDJSON request through the in-process wire path (parse ->
+  // canonicalize -> service -> render).  Arg(0) runs with the result LRU
+  // on (steady-state hits), Arg(1) with caching off (every request
+  // re-evaluates) — the gap is what the cache buys per query.
+  const bool no_cache = state.range(0) != 0;
+  svc::QueryServerOptions options;
+  options.service.cache_results = !no_cache;
+  svc::QueryServer server(options);
+  const std::string request =
+      R"({"id": 1, "op": "cr", "n": 5, "f": 2, "window_hi": 16})";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(server.handle_line(request));
+  }
+  state.counters["cache"] = no_cache ? 0 : 1;
+}
+BENCHMARK(BM_ServiceQuery)->Arg(0)->Arg(1);
+
 void BM_AdversarialGame(benchmark::State& state) {
   const int n = 3, f = 1;
   const Real alpha = comfortable_alpha(n, 0.8L);
@@ -319,39 +339,48 @@ int main(int argc, char** argv) {
   bool timings_only = false;
   std::string json_path = "BENCH_perf.json";
   std::string workload;
-  // Strip our flags before google-benchmark sees (and rejects) them.
-  std::vector<char*> args;
-  for (int i = 0; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--timings-only") {
-      timings_only = true;
-    } else if (arg.rfind("--json=", 0) == 0) {
-      json_path = arg.substr(7);
-    } else if (arg.rfind("--workload=", 0) == 0) {
-      workload = arg.substr(11);
-    } else if (arg == "--workload" && i + 1 < argc) {
-      workload = argv[++i];
-    } else {
-      args.push_back(argv[i]);
-    }
+
+  CliParser cli("bench_perf",
+                "microbenchmark the hot kernels and write the "
+                "BENCH_perf.json artifact");
+  cli.add_flag("timings-only", &timings_only,
+               "skip the microbenchmarks' checksum workloads in the JSON "
+               "artifact");
+  cli.add_option("json", &json_path, "PATH",
+                 "artifact output path (default BENCH_perf.json)");
+  cli.add_option("workload", &workload, "NAME",
+                 "narrow the microbenchmark run: byzantine|degraded|service");
+  // google-benchmark owns everything spelled --benchmark_*.
+  cli.add_passthrough_prefix("--benchmark_");
+  if (!cli.parse(argc, argv)) {
+    std::cerr << cli.error() << '\n' << cli.usage();
+    return 2;
   }
+
   // --workload narrows the microbenchmark run to one family; the JSON
   // artifact below still carries every summary object (including the
-  // schema /5 byzantine_sweep rows with worst_gap_to_theory), so a
-  // focused run stays a complete report.
+  // schema /6 svc_load capacity numbers), so a focused run stays a
+  // complete report.
   static std::string filter;
+  std::vector<char*> args;
+  args.push_back(argv[0]);
   if (!workload.empty()) {
     if (workload == "byzantine") {
       filter = "--benchmark_filter=BM_ByzantineSweep";
     } else if (workload == "degraded") {
       filter = "--benchmark_filter=BM_DegradedSweep";
+    } else if (workload == "service") {
+      filter = "--benchmark_filter=BM_ServiceQuery";
     } else {
       std::cerr << "bench_perf: unknown --workload '" << workload
-                << "' (expected byzantine|degraded)\n";
+                << "' (expected byzantine|degraded|service)\n";
       return 1;
     }
     args.push_back(filter.data());
   }
+  // Forward the collected --benchmark_* args unparsed.
+  std::vector<std::string> passthrough = cli.passthrough();
+  for (std::string& arg : passthrough) args.push_back(arg.data());
   int filtered_argc = static_cast<int>(args.size());
 
   if (!timings_only) {

@@ -54,9 +54,11 @@ int main(int argc, char** argv) {
       const Real fraction =
           std::clamp((value - lo) / (hi - lo), Real{0}, Real{1});
       const int width = static_cast<int>(fraction * buckets);
-      return "[" + std::string(static_cast<std::size_t>(width), '#') +
-             std::string(static_cast<std::size_t>(buckets - width), ' ') +
-             "]";
+      std::string row = "[";
+      row.append(static_cast<std::size_t>(width), '#');
+      row.append(static_cast<std::size_t>(buckets - width), ' ');
+      row += "]";
+      return row;
     };
     std::cout << "\nscale [1 .. " << fixed(hi, 2) << "]:\n"
               << "  median " << bar(result.median) << '\n'

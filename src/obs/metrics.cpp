@@ -75,13 +75,15 @@ MetricId Registry::counter(const std::string_view name,
   return register_metric(name, MetricType::kCounter, deterministic, {});
 }
 
-MetricId Registry::gauge(const std::string_view name) {
-  return register_metric(name, MetricType::kGauge, true, {});
+MetricId Registry::gauge(const std::string_view name,
+                         const bool deterministic) {
+  return register_metric(name, MetricType::kGauge, deterministic, {});
 }
 
 MetricId Registry::histogram(const std::string_view name,
-                             std::vector<std::uint64_t> bounds) {
-  return register_metric(name, MetricType::kHistogram, true,
+                             std::vector<std::uint64_t> bounds,
+                             const bool deterministic) {
+  return register_metric(name, MetricType::kHistogram, deterministic,
                          std::move(bounds));
 }
 

@@ -87,13 +87,17 @@ class Registry {
   MetricId counter(std::string_view name, bool deterministic = true);
 
   /// Register (or look up) a gauge (merge = max over all recordings).
-  MetricId gauge(std::string_view name);
+  /// `deterministic = false` marks scheduling-dependent gauges (e.g. the
+  /// service queue-depth high-water mark).
+  MetricId gauge(std::string_view name, bool deterministic = true);
 
   /// Register (or look up) a histogram over fixed inclusive upper bounds
   /// (strictly increasing, non-empty); values above the last bound land
-  /// in the overflow bucket.
+  /// in the overflow bucket.  `deterministic = false` marks wall-clock
+  /// histograms (e.g. the service latency distribution).
   MetricId histogram(std::string_view name,
-                     std::vector<std::uint64_t> bounds);
+                     std::vector<std::uint64_t> bounds,
+                     bool deterministic = true);
 
   /// Hot path: add `delta` to a counter (relaxed, thread-local).
   void add(MetricId id, std::uint64_t delta = 1);

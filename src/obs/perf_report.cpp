@@ -1,9 +1,12 @@
 #include "obs/perf_report.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <limits>
 #include <ostream>
+#include <sstream>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -16,9 +19,11 @@
 #include "eval/cr_eval.hpp"
 #include "eval/exact.hpp"
 #include "eval/kernels.hpp"
+#include "eval/validation.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "runtime/supervisor.hpp"
+#include "svc/server.hpp"
 #include "util/error.hpp"
 #include "util/jsonio.hpp"
 #include "util/parallel.hpp"
@@ -32,6 +37,21 @@ using Clock = std::chrono::steady_clock;
 double millis_since(const Clock::time_point start) {
   return std::chrono::duration<double, std::milli>(Clock::now() - start)
       .count();
+}
+
+double micros_since(const Clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - start)
+      .count();
+}
+
+/// Nearest-rank percentile of a latency sample (values copied: the
+/// caller's insertion order is the arrival order and stays meaningful).
+double percentile(std::vector<double> values, const double p) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  const auto index = static_cast<std::size_t>(
+      p / 100.0 * static_cast<double>(values.size() - 1) + 0.5);
+  return values[std::min(index, values.size() - 1)];
 }
 
 /// The dense (f, window) job list the sweep workloads time: every fault
@@ -295,6 +315,64 @@ void write_perf_report(std::ostream& out, const PerfReportOptions& options) {
     }
   }
 
+  // svc_load: one closed-loop client driving the query service's wire
+  // path (svc/server handle_line — parse, canonicalize, cache, evaluate,
+  // serialize) over the proportional-regime grid.  The cold pass answers
+  // every request against an empty cache; the warm passes replay the
+  // identical request list svc_warm_passes times, so the cold/warm qps
+  // ratio is the cache's end-to-end payoff and the warm p50/p99 bound
+  // the hot-path latency.  Single-threaded by design: a closed loop
+  // (next request only after the previous response) measures service
+  // time, not queueing.
+  std::vector<std::string> svc_requests;
+  {
+    long long id = 0;
+    for (const auto& [n, f] : proportional_regime_pairs(options.svc_n_max)) {
+      std::ostringstream request;
+      request << "{\"id\": " << ++id << ", \"op\": \"cr\", \"n\": " << n
+              << ", \"f\": " << f
+              << ", \"window_hi\": " << options.svc_window_hi
+              << ", \"interior_samples\": 64}";
+      svc_requests.push_back(request.str());
+    }
+  }
+  svc::QueryServer svc_server;
+  std::size_t svc_sink = 0;
+  std::vector<double> svc_warm_usec;
+  svc_warm_usec.reserve(svc_requests.size() *
+                        static_cast<std::size_t>(options.svc_warm_passes));
+
+  const auto svc_cold_start = Clock::now();
+  for (const std::string& request : svc_requests) {
+    svc_sink += svc_server.handle_line(request).size();
+  }
+  const double svc_cold_ms = millis_since(svc_cold_start);
+
+  const auto svc_warm_start = Clock::now();
+  for (int pass = 0; pass < options.svc_warm_passes; ++pass) {
+    for (const std::string& request : svc_requests) {
+      const auto request_start = Clock::now();
+      svc_sink += svc_server.handle_line(request).size();
+      svc_warm_usec.push_back(micros_since(request_start));
+    }
+  }
+  const double svc_warm_ms = millis_since(svc_warm_start);
+
+  const double svc_cold_qps =
+      svc_cold_ms > 0
+          ? static_cast<double>(svc_requests.size()) / (svc_cold_ms / 1e3)
+          : 0;
+  const double svc_warm_qps =
+      svc_warm_ms > 0 ? static_cast<double>(svc_warm_usec.size()) /
+                            (svc_warm_ms / 1e3)
+                      : 0;
+  const svc::QueryService::Stats svc_stats =
+      svc_server.service().stats();
+  const double svc_hit_rate =
+      svc_stats.queries > 0 ? static_cast<double>(svc_stats.cache_hits) /
+                                  static_cast<double>(svc_stats.queries)
+                            : 0;
+
   JsonWriter json(out);
   json.begin_object();
   json.field("schema", kPerfReportSchema);
@@ -328,6 +406,10 @@ void write_perf_report(std::ostream& out, const PerfReportOptions& options) {
            kernel_analytic_fast.cr + kernel_analytic_fast.argmax);
   workload("degraded_sweep", degraded_ms, degraded_checksum);
   workload("byzantine_sweep", byzantine_ms, byzantine_checksum);
+  // The checksum folds the response byte counts: a byte-level change in
+  // the wire format shows up here even when every value is unchanged.
+  workload("svc_load_cold", svc_cold_ms, static_cast<Real>(svc_sink));
+  workload("svc_load_warm", svc_warm_ms, static_cast<Real>(svc_sink));
   json.end_array();
 
   if (!options.timings_only) {
@@ -403,6 +485,23 @@ void write_perf_report(std::ostream& out, const PerfReportOptions& options) {
     json.end_object();
   }
   json.end_array();
+  json.end_object();
+
+  json.key("svc_load").begin_object();
+  json.field("n_max", options.svc_n_max);
+  json.field("window_hi", options.svc_window_hi);
+  json.field("requests", static_cast<int>(svc_requests.size()));
+  json.field("warm_passes", options.svc_warm_passes);
+  json.field("cold_qps", static_cast<Real>(svc_cold_qps));
+  json.field("warm_qps", static_cast<Real>(svc_warm_qps));
+  json.field("warm_speedup",
+             static_cast<Real>(svc_cold_qps > 0 ? svc_warm_qps / svc_cold_qps
+                                                : 0));
+  json.field("warm_p50_usec",
+             static_cast<Real>(percentile(svc_warm_usec, 50)));
+  json.field("warm_p99_usec",
+             static_cast<Real>(percentile(svc_warm_usec, 99)));
+  json.field("hit_rate", static_cast<Real>(svc_hit_rate));
   json.end_object();
 
   if (options.include_metrics) {

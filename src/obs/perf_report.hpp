@@ -38,7 +38,12 @@
 // added the byzantine_sweep workload (eval/byzantine: quorum CR of
 // every regime pair vs the arXiv:1611.08209 closed form) and its
 // summary object; full mode reports worst_gap_to_theory over the
-// feasible diagonal.
+// feasible diagonal.  Schema /6 added the svc_load workloads — a
+// closed-loop client driving the query service's wire path
+// (svc/server handle_line) over the proportional-regime grid, one cold
+// pass against an empty cache and svc_warm_passes hot replays — plus
+// the svc_load summary object (cold/warm qps, the warm speedup, warm
+// p50/p99 latency, and the cache hit rate).
 #pragma once
 
 #include <iosfwd>
@@ -52,8 +57,9 @@ namespace linesearch::obs {
 /// timings-only actually skip the checksum workloads; from /2 when the
 /// degraded-mode supervisor sweep joined the workload list; from /3 when
 /// the SoA kernel_sweep workloads and summary joined it; from /4 when
-/// the Byzantine quorum sweep joined it).
-inline constexpr const char* kPerfReportSchema = "linesearch-bench-perf/5";
+/// the Byzantine quorum sweep joined it; from /5 when the closed-loop
+/// query-service load workload joined it).
+inline constexpr const char* kPerfReportSchema = "linesearch-bench-perf/6";
 
 struct PerfReportOptions {
   /// Skip all checksum-verification work (see header comment).
@@ -76,6 +82,16 @@ struct PerfReportOptions {
   /// Grid size of the Byzantine quorum sweep (regime pairs with
   /// n <= byzantine_n_max; 41 pairs at 12).
   int byzantine_n_max = 6;
+  /// Grid of the closed-loop service-load workload (regime pairs with
+  /// n <= svc_n_max, one wire request each).
+  int svc_n_max = 8;
+  /// Evaluation window of each service-load request.  Wide enough that a
+  /// cold (cache-miss) evaluation dwarfs the wire overhead, so the
+  /// cold/warm qps ratio measures the cache, not JSON parsing.
+  int svc_window_hi = 4096;
+  /// Hot replays of the request list after the cold pass; the warm
+  /// qps / p50 / p99 come from these.
+  int svc_warm_passes = 20;
   /// Embed the obs metric registry (reset + folded over this report).
   bool include_metrics = true;
 };

@@ -1,0 +1,417 @@
+#include "svc/query.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "core/algorithm.hpp"
+#include "core/competitive.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/faults.hpp"
+#include "util/csv.hpp"
+#include "util/error.hpp"
+
+namespace linesearch::svc {
+namespace {
+
+/// Behaviour counters.  svc.queries is deterministic (one per
+/// canonicalized call); the cache/coalescing/backends counters depend on
+/// arrival timing under concurrency, so they carry deterministic = false
+/// and the determinism tests filter them out.
+struct SvcMetrics {
+  obs::MetricId queries;
+  obs::MetricId cache_hits;
+  obs::MetricId coalesced;
+  obs::MetricId evaluations;
+  obs::MetricId backend_builds;
+  obs::MetricId backend_hits;
+
+  static const SvcMetrics& instance() {
+    static const SvcMetrics metrics = [] {
+      obs::Registry& registry = obs::Registry::instance();
+      SvcMetrics m;
+      m.queries = registry.counter("svc.queries");
+      m.cache_hits =
+          registry.counter("svc.cache_hits", /*deterministic=*/false);
+      m.coalesced =
+          registry.counter("svc.coalesced", /*deterministic=*/false);
+      m.evaluations =
+          registry.counter("svc.evaluations", /*deterministic=*/false);
+      m.backend_builds =
+          registry.counter("svc.backend_builds", /*deterministic=*/false);
+      m.backend_hits =
+          registry.counter("svc.backend_hits", /*deterministic=*/false);
+      return m;
+    }();
+    return metrics;
+  }
+};
+
+CrEvalOptions eval_options_of(const CrQuery& query,
+                              const bool require_finite) {
+  CrEvalOptions options;
+  options.window_lo = query.window_lo;
+  options.window_hi = query.window_hi;
+  options.interior_samples = query.interior_samples;
+  options.require_finite = require_finite;
+  return options;
+}
+
+/// Dense extent the crash regime builds to: comfortably past the probe
+/// window so an UNcrashed fleet never leaves a probe undetected (any inf
+/// in a crash result is then attributable to the crashes themselves).
+Real crash_extent(const CrQuery& query) { return 4 * query.window_hi; }
+
+/// The backend registry key: which immutable Fleet this query evaluates
+/// against.  kNone and kByzantine share the unbounded analytic backend
+/// of their (strategy, n, f, beta); kCrash needs the dense build at the
+/// window's extent (truncation interpolates real waypoints).
+std::string backend_key(const CrQuery& canonical) {
+  std::string key = canonical.regime == FaultRegime::kCrash ? "dense|"
+                                                            : "analytic|";
+  key += std::to_string(canonical.n) + '|' + std::to_string(canonical.f) +
+         '|' + encode_real_field(canonical.beta);
+  if (canonical.regime == FaultRegime::kCrash) {
+    key += '|' + encode_real_field(crash_extent(canonical));
+  }
+  return key;
+}
+
+Fleet build_backend(const CrQuery& canonical) {
+  const ProportionalAlgorithm algorithm(canonical.n, canonical.f,
+                                        canonical.beta);
+  if (canonical.regime == FaultRegime::kCrash) {
+    return algorithm.build_fleet(crash_extent(canonical));
+  }
+  return algorithm.build_unbounded_fleet();
+}
+
+/// Measure `canonical` against its (shared or freshly built) backend.
+/// This is the ONE evaluation body both the direct path and the service
+/// run, so caching layers cannot change an answered bit by construction.
+QueryResult evaluate_on_backend(const CrQuery& canonical,
+                                const Fleet& backend) {
+  QueryResult result;
+  switch (canonical.regime) {
+    case FaultRegime::kNone: {
+      const CrEvalResult scan =
+          measure_cr(backend, canonical.f,
+                     eval_options_of(canonical, /*require_finite=*/true));
+      result.cr = scan.cr;
+      result.argmax = scan.argmax;
+      result.cr_positive = scan.cr_positive;
+      result.cr_negative = scan.cr_negative;
+      result.probes = scan.probes;
+      result.undetected_probes = scan.undetected_probes;
+      break;
+    }
+    case FaultRegime::kByzantine: {
+      // The quorum scan at budget 2f — field-identical to
+      // measure_byzantine_cr (eval/byzantine), with the side suprema
+      // preserved.  Infeasible pairs (n < 2f+1) report cr = kInfinity.
+      const CrEvalResult scan =
+          measure_cr(backend, 2 * canonical.f,
+                     eval_options_of(canonical, /*require_finite=*/false));
+      result.feasible = static_cast<int>(backend.size()) >=
+                        2 * canonical.f + 1;
+      result.probes = scan.probes;
+      result.undetected_probes = scan.undetected_probes;
+      result.cr_positive = scan.cr_positive;
+      result.cr_negative = scan.cr_negative;
+      if (result.feasible && scan.undetected_probes == 0) {
+        result.cr = scan.cr;
+        result.argmax = scan.argmax;
+      } else {
+        result.cr = kInfinity;
+        result.argmax = 0;
+      }
+      break;
+    }
+    case FaultRegime::kCrash: {
+      const Fleet truncated =
+          truncate_at_crashes(backend, canonical.crash_times);
+      const CrEvalResult scan =
+          measure_cr(truncated, canonical.f,
+                     eval_options_of(canonical, /*require_finite=*/false));
+      result.cr = scan.cr;
+      result.argmax = scan.argmax;
+      result.cr_positive = scan.cr_positive;
+      result.cr_negative = scan.cr_negative;
+      result.probes = scan.probes;
+      result.undetected_probes = scan.undetected_probes;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+const char* fault_regime_name(const FaultRegime regime) {
+  switch (regime) {
+    case FaultRegime::kNone: return "none";
+    case FaultRegime::kByzantine: return "byzantine";
+    case FaultRegime::kCrash: return "crash";
+  }
+  return "unknown";
+}
+
+FaultRegime fault_regime_from_name(const std::string& name) {
+  if (name == "none") return FaultRegime::kNone;
+  if (name == "byzantine") return FaultRegime::kByzantine;
+  if (name == "crash") return FaultRegime::kCrash;
+  throw PreconditionError("svc: unknown fault regime '" + name +
+                          "' (valid: none, byzantine, crash)");
+}
+
+CrQuery canonicalize_query(CrQuery query) {
+  expects(query.f >= 1, "svc: query needs f >= 1");
+  expects(in_proportional_regime(query.n, query.f),
+          "svc: (n, f) outside the proportional regime f < n < 2f+2");
+  expects(query.window_lo > 0, "svc: window_lo must be positive");
+  expects(query.window_hi >= query.window_lo,
+          "svc: window_hi must be >= window_lo");
+  expects(std::isfinite(query.window_lo) && std::isfinite(query.window_hi),
+          "svc: probe window must be finite");
+  expects(query.interior_samples >= 0,
+          "svc: interior_samples must be >= 0");
+  if (std::isnan(query.beta)) {
+    // Resolve the default so "optimal beta" and "explicit beta*(n, f)"
+    // canonicalize to the same key (and the same shared backend).
+    query.beta = optimal_beta(query.n, query.f);
+  }
+  expects(std::isfinite(query.beta) && query.beta > 1,
+          "svc: beta must be finite and > 1");
+  if (query.regime == FaultRegime::kCrash) {
+    expects(query.crash_times.size() ==
+                static_cast<std::size_t>(query.n),
+            "svc: crash regime needs one crash time per robot "
+            "(kInfinity = healthy)");
+    for (const Real t : query.crash_times) {
+      expects(!std::isnan(t) && t >= 0,
+              "svc: crash times must be >= 0 or kInfinity");
+    }
+  } else {
+    expects(query.crash_times.empty(),
+            "svc: crash_times only apply to the crash regime");
+  }
+  return query;
+}
+
+std::string query_key(const CrQuery& query) {
+  std::string key = fault_regime_name(query.regime);
+  key += '|';
+  key += std::to_string(query.n) + '|' + std::to_string(query.f) + '|' +
+         encode_real_field(query.beta) + '|' +
+         encode_real_field(query.window_lo) + '|' +
+         encode_real_field(query.window_hi) + '|' +
+         std::to_string(query.interior_samples);
+  for (const Real t : query.crash_times) {
+    key += '|';
+    key += encode_real_field(t);
+  }
+  return key;
+}
+
+std::size_t query_shard(const CrQuery& query,
+                        const std::size_t shard_count) {
+  expects(shard_count > 0, "svc: shard_count must be positive");
+  // Deterministic spread over regime pairs: neighbouring grid pairs land
+  // in different shards, every (beta, window) variant of one pair shares
+  // its pair's shard.
+  const std::size_t pair =
+      static_cast<std::size_t>(query.n) * 31u +
+      static_cast<std::size_t>(query.f);
+  return pair % shard_count;
+}
+
+QueryResult evaluate_query_direct(const CrQuery& query) {
+  LS_OBS_SPAN("svc.query.direct");
+  const CrQuery canonical = canonicalize_query(query);
+  const Fleet backend = build_backend(canonical);
+  return evaluate_on_backend(canonical, backend);
+}
+
+QueryService::QueryService(QueryServiceOptions options)
+    : options_(std::move(options)) {
+  expects(options_.shard_count > 0, "svc: shard_count must be positive");
+  expects(options_.shard_capacity > 0,
+          "svc: shard_capacity must be positive");
+  expects(options_.max_backends > 0, "svc: max_backends must be positive");
+  shards_.reserve(options_.shard_count);
+  for (std::size_t i = 0; i < options_.shard_count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::shared_ptr<const Fleet> QueryService::backend_for(
+    const CrQuery& canonical) {
+  const std::string key = backend_key(canonical);
+  const std::lock_guard<std::mutex> lock(backends_mutex_);
+  const auto it = backends_.find(key);
+  if (it != backends_.end()) {
+    obs::count(SvcMetrics::instance().backend_hits);
+    const std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    ++stats_.backend_hits;
+    return it->second;
+  }
+  // Bound the registry: evict the oldest registration.  In-use fleets
+  // stay alive through their shared_ptr; eviction only drops the shared
+  // slot, never an object under a running evaluation.
+  if (backends_.size() >= options_.max_backends) {
+    backends_.erase(backend_order_.front());
+    backend_order_.pop_front();
+  }
+  auto backend = std::make_shared<const Fleet>(build_backend(canonical));
+  backends_.emplace(key, backend);
+  backend_order_.push_back(key);
+  obs::count(SvcMetrics::instance().backend_builds);
+  const std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+  ++stats_.backend_builds;
+  return backend;
+}
+
+QueryResult QueryService::compute(const CrQuery& canonical) {
+  LS_OBS_SPAN("svc.query.compute");
+  const std::shared_ptr<const Fleet> backend = backend_for(canonical);
+  obs::count(SvcMetrics::instance().evaluations);
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.evaluations;
+  }
+  return evaluate_on_backend(canonical, *backend);
+}
+
+bool QueryService::cache_lookup(const std::size_t shard_index,
+                                const std::string& key, QueryResult& out) {
+  Shard& shard = *shards_[shard_index];
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.by_key.find(key);
+  if (it == shard.by_key.end()) return false;
+  // Touch: move to the MRU end.
+  shard.order.splice(shard.order.begin(), shard.order, it->second);
+  out = it->second->second;
+  return true;
+}
+
+void QueryService::cache_store(const std::size_t shard_index,
+                               const std::string& key,
+                               const QueryResult& result) {
+  Shard& shard = *shards_[shard_index];
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.by_key.find(key);
+  if (it != shard.by_key.end()) {
+    // A coalescing race can store the same key twice; both values are
+    // value-identical by the determinism contract, keep the first.
+    shard.order.splice(shard.order.begin(), shard.order, it->second);
+    return;
+  }
+  if (shard.order.size() >= options_.shard_capacity) {
+    shard.by_key.erase(shard.order.back().first);
+    shard.order.pop_back();
+    const std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    ++stats_.evictions;
+  }
+  shard.order.emplace_front(key, result);
+  shard.by_key.emplace(key, shard.order.begin());
+}
+
+QueryResult QueryService::evaluate(const CrQuery& query) {
+  const CrQuery canonical = canonicalize_query(query);
+  const std::string key = query_key(canonical);
+  const std::size_t shard_index =
+      query_shard(canonical, options_.shard_count);
+  obs::count(SvcMetrics::instance().queries);
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.queries;
+  }
+
+  QueryResult cached;
+  if (options_.cache_results && cache_lookup(shard_index, key, cached)) {
+    obs::count(SvcMetrics::instance().cache_hits);
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.cache_hits;
+    return cached;
+  }
+
+  std::shared_ptr<InFlight> flight;
+  bool leader = true;
+  if (options_.coalesce) {
+    const std::lock_guard<std::mutex> lock(inflight_mutex_);
+    const auto it = inflight_.find(key);
+    if (it != inflight_.end()) {
+      flight = it->second;
+      leader = false;
+    } else {
+      flight = std::make_shared<InFlight>();
+      inflight_.emplace(key, flight);
+    }
+  }
+
+  if (!leader) {
+    obs::count(SvcMetrics::instance().coalesced);
+    {
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.coalesced;
+    }
+    std::unique_lock<std::mutex> lock(flight->mutex);
+    flight->done.wait(lock, [&flight] { return flight->finished; });
+    if (flight->failed) throw Error(flight->error);
+    return flight->result;
+  }
+
+  QueryResult result;
+  try {
+    result = compute(canonical);
+  } catch (const std::exception& failure) {
+    if (flight != nullptr) {
+      {
+        const std::lock_guard<std::mutex> lock(inflight_mutex_);
+        inflight_.erase(key);
+      }
+      const std::lock_guard<std::mutex> lock(flight->mutex);
+      flight->failed = true;
+      flight->error = failure.what();
+      flight->finished = true;
+      flight->done.notify_all();
+    }
+    throw;
+  }
+
+  if (options_.cache_results) cache_store(shard_index, key, result);
+  if (flight != nullptr) {
+    {
+      const std::lock_guard<std::mutex> lock(inflight_mutex_);
+      inflight_.erase(key);
+    }
+    const std::lock_guard<std::mutex> lock(flight->mutex);
+    flight->result = result;
+    flight->finished = true;
+    flight->done.notify_all();
+  }
+  return result;
+}
+
+QueryService::Stats QueryService::stats() const {
+  const std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+std::size_t QueryService::backend_count() const {
+  const std::lock_guard<std::mutex> lock(backends_mutex_);
+  return backends_.size();
+}
+
+void QueryService::clear() {
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->order.clear();
+    shard->by_key.clear();
+  }
+  const std::lock_guard<std::mutex> lock(backends_mutex_);
+  backends_.clear();
+  backend_order_.clear();
+}
+
+}  // namespace linesearch::svc

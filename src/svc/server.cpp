@@ -1,0 +1,328 @@
+#include "svc/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <climits>
+#include <condition_variable>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+#include "util/jsonio.hpp"
+#include "util/parallel.hpp"
+
+namespace linesearch::svc {
+namespace {
+
+/// Wire-level counters.  All timing/arrival dependent under concurrency,
+/// hence deterministic = false (the determinism tests filter them out).
+struct WireMetrics {
+  obs::MetricId requests;
+  obs::MetricId rejected;
+  obs::MetricId errors;
+  obs::MetricId queue_depth;
+  obs::MetricId latency;
+
+  static const WireMetrics& instance() {
+    static const WireMetrics metrics = [] {
+      obs::Registry& registry = obs::Registry::instance();
+      WireMetrics m;
+      m.requests =
+          registry.counter("svc.requests", /*deterministic=*/false);
+      m.rejected =
+          registry.counter("svc.rejected", /*deterministic=*/false);
+      m.errors = registry.counter("svc.errors", /*deterministic=*/false);
+      // High-water mark of concurrently evaluating requests.
+      m.queue_depth =
+          registry.gauge("svc.queue_depth", /*deterministic=*/false);
+      // Per-request wall latency in microseconds.
+      m.latency = registry.histogram(
+          "svc.latency_usec",
+          {10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000,
+           50000, 100000, 250000, 1000000},
+          /*deterministic=*/false);
+      return m;
+    }();
+    return metrics;
+  }
+};
+
+/// Poll interval of the accept/read loops: how often the stop flag is
+/// observed while blocked on the socket.
+constexpr int kPollMillis = 100;
+
+Real real_field(const JsonValue& doc, const char* name,
+                const Real fallback) {
+  const JsonValue* found = doc.find(name);
+  return found == nullptr ? fallback : found->as_real();
+}
+
+int int_field(const JsonValue& doc, const char* name, const int fallback) {
+  const JsonValue* found = doc.find(name);
+  if (found == nullptr) return fallback;
+  const long long value = found->as_int();
+  expects(value >= INT_MIN && value <= INT_MAX,
+          std::string("svc: field '") + name + "' out of int range");
+  return static_cast<int>(value);
+}
+
+}  // namespace
+
+WireRequest parse_request(const std::string& line) {
+  const JsonValue doc = parse_json(line);
+  expects(doc.is_object(), "svc: request must be a JSON object");
+  WireRequest request;
+  if (const JsonValue* id = doc.find("id"); id != nullptr) {
+    request.id = id->as_int();
+  }
+  const std::string op = doc.at("op").as_string();
+  expects(op == "cr", "svc: unknown op '" + op + "' (valid: cr)");
+  CrQuery& query = request.query;
+  query.n = int_field(doc, "n", query.n);
+  query.f = int_field(doc, "f", query.f);
+  query.beta = real_field(doc, "beta", query.beta);
+  query.window_lo = real_field(doc, "window_lo", query.window_lo);
+  query.window_hi = real_field(doc, "window_hi", query.window_hi);
+  query.interior_samples =
+      int_field(doc, "interior_samples", query.interior_samples);
+  if (const JsonValue* regime = doc.find("regime"); regime != nullptr) {
+    query.regime = fault_regime_from_name(regime->as_string());
+  }
+  if (const JsonValue* crashes = doc.find("crash_times");
+      crashes != nullptr) {
+    for (const JsonValue& entry : crashes->as_array()) {
+      query.crash_times.push_back(entry.as_real());
+    }
+  }
+  return request;
+}
+
+std::string render_response(const long long id, const QueryResult& result) {
+  std::ostringstream out;
+  JsonWriter json(out, /*compact=*/true);
+  json.begin_object();
+  json.field("id", id);
+  json.field("ok", true);
+  json.field("feasible", result.feasible);
+  json.field("cr", result.cr);
+  json.field("argmax", result.argmax);
+  json.field("cr_positive", result.cr_positive);
+  json.field("cr_negative", result.cr_negative);
+  json.field("probes", result.probes);
+  json.field("undetected_probes", result.undetected_probes);
+  json.end_object();
+  return out.str();
+}
+
+std::string render_error(const long long id, const std::string& message) {
+  std::ostringstream out;
+  JsonWriter json(out, /*compact=*/true);
+  json.begin_object();
+  json.field("id", id);
+  json.field("ok", false);
+  json.field("error", message);
+  json.end_object();
+  return out.str();
+}
+
+QueryServer::QueryServer(QueryServerOptions options)
+    : options_(std::move(options)), service_(options_.service) {
+  // max_inflight == 0 is a valid (degenerate) bound: every request is
+  // over capacity, which is how the backpressure path is tested
+  // deterministically.
+  expects(options_.threads > 0, "svc: threads must be positive");
+}
+
+std::string QueryServer::handle_line(const std::string& line) {
+  const auto start = std::chrono::steady_clock::now();
+  obs::count(WireMetrics::instance().requests);
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.requests;
+  }
+
+  long long id = 0;
+  std::string response;
+  // Admission control: bound concurrent evaluations; excess requests see
+  // an explicit overload error instead of unbounded queueing.
+  const std::size_t depth =
+      inflight_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  obs::gauge_to(WireMetrics::instance().queue_depth, depth);
+  if (depth > options_.max_inflight) {
+    inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    obs::count(WireMetrics::instance().rejected);
+    obs::count(WireMetrics::instance().errors);
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.rejected;
+    ++stats_.errors;
+    return render_error(id, "overloaded");
+  }
+  try {
+    const WireRequest request = parse_request(line);
+    id = request.id;
+    response = render_response(id, service_.evaluate(request.query));
+  } catch (const std::exception& failure) {
+    obs::count(WireMetrics::instance().errors);
+    {
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.errors;
+    }
+    response = render_error(id, failure.what());
+  }
+  inflight_.fetch_sub(1, std::memory_order_acq_rel);
+
+  const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+  obs::observe(WireMetrics::instance().latency,
+               static_cast<std::uint64_t>(micros));
+  return response;
+}
+
+void QueryServer::handle_connection(const int fd) {
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.connections;
+  }
+  std::string buffer;
+  char chunk[4096];
+  bool open = true;
+  while (open) {
+    // Drain every complete line already buffered before blocking again;
+    // responses go back in request order (the lock-step clients the
+    // golden replay uses never see reordering).
+    std::size_t line_start = 0;
+    while (true) {
+      const std::size_t newline = buffer.find('\n', line_start);
+      if (newline == std::string::npos) break;
+      const std::string line =
+          buffer.substr(line_start, newline - line_start);
+      line_start = newline + 1;
+      if (line.empty()) continue;
+      const std::string response = handle_line(line) + '\n';
+      std::size_t written = 0;
+      while (written < response.size()) {
+        const ssize_t sent = ::write(fd, response.data() + written,
+                                     response.size() - written);
+        if (sent < 0) {
+          if (errno == EINTR) continue;
+          open = false;
+          break;
+        }
+        written += static_cast<std::size_t>(sent);
+      }
+      if (!open) break;
+    }
+    buffer.erase(0, line_start);
+    if (!open) break;
+
+    // Graceful drain: once stop() is requested, finish what is buffered
+    // (done above) and close rather than waiting for more input.
+    if (stopping()) break;
+
+    pollfd poller{};
+    poller.fd = fd;
+    poller.events = POLLIN;
+    const int ready = ::poll(&poller, 1, kPollMillis);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;  // timeout: re-check the stop flag
+    const ssize_t got = ::read(fd, chunk, sizeof chunk);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (got == 0) break;  // EOF
+    buffer.append(chunk, static_cast<std::size_t>(got));
+  }
+  ::close(fd);
+}
+
+void QueryServer::serve(const std::string& socket_path) {
+  expects(!socket_path.empty(), "svc: socket path must be non-empty");
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  expects(socket_path.size() < sizeof address.sun_path,
+          "svc: socket path too long for AF_UNIX");
+  std::memcpy(address.sun_path, socket_path.c_str(),
+              socket_path.size() + 1);
+
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) {
+    throw Error(std::string("svc: socket() failed: ") +
+                std::strerror(errno));
+  }
+  ::unlink(socket_path.c_str());  // replace a stale socket file
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&address),
+             sizeof address) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(listener);
+    throw Error("svc: bind(" + socket_path + ") failed: " + reason);
+  }
+  if (::listen(listener, 64) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(listener);
+    ::unlink(socket_path.c_str());
+    throw Error("svc: listen() failed: " + reason);
+  }
+
+  ThreadPool& pool = ThreadPool::global();
+  pool.ensure_workers(options_.threads);
+
+  // Outstanding connection tasks, for the shutdown drain.
+  std::mutex drain_mutex;
+  std::condition_variable drained;
+  std::size_t active = 0;
+
+  while (!stopping()) {
+    pollfd poller{};
+    poller.fd = listener;
+    poller.events = POLLIN;
+    const int ready = ::poll(&poller, 1, kPollMillis);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;  // timeout: re-check the stop flag
+    const int fd = ::accept(listener, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;
+    }
+    {
+      const std::lock_guard<std::mutex> lock(drain_mutex);
+      ++active;
+    }
+    pool.submit([this, fd, &drain_mutex, &drained, &active] {
+      handle_connection(fd);
+      const std::lock_guard<std::mutex> lock(drain_mutex);
+      --active;
+      drained.notify_all();
+    });
+  }
+
+  // Drain: no new connections, in-flight ones finish their buffered
+  // requests (handle_connection observes the stop flag).
+  ::close(listener);
+  {
+    std::unique_lock<std::mutex> lock(drain_mutex);
+    drained.wait(lock, [&active] { return active == 0; });
+  }
+  ::unlink(socket_path.c_str());
+}
+
+QueryServer::Stats QueryServer::stats() const {
+  const std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+}  // namespace linesearch::svc

@@ -1,0 +1,125 @@
+// svc/server.hpp — the always-on CR evaluation service.
+//
+// Wire format (docs/service.md): newline-delimited JSON over a local
+// AF_UNIX socket.  One request per line, one response per line, in
+// request order per connection.  Requests name a query:
+//   {"id": 7, "op": "cr", "n": 5, "f": 2, "beta": "nan",
+//    "window_lo": 1, "window_hi": 64, "interior_samples": 4,
+//    "regime": "none", "crash_times": []}
+// with every field except "op" optional (CrQuery defaults apply; "id"
+// defaults to 0 and is echoed verbatim).  Responses carry ONLY values —
+// no timestamps, no cache provenance — so a replayed golden corpus is
+// byte-identical regardless of cache state, thread count, or arrival
+// order:
+//   {"id":7,"ok":true,"feasible":true,"cr":...,"argmax":...,
+//    "cr_positive":...,"cr_negative":...,"probes":...,
+//    "undetected_probes":...}
+// Failures (parse errors, precondition violations, overload rejection)
+// respond {"id":...,"ok":false,"error":"..."} and keep the connection
+// open; non-finite Reals ride the shared codec strings ("inf"/"nan").
+//
+// `QueryServer::handle_line` is the whole protocol as a pure-ish
+// function (it only touches the QueryService): the in-process round trip
+// used by verify::diff_server_vs_library and the golden-fixture tests.
+// `serve()` adds the socket machinery: a poll-based accept loop,
+// per-connection tasks on util/parallel's global pool, bounded admission
+// with backpressure (excess requests get an "overloaded" error response
+// rather than unbounded queueing), and graceful drain on stop() — the
+// listener closes first, in-flight connections finish their current
+// line, then serve() returns.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "svc/query.hpp"
+
+namespace linesearch::svc {
+
+/// Server tuning knobs on top of QueryServiceOptions.
+struct QueryServerOptions {
+  QueryServiceOptions service;
+  /// Admission bound: requests evaluating concurrently across all
+  /// connections.  At the bound, new requests are REJECTED with an
+  /// "overloaded" error response (backpressure the client can see)
+  /// instead of queueing without limit.
+  std::size_t max_inflight = 64;
+  /// Worker threads the socket server asks the global pool to provide.
+  int threads = 4;
+};
+
+/// The service: one QueryService behind a newline-delimited JSON
+/// protocol.  handle_line is thread-safe; serve()/stop() manage the
+/// socket lifecycle.
+class QueryServer {
+ public:
+  explicit QueryServer(QueryServerOptions options = {});
+
+  /// Process one request line, producing one response line (no trailing
+  /// newline — the caller owns framing).  Never throws: every failure
+  /// becomes an {"ok":false} response.  Thread-safe.
+  [[nodiscard]] std::string handle_line(const std::string& line);
+
+  /// Bind `socket_path` (AF_UNIX; an existing stale socket file is
+  /// replaced) and serve until stop().  Connections are handled on the
+  /// global thread pool; the caller's thread runs the accept loop.
+  /// Returns after the drain: listener closed, every accepted
+  /// connection finished.  Throws Error on socket setup failure.
+  void serve(const std::string& socket_path);
+
+  /// Request a graceful drain of serve() (safe from a signal-triggered
+  /// thread or the process signal mask — it only flips an atomic).
+  void stop() noexcept { stopping_.store(true, std::memory_order_relaxed); }
+
+  [[nodiscard]] bool stopping() const noexcept {
+    return stopping_.load(std::memory_order_relaxed);
+  }
+
+  /// The underlying query service (stats/backends inspection in tests).
+  [[nodiscard]] QueryService& service() { return service_; }
+
+  /// Monotonic wire-level counters (also exported as svc.* obs metrics).
+  struct Stats {
+    std::uint64_t requests = 0;  ///< lines received (including malformed)
+    std::uint64_t errors = 0;    ///< {"ok":false} responses
+    std::uint64_t rejected = 0;  ///< overload rejections (subset of errors)
+    std::uint64_t connections = 0;  ///< sockets accepted
+  };
+  [[nodiscard]] Stats stats() const;
+
+  const QueryServerOptions& options() const { return options_; }
+
+ private:
+  /// One connection: read lines, answer lines, until EOF or stop().
+  void handle_connection(int fd);
+
+  QueryServerOptions options_;
+  QueryService service_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::size_t> inflight_{0};
+
+  mutable std::mutex stats_mutex_;
+  Stats stats_;
+};
+
+/// Parse one wire request into (id, query).  Throws PreconditionError on
+/// malformed JSON, unknown ops, or invalid query fields — handle_line
+/// catches and turns that into an error response; exposed so tests can
+/// exercise the codec directly.
+struct WireRequest {
+  long long id = 0;
+  CrQuery query;
+};
+[[nodiscard]] WireRequest parse_request(const std::string& line);
+
+/// Render the success / error response lines (compact JSON, no trailing
+/// newline).  These two functions define the byte format the golden
+/// fixtures pin.
+[[nodiscard]] std::string render_response(long long id,
+                                          const QueryResult& result);
+[[nodiscard]] std::string render_error(long long id,
+                                       const std::string& message);
+
+}  // namespace linesearch::svc

@@ -26,6 +26,7 @@
 #include "eval/cr_eval.hpp"
 #include "sim/faults.hpp"
 #include "sim/fleet.hpp"
+#include "svc/query.hpp"
 #include "util/real.hpp"
 
 namespace linesearch {
@@ -131,6 +132,17 @@ struct DifferentialOptions {
 [[nodiscard]] DifferentialResult diff_byzantine(
     int n, int f, Real extent, const LiePlan& plan,
     const std::vector<Real>& targets, const CrEvalOptions& eval);
+
+/// Service wire round trip vs the library: render `query` as one wire
+/// request line, run it through an in-process QueryServer (svc/server
+/// handle_line — the full parse -> canonicalize -> cache -> evaluate ->
+/// serialize path), parse the response, and demand every QueryResult
+/// field value_identical to evaluate_query_direct on the same query.
+/// The line is sent twice; the warm (cached) response must be
+/// byte-identical to the cold one — the service determinism contract at
+/// the wire level.
+[[nodiscard]] DifferentialResult diff_server_vs_library(
+    const svc::CrQuery& query);
 
 /// SoA kernel path (eval/kernels measure_cr_kernel) vs the scalar
 /// reference scan driven by direct Fleet queries: every CrEvalResult

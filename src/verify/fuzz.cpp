@@ -32,6 +32,7 @@ const char* kind_name(const FleetKind kind) noexcept {
     case FleetKind::kCrashInjected: return "crash-injected";
     case FleetKind::kKernelSoA: return "kernel-soa";
     case FleetKind::kByzantineLies: return "byzantine-lies";
+    case FleetKind::kServerQuery: return "server-query";
   }
   return "unknown";
 }
@@ -53,7 +54,8 @@ bool regime_kind(const FleetKind kind) noexcept {
          kind == FleetKind::kAnalyticZigzag ||
          kind == FleetKind::kCrashInjected ||
          kind == FleetKind::kKernelSoA ||
-         kind == FleetKind::kByzantineLies;
+         kind == FleetKind::kByzantineLies ||
+         kind == FleetKind::kServerQuery;
 }
 
 bool cone_kind(const FleetKind kind) noexcept {
@@ -89,8 +91,9 @@ std::unique_ptr<SearchStrategy> make_fuzz_strategy(
       return std::make_unique<UniformOffsetZigzag>(instance.n, instance.f);
     case FleetKind::kCustomCone:
     case FleetKind::kCrashInjected:
-      // A crashed fleet is not a SearchStrategy; diff_crash_injected is
-      // its dedicated differential instead.
+    case FleetKind::kServerQuery:
+      // A crashed fleet is not a SearchStrategy, and the server-query
+      // kind has its own dedicated differential (server vs library).
       return nullptr;
   }
   return nullptr;
@@ -138,7 +141,7 @@ FuzzInstance generate_instance(const std::uint64_t seed) {
   SplitMix64 rng(seed);
   FuzzInstance instance;
   instance.seed = seed;
-  instance.kind = static_cast<FleetKind>(rng.uniform_int(0, 9));
+  instance.kind = static_cast<FleetKind>(rng.uniform_int(0, 10));
 
   switch (instance.kind) {
     case FleetKind::kProportional:
@@ -147,7 +150,8 @@ FuzzInstance generate_instance(const std::uint64_t seed) {
     case FleetKind::kAnalyticZigzag:
     case FleetKind::kCrashInjected:
     case FleetKind::kKernelSoA:
-    case FleetKind::kByzantineLies: {
+    case FleetKind::kByzantineLies:
+    case FleetKind::kServerQuery: {
       instance.f = rng.uniform_int(1, 4);
       instance.n = rng.uniform_int(instance.f + 1, 2 * instance.f + 1);
       instance.beta =
@@ -194,7 +198,17 @@ FuzzInstance generate_instance(const std::uint64_t seed) {
     instance.extent = std::max(instance.extent, kappa2 * Real{1.5L});
   }
 
-  if (instance.kind == FleetKind::kCrashInjected) {
+  if (instance.kind == FleetKind::kServerQuery) {
+    // Which fault regime the wire query runs under; a crash query
+    // carries its schedule in crash_times (generated below, like
+    // kCrashInjected's).
+    instance.query_regime =
+        static_cast<svc::FaultRegime>(rng.uniform_int(0, 2));
+  }
+
+  if (instance.kind == FleetKind::kCrashInjected ||
+      (instance.kind == FleetKind::kServerQuery &&
+       instance.query_regime == svc::FaultRegime::kCrash)) {
     // Per-robot crash schedule; both draws happen unconditionally so
     // the stream shape is fixed regardless of which robots crash.
     for (int robot = 0; robot < instance.n; ++robot) {
@@ -285,6 +299,17 @@ Fleet build_fuzz_fleet(const FuzzInstance& instance) {
             .build_unbounded_fleet();
       case FleetKind::kCrashInjected:
         return build_crash_injected_fleet(instance);
+      case FleetKind::kServerQuery: {
+        // The fleet the wire query evaluates against: plain A(n, f) for
+        // the none/byzantine regimes (lies never alter motion), the
+        // analytic truncation for a crash query.
+        Fleet built = ProportionalAlgorithm(instance.n, instance.f)
+                          .build_fleet(instance.extent);
+        if (instance.query_regime == svc::FaultRegime::kCrash) {
+          return truncate_at_crashes(built, instance.crash_times);
+        }
+        return built;
+      }
     }
     throw PreconditionError("build_fuzz_fleet: unknown kind");
   }();
@@ -339,6 +364,16 @@ Subject make_subject(const FuzzInstance& instance, const Fleet& fleet) {
       // cone claim stands — every truncated leg stays inside C_beta.
       subject.coverage_extent = 0;
       break;
+    case FleetKind::kServerQuery:
+      if (instance.query_regime == svc::FaultRegime::kCrash) {
+        // Same reasoning as kCrashInjected: truncated legs stay in
+        // C_beta but coverage is withdrawn.
+        subject.coverage_extent = 0;
+      } else {
+        subject.proportional = true;
+        subject.theory_cr = algorithm_cr(instance.n, instance.f);
+      }
+      break;
     case FleetKind::kCustomCone:
     case FleetKind::kUniformOffset:
       break;
@@ -386,9 +421,11 @@ FuzzOutcome run_instance(const FuzzInstance& instance) {
     options.samples = 16;
     options.extra_positions = instance.targets;
     // A crashed fleet can leave probes undetected forever; the adversary
-    // game assumes a fully covering fleet, so it sits this kind out.
+    // game assumes a fully covering fleet, so crash kinds sit it out.
     options.run_theorem2_game =
-        instance.kind != FleetKind::kCrashInjected;
+        instance.kind != FleetKind::kCrashInjected &&
+        !(instance.kind == FleetKind::kServerQuery &&
+          instance.query_regime == svc::FaultRegime::kCrash);
     outcome.invariants = run_invariants(subject, options);
 
     if (instance.injection == Injection::kNone) {
@@ -403,6 +440,19 @@ FuzzOutcome run_instance(const FuzzInstance& instance) {
           outcome.differentials.push_back(diff_crash_injected(
               instance.n, instance.f, instance.extent,
               instance.crash_times, eval));
+        } else if (instance.kind == FleetKind::kServerQuery) {
+          // Wire round trip vs the library on this instance's query.
+          svc::CrQuery query;
+          query.n = instance.n;
+          query.f = instance.f;
+          query.beta = instance.beta;
+          query.window_lo = instance.window_lo;
+          query.window_hi = instance.window_hi;
+          query.regime = instance.query_regime;
+          if (instance.query_regime == svc::FaultRegime::kCrash) {
+            query.crash_times = instance.crash_times;
+          }
+          outcome.differentials.push_back(diff_server_vs_library(query));
         } else {
           outcome.differentials =
               run_differentials(fleet, instance.f, eval, instance.targets);
@@ -454,7 +504,8 @@ void clamp_faults(FuzzInstance& instance) {
       instance.kind == FleetKind::kUniformOffset ||
       instance.kind == FleetKind::kAnalyticZigzag ||
       instance.kind == FleetKind::kCrashInjected ||
-      instance.kind == FleetKind::kByzantineLies) {
+      instance.kind == FleetKind::kByzantineLies ||
+      instance.kind == FleetKind::kServerQuery) {
     instance.beta = optimal_beta(instance.n, instance.f);
   }
   while (instance.crash_times.size() >
@@ -567,7 +618,18 @@ std::vector<FuzzInstance> shrink_moves(const FuzzInstance& instance) {
     if (changed) moves.push_back(std::move(rounder));
   }
 
-  if (instance.kind == FleetKind::kCrashInjected) {
+  if (instance.kind == FleetKind::kServerQuery &&
+      instance.query_regime != svc::FaultRegime::kNone) {
+    // Simplest first: the plain regime (drops the crash schedule too).
+    FuzzInstance plain = instance;
+    plain.query_regime = svc::FaultRegime::kNone;
+    plain.crash_times.clear();
+    moves.push_back(std::move(plain));
+  }
+
+  if (instance.kind == FleetKind::kCrashInjected ||
+      (instance.kind == FleetKind::kServerQuery &&
+       instance.query_regime == svc::FaultRegime::kCrash)) {
     bool any_crash = false;
     for (const Real t : instance.crash_times) {
       if (std::isfinite(t)) any_crash = true;
@@ -679,6 +741,8 @@ std::string instance_to_json(const FuzzInstance& instance,
   json.field("seed", std::to_string(instance.seed));
   json.field("kind", kind_name(instance.kind));
   json.field("injection", injection_name(instance.injection));
+  json.field("query_regime",
+             svc::fault_regime_name(instance.query_regime));
   json.field("n", instance.n);
   json.field("f", instance.f);
   json.field("beta", instance.beta);

@@ -25,6 +25,7 @@
 
 #include "sim/faults.hpp"
 #include "sim/fleet.hpp"
+#include "svc/query.hpp"
 #include "util/real.hpp"
 #include "util/rng.hpp"
 #include "verify/differential.hpp"
@@ -58,6 +59,10 @@ enum class FleetKind {
   /// targets, and the byzantine_bounds oracle checks the 1611.08209
   /// bounds on the same fleet.
   kByzantineLies,
+  /// A random CrQuery (plain / byzantine / crash regime) round-tripped
+  /// through the in-process query service wire (svc/server) and raced
+  /// against evaluate_query_direct (diff_server_vs_library).
+  kServerQuery,
 };
 
 /// Deliberate corruptions for testing the oracles and the shrinker.
@@ -94,6 +99,9 @@ struct FuzzInstance {
   /// kByzantineLies only: per-robot lie schedule (size n when present;
   /// liar_count <= f always).
   LiePlan lies;
+  /// kServerQuery only: which fault regime the wire query runs under
+  /// (kCrash reuses crash_times as the query's schedule).
+  svc::FaultRegime query_regime = svc::FaultRegime::kNone;
 };
 
 /// Everything one run produced.

@@ -90,8 +90,11 @@ TEST_P(ExactToolingGrid, SerializationPreservesTheCertifiedCr) {
 
 std::string grid_name(
     const ::testing::TestParamInfo<std::pair<int, int>>& info) {
-  return "n" + std::to_string(info.param.first) + "_f" +
-         std::to_string(info.param.second);
+  std::string name = "n";
+  name += std::to_string(info.param.first);
+  name += "_f";
+  name += std::to_string(info.param.second);
+  return name;
 }
 
 INSTANTIATE_TEST_SUITE_P(Regime, ExactToolingGrid,

@@ -62,8 +62,11 @@ TEST_P(RegimePairProperty, InitialTurnsAreDistinctAndSmall) {
 
 std::string pair_name(
     const ::testing::TestParamInfo<std::pair<int, int>>& info) {
-  return "n" + std::to_string(info.param.first) + "_f" +
-         std::to_string(info.param.second);
+  std::string name = "n";
+  name += std::to_string(info.param.first);
+  name += "_f";
+  name += std::to_string(info.param.second);
+  return name;
 }
 
 INSTANTIATE_TEST_SUITE_P(Grid, RegimePairProperty,

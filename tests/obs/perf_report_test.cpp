@@ -24,6 +24,9 @@ PerfReportOptions fast_options(const bool timings_only) {
   options.degraded_n_max = 4;
   options.degraded_max_crashes = 1;
   options.byzantine_n_max = 4;
+  options.svc_n_max = 4;
+  options.svc_window_hi = 16;
+  options.svc_warm_passes = 2;
   return options;
 }
 
@@ -39,7 +42,7 @@ bool contains(const std::string& haystack, const std::string& needle) {
 
 TEST(ObsPerfReport, FullModeEmitsChecksumsAndIdentityFlags) {
   const std::string json = report(fast_options(/*timings_only=*/false));
-  EXPECT_TRUE(contains(json, "\"schema\": \"linesearch-bench-perf/5\""));
+  EXPECT_TRUE(contains(json, "\"schema\": \"linesearch-bench-perf/6\""));
   EXPECT_TRUE(contains(json, "\"timings_only\": false"));
   for (const char* name :
        {"dense_cr_sweep_serial", "dense_cr_sweep_parallel",
@@ -47,7 +50,7 @@ TEST(ObsPerfReport, FullModeEmitsChecksumsAndIdentityFlags) {
         "analytic_sweep_analytic", "kernel_sweep_scalar",
         "kernel_sweep_kernel", "kernel_sweep_analytic_scalar",
         "kernel_sweep_analytic_kernel", "degraded_sweep",
-        "byzantine_sweep"}) {
+        "byzantine_sweep", "svc_load_cold", "svc_load_warm"}) {
     EXPECT_TRUE(contains(json, std::string("\"name\": \"") + name + "\""))
         << name;
   }
@@ -71,12 +74,20 @@ TEST(ObsPerfReport, FullModeEmitsChecksumsAndIdentityFlags) {
   // The byzantine sweep reports the regime rows and the feasible count.
   EXPECT_TRUE(contains(json, "\"byzantine_sweep\""));
   EXPECT_TRUE(contains(json, "\"feasible_rows\""));
+  // The svc_load summary carries the closed-loop capacity numbers.
+  EXPECT_TRUE(contains(json, "\"svc_load\""));
+  EXPECT_TRUE(contains(json, "\"cold_qps\""));
+  EXPECT_TRUE(contains(json, "\"warm_qps\""));
+  EXPECT_TRUE(contains(json, "\"warm_speedup\""));
+  EXPECT_TRUE(contains(json, "\"warm_p50_usec\""));
+  EXPECT_TRUE(contains(json, "\"warm_p99_usec\""));
+  EXPECT_TRUE(contains(json, "\"hit_rate\""));
   EXPECT_TRUE(contains(json, "\"metrics\""));
 }
 
 TEST(ObsPerfReport, TimingsOnlySkipsChecksumWork) {
   const std::string json = report(fast_options(/*timings_only=*/true));
-  EXPECT_TRUE(contains(json, "\"schema\": \"linesearch-bench-perf/5\""));
+  EXPECT_TRUE(contains(json, "\"schema\": \"linesearch-bench-perf/6\""));
   EXPECT_TRUE(contains(json, "\"timings_only\": true"));
   for (const char* name :
        {"dense_cr_sweep_serial", "dense_cr_sweep_parallel",
@@ -84,7 +95,7 @@ TEST(ObsPerfReport, TimingsOnlySkipsChecksumWork) {
         "analytic_sweep_analytic", "kernel_sweep_scalar",
         "kernel_sweep_kernel", "kernel_sweep_analytic_scalar",
         "kernel_sweep_analytic_kernel", "degraded_sweep",
-        "byzantine_sweep"}) {
+        "byzantine_sweep", "svc_load_cold", "svc_load_warm"}) {
     EXPECT_TRUE(contains(json, std::string("\"name\": \"") + name + "\""))
         << name;
   }
@@ -105,6 +116,7 @@ TEST(ObsPerfReport, TimingsOnlySkipsChecksumWork) {
   EXPECT_TRUE(contains(json, "\"recovered_rows\""));
   EXPECT_TRUE(contains(json, "\"feasible_rows\""));
   EXPECT_TRUE(contains(json, "\"simd_compiled\""));
+  EXPECT_TRUE(contains(json, "\"warm_qps\""));
   EXPECT_TRUE(contains(json, "\"metrics\""));
 }
 

@@ -1,0 +1,268 @@
+// svc/server: the NDJSON wire protocol, the golden request/response
+// corpus, and the socket lifecycle (serve / connect / drain).  The
+// golden fixture pins the response BYTES for a corpus spanning all
+// three fault regimes — regenerate deliberately with
+//
+//   LS_SVC_GOLDEN_REGEN=1 tests/svc_test --gtest_filter='SvcGolden*'
+//
+// Responses carry only values (no timestamps, no cache provenance), so
+// the replay must be byte-identical on every machine, cache state, and
+// thread count.
+#include "svc/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/error.hpp"
+#include "verify/invariants.hpp"
+
+namespace linesearch {
+namespace svc {
+namespace {
+
+using verify::value_identical;
+
+TEST(WireRequestParse, AppliesDefaultsAndOverrides) {
+  const WireRequest defaults = parse_request(R"({"op": "cr"})");
+  EXPECT_EQ(defaults.id, 0);
+  EXPECT_EQ(defaults.query.n, 2);
+  EXPECT_EQ(defaults.query.f, 1);
+  EXPECT_TRUE(std::isnan(defaults.query.beta));
+  EXPECT_EQ(defaults.query.regime, FaultRegime::kNone);
+
+  const WireRequest full = parse_request(
+      R"({"id": 7, "op": "cr", "n": 5, "f": 2, "beta": 2.5,)"
+      R"( "window_lo": 2, "window_hi": 32, "interior_samples": 3,)"
+      R"( "regime": "byzantine"})");
+  EXPECT_EQ(full.id, 7);
+  EXPECT_EQ(full.query.n, 5);
+  EXPECT_EQ(full.query.f, 2);
+  EXPECT_TRUE(value_identical(full.query.beta, 2.5L));
+  EXPECT_TRUE(value_identical(full.query.window_hi, 32.0L));
+  EXPECT_EQ(full.query.interior_samples, 3);
+  EXPECT_EQ(full.query.regime, FaultRegime::kByzantine);
+
+  const WireRequest crash = parse_request(
+      R"({"op": "cr", "n": 3, "f": 1, "regime": "crash",)"
+      R"( "crash_times": [2.0, "inf", "inf"]})");
+  EXPECT_EQ(crash.query.regime, FaultRegime::kCrash);
+  ASSERT_EQ(crash.query.crash_times.size(), 3u);
+  EXPECT_TRUE(std::isinf(crash.query.crash_times[1]));
+}
+
+TEST(WireRequestParse, RejectsMalformedInput) {
+  EXPECT_THROW((void)parse_request("not json"), PreconditionError);
+  EXPECT_THROW((void)parse_request(R"({"n": 3})"), PreconditionError);
+  EXPECT_THROW((void)parse_request(R"({"op": "shutdown"})"),
+               PreconditionError);
+  EXPECT_THROW((void)parse_request(R"({"op": "cr", "regime": "weird"})"),
+               PreconditionError);
+}
+
+TEST(QueryServerHandleLine, MatchesTheDirectPath) {
+  QueryServer server;
+  const std::string request =
+      R"({"id": 3, "op": "cr", "n": 5, "f": 2, "window_hi": 16})";
+  const std::string response = server.handle_line(request);
+  CrQuery query;
+  query.n = 5;
+  query.f = 2;
+  query.window_hi = 16;
+  EXPECT_EQ(response, render_response(3, evaluate_query_direct(query)));
+  // The warm (cached) pass must be byte-identical — the wire-level
+  // determinism contract.
+  EXPECT_EQ(server.handle_line(request), response);
+  EXPECT_GT(server.service().stats().cache_hits, 0u);
+}
+
+TEST(QueryServerHandleLine, ErrorsNeverThrowAndNameTheProblem) {
+  QueryServer server;
+  const std::string malformed = server.handle_line("garbage");
+  EXPECT_NE(malformed.find("\"ok\":false"), std::string::npos) << malformed;
+  const std::string invalid =
+      server.handle_line(R"({"id": 9, "op": "cr", "n": 4, "f": 1})");
+  EXPECT_NE(invalid.find("\"id\":9"), std::string::npos) << invalid;
+  EXPECT_NE(invalid.find("\"ok\":false"), std::string::npos) << invalid;
+  EXPECT_EQ(server.stats().errors, 2u);
+  EXPECT_EQ(server.stats().requests, 2u);
+}
+
+TEST(QueryServerHandleLine, RejectsAtTheAdmissionBound) {
+  QueryServerOptions options;
+  options.max_inflight = 0;  // every request is over the bound
+  QueryServer server(options);
+  const std::string response =
+      server.handle_line(R"({"op": "cr", "n": 3, "f": 1})");
+  EXPECT_NE(response.find("overloaded"), std::string::npos) << response;
+  EXPECT_EQ(server.stats().rejected, 1u);
+}
+
+/// The golden corpus: one request per line, spanning defaults, explicit
+/// beta, both infeasible and feasible Byzantine queries (the infeasible
+/// one pins the non-finite codec on the wire), a crash schedule, and a
+/// canonicalization error.
+std::vector<std::string> golden_requests() {
+  return {
+      R"({"id": 1, "op": "cr"})",
+      R"({"id": 2, "op": "cr", "n": 5, "f": 2, "window_hi": 16})",
+      R"({"id": 3, "op": "cr", "n": 5, "f": 2, "beta": 2.5, "window_hi": 16})",
+      R"({"id": 4, "op": "cr", "n": 5, "f": 2, "regime": "byzantine", "window_hi": 16})",
+      R"({"id": 5, "op": "cr", "n": 4, "f": 2, "regime": "byzantine", "window_hi": 16})",
+      R"({"id": 6, "op": "cr", "n": 3, "f": 1, "regime": "crash", "crash_times": [2.0, "inf", "inf"], "window_hi": 16})",
+      R"({"id": 7, "op": "cr", "n": 4, "f": 1})",
+  };
+}
+
+std::string serialize_golden(const std::vector<std::string>& requests,
+                             const std::vector<std::string>& responses) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    out << requests[i] << '\n' << responses[i] << '\n';
+  }
+  return out.str();
+}
+
+TEST(SvcGoldenWire, CorpusReplayIsByteIdentical) {
+  const std::vector<std::string> requests = golden_requests();
+  QueryServer server;
+  std::vector<std::string> responses;
+  responses.reserve(requests.size());
+  for (const std::string& request : requests) {
+    responses.push_back(server.handle_line(request));
+  }
+  // A second, warm replay through the SAME server must not change a
+  // byte, and a fresh server must agree with the warm one.
+  QueryServer fresh;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(server.handle_line(requests[i]), responses[i]) << requests[i];
+    EXPECT_EQ(fresh.handle_line(requests[i]), responses[i]) << requests[i];
+  }
+  const std::string actual = serialize_golden(requests, responses);
+
+  const std::string path = LS_SVC_GOLDEN_FIXTURE;
+  if (std::getenv("LS_SVC_GOLDEN_REGEN") != nullptr) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing fixture " << path
+                         << " — regenerate with LS_SVC_GOLDEN_REGEN=1";
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  EXPECT_EQ(contents.str(), actual)
+      << "wire responses diverged from the committed corpus; if the "
+         "change is intended, regenerate with LS_SVC_GOLDEN_REGEN=1";
+}
+
+/// Minimal blocking NDJSON client for the socket tests.
+class WireClient {
+ public:
+  explicit WireClient(const std::string& path) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) return;
+    sockaddr_un address{};
+    address.sun_family = AF_UNIX;
+    std::strncpy(address.sun_path, path.c_str(),
+                 sizeof(address.sun_path) - 1);
+    // The server binds asynchronously; retry briefly.
+    for (int attempt = 0; attempt < 100; ++attempt) {
+      if (::connect(fd_, reinterpret_cast<const sockaddr*>(&address),
+                    sizeof(address)) == 0) {
+        connected_ = true;
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+  ~WireClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  [[nodiscard]] bool connected() const { return connected_; }
+
+  [[nodiscard]] std::string round_trip(const std::string& line) {
+    const std::string framed = line + "\n";
+    std::size_t sent = 0;
+    while (sent < framed.size()) {
+      const ssize_t wrote =
+          ::write(fd_, framed.data() + sent, framed.size() - sent);
+      if (wrote <= 0) return "";
+      sent += static_cast<std::size_t>(wrote);
+    }
+    std::string response;
+    char byte = 0;
+    while (::read(fd_, &byte, 1) == 1) {
+      if (byte == '\n') return response;
+      response.push_back(byte);
+    }
+    return response;
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+};
+
+TEST(QueryServerSocket, ServesAndDrainsCleanly) {
+  const std::string path = "/tmp/ls_svc_test_" +
+                           std::to_string(::getpid()) + ".sock";
+  QueryServerOptions options;
+  options.threads = 2;
+  QueryServer server(options);
+  std::thread accept_loop([&server, &path] { server.serve(path); });
+
+  {
+    WireClient client(path);
+    ASSERT_TRUE(client.connected()) << "server never bound " << path;
+    const std::string request =
+        R"({"id": 11, "op": "cr", "n": 3, "f": 1, "window_hi": 8})";
+    const std::string over_socket = client.round_trip(request);
+    // The socket path and the in-process path are the same bytes.
+    QueryServer reference;
+    EXPECT_EQ(over_socket, reference.handle_line(request));
+    // Errors keep the connection open.
+    const std::string error = client.round_trip("garbage");
+    EXPECT_NE(error.find("\"ok\":false"), std::string::npos) << error;
+    const std::string again = client.round_trip(request);
+    EXPECT_EQ(again, over_socket);
+  }
+
+  server.stop();
+  accept_loop.join();
+  EXPECT_GE(server.stats().connections, 1u);
+  EXPECT_EQ(server.stats().requests, 3u);
+  // Drain removed the socket file.
+  std::ifstream gone(path);
+  EXPECT_FALSE(gone.good());
+}
+
+TEST(QueryServerSocket, StopWithoutConnectionsReturnsPromptly) {
+  const std::string path = "/tmp/ls_svc_idle_" +
+                           std::to_string(::getpid()) + ".sock";
+  QueryServer server;
+  std::thread accept_loop([&server, &path] { server.serve(path); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  server.stop();
+  accept_loop.join();
+  EXPECT_EQ(server.stats().connections, 0u);
+}
+
+}  // namespace
+}  // namespace svc
+}  // namespace linesearch

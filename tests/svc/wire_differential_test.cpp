@@ -1,0 +1,63 @@
+// The service acceptance grid: verify::diff_server_vs_library must hold
+// — every QueryResult field value_identical between the wire round trip
+// and evaluate_query_direct, with a byte-identical warm replay — on all
+// 41 proportional regime pairs with n <= 12, under every fault regime
+// (plain, byzantine, and a crash schedule).  This is the 8th
+// differential engine's full-grid certification; the fuzzer samples the
+// same engine on random queries.
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "eval/validation.hpp"
+#include "svc/query.hpp"
+#include "util/real.hpp"
+#include "verify/differential.hpp"
+
+namespace linesearch {
+namespace {
+
+svc::CrQuery grid_query(const int n, const int f,
+                        const svc::FaultRegime regime) {
+  svc::CrQuery query;
+  query.n = n;
+  query.f = f;
+  query.window_hi = 16;
+  query.regime = regime;
+  if (regime == svc::FaultRegime::kCrash) {
+    // Deterministic schedule: robot 0 crashes mid-window, the rest stay
+    // healthy — detectable everywhere, so the CR stays finite.
+    query.crash_times.assign(static_cast<std::size_t>(n), kInfinity);
+    query.crash_times[0] = 3.0L;
+  }
+  return query;
+}
+
+void run_grid(const svc::FaultRegime regime) {
+  const std::vector<std::pair<int, int>> pairs =
+      proportional_regime_pairs(12);
+  ASSERT_EQ(pairs.size(), 41u);
+  for (const auto& [n, f] : pairs) {
+    const verify::DifferentialResult result =
+        verify::diff_server_vs_library(grid_query(n, f, regime));
+    EXPECT_TRUE(result.ok())
+        << "n=" << n << " f=" << f << ": " << result.message;
+    EXPECT_TRUE(result.mismatches.empty()) << "n=" << n << " f=" << f;
+  }
+}
+
+TEST(SvcAcceptanceGrid, PlainRegimeAllPairs) {
+  run_grid(svc::FaultRegime::kNone);
+}
+
+TEST(SvcAcceptanceGrid, ByzantineRegimeAllPairs) {
+  run_grid(svc::FaultRegime::kByzantine);
+}
+
+TEST(SvcAcceptanceGrid, CrashRegimeAllPairs) {
+  run_grid(svc::FaultRegime::kCrash);
+}
+
+}  // namespace
+}  // namespace linesearch

@@ -1,12 +1,15 @@
-// Streaming JSON writer, including the non-finite Real codec.
+// Streaming JSON writer + recursive-descent parser, including the
+// lossless non-finite Real codec (CR = inf must survive the wire).
 #include "util/jsonio.hpp"
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <functional>
 #include <sstream>
 
 #include "util/csv.hpp"
+#include "util/error.hpp"
 #include "util/real.hpp"
 
 namespace linesearch {
@@ -100,6 +103,128 @@ TEST(JsonWriter, NestedStructuresAndEmptyContainers) {
   EXPECT_NE(text.find("\"empty_array\": []"), std::string::npos) << text;
   EXPECT_NE(text.find("\"empty_object\": {}"), std::string::npos);
   EXPECT_NE(text.find("\"i\": 1"), std::string::npos);
+}
+
+TEST(JsonWriter, CompactModeEmitsOneLineWithoutWhitespace) {
+  std::ostringstream out;
+  JsonWriter json(out, /*compact=*/true);
+  json.begin_object();
+  json.field("op", "cr");
+  json.field("n", 5);
+  json.key("xs").begin_array();
+  json.value(Real{1.0L});
+  json.value(kInfinity);
+  json.end_array();
+  json.end_object();
+  EXPECT_EQ(out.str(), R"json({"op":"cr","n":5,"xs":[1,"inf"]})json");
+  // The wire framing contract: no newline anywhere inside the document.
+  EXPECT_EQ(out.str().find('\n'), std::string::npos);
+}
+
+TEST(JsonParser, ParsesScalarsArraysAndObjectsInOrder) {
+  const JsonValue doc = parse_json(
+      R"json({"name": "A(5,2)", "n": 5, "ok": true, "none": null,)json"
+      R"json( "xs": [1, 2.5, -3e2]})json");
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.at("name").as_string(), "A(5,2)");
+  EXPECT_EQ(doc.at("n").as_int(), 5);
+  EXPECT_EQ(doc.at("n").as_uint64(), 5u);
+  EXPECT_TRUE(doc.at("ok").as_bool());
+  EXPECT_TRUE(doc.at("none").is_null());
+  const auto& xs = doc.at("xs").as_array();
+  ASSERT_EQ(xs.size(), 3u);
+  EXPECT_EQ(xs[0].as_real(), 1.0L);
+  EXPECT_EQ(xs[1].as_real(), 2.5L);
+  EXPECT_EQ(xs[2].as_real(), -300.0L);
+  // Key order is source order — fixture replay depends on it.
+  EXPECT_EQ(doc.as_object().front().first, "name");
+  EXPECT_EQ(doc.find("missing"), nullptr);
+  EXPECT_THROW((void)doc.at("missing"), PreconditionError);
+}
+
+TEST(JsonParser, NonFiniteRealsRoundTripLosslessly) {
+  // The regression this pins: CR = inf (undetected half-line) written by
+  // JsonWriter must come back as the same non-finite Real, not a string
+  // error and not a clipped finite value.
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.begin_object();
+  json.field("cr", kInfinity);
+  json.field("neg", -kInfinity);
+  json.field("gap", kNaN);
+  json.field("finite", Real{0.1L + 0.2L});
+  json.end_object();
+
+  const JsonValue doc = parse_json(out.str());
+  EXPECT_TRUE(std::isinf(doc.at("cr").as_real()));
+  EXPECT_GT(doc.at("cr").as_real(), 0.0L);
+  EXPECT_TRUE(std::isinf(doc.at("neg").as_real()));
+  EXPECT_LT(doc.at("neg").as_real(), 0.0L);
+  EXPECT_TRUE(std::isnan(doc.at("gap").as_real()));
+  // Finite values round-trip bit-exactly through the 21-digit codec.
+  EXPECT_EQ(doc.at("finite").as_real(), 0.1L + 0.2L);
+}
+
+TEST(JsonParser, DecodesEscapesAndRejectsMalformedInput) {
+  const JsonValue doc = parse_json(R"({"s": "a\"b\\c\ndA"})");
+  EXPECT_EQ(doc.at("s").as_string(), "a\"b\\c\nd\x41");
+
+  EXPECT_THROW((void)parse_json(""), PreconditionError);
+  EXPECT_THROW((void)parse_json("{"), PreconditionError);
+  EXPECT_THROW((void)parse_json("[1,]"), PreconditionError);
+  EXPECT_THROW((void)parse_json("{\"a\" 1}"), PreconditionError);
+  EXPECT_THROW((void)parse_json("tru"), PreconditionError);
+  EXPECT_THROW((void)parse_json("1 2"), PreconditionError);
+  EXPECT_THROW((void)parse_json("\"unterminated"), PreconditionError);
+  EXPECT_THROW((void)parse_json("01x"), PreconditionError);
+}
+
+TEST(JsonParser, BoundsNestingDepth) {
+  std::string deep;
+  for (std::size_t i = 0; i < kMaxJsonDepth + 1; ++i) deep += '[';
+  for (std::size_t i = 0; i < kMaxJsonDepth + 1; ++i) deep += ']';
+  EXPECT_THROW((void)parse_json(deep), PreconditionError);
+  // One level under the cap parses fine.
+  std::string ok;
+  for (std::size_t i = 0; i < kMaxJsonDepth; ++i) ok += '[';
+  for (std::size_t i = 0; i < kMaxJsonDepth; ++i) ok += ']';
+  EXPECT_TRUE(parse_json(ok).is_array());
+}
+
+TEST(JsonParser, WriterOutputReparsesToSameStructure) {
+  // Emit the shape the service wire uses, parse it back, and re-emit:
+  // both serializations must be byte-identical (the golden-fixture
+  // replay contract).
+  const auto render = [](const JsonValue* doc) {
+    std::ostringstream out;
+    JsonWriter json(out);
+    if (doc == nullptr) {
+      json.begin_object();
+      json.field("id", 7);
+      json.field("cr", kInfinity);
+      json.key("probes").begin_array();
+      json.value(Real{1.0L});
+      json.value(Real{9.5L});
+      json.end_array();
+      json.field("ok", true);
+      json.end_object();
+    } else {
+      json.begin_object();
+      json.field("id", static_cast<int>(doc->at("id").as_int()));
+      json.field("cr", doc->at("cr").as_real());
+      json.key("probes").begin_array();
+      for (const JsonValue& probe : doc->at("probes").as_array()) {
+        json.value(probe.as_real());
+      }
+      json.end_array();
+      json.field("ok", doc->at("ok").as_bool());
+      json.end_object();
+    }
+    return out.str();
+  };
+  const std::string first = render(nullptr);
+  const JsonValue doc = parse_json(first);
+  EXPECT_EQ(render(&doc), first);
 }
 
 }  // namespace

@@ -14,7 +14,8 @@ namespace {
 
 bool same_instance(const FuzzInstance& a, const FuzzInstance& b) {
   if (a.seed != b.seed || a.kind != b.kind || a.injection != b.injection ||
-      a.n != b.n || a.f != b.f || a.mirrored != b.mirrored) {
+      a.n != b.n || a.f != b.f || a.mirrored != b.mirrored ||
+      a.query_regime != b.query_regime) {
     return false;
   }
   if (!value_identical(a.beta, b.beta) ||
@@ -85,7 +86,7 @@ TEST(Fuzz, SeedsCoverEveryFleetKind) {
   for (std::uint64_t seed = 1; seed <= 64; ++seed) {
     kinds.insert(generate_instance(seed).kind);
   }
-  EXPECT_EQ(kinds.size(), 10u);
+  EXPECT_EQ(kinds.size(), 11u);
 }
 
 TEST(Fuzz, GeneratedInstancesAreValid) {
@@ -108,9 +109,10 @@ TEST(Fuzz, CleanSeedRunsAllOracles) {
   const FuzzOutcome outcome = run_instance(instance);
   EXPECT_TRUE(outcome.ok()) << outcome.describe();
   EXPECT_EQ(outcome.invariants.size(), 10u);
-  // run_differentials' six engines plus the dense-vs-analytic backend
-  // differential (seed 42 maps to a strategy-backed kind).
-  EXPECT_EQ(outcome.differentials.size(), 7u);
+  // run_differentials' six engines plus the byzantine quorum race plus
+  // the dense-vs-analytic backend differential (seed 42 maps to the
+  // strategy-backed byzantine-lies kind).
+  EXPECT_EQ(outcome.differentials.size(), 8u);
   EXPECT_EQ(outcome.primary_failure(), "");
 }
 
@@ -338,6 +340,50 @@ TEST(Fuzz, ShrinkerReducesByzantineInstanceToAtMostThreeRobots) {
     const ShrinkResult again = shrink_instance(instance);
     EXPECT_TRUE(same_instance(shrunk.instance, again.instance));
     EXPECT_EQ(shrunk.accepted_moves, again.accepted_moves);
+    break;
+  }
+}
+
+TEST(Fuzz, ServerQueryKindCoversEveryRegimeAndRunsTheWireDifferential) {
+  // Server-query instances swap the generic engine set for the wire
+  // round trip (diff_server_vs_library); crash-regime queries carry a
+  // full per-robot schedule, and across the 120-seed corpus all three
+  // fault regimes must appear.
+  std::set<svc::FaultRegime> regimes;
+  int server_seeds = 0;
+  for (std::uint64_t seed = 1; seed <= 120; ++seed) {
+    const FuzzInstance instance = generate_instance(seed);
+    if (instance.kind != FleetKind::kServerQuery) continue;
+    ++server_seeds;
+    regimes.insert(instance.query_regime);
+    if (instance.query_regime == svc::FaultRegime::kCrash) {
+      EXPECT_EQ(instance.crash_times.size(),
+                static_cast<std::size_t>(instance.n))
+          << seed;
+    } else {
+      EXPECT_TRUE(instance.crash_times.empty()) << seed;
+    }
+    if (server_seeds == 1) {
+      const FuzzOutcome outcome = run_instance(instance);
+      EXPECT_TRUE(outcome.ok()) << outcome.describe();
+      EXPECT_EQ(outcome.invariants.size(), 10u);
+      ASSERT_EQ(outcome.differentials.size(), 1u);
+      EXPECT_EQ(outcome.differentials[0].name, "server_vs_library");
+    }
+  }
+  EXPECT_GT(server_seeds, 0);
+  EXPECT_EQ(regimes.size(), 3u);
+}
+
+TEST(Fuzz, ServerQueryKindJsonRecordsTheRegime) {
+  for (std::uint64_t seed = 1;; ++seed) {
+    const FuzzInstance instance = generate_instance(seed);
+    if (instance.kind != FleetKind::kServerQuery) continue;
+    const FuzzOutcome outcome = run_instance(instance);
+    const std::string json = instance_to_json(instance, outcome);
+    EXPECT_NE(json.find("\"kind\": \"server-query\""), std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"query_regime\""), std::string::npos) << json;
     break;
   }
 }

@@ -18,11 +18,11 @@
 // shrinking are deterministic, so `fuzz_main --seed S [--inject ...]`
 // reconstructs the identical minimal instance.
 #include <cstdint>
-#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
 
+#include "util/cli.hpp"
 #include "verify/fuzz.hpp"
 
 namespace {
@@ -40,17 +40,6 @@ struct CliOptions {
   std::string json_path;
 };
 
-int usage(const char* argv0) {
-  std::cerr << "usage: " << argv0
-            << " [--seed S] [--count N] [--inject cone-escape]"
-               " [--kind NAME] [--no-shrink] [--json PATH]\n"
-               "kinds: proportional, perturbed-beta, custom-cone,"
-               " group-doubling,\n       classic-cow-path, uniform-offset,"
-               " analytic-zigzag, crash-injected,\n       kernel-soa,"
-               " byzantine-lies\n";
-  return 2;
-}
-
 /// True when `name` is a kind_name the generator can produce.
 bool known_kind(const std::string& name) {
   using linesearch::verify::FleetKind;
@@ -59,48 +48,11 @@ bool known_kind(const std::string& name) {
         FleetKind::kCustomCone, FleetKind::kGroupDoubling,
         FleetKind::kClassicCowPath, FleetKind::kUniformOffset,
         FleetKind::kAnalyticZigzag, FleetKind::kCrashInjected,
-        FleetKind::kKernelSoA, FleetKind::kByzantineLies}) {
+        FleetKind::kKernelSoA, FleetKind::kByzantineLies,
+        FleetKind::kServerQuery}) {
     if (name == linesearch::verify::kind_name(kind)) return true;
   }
   return false;
-}
-
-bool parse_args(const int argc, const char* const* argv, CliOptions& cli) {
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    const auto next_value = [&]() -> const char* {
-      return i + 1 < argc ? argv[++i] : nullptr;
-    };
-    if (arg == "--seed") {
-      const char* value = next_value();
-      if (value == nullptr) return false;
-      cli.seed = std::strtoull(value, nullptr, 10);
-    } else if (arg == "--count") {
-      const char* value = next_value();
-      if (value == nullptr) return false;
-      cli.count = std::atoi(value);
-      if (cli.count < 1) return false;
-    } else if (arg == "--inject") {
-      const char* value = next_value();
-      if (value == nullptr || std::string(value) != "cone-escape") {
-        return false;
-      }
-      cli.injection = Injection::kConeEscape;
-    } else if (arg == "--kind") {
-      const char* value = next_value();
-      if (value == nullptr || !known_kind(value)) return false;
-      cli.kind = value;
-    } else if (arg == "--no-shrink") {
-      cli.shrink = false;
-    } else if (arg == "--json") {
-      const char* value = next_value();
-      if (value == nullptr) return false;
-      cli.json_path = value;
-    } else {
-      return false;
-    }
-  }
-  return true;
 }
 
 /// Run one seed; on failure print (and optionally shrink) the repro.
@@ -135,7 +87,45 @@ bool run_seed(const std::uint64_t seed, const CliOptions& cli) {
 
 int main(const int argc, const char* const* argv) {
   CliOptions cli;
-  if (!parse_args(argc, argv, cli)) return usage(argv[0]);
+  std::string inject;
+  bool no_shrink = false;
+  linesearch::CliParser parser(
+      "fuzz_main", "run the verify fuzzer (deterministic seeds; exit 1 "
+                   "prints the minimal repro JSON)");
+  parser.add_option("seed", &cli.seed, "S", "first seed (default 1)");
+  parser.add_option("count", &cli.count, "N",
+                    "number of instances to run (default 1)", 1);
+  parser.add_option("inject", &inject, "FAULT",
+                    "corrupt each instance first (cone-escape)");
+  parser.add_option("kind", &cli.kind, "NAME",
+                    "only run seeds of one fleet kind (see verify/fuzz)");
+  parser.add_flag("no-shrink", &no_shrink,
+                  "print the raw failing instance without shrinking");
+  parser.add_option("json", &cli.json_path, "PATH",
+                    "also write the repro record here");
+  if (!parser.parse(argc, argv)) {
+    std::cerr << parser.error() << '\n' << parser.usage();
+    return 2;
+  }
+  cli.shrink = !no_shrink;
+  if (!inject.empty()) {
+    if (inject != "cone-escape") {
+      std::cerr << "fuzz_main: unknown --inject '" << inject
+                << "' (valid: cone-escape)\n"
+                << parser.usage();
+      return 2;
+    }
+    cli.injection = Injection::kConeEscape;
+  }
+  if (!cli.kind.empty() && !known_kind(cli.kind)) {
+    std::cerr << "fuzz_main: unknown --kind '" << cli.kind
+              << "' (valid: proportional, perturbed-beta, custom-cone, "
+                 "group-doubling, classic-cow-path, uniform-offset, "
+                 "analytic-zigzag, crash-injected, kernel-soa, "
+                 "byzantine-lies, server-query)\n"
+              << parser.usage();
+    return 2;
+  }
 
   int failures = 0;
   int ran = 0;

@@ -1,0 +1,103 @@
+// tools/serve_main — the always-on CR evaluation service binary.
+//
+//   serve_main --socket /tmp/linesearch.sock
+//
+// listens on a local AF_UNIX socket and answers newline-delimited JSON
+// CR queries (docs/service.md) until SIGTERM/SIGINT, then drains
+// gracefully: the listener closes, in-flight connections finish their
+// buffered requests, and the process exits 0 after printing the final
+// svc.* stats to stderr.  All responses carry only values, so replaying
+// a request corpus against any instance (any thread count, any cache
+// configuration) yields byte-identical bytes — CI's server-smoke job
+// does exactly that.
+#include <csignal>
+#include <iostream>
+#include <string>
+
+#include "svc/server.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+linesearch::svc::QueryServer* g_server = nullptr;
+
+extern "C" void handle_signal(int) {
+  if (g_server != nullptr) g_server->stop();  // async-signal-safe: atomic flip
+}
+
+}  // namespace
+
+int main(const int argc, const char* const* argv) {
+  using linesearch::CliParser;
+  using linesearch::svc::QueryServer;
+  using linesearch::svc::QueryServerOptions;
+
+  std::string socket_path;
+  int threads = 4;
+  int max_inflight = 64;
+  int shard_count = 8;
+  int shard_capacity = 128;
+  bool no_cache = false;
+  bool no_coalesce = false;
+
+  CliParser cli("serve_main",
+                "serve CR queries over a local socket (NDJSON; see "
+                "docs/service.md)");
+  cli.add_option("socket", &socket_path, "PATH",
+                 "AF_UNIX socket path to listen on (required)");
+  cli.add_option("threads", &threads, "N",
+                 "connection worker threads (default 4)", 1);
+  cli.add_option("max-inflight", &max_inflight, "N",
+                 "admission bound before overload rejection (default 64)",
+                 1);
+  cli.add_option("shards", &shard_count, "N",
+                 "result-LRU shard count (default 8)", 1);
+  cli.add_option("shard-capacity", &shard_capacity, "N",
+                 "LRU entries per shard (default 128)", 1);
+  cli.add_flag("no-cache", &no_cache, "disable the result LRU");
+  cli.add_flag("no-coalesce", &no_coalesce,
+               "disable in-flight query coalescing");
+  if (!cli.parse(argc, argv)) {
+    std::cerr << cli.error() << '\n' << cli.usage();
+    return 2;
+  }
+  if (socket_path.empty()) {
+    std::cerr << "serve_main: --socket is required\n" << cli.usage();
+    return 2;
+  }
+
+  QueryServerOptions options;
+  options.threads = threads;
+  options.max_inflight = static_cast<std::size_t>(max_inflight);
+  options.service.cache_results = !no_cache;
+  options.service.coalesce = !no_coalesce;
+  options.service.shard_count = static_cast<std::size_t>(shard_count);
+  options.service.shard_capacity =
+      static_cast<std::size_t>(shard_capacity);
+
+  QueryServer server(options);
+  g_server = &server;
+  std::signal(SIGTERM, handle_signal);
+  std::signal(SIGINT, handle_signal);
+  // A client vanishing mid-write must not kill the server.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  std::cerr << "serve_main: listening on " << socket_path << '\n';
+  try {
+    server.serve(socket_path);
+  } catch (const linesearch::Error& failure) {
+    std::cerr << "serve_main: " << failure.what() << '\n';
+    return 1;
+  }
+
+  const QueryServer::Stats wire = server.stats();
+  const linesearch::svc::QueryService::Stats svc = server.service().stats();
+  std::cerr << "serve_main: drained; connections=" << wire.connections
+            << " requests=" << wire.requests << " errors=" << wire.errors
+            << " rejected=" << wire.rejected
+            << " cache_hits=" << svc.cache_hits
+            << " coalesced=" << svc.coalesced
+            << " evaluations=" << svc.evaluations << '\n';
+  return 0;
+}

@@ -14,7 +14,7 @@
 // determinism check outside the test suite.
 //
 // Usage: stats_main [--workload=dense|analytic|game|runtime|degraded|
-//                      byzantine|fuzz|all]
+//                      byzantine|service|fuzz|all]
 //                   [--threads=N] [--json=PATH] [--deterministic-only]
 #include <fstream>
 #include <iostream>
@@ -28,12 +28,15 @@
 #include "core/lower_bound.hpp"
 #include "eval/batch.hpp"
 #include "eval/cr_eval.hpp"
+#include "eval/validation.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "runtime/arbitration.hpp"
 #include "runtime/supervisor.hpp"
 #include "runtime/world.hpp"
 #include "sim/faults.hpp"
+#include "svc/query.hpp"
+#include "util/cli.hpp"
 #include "util/jsonio.hpp"
 #include "util/parallel.hpp"
 #include "verify/fuzz.hpp"
@@ -108,43 +111,57 @@ void run_byzantine_workload(const int threads) {
   (void)run_byzantine(3, 1, 64, 5, plan);
 }
 
-int usage() {
-  std::cerr << "usage: stats_main [--workload=dense|analytic|game|runtime|"
-               "degraded|byzantine|fuzz|all]\n"
-               "                  [--threads=N] [--json=PATH] "
-               "[--deterministic-only]\n";
-  return 2;
+/// The stateless query layer over the n <= 6 regime grid: one cold pass
+/// (backend builds + evaluations) and one warm pass (cache hits);
+/// populates the svc.* counters.
+void run_service() {
+  svc::QueryService service;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const auto& [n, f] : proportional_regime_pairs(6)) {
+      svc::CrQuery query;
+      query.n = n;
+      query.f = f;
+      query.window_hi = 32;
+      (void)service.evaluate(query);
+    }
+  }
 }
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(const int argc, const char* const* argv) {
   std::string workload = "all";
   std::string json_path;  // empty: stdout
   int threads = 0;
   bool deterministic_only = false;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg.rfind("--workload=", 0) == 0) {
-      workload = arg.substr(11);
-    } else if (arg.rfind("--threads=", 0) == 0) {
-      threads = std::stoi(arg.substr(10));
-    } else if (arg.rfind("--json=", 0) == 0) {
-      json_path = arg.substr(7);
-    } else if (arg == "--deterministic-only") {
-      deterministic_only = true;
-    } else {
-      return usage();
-    }
+  CliParser cli("stats_main",
+                "run instrumented workloads and dump the obs metric "
+                "registry as JSON");
+  cli.add_option("workload", &workload, "NAME",
+                 "dense|analytic|game|runtime|degraded|byzantine|service|"
+                 "fuzz|all (default all)");
+  cli.add_option("threads", &threads, "N",
+                 "worker threads (0 = LINESEARCH_THREADS / hardware)");
+  cli.add_option("json", &json_path, "PATH",
+                 "write the report here instead of stdout");
+  cli.add_flag("deterministic-only", &deterministic_only,
+               "drop wall-clock (non-deterministic) metrics");
+  if (!cli.parse(argc, argv)) {
+    std::cerr << cli.error() << '\n' << cli.usage();
+    return 2;
   }
 
   const bool all = workload == "all";
   if (!all && workload != "dense" && workload != "analytic" &&
       workload != "game" && workload != "runtime" &&
       workload != "degraded" && workload != "byzantine" &&
-      workload != "fuzz") {
-    return usage();
+      workload != "service" && workload != "fuzz") {
+    std::cerr << "stats_main: unknown --workload '" << workload
+              << "' (valid: dense, analytic, game, runtime, degraded, "
+                 "byzantine, service, fuzz, all)\n"
+              << cli.usage();
+    return 2;
   }
 
   obs::Registry::instance().reset();
@@ -154,6 +171,7 @@ int main(int argc, char** argv) {
   if (all || workload == "runtime") run_runtime();
   if (all || workload == "degraded") run_degraded();
   if (all || workload == "byzantine") run_byzantine_workload(threads);
+  if (all || workload == "service") run_service();
   if (all || workload == "fuzz") run_fuzz();
 
   std::ofstream file;
