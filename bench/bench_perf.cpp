@@ -20,6 +20,7 @@
 #include "eval/byzantine.hpp"
 #include "eval/cr_eval.hpp"
 #include "eval/exact.hpp"
+#include "eval/expectation.hpp"
 #include "eval/kernels.hpp"
 #include "eval/visit_cache.hpp"
 #include "obs/perf_report.hpp"
@@ -291,6 +292,24 @@ void BM_ByzantineSweep(benchmark::State& state) {
 }
 BENCHMARK(BM_ByzantineSweep)->Arg(4)->Arg(6)->Unit(benchmark::kMillisecond);
 
+void BM_ProbabilisticSweep(benchmark::State& state) {
+  // The exact expected-CR engine over the regime grid times a p grid
+  // (the perf report's probabilistic_sweep workload; also reachable
+  // alone via --workload probabilistic).  Every row here is a
+  // closed-form geometric-ladder summation — no Monte Carlo.
+  ExpectationSweepOptions options;
+  options.n_max = static_cast<int>(state.range(0));
+  options.p_count = 3;
+  options.p_max = 0.4L;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(expectation_sweep(options));
+  }
+}
+BENCHMARK(BM_ProbabilisticSweep)
+    ->Arg(4)
+    ->Arg(6)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_ServiceQuery(benchmark::State& state) {
   // One NDJSON request through the in-process wire path (parse ->
   // canonicalize -> service -> render).  Arg(0) runs with the result LRU
@@ -348,8 +367,10 @@ int main(int argc, char** argv) {
                "artifact");
   cli.add_option("json", &json_path, "PATH",
                  "artifact output path (default BENCH_perf.json)");
-  cli.add_option("workload", &workload, "NAME",
-                 "narrow the microbenchmark run: byzantine|degraded|service");
+  cli.add_option(
+      "workload", &workload, "NAME",
+      "narrow the microbenchmark run: "
+      "byzantine|degraded|service|probabilistic");
   // google-benchmark owns everything spelled --benchmark_*.
   cli.add_passthrough_prefix("--benchmark_");
   if (!cli.parse(argc, argv)) {
@@ -371,9 +392,11 @@ int main(int argc, char** argv) {
       filter = "--benchmark_filter=BM_DegradedSweep";
     } else if (workload == "service") {
       filter = "--benchmark_filter=BM_ServiceQuery";
+    } else if (workload == "probabilistic") {
+      filter = "--benchmark_filter=BM_ProbabilisticSweep";
     } else {
       std::cerr << "bench_perf: unknown --workload '" << workload
-                << "' (expected byzantine|degraded|service)\n";
+                << "' (expected byzantine|degraded|service|probabilistic)\n";
       return 1;
     }
     args.push_back(filter.data());

@@ -1,0 +1,237 @@
+#include "eval/expectation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/algorithm.hpp"
+#include "core/competitive.hpp"
+#include "eval/validation.hpp"
+#include "analysis/grid.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/error.hpp"
+
+namespace linesearch {
+
+namespace {
+
+/// Consecutive non-contracting period sums before the series is declared
+/// divergent.  The measured period ratio approaches the true contraction
+/// factor from above (the affine offset c of t_(k+2n) = kappa^2 t_k + c
+/// decays relative to t_k by kappa^2 per period), so a handful of early
+/// windows can sit at or above 1 even when the series converges; a
+/// sustained run cannot.
+constexpr int kDivergingWindows = 16;
+
+/// Merged finite visit times at `target` with a per-robot cap.
+/// `truncated` reports whether more visits exist beyond what was
+/// materialized (cap hit, or a ladder time overflowing Real range).
+std::vector<Real> merged_visits(const Fleet& fleet, const Real target,
+                                const std::size_t cap, bool* truncated) {
+  std::vector<Real> merged;
+  *truncated = false;
+  for (std::size_t robot = 0; robot < fleet.size(); ++robot) {
+    const std::vector<Real> visits =
+        fleet.robot(static_cast<RobotId>(robot)).visit_times(target, cap);
+    if (visits.size() == cap) *truncated = true;
+    for (const Real t : visits) {
+      if (!std::isfinite(t)) {
+        *truncated = true;
+        break;
+      }
+      merged.push_back(t);
+    }
+  }
+  std::sort(merged.begin(), merged.end());
+  return merged;
+}
+
+/// One summation pass over a merged visit prefix.
+struct SeriesPass {
+  Real sum = 0;         ///< partial sum of t_k (1-p) p^(k-1)
+  Real tail = kNaN;     ///< closed-form geometric tail at the last window
+  bool converged = false;
+  bool divergent = false;
+};
+
+SeriesPass sum_series(const std::vector<Real>& merged, const Real p,
+                      const std::size_t window, const Real rel_tol) {
+  SeriesPass pass;
+  // term_(k+1) = term_k * p * (t_(k+1)/t_k) keeps the running term in
+  // representable range even where t_k alone would overflow and p^k
+  // alone would underflow (their product is bounded by the series'
+  // behaviour, not by either factor).
+  Real term = 0;
+  Real prev_t = 0;
+  Real window_sum = 0;
+  Real prev_window = 0;
+  Real q = kNaN;
+  std::size_t in_window = 0;
+  int diverging_streak = 0;
+  for (std::size_t k = 0; k < merged.size(); ++k) {
+    const Real t = merged[k];
+    term = (k == 0) ? (1 - p) * t : term * p * (t / prev_t);
+    prev_t = t;
+    pass.sum += term;
+    window_sum += term;
+    if (++in_window < window) continue;
+    if (prev_window > 0) {
+      q = window_sum / prev_window;
+      if (q < 1) {
+        diverging_streak = 0;
+        pass.tail = window_sum * q / (1 - q);
+        if (pass.tail <= rel_tol * pass.sum) {
+          pass.converged = true;
+          return pass;
+        }
+      } else if (++diverging_streak >= kDivergingWindows) {
+        pass.divergent = true;
+        return pass;
+      }
+    }
+    prev_window = window_sum;
+    window_sum = 0;
+    in_window = 0;
+  }
+  // Cap decision material: the last full-window tail estimate (NaN when
+  // no contracting window was ever seen).
+  if (!(q < 1)) pass.tail = kNaN;
+  return pass;
+}
+
+}  // namespace
+
+Real expected_detection_time(const Fleet& fleet, const Real target,
+                             const ExpectationOptions& options) {
+  expects(target != 0, "expected_detection_time: target must be nonzero");
+  expects(options.p >= 0 && options.p <= 1,
+          "expected_detection_time: p must be in [0, 1]");
+  expects(options.rel_tol > 0 && options.max_visits >= 16,
+          "expected_detection_time: need rel_tol > 0, max_visits >= 16");
+  LS_OBS_COUNT("eval.expectation.evaluations", 1);
+  const Real p = options.p;
+  // p == 0: the series collapses to t_1 — the fault-free first visit,
+  // bit-identical to the measure_cr oracle at budget 0.
+  if (p == 0) return fleet.detection_time(target, 0);
+  if (p == 1) {
+    LS_OBS_COUNT("eval.expectation.divergent", 1);
+    return kInfinity;
+  }
+
+  // A fully bounded fleet visits every target finitely often, so the
+  // never-detect mass p^K is positive and E[T] is infinite outright.
+  // This must be decided BEFORE the series pass: a long finite list can
+  // satisfy the geometric tail bound (which presumes the ladder
+  // continues) without ever revealing its end.
+  bool any_unbounded = false;
+  for (std::size_t robot = 0; robot < fleet.size(); ++robot) {
+    if (fleet.robot(static_cast<RobotId>(robot)).unbounded()) {
+      any_unbounded = true;
+      break;
+    }
+  }
+  if (!any_unbounded) {
+    LS_OBS_COUNT("eval.expectation.divergent", 1);
+    return kInfinity;
+  }
+
+  // One expansion period contributes two visits per robot on the zigzag
+  // ladder; 4 floors the window for degenerate single-robot fleets.
+  const std::size_t window = std::max<std::size_t>(2 * fleet.size(), 4);
+  std::size_t cap = 64;
+  std::size_t last_merged = 0;
+  for (;;) {
+    bool truncated = false;
+    const std::vector<Real> merged =
+        merged_visits(fleet, target, cap, &truncated);
+    if (merged.empty()) return kInfinity;  // never visited
+    const SeriesPass pass =
+        sum_series(merged, p, window, options.rel_tol);
+    if (pass.divergent) {
+      LS_OBS_COUNT("eval.expectation.divergent", 1);
+      LS_OBS_COUNT("eval.expectation.visits", merged.size());
+      return kInfinity;
+    }
+    if (pass.converged) {
+      LS_OBS_COUNT("eval.expectation.visits", merged.size());
+      return pass.sum;
+    }
+    if (!truncated) {
+      // The visit list is genuinely finite: mass p^K never detects, so
+      // the expectation is infinite for any p > 0.
+      LS_OBS_COUNT("eval.expectation.divergent", 1);
+      LS_OBS_COUNT("eval.expectation.visits", merged.size());
+      return kInfinity;
+    }
+    const bool stalled = merged.size() == last_merged;
+    if (merged.size() >= options.max_visits || stalled) {
+      // Cap (or ladder-overflow stall): the last period ratio decides.
+      // A contracting tail extrapolates in closed form; anything else —
+      // including a pass too short to measure one — is divergent-side.
+      LS_OBS_COUNT("eval.expectation.visits", merged.size());
+      if (std::isnan(pass.tail)) {
+        LS_OBS_COUNT("eval.expectation.divergent", 1);
+        return kInfinity;
+      }
+      return pass.sum + pass.tail;
+    }
+    last_merged = merged.size();
+    cap = std::min(cap * 4, options.max_visits);
+  }
+}
+
+CrEvalResult measure_expected_cr(const Fleet& fleet,
+                                 const ExpectationOptions& options) {
+  LS_OBS_SPAN("eval.expectation.scan");
+  LS_OBS_COUNT("eval.expectation.scans", 1);
+  return detail::measure_cr_with(
+      fleet, 0, options.eval,
+      [&](const Real x) { return expected_detection_time(fleet, x, options); });
+}
+
+Real expectation_convergence_threshold(const int n, const int f) {
+  expects(in_proportional_regime(n, f),
+          "expectation_convergence_threshold: (n, f) must be in regime");
+  const Real kappa = optimal_expansion_factor(n, f);
+  return std::pow(kappa, Real{-1} / static_cast<Real>(n));
+}
+
+bool expectation_converges(const int n, const int f, const Real p) {
+  expects(p >= 0 && p <= 1, "expectation_converges: p must be in [0, 1]");
+  if (p == 0) return true;
+  return p < expectation_convergence_threshold(n, f);
+}
+
+std::vector<ExpectationSweepRow> expectation_sweep(
+    const ExpectationSweepOptions& options) {
+  LS_OBS_SPAN("eval.expectation.sweep");
+  expects(options.p_count >= 1, "expectation sweep: need p_count >= 1");
+  expects(options.p_max >= 0 && options.p_max < 1,
+          "expectation sweep: need 0 <= p_max < 1");
+  expects(options.window_hi > 1, "expectation sweep: need window_hi > 1");
+  const std::vector<Real> p_grid =
+      options.p_count == 1 ? std::vector<Real>{options.p_max}
+                           : linspace(0, options.p_max, options.p_count);
+  std::vector<ExpectationSweepRow> rows;
+  for (const auto& [n, f] : proportional_regime_pairs(options.n_max)) {
+    const Fleet fleet = ProportionalAlgorithm(n, f).build_unbounded_fleet();
+    for (const Real p : p_grid) {
+      ExpectationSweepRow row;
+      row.n = n;
+      row.f = f;
+      row.p = p;
+      row.converges = expectation_converges(n, f, p);
+      ExpectationOptions eval;
+      eval.p = p;
+      eval.eval.window_hi = options.window_hi;
+      const CrEvalResult scan = measure_expected_cr(fleet, eval);
+      row.expected_cr = scan.cr;
+      row.argmax = scan.argmax;
+      row.undetected_probes = scan.undetected_probes;
+      rows.push_back(row);
+    }
+  }
+  return rows;
+}
+
+}  // namespace linesearch

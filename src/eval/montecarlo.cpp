@@ -1,11 +1,12 @@
 #include "eval/montecarlo.hpp"
 
 #include <cmath>
-#include <random>
 
 #include "eval/cr_eval.hpp"
+#include "obs/metrics.hpp"
 #include "sim/faults.hpp"
 #include "util/error.hpp"
+#include "util/rng.hpp"
 
 namespace linesearch {
 
@@ -17,18 +18,20 @@ MonteCarloResult random_fault_study(const Fleet& fleet, const int f,
   expects(options.target_lo > 0 && options.target_hi > options.target_lo,
           "random_fault_study: bad target window");
 
-  std::mt19937_64 rng(options.seed);
+  // SplitMix64 end to end (this used to run on std::mt19937_64 +
+  // std::uniform_real_distribution / std::bernoulli_distribution, whose
+  // streams are implementation-defined — the same seed produced
+  // different studies on different standard libraries).
+  SplitMix64 rng(options.seed);
   RandomFaults faults(options.seed ^ 0x9e3779b97f4a7c15ULL);
-  std::uniform_real_distribution<double> log_position(
-      std::log(static_cast<double>(options.target_lo)),
-      std::log(static_cast<double>(options.target_hi)));
-  std::bernoulli_distribution coin(0.5);
+  const Real log_lo = std::log(options.target_lo);
+  const Real log_hi = std::log(options.target_hi);
 
   std::vector<Real> ratios;
   ratios.reserve(static_cast<std::size_t>(options.trials));
   for (int trial = 0; trial < options.trials; ++trial) {
-    const Real magnitude = std::exp(static_cast<Real>(log_position(rng)));
-    const Real target = coin(rng) ? magnitude : -magnitude;
+    const Real magnitude = std::exp(rng.uniform(log_lo, log_hi));
+    const Real target = rng.chance(0.5L) ? magnitude : -magnitude;
     const std::vector<bool> faulty = faults.choose_faults(fleet, target, f);
     const Real time = fleet.detection_time_with_faults(target, faulty);
     ensures(!std::isinf(time),
@@ -46,6 +49,42 @@ MonteCarloResult random_fault_study(const Fleet& fleet, const int f,
   eval.window_lo = options.target_lo;
   eval.window_hi = options.target_hi;
   result.adversarial_cr = measure_cr(fleet, f, eval).cr;
+  return result;
+}
+
+ProbabilisticMcResult mc_expected_detection_time(
+    const Fleet& fleet, const Real target,
+    const ProbabilisticMcOptions& options) {
+  expects(target != 0, "mc_expected_detection_time: target must be nonzero");
+  expects(options.p >= 0 && options.p < 1,
+          "mc_expected_detection_time: need 0 <= p < 1");
+  expects(options.trials >= 1,
+          "mc_expected_detection_time: trials must be >= 1");
+
+  // One fresh schedule per trial: trial seeds come off a SplitMix64
+  // sequence so the whole study is a pure function of (seed, trials).
+  SplitMix64 seeds(options.seed);
+  std::vector<Real> times;
+  times.reserve(static_cast<std::size_t>(options.trials));
+  ProbabilisticMcResult result;
+  result.trials = options.trials;
+  for (int trial = 0; trial < options.trials; ++trial) {
+    ProbabilisticFaults model({.p = options.p,
+                               .seed = seeds.next(),
+                               .max_visits = options.max_visits});
+    const Real time = model.detection_time(fleet, target, 0);
+    if (std::isinf(time)) {
+      ++result.undetected;
+      continue;
+    }
+    times.push_back(time);
+  }
+  LS_OBS_COUNT("eval.montecarlo.probabilistic_trials", options.trials);
+  if (!times.empty()) {
+    const Summary summary = summarize(times);
+    result.mean = summary.mean;
+    result.stddev = summary.stddev;
+  }
   return result;
 }
 

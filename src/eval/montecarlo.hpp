@@ -36,8 +36,37 @@ struct MonteCarloResult {
 };
 
 /// Sample detection ratios of `fleet` under uniformly random fault sets
-/// of size exactly f and log-uniform random signed targets.
+/// of size exactly f and log-uniform random signed targets.  All
+/// randomness comes from util/rng.hpp (SplitMix64), so a seed replays
+/// the study bit-identically on every platform.
 [[nodiscard]] MonteCarloResult random_fault_study(
     const Fleet& fleet, int f, const MonteCarloOptions& options = {});
+
+/// Options of the seeded Monte-Carlo cross-check of eval/expectation.
+struct ProbabilisticMcOptions {
+  Real p = 0.1L;      ///< per-visit failure probability in [0, 1)
+  int trials = 2000;  ///< realized fail schedules sampled
+  std::uint64_t seed = 0x5eed'0bab'0123'4567ULL;
+  /// Realized visits examined per robot and trial (ProbabilisticFaults'
+  /// horizon); a trial whose whole horizon fails counts as undetected.
+  std::size_t max_visits = 4096;
+};
+
+/// Result of the probabilistic cross-check at one target.
+struct ProbabilisticMcResult {
+  Real mean = kNaN;    ///< sample mean of the realized detection time
+  Real stddev = kNaN;  ///< sample standard deviation (n-1 denominator)
+  int trials = 0;
+  int undetected = 0;  ///< trials with no successful probe in horizon
+};
+
+/// Monte-Carlo estimate of E[T(target)] under per-visit iid failures:
+/// each trial realizes one ProbabilisticFaults schedule (trial-indexed
+/// SplitMix64 seeds) and records its detection time.  The exact engine
+/// (eval/expectation) must agree within the usual CLT bounds — that
+/// agreement is the expectation_vs_montecarlo differential.
+[[nodiscard]] ProbabilisticMcResult mc_expected_detection_time(
+    const Fleet& fleet, Real target,
+    const ProbabilisticMcOptions& options = {});
 
 }  // namespace linesearch

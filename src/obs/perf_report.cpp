@@ -18,7 +18,9 @@
 #include "eval/byzantine.hpp"
 #include "eval/cr_eval.hpp"
 #include "eval/exact.hpp"
+#include "eval/expectation.hpp"
 #include "eval/kernels.hpp"
+#include "eval/montecarlo.hpp"
 #include "eval/validation.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
@@ -81,6 +83,8 @@ void write_perf_report(std::ostream& out, const PerfReportOptions& options) {
   expects(options.kernel_reps >= 1, "perf_report: kernel_reps must be >= 1");
   expects(options.sweep_window_hi > 1,
           "perf_report: sweep_window_hi must exceed 1");
+  expects(options.probabilistic_mc_trials >= 1,
+          "perf_report: probabilistic_mc_trials must be >= 1");
 
   if (options.include_metrics) Registry::instance().reset();
 
@@ -373,6 +377,62 @@ void write_perf_report(std::ostream& out, const PerfReportOptions& options) {
                                   static_cast<double>(svc_stats.queries)
                             : 0;
 
+  // probabilistic_sweep: the exact expected-CR engine over the regime
+  // grid times a p grid (eval/expectation).  Full mode also races the
+  // closed-form series against a seeded Monte-Carlo estimate of the
+  // same per-target expectations at the sweep's largest p — agreement
+  // is certified elsewhere (the expectation_vs_montecarlo differential);
+  // here the race is TIMED, and the exact_over_mc_speedup figure is the
+  // headline: the geometric-ladder summation answers in closed form
+  // what the MC estimate pays trials * realized-schedule walks for.
+  ExpectationSweepOptions probabilistic_options;
+  probabilistic_options.n_max = options.probabilistic_n_max;
+  probabilistic_options.p_count = options.probabilistic_p_count;
+  probabilistic_options.p_max = options.probabilistic_p_max;
+  const auto probabilistic_start = Clock::now();
+  const std::vector<ExpectationSweepRow> probabilistic =
+      expectation_sweep(probabilistic_options);
+  const double probabilistic_ms = millis_since(probabilistic_start);
+
+  int probabilistic_divergent = 0;
+  Real probabilistic_checksum = 0;
+  for (const ExpectationSweepRow& row : probabilistic) {
+    if (std::isfinite(row.expected_cr)) {
+      probabilistic_checksum += row.expected_cr + row.n;
+    } else {
+      ++probabilistic_divergent;
+    }
+  }
+
+  double probabilistic_exact_ms = 0;
+  double probabilistic_mc_ms = 0;
+  Real probabilistic_exact_checksum = 0;
+  Real probabilistic_mc_checksum = 0;
+  if (!options.timings_only) {
+    const Real race_p = options.probabilistic_p_max;
+    for (const auto& [n, f] :
+         proportional_regime_pairs(options.probabilistic_n_max)) {
+      const Fleet backend =
+          ProportionalAlgorithm(n, f).build_unbounded_fleet();
+      ExpectationOptions exact_options;
+      exact_options.p = race_p;
+      const auto exact_start = Clock::now();
+      const Real exact =
+          expected_detection_time(backend, 3.5L, exact_options);
+      probabilistic_exact_ms += millis_since(exact_start);
+      if (std::isfinite(exact)) probabilistic_exact_checksum += exact;
+
+      ProbabilisticMcOptions mc_options;
+      mc_options.p = race_p;
+      mc_options.trials = options.probabilistic_mc_trials;
+      const auto mc_start = Clock::now();
+      const ProbabilisticMcResult mc =
+          mc_expected_detection_time(backend, 3.5L, mc_options);
+      probabilistic_mc_ms += millis_since(mc_start);
+      if (std::isfinite(mc.mean)) probabilistic_mc_checksum += mc.mean;
+    }
+  }
+
   JsonWriter json(out);
   json.begin_object();
   json.field("schema", kPerfReportSchema);
@@ -410,6 +470,15 @@ void write_perf_report(std::ostream& out, const PerfReportOptions& options) {
   // the wire format shows up here even when every value is unchanged.
   workload("svc_load_cold", svc_cold_ms, static_cast<Real>(svc_sink));
   workload("svc_load_warm", svc_warm_ms, static_cast<Real>(svc_sink));
+  workload("probabilistic_sweep", probabilistic_ms, probabilistic_checksum);
+  if (!options.timings_only) {
+    // The two legs of the closed-form-vs-MC race (full mode only: the
+    // MC leg exists purely to quantify what the exact engine saves).
+    workload("probabilistic_exact_points", probabilistic_exact_ms,
+             probabilistic_exact_checksum);
+    workload("probabilistic_mc_points", probabilistic_mc_ms,
+             probabilistic_mc_checksum);
+  }
   json.end_array();
 
   if (!options.timings_only) {
@@ -502,6 +571,32 @@ void write_perf_report(std::ostream& out, const PerfReportOptions& options) {
   json.field("warm_p99_usec",
              static_cast<Real>(percentile(svc_warm_usec, 99)));
   json.field("hit_rate", static_cast<Real>(svc_hit_rate));
+  json.end_object();
+
+  json.key("probabilistic_sweep").begin_object();
+  json.field("n_max", options.probabilistic_n_max);
+  json.field("p_count", options.probabilistic_p_count);
+  json.field("p_max", options.probabilistic_p_max);
+  json.field("divergent_rows", probabilistic_divergent);
+  if (!options.timings_only) {
+    json.field("mc_trials", options.probabilistic_mc_trials);
+    json.field("exact_over_mc_speedup",
+               static_cast<Real>(probabilistic_exact_ms > 0
+                                     ? probabilistic_mc_ms /
+                                           probabilistic_exact_ms
+                                     : 0));
+  }
+  json.key("rows").begin_array();
+  for (const ExpectationSweepRow& row : probabilistic) {
+    json.begin_object();
+    json.field("n", row.n);
+    json.field("f", row.f);
+    json.field("p", row.p);
+    json.field("converges", row.converges);
+    json.field("cr", row.expected_cr);
+    json.end_object();
+  }
+  json.end_array();
   json.end_object();
 
   if (options.include_metrics) {

@@ -43,7 +43,13 @@
 // (svc/server handle_line) over the proportional-regime grid, one cold
 // pass against an empty cache and svc_warm_passes hot replays — plus
 // the svc_load summary object (cold/warm qps, the warm speedup, warm
-// p50/p99 latency, and the cache hit rate).
+// p50/p99 latency, and the cache hit rate).  Schema /7 added the
+// probabilistic_sweep workload — the exact expected-CR engine
+// (eval/expectation) over the regime grid times a p grid — and its
+// summary object (divergent row count plus, in full mode, the
+// closed-form-vs-Monte-Carlo agreement check and the measured speedup
+// of the exact series over a seeded MC estimate of the same
+// expectations).
 #pragma once
 
 #include <iosfwd>
@@ -58,8 +64,9 @@ namespace linesearch::obs {
 /// degraded-mode supervisor sweep joined the workload list; from /3 when
 /// the SoA kernel_sweep workloads and summary joined it; from /4 when
 /// the Byzantine quorum sweep joined it; from /5 when the closed-loop
-/// query-service load workload joined it).
-inline constexpr const char* kPerfReportSchema = "linesearch-bench-perf/6";
+/// query-service load workload joined it; from /6 when the probabilistic
+/// expected-CR p-sweep joined it).
+inline constexpr const char* kPerfReportSchema = "linesearch-bench-perf/7";
 
 struct PerfReportOptions {
   /// Skip all checksum-verification work (see header comment).
@@ -92,6 +99,17 @@ struct PerfReportOptions {
   /// Hot replays of the request list after the cold pass; the warm
   /// qps / p50 / p99 come from these.
   int svc_warm_passes = 20;
+  /// Grid of the probabilistic expected-CR sweep (regime pairs with
+  /// n <= probabilistic_n_max times probabilistic_p_count failure
+  /// probabilities up to probabilistic_p_max; the default p_max stays
+  /// below the grid's minimum ladder threshold ~0.63, so every row is
+  /// convergent unless callers push past it).
+  int probabilistic_n_max = 6;
+  int probabilistic_p_count = 3;
+  Real probabilistic_p_max = 0.4L;
+  /// Monte-Carlo trials behind the full-mode closed-form-vs-MC speedup
+  /// figure (one seeded MC estimate per pair at the sweep's largest p).
+  int probabilistic_mc_trials = 400;
   /// Embed the obs metric registry (reset + folded over this report).
   bool include_metrics = true;
 };

@@ -59,9 +59,17 @@ std::vector<bool> RandomFaults::choose_faults(const Fleet& fleet,
   expects(max_faults >= 0, "max_faults must be >= 0");
   expects(static_cast<std::size_t>(max_faults) <= fleet.size(),
           "fault budget exceeds fleet size");
+  // Fisher-Yates on SplitMix64 (std::shuffle's swap sequence is
+  // implementation-defined, which made seeded studies diverge between
+  // standard libraries).  A full shuffle rather than a prefix draw keeps
+  // one stream advance per robot regardless of the budget.
   std::vector<RobotId> ids(fleet.size());
   std::iota(ids.begin(), ids.end(), RobotId{0});
-  std::shuffle(ids.begin(), ids.end(), rng_);
+  for (std::size_t i = ids.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<int>(i) - 1));
+    std::swap(ids[i - 1], ids[j]);
+  }
   std::vector<bool> faulty(fleet.size(), false);
   for (int i = 0; i < max_faults; ++i) {
     faulty[ids[static_cast<std::size_t>(i)]] = true;
@@ -267,6 +275,61 @@ Real ByzantineFaults::detection_time(const Fleet& fleet, const Real target,
   return byzantine_quorum_time(fleet, target,
                                choose_faults(fleet, target, max_faults),
                                max_faults);
+}
+
+bool probabilistic_visit_fails(const std::uint64_t seed,
+                               const std::size_t robot,
+                               const std::size_t visit, const Real p) {
+  expects(p >= 0 && p <= 1,
+          "probabilistic_visit_fails: p must be in [0, 1]");
+  // Two SplitMix64 hops: seed -> per-robot base stream, base + visit ->
+  // per-coin stream.  SplitMix64 is a seed mixer by construction
+  // (sequential seeds decorrelate after one next()), so each coin is an
+  // O(1) pure function of the triple and coins never share state — any
+  // subset can be queried in any order with the same answer.
+  SplitMix64 base(seed + 0x9E3779B97F4A7C15ULL *
+                             (static_cast<std::uint64_t>(robot) + 1));
+  SplitMix64 coin(base.next() + static_cast<std::uint64_t>(visit));
+  return coin.chance(p);
+}
+
+ProbabilisticFaults::ProbabilisticFaults(ProbabilisticFaultConfig config)
+    : config_(config) {
+  expects(config_.p >= 0 && config_.p <= 1,
+          "probabilistic faults: p must be in [0, 1]");
+  expects(config_.max_visits >= 1,
+          "probabilistic faults: max_visits must be >= 1");
+}
+
+std::vector<bool> ProbabilisticFaults::choose_faults(const Fleet& fleet,
+                                                     const Real /*target*/,
+                                                     const int max_faults) {
+  expects(max_faults >= 0, "max_faults must be >= 0");
+  // Per-visit failures are transient: no robot is statically faulty.
+  return std::vector<bool>(fleet.size(), false);
+}
+
+Real ProbabilisticFaults::detection_time(const Fleet& fleet,
+                                         const Real target,
+                                         const int /*max_faults*/) {
+  // First success over the team = min over robots of each robot's first
+  // successful visit (coins are indexed per (robot, local visit), so
+  // which robot's visit comes k-th in the merged order is irrelevant).
+  Real earliest = kInfinity;
+  for (std::size_t robot = 0; robot < fleet.size(); ++robot) {
+    const std::vector<Real> visits =
+        fleet.robot(static_cast<RobotId>(robot))
+            .visit_times(target, config_.max_visits);
+    for (std::size_t k = 0; k < visits.size(); ++k) {
+      if (!std::isfinite(visits[k])) break;
+      if (visits[k] >= earliest) break;  // later robots can't improve
+      if (!probabilistic_visit_fails(config_.seed, robot, k, config_.p)) {
+        earliest = visits[k];
+        break;
+      }
+    }
+  }
+  return earliest;
 }
 
 }  // namespace linesearch

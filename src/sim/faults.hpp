@@ -17,6 +17,16 @@
 // the truncated fleet, which makes the mixed regime (f blind faults +
 // any number of crashes) exact by construction.
 //
+// ProbabilisticFaults weakens blindness to PER-VISIT failure
+// (arXiv:2002.07797, arXiv:2303.15608): every visit to the target is an
+// independent probe that fails with probability p — a robot that misses
+// the target on one pass may still catch it on a later one, so there is
+// no static faulty set and no fault budget; detection is the first visit
+// whose probe succeeds.  The realized fail schedule is a pure function
+// of (seed, robot, visit index) on the shared SplitMix64 substrate, so a
+// seed alone replays a run bit-identically anywhere and each robot's
+// marginal schedule is independent of the rest of the fleet.
+//
 // ByzantineFaults strengthens blindness to LYING (arXiv:1611.08209):
 // a Byzantine robot may fabricate a target claim at an adversarially
 // chosen time and position (false positive) and suppresses its real
@@ -36,12 +46,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <random>
 #include <string>
 #include <vector>
 
 #include "sim/fleet.hpp"
 #include "util/real.hpp"
+#include "util/rng.hpp"
 
 namespace linesearch {
 
@@ -92,8 +102,10 @@ class FixedFaults final : public FaultModel {
   std::vector<bool> faulty_;
 };
 
-/// A uniformly random subset of exactly `max_faults` robots, drawn from a
-/// seeded engine (deterministic and reproducible).
+/// A uniformly random subset of exactly `max_faults` robots, drawn from
+/// the shared SplitMix64 substrate (deterministic, and — unlike the
+/// std::mt19937_64 + std::shuffle it used to run on — identical across
+/// platforms and standard libraries, so seeded studies replay anywhere).
 class RandomFaults final : public FaultModel {
  public:
   explicit RandomFaults(std::uint64_t seed);
@@ -104,7 +116,7 @@ class RandomFaults final : public FaultModel {
   [[nodiscard]] std::string name() const override { return "random"; }
 
  private:
-  std::mt19937_64 rng_;
+  SplitMix64 rng_;
 };
 
 /// The fleet as it actually moves when robot i crash-stops at
@@ -219,6 +231,56 @@ class ByzantineFaults final : public FaultModel {
 
  private:
   LiePlan plan_;
+};
+
+/// Parameters of the probabilistic (per-visit) fault regime.
+struct ProbabilisticFaultConfig {
+  Real p = 0;  ///< each visit independently fails with probability p
+  std::uint64_t seed = 0x9e3779b97f4a7c15ULL;  ///< fail-schedule seed
+  /// Realized visits examined per robot before the run is declared
+  /// undetected (kInfinity).  With p < 1 the residual miss probability
+  /// is p^max_visits per robot — negligible for every practical p.
+  std::size_t max_visits = 4096;
+};
+
+/// The per-(robot, visit) failure coin: true when robot `robot`'s
+/// `visit`-th visit (0-based, in the robot's OWN visit order) fails.  A
+/// pure O(1) function of (seed, robot, visit, p) — no shared stream, so
+/// any subset of coins can be queried in any order and a robot's
+/// marginal schedule does not depend on how many other robots exist.
+[[nodiscard]] bool probabilistic_visit_fails(std::uint64_t seed,
+                                             std::size_t robot,
+                                             std::size_t visit, Real p);
+
+/// Per-visit probabilistic faults: detection is the FIRST visit (in time
+/// order, over the whole team) whose coin succeeds.  The blind budget of
+/// the base interface does not apply — failures are transient and
+/// per-probe, not per-robot — so choose_faults reports no robot as
+/// (statically) faulty and detection_time ignores max_faults.
+class ProbabilisticFaults final : public FaultModel {
+ public:
+  explicit ProbabilisticFaults(ProbabilisticFaultConfig config);
+
+  /// All-false: no robot is permanently faulty under this model.
+  [[nodiscard]] std::vector<bool> choose_faults(const Fleet& fleet,
+                                                Real target,
+                                                int max_faults) override;
+
+  /// First successful probe time at `target` under the realized fail
+  /// schedule, kInfinity when every examined visit fails (or the target
+  /// is never visited).  Equals min over robots of each robot's first
+  /// successful visit — coins are indexed per (robot, visit), so the
+  /// merged order never has to be materialized.
+  [[nodiscard]] Real detection_time(const Fleet& fleet, Real target,
+                                    int max_faults) override;
+  [[nodiscard]] std::string name() const override { return "probabilistic"; }
+
+  [[nodiscard]] const ProbabilisticFaultConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  ProbabilisticFaultConfig config_;
 };
 
 }  // namespace linesearch

@@ -5,6 +5,7 @@
 
 #include "core/algorithm.hpp"
 #include "core/competitive.hpp"
+#include "eval/expectation.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/faults.hpp"
@@ -141,6 +142,25 @@ QueryResult evaluate_on_backend(const CrQuery& canonical,
       result.undetected_probes = scan.undetected_probes;
       break;
     }
+    case FaultRegime::kProbabilistic: {
+      // Expected CR at fault_p (eval/expectation) on the same unbounded
+      // analytic backend kNone uses.  Divergent probes (p at or past the
+      // ladder threshold) report cr = kInfinity via the non-finite
+      // codec, exactly like an infeasible Byzantine quorum.
+      ExpectationOptions expectation;
+      expectation.p = canonical.fault_p;
+      expectation.eval = eval_options_of(canonical,
+                                         /*require_finite=*/false);
+      const CrEvalResult scan = measure_expected_cr(backend, expectation);
+      LS_OBS_COUNT("svc.probabilistic_queries", 1);
+      result.cr = scan.cr;
+      result.argmax = scan.argmax;
+      result.cr_positive = scan.cr_positive;
+      result.cr_negative = scan.cr_negative;
+      result.probes = scan.probes;
+      result.undetected_probes = scan.undetected_probes;
+      break;
+    }
   }
   return result;
 }
@@ -152,6 +172,7 @@ const char* fault_regime_name(const FaultRegime regime) {
     case FaultRegime::kNone: return "none";
     case FaultRegime::kByzantine: return "byzantine";
     case FaultRegime::kCrash: return "crash";
+    case FaultRegime::kProbabilistic: return "probabilistic";
   }
   return "unknown";
 }
@@ -160,8 +181,9 @@ FaultRegime fault_regime_from_name(const std::string& name) {
   if (name == "none") return FaultRegime::kNone;
   if (name == "byzantine") return FaultRegime::kByzantine;
   if (name == "crash") return FaultRegime::kCrash;
+  if (name == "probabilistic") return FaultRegime::kProbabilistic;
   throw PreconditionError("svc: unknown fault regime '" + name +
-                          "' (valid: none, byzantine, crash)");
+                          "' (valid: none, byzantine, crash, probabilistic)");
 }
 
 CrQuery canonicalize_query(CrQuery query) {
@@ -195,6 +217,13 @@ CrQuery canonicalize_query(CrQuery query) {
     expects(query.crash_times.empty(),
             "svc: crash_times only apply to the crash regime");
   }
+  if (query.regime == FaultRegime::kProbabilistic) {
+    expects(query.fault_p >= 0 && query.fault_p < 1,
+            "svc: probabilistic regime needs 0 <= fault_p < 1");
+  } else {
+    expects(query.fault_p == 0,
+            "svc: fault_p only applies to the probabilistic regime");
+  }
   return query;
 }
 
@@ -205,7 +234,8 @@ std::string query_key(const CrQuery& query) {
          encode_real_field(query.beta) + '|' +
          encode_real_field(query.window_lo) + '|' +
          encode_real_field(query.window_hi) + '|' +
-         std::to_string(query.interior_samples);
+         std::to_string(query.interior_samples) + '|' +
+         encode_real_field(query.fault_p);
   for (const Real t : query.crash_times) {
     key += '|';
     key += encode_real_field(t);

@@ -1,9 +1,10 @@
 // svc/query.hpp — the stateless query layer in front of eval.
 //
 // Every CR question the library answers — plain measure_cr on A(n, f) /
-// S_beta(n), the Byzantine quorum scan (eval/byzantine), and crash-
-// truncated fleets (sim/faults) — is expressible as one canonical value
-// type, `CrQuery`.  `evaluate_query_direct` is the reference path: build
+// S_beta(n), the Byzantine quorum scan (eval/byzantine), crash-
+// truncated fleets (sim/faults), and the expected CR under per-visit
+// probabilistic faults (eval/expectation) — is expressible as one
+// canonical value type, `CrQuery`.  `evaluate_query_direct` is the reference path: build
 // the fleet, run the scan, return the numbers; it holds no state and two
 // calls with equal canonical queries return value-identical results.
 //
@@ -44,9 +45,14 @@ enum class FaultRegime {
   kNone,       ///< f silent (blind) faults — the paper's model
   kByzantine,  ///< f lying faults: quorum CR at budget 2f (eval/byzantine)
   kCrash,      ///< explicit crash-stop times, truncated fleet (sim/faults)
+  /// Per-visit iid probe failures with probability fault_p: the expected
+  /// CR (eval/expectation).  The first CONTINUOUS query parameter — every
+  /// distinct p is its own cache entry inside its regime pair's shard.
+  kProbabilistic,
 };
 
-/// Wire spelling of a regime ("none" / "byzantine" / "crash").
+/// Wire spelling of a regime ("none" / "byzantine" / "crash" /
+/// "probabilistic").
 [[nodiscard]] const char* fault_regime_name(FaultRegime regime);
 
 /// Inverse of fault_regime_name; throws PreconditionError on unknown
@@ -66,6 +72,9 @@ struct CrQuery {
   /// kCrash only: crash_times[i] is robot i's crash-stop time
   /// (kInfinity = healthy).  Must be empty for the other regimes.
   std::vector<Real> crash_times;
+  /// kProbabilistic only: per-visit failure probability in [0, 1).
+  /// Must be 0 for the other regimes.
+  Real fault_p = 0;
 };
 
 /// Validate and normalize a query: regime-pair check (f >= 1 and
@@ -107,6 +116,10 @@ struct QueryResult {
 /// build at the query's crash times (extent = 4 * window_hi) and
 /// measures with require_finite off — an undetectable half-line reports
 /// cr = kInfinity, which survives the wire via util/jsonio's codec.
+/// kProbabilistic runs measure_expected_cr at fault_p on the unbounded
+/// analytic backend (shared with kNone): divergent probes (p at or past
+/// the ladder threshold kappa^(-1/n)) report cr = kInfinity the same
+/// codec-pinned way.
 [[nodiscard]] QueryResult evaluate_query_direct(const CrQuery& query);
 
 /// Tuning knobs of the caching/coalescing layer.

@@ -101,6 +101,7 @@ WireRequest parse_request(const std::string& line) {
       query.crash_times.push_back(entry.as_real());
     }
   }
+  query.fault_p = real_field(doc, "fault_p", query.fault_p);
   return request;
 }
 

@@ -5,8 +5,11 @@
 #include <sstream>
 
 #include "core/algorithm.hpp"
+#include "core/competitive.hpp"
 #include "eval/exact.hpp"
+#include "eval/expectation.hpp"
 #include "eval/kernels.hpp"
+#include "eval/montecarlo.hpp"
 #include "eval/visit_cache.hpp"
 #include "runtime/arbitration.hpp"
 #include "runtime/world.hpp"
@@ -410,6 +413,9 @@ DifferentialResult diff_server_vs_library(const svc::CrQuery& query) {
     json.field("window_hi", query.window_hi);
     json.field("interior_samples", query.interior_samples);
     json.field("regime", svc::fault_regime_name(query.regime));
+    if (query.regime == svc::FaultRegime::kProbabilistic) {
+      json.field("fault_p", query.fault_p);
+    }
     json.key("crash_times").begin_array();
     for (const Real t : query.crash_times) json.value(t);
     json.end_array();
@@ -457,6 +463,95 @@ DifferentialResult diff_server_vs_library(const svc::CrQuery& query) {
   } catch (const Error& error) {
     result.passed = false;
     result.message = error.what();
+  }
+  return result;
+}
+
+DifferentialResult diff_expectation_vs_montecarlo(
+    const int n, const int f, const Real p,
+    const std::vector<Real>& targets, const std::uint64_t seed,
+    const int trials) {
+  DifferentialResult result;
+  result.name = "expectation_vs_montecarlo";
+  expects(in_proportional_regime(n, f),
+          "diff_expectation_vs_montecarlo: (n, f) must be in regime");
+  expects(p >= 0 && p < 1,
+          "diff_expectation_vs_montecarlo: need 0 <= p < 1");
+  expects(trials >= 2,
+          "diff_expectation_vs_montecarlo: trials must be >= 2");
+  const Fleet fleet = ProportionalAlgorithm(n, f).build_unbounded_fleet();
+  const bool converges = expectation_converges(n, f, p);
+  // The SECOND moment converges iff p^(2n) kappa^4 < 1, a strictly
+  // narrower band than the mean's p^(2n) kappa^2 < 1.  Between the two
+  // the exact mean is finite but every finite sample mean is heavy-
+  // tailed garbage, so the CLT comparison only runs with headroom.
+  const Real kappa = optimal_expansion_factor(n, f);
+  const Real variance_q =
+      std::pow(p, 2 * n) * kappa * kappa * kappa * kappa;
+  const bool clt_comparable = p > 0 && converges && variance_q <= 0.8L;
+
+  std::size_t job = 0;
+  for (const Real x : targets) {
+    if (x == 0) continue;
+    ExpectationOptions exact_options;
+    exact_options.p = p;
+    const Real exact = expected_detection_time(fleet, x, exact_options);
+    const Real first_visit = fleet.detection_time(x, 0);
+    if (p == 0) {
+      // No faults, no sampling: the series IS the first visit, bitwise.
+      if (!value_identical(exact, first_visit)) {
+        record(result, job, "p0_identity", first_visit, exact);
+      }
+      ++job;
+      continue;
+    }
+    if (!converges) {
+      if (!std::isinf(exact)) {
+        record(result, job, "divergence", kInfinity, exact);
+      }
+      ++job;
+      continue;
+    }
+    if (!std::isfinite(exact)) {
+      record(result, job, "finite", first_visit, exact);
+      ++job;
+      continue;
+    }
+    // E[T] is a mixture of visit times all >= the first visit.
+    if (exact < first_visit * (1 - Real{1e-9L})) {
+      record(result, job, "first_visit_bound", first_visit, exact);
+    }
+    if (clt_comparable) {
+      ProbabilisticMcOptions mc_options;
+      mc_options.p = p;
+      mc_options.trials = trials;
+      // Decorrelate targets: consecutive SplitMix64 seeds mix apart.
+      mc_options.seed = seed + job;
+      const ProbabilisticMcResult mc =
+          mc_expected_detection_time(fleet, x, mc_options);
+      const int detected = mc.trials - mc.undetected;
+      if (detected < 2 || !std::isfinite(mc.stddev)) {
+        record(result, job, "mc_detected", static_cast<Real>(trials),
+               static_cast<Real>(detected));
+        ++job;
+        continue;
+      }
+      // 7-sigma CLT band plus relative slack for the exact engine's own
+      // rel_tol tail truncation: wide enough that a false alarm across
+      // the whole fuzz corpus is essentially impossible, tight enough
+      // that a wrong closed form (off by a term, wrong ratio) trips it.
+      const Real band = 7 * mc.stddev / std::sqrt(static_cast<Real>(detected)) +
+                        Real{0.02L} * exact + Real{1e-9L};
+      if (std::fabs(exact - mc.mean) > band) {
+        record(result, job, "mc_mean", exact, mc.mean);
+      }
+    }
+    ++job;
+  }
+  if (!result.passed && result.mismatches.size() > 1) {
+    result.message += " (+" +
+                      std::to_string(result.mismatches.size() - 1) +
+                      " more mismatches)";
   }
   return result;
 }

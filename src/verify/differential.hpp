@@ -18,6 +18,7 @@
 // immediately actionable.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -143,6 +144,24 @@ struct DifferentialOptions {
 /// the wire level.
 [[nodiscard]] DifferentialResult diff_server_vs_library(
     const svc::CrQuery& query);
+
+/// Exact expectation engine (eval/expectation) vs a seeded Monte-Carlo
+/// realization of the SAME per-visit fault model (eval/montecarlo
+/// mc_expected_detection_time), on the unbounded A(n, f) backend at the
+/// fuzzer's adversarial targets.  Per target:
+///   * p == 0: expected_detection_time collapses to the fault-free first
+///     visit, bit for bit (no sampling involved);
+///   * p past the ladder threshold kappa^(-1/n): the engine must report
+///     divergence (kInfinity), never a finite number;
+///   * convergent p: the exact value dominates the first visit time, and
+///     — only while the series' VARIANCE also converges comfortably
+///     (p^(2n) kappa^4 <= 0.8; nearer the threshold the sample mean is
+///     heavy-tailed and its CLT band meaningless) — the seeded MC mean
+///     must sit within a wide CLT band of it.
+/// Targets at 0 are skipped.
+[[nodiscard]] DifferentialResult diff_expectation_vs_montecarlo(
+    int n, int f, Real p, const std::vector<Real>& targets,
+    std::uint64_t seed = 0x5eed0bab01234567ULL, int trials = 400);
 
 /// SoA kernel path (eval/kernels measure_cr_kernel) vs the scalar
 /// reference scan driven by direct Fleet queries: every CrEvalResult

@@ -9,6 +9,7 @@
 #include "core/baselines.hpp"
 #include "core/competitive.hpp"
 #include "core/custom.hpp"
+#include "eval/expectation.hpp"
 #include "obs/metrics.hpp"
 #include "runtime/world.hpp"
 #include "sim/faults.hpp"
@@ -33,6 +34,7 @@ const char* kind_name(const FleetKind kind) noexcept {
     case FleetKind::kKernelSoA: return "kernel-soa";
     case FleetKind::kByzantineLies: return "byzantine-lies";
     case FleetKind::kServerQuery: return "server-query";
+    case FleetKind::kProbabilisticFaults: return "probabilistic-faults";
   }
   return "unknown";
 }
@@ -55,7 +57,8 @@ bool regime_kind(const FleetKind kind) noexcept {
          kind == FleetKind::kCrashInjected ||
          kind == FleetKind::kKernelSoA ||
          kind == FleetKind::kByzantineLies ||
-         kind == FleetKind::kServerQuery;
+         kind == FleetKind::kServerQuery ||
+         kind == FleetKind::kProbabilisticFaults;
 }
 
 bool cone_kind(const FleetKind kind) noexcept {
@@ -77,6 +80,7 @@ std::unique_ptr<SearchStrategy> make_fuzz_strategy(
     case FleetKind::kProportional:
     case FleetKind::kAnalyticZigzag:
     case FleetKind::kByzantineLies:
+    case FleetKind::kProbabilisticFaults:
       return std::make_unique<ProportionalAlgorithm>(instance.n, instance.f);
     case FleetKind::kPerturbedBeta:
     case FleetKind::kKernelSoA:
@@ -141,7 +145,7 @@ FuzzInstance generate_instance(const std::uint64_t seed) {
   SplitMix64 rng(seed);
   FuzzInstance instance;
   instance.seed = seed;
-  instance.kind = static_cast<FleetKind>(rng.uniform_int(0, 10));
+  instance.kind = static_cast<FleetKind>(rng.uniform_int(0, 11));
 
   switch (instance.kind) {
     case FleetKind::kProportional:
@@ -151,7 +155,8 @@ FuzzInstance generate_instance(const std::uint64_t seed) {
     case FleetKind::kCrashInjected:
     case FleetKind::kKernelSoA:
     case FleetKind::kByzantineLies:
-    case FleetKind::kServerQuery: {
+    case FleetKind::kServerQuery:
+    case FleetKind::kProbabilisticFaults: {
       instance.f = rng.uniform_int(1, 4);
       instance.n = rng.uniform_int(instance.f + 1, 2 * instance.f + 1);
       instance.beta =
@@ -204,6 +209,20 @@ FuzzInstance generate_instance(const std::uint64_t seed) {
     // kCrashInjected's).
     instance.query_regime =
         static_cast<svc::FaultRegime>(rng.uniform_int(0, 2));
+  }
+
+  if (instance.kind == FleetKind::kProbabilisticFaults) {
+    // Both draws happen unconditionally so the stream shape is fixed;
+    // one instance in five lands past the ladder threshold kappa^(-1/n)
+    // (exercising the divergence contract), the rest stay comfortably
+    // inside the convergent band.
+    const bool divergent = rng.chance(0.2L);
+    const Real unit = rng.uniform(0.0L, 1.0L);
+    const Real threshold =
+        expectation_convergence_threshold(instance.n, instance.f);
+    instance.fault_p = divergent
+                           ? threshold + (1 - threshold) * (0.05L + 0.9L * unit)
+                           : threshold * 0.8L * unit;
   }
 
   if (instance.kind == FleetKind::kCrashInjected ||
@@ -292,9 +311,12 @@ Fleet build_fuzz_fleet(const FuzzInstance& instance) {
         return UniformOffsetZigzag(instance.n, instance.f)
             .build_fleet(instance.extent);
       case FleetKind::kAnalyticZigzag:
+      case FleetKind::kProbabilisticFaults:
         // The same A(n, f) curves as kProportional, but on the analytic
         // backend with an unbounded horizon — every oracle downstream
-        // must work through windowed queries only.
+        // must work through windowed queries only.  (The probabilistic
+        // kind needs the unbounded backend: a finite visit list makes
+        // the expectation infinite for every p > 0.)
         return ProportionalAlgorithm(instance.n, instance.f)
             .build_unbounded_fleet();
       case FleetKind::kCrashInjected:
@@ -353,6 +375,7 @@ Subject make_subject(const FuzzInstance& instance, const Fleet& fleet) {
       break;
     }
     case FleetKind::kAnalyticZigzag:
+    case FleetKind::kProbabilisticFaults:
       // Genuinely proportional, but the structural re-derivation needs a
       // materialized waypoint list, which the unbounded backend refuses;
       // the dense-vs-analytic differential covers the structure instead.
@@ -464,6 +487,15 @@ FuzzOutcome run_instance(const FuzzInstance& instance) {
               diff_byzantine(instance.n, instance.f, instance.extent,
                              instance.lies, instance.targets, eval));
         }
+        if (instance.kind == FleetKind::kProbabilisticFaults) {
+          // Race the exact expectation engine against the seeded
+          // Monte-Carlo realization at this instance's fault_p; the MC
+          // seed is derived from the instance seed so the whole verdict
+          // replays from the seed alone.
+          outcome.differentials.push_back(diff_expectation_vs_montecarlo(
+              instance.n, instance.f, instance.fault_p, instance.targets,
+              instance.seed ^ 0x5eed0bab01234567ULL));
+        }
         if (const std::unique_ptr<SearchStrategy> strategy =
                 make_fuzz_strategy(instance)) {
           outcome.differentials.push_back(diff_dense_vs_analytic(
@@ -505,7 +537,8 @@ void clamp_faults(FuzzInstance& instance) {
       instance.kind == FleetKind::kAnalyticZigzag ||
       instance.kind == FleetKind::kCrashInjected ||
       instance.kind == FleetKind::kByzantineLies ||
-      instance.kind == FleetKind::kServerQuery) {
+      instance.kind == FleetKind::kServerQuery ||
+      instance.kind == FleetKind::kProbabilisticFaults) {
     instance.beta = optimal_beta(instance.n, instance.f);
   }
   while (instance.crash_times.size() >
@@ -656,6 +689,25 @@ std::vector<FuzzInstance> shrink_moves(const FuzzInstance& instance) {
     }
   }
 
+  if (instance.kind == FleetKind::kProbabilisticFaults &&
+      instance.fault_p > 0) {
+    // Simplest first: no failures at all (the bitwise p = 0 branch).
+    FuzzInstance faultfree = instance;
+    faultfree.fault_p = 0;
+    moves.push_back(std::move(faultfree));
+    // Then a rounder p on the sixteenth grid, clamped inside (0, 1) so
+    // the rounded instance keeps exercising the same engine branch.
+    const Real rounded =
+        std::min(std::max(std::round(instance.fault_p * 16) / 16,
+                          Real{1} / 16),
+                 Real{15} / 16);
+    if (!value_identical(rounded, instance.fault_p)) {
+      FuzzInstance rounder = instance;
+      rounder.fault_p = rounded;
+      moves.push_back(std::move(rounder));
+    }
+  }
+
   if (instance.kind == FleetKind::kByzantineLies &&
       instance.lies.liar_count() > 0) {
     // Simplest first: everyone honest (a plain A(n, f) instance).
@@ -746,6 +798,7 @@ std::string instance_to_json(const FuzzInstance& instance,
   json.field("n", instance.n);
   json.field("f", instance.f);
   json.field("beta", instance.beta);
+  json.field("fault_p", instance.fault_p);
   json.field("mirrored", instance.mirrored);
   json.key("magnitudes").begin_array();
   for (const Real magnitude : instance.magnitudes) json.value(magnitude);

@@ -63,6 +63,14 @@ enum class FleetKind {
   /// through the in-process query service wire (svc/server) and raced
   /// against evaluate_query_direct (diff_server_vs_library).
   kServerQuery,
+  /// A(n, f) on the analytic backend under per-visit iid probe failures
+  /// at the instance's fault_p: the exact expectation engine
+  /// (eval/expectation) is raced against a seeded Monte-Carlo
+  /// realization of the same fault model
+  /// (diff_expectation_vs_montecarlo) on the adversarial targets, with
+  /// occasional draws past the ladder threshold so the divergence
+  /// branch stays exercised.
+  kProbabilisticFaults,
 };
 
 /// Deliberate corruptions for testing the oracles and the shrinker.
@@ -102,6 +110,8 @@ struct FuzzInstance {
   /// kServerQuery only: which fault regime the wire query runs under
   /// (kCrash reuses crash_times as the query's schedule).
   svc::FaultRegime query_regime = svc::FaultRegime::kNone;
+  /// kProbabilisticFaults only: per-visit failure probability in [0, 1).
+  Real fault_p = 0;
 };
 
 /// Everything one run produced.

@@ -12,6 +12,7 @@
 #include "eval/byzantine.hpp"
 #include "eval/cr_eval.hpp"
 #include "eval/exact.hpp"
+#include "eval/expectation.hpp"
 #include "sim/faults.hpp"
 #include "sim/zigzag.hpp"
 #include "util/csv.hpp"
@@ -411,6 +412,59 @@ InvariantResult check_fault_monotone_cr(const Subject& subject,
   return pass(name);
 }
 
+InvariantResult check_probabilistic_monotone(const Subject& subject,
+                                             const InvariantOptions& options) {
+  const std::string name = "probabilistic_monotone";
+  const Fleet& fleet = *subject.fleet;
+  ExpectationOptions expectation;
+  expectation.eval = CrEvalOptions{.window_lo = options.window_lo,
+                                   .window_hi = options.window_hi,
+                                   .interior_samples = 2,
+                                   .require_finite = false};
+  Real previous = 0;
+  Real previous_p = 0;
+  int previous_undetected = -1;
+  // Every grid point sits below the smallest ladder threshold of any
+  // regime pair (kappa^(-1/n) >= 4^(-1/3) ~ 0.63), so a convergent
+  // subject stays convergent across the whole sweep; fleets with finite
+  // visit lists go undetected at every p > 0, which the undetected leg
+  // covers.
+  for (const Real p : {Real{0}, Real{0.1L}, Real{0.25L}, Real{0.4L}}) {
+    expectation.p = p;
+    const CrEvalResult measured = measure_expected_cr(fleet, expectation);
+    if (previous_undetected >= 0) {
+      // Raising p only removes successful coins: a probe whose
+      // expectation diverged cannot re-converge at larger p.
+      if (measured.undetected_probes < previous_undetected) {
+        return fail(name,
+                    "probes re-converge with more failures: " +
+                        std::to_string(previous_undetected) +
+                        " undetected at p=" + real_str(previous_p) +
+                        " but only " +
+                        std::to_string(measured.undetected_probes) +
+                        " at p=" + real_str(p),
+                    static_cast<Real>(previous_undetected -
+                                      measured.undetected_probes));
+      }
+      // The finite sup skips divergent probes individually, so it is
+      // only comparable while the detected probe set is unchanged.
+      if (measured.undetected_probes == previous_undetected &&
+          measured.cr < previous * (1 - tol::kRelative)) {
+        return fail(name,
+                    "expected sup K drops from " + real_str(previous) +
+                        " (p=" + real_str(previous_p) + ") to " +
+                        real_str(measured.cr) + " (p=" + real_str(p) +
+                        ") — likelier probe failures helped the searchers",
+                    previous - measured.cr);
+      }
+    }
+    previous = measured.cr;
+    previous_p = p;
+    previous_undetected = measured.undetected_probes;
+  }
+  return pass(name);
+}
+
 InvariantResult check_byzantine_bounds(const Subject& subject,
                                        const InvariantOptions& options) {
   const std::string name = "byzantine_bounds";
@@ -497,6 +551,7 @@ std::vector<InvariantResult> run_invariants(const Subject& subject,
   results.push_back(check_theorem1_agreement(subject, options));
   results.push_back(check_lower_bound_dominance(subject, options));
   results.push_back(check_fault_monotone_cr(subject, options));
+  results.push_back(check_probabilistic_monotone(subject, options));
   results.push_back(check_byzantine_bounds(subject, options));
   return results;
 }

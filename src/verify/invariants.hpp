@@ -149,6 +149,18 @@ struct InvariantResult {
 [[nodiscard]] InvariantResult check_fault_monotone_cr(
     const Subject& subject, const InvariantOptions& options);
 
+/// Probabilistic-fault monotonicity: the expected CR measured by
+/// eval/expectation is nondecreasing in the per-visit failure
+/// probability p over a fixed grid (a coupling argument — raising p can
+/// only remove successful coin flips, never add them, so every
+/// realization detects later).  Probes whose expectation diverges
+/// (finite visit lists under p > 0, or p past the ladder threshold) are
+/// compared through the undetected-probe count, which must itself be
+/// nondecreasing in p; the finite sup is only compared while the
+/// detected probe set is unchanged, mirroring check_fault_monotone_cr.
+[[nodiscard]] InvariantResult check_probabilistic_monotone(
+    const Subject& subject, const InvariantOptions& options);
+
 /// arXiv:1611.08209 bounds for the lying fault model, per sampled
 /// position: the quorum time byzantine_quorum_time(x, f) is exactly the
 /// (2f+1)-st distinct first visit (order-statistic identity), dominates

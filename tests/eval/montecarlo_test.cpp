@@ -3,8 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/algorithm.hpp"
 #include "core/baselines.hpp"
+#include "eval/expectation.hpp"
+#include "util/csv.hpp"
 #include "util/error.hpp"
 
 namespace linesearch {
@@ -94,6 +98,81 @@ TEST(MonteCarlo, GuardsArguments) {
   EXPECT_THROW((void)random_fault_study(fleet, 1, bad_window),
                PreconditionError);
   EXPECT_THROW((void)random_fault_study(fleet, 3), PreconditionError);
+}
+
+TEST(MonteCarlo, SeededStudyPinsPortableSplitMix64Values) {
+  // Regression for the seeding port: random_fault_study used to draw
+  // through std::mt19937_64 + std::uniform_real_distribution /
+  // std::bernoulli_distribution, whose streams are implementation-
+  // defined — the same seed produced DIFFERENT studies on different
+  // standard libraries, and none of them matched these values.  With
+  // every draw on util/rng's SplitMix64 the exact decimal expansions
+  // below hold on every platform; a drift in the generator, the draw
+  // order, or the codec shows up here first.
+  const Fleet fleet = ProportionalAlgorithm(3, 1).build_fleet(2048);
+  MonteCarloOptions options;
+  options.trials = 8;
+  options.seed = 7;
+  const MonteCarloResult result = random_fault_study(fleet, 1, options);
+  EXPECT_EQ(encode_real_field(result.ratio.mean, 21),
+            "2.5941404365989497588");
+  EXPECT_EQ(encode_real_field(result.worst_sample, 21),
+            "5.09459131567167348292");
+  EXPECT_EQ(encode_real_field(result.median, 21),
+            "2.06739148981758112645");
+}
+
+TEST(ProbabilisticMc, PZeroRealizesTheFaultFreeDetectionExactly) {
+  const Fleet fleet = ProportionalAlgorithm(3, 1).build_unbounded_fleet();
+  ProbabilisticMcOptions options;
+  options.p = 0;
+  options.trials = 16;
+  const ProbabilisticMcResult result =
+      mc_expected_detection_time(fleet, 2.5L, options);
+  EXPECT_EQ(result.trials, 16);
+  EXPECT_EQ(result.undetected, 0);
+  // Every trial realizes exactly the fault-free first visit; the
+  // aggregate passes through summarize(), whose accumulation may round
+  // the last bit, so agreement is demanded to a few ulps, not bitwise.
+  const Real exact = fleet.detection_time(2.5L, 0);
+  EXPECT_NEAR(static_cast<double>(result.mean / exact), 1.0, 1e-15);
+  EXPECT_LT(result.stddev, 1e-12L);
+}
+
+TEST(ProbabilisticMc, SeededRunsReplayAndTrackTheExactEngine) {
+  const Fleet fleet = ProportionalAlgorithm(3, 1).build_unbounded_fleet();
+  ProbabilisticMcOptions options;
+  options.p = 0.3L;
+  options.trials = 2000;
+  const ProbabilisticMcResult a =
+      mc_expected_detection_time(fleet, 2.5L, options);
+  const ProbabilisticMcResult b =
+      mc_expected_detection_time(fleet, 2.5L, options);
+  EXPECT_EQ(a.mean, b.mean);
+  EXPECT_EQ(a.stddev, b.stddev);
+  EXPECT_EQ(a.undetected, 0);  // p^4096 per robot is far below Real range
+  ExpectationOptions exact;
+  exact.p = 0.3L;
+  const Real expected = expected_detection_time(fleet, 2.5L, exact);
+  // 6 sigma of the sample mean — the same CLT band the differential
+  // engine enforces across the whole grid.
+  const Real band = 6 * a.stddev / std::sqrt(Real{2000});
+  EXPECT_NEAR(static_cast<double>(a.mean), static_cast<double>(expected),
+              static_cast<double>(band));
+}
+
+TEST(ProbabilisticMc, GuardsArguments) {
+  const Fleet fleet = ProportionalAlgorithm(3, 1).build_unbounded_fleet();
+  ProbabilisticMcOptions bad_p;
+  bad_p.p = 1;  // p = 1 never detects: the MC estimate is undefined
+  EXPECT_THROW((void)mc_expected_detection_time(fleet, 1, bad_p),
+               PreconditionError);
+  ProbabilisticMcOptions bad_trials;
+  bad_trials.trials = 0;
+  EXPECT_THROW((void)mc_expected_detection_time(fleet, 1, bad_trials),
+               PreconditionError);
+  EXPECT_THROW((void)mc_expected_detection_time(fleet, 0, {}),
+               PreconditionError);
 }
 
 }  // namespace

@@ -24,7 +24,9 @@
 #include "adversary/game.hpp"
 #include "core/algorithm.hpp"
 #include "eval/batch.hpp"
+#include "eval/expectation.hpp"
 #include "obs/metrics.hpp"
+#include "svc/query.hpp"
 #include "runtime/arbitration.hpp"
 #include "sim/faults.hpp"
 #include "util/jsonio.hpp"
@@ -64,6 +66,11 @@ struct PairCounters {
   std::uint64_t claims_made = 0;
   std::uint64_t claims_refuted = 0;
   std::uint64_t quorum_reached = 0;
+  std::uint64_t expectation_evaluations = 0;
+  std::uint64_t expectation_divergent = 0;
+  std::uint64_t expectation_visits = 0;
+  std::uint64_t expectation_scans = 0;
+  std::uint64_t probabilistic_queries = 0;
 };
 
 PairCounters evaluate_pair(const int n, const int f) {
@@ -91,6 +98,22 @@ PairCounters evaluate_pair(const int n, const int f) {
       1000u + static_cast<std::uint64_t>(16 * n + f),
       static_cast<std::size_t>(n), {.max_liars = f});
   (void)arbitrate(fleet, f, collect_claims(fleet, 5, plan));
+  // Probabilistic leg: one expected-CR scan routed through the query
+  // layer at a p convergent for EVERY pair (0.25 sits below the grid's
+  // minimum ladder threshold, ~0.63 at (3, 1)), plus one certified-
+  // divergent point evaluation past this pair's OWN threshold — so the
+  // fixture pins both the convergent work profile (visit counts of the
+  // geometric summation) and a nonzero divergence count per pair.
+  svc::CrQuery query;
+  query.n = n;
+  query.f = f;
+  query.window_hi = 16;
+  query.regime = svc::FaultRegime::kProbabilistic;
+  query.fault_p = 0.25L;
+  (void)svc::evaluate_query_direct(query);
+  ExpectationOptions divergent;
+  divergent.p = (expectation_convergence_threshold(n, f) + 1) / 2;
+  (void)expected_detection_time(fleet, 2, divergent);
   const std::vector<obs::MetricSnapshot> snaps =
       obs::Registry::instance().snapshot();
   PairCounters counters;
@@ -105,6 +128,14 @@ PairCounters evaluate_pair(const int n, const int f) {
   counters.claims_made = value_of(snaps, "runtime.claims_made");
   counters.claims_refuted = value_of(snaps, "runtime.claims_refuted");
   counters.quorum_reached = value_of(snaps, "runtime.quorum_reached");
+  counters.expectation_evaluations =
+      value_of(snaps, "eval.expectation.evaluations");
+  counters.expectation_divergent =
+      value_of(snaps, "eval.expectation.divergent");
+  counters.expectation_visits = value_of(snaps, "eval.expectation.visits");
+  counters.expectation_scans = value_of(snaps, "eval.expectation.scans");
+  counters.probabilistic_queries =
+      value_of(snaps, "svc.probabilistic_queries");
   return counters;
 }
 
@@ -112,9 +143,11 @@ std::string serialize(const std::vector<PairCounters>& pairs) {
   std::ostringstream out;
   JsonWriter json(out);
   json.begin_object();
-  // Schema /2 added the Byzantine leg: lie_placements + claims_* per
-  // pair (the /1 fixture predates the claim arbiter).
-  json.field("schema", "linesearch-golden-obs/2");
+  // Schema /2 added the Byzantine leg (lie_placements + claims_*);
+  // schema /3 adds the probabilistic leg: the expectation engine's
+  // eval.expectation.* work profile and the query layer's
+  // svc.probabilistic_queries count per pair.
+  json.field("schema", "linesearch-golden-obs/3");
   json.field("window_lo", 1);
   json.field("window_hi", 16);
   json.key("pairs").begin_array();
@@ -134,6 +167,11 @@ std::string serialize(const std::vector<PairCounters>& pairs) {
     json.field("claims_made", pair.claims_made);
     json.field("claims_refuted", pair.claims_refuted);
     json.field("quorum_reached", pair.quorum_reached);
+    json.field("expectation_evaluations", pair.expectation_evaluations);
+    json.field("expectation_divergent", pair.expectation_divergent);
+    json.field("expectation_visits", pair.expectation_visits);
+    json.field("expectation_scans", pair.expectation_scans);
+    json.field("probabilistic_queries", pair.probabilistic_queries);
     json.end_object();
   }
   json.end_array();
@@ -161,6 +199,13 @@ TEST(ObsGoldenCounters, AllRegimePairsMatchFixture) {
         << "n=" << n << " f=" << f << ": the second job must hit";
     EXPECT_GT(counters.lie_placements, 0u) << "n=" << n << " f=" << f;
     EXPECT_GT(counters.claims_made, 0u) << "n=" << n << " f=" << f;
+    EXPECT_GT(counters.expectation_evaluations, 0u)
+        << "n=" << n << " f=" << f;
+    EXPECT_GT(counters.expectation_divergent, 0u)
+        << "n=" << n << " f=" << f;
+    EXPECT_EQ(counters.expectation_scans, 1u) << "n=" << n << " f=" << f;
+    EXPECT_EQ(counters.probabilistic_queries, 1u)
+        << "n=" << n << " f=" << f;
   }
   const std::string actual = serialize(pairs);
 

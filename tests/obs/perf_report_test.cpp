@@ -27,6 +27,12 @@ PerfReportOptions fast_options(const bool timings_only) {
   options.svc_n_max = 4;
   options.svc_window_hi = 16;
   options.svc_warm_passes = 2;
+  options.probabilistic_n_max = 4;
+  options.probabilistic_p_count = 2;
+  // Past (3, 1)'s ladder threshold (~0.63): the scaled-down sweep still
+  // exercises the divergent-row path the summary object counts.
+  options.probabilistic_p_max = 0.7L;
+  options.probabilistic_mc_trials = 40;
   return options;
 }
 
@@ -42,7 +48,7 @@ bool contains(const std::string& haystack, const std::string& needle) {
 
 TEST(ObsPerfReport, FullModeEmitsChecksumsAndIdentityFlags) {
   const std::string json = report(fast_options(/*timings_only=*/false));
-  EXPECT_TRUE(contains(json, "\"schema\": \"linesearch-bench-perf/6\""));
+  EXPECT_TRUE(contains(json, "\"schema\": \"linesearch-bench-perf/7\""));
   EXPECT_TRUE(contains(json, "\"timings_only\": false"));
   for (const char* name :
        {"dense_cr_sweep_serial", "dense_cr_sweep_parallel",
@@ -50,7 +56,9 @@ TEST(ObsPerfReport, FullModeEmitsChecksumsAndIdentityFlags) {
         "analytic_sweep_analytic", "kernel_sweep_scalar",
         "kernel_sweep_kernel", "kernel_sweep_analytic_scalar",
         "kernel_sweep_analytic_kernel", "degraded_sweep",
-        "byzantine_sweep", "svc_load_cold", "svc_load_warm"}) {
+        "byzantine_sweep", "svc_load_cold", "svc_load_warm",
+        "probabilistic_sweep", "probabilistic_exact_points",
+        "probabilistic_mc_points"}) {
     EXPECT_TRUE(contains(json, std::string("\"name\": \"") + name + "\""))
         << name;
   }
@@ -82,12 +90,22 @@ TEST(ObsPerfReport, FullModeEmitsChecksumsAndIdentityFlags) {
   EXPECT_TRUE(contains(json, "\"warm_p50_usec\""));
   EXPECT_TRUE(contains(json, "\"warm_p99_usec\""));
   EXPECT_TRUE(contains(json, "\"hit_rate\""));
+  // The probabilistic sweep summary: the p-grid shape, the divergence
+  // count (nonzero here — p_max sits past (3, 1)'s threshold), and the
+  // full-mode closed-form-vs-MC race figures.
+  EXPECT_TRUE(contains(json, "\"probabilistic_sweep\""));
+  EXPECT_TRUE(contains(json, "\"p_count\""));
+  EXPECT_TRUE(contains(json, "\"p_max\""));
+  EXPECT_TRUE(contains(json, "\"divergent_rows\""));
+  EXPECT_TRUE(contains(json, "\"mc_trials\""));
+  EXPECT_TRUE(contains(json, "\"exact_over_mc_speedup\""));
+  EXPECT_TRUE(contains(json, "\"converges\""));
   EXPECT_TRUE(contains(json, "\"metrics\""));
 }
 
 TEST(ObsPerfReport, TimingsOnlySkipsChecksumWork) {
   const std::string json = report(fast_options(/*timings_only=*/true));
-  EXPECT_TRUE(contains(json, "\"schema\": \"linesearch-bench-perf/6\""));
+  EXPECT_TRUE(contains(json, "\"schema\": \"linesearch-bench-perf/7\""));
   EXPECT_TRUE(contains(json, "\"timings_only\": true"));
   for (const char* name :
        {"dense_cr_sweep_serial", "dense_cr_sweep_parallel",
@@ -95,7 +113,8 @@ TEST(ObsPerfReport, TimingsOnlySkipsChecksumWork) {
         "analytic_sweep_analytic", "kernel_sweep_scalar",
         "kernel_sweep_kernel", "kernel_sweep_analytic_scalar",
         "kernel_sweep_analytic_kernel", "degraded_sweep",
-        "byzantine_sweep", "svc_load_cold", "svc_load_warm"}) {
+        "byzantine_sweep", "svc_load_cold", "svc_load_warm",
+        "probabilistic_sweep"}) {
     EXPECT_TRUE(contains(json, std::string("\"name\": \"") + name + "\""))
         << name;
   }
@@ -111,12 +130,19 @@ TEST(ObsPerfReport, TimingsOnlySkipsChecksumWork) {
   EXPECT_FALSE(contains(json, "dense_build_millis"));
   EXPECT_FALSE(contains(json, "worst_gap_to_theory"));
   EXPECT_FALSE(contains(json, "kernel_identical_to_scalar"));
+  // The closed-form-vs-MC race is pure verification overhead: both its
+  // timed legs and the speedup figure are gone in timings-only mode.
+  EXPECT_FALSE(contains(json, "probabilistic_exact_points"));
+  EXPECT_FALSE(contains(json, "probabilistic_mc_points"));
+  EXPECT_FALSE(contains(json, "mc_trials"));
+  EXPECT_FALSE(contains(json, "exact_over_mc_speedup"));
   // The shared shape survives in both modes.
   EXPECT_TRUE(contains(json, "\"analytic_build_millis\""));
   EXPECT_TRUE(contains(json, "\"recovered_rows\""));
   EXPECT_TRUE(contains(json, "\"feasible_rows\""));
   EXPECT_TRUE(contains(json, "\"simd_compiled\""));
   EXPECT_TRUE(contains(json, "\"warm_qps\""));
+  EXPECT_TRUE(contains(json, "\"divergent_rows\""));
   EXPECT_TRUE(contains(json, "\"metrics\""));
 }
 

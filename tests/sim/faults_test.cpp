@@ -5,6 +5,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <vector>
 
 #include "util/error.hpp"
 
@@ -231,15 +233,233 @@ TEST(CrashFaults, GuardsArguments) {
   EXPECT_THROW((void)model.choose_faults(fleet, 4, 1), PreconditionError);
 }
 
+TEST(RandomFaults, DrawSequenceIsPinnedToSplitMix64) {
+  // Regression for the seeding port: the shuffle behind choose_faults
+  // used to run through std::shuffle, whose swap sequence is
+  // implementation-defined — seed 7 drew DIFFERENT fault sets on
+  // different standard libraries.  The explicit Fisher-Yates on
+  // SplitMix64 pins this exact draw sequence on every platform.
+  RandomFaults model(7);
+  Fleet fleet({Trajectory({{0, 0}, {10, 10}}),
+               Trajectory({{0, 0}, {10, 10}}),
+               Trajectory({{0, 0}, {10, 10}}),
+               Trajectory({{0, 0}, {10, 10}}),
+               Trajectory({{0, 0}, {10, 10}})});
+  const std::vector<std::vector<bool>> pinned = {
+      {false, true, false, false, true},
+      {true, false, true, false, false},
+      {false, false, true, false, true},
+      {false, true, true, false, false},
+  };
+  for (const std::vector<bool>& draw : pinned) {
+    EXPECT_EQ(model.choose_faults(fleet, 4, 2), draw);
+  }
+}
+
 TEST(ModelNames, AreStable) {
   AdversarialFaults a;
   FixedFaults fx({});
   RandomFaults r(0);
   CrashFaults c({});
+  ProbabilisticFaults pr(ProbabilisticFaultConfig{});
   EXPECT_EQ(a.name(), "adversarial");
   EXPECT_EQ(fx.name(), "fixed");
   EXPECT_EQ(r.name(), "random");
   EXPECT_EQ(c.name(), "crash");
+  EXPECT_EQ(pr.name(), "probabilistic");
+}
+
+// ---------------------------------------------------------------------------
+// Probabilistic (per-visit) faults — the property suite.  The coin
+// probabilistic_visit_fails(seed, robot, visit, p) is specified as a
+// pure O(1) function whose underlying uniform does not depend on p;
+// everything below (replayability, per-seed monotone coupling in p,
+// robot independence) follows from that spec and must survive any
+// reimplementation of the hashing.
+// ---------------------------------------------------------------------------
+
+/// Two unit-speed robots oscillating over [-10, 10] with a phase offset:
+/// every |x| < 10 is crossed five times per robot, so per-robot visit
+/// schedules are long enough for the coin properties to bite.
+Fleet bouncing_pair() {
+  auto bouncer = [](const Real delay) {
+    TrajectoryBuilder builder;
+    builder.start_at(0, 0);
+    if (delay > 0) builder.wait_until(delay);
+    for (const Real turn : {10.0L, -10.0L, 10.0L, -10.0L, 10.0L}) {
+      builder.move_to(turn);
+    }
+    return std::move(builder).build();
+  };
+  return Fleet({bouncer(0), bouncer(3)});
+}
+
+TEST(ProbabilisticCoin, IsAPureFunctionQueryableInAnyOrder) {
+  const std::uint64_t seed = 0xfeedface1234ULL;
+  const Real p = 0.35L;
+  std::vector<std::vector<bool>> forward(3, std::vector<bool>(64));
+  for (std::size_t robot = 0; robot < 3; ++robot) {
+    for (std::size_t visit = 0; visit < 64; ++visit) {
+      forward[robot][visit] =
+          probabilistic_visit_fails(seed, robot, visit, p);
+    }
+  }
+  // Reverse interleaved order — no shared stream means no order effects.
+  for (std::size_t visit = 64; visit-- > 0;) {
+    for (std::size_t robot = 3; robot-- > 0;) {
+      EXPECT_EQ(probabilistic_visit_fails(seed, robot, visit, p),
+                forward[robot][visit])
+          << "robot=" << robot << " visit=" << visit;
+    }
+  }
+  // A different seed realizes a different schedule.
+  int differing = 0;
+  for (std::size_t visit = 0; visit < 64; ++visit) {
+    if (probabilistic_visit_fails(seed + 1, 0, visit, p) !=
+        forward[0][visit]) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(ProbabilisticCoin, FailSchedulesAreCoupledMonotoneInP) {
+  // The coin compares one p-independent uniform against p, so for a
+  // fixed (seed, robot, visit) the fail set can only GROW with p: a
+  // visit that fails at p1 fails at every p2 >= p1.
+  const std::uint64_t seed = 0x5eedc011ULL;
+  const std::vector<Real> grid = {0.1L, 0.3L, 0.5L, 0.7L, 0.9L};
+  for (std::size_t robot = 0; robot < 4; ++robot) {
+    for (std::size_t visit = 0; visit < 256; ++visit) {
+      bool failed_below = false;
+      for (const Real p : grid) {
+        const bool fails = probabilistic_visit_fails(seed, robot, visit, p);
+        EXPECT_TRUE(!failed_below || fails)
+            << "fail set shrank at robot=" << robot << " visit=" << visit
+            << " p=" << static_cast<double>(p);
+        failed_below = fails;
+      }
+    }
+  }
+}
+
+TEST(ProbabilisticCoin, MarginalFrequencyTracksP) {
+  const Real p = 0.3L;
+  const std::size_t trials = 4096;
+  int failures = 0;
+  for (std::size_t visit = 0; visit < trials; ++visit) {
+    if (probabilistic_visit_fails(0xabcdefULL, 5, visit, p)) ++failures;
+  }
+  const Real freq = static_cast<Real>(failures) / trials;
+  // 4 sigma of a Bernoulli(0.3) mean over 4096 draws ~ 0.0287.
+  const Real bound = 4 * std::sqrt(p * (1 - p) / trials);
+  EXPECT_NEAR(static_cast<double>(freq), static_cast<double>(p),
+              static_cast<double>(bound));
+}
+
+TEST(ProbabilisticCoin, RobotSchedulesAreIndependent) {
+  // Identical marginals under robot permutation AND pairwise
+  // decorrelation: every robot index draws Bernoulli(p), and the joint
+  // failure frequency of two robots sits at p^2, not p.
+  const std::uint64_t seed = 0x0ddba11ULL;
+  const Real p = 0.4L;
+  const std::size_t trials = 4096;
+  std::vector<int> failures(3, 0);
+  int joint01 = 0;
+  for (std::size_t visit = 0; visit < trials; ++visit) {
+    std::vector<bool> fails(3);
+    for (std::size_t robot = 0; robot < 3; ++robot) {
+      fails[robot] = probabilistic_visit_fails(seed, robot, visit, p);
+      if (fails[robot]) ++failures[robot];
+    }
+    if (fails[0] && fails[1]) ++joint01;
+  }
+  const Real marginal_bound = 4 * std::sqrt(p * (1 - p) / trials);
+  for (std::size_t robot = 0; robot < 3; ++robot) {
+    EXPECT_NEAR(static_cast<double>(failures[robot]) / trials,
+                static_cast<double>(p),
+                static_cast<double>(marginal_bound))
+        << "robot=" << robot;
+  }
+  const Real joint = p * p;
+  const Real joint_bound = 4 * std::sqrt(joint * (1 - joint) / trials);
+  EXPECT_NEAR(static_cast<double>(joint01) / trials,
+              static_cast<double>(joint),
+              static_cast<double>(joint_bound));
+}
+
+TEST(ProbabilisticFaults, ChooseFaultsReportsNoStaticFaults) {
+  ProbabilisticFaults model(ProbabilisticFaultConfig{.p = 0.5L});
+  const Fleet fleet = bouncing_pair();
+  EXPECT_EQ(model.choose_faults(fleet, 3, 1),
+            (std::vector<bool>{false, false}));
+  EXPECT_EQ(model.choose_faults(fleet, 3, 0),
+            (std::vector<bool>{false, false}));
+}
+
+TEST(ProbabilisticFaults, PZeroMatchesTheFaultFreeOracleBitwise) {
+  ProbabilisticFaults model(ProbabilisticFaultConfig{.p = 0});
+  const Fleet fleet = bouncing_pair();
+  for (const Real x : {1.0L, 3.0L, -7.5L, 9.0L}) {
+    EXPECT_EQ(detection_time_under(model, fleet, x, 0),
+              fleet.detection_time(x, 0))
+        << "x=" << static_cast<double>(x);
+  }
+}
+
+TEST(ProbabilisticFaults, DetectionTimeIsMonotoneInPPerSeed) {
+  // The coupling again, now end to end: raising p only removes
+  // successful probes from a fixed realized schedule, so the first
+  // success can only move later (or to kInfinity).
+  const Fleet fleet = bouncing_pair();
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Real previous = 0;
+    for (const Real p : {0.0L, 0.2L, 0.4L, 0.6L, 0.8L}) {
+      ProbabilisticFaults model(
+          ProbabilisticFaultConfig{.p = p, .seed = seed});
+      const Real t = model.detection_time(fleet, 3, 0);
+      EXPECT_GE(t, previous)
+          << "seed=" << seed << " p=" << static_cast<double>(p);
+      previous = t;
+    }
+  }
+}
+
+TEST(ProbabilisticFaults, POneNeverDetects) {
+  ProbabilisticFaults model(ProbabilisticFaultConfig{.p = 1});
+  const Fleet fleet = bouncing_pair();
+  EXPECT_TRUE(std::isinf(model.detection_time(fleet, 3, 0)));
+}
+
+TEST(ProbabilisticFaults, ReplaysBitIdenticallyFromItsConfig) {
+  const Fleet fleet = bouncing_pair();
+  const ProbabilisticFaultConfig config{.p = 0.6L, .seed = 99};
+  ProbabilisticFaults first(config);
+  ProbabilisticFaults second(config);
+  int seed_sensitive = 0;
+  for (const Real x : {1.0L, 3.0L, -7.5L, 9.0L}) {
+    const Real t = first.detection_time(fleet, x, 0);
+    EXPECT_EQ(second.detection_time(fleet, x, 0), t);
+    ProbabilisticFaults other(
+        ProbabilisticFaultConfig{.p = 0.6L, .seed = 100});
+    if (other.detection_time(fleet, x, 0) != t) ++seed_sensitive;
+  }
+  // The seed is load-bearing: some target must realize differently.
+  EXPECT_GT(seed_sensitive, 0);
+}
+
+TEST(ProbabilisticFaults, GuardsArguments) {
+  EXPECT_THROW(ProbabilisticFaults(ProbabilisticFaultConfig{.p = -0.1L}),
+               PreconditionError);
+  EXPECT_THROW(ProbabilisticFaults(ProbabilisticFaultConfig{.p = 1.5L}),
+               PreconditionError);
+  EXPECT_THROW(ProbabilisticFaults(
+                   ProbabilisticFaultConfig{.p = 0.5L, .max_visits = 0}),
+               PreconditionError);
+  EXPECT_THROW((void)probabilistic_visit_fails(1, 0, 0, -0.5L),
+               PreconditionError);
+  EXPECT_THROW((void)probabilistic_visit_fails(1, 0, 0, 2.0L),
+               PreconditionError);
 }
 
 }  // namespace

@@ -113,8 +113,10 @@ TEST(QueryServerHandleLine, RejectsAtTheAdmissionBound) {
 
 /// The golden corpus: one request per line, spanning defaults, explicit
 /// beta, both infeasible and feasible Byzantine queries (the infeasible
-/// one pins the non-finite codec on the wire), a crash schedule, and a
-/// canonicalization error.
+/// one pins the non-finite codec on the wire), a crash schedule, a
+/// canonicalization error, and three probabilistic queries — a
+/// convergent p, a past-threshold p whose divergent expected CR pins
+/// the "inf" codec on the wire, and an out-of-range fault_p error.
 std::vector<std::string> golden_requests() {
   return {
       R"({"id": 1, "op": "cr"})",
@@ -124,6 +126,9 @@ std::vector<std::string> golden_requests() {
       R"({"id": 5, "op": "cr", "n": 4, "f": 2, "regime": "byzantine", "window_hi": 16})",
       R"({"id": 6, "op": "cr", "n": 3, "f": 1, "regime": "crash", "crash_times": [2.0, "inf", "inf"], "window_hi": 16})",
       R"({"id": 7, "op": "cr", "n": 4, "f": 1})",
+      R"({"id": 8, "op": "cr", "n": 5, "f": 2, "regime": "probabilistic", "fault_p": 0.25, "window_hi": 16})",
+      R"({"id": 9, "op": "cr", "n": 3, "f": 1, "regime": "probabilistic", "fault_p": 0.8, "window_hi": 16})",
+      R"({"id": 10, "op": "cr", "n": 3, "f": 1, "regime": "probabilistic", "fault_p": 1.5, "window_hi": 16})",
   };
 }
 

@@ -6,6 +6,7 @@
 #include <cmath>
 #include <set>
 
+#include "eval/expectation.hpp"
 #include "util/error.hpp"
 
 namespace linesearch {
@@ -18,6 +19,7 @@ bool same_instance(const FuzzInstance& a, const FuzzInstance& b) {
       a.query_regime != b.query_regime) {
     return false;
   }
+  if (!value_identical(a.fault_p, b.fault_p)) return false;
   if (!value_identical(a.beta, b.beta) ||
       !value_identical(a.extent, b.extent) ||
       !value_identical(a.window_lo, b.window_lo) ||
@@ -86,7 +88,7 @@ TEST(Fuzz, SeedsCoverEveryFleetKind) {
   for (std::uint64_t seed = 1; seed <= 64; ++seed) {
     kinds.insert(generate_instance(seed).kind);
   }
-  EXPECT_EQ(kinds.size(), 11u);
+  EXPECT_EQ(kinds.size(), 12u);
 }
 
 TEST(Fuzz, GeneratedInstancesAreValid) {
@@ -105,15 +107,20 @@ TEST(Fuzz, GeneratedInstancesAreValid) {
 }
 
 TEST(Fuzz, CleanSeedRunsAllOracles) {
-  const FuzzInstance instance = generate_instance(42);
-  const FuzzOutcome outcome = run_instance(instance);
-  EXPECT_TRUE(outcome.ok()) << outcome.describe();
-  EXPECT_EQ(outcome.invariants.size(), 10u);
-  // run_differentials' six engines plus the byzantine quorum race plus
-  // the dense-vs-analytic backend differential (seed 42 maps to the
-  // strategy-backed byzantine-lies kind).
-  EXPECT_EQ(outcome.differentials.size(), 8u);
-  EXPECT_EQ(outcome.primary_failure(), "");
+  // Deterministic search for the first byzantine-lies seed: the kind
+  // with the fullest engine set.
+  for (std::uint64_t seed = 1;; ++seed) {
+    const FuzzInstance instance = generate_instance(seed);
+    if (instance.kind != FleetKind::kByzantineLies) continue;
+    const FuzzOutcome outcome = run_instance(instance);
+    EXPECT_TRUE(outcome.ok()) << outcome.describe();
+    EXPECT_EQ(outcome.invariants.size(), 11u);
+    // run_differentials' six engines plus the byzantine quorum race
+    // plus the dense-vs-analytic backend differential.
+    EXPECT_EQ(outcome.differentials.size(), 8u);
+    EXPECT_EQ(outcome.primary_failure(), "");
+    break;
+  }
 }
 
 TEST(Fuzz, ConeEscapeInjectionFailsConeOracle) {
@@ -203,7 +210,7 @@ TEST(Fuzz, CrashKindRunsTheCrashDifferential) {
     if (instance.kind != FleetKind::kCrashInjected) continue;
     const FuzzOutcome outcome = run_instance(instance);
     EXPECT_TRUE(outcome.ok()) << outcome.describe();
-    EXPECT_EQ(outcome.invariants.size(), 10u);
+    EXPECT_EQ(outcome.invariants.size(), 11u);
     ASSERT_EQ(outcome.differentials.size(), 1u);
     EXPECT_EQ(outcome.differentials[0].name, "crash_injected");
     break;
@@ -286,7 +293,7 @@ TEST(Fuzz, ByzantineKindCarriesALiePlanAndRunsItsDifferential) {
       // applies — the quorum race rides along as an extra engine.
       const FuzzOutcome outcome = run_instance(instance);
       EXPECT_TRUE(outcome.ok()) << outcome.describe();
-      EXPECT_EQ(outcome.invariants.size(), 10u);
+      EXPECT_EQ(outcome.invariants.size(), 11u);
       bool ran_byzantine = false;
       for (const DifferentialResult& result : outcome.differentials) {
         if (result.name == "byzantine") ran_byzantine = true;
@@ -366,7 +373,7 @@ TEST(Fuzz, ServerQueryKindCoversEveryRegimeAndRunsTheWireDifferential) {
     if (server_seeds == 1) {
       const FuzzOutcome outcome = run_instance(instance);
       EXPECT_TRUE(outcome.ok()) << outcome.describe();
-      EXPECT_EQ(outcome.invariants.size(), 10u);
+      EXPECT_EQ(outcome.invariants.size(), 11u);
       ASSERT_EQ(outcome.differentials.size(), 1u);
       EXPECT_EQ(outcome.differentials[0].name, "server_vs_library");
     }
@@ -384,6 +391,53 @@ TEST(Fuzz, ServerQueryKindJsonRecordsTheRegime) {
     EXPECT_NE(json.find("\"kind\": \"server-query\""), std::string::npos)
         << json;
     EXPECT_NE(json.find("\"query_regime\""), std::string::npos) << json;
+    break;
+  }
+}
+
+TEST(Fuzz, ProbabilisticKindRunsTheExpectationDifferential) {
+  // Probabilistic-faults instances carry a fault_p in [0, 1) — mostly
+  // inside the convergent band, occasionally past the ladder threshold
+  // so the divergence contract is exercised — and ride the generic
+  // engine set plus the expectation-vs-Monte-Carlo race.
+  int probabilistic_seeds = 0;
+  int divergent_seeds = 0;
+  for (std::uint64_t seed = 1; seed <= 120; ++seed) {
+    const FuzzInstance instance = generate_instance(seed);
+    if (instance.kind != FleetKind::kProbabilisticFaults) continue;
+    ++probabilistic_seeds;
+    EXPECT_GE(instance.fault_p, 0.0L) << seed;
+    EXPECT_LT(instance.fault_p, 1.0L) << seed;
+    if (!expectation_converges(instance.n, instance.f, instance.fault_p)) {
+      ++divergent_seeds;
+    }
+    if (probabilistic_seeds == 1) {
+      const FuzzOutcome outcome = run_instance(instance);
+      EXPECT_TRUE(outcome.ok()) << outcome.describe();
+      EXPECT_EQ(outcome.invariants.size(), 11u);
+      bool ran_expectation = false;
+      for (const DifferentialResult& result : outcome.differentials) {
+        if (result.name == "expectation_vs_montecarlo") {
+          ran_expectation = true;
+        }
+      }
+      EXPECT_TRUE(ran_expectation);
+    }
+  }
+  EXPECT_GT(probabilistic_seeds, 0);
+  EXPECT_GT(divergent_seeds, 0);
+}
+
+TEST(Fuzz, ProbabilisticKindJsonRecordsFaultP) {
+  for (std::uint64_t seed = 1;; ++seed) {
+    const FuzzInstance instance = generate_instance(seed);
+    if (instance.kind != FleetKind::kProbabilisticFaults) continue;
+    const FuzzOutcome outcome = run_instance(instance);
+    const std::string json = instance_to_json(instance, outcome);
+    EXPECT_NE(json.find("\"kind\": \"probabilistic-faults\""),
+              std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"fault_p\""), std::string::npos) << json;
     break;
   }
 }

@@ -57,7 +57,8 @@ TEST(Invariants, ProportionalAlgorithmPassesEveryOracle) {
        {"kinematics", "lemma1_cone_containment",
         "lemma2_proportional_structure", "first_visit_monotonicity",
         "detection_order_statistics", "coverage", "theorem1_closed_form",
-        "theorem2_lower_bound_dominance", "fault_monotone_cr"}) {
+        "theorem2_lower_bound_dominance", "fault_monotone_cr",
+        "probabilistic_monotone"}) {
     EXPECT_TRUE(find_result(results, name).applicable)
         << name << " was not applicable";
   }

@@ -49,7 +49,7 @@ bool known_kind(const std::string& name) {
         FleetKind::kClassicCowPath, FleetKind::kUniformOffset,
         FleetKind::kAnalyticZigzag, FleetKind::kCrashInjected,
         FleetKind::kKernelSoA, FleetKind::kByzantineLies,
-        FleetKind::kServerQuery}) {
+        FleetKind::kServerQuery, FleetKind::kProbabilisticFaults}) {
     if (name == linesearch::verify::kind_name(kind)) return true;
   }
   return false;
@@ -122,7 +122,7 @@ int main(const int argc, const char* const* argv) {
               << "' (valid: proportional, perturbed-beta, custom-cone, "
                  "group-doubling, classic-cow-path, uniform-offset, "
                  "analytic-zigzag, crash-injected, kernel-soa, "
-                 "byzantine-lies, server-query)\n"
+                 "byzantine-lies, server-query, probabilistic-faults)\n"
               << parser.usage();
     return 2;
   }

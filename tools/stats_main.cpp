@@ -14,7 +14,7 @@
 // determinism check outside the test suite.
 //
 // Usage: stats_main [--workload=dense|analytic|game|runtime|degraded|
-//                      byzantine|service|fuzz|all]
+//                      byzantine|service|probabilistic|fuzz|all]
 //                   [--threads=N] [--json=PATH] [--deterministic-only]
 #include <fstream>
 #include <iostream>
@@ -28,6 +28,7 @@
 #include "core/lower_bound.hpp"
 #include "eval/batch.hpp"
 #include "eval/cr_eval.hpp"
+#include "eval/expectation.hpp"
 #include "eval/validation.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
@@ -127,6 +128,33 @@ void run_service() {
   }
 }
 
+/// The probabilistic expected-CR engine: one sweep over the n <= 6
+/// regime grid times a convergent p grid, one query-layer scan (cold +
+/// warm), and one certified-divergent point past (3, 1)'s ladder
+/// threshold; populates the eval.expectation.* work profile and
+/// svc.probabilistic_queries.
+void run_probabilistic() {
+  ExpectationSweepOptions sweep;
+  sweep.n_max = 6;
+  sweep.p_count = 3;
+  sweep.p_max = 0.4L;
+  (void)expectation_sweep(sweep);
+  svc::QueryService service;
+  for (int pass = 0; pass < 2; ++pass) {
+    svc::CrQuery query;
+    query.n = 3;
+    query.f = 1;
+    query.window_hi = 16;
+    query.regime = svc::FaultRegime::kProbabilistic;
+    query.fault_p = 0.25L;
+    (void)service.evaluate(query);
+  }
+  const Fleet fleet = ProportionalAlgorithm(3, 1).build_unbounded_fleet();
+  ExpectationOptions divergent;
+  divergent.p = (expectation_convergence_threshold(3, 1) + 1) / 2;
+  (void)expected_detection_time(fleet, 2, divergent);
+}
+
 }  // namespace
 
 int main(const int argc, const char* const* argv) {
@@ -140,7 +168,7 @@ int main(const int argc, const char* const* argv) {
                 "registry as JSON");
   cli.add_option("workload", &workload, "NAME",
                  "dense|analytic|game|runtime|degraded|byzantine|service|"
-                 "fuzz|all (default all)");
+                 "probabilistic|fuzz|all (default all)");
   cli.add_option("threads", &threads, "N",
                  "worker threads (0 = LINESEARCH_THREADS / hardware)");
   cli.add_option("json", &json_path, "PATH",
@@ -156,10 +184,11 @@ int main(const int argc, const char* const* argv) {
   if (!all && workload != "dense" && workload != "analytic" &&
       workload != "game" && workload != "runtime" &&
       workload != "degraded" && workload != "byzantine" &&
-      workload != "service" && workload != "fuzz") {
+      workload != "service" && workload != "probabilistic" &&
+      workload != "fuzz") {
     std::cerr << "stats_main: unknown --workload '" << workload
               << "' (valid: dense, analytic, game, runtime, degraded, "
-                 "byzantine, service, fuzz, all)\n"
+                 "byzantine, service, probabilistic, fuzz, all)\n"
               << cli.usage();
     return 2;
   }
@@ -172,6 +201,7 @@ int main(const int argc, const char* const* argv) {
   if (all || workload == "degraded") run_degraded();
   if (all || workload == "byzantine") run_byzantine_workload(threads);
   if (all || workload == "service") run_service();
+  if (all || workload == "probabilistic") run_probabilistic();
   if (all || workload == "fuzz") run_fuzz();
 
   std::ofstream file;
