@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <filesystem>
 #include <limits>
 #include <ostream>
 #include <sstream>
@@ -26,6 +27,7 @@
 #include "obs/metrics.hpp"
 #include "runtime/supervisor.hpp"
 #include "svc/server.hpp"
+#include "svc/snapshot.hpp"
 #include "util/error.hpp"
 #include "util/jsonio.hpp"
 #include "util/parallel.hpp"
@@ -377,6 +379,47 @@ void write_perf_report(std::ostream& out, const PerfReportOptions& options) {
                                   static_cast<double>(svc_stats.queries)
                             : 0;
 
+  // svc_restart: the crash-safe warm-restart round trip (svc/snapshot).
+  // The warmed svc_load server snapshots its result cache to disk, a
+  // FRESH server restores it, and the identical request list replays
+  // against the restored cache.  The replay hit rate is the headline —
+  // a restored snapshot that still misses is a cold start wearing a
+  // warm label — with the save/load/replay timings alongside.
+  const std::string restart_path =
+      (std::filesystem::temp_directory_path() /
+       "linesearch-bench-svc-restart.snapshot")
+          .string();
+  const auto restart_save_start = Clock::now();
+  const svc::SnapshotWriteReport restart_saved =
+      svc::save_snapshot(svc_server.service(), restart_path);
+  const double restart_save_ms = millis_since(restart_save_start);
+
+  svc::QueryServer restart_server;
+  const auto restart_load_start = Clock::now();
+  const svc::SnapshotLoadReport restart_loaded =
+      svc::load_snapshot(restart_server.service(), restart_path);
+  const double restart_load_ms = millis_since(restart_load_start);
+
+  std::size_t restart_sink = 0;
+  const auto restart_replay_start = Clock::now();
+  for (const std::string& request : svc_requests) {
+    restart_sink += restart_server.handle_line(request).size();
+  }
+  const double restart_replay_ms = millis_since(restart_replay_start);
+  std::filesystem::remove(restart_path);
+
+  const svc::QueryService::Stats restart_stats =
+      restart_server.service().stats();
+  const double restart_hit_rate =
+      restart_stats.queries > 0
+          ? static_cast<double>(restart_stats.cache_hits) /
+                static_cast<double>(restart_stats.queries)
+          : 0;
+  const double restart_replay_qps =
+      restart_replay_ms > 0 ? static_cast<double>(svc_requests.size()) /
+                                  (restart_replay_ms / 1e3)
+                            : 0;
+
   // probabilistic_sweep: the exact expected-CR engine over the regime
   // grid times a p grid (eval/expectation).  Full mode also races the
   // closed-form series against a seeded Monte-Carlo estimate of the
@@ -470,6 +513,11 @@ void write_perf_report(std::ostream& out, const PerfReportOptions& options) {
   // the wire format shows up here even when every value is unchanged.
   workload("svc_load_cold", svc_cold_ms, static_cast<Real>(svc_sink));
   workload("svc_load_warm", svc_warm_ms, static_cast<Real>(svc_sink));
+  // save + restore + hot replay; the checksum folds the replayed
+  // response bytes, so a snapshot that alters any answered bit is a
+  // checksum change, not just a hit-rate dip.
+  workload("svc_restart", restart_save_ms + restart_load_ms + restart_replay_ms,
+           static_cast<Real>(restart_sink));
   workload("probabilistic_sweep", probabilistic_ms, probabilistic_checksum);
   if (!options.timings_only) {
     // The two legs of the closed-form-vs-MC race (full mode only: the
@@ -571,6 +619,18 @@ void write_perf_report(std::ostream& out, const PerfReportOptions& options) {
   json.field("warm_p99_usec",
              static_cast<Real>(percentile(svc_warm_usec, 99)));
   json.field("hit_rate", static_cast<Real>(svc_hit_rate));
+  json.end_object();
+
+  json.key("svc_restart").begin_object();
+  json.field("entries_saved", static_cast<int>(restart_saved.entries));
+  json.field("snapshot_bytes", static_cast<Real>(restart_saved.bytes));
+  json.field("restored_ok", restart_loaded.ok);
+  json.field("entries_restored", static_cast<int>(restart_loaded.entries));
+  json.field("save_millis", static_cast<Real>(restart_save_ms));
+  json.field("load_millis", static_cast<Real>(restart_load_ms));
+  json.field("replay_millis", static_cast<Real>(restart_replay_ms));
+  json.field("replay_qps", static_cast<Real>(restart_replay_qps));
+  json.field("hit_rate", static_cast<Real>(restart_hit_rate));
   json.end_object();
 
   json.key("probabilistic_sweep").begin_object();

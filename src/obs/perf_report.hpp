@@ -49,7 +49,12 @@
 // summary object (divergent row count plus, in full mode, the
 // closed-form-vs-Monte-Carlo agreement check and the measured speedup
 // of the exact series over a seeded MC estimate of the same
-// expectations).
+// expectations).  Schema /8 added the svc_restart workload — the
+// crash-safe warm-restart round trip (svc/snapshot: save the warmed
+// svc_load cache, restore it into a fresh server, replay the hot set)
+// — and its summary object (entries/bytes saved, restore verdict,
+// save/load/replay timings, replay qps, and the restored-cache hit
+// rate the robustness docs pin at >= 0.9).
 #pragma once
 
 #include <iosfwd>
@@ -65,8 +70,9 @@ namespace linesearch::obs {
 /// the SoA kernel_sweep workloads and summary joined it; from /4 when
 /// the Byzantine quorum sweep joined it; from /5 when the closed-loop
 /// query-service load workload joined it; from /6 when the probabilistic
-/// expected-CR p-sweep joined it).
-inline constexpr const char* kPerfReportSchema = "linesearch-bench-perf/7";
+/// expected-CR p-sweep joined it; from /7 when the warm-restart
+/// snapshot round trip joined it).
+inline constexpr const char* kPerfReportSchema = "linesearch-bench-perf/8";
 
 struct PerfReportOptions {
   /// Skip all checksum-verification work (see header comment).

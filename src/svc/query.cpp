@@ -1,5 +1,6 @@
 #include "svc/query.hpp"
 
+#include <charconv>
 #include <cmath>
 #include <utility>
 
@@ -431,6 +432,75 @@ QueryService::Stats QueryService::stats() const {
 std::size_t QueryService::backend_count() const {
   const std::lock_guard<std::mutex> lock(backends_mutex_);
   return backends_.size();
+}
+
+namespace {
+
+/// Recompute a cached key's shard from its embedded regime pair: keys
+/// spell "regime|n|f|..." (query_key), so the pair survives a snapshot
+/// round trip under any shard_count.
+std::size_t shard_of_key(const std::string& key,
+                         const std::size_t shard_count) {
+  const std::size_t first = key.find('|');
+  const std::size_t second =
+      first == std::string::npos ? first : key.find('|', first + 1);
+  const std::size_t third =
+      second == std::string::npos ? second : key.find('|', second + 1);
+  expects(third != std::string::npos,
+          "svc: cache key missing regime-pair fields: " + key);
+  int n = 0;
+  int f = 0;
+  const char* n_begin = key.data() + first + 1;
+  const char* n_end = key.data() + second;
+  const char* f_begin = key.data() + second + 1;
+  const char* f_end = key.data() + third;
+  const auto n_parsed = std::from_chars(n_begin, n_end, n);
+  const auto f_parsed = std::from_chars(f_begin, f_end, f);
+  expects(n_parsed.ec == std::errc{} && n_parsed.ptr == n_end &&
+              f_parsed.ec == std::errc{} && f_parsed.ptr == f_end &&
+              n > 0 && f > 0,
+          "svc: cache key regime pair does not parse: " + key);
+  const std::size_t pair = static_cast<std::size_t>(n) * 31u +
+                           static_cast<std::size_t>(f);
+  return pair % shard_count;
+}
+
+}  // namespace
+
+std::vector<QueryService::CacheEntry> QueryService::export_cache() const {
+  std::vector<CacheEntry> entries;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    for (const auto& [key, result] : shard->order) {
+      entries.push_back(CacheEntry{key, result});
+    }
+  }
+  return entries;
+}
+
+std::size_t QueryService::import_cache(const std::vector<CacheEntry>& entries) {
+  // Validate every key BEFORE touching the cache: a rejected import
+  // leaves the service exactly as it was (cold, not half-warm).
+  std::vector<std::size_t> shards;
+  shards.reserve(entries.size());
+  for (const CacheEntry& entry : entries) {
+    shards.push_back(shard_of_key(entry.key, options_.shard_count));
+  }
+  // LRU-first replay: cache_store fronts each key, so the exported
+  // recency order (MRU first) is restored by inserting in reverse.
+  for (std::size_t i = entries.size(); i-- > 0;) {
+    cache_store(shards[i], entries[i].key, entries[i].result);
+  }
+  return entries.size();
+}
+
+std::size_t QueryService::cached_count() const {
+  std::size_t total = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->order.size();
+  }
+  return total;
 }
 
 void QueryService::clear() {

@@ -163,6 +163,30 @@ class QueryService {
   /// keep their totals.
   void clear();
 
+  /// One exported result-cache entry (svc/snapshot's unit of warm
+  /// restart).  The full query_key travels with the result; the key
+  /// embeds the regime pair (fields `n|f`), so a restoring service
+  /// recomputes shard placement under ANY shard_count.
+  struct CacheEntry {
+    std::string key;
+    QueryResult result;
+  };
+
+  /// Every cached result, shard 0..N-1, most-recently-used first within
+  /// each shard.  Safe concurrently with evaluate() (per-shard locks).
+  [[nodiscard]] std::vector<CacheEntry> export_cache() const;
+
+  /// Insert exported entries into this service's cache (existing keys
+  /// keep their first value — the determinism contract makes them
+  /// value-identical anyway).  Entries are replayed LRU-first so the
+  /// exported recency order survives the round trip.  Returns the
+  /// number of entries stored.  Throws PreconditionError on a key whose
+  /// regime-pair fields do not parse.
+  std::size_t import_cache(const std::vector<CacheEntry>& entries);
+
+  /// Total results currently cached across all shards.
+  [[nodiscard]] std::size_t cached_count() const;
+
   const QueryServiceOptions& options() const { return options_; }
 
  private:

@@ -5,6 +5,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <climits>
@@ -14,6 +15,7 @@
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "svc/snapshot.hpp"
 #include "util/error.hpp"
 #include "util/jsonio.hpp"
 #include "util/parallel.hpp"
@@ -29,6 +31,11 @@ struct WireMetrics {
   obs::MetricId errors;
   obs::MetricId queue_depth;
   obs::MetricId latency;
+  obs::MetricId frame_rejected;
+  obs::MetricId idle_closed;
+  obs::MetricId write_timeout;
+  obs::MetricId write_failures;
+  obs::MetricId drain_rejected;
 
   static const WireMetrics& instance() {
     static const WireMetrics metrics = [] {
@@ -39,6 +46,16 @@ struct WireMetrics {
       m.rejected =
           registry.counter("svc.rejected", /*deterministic=*/false);
       m.errors = registry.counter("svc.errors", /*deterministic=*/false);
+      m.frame_rejected =
+          registry.counter("svc.frame_rejected", /*deterministic=*/false);
+      m.idle_closed = registry.counter("svc.deadline_idle_closed",
+                                       /*deterministic=*/false);
+      m.write_timeout = registry.counter("svc.deadline_write_timeout",
+                                         /*deterministic=*/false);
+      m.write_failures =
+          registry.counter("svc.write_failures", /*deterministic=*/false);
+      m.drain_rejected =
+          registry.counter("svc.drain_rejected", /*deterministic=*/false);
       // High-water mark of concurrently evaluating requests.
       m.queue_depth =
           registry.gauge("svc.queue_depth", /*deterministic=*/false);
@@ -122,6 +139,33 @@ std::string render_response(const long long id, const QueryResult& result) {
   return out.str();
 }
 
+long long peek_request_id(const std::string& line) noexcept {
+  try {
+    const JsonValue doc = parse_json(line);
+    if (!doc.is_object()) return 0;
+    const JsonValue* id = doc.find("id");
+    return id == nullptr ? 0 : id->as_int();
+  } catch (const std::exception&) {
+    return 0;
+  }
+}
+
+std::vector<std::string> drain_reject_lines(const std::string& pending) {
+  std::vector<std::string> responses;
+  std::size_t line_start = 0;
+  while (line_start <= pending.size()) {
+    const std::size_t newline = pending.find('\n', line_start);
+    if (newline == std::string::npos) break;
+    const std::string line =
+        pending.substr(line_start, newline - line_start);
+    line_start = newline + 1;
+    if (line.empty()) continue;
+    responses.push_back(render_error(peek_request_id(line),
+                                     "draining: server is shutting down"));
+  }
+  return responses;
+}
+
 std::string render_error(const long long id, const std::string& message) {
   std::ostringstream out;
   JsonWriter json(out, /*compact=*/true);
@@ -175,6 +219,11 @@ std::string QueryServer::handle_line(const std::string& line) {
       const std::lock_guard<std::mutex> lock(stats_mutex_);
       ++stats_.errors;
     }
+    // Echo the request id whenever the line itself parsed (the failure
+    // was a bad op/field): clients can then match the structured error
+    // to its request.  A 0-id error means the REQUEST was unparseable —
+    // to a client that only sends ids >= 1, proof of a damaged frame.
+    if (id == 0) id = peek_request_id(line);
     response = render_error(id, failure.what());
   }
   inflight_.fetch_sub(1, std::memory_order_acq_rel);
@@ -187,6 +236,58 @@ std::string QueryServer::handle_line(const std::string& line) {
   return response;
 }
 
+bool QueryServer::write_line(const int fd, const std::string& line) {
+  const std::string response = line + '\n';
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(options_.write_timeout_ms);
+  std::size_t written = 0;
+  while (written < response.size()) {
+    if (options_.write_timeout_ms > 0) {
+      // A peer that stops reading must not park this worker forever:
+      // wait for writability only up to the write deadline.
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) {
+        obs::count(WireMetrics::instance().write_timeout);
+        obs::count(WireMetrics::instance().write_failures);
+        const std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.write_failures;
+        return false;
+      }
+      pollfd poller{};
+      poller.fd = fd;
+      poller.events = POLLOUT;
+      const int wait = static_cast<int>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                                now)
+              .count());
+      const int ready = ::poll(&poller, 1, std::max(1, wait));
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      if (ready == 0) continue;  // re-check the deadline
+    }
+    // MSG_NOSIGNAL: a client that closed mid-response yields EPIPE here
+    // instead of a process-killing SIGPIPE — the library-level half of
+    // the fix (serve_main's SIG_IGN only covers its own process, not
+    // embedders or the test binaries).
+    const ssize_t sent = ::send(fd, response.data() + written,
+                                response.size() - written, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      break;  // EPIPE/ECONNRESET: the peer is gone
+    }
+    written += static_cast<std::size_t>(sent);
+  }
+  if (written >= response.size()) return true;
+  obs::count(WireMetrics::instance().write_failures);
+  const std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++stats_.write_failures;
+  return false;
+}
+
 void QueryServer::handle_connection(const int fd) {
   {
     const std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -195,6 +296,10 @@ void QueryServer::handle_connection(const int fd) {
   std::string buffer;
   char chunk[4096];
   bool open = true;
+  // The idle clock starts at accept and resets only on a COMPLETE
+  // request line — receiving stray bytes does not count as progress, so
+  // a trickling (slowloris) client and a silent one expire the same way.
+  auto last_progress = std::chrono::steady_clock::now();
   while (open) {
     // Drain every complete line already buffered before blocking again;
     // responses go back in request order (the lock-step clients the
@@ -207,26 +312,75 @@ void QueryServer::handle_connection(const int fd) {
           buffer.substr(line_start, newline - line_start);
       line_start = newline + 1;
       if (line.empty()) continue;
-      const std::string response = handle_line(line) + '\n';
-      std::size_t written = 0;
-      while (written < response.size()) {
-        const ssize_t sent = ::write(fd, response.data() + written,
-                                     response.size() - written);
-        if (sent < 0) {
-          if (errno == EINTR) continue;
-          open = false;
-          break;
-        }
-        written += static_cast<std::size_t>(sent);
+      last_progress = std::chrono::steady_clock::now();
+      if (!write_line(fd, handle_line(line))) {
+        open = false;
+        break;
       }
-      if (!open) break;
     }
     buffer.erase(0, line_start);
     if (!open) break;
 
-    // Graceful drain: once stop() is requested, finish what is buffered
-    // (done above) and close rather than waiting for more input.
-    if (stopping()) break;
+    // Frame bound: a pending line that outgrew the limit can only get
+    // worse — reject it visibly and close before it becomes an OOM.
+    if (buffer.size() > options_.max_request_bytes) {
+      obs::count(WireMetrics::instance().frame_rejected);
+      {
+        const std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.frame_rejected;
+      }
+      (void)write_line(
+          fd, render_error(0, "malformed: request line exceeds " +
+                                  std::to_string(options_.max_request_bytes) +
+                                  " bytes"));
+      break;
+    }
+
+    // Graceful drain: once stop() is requested, what was already
+    // buffered has been ANSWERED above; anything still queued in the
+    // socket gets a visible "draining" rejection — answered or
+    // rejected, never silently dropped.
+    if (stopping()) {
+      std::string pending;
+      while (true) {
+        pollfd sweep{};
+        sweep.fd = fd;
+        sweep.events = POLLIN;
+        if (::poll(&sweep, 1, 0) <= 0) break;
+        const ssize_t got = ::read(fd, chunk, sizeof chunk);
+        if (got <= 0) break;
+        pending.append(chunk, static_cast<std::size_t>(got));
+      }
+      for (const std::string& rejection : drain_reject_lines(pending)) {
+        obs::count(WireMetrics::instance().drain_rejected);
+        {
+          const std::lock_guard<std::mutex> lock(stats_mutex_);
+          ++stats_.drain_rejected;
+        }
+        if (!write_line(fd, rejection)) break;
+      }
+      break;
+    }
+
+    // Idle deadline, from the last complete request.
+    if (options_.idle_timeout_ms > 0) {
+      const auto idle_for =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now() - last_progress)
+              .count();
+      if (idle_for > options_.idle_timeout_ms) {
+        obs::count(WireMetrics::instance().idle_closed);
+        {
+          const std::lock_guard<std::mutex> lock(stats_mutex_);
+          ++stats_.idle_closed;
+        }
+        (void)write_line(
+            fd, render_error(0, "timeout: connection idle beyond " +
+                                    std::to_string(options_.idle_timeout_ms) +
+                                    " ms"));
+        break;
+      }
+    }
 
     pollfd poller{};
     poller.fd = fd;
@@ -236,7 +390,7 @@ void QueryServer::handle_connection(const int fd) {
       if (errno == EINTR) continue;
       break;
     }
-    if (ready == 0) continue;  // timeout: re-check the stop flag
+    if (ready == 0) continue;  // timeout: re-check stop flag + deadlines
     const ssize_t got = ::read(fd, chunk, sizeof chunk);
     if (got < 0) {
       if (errno == EINTR) continue;
@@ -293,6 +447,12 @@ void QueryServer::serve(const std::string& socket_path) {
       if (errno == EINTR) continue;
       break;
     }
+    // Live checkpoint (SIGUSR1): write the snapshot from the accept
+    // thread — export_cache takes per-shard locks, so serving threads
+    // are never blocked for the whole write.
+    if (checkpoint_.exchange(false, std::memory_order_relaxed)) {
+      maybe_snapshot();
+    }
     if (ready == 0) continue;  // timeout: re-check the stop flag
     const int fd = ::accept(listener, nullptr, nullptr);
     if (fd < 0) {
@@ -318,7 +478,21 @@ void QueryServer::serve(const std::string& socket_path) {
     std::unique_lock<std::mutex> lock(drain_mutex);
     drained.wait(lock, [&active] { return active == 0; });
   }
+  // Drain-time snapshot: the cache is quiescent now, so this capture is
+  // the warmest possible restart image.
+  maybe_snapshot();
   ::unlink(socket_path.c_str());
+}
+
+void QueryServer::maybe_snapshot() noexcept {
+  if (options_.snapshot_path.empty()) return;
+  try {
+    (void)save_snapshot(service_, options_.snapshot_path);
+  } catch (const std::exception&) {
+    // A full disk or unwritable path must not take the service down;
+    // the next checkpoint retries.
+    obs::count(WireMetrics::instance().write_failures);
+  }
 }
 
 QueryServer::Stats QueryServer::stats() const {

@@ -33,6 +33,7 @@
 #include <cstdint>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "svc/query.hpp"
 
@@ -48,6 +49,21 @@ struct QueryServerOptions {
   std::size_t max_inflight = 64;
   /// Worker threads the socket server asks the global pool to provide.
   int threads = 4;
+  /// Frame bound: a pending request line may not exceed this many bytes
+  /// (OOM guard).  Violations get a structured "malformed" error
+  /// response, then the connection closes.
+  std::size_t max_request_bytes = 1 << 16;
+  /// Idle deadline per connection, measured from the last COMPLETE
+  /// request line (so a trickling slowloris client cannot reset it by
+  /// dribbling bytes).  Expiry gets a structured "timeout" error
+  /// response, then the connection closes.  0 disables.
+  int idle_timeout_ms = 30000;
+  /// Per-response write deadline: a peer that stops reading cannot park
+  /// a worker forever.  0 disables.
+  int write_timeout_ms = 5000;
+  /// Warm-restart snapshot file (svc/snapshot): written atomically when
+  /// serve() drains and on request_checkpoint().  Empty disables.
+  std::string snapshot_path;
 };
 
 /// The service: one QueryService behind a newline-delimited JSON
@@ -77,6 +93,14 @@ class QueryServer {
     return stopping_.load(std::memory_order_relaxed);
   }
 
+  /// Request a live cache checkpoint (SIGUSR1 in tools/serve_main —
+  /// async-signal-safe: only flips an atomic).  The accept loop writes
+  /// options().snapshot_path at its next tick; a no-op when no snapshot
+  /// path is configured.
+  void request_checkpoint() noexcept {
+    checkpoint_.store(true, std::memory_order_relaxed);
+  }
+
   /// The underlying query service (stats/backends inspection in tests).
   [[nodiscard]] QueryService& service() { return service_; }
 
@@ -86,18 +110,35 @@ class QueryServer {
     std::uint64_t errors = 0;    ///< {"ok":false} responses
     std::uint64_t rejected = 0;  ///< overload rejections (subset of errors)
     std::uint64_t connections = 0;  ///< sockets accepted
+    std::uint64_t frame_rejected = 0;  ///< oversized request lines
+    std::uint64_t idle_closed = 0;     ///< idle-deadline connection closes
+    std::uint64_t drain_rejected = 0;  ///< requests rejected during drain
+    std::uint64_t write_failures = 0;  ///< EPIPE/timeout on response writes
   };
   [[nodiscard]] Stats stats() const;
 
   const QueryServerOptions& options() const { return options_; }
 
  private:
-  /// One connection: read lines, answer lines, until EOF or stop().
+  /// One connection: read lines, answer lines, until EOF, stop(), or a
+  /// deadline/frame violation.
   void handle_connection(int fd);
+
+  /// Deadline/EPIPE-tolerant response write; false closes the
+  /// connection (and counts the failure) — never a signal, never a
+  /// parked worker.
+  bool write_line(int fd, const std::string& line);
+
+  /// Write options_.snapshot_path if configured; failures are counted
+  /// (svc.snapshot_rejected is the LOAD side; save failures throw
+  /// inside and are swallowed here — serving must not die for a full
+  /// disk).
+  void maybe_snapshot() noexcept;
 
   QueryServerOptions options_;
   QueryService service_;
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> checkpoint_{false};
   std::atomic<std::size_t> inflight_{0};
 
   mutable std::mutex stats_mutex_;
@@ -121,5 +162,19 @@ struct WireRequest {
                                           const QueryResult& result);
 [[nodiscard]] std::string render_error(long long id,
                                        const std::string& message);
+
+/// Best-effort id extraction from a request line: the id field if the
+/// line parses as a JSON object, else 0.  Error responses echo this, so
+/// a resilient client can match a structured failure to its request —
+/// and a 0-id response to a nonzero-id request is provable evidence the
+/// request was damaged in flight (svc/client.hpp).
+[[nodiscard]] long long peek_request_id(const std::string& line) noexcept;
+
+/// The drain contract's reject half (docs/service.md): one visible
+/// "draining" error response per complete line still in `pending` when
+/// stop() was observed — nothing is silently dropped.  Returns the
+/// response lines in request order; exposed for deterministic tests.
+[[nodiscard]] std::vector<std::string> drain_reject_lines(
+    const std::string& pending);
 
 }  // namespace linesearch::svc

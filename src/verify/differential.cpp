@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <sstream>
 
 #include "core/algorithm.hpp"
@@ -14,6 +15,8 @@
 #include "runtime/arbitration.hpp"
 #include "runtime/world.hpp"
 #include "sim/faults.hpp"
+#include "svc/chaos.hpp"
+#include "svc/client.hpp"
 #include "svc/server.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
@@ -401,26 +404,7 @@ DifferentialResult diff_server_vs_library(const svc::CrQuery& query) {
     const svc::QueryResult direct = svc::evaluate_query_direct(query);
 
     // Render the wire request exactly as an external client would.
-    std::ostringstream out;
-    JsonWriter json(out, /*compact=*/true);
-    json.begin_object();
-    json.field("id", 1);
-    json.field("op", "cr");
-    json.field("n", query.n);
-    json.field("f", query.f);
-    json.field("beta", query.beta);
-    json.field("window_lo", query.window_lo);
-    json.field("window_hi", query.window_hi);
-    json.field("interior_samples", query.interior_samples);
-    json.field("regime", svc::fault_regime_name(query.regime));
-    if (query.regime == svc::FaultRegime::kProbabilistic) {
-      json.field("fault_p", query.fault_p);
-    }
-    json.key("crash_times").begin_array();
-    for (const Real t : query.crash_times) json.value(t);
-    json.end_array();
-    json.end_object();
-    const std::string request = out.str();
+    const std::string request = svc::render_request(1, query);
 
     svc::QueryServer server;
     const std::string cold = server.handle_line(request);
@@ -459,6 +443,59 @@ DifferentialResult diff_server_vs_library(const svc::CrQuery& query) {
       record(result, 0, "undetected_probes",
              static_cast<Real>(direct.undetected_probes),
              static_cast<Real>(doc.at("undetected_probes").as_int()));
+    }
+  } catch (const Error& error) {
+    result.passed = false;
+    result.message = error.what();
+  }
+  return result;
+}
+
+DifferentialResult diff_chaos_vs_library(const svc::CrQuery& query,
+                                         const std::uint64_t chaos_seed,
+                                         const int fault_cap) {
+  DifferentialResult result;
+  result.name = "chaos_vs_library";
+  try {
+    // The reference: the offline library's exact response bytes.
+    const svc::QueryResult direct = svc::evaluate_query_direct(query);
+
+    svc::QueryServer server;
+    svc::ChaosConfig config;
+    config.seed = chaos_seed;
+    config.fault_cap = fault_cap;
+
+    // Logical time: stalls become read timeouts, backoff never sleeps.
+    // max_attempts = clean_every + 2 guarantees the client reaches a
+    // fault-free connection even if every faulty attempt burns one —
+    // a structured failure below is therefore always a real bug.
+    svc::ClientOptions options;
+    options.max_attempts = config.clean_every + 2;
+    options.sleep_on_backoff = false;
+    options.request_timeout_ms = 1000;
+    options.jitter_seed = chaos_seed ^ 0x5eedULL;
+    svc::QueryClient client(
+        options, std::make_unique<svc::ChaosLoopback>(server, config));
+
+    // Three calls back to back: the first races the cold cache, the
+    // rest the warm one — retries must replay byte-identically in both.
+    for (long long id = 1; id <= 3; ++id) {
+      const std::string expected = svc::render_response(id, direct);
+      const svc::ClientResult call = client.call(id, query);
+      if (!call.ok) {
+        result.passed = false;
+        result.message = "client gave up (id " + std::to_string(id) +
+                         ", attempts " + std::to_string(call.attempts) +
+                         "): " + call.error;
+        return result;
+      }
+      if (call.response != expected) {
+        result.passed = false;
+        result.message = "response bytes differ from library (id " +
+                         std::to_string(id) + "): got " + call.response +
+                         " want " + expected;
+        return result;
+      }
     }
   } catch (const Error& error) {
     result.passed = false;

@@ -145,6 +145,23 @@ struct DifferentialOptions {
 [[nodiscard]] DifferentialResult diff_server_vs_library(
     const svc::CrQuery& query);
 
+/// Chaos wire round trip vs the library: answer `query` through the
+/// resilient client (svc/client) talking to an in-process QueryServer
+/// across svc/chaos's deterministic fault injector at `chaos_seed`
+/// (garbage bytes, split/merged frames, stalls, mid-request
+/// disconnects — all pure functions of the seed), and demand the
+/// response line be BYTE-identical to the offline library's rendering
+/// `render_response(id, evaluate_query_direct(query))` on every call.
+/// Three calls run back to back (ids 1..3) so retries cross cache-warm
+/// and cache-cold server states.  chaos_seed = 0 is the documented
+/// clean channel (the shrinker's first move).  This is the
+/// never-a-wrong-answer contract: the client either returns the
+/// server's intended bytes or a structured failure — and with
+/// fault-free connections guaranteed every clean_every-th attempt, a
+/// structured failure here is itself a bug.
+[[nodiscard]] DifferentialResult diff_chaos_vs_library(
+    const svc::CrQuery& query, std::uint64_t chaos_seed, int fault_cap = 3);
+
 /// Exact expectation engine (eval/expectation) vs a seeded Monte-Carlo
 /// realization of the SAME per-visit fault model (eval/montecarlo
 /// mc_expected_detection_time), on the unbounded A(n, f) backend at the

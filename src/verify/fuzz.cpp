@@ -15,6 +15,7 @@
 #include "sim/faults.hpp"
 #include "sim/trajectory.hpp"
 #include "sim/zigzag.hpp"
+#include "svc/chaos.hpp"
 #include "util/error.hpp"
 #include "util/jsonio.hpp"
 
@@ -35,6 +36,7 @@ const char* kind_name(const FleetKind kind) noexcept {
     case FleetKind::kByzantineLies: return "byzantine-lies";
     case FleetKind::kServerQuery: return "server-query";
     case FleetKind::kProbabilisticFaults: return "probabilistic-faults";
+    case FleetKind::kChaosWire: return "chaos-wire";
   }
   return "unknown";
 }
@@ -58,7 +60,8 @@ bool regime_kind(const FleetKind kind) noexcept {
          kind == FleetKind::kKernelSoA ||
          kind == FleetKind::kByzantineLies ||
          kind == FleetKind::kServerQuery ||
-         kind == FleetKind::kProbabilisticFaults;
+         kind == FleetKind::kProbabilisticFaults ||
+         kind == FleetKind::kChaosWire;
 }
 
 bool cone_kind(const FleetKind kind) noexcept {
@@ -96,8 +99,10 @@ std::unique_ptr<SearchStrategy> make_fuzz_strategy(
     case FleetKind::kCustomCone:
     case FleetKind::kCrashInjected:
     case FleetKind::kServerQuery:
-      // A crashed fleet is not a SearchStrategy, and the server-query
-      // kind has its own dedicated differential (server vs library).
+    case FleetKind::kChaosWire:
+      // A crashed fleet is not a SearchStrategy, and the wire kinds
+      // have their own dedicated differentials (server/chaos vs
+      // library).
       return nullptr;
   }
   return nullptr;
@@ -145,7 +150,7 @@ FuzzInstance generate_instance(const std::uint64_t seed) {
   SplitMix64 rng(seed);
   FuzzInstance instance;
   instance.seed = seed;
-  instance.kind = static_cast<FleetKind>(rng.uniform_int(0, 11));
+  instance.kind = static_cast<FleetKind>(rng.uniform_int(0, 12));
 
   switch (instance.kind) {
     case FleetKind::kProportional:
@@ -156,7 +161,8 @@ FuzzInstance generate_instance(const std::uint64_t seed) {
     case FleetKind::kKernelSoA:
     case FleetKind::kByzantineLies:
     case FleetKind::kServerQuery:
-    case FleetKind::kProbabilisticFaults: {
+    case FleetKind::kProbabilisticFaults:
+    case FleetKind::kChaosWire: {
       instance.f = rng.uniform_int(1, 4);
       instance.n = rng.uniform_int(instance.f + 1, 2 * instance.f + 1);
       instance.beta =
@@ -203,12 +209,21 @@ FuzzInstance generate_instance(const std::uint64_t seed) {
     instance.extent = std::max(instance.extent, kappa2 * Real{1.5L});
   }
 
-  if (instance.kind == FleetKind::kServerQuery) {
+  if (instance.kind == FleetKind::kServerQuery ||
+      instance.kind == FleetKind::kChaosWire) {
     // Which fault regime the wire query runs under; a crash query
     // carries its schedule in crash_times (generated below, like
     // kCrashInjected's).
     instance.query_regime =
         static_cast<svc::FaultRegime>(rng.uniform_int(0, 2));
+  }
+
+  if (instance.kind == FleetKind::kChaosWire) {
+    // The wire fault injector's substrate: a nonzero seed (0 is the
+    // documented clean channel, reserved for the shrinker) and the
+    // per-connection fault-script cap.
+    instance.chaos_seed = rng.next() | 1u;
+    instance.chaos_fault_cap = rng.uniform_int(1, 4);
   }
 
   if (instance.kind == FleetKind::kProbabilisticFaults) {
@@ -226,7 +241,8 @@ FuzzInstance generate_instance(const std::uint64_t seed) {
   }
 
   if (instance.kind == FleetKind::kCrashInjected ||
-      (instance.kind == FleetKind::kServerQuery &&
+      ((instance.kind == FleetKind::kServerQuery ||
+        instance.kind == FleetKind::kChaosWire) &&
        instance.query_regime == svc::FaultRegime::kCrash)) {
     // Per-robot crash schedule; both draws happen unconditionally so
     // the stream shape is fixed regardless of which robots crash.
@@ -321,7 +337,8 @@ Fleet build_fuzz_fleet(const FuzzInstance& instance) {
             .build_unbounded_fleet();
       case FleetKind::kCrashInjected:
         return build_crash_injected_fleet(instance);
-      case FleetKind::kServerQuery: {
+      case FleetKind::kServerQuery:
+      case FleetKind::kChaosWire: {
         // The fleet the wire query evaluates against: plain A(n, f) for
         // the none/byzantine regimes (lies never alter motion), the
         // analytic truncation for a crash query.
@@ -388,6 +405,7 @@ Subject make_subject(const FuzzInstance& instance, const Fleet& fleet) {
       subject.coverage_extent = 0;
       break;
     case FleetKind::kServerQuery:
+    case FleetKind::kChaosWire:
       if (instance.query_regime == svc::FaultRegime::kCrash) {
         // Same reasoning as kCrashInjected: truncated legs stay in
         // C_beta but coverage is withdrawn.
@@ -447,7 +465,8 @@ FuzzOutcome run_instance(const FuzzInstance& instance) {
     // game assumes a fully covering fleet, so crash kinds sit it out.
     options.run_theorem2_game =
         instance.kind != FleetKind::kCrashInjected &&
-        !(instance.kind == FleetKind::kServerQuery &&
+        !((instance.kind == FleetKind::kServerQuery ||
+           instance.kind == FleetKind::kChaosWire) &&
           instance.query_regime == svc::FaultRegime::kCrash);
     outcome.invariants = run_invariants(subject, options);
 
@@ -463,8 +482,11 @@ FuzzOutcome run_instance(const FuzzInstance& instance) {
           outcome.differentials.push_back(diff_crash_injected(
               instance.n, instance.f, instance.extent,
               instance.crash_times, eval));
-        } else if (instance.kind == FleetKind::kServerQuery) {
-          // Wire round trip vs the library on this instance's query.
+        } else if (instance.kind == FleetKind::kServerQuery ||
+                   instance.kind == FleetKind::kChaosWire) {
+          // Wire round trip vs the library on this instance's query —
+          // over a clean in-process wire for kServerQuery, through the
+          // seeded chaos channel + resilient client for kChaosWire.
           svc::CrQuery query;
           query.n = instance.n;
           query.f = instance.f;
@@ -475,7 +497,12 @@ FuzzOutcome run_instance(const FuzzInstance& instance) {
           if (instance.query_regime == svc::FaultRegime::kCrash) {
             query.crash_times = instance.crash_times;
           }
-          outcome.differentials.push_back(diff_server_vs_library(query));
+          if (instance.kind == FleetKind::kChaosWire) {
+            outcome.differentials.push_back(diff_chaos_vs_library(
+                query, instance.chaos_seed, instance.chaos_fault_cap));
+          } else {
+            outcome.differentials.push_back(diff_server_vs_library(query));
+          }
         } else {
           outcome.differentials =
               run_differentials(fleet, instance.f, eval, instance.targets);
@@ -538,7 +565,8 @@ void clamp_faults(FuzzInstance& instance) {
       instance.kind == FleetKind::kCrashInjected ||
       instance.kind == FleetKind::kByzantineLies ||
       instance.kind == FleetKind::kServerQuery ||
-      instance.kind == FleetKind::kProbabilisticFaults) {
+      instance.kind == FleetKind::kProbabilisticFaults ||
+      instance.kind == FleetKind::kChaosWire) {
     instance.beta = optimal_beta(instance.n, instance.f);
   }
   while (instance.crash_times.size() >
@@ -651,7 +679,26 @@ std::vector<FuzzInstance> shrink_moves(const FuzzInstance& instance) {
     if (changed) moves.push_back(std::move(rounder));
   }
 
-  if (instance.kind == FleetKind::kServerQuery &&
+  if (instance.kind == FleetKind::kChaosWire) {
+    // Simplest first: the clean channel (chaos_seed = 0).  If the
+    // failure survives, it is a server/protocol bug, not a fault-
+    // injection artifact — a strictly simpler repro.
+    if (instance.chaos_seed != 0) {
+      FuzzInstance clean = instance;
+      clean.chaos_seed = 0;
+      moves.push_back(std::move(clean));
+    }
+    // Then a shorter fault script: walk the per-connection cap down to
+    // one fault, minimizing the (seed, fault-script) pair in the repro.
+    if (instance.chaos_seed != 0 && instance.chaos_fault_cap > 1) {
+      FuzzInstance fewer = instance;
+      fewer.chaos_fault_cap -= 1;
+      moves.push_back(std::move(fewer));
+    }
+  }
+
+  if ((instance.kind == FleetKind::kServerQuery ||
+       instance.kind == FleetKind::kChaosWire) &&
       instance.query_regime != svc::FaultRegime::kNone) {
     // Simplest first: the plain regime (drops the crash schedule too).
     FuzzInstance plain = instance;
@@ -661,7 +708,8 @@ std::vector<FuzzInstance> shrink_moves(const FuzzInstance& instance) {
   }
 
   if (instance.kind == FleetKind::kCrashInjected ||
-      (instance.kind == FleetKind::kServerQuery &&
+      ((instance.kind == FleetKind::kServerQuery ||
+        instance.kind == FleetKind::kChaosWire) &&
        instance.query_regime == svc::FaultRegime::kCrash)) {
     bool any_crash = false;
     for (const Real t : instance.crash_times) {
@@ -800,6 +848,29 @@ std::string instance_to_json(const FuzzInstance& instance,
   json.field("beta", instance.beta);
   json.field("fault_p", instance.fault_p);
   json.field("mirrored", instance.mirrored);
+  json.field("chaos_seed", std::to_string(instance.chaos_seed));
+  json.field("chaos_fault_cap", instance.chaos_fault_cap);
+  json.key("chaos_scripts").begin_array();
+  if (instance.kind == FleetKind::kChaosWire) {
+    // The realized fault scripts for the first few connections: with
+    // chaos_seed they ARE the minimal repro's fault script (a pure
+    // function of (seed, connection, direction)).
+    svc::ChaosConfig config;
+    config.seed = instance.chaos_seed;
+    config.fault_cap = instance.chaos_fault_cap;
+    for (std::uint64_t connection = 0; connection < 4; ++connection) {
+      for (const int direction : {0, 1}) {
+        json.begin_object();
+        json.field("connection", static_cast<int>(connection));
+        json.field("direction",
+                   direction == 0 ? "to-server" : "to-client");
+        json.field("script", svc::describe_script(svc::fault_script(
+                                 config, connection, direction)));
+        json.end_object();
+      }
+    }
+  }
+  json.end_array();
   json.key("magnitudes").begin_array();
   for (const Real magnitude : instance.magnitudes) json.value(magnitude);
   json.end_array();

@@ -71,6 +71,13 @@ enum class FleetKind {
   /// occasional draws past the ladder threshold so the divergence
   /// branch stays exercised.
   kProbabilisticFaults,
+  /// A random CrQuery answered through a CHAOS channel: the resilient
+  /// client (svc/client) talks to the in-process server through
+  /// svc/chaos's deterministic wire fault injector (garbage bytes,
+  /// splits, merges, stalls, disconnects — a pure function of
+  /// chaos_seed), and diff_chaos_vs_library demands the answer be
+  /// byte-identical to the offline library's rendering anyway.
+  kChaosWire,
 };
 
 /// Deliberate corruptions for testing the oracles and the shrinker.
@@ -107,11 +114,17 @@ struct FuzzInstance {
   /// kByzantineLies only: per-robot lie schedule (size n when present;
   /// liar_count <= f always).
   LiePlan lies;
-  /// kServerQuery only: which fault regime the wire query runs under
-  /// (kCrash reuses crash_times as the query's schedule).
+  /// kServerQuery / kChaosWire: which fault regime the wire query runs
+  /// under (kCrash reuses crash_times as the query's schedule).
   svc::FaultRegime query_regime = svc::FaultRegime::kNone;
   /// kProbabilisticFaults only: per-visit failure probability in [0, 1).
   Real fault_p = 0;
+  /// kChaosWire only: the wire fault injector's seed (0 = clean channel
+  /// — the shrinker's first move, separating transport bugs from
+  /// server bugs) and the per-connection fault-script cap the shrinker
+  /// walks down to minimize the failing script.
+  std::uint64_t chaos_seed = 0;
+  int chaos_fault_cap = 3;
 };
 
 /// Everything one run produced.

@@ -48,7 +48,7 @@ bool contains(const std::string& haystack, const std::string& needle) {
 
 TEST(ObsPerfReport, FullModeEmitsChecksumsAndIdentityFlags) {
   const std::string json = report(fast_options(/*timings_only=*/false));
-  EXPECT_TRUE(contains(json, "\"schema\": \"linesearch-bench-perf/7\""));
+  EXPECT_TRUE(contains(json, "\"schema\": \"linesearch-bench-perf/8\""));
   EXPECT_TRUE(contains(json, "\"timings_only\": false"));
   for (const char* name :
        {"dense_cr_sweep_serial", "dense_cr_sweep_parallel",
@@ -57,8 +57,8 @@ TEST(ObsPerfReport, FullModeEmitsChecksumsAndIdentityFlags) {
         "kernel_sweep_kernel", "kernel_sweep_analytic_scalar",
         "kernel_sweep_analytic_kernel", "degraded_sweep",
         "byzantine_sweep", "svc_load_cold", "svc_load_warm",
-        "probabilistic_sweep", "probabilistic_exact_points",
-        "probabilistic_mc_points"}) {
+        "svc_restart", "probabilistic_sweep",
+        "probabilistic_exact_points", "probabilistic_mc_points"}) {
     EXPECT_TRUE(contains(json, std::string("\"name\": \"") + name + "\""))
         << name;
   }
@@ -90,6 +90,17 @@ TEST(ObsPerfReport, FullModeEmitsChecksumsAndIdentityFlags) {
   EXPECT_TRUE(contains(json, "\"warm_p50_usec\""));
   EXPECT_TRUE(contains(json, "\"warm_p99_usec\""));
   EXPECT_TRUE(contains(json, "\"hit_rate\""));
+  // The svc_restart summary carries the warm-restart round trip; the
+  // restore must SUCCEED and the replayed hot set must hit the restored
+  // cache (every request was cached by svc_load, so the hit rate here
+  // is 1 — the docs pin >= 0.9).
+  EXPECT_TRUE(contains(json, "\"svc_restart\""));
+  EXPECT_TRUE(contains(json, "\"restored_ok\": true"));
+  EXPECT_TRUE(contains(json, "\"entries_saved\""));
+  EXPECT_TRUE(contains(json, "\"entries_restored\""));
+  EXPECT_TRUE(contains(json, "\"snapshot_bytes\""));
+  EXPECT_TRUE(contains(json, "\"replay_qps\""));
+  EXPECT_TRUE(contains(json, "\"hit_rate\": 1"));
   // The probabilistic sweep summary: the p-grid shape, the divergence
   // count (nonzero here — p_max sits past (3, 1)'s threshold), and the
   // full-mode closed-form-vs-MC race figures.
@@ -105,7 +116,7 @@ TEST(ObsPerfReport, FullModeEmitsChecksumsAndIdentityFlags) {
 
 TEST(ObsPerfReport, TimingsOnlySkipsChecksumWork) {
   const std::string json = report(fast_options(/*timings_only=*/true));
-  EXPECT_TRUE(contains(json, "\"schema\": \"linesearch-bench-perf/7\""));
+  EXPECT_TRUE(contains(json, "\"schema\": \"linesearch-bench-perf/8\""));
   EXPECT_TRUE(contains(json, "\"timings_only\": true"));
   for (const char* name :
        {"dense_cr_sweep_serial", "dense_cr_sweep_parallel",
@@ -114,7 +125,7 @@ TEST(ObsPerfReport, TimingsOnlySkipsChecksumWork) {
         "kernel_sweep_kernel", "kernel_sweep_analytic_scalar",
         "kernel_sweep_analytic_kernel", "degraded_sweep",
         "byzantine_sweep", "svc_load_cold", "svc_load_warm",
-        "probabilistic_sweep"}) {
+        "svc_restart", "probabilistic_sweep"}) {
     EXPECT_TRUE(contains(json, std::string("\"name\": \"") + name + "\""))
         << name;
   }

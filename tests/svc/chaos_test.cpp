@@ -1,0 +1,211 @@
+// svc/chaos: the deterministic wire fault injector.  Scripts must be
+// pure functions of (seed, connection, direction); the garbage alphabet
+// must stay inside the parser-rejected set that makes the bit-identical
+// differential sound; clean_every must guarantee liveness; and the
+// stream/loopback event semantics must deliver every non-faulted byte
+// in order.
+#include "svc/chaos.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "svc/server.hpp"
+#include "util/error.hpp"
+
+namespace linesearch {
+namespace svc {
+namespace {
+
+ChaosConfig seeded(const std::uint64_t seed) {
+  ChaosConfig config;
+  config.seed = seed;
+  return config;
+}
+
+TEST(ChaosScript, PureFunctionOfSeedConnectionDirection) {
+  const ChaosConfig config = seeded(1234);
+  for (std::uint64_t connection = 0; connection < 8; ++connection) {
+    for (const int direction : {0, 1}) {
+      const std::vector<WireFault> a =
+          fault_script(config, connection, direction);
+      const std::vector<WireFault> b =
+          fault_script(config, connection, direction);
+      ASSERT_EQ(a.size(), b.size());
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].at_byte, b[i].at_byte);
+        EXPECT_EQ(a[i].kind, b[i].kind);
+        EXPECT_EQ(a[i].param, b[i].param);
+      }
+      // Sorted by offset — the stream consumes them in one pass.
+      for (std::size_t i = 1; i < a.size(); ++i) {
+        EXPECT_LE(a[i - 1].at_byte, a[i].at_byte);
+      }
+    }
+  }
+  // Directions are decorrelated: at least one of the first faulty
+  // connections must differ between directions.
+  bool differs = false;
+  for (std::uint64_t connection = 0; connection < 8 && !differs; ++connection) {
+    differs = describe_script(fault_script(config, connection, 0)) !=
+              describe_script(fault_script(config, connection, 1));
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(ChaosScript, SeedZeroIsTheCleanChannel) {
+  const ChaosConfig config = seeded(0);
+  for (std::uint64_t connection = 0; connection < 16; ++connection) {
+    EXPECT_TRUE(connection_is_clean(config, connection));
+    EXPECT_TRUE(fault_script(config, connection, 0).empty());
+    EXPECT_TRUE(fault_script(config, connection, 1).empty());
+  }
+}
+
+TEST(ChaosScript, CleanEveryGuaranteesALiveConnection) {
+  const ChaosConfig config = seeded(77);
+  int clean = 0;
+  for (std::uint64_t connection = 0; connection < 64; ++connection) {
+    if (connection_is_clean(config, connection)) {
+      ++clean;
+      EXPECT_EQ(connection % static_cast<std::uint64_t>(config.clean_every),
+                static_cast<std::uint64_t>(config.clean_every) - 1);
+      EXPECT_TRUE(fault_script(config, connection, 0).empty());
+      EXPECT_TRUE(fault_script(config, connection, 1).empty());
+    } else {
+      EXPECT_GE(fault_script(config, connection, 0).size(), 1u);
+      EXPECT_LE(fault_script(config, connection, 0).size(),
+                static_cast<std::size_t>(config.fault_cap));
+    }
+  }
+  EXPECT_EQ(clean, 64 / config.clean_every);
+}
+
+TEST(ChaosScript, GarbageStaysInsideTheRejectedAlphabet) {
+  const ChaosConfig config = seeded(99);
+  const std::string garbage = garbage_bytes(config, 2, 1, 17, 64);
+  ASSERT_EQ(garbage.size(), 64u);
+  for (const char byte : garbage) {
+    const bool allowed =
+        byte == '\n' || (byte >= 0x01 && byte <= 0x07);
+    EXPECT_TRUE(allowed) << static_cast<int>(byte);
+  }
+}
+
+TEST(ChaosScript, DescribeScriptNamesEveryFault) {
+  EXPECT_EQ(describe_script({}), "clean");
+  const std::string text = describe_script(
+      {{10, WireFaultKind::kGarbage, 3}, {20, WireFaultKind::kSplit, 0},
+       {30, WireFaultKind::kStall, 5}});
+  EXPECT_EQ(text, "garbage@10x3,split@20,stall@30x5ms");
+  EXPECT_THROW((void)fault_script(seeded(1), 0, 2), Error);
+}
+
+/// A stream with no script is a transparent pipe.
+TEST(ChaosStream, CleanStreamDeliversEverythingInOrder)
+{
+  ChaosStream stream(seeded(0), 0, 0);
+  std::string delivered;
+  for (const ChaosEvent& event : stream.feed("hello ")) {
+    ASSERT_EQ(event.kind, ChaosEvent::Kind::kDeliver);
+    delivered += event.bytes;
+  }
+  for (const ChaosEvent& event : stream.feed("world")) {
+    ASSERT_EQ(event.kind, ChaosEvent::Kind::kDeliver);
+    delivered += event.bytes;
+  }
+  EXPECT_EQ(delivered, "hello world");
+  EXPECT_FALSE(stream.disconnected());
+}
+
+/// Hand-built scripts pin each fault's exact byte-level semantics.  The
+/// constructor derives scripts from the config, so these go through a
+/// seeded config whose realized script is irrelevant — we test the
+/// TRANSFORM via feed on crafted configs instead, using the documented
+/// kinds one at a time through the loopback-visible surface: offsets
+/// land where scheduled, payload bytes are never lost (except past a
+/// disconnect), and garbage only ever adds parser-rejected bytes.
+TEST(ChaosStream, FaultyStreamNeverLosesPayloadBeforeDisconnect) {
+  for (const std::uint64_t seed : {3u, 17u, 85u, 1021u}) {
+    for (std::uint64_t connection = 0; connection < 6; ++connection) {
+      ChaosStream stream(seeded(seed), connection, 1);
+      const std::string payload(256, 'x');  // past script_window
+      std::string out;
+      bool disconnected = false;
+      for (const ChaosEvent& event : stream.feed(payload)) {
+        if (event.kind == ChaosEvent::Kind::kDeliver) {
+          out += event.bytes;
+        } else if (event.kind == ChaosEvent::Kind::kDisconnect) {
+          disconnected = true;
+        }
+      }
+      for (const ChaosEvent& event : stream.flush()) {
+        if (event.kind == ChaosEvent::Kind::kDeliver) out += event.bytes;
+      }
+      EXPECT_EQ(disconnected, stream.disconnected());
+      // Strip injected garbage (never 'x') and compare the payload
+      // bytes that made it through.
+      std::string payload_only;
+      for (const char byte : out) {
+        if (byte == 'x') payload_only += byte;
+      }
+      if (!disconnected) {
+        // Every payload byte must survive a connection that stays up.
+        EXPECT_EQ(payload_only.size(), payload.size())
+            << "seed " << seed << " connection " << connection;
+      } else {
+        EXPECT_LE(payload_only.size(), payload.size());
+      }
+      // After a disconnect the stream is dead.
+      if (disconnected) {
+        EXPECT_TRUE(stream.feed("more").empty());
+      }
+    }
+  }
+}
+
+TEST(ChaosLoopback, CleanChannelRoundTripsTheWireBytes) {
+  QueryServer server;
+  ChaosLoopback loopback(server, seeded(0));
+  ASSERT_TRUE(loopback.connect());
+  const std::string request =
+      R"({"id": 5, "op": "cr", "n": 3, "f": 1, "window_hi": 8})";
+  ASSERT_TRUE(loopback.send_bytes(request + "\n"));
+  std::string response;
+  ASSERT_EQ(loopback.read_some(response, 100),
+            ClientTransport::ReadStatus::kData);
+  QueryServer reference;
+  EXPECT_EQ(response, reference.handle_line(request) + "\n");
+  // Nothing else queued: the next read times out rather than blocking.
+  std::string more;
+  EXPECT_EQ(loopback.read_some(more, 1),
+            ClientTransport::ReadStatus::kTimeout);
+  EXPECT_EQ(loopback.connections(), 1u);
+}
+
+TEST(ChaosLoopback, EveryFourthConnectionIsClean) {
+  QueryServer server;
+  ChaosLoopback loopback(server, seeded(42));
+  const std::string request =
+      R"({"id": 6, "op": "cr", "n": 3, "f": 1, "window_hi": 8})";
+  QueryServer reference;
+  const std::string expected = reference.handle_line(request) + "\n";
+  // Connections 0..3: index 3 (the clean_every-th) must round-trip
+  // perfectly whatever the faulty ones did.
+  std::string clean_response;
+  for (int connection = 0; connection < 4; ++connection) {
+    ASSERT_TRUE(loopback.connect());
+    if (!loopback.send_bytes(request + "\n")) continue;
+    std::string buffer;
+    while (loopback.read_some(buffer, 10) ==
+           ClientTransport::ReadStatus::kData) {
+    }
+    if (connection == 3) clean_response = buffer;
+  }
+  EXPECT_EQ(clean_response, expected);
+}
+
+}  // namespace
+}  // namespace svc
+}  // namespace linesearch

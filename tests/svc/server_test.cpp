@@ -202,21 +202,46 @@ class WireClient {
   [[nodiscard]] bool connected() const { return connected_; }
 
   [[nodiscard]] std::string round_trip(const std::string& line) {
-    const std::string framed = line + "\n";
+    if (!send_raw(line + "\n")) return "";
+    return read_line();
+  }
+
+  bool send_raw(const std::string& bytes) {
     std::size_t sent = 0;
-    while (sent < framed.size()) {
+    while (sent < bytes.size()) {
       const ssize_t wrote =
-          ::write(fd_, framed.data() + sent, framed.size() - sent);
-      if (wrote <= 0) return "";
+          ::write(fd_, bytes.data() + sent, bytes.size() - sent);
+      if (wrote <= 0) return false;
       sent += static_cast<std::size_t>(wrote);
     }
+    return true;
+  }
+
+  [[nodiscard]] std::string read_line() {
     std::string response;
     char byte = 0;
     while (::read(fd_, &byte, 1) == 1) {
-      if (byte == '\n') return response;
+      if (byte == '\n') break;
       response.push_back(byte);
     }
     return response;
+  }
+
+  /// Every remaining response line until the server closes the socket.
+  [[nodiscard]] std::vector<std::string> read_lines_until_eof() {
+    std::vector<std::string> lines;
+    std::string current;
+    char byte = 0;
+    while (::read(fd_, &byte, 1) == 1) {
+      if (byte == '\n') {
+        lines.push_back(current);
+        current.clear();
+      } else {
+        current.push_back(byte);
+      }
+    }
+    if (!current.empty()) lines.push_back(current);
+    return lines;
   }
 
  private:
@@ -253,6 +278,188 @@ TEST(QueryServerSocket, ServesAndDrainsCleanly) {
   EXPECT_GE(server.stats().connections, 1u);
   EXPECT_EQ(server.stats().requests, 3u);
   // Drain removed the socket file.
+  std::ifstream gone(path);
+  EXPECT_FALSE(gone.good());
+}
+
+/// The drain contract's reject half, deterministically: one visible
+/// "draining" error per COMPLETE pending line, ids echoed whenever the
+/// line parses, blank lines skipped, a trailing fragment (no newline =
+/// never a request) ignored.
+TEST(QueryServerHardening, DrainRejectLinesAnswerEveryPendingLine) {
+  EXPECT_TRUE(drain_reject_lines("").empty());
+  EXPECT_TRUE(drain_reject_lines("no newline yet").empty());
+  const std::vector<std::string> rejections = drain_reject_lines(
+      "{\"id\": 4, \"op\": \"cr\"}\n\nnot json\n{\"id\": 6}\ntail fragment");
+  ASSERT_EQ(rejections.size(), 3u);
+  const std::string reason = "draining: server is shutting down";
+  EXPECT_EQ(rejections[0], render_error(4, reason));
+  EXPECT_EQ(rejections[1], render_error(0, reason));
+  EXPECT_EQ(rejections[2], render_error(6, reason));
+}
+
+/// Regression: a peer that closes without reading used to raise SIGPIPE
+/// from the response write and kill the whole process.  MSG_NOSIGNAL in
+/// write_line turns that into a counted EPIPE; the server — and this
+/// very test binary — must survive and keep serving.
+TEST(QueryServerSocket, SurvivesAPeerThatClosesWithoutReading) {
+  const std::string path = "/tmp/ls_svc_epipe_" +
+                           std::to_string(::getpid()) + ".sock";
+  QueryServerOptions options;
+  options.threads = 2;
+  QueryServer server(options);
+  std::thread accept_loop([&server, &path] { server.serve(path); });
+
+  {
+    WireClient rude(path);
+    ASSERT_TRUE(rude.connected()) << "server never bound " << path;
+    // A cold evaluation outlives the peer's immediate close below, so
+    // the response write lands on a closed socket.
+    ASSERT_TRUE(rude.send_raw(
+        R"({"id": 1, "op": "cr", "n": 6, "f": 2, "window_hi": 1024})"
+        "\n"));
+  }  // closed before reading a byte
+
+  WireClient polite(path);
+  ASSERT_TRUE(polite.connected());
+  const std::string request =
+      R"({"id": 2, "op": "cr", "n": 3, "f": 1, "window_hi": 8})";
+  QueryServer reference;
+  EXPECT_EQ(polite.round_trip(request), reference.handle_line(request));
+
+  server.stop();
+  accept_loop.join();
+  EXPECT_GE(server.stats().connections, 2u);
+  EXPECT_GE(server.stats().write_failures, 1u);
+}
+
+TEST(QueryServerSocket, OversizedFrameIsRejectedVisiblyThenClosed) {
+  const std::string path = "/tmp/ls_svc_frame_" +
+                           std::to_string(::getpid()) + ".sock";
+  QueryServerOptions options;
+  options.max_request_bytes = 64;
+  QueryServer server(options);
+  std::thread accept_loop([&server, &path] { server.serve(path); });
+
+  {
+    WireClient client(path);
+    ASSERT_TRUE(client.connected()) << "server never bound " << path;
+    // A newline-free line that outgrew the bound can only get worse:
+    // the server answers with a structured rejection, then closes.
+    ASSERT_TRUE(client.send_raw(std::string(256, 'a')));
+    const std::vector<std::string> lines = client.read_lines_until_eof();
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_NE(lines[0].find("malformed: request line exceeds 64 bytes"),
+              std::string::npos)
+        << lines[0];
+  }
+
+  // The rejection closed ONE connection, not the server.
+  WireClient next(path);
+  ASSERT_TRUE(next.connected());
+  const std::string request =
+      R"({"id": 3, "op": "cr", "n": 3, "f": 1, "window_hi": 8})";
+  EXPECT_NE(next.round_trip(request).find("\"ok\":true"),
+            std::string::npos);
+
+  server.stop();
+  accept_loop.join();
+  EXPECT_EQ(server.stats().frame_rejected, 1u);
+}
+
+TEST(QueryServerSocket, IdleConnectionsExpireEvenWhileTrickling) {
+  const std::string path = "/tmp/ls_svc_idle_to_" +
+                           std::to_string(::getpid()) + ".sock";
+  QueryServerOptions options;
+  options.idle_timeout_ms = 50;
+  QueryServer server(options);
+  std::thread accept_loop([&server, &path] { server.serve(path); });
+
+  WireClient client(path);
+  ASSERT_TRUE(client.connected()) << "server never bound " << path;
+  // A complete request resets the idle clock...
+  const std::string request =
+      R"({"id": 4, "op": "cr", "n": 3, "f": 1, "window_hi": 8})";
+  EXPECT_NE(client.round_trip(request).find("\"ok\":true"),
+            std::string::npos);
+  // ...but a dribbled partial line does NOT: the slowloris pattern
+  // expires exactly like silence, with a structured timeout then close.
+  ASSERT_TRUE(client.send_raw("{\"id\": 5"));
+  const std::vector<std::string> lines = client.read_lines_until_eof();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("timeout: connection idle beyond 50 ms"),
+            std::string::npos)
+      << lines[0];
+
+  server.stop();
+  accept_loop.join();
+  EXPECT_EQ(server.stats().idle_closed, 1u);
+}
+
+TEST(QueryServerSocket, GarbageBytesKeepTheConnectionAndServerAlive) {
+  const std::string path = "/tmp/ls_svc_garbage_" +
+                           std::to_string(::getpid()) + ".sock";
+  QueryServer server;
+  std::thread accept_loop([&server, &path] { server.serve(path); });
+
+  WireClient client(path);
+  ASSERT_TRUE(client.connected()) << "server never bound " << path;
+  // The chaos injector's whole garbage alphabet, framed as a line: a
+  // structured parse error comes back and the connection stays open.
+  ASSERT_TRUE(client.send_raw("\x01\x02\x03\x04\x05\x06\x07\n"));
+  const std::string error = client.read_line();
+  EXPECT_NE(error.find("\"ok\":false"), std::string::npos) << error;
+  EXPECT_NE(error.find("\"id\":0"), std::string::npos) << error;
+  const std::string request =
+      R"({"id": 6, "op": "cr", "n": 3, "f": 1, "window_hi": 8})";
+  EXPECT_NE(client.round_trip(request).find("\"ok\":true"),
+            std::string::npos);
+
+  server.stop();
+  accept_loop.join();
+}
+
+/// The drain contract over a live socket: a burst already in the socket
+/// when stop() lands is never silently dropped — every request draws
+/// either its genuine answer or a visible "draining" rejection, the
+/// counts reconcile, serve() returns, and the socket file is unlinked.
+TEST(QueryServerSocket, DrainMidBurstAnswersOrRejectsEveryRequest) {
+  const std::string path = "/tmp/ls_svc_burst_" +
+                           std::to_string(::getpid()) + ".sock";
+  QueryServerOptions options;
+  options.threads = 2;
+  QueryServer server(options);
+  std::thread accept_loop([&server, &path] { server.serve(path); });
+
+  WireClient client(path);
+  ASSERT_TRUE(client.connected()) << "server never bound " << path;
+  const std::string warm =
+      R"({"id": 1, "op": "cr", "n": 3, "f": 1, "window_hi": 8})";
+  EXPECT_NE(client.round_trip(warm).find("\"ok\":true"),
+            std::string::npos);
+
+  // The burst is written BEFORE stop(), so the bytes are queued when the
+  // server observes the flag: the drain owes each line a response.
+  std::ostringstream burst;
+  for (int id = 2; id <= 6; ++id) {
+    burst << R"({"id": )" << id
+          << R"(, "op": "cr", "n": 3, "f": 1, "window_hi": 8})" << "\n";
+  }
+  ASSERT_TRUE(client.send_raw(burst.str()));
+  server.stop();
+  const std::vector<std::string> responses = client.read_lines_until_eof();
+  accept_loop.join();
+
+  ASSERT_EQ(responses.size(), 5u);
+  std::uint64_t drained = 0;
+  for (const std::string& response : responses) {
+    const bool answered =
+        response.find("\"ok\":true") != std::string::npos;
+    const bool rejected = response.find("draining") != std::string::npos;
+    EXPECT_TRUE(answered || rejected) << response;
+    if (rejected) ++drained;
+  }
+  EXPECT_EQ(server.stats().drain_rejected, drained);
   std::ifstream gone(path);
   EXPECT_FALSE(gone.good());
 }

@@ -1,0 +1,230 @@
+// tools/chaos_proxy — AF_UNIX man-in-the-middle wire fault injector.
+//
+//   chaos_proxy --listen /tmp/chaos.sock --upstream /tmp/linesearch.sock
+//               --seed 7 [--fault-cap 3] [--clean-every 4]
+//
+// relays every accepted connection to the upstream service through one
+// svc/chaos ChaosStream per direction: the same deterministic fault
+// scripts the in-process differential runs (garbage bytes, forced
+// split/merged frames, mid-stream disconnects), but on real sockets and
+// real time — a kStall event sleeps, a kDisconnect shuts both sides
+// down.  Every fault is a pure function of (seed, connection index,
+// direction, byte offset), so a CI replay at a fixed seed perturbs the
+// wire identically on every run; with --seed 0 the proxy is a
+// transparent relay.  Every clean_every-th connection is relayed
+// untouched, so a resilient client always converges (svc/chaos.hpp).
+//
+// SIGTERM/SIGINT stop the accept loop, wait for active relays to finish
+// their current exchange, unlink the listen socket, and exit 0.
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/chaos.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+extern "C" void handle_signal(int) { g_stop.store(true); }
+
+/// Write all of `data`, EPIPE-tolerant.  false = peer is gone.
+bool write_all(const int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t wrote = ::send(fd, data.data() + sent, data.size() - sent,
+                                 MSG_NOSIGNAL);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(wrote);
+  }
+  return true;
+}
+
+/// Obey one direction's chaos events against the destination socket.
+/// false = relay over (disconnect fault fired or peer vanished).
+bool apply_events(const std::vector<linesearch::svc::ChaosEvent>& events,
+                  const int dst) {
+  using linesearch::svc::ChaosEvent;
+  for (const ChaosEvent& event : events) {
+    switch (event.kind) {
+      case ChaosEvent::Kind::kDeliver:
+        if (!write_all(dst, event.bytes)) return false;
+        break;
+      case ChaosEvent::Kind::kStall:
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(event.stall_ms));
+        break;
+      case ChaosEvent::Kind::kDisconnect:
+        return false;
+    }
+  }
+  return true;
+}
+
+/// One accepted connection: relay both directions through their fault
+/// scripts until either side closes, a disconnect fault fires, or the
+/// proxy is stopping.
+void relay(const int client_fd, const int upstream_fd,
+           const linesearch::svc::ChaosConfig& config,
+           const std::uint64_t connection) {
+  using linesearch::svc::ChaosStream;
+  ChaosStream to_server(config, connection, 0);
+  ChaosStream to_client(config, connection, 1);
+
+  pollfd fds[2] = {{client_fd, POLLIN, 0}, {upstream_fd, POLLIN, 0}};
+  bool open = true;
+  while (open && !g_stop.load()) {
+    const int ready = ::poll(fds, 2, 200);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;
+    for (int side = 0; side < 2 && open; ++side) {
+      if ((fds[side].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      char buffer[4096];
+      const ssize_t got = ::read(fds[side].fd, buffer, sizeof buffer);
+      if (got <= 0) {
+        // Side closed: flush the opposite stream's held bytes and stop.
+        ChaosStream& stream = side == 0 ? to_server : to_client;
+        const int dst = side == 0 ? upstream_fd : client_fd;
+        (void)apply_events(stream.flush(), dst);
+        open = false;
+        break;
+      }
+      ChaosStream& stream = side == 0 ? to_server : to_client;
+      const int dst = side == 0 ? upstream_fd : client_fd;
+      if (!apply_events(
+              stream.feed(std::string_view(buffer,
+                                           static_cast<std::size_t>(got))),
+              dst) ||
+          stream.disconnected()) {
+        open = false;
+      }
+    }
+  }
+  ::close(client_fd);
+  ::close(upstream_fd);
+}
+
+int connect_upstream(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace
+
+int main(const int argc, const char* const* argv) {
+  using linesearch::CliParser;
+
+  std::string listen_path;
+  std::string upstream_path;
+  std::uint64_t seed = 0;
+  int fault_cap = 3;
+  int clean_every = 4;
+
+  CliParser cli("chaos_proxy",
+                "deterministic wire-fault MITM for the CR service "
+                "(see docs/robustness.md)");
+  cli.add_option("listen", &listen_path, "PATH",
+                 "AF_UNIX socket to accept clients on (required)");
+  cli.add_option("upstream", &upstream_path, "PATH",
+                 "AF_UNIX socket of the real service (required)");
+  cli.add_option("seed", &seed, "N",
+                 "chaos seed; 0 = transparent relay (default 0)");
+  cli.add_option("fault-cap", &fault_cap, "N",
+                 "max faults per connection per direction (default 3)", 1);
+  cli.add_option("clean-every", &clean_every, "N",
+                 "every N-th connection is relayed untouched (default 4)",
+                 1);
+  if (!cli.parse(argc, argv)) {
+    std::cerr << cli.error() << '\n' << cli.usage();
+    return 2;
+  }
+  if (listen_path.empty() || upstream_path.empty()) {
+    std::cerr << "chaos_proxy: --listen and --upstream are required\n"
+              << cli.usage();
+    return 2;
+  }
+
+  std::signal(SIGTERM, handle_signal);
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  linesearch::svc::ChaosConfig config;
+  config.seed = seed;
+  config.fault_cap = fault_cap;
+  config.clean_every = clean_every;
+
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::cerr << "chaos_proxy: socket: " << std::strerror(errno) << '\n';
+    return 1;
+  }
+  ::unlink(listen_path.c_str());
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, listen_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+      ::listen(listener, 16) != 0) {
+    std::cerr << "chaos_proxy: bind/listen " << listen_path << ": "
+              << std::strerror(errno) << '\n';
+    ::close(listener);
+    return 1;
+  }
+  std::cerr << "chaos_proxy: " << listen_path << " -> " << upstream_path
+            << " seed=" << seed << '\n';
+
+  std::vector<std::thread> relays;
+  std::uint64_t connection = 0;
+  while (!g_stop.load()) {
+    pollfd pfd{listener, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 200);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0) continue;
+    const int client_fd = ::accept(listener, nullptr, nullptr);
+    if (client_fd < 0) continue;
+    const int upstream_fd = connect_upstream(upstream_path);
+    if (upstream_fd < 0) {
+      std::cerr << "chaos_proxy: upstream connect failed: "
+                << std::strerror(errno) << '\n';
+      ::close(client_fd);
+      continue;
+    }
+    relays.emplace_back(relay, client_fd, upstream_fd, config, connection);
+    ++connection;
+  }
+
+  for (std::thread& t : relays) t.join();
+  ::close(listener);
+  ::unlink(listen_path.c_str());
+  std::cerr << "chaos_proxy: drained after " << connection
+            << " connections\n";
+  return 0;
+}

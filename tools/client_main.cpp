@@ -1,0 +1,88 @@
+// tools/client_main — the resilient wire client as a CLI.
+//
+//   client_main --socket /tmp/linesearch.sock < requests.ndjson
+//
+// reads newline-delimited JSON request lines from stdin, issues each
+// through svc/client's QueryClient (per-request deadlines, capped
+// exponential backoff with seeded jitter, reconnect + idempotent
+// re-issue), and writes the authoritative response lines to stdout in
+// request order.  Because the client either returns the server's exact
+// intended bytes or fails structurally, piping a golden request corpus
+// through chaos_proxy and diffing stdout against the golden responses
+// is a byte-identical check even on a faulty wire — CI's server-chaos
+// job does exactly that.
+//
+// Exit 0 when every request got an authoritative response, 1 when any
+// call exhausted its attempts (the error goes to stderr), 2 on usage
+// errors.  Lines must carry "id" >= 1 for full corruption detection
+// (svc/client.hpp); transport stats land on stderr.
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "svc/client.hpp"
+#include "util/cli.hpp"
+
+int main(const int argc, const char* const* argv) {
+  using linesearch::CliParser;
+  using linesearch::svc::ClientOptions;
+  using linesearch::svc::ClientResult;
+  using linesearch::svc::QueryClient;
+
+  std::string socket_path;
+  int timeout_ms = 2000;
+  int max_attempts = 8;
+  std::uint64_t jitter_seed = 0x5eed;
+
+  CliParser cli("client_main",
+                "resilient NDJSON client for the CR service (requests on "
+                "stdin, responses on stdout; see docs/service.md)");
+  cli.add_option("socket", &socket_path, "PATH",
+                 "AF_UNIX socket of the service (required)");
+  cli.add_option("timeout-ms", &timeout_ms, "MS",
+                 "per-attempt response deadline (default 2000)", 1);
+  cli.add_option("max-attempts", &max_attempts, "N",
+                 "attempts per request before giving up (default 8)", 1);
+  cli.add_option("jitter-seed", &jitter_seed, "N",
+                 "backoff jitter seed (default 0x5eed)");
+  if (!cli.parse(argc, argv)) {
+    std::cerr << cli.error() << '\n' << cli.usage();
+    return 2;
+  }
+  if (socket_path.empty()) {
+    std::cerr << "client_main: --socket is required\n" << cli.usage();
+    return 2;
+  }
+
+  ClientOptions options;
+  options.socket_path = socket_path;
+  options.request_timeout_ms = timeout_ms;
+  options.max_attempts = max_attempts;
+  options.jitter_seed = jitter_seed;
+  QueryClient client(options);
+
+  std::uint64_t requests = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t reconnects = 0;
+  int failed = 0;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    ++requests;
+    const ClientResult result = client.call_line(line);
+    retries += static_cast<std::uint64_t>(result.attempts - 1);
+    reconnects += static_cast<std::uint64_t>(result.reconnects);
+    if (!result.ok) {
+      std::cerr << "client_main: request " << requests << " failed after "
+                << result.attempts << " attempts: " << result.error << '\n';
+      ++failed;
+      continue;
+    }
+    std::cout << result.response << '\n';
+  }
+  std::cout.flush();
+  std::cerr << "client_main: requests=" << requests << " failed=" << failed
+            << " retries=" << retries << " reconnects=" << reconnects
+            << '\n';
+  return failed == 0 ? 0 : 1;
+}

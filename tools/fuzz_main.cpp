@@ -49,7 +49,8 @@ bool known_kind(const std::string& name) {
         FleetKind::kClassicCowPath, FleetKind::kUniformOffset,
         FleetKind::kAnalyticZigzag, FleetKind::kCrashInjected,
         FleetKind::kKernelSoA, FleetKind::kByzantineLies,
-        FleetKind::kServerQuery, FleetKind::kProbabilisticFaults}) {
+        FleetKind::kServerQuery, FleetKind::kProbabilisticFaults,
+        FleetKind::kChaosWire}) {
     if (name == linesearch::verify::kind_name(kind)) return true;
   }
   return false;

@@ -10,11 +10,18 @@
 // a request corpus against any instance (any thread count, any cache
 // configuration) yields byte-identical bytes — CI's server-smoke job
 // does exactly that.
+//
+// Crash-safe warm restarts: --snapshot PATH restores the result cache
+// from a prior snapshot on startup (a corrupt or version-mismatched
+// file is rejected and the server starts cold — never half-warm), saves
+// it atomically on drain, and SIGUSR1 checkpoints it live without
+// interrupting service.
 #include <csignal>
 #include <iostream>
 #include <string>
 
 #include "svc/server.hpp"
+#include "svc/snapshot.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
 
@@ -24,6 +31,10 @@ linesearch::svc::QueryServer* g_server = nullptr;
 
 extern "C" void handle_signal(int) {
   if (g_server != nullptr) g_server->stop();  // async-signal-safe: atomic flip
+}
+
+extern "C" void handle_checkpoint(int) {
+  if (g_server != nullptr) g_server->request_checkpoint();  // atomic flip
 }
 
 }  // namespace
@@ -40,6 +51,9 @@ int main(const int argc, const char* const* argv) {
   int shard_capacity = 128;
   bool no_cache = false;
   bool no_coalesce = false;
+  std::string snapshot_path;
+  int idle_timeout_ms = 30000;
+  int write_timeout_ms = 5000;
 
   CliParser cli("serve_main",
                 "serve CR queries over a local socket (NDJSON; see "
@@ -58,6 +72,15 @@ int main(const int argc, const char* const* argv) {
   cli.add_flag("no-cache", &no_cache, "disable the result LRU");
   cli.add_flag("no-coalesce", &no_coalesce,
                "disable in-flight query coalescing");
+  cli.add_option("snapshot", &snapshot_path, "PATH",
+                 "warm-restart cache snapshot: restored on startup, "
+                 "saved atomically on drain and on SIGUSR1");
+  cli.add_option("idle-timeout-ms", &idle_timeout_ms, "MS",
+                 "close connections idle beyond this (0 disables; "
+                 "default 30000)", 0);
+  cli.add_option("write-timeout-ms", &write_timeout_ms, "MS",
+                 "per-response write deadline (0 disables; default 5000)",
+                 0);
   if (!cli.parse(argc, argv)) {
     std::cerr << cli.error() << '\n' << cli.usage();
     return 2;
@@ -75,11 +98,25 @@ int main(const int argc, const char* const* argv) {
   options.service.shard_count = static_cast<std::size_t>(shard_count);
   options.service.shard_capacity =
       static_cast<std::size_t>(shard_capacity);
+  options.snapshot_path = snapshot_path;
+  options.idle_timeout_ms = idle_timeout_ms;
+  options.write_timeout_ms = write_timeout_ms;
 
   QueryServer server(options);
+  if (!snapshot_path.empty()) {
+    const linesearch::svc::SnapshotLoadReport restore =
+        linesearch::svc::load_snapshot(server.service(), snapshot_path);
+    if (restore.ok) {
+      std::cerr << "serve_main: restored " << restore.entries
+                << " cached entries from " << snapshot_path << '\n';
+    } else {
+      std::cerr << "serve_main: cold start (" << restore.error << ")\n";
+    }
+  }
   g_server = &server;
   std::signal(SIGTERM, handle_signal);
   std::signal(SIGINT, handle_signal);
+  std::signal(SIGUSR1, handle_checkpoint);
   // A client vanishing mid-write must not kill the server.
   std::signal(SIGPIPE, SIG_IGN);
 
@@ -96,6 +133,10 @@ int main(const int argc, const char* const* argv) {
   std::cerr << "serve_main: drained; connections=" << wire.connections
             << " requests=" << wire.requests << " errors=" << wire.errors
             << " rejected=" << wire.rejected
+            << " frame_rejected=" << wire.frame_rejected
+            << " idle_closed=" << wire.idle_closed
+            << " drain_rejected=" << wire.drain_rejected
+            << " write_failures=" << wire.write_failures
             << " cache_hits=" << svc.cache_hits
             << " coalesced=" << svc.coalesced
             << " evaluations=" << svc.evaluations << '\n';
